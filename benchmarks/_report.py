@@ -1,0 +1,49 @@
+"""Shared reporting helper for the benchmark harness.
+
+Every experiment regenerates its paper artifact as a plain-text table,
+printed to stdout *and* written under ``benchmarks/results/`` so that
+``pytest benchmarks/ --benchmark-only`` leaves the reproduced tables on
+disk for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Sequence
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit_table(
+    experiment: str,
+    title: str,
+    header: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    notes: str = "",
+) -> str:
+    """Format, print, and persist one experiment table."""
+    widths = [len(str(h)) for h in header]
+    rendered_rows = []
+    for row in rows:
+        cells = [_fmt(c) for c in row]
+        rendered_rows.append(cells)
+        for i, cell in enumerate(cells):
+            widths[i] = max(widths[i], len(cell))
+    lines = [f"== {experiment}: {title} =="]
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for cells in rendered_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(cells, widths)))
+    if notes:
+        lines.append(notes)
+    text = "\n".join(lines) + "\n"
+    print("\n" + text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{experiment}.txt").write_text(text)
+    return text
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3g}"
+    return str(cell)

@@ -1,0 +1,79 @@
+"""E-EFF -- the efficiency requirement (paper sections 1.3 and 2.1).
+
+"The performance prediction needs to be very efficient to make repeated
+calls practical during the program optimization process" and "the key
+factor in deciding whether this approach is useful or not lies in the
+efficiency of the implementation" (of the linear-time placement).
+
+Measures estimator throughput across block sizes and checks that the
+cost grows roughly linearly in the number of atomic operations.
+"""
+
+import time
+
+from repro.cost import StraightLineEstimator
+from repro.bench import random_stream
+from repro.machine import power_machine
+
+from _report import emit_table
+
+_SIZES = (10, 50, 100, 500, 1000)
+
+
+def test_eff_linearity_table(benchmark):
+    def measure():
+        machine = power_machine()
+        estimator = StraightLineEstimator(machine)
+        rows = []
+        per_op: list[float] = []
+        for size in _SIZES:
+            stream = random_stream(machine, size, seed=size)
+            t0 = time.perf_counter()
+            repeats = max(1, 2000 // size)
+            for _ in range(repeats):
+                estimator.estimate(stream)
+            elapsed = (time.perf_counter() - t0) / repeats
+            per_op.append(elapsed / size)
+            rows.append((
+                size,
+                f"{elapsed * 1e3:.3f}ms",
+                f"{elapsed / size * 1e6:.2f}us",
+                f"{1 / elapsed:.0f}",
+            ))
+        return rows, per_op
+
+    rows, per_op = benchmark.pedantic(measure, rounds=1, iterations=1)
+    emit_table(
+        "E-EFF",
+        "Estimator throughput vs block size (random atomic-op DAGs, POWER)",
+        ["atomic ops", "time/estimate", "time/op", "estimates/sec"],
+        rows,
+        notes="near-constant time/op = the linear-time placement claim",
+    )
+    # Linearity check: per-op time at 1000 ops within 2.5x of at 10 ops
+    # (the hinted block walk keeps placement linear).
+    assert per_op[-1] <= 2.5 * per_op[0]
+
+
+def test_eff_estimate_100(benchmark):
+    machine = power_machine()
+    estimator = StraightLineEstimator(machine)
+    stream = random_stream(machine, 100, seed=1)
+    benchmark(lambda: estimator.estimate(stream).cycles)
+
+
+def test_eff_estimate_1000(benchmark):
+    machine = power_machine()
+    estimator = StraightLineEstimator(machine)
+    stream = random_stream(machine, 1000, seed=2)
+    benchmark(lambda: estimator.estimate(stream).cycles)
+
+
+def test_eff_whole_program_prediction(benchmark):
+    """End-to-end predict() on matmul: the repeated-call unit of work."""
+    import repro
+    from repro.bench import kernel
+
+    program = kernel("matmul").program
+    cost = benchmark(lambda: repro.predict(program))
+    assert cost.poly.degree("n") == 3

@@ -1,0 +1,87 @@
+"""E-F10 -- Figure 10: sign regions of a cubic performance difference.
+
+The paper's figure shows ``y = a x^3 + b x^2 + c x + d`` with ``a > 0``
+over ``[lb, ub]`` and shades the regions where it is negative.  This
+bench reconstructs the figure for a family of cubics with known roots,
+checks the computed crossovers against the analytic roots, and reports
+the P+/P- masses section 3.1 uses to rank transformations.
+"""
+
+from fractions import Fraction
+
+from repro.compare import Verdict, compare
+from repro.symbolic import Interval, PerfExpr, Poly, sign_regions
+
+from _report import emit_table
+
+
+def _analyze():
+    x = Poly.var("x")
+    cases = [
+        ("(x-1)(x-3)(x-6)", (x - 1) * (x - 3) * (x - 6), [1, 3, 6]),
+        # A double root does not change the sign: one boundary only.
+        ("(x-2)^2(x-8)", (x - 2) * (x - 2) * (x - 8), [8]),
+        ("x^3+1 (no roots in domain)", x ** 3 + 1, []),
+        ("(x-5)(x^2+1)", (x - 5) * (x * x + 1), [5]),
+    ]
+    rows = []
+    for label, poly, expected_roots in cases:
+        domain = Interval(0, 10)
+        regions = sign_regions(poly, "x", domain)
+        crossings = [float(a.interval.hi) for a in regions[:-1]]
+        signs = "".join(
+            {"positive": "+", "negative": "-", "zero": "0"}[r.sign.value]
+            for r in regions
+        )
+        rows.append((label, signs, str(crossings), str(expected_roots)))
+        assert len(crossings) == len(expected_roots)
+        for got, want in zip(sorted(crossings), sorted(expected_roots)):
+            assert abs(got - want) < 1e-6
+    return rows
+
+
+def test_fig10_cubic_regions(benchmark):
+    rows = benchmark.pedantic(_analyze, rounds=1, iterations=1)
+    emit_table(
+        "E-F10",
+        "Figure 10: sign regions of cubics over [0, 10]",
+        ["cubic", "sign pattern", "computed boundaries", "analytic roots"],
+        rows,
+    )
+
+
+def test_fig10_pplus_pminus_masses(benchmark):
+    """P+ / P- integral comparison on the figure's cubic."""
+
+    def run():
+        x = PerfExpr.unknown("x", interval=Interval(0, 10))
+        cubic = PerfExpr(
+            (Poly.var("x") - 1) * (Poly.var("x") - 3) * (Poly.var("x") - 6),
+            x.bounds, x.unknowns,
+        )
+        return compare(cubic, PerfExpr.zero())
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.verdict is Verdict.DEPENDS
+    masses = result.integrals
+    emit_table(
+        "E-F10b",
+        "P+/P- masses of (x-1)(x-3)(x-6) over [0, 10]",
+        ["quantity", "value"],
+        [
+            ("P- mass (first wins)", float(masses.negative_integral)),
+            ("P+ mass (second wins)", float(masses.positive_integral)),
+            ("first-wins measure", float(result.first_wins_measure())),
+            ("second-wins measure", float(result.second_wins_measure())),
+            ("net integral", float(masses.net)),
+        ],
+    )
+    # Exact check: net = ∫0..10 (x^3 - 10x^2 + 27x - 18) dx = 1010/3.
+    assert masses.net == Fraction(1010, 3)
+
+
+def test_fig10_region_throughput(benchmark):
+    x = Poly.var("x")
+    poly = (x - 1) * (x - 3) * (x - 6)
+    domain = Interval(0, 10)
+    benchmark(lambda: sign_regions(poly, "x", domain))

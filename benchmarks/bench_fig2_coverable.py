@@ -1,0 +1,80 @@
+"""E-F2 -- Figure 2: coverable vs noncoverable instruction costs.
+
+The paper's defining example: an FP add has one noncoverable and one
+coverable FPU cycle, so it costs two cycles alone but one cycle
+marginally when independent work fills the coverable slot; a dependent
+consumer must wait the full latency.  This bench regenerates that
+arithmetic across chain lengths and mixes.
+"""
+
+from repro.cost import place_stream
+from repro.machine import power_machine
+from repro.translate.stream import Instr
+
+from _report import emit_table
+
+
+def _series():
+    machine = power_machine()
+    rows = []
+    for k in (1, 2, 4, 8, 16):
+        independent = place_stream(
+            machine, [Instr(i, "fpu_arith") for i in range(k)]
+        ).cycles
+        dependent = place_stream(
+            machine,
+            [Instr(i, "fpu_arith", deps=(i - 1,) if i else ()) for i in range(k)],
+        ).cycles
+        rows.append((k, independent, dependent))
+    return rows
+
+
+def test_fig2_coverable_series(benchmark):
+    rows = benchmark.pedantic(_series, rounds=1, iterations=1)
+    emit_table(
+        "E-F2",
+        "Figure 2: k FP adds -- independent (covered) vs dependent (uncovered)",
+        ["k adds", "independent cycles", "dependent cycles"],
+        rows,
+        notes="independent: k+1 (one trailing coverable cycle); "
+        "dependent: 2k (every coverable cycle exposed)",
+    )
+    for k, independent, dependent in rows:
+        assert independent == k + 1
+        assert dependent == 2 * k
+
+
+def test_fig2_store_dual_unit_cost(benchmark):
+    """FP store: FPU 2 cycles (1 coverable) + FXU 1 cycle (paper text)."""
+    machine = power_machine()
+
+    def run():
+        alone = place_stream(machine, [Instr(0, "fpu_store")]).cycles
+        # An independent FXU op cannot share the store's FXU slot...
+        with_fxu = place_stream(
+            machine, [Instr(0, "fpu_store"), Instr(1, "fxu_add")]
+        ).cycles
+        # ...but an independent FPU op can share the coverable FPU slot.
+        with_fpu = place_stream(
+            machine, [Instr(0, "fpu_store"), Instr(1, "fpu_arith")]
+        ).cycles
+        return alone, with_fxu, with_fpu
+
+    alone, with_fxu, with_fpu = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert alone == 2
+    assert with_fxu == 2   # FXU add lands at slot 1: still 2 cycles
+    assert with_fpu == 3   # FPU busy slot 0; add at 1, result at 3
+
+
+def test_fig2_mixed_units_fill_coverable(benchmark):
+    """Loads slot into an FP add's shadow: total stays at the maximum."""
+    machine = power_machine()
+
+    def run():
+        return place_stream(machine, [
+            Instr(0, "fpu_arith"),
+            Instr(1, "lsu_load"),
+            Instr(2, "lsu_load"),
+        ]).cycles
+
+    assert benchmark.pedantic(run, rounds=1, iterations=1) == 3

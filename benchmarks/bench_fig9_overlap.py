@@ -1,0 +1,127 @@
+"""E-F8/9 -- Figures 8-9: cost-block shapes and inter-block overlap.
+
+Figure 9 shows two adjacent basic blocks whose cost blocks interlock:
+the combined cost is less than the sum.  This bench regenerates that
+example with an FXU-heavy block followed by an FPU-heavy block,
+measures loop iteration self-overlap on the kernel suite, and runs the
+ablation of disabling overlap credit in the aggregator.
+"""
+
+from repro.aggregate import CostAggregator
+from repro.backend import simulate_loop
+from repro.bench import kernel, kernel_names, kernel_stream
+from repro.cost import combined_cycles, max_overlap, place_stream
+from repro.ir import SymbolTable
+from repro.machine import power_machine
+from repro.translate import AGGRESSIVE_BACKEND
+from repro.translate.stream import Instr
+
+from _report import emit_table
+
+
+def _blocks():
+    machine = power_machine()
+    fxu_heavy = place_stream(machine, [
+        Instr(i, "fxu_add", deps=(i - 1,) if i else ()) for i in range(4)
+    ]).block
+    fpu_heavy = place_stream(machine, [
+        Instr(i, "fpu_arith") for i in range(4)
+    ]).block
+    return fxu_heavy, fpu_heavy
+
+
+def test_fig9_adjacent_blocks_interlock(benchmark):
+    fxu_heavy, fpu_heavy = benchmark.pedantic(_blocks, rounds=1, iterations=1)
+    overlap = max_overlap(fxu_heavy, fpu_heavy)
+    combined = combined_cycles(fxu_heavy, fpu_heavy)
+    separate = fxu_heavy.cycles + fpu_heavy.cycles
+    emit_table(
+        "E-F9a",
+        "Figure 9: combining an FXU-heavy and an FPU-heavy basic block",
+        ["quantity", "cycles"],
+        [
+            ("block 1 (FXU chain)", fxu_heavy.cycles),
+            ("block 2 (FPU stream)", fpu_heavy.cycles),
+            ("sum, no overlap", separate),
+            ("shape overlap", overlap),
+            ("combined (Fig. 9)", combined),
+        ],
+    )
+    assert overlap > 0
+    assert combined < separate
+
+
+def test_fig9_loop_steady_state_table(benchmark):
+    """Per-iteration steady cost vs the reference loop simulation."""
+
+    def build():
+        machine = power_machine()
+        rows = []
+        for name in kernel_names():
+            k = kernel(name)
+            agg = CostAggregator(machine, SymbolTable.from_program(k.program))
+            info = kernel_stream(k, machine)
+            stream = info.stream
+            overhead = agg.translator.loop_overhead()
+            base = len(stream)
+            for instr in overhead.stream:
+                stream.append(instr.atomic,
+                              tuple(d + base for d in instr.deps), instr.tag)
+            few = agg.estimator.estimate_unrolled(stream, 4).cycles
+            many = agg.estimator.estimate_unrolled(stream, 8).cycles
+            predicted_steady = max(-(-(many - few) // 4), info.carried_latency, 1)
+            iters = 24
+            reference = simulate_loop(
+                machine, stream, iters, carried_latency=info.carried_latency
+            ).cycles
+            ref_steady = reference / iters
+            rows.append((
+                name, predicted_steady, f"{ref_steady:.1f}",
+                f"{100 * (predicted_steady - ref_steady) / ref_steady:+.0f}%",
+            ))
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    emit_table(
+        "E-F9b",
+        "Iteration overlap: predicted steady-state cycles/iter vs reference",
+        ["kernel", "predicted", "reference", "error"],
+        rows,
+        notes="reference = back-end scheduling of 24 replicated iterations",
+    )
+    errors = [abs(float(r[3].rstrip("%"))) for r in rows]
+    errors.sort()
+    assert errors[len(errors) // 2] <= 35.0  # median tracks the reference
+
+
+def test_fig9_overlap_ablation(benchmark):
+    """Disabling overlap credit inflates every loop prediction."""
+
+    def run():
+        machine = power_machine()
+        rows = []
+        for name in ("f1", "f3", "matmul"):
+            k = kernel(name)
+            table = SymbolTable.from_program(k.program)
+            on = CostAggregator(machine, table).cost_program(k.program)
+            off = CostAggregator(
+                machine, table,
+                flags=AGGRESSIVE_BACKEND.without(overlap_iterations=True),
+            ).cost_program(k.program)
+            n = 64
+            rows.append((
+                name,
+                float(on.evaluate({"n": n})),
+                float(off.evaluate({"n": n})),
+            ))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit_table(
+        "E-F9c",
+        "Ablation: loop cost at n=64 with and without iteration overlap",
+        ["kernel", "overlap on", "overlap off"],
+        rows,
+    )
+    for _, on, off in rows:
+        assert off > on

@@ -1,0 +1,101 @@
+"""E-FOCUS -- the focus-span accuracy/efficiency trade-off (section 2.1).
+
+"Only a certain number of slots (called focus span) under the highest
+occupied time slot need to be considered. ... the focus span is an
+adjustable parameter, thus allowing more flexible allocation of
+computing resources based on accuracy and efficiency considerations."
+
+Sweeps the span on streams engineered to leave deep backfill holes
+(long FXU chains with trailing FPU work) plus the kernel suite, and
+reports predicted cycles and estimation time per span.
+"""
+
+import time
+
+from repro.bench import kernel, kernel_names, kernel_stream, random_stream
+from repro.cost import StraightLineEstimator
+from repro.machine import power_machine
+from repro.translate.stream import Instr
+
+from _report import emit_table
+
+_SPANS = (2, 4, 8, 16, 64, 1 << 20)
+
+
+def _holey_stream():
+    """A long dependent FXU chain followed by independent FPU work."""
+    instrs = [
+        Instr(i, "fxu_mul5", deps=(i - 1,) if i else ()) for i in range(12)
+    ]
+    instrs += [Instr(12 + j, "fpu_arith") for j in range(8)]
+    return instrs
+
+
+def test_focus_span_sweep(benchmark):
+    def sweep():
+        machine = power_machine()
+        rows = []
+        instrs = _holey_stream()
+        exact = None
+        for span in _SPANS:
+            estimator = StraightLineEstimator(machine, focus_span=span)
+            t0 = time.perf_counter()
+            for _ in range(200):
+                from repro.cost import place_stream
+
+                cycles = place_stream(machine, instrs, focus_span=span).cycles
+            elapsed = (time.perf_counter() - t0) / 200
+            if span == _SPANS[-1]:
+                exact = cycles
+            rows.append((span if span < 1 << 20 else "inf", cycles,
+                         f"{elapsed * 1e6:.0f}us"))
+        return rows, exact
+
+    rows, exact = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit_table(
+        "E-FOCUS",
+        "Focus-span sweep on a deep-hole stream (12-op FXU chain + 8 FMAs)",
+        ["focus span", "predicted cycles", "time/estimate"],
+        rows,
+        notes="small spans cannot backfill the FPU work under the chain",
+    )
+    cycles_by_span = [r[1] for r in rows]
+    # Monotone non-increasing accuracy cost as the span grows...
+    for a, b in zip(cycles_by_span, cycles_by_span[1:]):
+        assert a >= b
+    # ...with a strict gap between the tightest span and exhaustive.
+    assert cycles_by_span[0] > exact
+
+
+def test_focus_span_kernel_accuracy(benchmark):
+    """On the real kernels a moderate span already saturates accuracy."""
+
+    def run():
+        machine = power_machine()
+        drift = []
+        for name in kernel_names():
+            info = kernel_stream(kernel(name), machine)
+            tight = StraightLineEstimator(machine, 8).estimate(info.stream).cycles
+            exact = StraightLineEstimator(machine, 1 << 20).estimate(
+                info.stream
+            ).cycles
+            drift.append(abs(tight - exact) / exact)
+        return drift
+
+    drift = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert max(drift) <= 0.25
+    assert sum(drift) / len(drift) <= 0.05
+
+
+def test_focus_span_speed_small(benchmark):
+    machine = power_machine()
+    stream = random_stream(machine, 200, seed=3)
+    estimator = StraightLineEstimator(machine, focus_span=4)
+    benchmark(lambda: estimator.estimate(stream).cycles)
+
+
+def test_focus_span_speed_exhaustive(benchmark):
+    machine = power_machine()
+    stream = random_stream(machine, 200, seed=3)
+    estimator = StraightLineEstimator(machine, focus_span=1 << 20)
+    benchmark(lambda: estimator.estimate(stream).cycles)

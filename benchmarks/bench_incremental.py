@@ -1,0 +1,120 @@
+"""E-INCR -- incremental prediction updates (section 3.3.1).
+
+"When choosing among two transformations, only the changes that the
+transformations have on the performance expressions need to be
+computed."
+
+Measures repeated what-if probing (the inner loop of the restructurer)
+with and without the affected-region cache, and verifies that cache
+misses after a local transformation stay confined to the changed
+region's ancestors.
+"""
+
+import time
+
+import repro
+from repro.aggregate import CostAggregator
+from repro.ir import SymbolTable
+from repro.machine import power_machine
+from repro.transform import IncrementalPredictor, Unroll
+
+from _report import emit_table
+
+MANY_REGIONS = """
+program regions
+  integer n, i1, i2, i3, i4
+  real a(n), b(n), c(n), d(n)
+  do i1 = 1, n
+    a(i1) = a(i1) + 1.0
+  end do
+  do i2 = 1, n
+    b(i2) = b(i2) * 2.0
+  end do
+  do i3 = 1, n
+    c(i3) = c(i3) - 3.0
+  end do
+  do i4 = 1, n
+    d(i4) = d(i4) / 4.0
+  end do
+end
+"""
+
+
+def _variants(prog, count=24):
+    """Probe programs, each unrolling one loop by one factor."""
+    unroll = Unroll(factors=(2, 4))
+    sites = unroll.sites(prog)
+    out = []
+    for i in range(count):
+        out.append(unroll.apply(prog, sites[i % len(sites)]))
+    return out
+
+
+def test_incremental_probe_speed_table(benchmark):
+    def run():
+        prog = repro.parse_program(MANY_REGIONS)
+        variants = _variants(prog)
+
+        def fresh_aggregator():
+            return CostAggregator(
+                power_machine(), SymbolTable.from_program(prog)
+            )
+
+        # Cold: a fresh aggregation of every variant.
+        t0 = time.perf_counter()
+        for variant in variants:
+            fresh_aggregator().cost_program(variant)
+        cold = time.perf_counter() - t0
+
+        # Incremental: one predictor shared across probes.
+        predictor = IncrementalPredictor(fresh_aggregator())
+        predictor.predict(prog)
+        t0 = time.perf_counter()
+        for variant in variants:
+            predictor.predict(variant)
+        warm = time.perf_counter() - t0
+        return cold, warm, predictor.stats
+
+    cold, warm, stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit_table(
+        "E-INCR",
+        "24 what-if probes on a 4-region program: cold vs incremental",
+        ["mode", "time", "cache hits", "cache misses", "hit rate"],
+        [
+            ("cold re-aggregation", f"{cold * 1e3:.1f}ms", "-", "-", "-"),
+            ("incremental", f"{warm * 1e3:.1f}ms", stats.hits,
+             stats.misses, f"{stats.hit_rate:.0%}"),
+        ],
+    )
+    assert warm < cold
+    assert stats.hit_rate > 0.4
+
+
+def test_incremental_affected_region_confinement(benchmark):
+    """A transformation of region 3 must not re-cost regions 1, 2, 4."""
+
+    def run():
+        prog = repro.parse_program(MANY_REGIONS)
+        predictor = IncrementalPredictor(
+            CostAggregator(power_machine(), SymbolTable.from_program(prog))
+        )
+        predictor.predict(prog)
+        before = predictor.stats.misses
+        unroll = Unroll(factors=(2,))
+        site = [s for s in unroll.sites(prog) if s.path == (2,)][0]
+        predictor.predict(unroll.apply(prog, site))
+        new_misses = predictor.stats.misses - before
+        return new_misses
+
+    new_misses = benchmark.pedantic(run, rounds=1, iterations=1)
+    # Misses: the new top-level region list + the one changed loop.
+    assert new_misses <= 2
+
+
+def test_incremental_predict_throughput(benchmark):
+    prog = repro.parse_program(MANY_REGIONS)
+    predictor = IncrementalPredictor(
+        CostAggregator(power_machine(), SymbolTable.from_program(prog))
+    )
+    predictor.predict(prog)  # warm
+    benchmark(lambda: predictor.predict(prog))

@@ -1,0 +1,99 @@
+"""E-OPC -- the operation-count baseline (paper section 1.2).
+
+"If not applied carefully, a conventional cost estimation model may be
+off by a factor of ten or more!"
+
+For every Figure 7 kernel and three machines, compares the op-count
+estimate and the Tetris estimate against the reference schedule.  The
+expected shape: on the scalar machine both models agree; on the
+superscalar machines the op-count error grows with available
+parallelism (largest on the wide machine and on FMA-rich kernels),
+while the Tetris model stays tight.
+"""
+
+from repro.backend import simulate
+from repro.baselines import OpCountEstimator
+from repro.bench import kernel, kernel_names, kernel_stream
+from repro.cost import StraightLineEstimator
+from repro.machine import get_machine
+from repro.translate.stream import InstrStream, reindex
+
+from _report import emit_table
+
+
+def _rows():
+    rows = []
+    worst_ratio = {}
+    for machine_name in ("scalar", "power", "wide"):
+        machine = get_machine(machine_name)
+        tetris = StraightLineEstimator(machine)
+        naive = OpCountEstimator(machine)
+        for name in kernel_names():
+            info = kernel_stream(kernel(name), machine)
+            iterative = reindex([i for i in info.stream if not i.one_time])
+            stream = InstrStream(machine_name=machine.name)
+            for i in iterative:
+                stream.append(i.atomic, i.deps, i.tag)
+            reference = simulate(machine, stream, with_spills=False).cycles
+            t = tetris.estimate(stream).cycles
+            n = naive.estimate(stream).cycles
+            ratio_naive = n / reference
+            ratio_tetris = t / reference
+            worst_ratio.setdefault(machine_name, 0)
+            worst_ratio[machine_name] = max(worst_ratio[machine_name], ratio_naive)
+            rows.append((
+                machine_name, name, reference, t, n,
+                f"{ratio_tetris:.2f}x", f"{ratio_naive:.2f}x",
+            ))
+    return rows, worst_ratio
+
+
+def test_opcount_factor_table(benchmark):
+    rows, worst = benchmark.pedantic(_rows, rounds=1, iterations=1)
+    emit_table(
+        "E-OPC",
+        "Operation-count vs Tetris model vs reference (all kernels/machines)",
+        ["machine", "kernel", "reference", "tetris", "op-count",
+         "tetris/ref", "opcount/ref"],
+        rows,
+        notes="the op-count overestimate grows with machine parallelism; "
+        "the Tetris model does not",
+    )
+    # Scalar machine: op counting is exact (everything blocks).
+    scalar_rows = [r for r in rows if r[0] == "scalar"]
+    for row in scalar_rows:
+        assert float(row[6].rstrip("x")) <= 1.25
+    # Superscalar machines: meaningful inflation, worst >= 2x on power
+    # and growing on wide.
+    assert worst["power"] >= 2.0
+    assert worst["wide"] >= worst["power"]
+    # Tetris stays within 30% everywhere.
+    for row in rows:
+        assert 0.7 <= float(row[5].rstrip("x")) <= 1.3
+
+
+def test_opcount_gap_grows_with_block_parallelism(benchmark):
+    """Wider independent blocks inflate the op-count error further."""
+    from repro.translate.stream import Instr
+    from repro.machine import power_machine
+
+    def run():
+        machine = power_machine()
+        gaps = []
+        for k in (2, 8, 32):
+            instrs = [Instr(i, "fpu_arith") for i in range(k)]
+            ref = simulate(machine, instrs, with_spills=False).cycles
+            naive = OpCountEstimator(machine).estimate(_wrap(instrs)).cycles
+            gaps.append(naive / ref)
+        return gaps
+
+    gaps = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert gaps[0] < gaps[1] < gaps[2]
+    assert gaps[2] > 1.8
+
+
+def _wrap(instrs):
+    stream = InstrStream()
+    for i in instrs:
+        stream.append(i.atomic, i.deps, i.tag)
+    return stream

@@ -1,0 +1,123 @@
+"""E-WHOLE -- end-to-end loop-nest prediction accuracy.
+
+Beyond Figure 7's per-basic-block comparison: predict whole kernels
+with ``repro.predict`` and compare the per-iteration steady-state
+against the reference back-end executing dozens of replicated
+iterations, on two machines.  This is the number a restructurer
+actually consumes.  Also regenerates the headline restructuring result:
+the search turns the naive matmul into the paper's 4x4 kernel.
+"""
+
+import repro
+from repro.aggregate import CostAggregator
+from repro.backend import simulate_loop
+from repro.bench import kernel, kernel_names, kernel_stream
+from repro.ir import SymbolTable
+from repro.machine import get_machine
+
+from _report import emit_table
+
+
+def _steady_reference(name: str, machine, iters: int = 32) -> float:
+    k = kernel(name)
+    info = kernel_stream(k, machine)
+    stream = info.stream
+    agg = CostAggregator(machine, SymbolTable.from_program(k.program))
+    overhead = agg.translator.loop_overhead()
+    base = len(stream)
+    for instr in overhead.stream:
+        stream.append(instr.atomic, tuple(d + base for d in instr.deps))
+    return simulate_loop(
+        machine, stream, iters, carried_latency=info.carried_latency
+    ).cycles / iters
+
+
+def test_whole_program_accuracy_table(benchmark):
+    def run():
+        rows = []
+        for machine_name in ("power", "alpha"):
+            machine = get_machine(machine_name)
+            for name in kernel_names():
+                k = kernel(name)
+                cost = repro.predict(k.program, machine=machine)
+                degree = max(
+                    cost.poly.degree(v) for v in cost.poly.variables()
+                )
+                predicted = float(
+                    cost.poly.coeffs_by_var("n")[degree].constant_value()
+                )
+                # Convert the leading coefficient to cycles per *inner
+                # iteration*: matmul's block covers 16 (i,j) pairs, and
+                # rb's red sweep steps by 2.
+                if name == "matmul":
+                    predicted *= 16
+                elif name == "rb":
+                    predicted *= 2
+                reference = _steady_reference(name, machine)
+                rows.append((
+                    machine_name, name, f"{predicted:.1f}",
+                    f"{reference:.1f}",
+                    f"{100 * (predicted - reference) / reference:+.0f}%",
+                ))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit_table(
+        "E-WHOLE",
+        "Whole-kernel steady-state cycles/iteration: predict() vs reference",
+        ["machine", "kernel", "predicted", "reference", "error"],
+        rows,
+        notes="leading-coefficient of the symbolic cost vs 32 simulated "
+        "iterations",
+    )
+    errors = sorted(abs(float(r[4].rstrip("%"))) for r in rows)
+    assert errors[len(errors) // 2] <= 15.0   # median
+    assert errors[-1] <= 45.0                 # worst case
+
+
+def test_search_reinvents_paper_matmul(benchmark):
+    """A* with unroll-and-jam rediscovers the 16-FMA kernel."""
+    from repro.transform import IncrementalPredictor, UnrollAndJam, astar_search
+
+    def run():
+        prog = repro.parse_program(
+            "program mm\n  integer n, i, j, k\n"
+            "  real a(n,n), b(n,n), c(n,n)\n"
+            "  do i = 1, n\n    do j = 1, n\n      do k = 1, n\n"
+            "        c(i,j) = c(i,j) + a(i,k) * b(k,j)\n"
+            "      end do\n    end do\n  end do\nend\n"
+        )
+        machine = get_machine("power")
+        predictor = IncrementalPredictor(
+            CostAggregator(machine, SymbolTable.from_program(prog))
+        )
+        result = astar_search(
+            prog, [UnrollAndJam(factors=(2, 4))], predictor,
+            workload={"n": 256}, max_depth=2, max_nodes=80,
+        )
+        base = predictor.predict(prog)
+        paper_kernel = repro.predict(kernel("matmul").program)
+        return result, base, paper_kernel
+
+    result, base, paper_kernel = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit_table(
+        "E-WHOLE-b",
+        "A* rediscovers the paper's Matmul kernel from the naive nest",
+        ["artifact", "value"],
+        [
+            ("naive cost", str(base)),
+            ("searched cost", str(result.cost)),
+            ("paper 4x4 kernel cost", str(paper_kernel)),
+            ("sequence", result.sequence),
+            ("nodes expanded", result.nodes_expanded),
+        ],
+    )
+    # The search reaches (at least) the paper's hand-unrolled kernel:
+    # same asymptotic FMA-bound n^3 coefficient, and no worse overall.
+    # (In fact the model rates its i-x4 / j-x2 choice slightly cheaper:
+    # same FPU saturation, fewer live accumulators.)
+    lead_found = result.cost.poly.coeffs_by_var("n")[3]
+    lead_paper = paper_kernel.poly.coeffs_by_var("n")[3]
+    assert lead_found == lead_paper
+    assert result.cost.evaluate({"n": 256}) <= paper_kernel.evaluate({"n": 256})
+    assert any(s.transformation == "unroll-and-jam" for s in result.steps)

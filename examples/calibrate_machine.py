@@ -1,0 +1,91 @@
+"""Training-set calibration of a machine description (section 2.2.1).
+
+"When low level cost information is not available, a training-set like
+approach can be used."  Here the 'hardware' is a machine whose FP unit
+is secretly twice as slow as the data sheet claims; timing probe chains
+against it recovers the true latency, and predictions made with the
+calibrated table match reality again.
+
+Run:  python examples/calibrate_machine.py
+"""
+
+import repro
+from repro.backend import simulate
+from repro.machine import (
+    AtomicCostTable,
+    AtomicOp,
+    Machine,
+    UnitCost,
+    UnitKind,
+    calibrate,
+    power_machine,
+)
+
+
+def secretly_slow_power() -> Machine:
+    """The 'real hardware': FP ops take 4 cycles, not the 2 on paper."""
+    paper = power_machine()
+    table = AtomicCostTable()
+    for name in paper.table.names():
+        op = paper.atomic(name)
+        if name == "fpu_arith":
+            table.define(AtomicOp(
+                name, (UnitCost(UnitKind.FPU, 2, 2),),
+                "FP arith: actually 4 cycles on this silicon",
+            ))
+        else:
+            table.define(op)
+    return Machine(
+        name="power-actual",
+        units=paper.units,
+        table=table,
+        atomic_mapping=dict(paper.atomic_mapping),
+        supports_fma=True,
+    )
+
+
+def main() -> None:
+    data_sheet = power_machine()
+    hardware = secretly_slow_power()
+
+    def stopwatch(chain):
+        """On real hardware this would be a cycle counter."""
+        return simulate(hardware, chain, with_spills=False).cycles
+
+    print("Data sheet says fpu_arith latency:",
+          data_sheet.atomic("fpu_arith").result_latency)
+    print("Hardware actually delivers    :",
+          hardware.atomic("fpu_arith").result_latency)
+    print()
+
+    fitted = calibrate(
+        data_sheet, stopwatch, ops=["fpu_arith", "fxu_add", "lsu_load"]
+    )
+    print("Calibrated fpu_arith latency  :",
+          fitted["fpu_arith"].result_latency)
+
+    calibrated_machine = Machine(
+        name="power-calibrated",
+        units=data_sheet.units,
+        table=fitted,
+        atomic_mapping=dict(data_sheet.atomic_mapping),
+        supports_fma=True,
+    )
+
+    program = repro.parse_program(
+        "program t\n  integer n, i\n  real a(n), s\n"
+        "  do i = 1, n\n    s = s + a(i) * a(i)\n  end do\nend\n"
+    )
+    before = repro.predict(program, machine=data_sheet)
+    after = repro.predict(program, machine=calibrated_machine)
+    truth = repro.predict(program, machine=hardware)
+    print()
+    print(f"Prediction with data-sheet table : {before}")
+    print(f"Prediction with calibrated table : {after}")
+    print(f"Prediction with true table       : {truth}")
+    assert after.poly == truth.poly
+    print("calibrated == truth: the table was recovered from timings alone")
+
+
+if __name__ == "__main__":
+    main()

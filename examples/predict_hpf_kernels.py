@@ -1,0 +1,52 @@
+"""Reproduce the paper's Figure 7 table from the library API.
+
+For every kernel of the suite (F1-F7, Matmul 4x4, Jacobi, RB), predict
+the innermost basic block's cycles with the Tetris model, measure the
+reference back-end schedule (our IBM xlf stand-in), and print the
+comparison -- then show the whole-program symbolic costs per machine.
+
+Run:  python examples/predict_hpf_kernels.py
+"""
+
+import repro
+from repro.backend import simulate
+from repro.bench import kernel, kernel_names, kernel_stream
+from repro.cost import StraightLineEstimator
+from repro.machine import get_machine
+
+
+def main() -> None:
+    machine = get_machine("power")
+    estimator = StraightLineEstimator(machine)
+
+    print("Figure 7 reproduction: straight-line basic blocks on POWER")
+    print(f"{'kernel':8s} {'ops':>4s} {'predicted':>9s} {'reference':>9s} {'error':>8s}")
+    for name in kernel_names():
+        k = kernel(name)
+        info = kernel_stream(k, machine)
+        predicted = estimator.estimate(info.stream).cycles
+        iterative = [i for i in info.stream if not i.one_time]
+        reference = simulate(machine, iterative).cycles
+        error = 100 * (predicted - reference) / reference
+        print(f"{name:8s} {len(iterative):4d} {predicted:9d} "
+              f"{reference:9d} {error:+7.1f}%")
+    print()
+
+    print("Whole-program symbolic costs (cycles):")
+    for name in ("matmul", "jacobi", "rb"):
+        k = kernel(name)
+        row = [f"{name:8s}"]
+        for machine_name in ("scalar", "power", "wide"):
+            cost = repro.predict(k.program, machine=machine_name)
+            row.append(f"{machine_name}: {cost}")
+        print("  " + "   ".join(row))
+    print()
+
+    print("Matmul with memory-hierarchy costs included:")
+    cost = repro.predict(kernel("matmul").program, include_memory=True)
+    print(f"  {cost}")
+    print(f"  at n=128: {float(cost.evaluate({'n': 128})):.3e} cycles")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e .` requires bdist_wheel; offline boxes without the
+wheel package can instead run `python setup.py develop`.
+"""
+
+from setuptools import setup
+
+setup()

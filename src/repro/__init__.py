@@ -1,0 +1,111 @@
+"""repro: Precise Compile-Time Performance Prediction for Superscalar-Based Computers.
+
+A full reproduction of Ko-Yang Wang's PLDI 1994 performance-prediction
+framework: a Tetris-style superscalar cost model with coverable and
+noncoverable costs, two-level instruction translation that imitates the
+back-end, symbolic cost aggregation over loops and conditionals,
+symbolic comparison with run-time test generation and sensitivity
+analysis, and a performance-guided A* program restructurer -- plus the
+substrates (a mini-Fortran front-end, dependence analysis, a reference
+scheduler standing in for IBM xlf, cache/TLB and message-passing cost
+models) needed to run the paper's evaluation end to end.
+
+Quick start::
+
+    import repro
+
+    program = repro.parse_program('''
+    program saxpy
+      integer n, i
+      real x(n), y(n), alpha
+      do i = 1, n
+        y(i) = y(i) + alpha * x(i)
+      end do
+    end
+    ''')
+    cost = repro.predict(program, machine="power")
+    print(cost)                      # e.g. 3*n + 8   (cycles, symbolic)
+    print(cost.evaluate({"n": 100})) # exact rational cycle count
+"""
+
+from .aggregate import CostAggregator, LibraryCostTable, aggregate_program
+from .backend import simulate, simulate_loop
+from .baselines import GuessPolicy, OpCountEstimator, guess_all, guessed_comparison
+from .compare import (
+    ComparisonResult,
+    Verdict,
+    build_guard,
+    compare,
+    rank_variables,
+    region_report,
+    winner_regions,
+    worth_testing,
+)
+from .cost import BlockCost, CostBlock, StraightLineEstimator, place_stream
+from .ir import (
+    Program,
+    SymbolTable,
+    parse_expression,
+    parse_fragment,
+    parse_program,
+    print_program,
+)
+from .machine import Machine, get_machine, machine_names, register_machine
+from .memory import MemoryCostModel
+from .comm import CommunicationCostModel, ethernet_cluster, sp1_network
+from .symbolic import Interval, PerfExpr, Poly, Sign, UnknownKind
+from .transform import (
+    Distribute,
+    Fuse,
+    IncrementalPredictor,
+    Interchange,
+    ReorderStatements,
+    StripMine,
+    Tile2D,
+    Unroll,
+    UnrollAndJam,
+    astar_search,
+    exhaustive_search,
+)
+from .translate import AGGRESSIVE_BACKEND, NAIVE_BACKEND, BackendFlags, Translator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AGGRESSIVE_BACKEND", "BackendFlags", "BlockCost", "ComparisonResult",
+    "CommunicationCostModel", "CostAggregator", "CostBlock", "Distribute",
+    "Fuse", "GuessPolicy", "IncrementalPredictor", "Interchange", "Interval",
+    "LibraryCostTable", "Machine", "MemoryCostModel", "NAIVE_BACKEND",
+    "OpCountEstimator", "PerfExpr", "Poly", "Program", "ReorderStatements",
+    "Sign", "StraightLineEstimator", "StripMine", "SymbolTable", "Tile2D",
+    "Translator", "Unroll", "UnrollAndJam", "UnknownKind", "Verdict", "aggregate_program",
+    "astar_search", "build_guard", "compare", "ethernet_cluster",
+    "exhaustive_search", "get_machine", "guess_all", "guessed_comparison",
+    "machine_names", "parse_expression", "parse_fragment", "parse_program",
+    "place_stream", "predict", "print_program", "rank_variables",
+    "region_report", "register_machine", "simulate", "simulate_loop",
+    "sp1_network", "winner_regions", "worth_testing",
+]
+
+
+def predict(
+    program: Program,
+    machine: str | Machine = "power",
+    flags: BackendFlags = AGGRESSIVE_BACKEND,
+    include_memory: bool = False,
+    focus_span: int | None = None,
+) -> PerfExpr:
+    """Predict the symbolic cycle cost of a program (the one-call API).
+
+    ``machine`` is a registered machine name or a :class:`Machine`;
+    ``include_memory`` adds the cache/TLB cost terms (Figure 7 excludes
+    them, so the default matches the paper).
+    """
+    target = get_machine(machine) if isinstance(machine, str) else machine
+    kwargs = {}
+    if focus_span is not None:
+        kwargs["focus_span"] = focus_span
+    if include_memory:
+        kwargs["memory_model"] = MemoryCostModel(target)
+        kwargs["include_memory"] = True
+    return aggregate_program(program, target, flags=flags, **kwargs)

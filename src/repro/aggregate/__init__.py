@@ -1,0 +1,14 @@
+"""Symbolic cost aggregation of compound statements (paper section 2.4)."""
+
+from .aggregator import CostAggregator, aggregate_program
+from .cond_cost import IndexSplit, index_split, nearly_equal, probability_blend
+from .explain import RegionReport, explain_program, render_report
+from .loop_cost import aggregate_loop
+from .procedures import LibraryCostTable, LibraryEntry
+
+__all__ = [
+    "CostAggregator", "IndexSplit", "LibraryCostTable", "LibraryEntry",
+    "RegionReport", "explain_program", "render_report",
+    "aggregate_loop", "aggregate_program", "index_split", "nearly_equal",
+    "probability_blend",
+]

@@ -1,0 +1,206 @@
+"""The performance aggregation model (paper section 2.4).
+
+``CostAggregator`` walks the IR, costs straight-line runs with the
+Tetris estimator, and combines compound statements symbolically:
+loops via the DO rule with closed-form summation, conditionals via
+branch probabilities or exact index splits, calls via the library cost
+table.  The result is a single :class:`~repro.symbolic.PerfExpr` -- the
+paper's unified, comparable performance expression.
+"""
+
+from __future__ import annotations
+
+from ..cost.estimator import StraightLineEstimator
+from ..cost.placement import DEFAULT_FOCUS_SPAN
+from ..ir.nodes import Assign, CallStmt, Do, Expr, If, Program, Stmt, VarRef
+from ..ir.symtab import SymbolTable
+from ..machine.machine import Machine
+from ..translate.backend_opts import AGGRESSIVE_BACKEND, BackendFlags
+from ..translate.translator import Translator
+from .cond_cost import nearly_equal, probability_blend
+from .loop_cost import aggregate_loop
+from .procedures import LibraryCostTable
+from ..symbolic.expr import PerfExpr
+
+__all__ = ["CostAggregator", "aggregate_program"]
+
+
+class CostAggregator:
+    """Symbolic cost aggregation for one machine + compiler combination.
+
+    Parameters mirror the framework's tunables: ``flags`` are the
+    back-end capability flags, ``focus_span`` the estimator's search
+    window, ``library`` the external-routine cost table, and
+    ``memory_model`` an optional :class:`~repro.memory.MemoryCostModel`
+    whose per-loop cache costs are added when ``include_memory`` is set
+    (Figure 7 excludes memory costs, so the default is off).
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        symtab: SymbolTable | None = None,
+        flags: BackendFlags = AGGRESSIVE_BACKEND,
+        focus_span: int = DEFAULT_FOCUS_SPAN,
+        library: LibraryCostTable | None = None,
+        memory_model=None,
+        include_memory: bool = False,
+    ):
+        self.machine = machine
+        self.symtab = symtab if symtab is not None else SymbolTable()
+        self.flags = flags
+        self.translator = Translator(machine, self.symtab, flags)
+        self.estimator = StraightLineEstimator(machine, focus_span)
+        self.library = library if library is not None else LibraryCostTable()
+        self.memory_model = memory_model
+        self.include_memory = include_memory
+        self._prob_counter = 0
+        self._overhead_cycles: int | None = None
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+    def cost_program(self, program: Program) -> PerfExpr:
+        """Cost of a whole program unit."""
+        return self.cost_stmts(program.body, ())
+
+    def cost_stmts(self, stmts: tuple[Stmt, ...], enclosing: tuple[str, ...] = ()) -> PerfExpr:
+        """Cost of a statement sequence: straight-line runs + compounds."""
+        total = PerfExpr.zero()
+        buffer: list[Stmt] = []
+        for stmt in stmts:
+            if isinstance(stmt, Assign):
+                buffer.append(stmt)
+                continue
+            if isinstance(stmt, CallStmt):
+                total = total + self._flush(buffer, enclosing)
+                total = total + self.cost_call(stmt, enclosing)
+                continue
+            total = total + self._flush(buffer, enclosing)
+            if isinstance(stmt, Do):
+                total = total + self.cost_loop(stmt, enclosing)
+            elif isinstance(stmt, If):
+                total = total + self.cost_if(stmt, enclosing)
+            else:
+                raise TypeError(f"cannot aggregate statement {stmt!r}")
+        total = total + self._flush(buffer, enclosing)
+        return total
+
+    def cost_loop(self, stmt: Do, enclosing: tuple[str, ...]) -> PerfExpr:
+        """Cost of one DO loop (separate method so that the incremental
+        predictor can memoize per-loop regions)."""
+        total = aggregate_loop(self, stmt, enclosing)
+        if self.include_memory and self.memory_model is not None:
+            total = total + self.memory_model.loop_cost(
+                stmt, self.symtab, enclosing
+            )
+        return total
+
+    # ------------------------------------------------------------------
+    # Straight-line runs
+    # ------------------------------------------------------------------
+    def _flush(self, buffer: list[Stmt], enclosing: tuple[str, ...]) -> PerfExpr:
+        if not buffer:
+            return PerfExpr.zero()
+        stmts = tuple(buffer)
+        buffer.clear()
+        return self.cost_block(stmts, enclosing)
+
+    def cost_block(
+        self, stmts: tuple[Stmt, ...], enclosing: tuple[str, ...]
+    ) -> PerfExpr:
+        """Cost of one straight-line block outside any loop context.
+
+        Inside loops, :func:`~repro.aggregate.loop_cost.aggregate_loop`
+        takes the steady-state path instead; here a block executes once,
+        so one-time and iterative parts are simply added.
+        """
+        info = self.translator.translate_block(stmts, enclosing)
+        cost = self.estimator.estimate(info.stream)
+        total = PerfExpr.const(cost.cycles + cost.one_time_cycles)
+        return total + self.library_cost_of(info.external_calls)
+
+    # ------------------------------------------------------------------
+    # Conditionals
+    # ------------------------------------------------------------------
+    def cost_if(self, stmt: If, enclosing: tuple[str, ...]) -> PerfExpr:
+        cond_cycles = self.condition_cycles(stmt.cond, enclosing)
+        cost_true = self.cost_stmts(stmt.then_body, enclosing)
+        cost_false = self.cost_stmts(stmt.else_body, enclosing)
+        base = PerfExpr.const(cond_cycles)
+        if nearly_equal(cost_true, cost_false):
+            # Section 3.3.2: close branches need no probability.
+            upper = max(cost_true.constant_value(), cost_false.constant_value())
+            return base + PerfExpr.const(upper)
+        self._prob_counter += 1
+        blend = probability_blend(
+            cost_true, cost_false, f"pt_{self._prob_counter}"
+        )
+        return base + blend
+
+    def condition_cycles(self, cond: Expr, enclosing: tuple[str, ...]) -> int:
+        """Cycles of evaluating a condition, compare and branch included.
+
+        The Tetris placement decides how much of the branch cost is
+        covered (the shape-matching branch optimization of section
+        2.2.2): a branch dropping into an empty Branch-unit bin adds
+        nothing to the makespan.
+        """
+        info = self.translator.translate_condition(cond, enclosing)
+        cost = self.estimator.estimate(info.stream)
+        cycles = cost.cycles + cost.one_time_cycles
+        if self.flags.branch_optimize and len(info.stream) > 0:
+            # The branch itself usually overlaps with surrounding work;
+            # charge only the work above the bare branch instruction.
+            bare = self.machine.atomic(
+                info.stream.instrs[-1].atomic
+            ).result_latency
+            cycles = max(cycles - bare, 0)
+        return cycles
+
+    # ------------------------------------------------------------------
+    # Calls and loop bookkeeping
+    # ------------------------------------------------------------------
+    def cost_call(self, stmt: CallStmt, enclosing: tuple[str, ...]) -> PerfExpr:
+        if stmt.name == "return":
+            return PerfExpr.zero()
+        info = self.translator.translate_block((stmt,), enclosing)
+        overhead = self.estimator.estimate(info.stream)
+        body = self.library.cost_of_call(stmt.name, stmt.args)
+        return PerfExpr.const(overhead.cycles + overhead.one_time_cycles) + body
+
+    def library_cost_of(self, names: list[str]) -> PerfExpr:
+        """Library body costs for external calls found inside expressions."""
+        total = PerfExpr.zero()
+        for name in names:
+            total = total + self.library.cost_of_call(name, ())
+        return total
+
+    def overhead_cycles(self) -> int:
+        """Standalone cost of the loop bookkeeping triple (cached)."""
+        if self._overhead_cycles is None:
+            info = self.translator.loop_overhead()
+            cost = self.estimator.estimate(info.stream)
+            self._overhead_cycles = cost.cycles
+        return self._overhead_cycles
+
+    def bounds_cost(self, loop: Do) -> PerfExpr:
+        """C(lb) + C(ub) + C(step): evaluating the bounds once."""
+        synthetic = tuple(
+            Assign(VarRef(f"__bound{i}"), expr)
+            for i, expr in enumerate((loop.lb, loop.ub, loop.step))
+        )
+        info = self.translator.translate_block(synthetic, ())
+        cost = self.estimator.estimate(info.stream)
+        return PerfExpr.const(cost.cycles + cost.one_time_cycles)
+
+
+def aggregate_program(
+    program: Program,
+    machine: Machine,
+    **kwargs,
+) -> PerfExpr:
+    """Convenience: build the aggregator from the program's own symbols."""
+    symtab = SymbolTable.from_program(program)
+    aggregator = CostAggregator(machine, symtab, **kwargs)
+    return aggregator.cost_program(program)

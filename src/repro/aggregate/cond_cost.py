@@ -1,0 +1,128 @@
+"""Conditional-statement aggregation (paper sections 2.4.1 and 3.3.2).
+
+``C(if (cond) Bt else Bf) = C(cond) + pt·C(Bt) + pf·C(Bf) + c_br``
+
+with these refinements from section 3.3.2:
+
+* if the two branch costs are very close, the reaching probability is
+  ignored and the conditional simplifies to ``C(cond) + max(Ct, Cf)``;
+* a conditional on the loop index with a recognizable shape
+  (``if (i .le. k)``) splits the iteration space *exactly*:
+  ``k`` iterations take the true branch and ``n - k`` the false one --
+  no probability unknown at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from ..analysis.loops import expression_poly
+from ..ir.nodes import BinOp, Do, Expr, VarRef
+from ..symbolic.expr import PerfExpr, Unknown, UnknownKind
+from ..symbolic.intervals import Interval
+from ..symbolic.poly import Poly
+
+__all__ = ["IndexSplit", "index_split", "probability_blend", "nearly_equal"]
+
+#: Branch costs within this relative distance are considered equal.
+_NEAR_EQUAL_REL = Fraction(1, 10)
+#: ... or within this absolute number of cycles.
+_NEAR_EQUAL_ABS = 2
+
+
+@dataclass(frozen=True)
+class IndexSplit:
+    """Exact iteration-space split of a loop-index conditional.
+
+    ``true_count`` is the symbolic number of iterations taking the true
+    branch; the false branch gets ``trips - true_count``.
+    """
+
+    true_count: Poly
+    unknowns: dict[str, Unknown]
+
+
+def index_split(cond: Expr, loop: Do) -> IndexSplit | None:
+    """Recognize ``index REL expr`` over a unit-step loop.
+
+    Returns the exact true-iteration count, e.g. for
+    ``do i = lb, ub; if (i .le. k)`` the count is ``k - lb + 1``.
+    The split expression is *unclamped* (valid when lb <= k <= ub, the
+    interesting regime); bounds on the unknowns keep sign reasoning
+    honest.  None if the condition does not match or the step is not 1.
+    """
+    from ..ir.nodes import IntConst
+
+    if loop.step != IntConst(1):
+        return None
+    if not isinstance(cond, BinOp):
+        return None
+    op, left, right = cond.op, cond.left, cond.right
+    if isinstance(right, VarRef) and right.name == loop.var:
+        # Mirror `k .ge. i` to `i .le. k` etc.
+        mirror = {".lt.": ".gt.", ".le.": ".ge.", ".gt.": ".lt.",
+                  ".ge.": ".le.", ".eq.": ".eq.", ".ne.": ".ne."}
+        op, left, right = mirror.get(op, op), right, left
+    if not (isinstance(left, VarRef) and left.name == loop.var):
+        return None
+    if any(
+        isinstance(node, VarRef) and node.name == loop.var
+        for node in _walk(right)
+    ):
+        return None
+    k_poly, k_unknowns = expression_poly(right)
+    lb_poly, lb_unknowns = expression_poly(loop.lb)
+    ub_poly, ub_unknowns = expression_poly(loop.ub)
+    unknowns = {**k_unknowns, **lb_unknowns, **ub_unknowns}
+    if op == ".le.":
+        count = k_poly - lb_poly + 1
+    elif op == ".lt.":
+        count = k_poly - lb_poly
+    elif op == ".ge.":
+        count = ub_poly - k_poly + 1
+    elif op == ".gt.":
+        count = ub_poly - k_poly
+    elif op == ".eq.":
+        count = Poly.one()
+    elif op == ".ne.":
+        count = ub_poly - lb_poly  # trips - 1
+    else:
+        return None
+    return IndexSplit(count, unknowns)
+
+
+def _walk(expr: Expr):
+    from ..ir.visitor import walk_exprs
+
+    return walk_exprs(expr)
+
+
+def nearly_equal(cost_true: PerfExpr, cost_false: PerfExpr) -> bool:
+    """Section 3.3.2: may the reaching probability be ignored?
+
+    True only for constant costs within the tolerance -- symbolic costs
+    are kept exact.
+    """
+    if not (cost_true.is_constant() and cost_false.is_constant()):
+        return False
+    a = cost_true.constant_value()
+    b = cost_false.constant_value()
+    diff = abs(a - b)
+    return diff <= _NEAR_EQUAL_ABS or diff <= _NEAR_EQUAL_REL * max(abs(a), abs(b))
+
+
+def probability_blend(
+    cost_true: PerfExpr,
+    cost_false: PerfExpr,
+    prob_name: str,
+) -> PerfExpr:
+    """``pt·Ct + (1 - pt)·Cf`` with ``pt`` a fresh [0,1] unknown."""
+    pt = PerfExpr.unknown(
+        prob_name,
+        UnknownKind.BRANCH_PROB,
+        Interval.probability(),
+        description="reaching probability of the true branch",
+    )
+    pf = PerfExpr.const(1) - pt  # carries pt's bounds along
+    return pt * cost_true + pf * cost_false

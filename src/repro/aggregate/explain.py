@@ -1,0 +1,133 @@
+"""Structured cost breakdowns: *why* a program costs what it costs.
+
+The aggregator returns a single performance expression; this module
+re-walks the program and reports the contribution of every region --
+per-loop steady-state cycles, one-time (hoisted) work, recurrence
+latencies, trip-count expressions -- as a tree that renders to text.
+Compiler writers debugging a prediction (and the examples in this
+repository) read this instead of re-deriving the algebra by hand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ir.nodes import Assign, CallStmt, Do, If, Program, Stmt
+from ..symbolic.expr import PerfExpr
+from .aggregator import CostAggregator
+
+__all__ = ["RegionReport", "explain_program", "render_report"]
+
+
+@dataclass
+class RegionReport:
+    """Cost summary of one program region."""
+
+    kind: str                 # "block" | "loop" | "if" | "call"
+    label: str
+    cost: PerfExpr
+    details: dict[str, object] = field(default_factory=dict)
+    children: list["RegionReport"] = field(default_factory=list)
+
+
+def explain_program(program: Program, aggregator: CostAggregator) -> RegionReport:
+    """Break the program's predicted cost down by region."""
+    root = RegionReport(
+        kind="program",
+        label=program.name,
+        cost=aggregator.cost_stmts(program.body, ()),
+    )
+    root.children = _explain_stmts(program.body, (), aggregator)
+    return root
+
+
+def _explain_stmts(
+    stmts: tuple[Stmt, ...],
+    enclosing: tuple[str, ...],
+    agg: CostAggregator,
+) -> list[RegionReport]:
+    out: list[RegionReport] = []
+    buffer: list[Stmt] = []
+
+    def flush():
+        if not buffer:
+            return
+        block = tuple(buffer)
+        buffer.clear()
+        cost = agg.cost_block(block, enclosing)
+        out.append(RegionReport(
+            kind="block",
+            label=f"{len(block)} straight-line stmt(s)",
+            cost=cost,
+            details={"statements": len(block)},
+        ))
+
+    for stmt in stmts:
+        if isinstance(stmt, Assign):
+            buffer.append(stmt)
+        elif isinstance(stmt, CallStmt):
+            flush()
+            out.append(RegionReport(
+                kind="call",
+                label=f"call {stmt.name}",
+                cost=agg.cost_call(stmt, enclosing),
+            ))
+        elif isinstance(stmt, Do):
+            flush()
+            out.append(_explain_loop(stmt, enclosing, agg))
+        elif isinstance(stmt, If):
+            flush()
+            report = RegionReport(
+                kind="if",
+                label=f"if ({stmt.cond})",
+                cost=agg.cost_if(stmt, enclosing),
+            )
+            report.children = _explain_stmts(stmt.then_body, enclosing, agg)
+            report.children += _explain_stmts(stmt.else_body, enclosing, agg)
+            out.append(report)
+    flush()
+    return out
+
+
+def _explain_loop(
+    loop: Do, enclosing: tuple[str, ...], agg: CostAggregator
+) -> RegionReport:
+    from ..analysis.loops import trip_count
+
+    inner = enclosing + (loop.var,)
+    cost = agg.cost_loop(loop, enclosing)
+    details: dict[str, object] = {"trip_count": str(trip_count(loop).poly)}
+    if all(isinstance(s, (Assign, CallStmt)) for s in loop.body):
+        info = agg.translator.translate_block(loop.body, inner)
+        block_cost = agg.estimator.estimate(info.stream)
+        details.update({
+            "atomic_ops": len(info.stream),
+            "one_time_cycles": block_cost.one_time_cycles,
+            "first_iteration_cycles": block_cost.cycles,
+            "carried_latency": info.carried_latency,
+            "reductions": [r.target for r in info.reductions],
+            "spills": info.spills,
+        })
+    report = RegionReport(
+        kind="loop",
+        label=f"do {loop.var} = {loop.lb}, {loop.ub}"
+        + (f", {loop.step}" if str(loop.step) != "1" else ""),
+        cost=cost,
+        details=details,
+    )
+    if not all(isinstance(s, (Assign, CallStmt)) for s in loop.body):
+        report.children = _explain_stmts(loop.body, inner, agg)
+    return report
+
+
+def render_report(report: RegionReport, indent: int = 0) -> str:
+    """Render the region tree as readable text."""
+    pad = "  " * indent
+    lines = [f"{pad}[{report.kind}] {report.label}: {report.cost} cycles"]
+    for key, value in sorted(report.details.items()):
+        if value in ([], 0, "0"):
+            continue
+        lines.append(f"{pad}    {key} = {value}")
+    for child in report.children:
+        lines.append(render_report(child, indent + 1))
+    return "\n".join(lines)

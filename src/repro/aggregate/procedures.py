@@ -1,0 +1,140 @@
+"""Procedure and library routine cost interface (paper section 3.5).
+
+"Table look-up of the performance expression can be used to find the
+cost of external function calls or library routines. ...  The
+performance expressions are parameterized with the formal parameters.
+Actual parameters are substituted at the call site to get more specific
+performance expressions."
+
+A routine missing from the table costs a fresh symbolic unknown
+``cost_<name>`` (plus the call overhead the translator already
+charged), preserving the framework's never-guess discipline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis.loops import expression_poly
+from ..ir.nodes import Expr
+from ..symbolic.expr import PerfExpr, Unknown, UnknownKind
+from ..symbolic.intervals import Interval
+from ..symbolic.poly import Poly
+
+__all__ = ["LibraryEntry", "LibraryCostTable"]
+
+
+@dataclass(frozen=True)
+class LibraryEntry:
+    """A routine's cost, parameterized by its formal parameters."""
+
+    name: str
+    formals: tuple[str, ...]
+    cost: PerfExpr
+    source: str = "table"  # "table", "training-set", "analyzed"
+
+
+@dataclass
+class LibraryCostTable:
+    """External-library cost expressions, keyed by routine name.
+
+    Entries come from three sources the paper names (section 3.5):
+    hand-written tables, training-set measurements, and -- when source
+    is available -- direct analysis via :meth:`define_from_source`.
+    """
+
+    entries: dict[str, LibraryEntry] = field(default_factory=dict)
+
+    def define(
+        self,
+        name: str,
+        formals: tuple[str, ...],
+        cost: PerfExpr,
+        source: str = "table",
+    ) -> None:
+        extra = cost.variables() - set(formals)
+        machine_vars = {
+            v for v in extra
+            if cost.unknowns.get(v, None) is not None
+            and cost.unknowns[v].kind is UnknownKind.MACHINE
+        }
+        if extra - machine_vars:
+            raise ValueError(
+                f"cost of {name} uses variables {sorted(extra - machine_vars)} "
+                f"that are not formals"
+            )
+        self.entries[name] = LibraryEntry(name, formals, cost, source)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.entries
+
+    def define_from_source(self, routine, machine, **aggregator_kwargs) -> LibraryEntry:
+        """Analyze a ``subroutine`` unit and store its cost expression.
+
+        "If source code is available, the performance expressions of
+        the external library routines can be computed and stored in an
+        external library cost table.  The performance expressions are
+        parameterized with the formal parameters." (section 3.5)
+        """
+        from ..ir.nodes import Program
+        from ..ir.symtab import SymbolTable
+
+        if not isinstance(routine, Program):
+            raise TypeError("define_from_source expects a parsed routine")
+        if not routine.params:
+            raise ValueError(
+                f"{routine.name} has no formal parameters; parse it as a "
+                f"subroutine (e.g. `subroutine {routine.name}(n)`)"
+            )
+        from .aggregator import CostAggregator
+
+        aggregator = CostAggregator(
+            machine, SymbolTable.from_program(routine), **aggregator_kwargs
+        )
+        cost = aggregator.cost_program(routine)
+        stray = cost.variables() - set(routine.params)
+        if stray:
+            # Non-formal unknowns (e.g. inner conditionals) stay in the
+            # expression; they are legitimate machine/probability
+            # parameters of the routine's cost.
+            pass
+        entry = LibraryEntry(
+            routine.name, routine.params, cost, source="analyzed"
+        )
+        self.entries[routine.name] = entry
+        return entry
+
+    def cost_of_call(self, name: str, args: tuple[Expr, ...]) -> PerfExpr:
+        """Cost of one call with actual arguments substituted.
+
+        Unknown routines return the symbolic unknown ``cost_<name>``
+        with a non-negative bound -- delayed, not guessed.
+        """
+        entry = self.entries.get(name)
+        if entry is None:
+            return PerfExpr.unknown(
+                f"cost_{name}",
+                UnknownKind.PARAMETER,
+                Interval.nonnegative(),
+                description=f"unmodeled external routine {name}",
+            )
+        bindings: dict[str, Poly] = {}
+        unknowns: dict[str, Unknown] = dict(entry.cost.unknowns)
+        bounds = dict(entry.cost.bounds)
+        for formal, actual in zip(entry.formals, args):
+            poly, new_unknowns = expression_poly(actual)
+            bindings[formal] = poly
+            unknowns.update(new_unknowns)
+        substituted = entry.cost.substitute(bindings)
+        merged_bounds = {**{
+            name: u.default_interval() for name, u in unknowns.items()
+        }, **bounds, **substituted.bounds}
+        merged_bounds = {
+            k: v for k, v in merged_bounds.items()
+            if k in substituted.poly.variables()
+        }
+        merged_unknowns = {
+            k: v for k, v in unknowns.items()
+            if k in substituted.poly.variables()
+        }
+        return PerfExpr(substituted.poly, merged_bounds, merged_unknowns)

@@ -1,0 +1,23 @@
+"""Program analysis substrate: loops, dependences, use/def, invariants."""
+
+from .dependence import (
+    AffineSubscript,
+    DepKind,
+    Dependence,
+    affine_subscript,
+    fusion_legal,
+    interchange_legal,
+    is_parallel_loop,
+    loop_carried_dependences,
+)
+from .invariants import assigned_names, is_invariant, stored_arrays
+from .loops import LoopInfo, expression_poly, perfect_nest, trip_count
+from .usedef import StmtAccess, accesses, statements_commute
+
+__all__ = [
+    "AffineSubscript", "DepKind", "Dependence", "LoopInfo", "StmtAccess",
+    "accesses", "affine_subscript", "assigned_names", "expression_poly",
+    "fusion_legal", "interchange_legal", "is_invariant", "is_parallel_loop",
+    "loop_carried_dependences", "perfect_nest", "statements_commute",
+    "stored_arrays", "trip_count",
+]

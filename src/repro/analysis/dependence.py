@@ -1,0 +1,354 @@
+"""Data-dependence analysis for transformation legality.
+
+Classic ZIV/strong-SIV subscript tests over affine subscripts
+``a*i + b``: enough to certify the legality of the interchange, fusion,
+distribution, and unrolling decisions the performance-guided
+restructurer (paper section 3.2) chooses among.  Anything the tests
+cannot prove independent is reported as a (conservative) dependence.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from fractions import Fraction
+
+from ..ir.nodes import ArrayRef, Assign, BinOp, Do, Expr, IntConst, Stmt, UnOp, VarRef
+from ..ir.visitor import walk_exprs, walk_stmts
+
+__all__ = [
+    "DepKind",
+    "Dependence",
+    "AffineSubscript",
+    "affine_subscript",
+    "loop_carried_dependences",
+    "is_parallel_loop",
+    "interchange_legal",
+    "fusion_legal",
+]
+
+
+class DepKind(enum.Enum):
+    FLOW = "flow"       # write then read
+    ANTI = "anti"       # read then write
+    OUTPUT = "output"   # write then write
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Dependence:
+    """A (possibly conservative) loop-carried dependence."""
+
+    kind: DepKind
+    array: str
+    distance: int | None  # None = unknown distance (conservative)
+
+    def __str__(self) -> str:
+        d = "?" if self.distance is None else str(self.distance)
+        return f"{self.kind} dep on {self.array}, distance {d}"
+
+
+@dataclass(frozen=True)
+class AffineSubscript:
+    """A subscript of the form coeff * index + offset."""
+
+    coeff: Fraction
+    offset: Fraction
+
+    @property
+    def is_constant(self) -> bool:
+        return self.coeff == 0
+
+
+def affine_subscript(expr: Expr, index: str) -> AffineSubscript | None:
+    """Decompose a subscript as ``a*index + b``; None if not affine.
+
+    Other variables are allowed only additively (they shift the offset
+    symbolically); for the distance tests a symbolic additive term is
+    treated as part of the offset and cancels between identically-
+    shaped references, so we track it textually.
+    """
+    try:
+        coeff, offset, symbolic = _affine_parts(expr, index)
+    except _NotAffine:
+        return None
+    if symbolic:
+        # Symbolic additive parts are fine only if they cancel in the
+        # *difference* of two subscripts; callers compare `symbolic`
+        # parts via _affine_parts directly, so reject here.
+        return None
+    return AffineSubscript(coeff, offset)
+
+
+class _NotAffine(Exception):
+    pass
+
+
+def _affine_parts(expr: Expr, index: str) -> tuple[Fraction, Fraction, tuple]:
+    """(coeff of index, constant offset, sorted symbolic additive terms)."""
+    if isinstance(expr, IntConst):
+        return Fraction(0), Fraction(expr.value), ()
+    if isinstance(expr, VarRef):
+        if expr.name == index:
+            return Fraction(1), Fraction(0), ()
+        return Fraction(0), Fraction(0), ((expr.name, Fraction(1)),)
+    if isinstance(expr, UnOp) and expr.op == "-":
+        c, o, s = _affine_parts(expr.operand, index)
+        return -c, -o, tuple((n, -k) for n, k in s)
+    if isinstance(expr, BinOp):
+        if expr.op in ("+", "-"):
+            lc, lo, ls = _affine_parts(expr.left, index)
+            rc, ro, rs = _affine_parts(expr.right, index)
+            if expr.op == "-":
+                rc, ro = -rc, -ro
+                rs = tuple((n, -k) for n, k in rs)
+            merged: dict[str, Fraction] = {}
+            for name, k in ls + rs:
+                merged[name] = merged.get(name, Fraction(0)) + k
+            sym = tuple(sorted((n, k) for n, k in merged.items() if k))
+            return lc + rc, lo + ro, sym
+        if expr.op == "*":
+            if isinstance(expr.left, IntConst):
+                c, o, s = _affine_parts(expr.right, index)
+                k = Fraction(expr.left.value)
+                return c * k, o * k, tuple((n, v * k) for n, v in s)
+            if isinstance(expr.right, IntConst):
+                c, o, s = _affine_parts(expr.left, index)
+                k = Fraction(expr.right.value)
+                return c * k, o * k, tuple((n, v * k) for n, v in s)
+    raise _NotAffine
+
+
+def _subscript_distance(
+    write: Expr, read: Expr, index: str, inner_indices: frozenset[str] = frozenset()
+) -> int | None | str:
+    """Dependence distance between two subscripts along ``index``.
+
+    Returns an int distance, ``"independent"``, or None (unknown).
+    ``inner_indices`` are loop variables *nested inside* the analyzed
+    loop: a symbolic term mentioning one of them takes many values per
+    iteration of the analyzed loop, so nothing can be concluded from it
+    (enclosing-loop indices, by contrast, are fixed and cancel).
+    """
+    try:
+        wc, wo, ws = _affine_parts(write, index)
+        rc, ro, rs = _affine_parts(read, index)
+    except _NotAffine:
+        return None
+    if any(name in inner_indices for name, _ in ws + rs):
+        return None  # inner index varies within one iteration: unknown
+    if ws != rs:
+        return None  # different symbolic shifts: unknown
+    if wc == rc:
+        if wc == 0:
+            # ZIV: both constant in this index.
+            return "independent" if wo != ro else 0
+        # Strong SIV: distance = (wo - ro) / coeff, must be integral.
+        diff = (wo - ro) / wc
+        if diff.denominator != 1:
+            return "independent"
+        return int(diff)
+    return None  # weak SIV and beyond: conservative
+
+
+def _collect_refs(body: tuple[Stmt, ...]):
+    """(array name, subscripts, is_write) for every array reference."""
+    refs: list[tuple[str, tuple[Expr, ...], bool]] = []
+    for stmt in walk_stmts(body):
+        if isinstance(stmt, Assign):
+            if isinstance(stmt.target, ArrayRef):
+                refs.append((stmt.target.name, stmt.target.subscripts, True))
+                for sub in stmt.target.subscripts:
+                    refs.extend(_reads_in(sub))
+            refs.extend(_reads_in(stmt.value))
+        elif isinstance(stmt, Do):
+            refs.extend(_reads_in(stmt.lb))
+            refs.extend(_reads_in(stmt.ub))
+            refs.extend(_reads_in(stmt.step))
+        elif hasattr(stmt, "cond"):
+            refs.extend(_reads_in(stmt.cond))
+    return refs
+
+
+def _reads_in(expr: Expr):
+    out = []
+    for node in walk_exprs(expr):
+        if isinstance(node, ArrayRef):
+            out.append((node.name, node.subscripts, False))
+    return out
+
+
+def loop_carried_dependences(loop: Do) -> list[Dependence]:
+    """Loop-carried dependences of one loop (on its own index).
+
+    Pairs every write with every read/write of the same array and runs
+    the subscript tests dimension by dimension: if *any* dimension
+    proves independence the pair is independent; if all dimensions have
+    distance 0 the dependence is loop-independent (not carried); a
+    non-zero or unknown distance is carried.
+    """
+    refs = _collect_refs(loop.body)
+    inner = frozenset(
+        stmt.var for stmt in walk_stmts(loop.body) if isinstance(stmt, Do)
+    )
+    writes = [r for r in refs if r[2]]
+    out: list[Dependence] = []
+    seen: set[tuple] = set()
+    for w_name, w_subs, _ in writes:
+        for name, subs, is_write in refs:
+            if name != w_name:
+                continue
+            distance = _pair_distance(w_subs, subs, loop.var, inner)
+            if distance == "independent" or distance == 0:
+                continue
+            kind = DepKind.OUTPUT if is_write else DepKind.FLOW
+            key = (kind, name, distance)
+            if key in seen:
+                continue
+            seen.add(key)
+            out.append(Dependence(kind, name, distance))
+    return out
+
+
+def _pair_distance(w_subs, r_subs, index: str, inner: frozenset[str] = frozenset()):
+    if len(w_subs) != len(r_subs):
+        return None
+    distances = []
+    for w, r in zip(w_subs, r_subs):
+        d = _subscript_distance(w, r, index, inner)
+        if d == "independent":
+            return "independent"
+        distances.append(d)
+    known = [d for d in distances if d is not None]
+    if len(known) != len(distances):
+        return None
+    nonzero = [d for d in known if d != 0]
+    if not nonzero:
+        return 0
+    if len(set(nonzero)) == 1:
+        return nonzero[0]
+    # Dimensions demand inconsistent distances along this index: no
+    # single iteration pair satisfies all of them.
+    return "independent"
+
+
+def _scalar_carried(loop: Do) -> bool:
+    """Scalars written and read in the body carry dependences."""
+    assigned: set[str] = set()
+    read: set[str] = set()
+    for stmt in walk_stmts(loop.body):
+        if isinstance(stmt, Assign):
+            if isinstance(stmt.target, VarRef):
+                assigned.add(stmt.target.name)
+            for node in walk_exprs(stmt.value):
+                if isinstance(node, VarRef):
+                    read.add(node.name)
+    assigned.discard(loop.var)
+    return bool(assigned & read)
+
+
+def is_parallel_loop(loop: Do) -> bool:
+    """No loop-carried dependences at all (DOALL)."""
+    if _scalar_carried(loop):
+        return False
+    return not loop_carried_dependences(loop)
+
+
+def _distance_vector(w_subs, r_subs, outer_var: str, inner_var: str):
+    """Dependence distance vector (d_outer, d_inner) for one ref pair.
+
+    Returns a tuple, ``"independent"``, or None (unknown).  Each
+    subscript dimension must be affine and *separable* (involve at most
+    one of the two indices); a dimension coupling both indices is
+    unknown.
+    """
+    if len(w_subs) != len(r_subs):
+        return None
+    required: dict[str, int] = {}
+    for w, r in zip(w_subs, r_subs):
+        try:
+            wc_o, _, _ = _affine_parts(w, outer_var)
+            wc_i, _, _ = _affine_parts(w, inner_var)
+        except _NotAffine:
+            return None
+        if wc_o != 0 and wc_i != 0:
+            return None  # coupled subscript, e.g. a(i+j)
+        var = outer_var if wc_o != 0 else inner_var
+        d = _subscript_distance(w, r, var)
+        if d == "independent":
+            return "independent"
+        if d is None:
+            return None
+        if d == 0 and wc_o == 0 and wc_i == 0:
+            continue  # constant dimension matches: no constraint
+        if var in required and required[var] != d:
+            return "independent"
+        required[var] = d
+    return (required.get(outer_var, 0), required.get(inner_var, 0))
+
+
+def interchange_legal(outer: Do, inner: Do) -> bool:
+    """Is interchanging a perfectly-nested pair legal?
+
+    Illegal when some dependence has a (+, -) distance vector -- after
+    the swap it would become (-, +), i.e. flow backwards.  Unknown
+    vectors are conservatively illegal.
+    """
+    refs = _collect_refs(inner.body)
+    writes = [r for r in refs if r[2]]
+    for w_name, w_subs, _ in writes:
+        for name, subs, _ in refs:
+            if name != w_name:
+                continue
+            vector = _distance_vector(w_subs, subs, outer.var, inner.var)
+            if vector == "independent":
+                continue
+            if vector is None:
+                return False
+            d_outer, d_inner = vector
+            # Normalize: the real dependence direction is the
+            # lexicographically positive orientation of the pair.
+            if d_outer < 0 or (d_outer == 0 and d_inner < 0):
+                d_outer, d_inner = -d_outer, -d_inner
+            if d_outer > 0 and d_inner < 0:
+                return False
+    return True
+
+
+def fusion_legal(first: Do, second: Do) -> bool:
+    """May two adjacent conformable loops be fused?
+
+    Requires identical bounds (textually) and no fusion-preventing
+    dependence: a value written by the first loop in iteration ``i``
+    must not be read by the second loop in an iteration earlier than
+    ``i`` (negative distance after fusion).
+    """
+    if (first.lb, first.ub, first.step) != (second.lb, second.ub, second.step):
+        return False
+    first_writes = [r for r in _collect_refs(first.body) if r[2]]
+    second_refs = _collect_refs(second.body)
+    inner = frozenset(
+        stmt.var
+        for body in (first.body, second.body)
+        for stmt in walk_stmts(body)
+        if isinstance(stmt, Do)
+    )
+    for w_name, w_subs, _ in first_writes:
+        for name, subs, _ in second_refs:
+            if name != w_name:
+                continue
+            # Distance measured in the (shared) index of the two loops:
+            # rename second's index to first's for the comparison.
+            from ..ir.visitor import substitute_var
+
+            renamed = tuple(
+                substitute_var(s, second.var, VarRef(first.var)) for s in subs
+            )
+            d = _pair_distance(w_subs, renamed, first.var, inner)
+            if d == "independent":
+                continue
+            if d is None or d < 0:
+                return False
+    return True

@@ -1,0 +1,47 @@
+"""Loop-invariant expression detection (used by LICM imitation).
+
+An expression is invariant in a loop when it references neither the
+loop index nor anything assigned inside the loop body.  The translator
+has an inlined copy of this logic specialized to basic blocks; this
+standalone version works on whole loop bodies (including nested control
+flow) and is what the transformation engine consults.
+"""
+
+from __future__ import annotations
+
+from ..ir.nodes import ArrayRef, Assign, Do, Expr, Stmt, VarRef
+from ..ir.visitor import walk_exprs, walk_stmts
+
+__all__ = ["assigned_names", "stored_arrays", "is_invariant"]
+
+
+def assigned_names(body: tuple[Stmt, ...]) -> set[str]:
+    """Scalars assigned anywhere in a statement tree (incl. loop indices)."""
+    names: set[str] = set()
+    for stmt in walk_stmts(body):
+        if isinstance(stmt, Assign) and isinstance(stmt.target, VarRef):
+            names.add(stmt.target.name)
+        elif isinstance(stmt, Do):
+            names.add(stmt.var)
+    return names
+
+
+def stored_arrays(body: tuple[Stmt, ...]) -> set[str]:
+    """Arrays stored to anywhere in a statement tree."""
+    names: set[str] = set()
+    for stmt in walk_stmts(body):
+        if isinstance(stmt, Assign) and isinstance(stmt.target, ArrayRef):
+            names.add(stmt.target.name)
+    return names
+
+
+def is_invariant(expr: Expr, loop: Do) -> bool:
+    """Is the expression invariant across iterations of ``loop``?"""
+    assigned = assigned_names(loop.body) | {loop.var}
+    stored = stored_arrays(loop.body)
+    for node in walk_exprs(expr):
+        if isinstance(node, VarRef) and node.name in assigned:
+            return False
+        if isinstance(node, ArrayRef) and node.name in stored:
+            return False
+    return True

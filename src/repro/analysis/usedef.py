@@ -1,0 +1,92 @@
+"""Scalar use/def chains within straight-line blocks.
+
+The translator does its own on-the-fly tracking; this standalone
+version serves the transformation engine (statement reordering needs
+to know which statements may exchange) and the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ir.nodes import ArrayRef, Assign, CallStmt, Expr, Stmt, VarRef
+from ..ir.visitor import walk_exprs
+
+__all__ = ["StmtAccess", "accesses", "statements_commute"]
+
+
+@dataclass(frozen=True)
+class StmtAccess:
+    """Reads and writes of one statement (scalars and array names)."""
+
+    reads_scalars: frozenset[str]
+    writes_scalars: frozenset[str]
+    reads_arrays: frozenset[str]
+    writes_arrays: frozenset[str]
+
+    @property
+    def has_call(self) -> bool:
+        return "__call__" in self.writes_arrays
+
+
+def _expr_reads(expr: Expr) -> tuple[set[str], set[str]]:
+    scalars: set[str] = set()
+    arrays: set[str] = set()
+    for node in walk_exprs(expr):
+        if isinstance(node, VarRef):
+            scalars.add(node.name)
+        elif isinstance(node, ArrayRef):
+            arrays.add(node.name)
+    return scalars, arrays
+
+
+def accesses(stmt: Stmt) -> StmtAccess:
+    """Conservative access summary of one straight-line statement."""
+    if isinstance(stmt, Assign):
+        read_s, read_a = _expr_reads(stmt.value)
+        writes_s: set[str] = set()
+        writes_a: set[str] = set()
+        if isinstance(stmt.target, VarRef):
+            writes_s.add(stmt.target.name)
+        else:
+            writes_a.add(stmt.target.name)
+            for sub in stmt.target.subscripts:
+                s, a = _expr_reads(sub)
+                read_s |= s
+                read_a |= a
+        return StmtAccess(
+            frozenset(read_s), frozenset(writes_s),
+            frozenset(read_a), frozenset(writes_a),
+        )
+    if isinstance(stmt, CallStmt):
+        read_s: set[str] = set()
+        read_a: set[str] = set()
+        for arg in stmt.args:
+            s, a = _expr_reads(arg)
+            read_s |= s
+            read_a |= a
+        # A call may write anything it can reach: poison marker.
+        return StmtAccess(
+            frozenset(read_s), frozenset(),
+            frozenset(read_a), frozenset(read_a | {"__call__"}),
+        )
+    raise TypeError(f"accesses() handles straight-line statements, got {stmt}")
+
+
+def statements_commute(a: Stmt, b: Stmt) -> bool:
+    """May two adjacent straight-line statements be exchanged?
+
+    True when neither writes anything the other reads or writes
+    (array granularity is whole-array: conservative).
+    """
+    aa, bb = accesses(a), accesses(b)
+    if aa.has_call or bb.has_call:
+        return False
+
+    def conflict(x: StmtAccess, y: StmtAccess) -> bool:
+        return bool(
+            x.writes_scalars & (y.reads_scalars | y.writes_scalars)
+            or x.writes_arrays & (y.reads_arrays | y.writes_arrays)
+        )
+
+    return not conflict(aa, bb) and not conflict(bb, aa)

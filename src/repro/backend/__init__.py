@@ -1,0 +1,10 @@
+"""Reference back-end: the ground-truth substitute for IBM xlf listings."""
+
+from .regalloc import SpillResult, insert_spills
+from .scheduler import Schedule, list_schedule
+from .simulator import SimResult, simulate, simulate_loop
+
+__all__ = [
+    "Schedule", "SimResult", "SpillResult", "insert_spills",
+    "list_schedule", "simulate", "simulate_loop",
+]

@@ -1,0 +1,10 @@
+"""Baseline models the paper argues against: operation counting and
+premature guessing."""
+
+from .guessing import GuessPolicy, guess_all, guess_value, guessed_comparison
+from .opcount import OpCountEstimator, opcount_cycles
+
+__all__ = [
+    "GuessPolicy", "OpCountEstimator", "guess_all", "guess_value",
+    "guessed_comparison", "opcount_cycles",
+]

@@ -1,0 +1,76 @@
+"""The premature-guessing baseline (contrast for paper section 3).
+
+"In traditional compilers, when there are unknowns in the control
+structures, the compilers guess the values of the unknowns (or the
+reaching probabilities).  Although this makes the performance
+comparison simple (comparing two numbers), the results are highly
+unreliable."
+
+This module is that traditional compiler: it collapses every unknown in
+a performance expression to a fixed guess the moment it is asked to
+compare anything.  Bench ``E-SYM`` quantifies how often the guesses
+pick the wrong transformation where the symbolic comparison does not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from ..symbolic.expr import PerfExpr, UnknownKind
+
+__all__ = ["GuessPolicy", "guess_value", "guess_all", "guessed_comparison"]
+
+
+@dataclass(frozen=True)
+class GuessPolicy:
+    """Default guesses, by unknown kind (classic compiler folklore)."""
+
+    trip_count: Fraction = Fraction(100)     # "loops run 100 times"
+    loop_bound: Fraction = Fraction(100)
+    branch_probability: Fraction = Fraction(1, 2)
+    split_point: Fraction = Fraction(50)
+    parameter: Fraction = Fraction(100)
+    machine: Fraction = Fraction(1)
+
+
+def guess_value(kind: UnknownKind, policy: GuessPolicy) -> Fraction:
+    return {
+        UnknownKind.TRIP_COUNT: policy.trip_count,
+        UnknownKind.LOOP_BOUND: policy.loop_bound,
+        UnknownKind.BRANCH_PROB: policy.branch_probability,
+        UnknownKind.SPLIT_POINT: policy.split_point,
+        UnknownKind.PARAMETER: policy.parameter,
+        UnknownKind.MACHINE: policy.machine,
+    }[kind]
+
+
+def guess_all(expr: PerfExpr, policy: GuessPolicy | None = None) -> Fraction:
+    """Collapse every unknown to its guess; returns a plain number."""
+    policy = policy if policy is not None else GuessPolicy()
+    bindings = {}
+    for name in expr.poly.variables():
+        unknown = expr.unknowns.get(name)
+        kind = unknown.kind if unknown is not None else UnknownKind.PARAMETER
+        bindings[name] = guess_value(kind, policy)
+    return expr.poly.evaluate(bindings)
+
+
+def guessed_comparison(
+    first: PerfExpr,
+    second: PerfExpr,
+    policy: GuessPolicy | None = None,
+) -> int:
+    """-1 if first is guessed cheaper, +1 if second, 0 on a tie.
+
+    This is the "comparing two numbers" decision procedure the paper
+    criticizes; it answers instantly and is wrong whenever the real
+    regime differs from the guesses.
+    """
+    a = guess_all(first, policy)
+    b = guess_all(second, policy)
+    if a < b:
+        return -1
+    if a > b:
+        return 1
+    return 0

@@ -1,0 +1,16 @@
+"""Benchmark kernels (Figure 7 suite) and synthetic workload generators."""
+
+from .kernels import (
+    KERNELS,
+    Kernel,
+    innermost_block,
+    kernel,
+    kernel_names,
+    kernel_stream,
+)
+from .workloads import random_block_program, random_stream
+
+__all__ = [
+    "KERNELS", "Kernel", "innermost_block", "kernel", "kernel_names",
+    "kernel_stream", "random_block_program", "random_stream",
+]

@@ -1,0 +1,70 @@
+"""Synthetic workload generators for stress and efficiency benches.
+
+``random_block`` builds deterministic pseudo-random straight-line
+blocks (seeded) with a controllable operation mix; ``random_stream``
+skips the front-end and emits atomic instruction DAGs directly.  Both
+are used by E-EFF (estimations/second, linearity in block size) and the
+property-test style stress benches.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..ir import builder as b
+from ..ir.nodes import Program, Stmt
+from ..machine.machine import Machine
+from ..translate.stream import InstrStream
+
+__all__ = ["random_block_program", "random_stream"]
+
+_ARRAYS = ["aa", "bb", "cc", "dd"]
+_SCALARS = ["s1", "s2", "s3"]
+
+
+def random_block_program(size: int, seed: int = 0) -> Program:
+    """A program whose single loop body has ``size`` random statements.
+
+    Statements mix array loads/stores, scalar temporaries, multiplies
+    and adds -- roughly the texture of unrolled scientific inner loops.
+    """
+    rng = random.Random(seed)
+    stmts: list[Stmt] = []
+    for k in range(size):
+        target_array = rng.choice(_ARRAYS)
+        lhs = b.aref(target_array, b.add(b.var("i"), b.lit(k % 7)))
+        terms = []
+        for _ in range(rng.randint(1, 3)):
+            source = rng.choice(_ARRAYS)
+            offset = rng.randint(0, 4)
+            ref = b.aref(source, b.add(b.var("i"), b.lit(offset)))
+            if rng.random() < 0.5:
+                terms.append(b.mul(b.var(rng.choice(_SCALARS)), ref))
+            else:
+                terms.append(ref)
+        expr = terms[0]
+        for term in terms[1:]:
+            expr = b.add(expr, term) if rng.random() < 0.8 else b.sub(expr, term)
+        stmts.append(b.assign(lhs, expr))
+    decls = [b.array_decl(name, "n+8") for name in _ARRAYS]
+    decls += [b.decl(name) for name in _SCALARS]
+    decls += [b.decl("n", scalar=b.ScalarType.INTEGER),
+              b.decl("i", scalar=b.ScalarType.INTEGER)]
+    loop = b.do_("i", 1, b.var("n"), stmts)
+    return b.program(f"rand{size}_{seed}", decls, [loop])
+
+
+def random_stream(
+    machine: Machine, size: int, seed: int = 0, dep_prob: float = 0.4
+) -> InstrStream:
+    """A random atomic-op DAG straight on one machine's vocabulary."""
+    rng = random.Random(seed)
+    names = [n for n in machine.table.names() if "call" not in n]
+    stream = InstrStream(machine_name=machine.name, label=f"rand{size}")
+    for i in range(size):
+        deps: tuple[int, ...] = ()
+        if i and rng.random() < dep_prob:
+            count = rng.randint(1, min(2, i))
+            deps = tuple(sorted(rng.sample(range(i), count)))
+        stream.append(rng.choice(names), deps)
+    return stream

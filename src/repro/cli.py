@@ -1,0 +1,217 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+``predict FILE``      symbolic cost of a mini-Fortran program
+``compare A B``       symbolic comparison of two programs
+``restructure FILE``  performance-guided A* restructuring
+``kernels``           the Figure 7 table (predicted vs reference)
+``machines``          registered machine descriptions
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from fractions import Fraction
+
+from . import (
+    AGGRESSIVE_BACKEND,
+    NAIVE_BACKEND,
+    compare,
+    get_machine,
+    machine_names,
+    parse_program,
+    predict,
+    print_program,
+    region_report,
+)
+from .symbolic import Interval
+
+__all__ = ["main"]
+
+
+def _parse_bindings(text: str | None) -> dict[str, Fraction]:
+    """``n=100,m=50`` -> {"n": 100, "m": 50}."""
+    if not text:
+        return {}
+    out: dict[str, Fraction] = {}
+    for item in text.split(","):
+        name, _, value = item.partition("=")
+        if not value:
+            raise SystemExit(f"bad binding {item!r}; expected name=value")
+        out[name.strip()] = Fraction(value.strip())
+    return out
+
+
+def _parse_domain(text: str | None) -> dict[str, Interval]:
+    """``n=1:1000,m=0:50`` -> interval bounds per variable."""
+    if not text:
+        return {}
+    out: dict[str, Interval] = {}
+    for item in text.split(","):
+        name, _, span = item.partition("=")
+        lo, _, hi = span.partition(":")
+        if not hi:
+            raise SystemExit(f"bad domain {item!r}; expected name=lo:hi")
+        out[name.strip()] = Interval(Fraction(lo), Fraction(hi))
+    return out
+
+
+def _load(path: str):
+    try:
+        with open(path) as handle:
+            return parse_program(handle.read())
+    except OSError as error:
+        raise SystemExit(f"cannot read {path}: {error}")
+
+
+def _flags(name: str):
+    if name == "aggressive":
+        return AGGRESSIVE_BACKEND
+    if name == "naive":
+        return NAIVE_BACKEND
+    raise SystemExit(f"unknown backend flags {name!r}")
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    program = _load(args.file)
+    cost = predict(
+        program,
+        machine=args.machine,
+        flags=_flags(args.backend),
+        include_memory=args.memory,
+    )
+    print(f"cost[{args.machine}] = {cost}")
+    bindings = _parse_bindings(args.at)
+    if bindings:
+        value = cost.evaluate(bindings)
+        point = ", ".join(f"{k}={v}" for k, v in bindings.items())
+        print(f"  at {point}: {value} cycles")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    cost_a = predict(_load(args.first), machine=args.machine)
+    cost_b = predict(_load(args.second), machine=args.machine)
+    print(f"A = {cost_a}")
+    print(f"B = {cost_b}")
+    result = compare(cost_a, cost_b, domain=_parse_domain(args.domain) or None)
+    print(region_report(result))
+    return 0
+
+
+def _cmd_restructure(args: argparse.Namespace) -> int:
+    from .aggregate import CostAggregator
+    from .ir import SymbolTable
+    from .transform import (
+        Distribute,
+        Fuse,
+        IncrementalPredictor,
+        Interchange,
+        ReorderStatements,
+        StripMine,
+        Unroll,
+        UnrollAndJam,
+        astar_search,
+    )
+
+    program = _load(args.file)
+    machine = get_machine(args.machine)
+    predictor = IncrementalPredictor(
+        CostAggregator(machine, SymbolTable.from_program(program))
+    )
+    workload = {
+        k: int(v) for k, v in _parse_bindings(args.workload).items()
+    } or None
+    result = astar_search(
+        program,
+        [Unroll(factors=(2, 4)), UnrollAndJam(factors=(2, 4)),
+         Interchange(), StripMine(tiles=(16,)),
+         Fuse(), Distribute(), ReorderStatements()],
+        predictor,
+        workload=workload,
+        max_depth=args.depth,
+        max_nodes=args.max_nodes,
+        domain=_parse_domain(args.domain) or None,
+    )
+    print(f"sequence: {result.sequence}")
+    print(f"cost: {result.cost}")
+    print(print_program(result.program))
+    return 0
+
+
+def _cmd_kernels(args: argparse.Namespace) -> int:
+    from .backend import simulate
+    from .bench import kernel, kernel_names, kernel_stream
+    from .cost import StraightLineEstimator
+
+    machine = get_machine(args.machine)
+    estimator = StraightLineEstimator(machine)
+    print(f"{'kernel':8s} {'predicted':>9s} {'reference':>9s} {'error':>8s}")
+    for name in kernel_names():
+        info = kernel_stream(kernel(name), machine)
+        predicted = estimator.estimate(info.stream).cycles
+        iterative = [i for i in info.stream if not i.one_time]
+        reference = simulate(machine, iterative).cycles
+        error = 100 * (predicted - reference) / reference
+        print(f"{name:8s} {predicted:9d} {reference:9d} {error:+7.1f}%")
+    return 0
+
+
+def _cmd_machines(args: argparse.Namespace) -> int:
+    for name in machine_names():
+        print(get_machine(name))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Compile-time performance prediction (Wang, PLDI 1994)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("predict", help="symbolic cost of a program")
+    p.add_argument("file")
+    p.add_argument("--machine", default="power", choices=machine_names())
+    p.add_argument("--backend", default="aggressive",
+                   choices=("aggressive", "naive"))
+    p.add_argument("--memory", action="store_true",
+                   help="include cache/TLB cost terms")
+    p.add_argument("--at", help="evaluate at a point, e.g. n=100,m=50")
+    p.set_defaults(func=_cmd_predict)
+
+    p = sub.add_parser("compare", help="compare two programs symbolically")
+    p.add_argument("first")
+    p.add_argument("second")
+    p.add_argument("--machine", default="power", choices=machine_names())
+    p.add_argument("--domain", help="bounds, e.g. n=1:1000")
+    p.set_defaults(func=_cmd_compare)
+
+    p = sub.add_parser("restructure", help="performance-guided A* search")
+    p.add_argument("file")
+    p.add_argument("--machine", default="power", choices=machine_names())
+    p.add_argument("--workload", help="evaluation point, e.g. n=256")
+    p.add_argument("--domain", help="bounds for symbolic mode")
+    p.add_argument("--depth", type=int, default=2)
+    p.add_argument("--max-nodes", type=int, default=200)
+    p.set_defaults(func=_cmd_restructure)
+
+    p = sub.add_parser("kernels", help="the Figure 7 table")
+    p.add_argument("--machine", default="power", choices=machine_names())
+    p.set_defaults(func=_cmd_kernels)
+
+    p = sub.add_parser("machines", help="list machine descriptions")
+    p.set_defaults(func=_cmd_machines)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

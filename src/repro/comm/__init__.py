@@ -1,0 +1,18 @@
+"""Communication cost model for distributed-memory targets."""
+
+from .model import CommunicationCostModel
+from .network import NetworkParameters, ethernet_cluster, sp1_network
+from .primitives import (
+    allreduce_cost,
+    broadcast_cost,
+    exchange_cost,
+    reduce_cost,
+    send_cost,
+    shift_cost,
+)
+
+__all__ = [
+    "CommunicationCostModel", "NetworkParameters", "allreduce_cost",
+    "broadcast_cost", "ethernet_cluster", "exchange_cost", "reduce_cost",
+    "send_cost", "shift_cost", "sp1_network",
+]

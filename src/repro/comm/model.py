@@ -1,0 +1,96 @@
+"""Communication cost model facade (paper section 2, Figure 1).
+
+"For distributed memory machines, message passing instructions are
+sent along with the sequential cost estimation to the communication
+cost module to get cost of moving data among processors."
+
+The model recognizes the message-passing pseudo-calls the mini-Fortran
+programs use (``call send(...)``, ``call broadcast(...)``, ...) and
+prices them with the primitives; everything else flows through
+unchanged.  It also offers the classic block-distribution estimate for
+a distributed loop nest.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from ..analysis.loops import expression_poly
+from ..ir.nodes import CallStmt, Expr
+from ..symbolic.expr import PerfExpr, UnknownKind
+from ..symbolic.intervals import Interval
+from .network import NetworkParameters
+from .primitives import (
+    allreduce_cost,
+    broadcast_cost,
+    exchange_cost,
+    reduce_cost,
+    send_cost,
+    shift_cost,
+)
+
+__all__ = ["CommunicationCostModel"]
+
+_PRIMITIVES = {
+    "send": send_cost,
+    "recv": send_cost,       # receiver pays the matching cost
+    "shift": shift_cost,
+    "broadcast": broadcast_cost,
+    "reduce": reduce_cost,
+    "allreduce": allreduce_cost,
+    "exchange": exchange_cost,
+}
+
+
+class CommunicationCostModel:
+    """Prices message-passing calls against one network description."""
+
+    def __init__(self, network: NetworkParameters, element_bytes: int = 4):
+        self.network = network
+        self.element_bytes = element_bytes
+
+    def recognizes(self, name: str) -> bool:
+        return name in _PRIMITIVES
+
+    def call_cost(self, stmt: CallStmt) -> PerfExpr:
+        """Cost of one recognized message-passing call.
+
+        The first argument (if any) is the element count; it may be
+        symbolic.  Unrecognized calls raise KeyError -- the aggregator
+        falls back to the library table for those.
+        """
+        fn = _PRIMITIVES[stmt.name]
+        nbytes = self._size_of(stmt.args[0]) if stmt.args else PerfExpr.const(
+            self.element_bytes
+        )
+        return fn(self.network, nbytes)
+
+    def _size_of(self, count_expr: Expr) -> PerfExpr:
+        poly, unknowns = expression_poly(count_expr)
+        bounds = {name: Interval.nonnegative() for name in unknowns}
+        count = PerfExpr(poly, bounds, unknowns)
+        return count * PerfExpr.const(self.element_bytes)
+
+    # ------------------------------------------------------------------
+    def block_distribution_cost(
+        self,
+        elements: PerfExpr | int,
+        halo: int = 1,
+    ) -> PerfExpr:
+        """Per-iteration halo exchange of a block-distributed stencil.
+
+        ``elements`` is the per-boundary element count (symbolic OK);
+        each processor shifts ``halo`` boundary planes both ways.
+        """
+        size = elements if isinstance(elements, PerfExpr) else PerfExpr.const(elements)
+        nbytes = size * PerfExpr.const(self.element_bytes * halo)
+        return shift_cost(self.network, nbytes) * PerfExpr.const(2)
+
+    def processors_unknown(self) -> PerfExpr:
+        """A symbolic processor count for what-if comparisons."""
+        return PerfExpr.unknown(
+            "nproc",
+            UnknownKind.MACHINE,
+            Interval(Fraction(1), self.network.processors),
+            description="processor count",
+        )

@@ -1,0 +1,56 @@
+"""Network parameter sets for the communication cost model.
+
+The paper's communication module follows Wang & Houstis [19]: a
+parameterized static model.  A :class:`NetworkParameters` instance is
+the per-machine table: startup latency (cycles), per-byte transfer
+cost, hop cost for multi-hop topologies, and the processor count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+__all__ = ["NetworkParameters", "sp1_network", "ethernet_cluster"]
+
+
+@dataclass(frozen=True)
+class NetworkParameters:
+    """Cycles-based cost parameters of one interconnect."""
+
+    name: str
+    processors: int
+    startup_cycles: int          # alpha: per-message software overhead
+    cycles_per_byte: Fraction    # beta: inverse bandwidth
+    hop_cycles: int = 0          # per-hop latency (0 for crossbar-like)
+    bisection_penalty: Fraction = Fraction(1)  # contention multiplier
+
+    def __post_init__(self) -> None:
+        if self.processors < 1:
+            raise ValueError("need at least one processor")
+        if self.startup_cycles < 0 or self.cycles_per_byte < 0:
+            raise ValueError("costs must be non-negative")
+
+
+def sp1_network(processors: int = 16) -> NetworkParameters:
+    """An IBM SP1-flavoured multistage switch (the paper's era)."""
+    return NetworkParameters(
+        name="sp1-switch",
+        processors=processors,
+        startup_cycles=3000,             # ~50 us at 60 MHz
+        cycles_per_byte=Fraction(3, 2),  # ~40 MB/s
+        hop_cycles=60,
+        bisection_penalty=Fraction(1),
+    )
+
+
+def ethernet_cluster(processors: int = 8) -> NetworkParameters:
+    """A shared-medium cluster: high startup, contention grows with P."""
+    return NetworkParameters(
+        name="ethernet",
+        processors=processors,
+        startup_cycles=30_000,
+        cycles_per_byte=Fraction(6),
+        hop_cycles=0,
+        bisection_penalty=Fraction(2),
+    )

@@ -1,0 +1,82 @@
+"""Symbolic costs of message-passing primitives.
+
+Each primitive returns a :class:`~repro.symbolic.PerfExpr`, so message
+sizes and processor counts may be unknowns exactly like loop bounds --
+the communication cost joins the unified performance expression the
+framework compares (distinctness point 1 of the paper's related-work
+section).
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+from ..symbolic.expr import PerfExpr
+from .network import NetworkParameters
+
+__all__ = [
+    "send_cost",
+    "shift_cost",
+    "broadcast_cost",
+    "reduce_cost",
+    "allreduce_cost",
+    "exchange_cost",
+]
+
+
+def _size_expr(nbytes: PerfExpr | int) -> PerfExpr:
+    if isinstance(nbytes, PerfExpr):
+        return nbytes
+    return PerfExpr.const(nbytes)
+
+
+def send_cost(
+    net: NetworkParameters,
+    nbytes: PerfExpr | int,
+    hops: int = 1,
+) -> PerfExpr:
+    """Point-to-point send: alpha + beta * n + hop term."""
+    size = _size_expr(nbytes)
+    fixed = net.startup_cycles + net.hop_cycles * hops
+    return PerfExpr.const(fixed) + size * PerfExpr.const(net.cycles_per_byte)
+
+
+def shift_cost(net: NetworkParameters, nbytes: PerfExpr | int) -> PerfExpr:
+    """Nearest-neighbour shift: all processors send concurrently."""
+    return send_cost(net, nbytes, hops=1) * PerfExpr.const(net.bisection_penalty)
+
+
+def _log2p(net: NetworkParameters) -> int:
+    return max(1, math.ceil(math.log2(net.processors)))
+
+
+def broadcast_cost(net: NetworkParameters, nbytes: PerfExpr | int) -> PerfExpr:
+    """Binomial-tree broadcast: ceil(log2 P) send steps."""
+    return send_cost(net, nbytes) * PerfExpr.const(_log2p(net))
+
+
+def reduce_cost(
+    net: NetworkParameters,
+    nbytes: PerfExpr | int,
+    op_cycles_per_byte: Fraction = Fraction(1, 4),
+) -> PerfExpr:
+    """Binomial-tree reduction: log2 P steps of send + combine."""
+    size = _size_expr(nbytes)
+    combine = size * PerfExpr.const(op_cycles_per_byte)
+    return (send_cost(net, nbytes) + combine) * PerfExpr.const(_log2p(net))
+
+
+def allreduce_cost(
+    net: NetworkParameters,
+    nbytes: PerfExpr | int,
+    op_cycles_per_byte: Fraction = Fraction(1, 4),
+) -> PerfExpr:
+    """Reduce followed by broadcast (the simple composition)."""
+    return reduce_cost(net, nbytes, op_cycles_per_byte) + broadcast_cost(net, nbytes)
+
+
+def exchange_cost(net: NetworkParameters, nbytes: PerfExpr | int) -> PerfExpr:
+    """All-to-all exchange: P-1 sends through the bisection."""
+    steps = PerfExpr.const(net.processors - 1)
+    return send_cost(net, nbytes) * steps * PerfExpr.const(net.bisection_penalty)

@@ -1,0 +1,21 @@
+"""Symbolic comparison, winner regions, run-time tests, sensitivity
+(paper section 3)."""
+
+from .comparator import ComparisonResult, Verdict, compare
+from .profiling import BranchProfile, ProfileData, apply_profile
+from .regions import WinnerRegion, region_report, winner_regions
+from .runtime_tests import RuntimeTest, build_guard, poly_to_ir, worth_testing
+from .sensitivity import (
+    VariableSensitivity,
+    elasticity,
+    perturbation_sensitivity,
+    rank_variables,
+)
+
+__all__ = [
+    "BranchProfile", "ComparisonResult", "ProfileData", "RuntimeTest",
+    "VariableSensitivity", "Verdict", "apply_profile",
+    "WinnerRegion", "build_guard", "compare", "elasticity",
+    "perturbation_sensitivity", "poly_to_ir", "rank_variables",
+    "region_report", "winner_regions", "worth_testing",
+]

@@ -1,0 +1,171 @@
+"""Symbolic comparison of performance expressions (paper section 3.1).
+
+Given transformations ``f`` and ``g`` with costs ``C(f)`` and ``C(g)``,
+form ``P = C(f) - C(g)`` and decide *where* each wins:
+
+* interval bound propagation may already prove a definite sign
+  ("there are many situations where it is possible to determine whether
+  the expression is positive or negative based on bounds");
+* otherwise, if P is (or simplifies to) a univariate polynomial --
+  "since loop transformations modify only one structure at a time, this
+  is likely" -- closed-form roots up to degree 4 give exact sign
+  regions, P+ / P- measures, and integrals;
+* otherwise the comparison is deferred: the positivity condition itself
+  is the result (it can become a run-time test, section 3.4).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from fractions import Fraction
+
+from ..symbolic.expr import PerfExpr
+from ..symbolic.integrate import PosNegIntegrals, split_integrals
+from ..symbolic.intervals import Interval
+from ..symbolic.poly import Poly, PolyError
+from ..symbolic.signs import Sign, SignRegion, decide_sign, sign_regions
+from ..symbolic.simplify import drop_negligible_terms
+
+__all__ = ["Verdict", "ComparisonResult", "compare"]
+
+
+class Verdict(enum.Enum):
+    """Outcome of comparing C(f) against C(g) (lower cost wins)."""
+
+    FIRST_ALWAYS = "first_always"      # f cheaper over the whole domain
+    SECOND_ALWAYS = "second_always"    # g cheaper over the whole domain
+    EQUAL = "equal"
+    DEPENDS = "depends"                # winner changes within the domain
+    UNKNOWN = "unknown"                # could not decide symbolically
+
+
+@dataclass(frozen=True)
+class ComparisonResult:
+    """Everything section 3.1 derives from P = C(f) - C(g)."""
+
+    difference: PerfExpr
+    verdict: Verdict
+    variable: str | None = None
+    regions: tuple[SignRegion, ...] = ()
+    integrals: PosNegIntegrals | None = None
+    condition: Poly | None = None  # "f is better" <=> condition < 0
+
+    def first_wins_measure(self) -> Fraction:
+        """Total length of regions where f is cheaper."""
+        return self._measure(Sign.NEGATIVE)
+
+    def second_wins_measure(self) -> Fraction:
+        return self._measure(Sign.POSITIVE)
+
+    def _measure(self, sign: Sign) -> Fraction:
+        total = Fraction(0)
+        for region in self.regions:
+            if region.sign is sign:
+                total += Fraction(region.interval.hi) - Fraction(region.interval.lo)
+        return total
+
+    def crossovers(self) -> list[Fraction]:
+        """Domain points where the winner changes."""
+        out: list[Fraction] = []
+        for a, b in zip(self.regions, self.regions[1:]):
+            if a.sign is not b.sign and Sign.ZERO not in (a.sign, b.sign):
+                out.append(Fraction(a.interval.hi))
+            elif a.sign is Sign.ZERO or b.sign is Sign.ZERO:
+                out.append(Fraction(a.interval.hi))
+        return out
+
+    def recommended(self, weight: str = "integral") -> Verdict:
+        """Pick a single winner for a DEPENDS case.
+
+        ``weight="integral"`` compares the masses of P+ and P-
+        (the paper: "integral values of P+ and P- can be used to
+        compare the transformations"); ``weight="measure"`` compares
+        the sizes of the winning regions.
+        """
+        if self.verdict is not Verdict.DEPENDS:
+            return self.verdict
+        if self.integrals is None:
+            return Verdict.UNKNOWN
+        if weight == "integral":
+            first_mass = self.integrals.negative_integral
+            second_mass = self.integrals.positive_integral
+        elif weight == "measure":
+            first_mass = self.first_wins_measure()
+            second_mass = self.second_wins_measure()
+        else:
+            raise ValueError(f"unknown weight {weight!r}")
+        if first_mass > second_mass:
+            return Verdict.FIRST_ALWAYS
+        if second_mass > first_mass:
+            return Verdict.SECOND_ALWAYS
+        return Verdict.EQUAL
+
+
+def compare(
+    cost_first: PerfExpr,
+    cost_second: PerfExpr,
+    domain: dict[str, Interval] | None = None,
+    rel_tol: Fraction = Fraction(1, 1000),
+) -> ComparisonResult:
+    """Compare two performance expressions over their (merged) bounds."""
+    difference = cost_first - cost_second
+    bounds = difference.effective_bounds()
+    if domain:
+        for name, interval in domain.items():
+            narrowed = bounds.get(name, Interval.unbounded()).intersect(interval)
+            if narrowed is None:
+                raise PolyError(f"empty domain for {name}")
+            bounds[name] = narrowed
+    difference = PerfExpr(difference.poly, bounds, difference.unknowns)
+
+    # Step 0: trivial and bound-propagation verdicts.
+    quick = decide_sign(difference.poly, bounds)
+    if quick is Sign.ZERO:
+        return ComparisonResult(difference, Verdict.EQUAL)
+    if quick is Sign.NEGATIVE:
+        return ComparisonResult(difference, Verdict.FIRST_ALWAYS)
+    if quick is Sign.POSITIVE:
+        return ComparisonResult(difference, Verdict.SECOND_ALWAYS)
+
+    # Step 1: drop certifiably negligible terms (may reduce to univariate).
+    simplified = drop_negligible_terms(difference.poly, bounds, rel_tol).poly
+    variables = simplified.variables()
+    if len(variables) != 1:
+        # Multivariate and undecided: hand back the condition itself.
+        return ComparisonResult(
+            difference, Verdict.UNKNOWN, condition=simplified
+        )
+
+    (var,) = variables
+    interval = bounds.get(var, Interval.unbounded())
+    if isinstance(interval.lo, float) or isinstance(interval.hi, float):
+        # Unbounded domain: look at the leading behaviour... still
+        # undecidable in general; return the condition.
+        return ComparisonResult(
+            difference, Verdict.UNKNOWN, variable=var, condition=simplified
+        )
+    try:
+        regions = tuple(sign_regions(simplified, var, interval))
+    except PolyError:
+        return ComparisonResult(
+            difference, Verdict.UNKNOWN, variable=var, condition=simplified
+        )
+    signs = {r.sign for r in regions if r.interval.width() != 0}
+    if signs == {Sign.NEGATIVE}:
+        return ComparisonResult(difference, Verdict.FIRST_ALWAYS, var, regions)
+    if signs == {Sign.POSITIVE}:
+        return ComparisonResult(difference, Verdict.SECOND_ALWAYS, var, regions)
+    if signs <= {Sign.ZERO}:
+        return ComparisonResult(difference, Verdict.EQUAL, var, regions)
+    integrals = None
+    if not simplified.is_laurent():
+        integrals = split_integrals(simplified, var, interval)
+    return ComparisonResult(
+        difference,
+        Verdict.DEPENDS,
+        var,
+        regions,
+        integrals,
+        condition=simplified,
+    )

@@ -1,0 +1,100 @@
+"""Profile-driven elimination of unknowns (paper section 3.4).
+
+"Profiling can be used to eliminate some variables that result from
+unknown values in the control structures (such as the branching
+probabilities of conditional statements).  This is useful when the
+program behavior is relatively independent of the input data."
+
+A :class:`ProfileData` records observed branch outcomes and loop trip
+counts; :func:`apply_profile` substitutes them into a performance
+expression, turning probability and trip-count unknowns into numbers
+while leaving everything else symbolic -- the middle ground between
+full symbolic analysis and full guessing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+
+from ..symbolic.expr import PerfExpr, UnknownKind
+from ..symbolic.poly import Poly
+
+__all__ = ["BranchProfile", "ProfileData", "apply_profile"]
+
+
+@dataclass
+class BranchProfile:
+    """Observed outcomes of one conditional."""
+
+    taken: int = 0
+    not_taken: int = 0
+
+    def record(self, taken: bool) -> None:
+        if taken:
+            self.taken += 1
+        else:
+            self.not_taken += 1
+
+    @property
+    def total(self) -> int:
+        return self.taken + self.not_taken
+
+    @property
+    def probability(self) -> Fraction:
+        if self.total == 0:
+            raise ValueError("no observations for this branch")
+        return Fraction(self.taken, self.total)
+
+
+@dataclass
+class ProfileData:
+    """Aggregated observations keyed by the expression's unknown names."""
+
+    branches: dict[str, BranchProfile] = field(default_factory=dict)
+    trip_counts: dict[str, list[int]] = field(default_factory=dict)
+
+    def record_branch(self, name: str, taken: bool) -> None:
+        self.branches.setdefault(name, BranchProfile()).record(taken)
+
+    def record_trips(self, name: str, trips: int) -> None:
+        self.trip_counts.setdefault(name, []).append(trips)
+
+    def mean_trips(self, name: str) -> Fraction:
+        samples = self.trip_counts.get(name)
+        if not samples:
+            raise KeyError(f"no trip-count samples for {name}")
+        return Fraction(sum(samples), len(samples))
+
+    def coverage(self, expr: PerfExpr) -> tuple[set[str], set[str]]:
+        """(resolvable unknowns, unresolvable unknowns) of an expression."""
+        resolvable: set[str] = set()
+        for name in expr.poly.variables():
+            if name in self.branches and self.branches[name].total > 0:
+                resolvable.add(name)
+            elif name in self.trip_counts and self.trip_counts[name]:
+                resolvable.add(name)
+        return resolvable, expr.poly.variables() - resolvable
+
+
+def apply_profile(expr: PerfExpr, profile: ProfileData) -> PerfExpr:
+    """Substitute profiled values for the unknowns they cover.
+
+    Branch-probability unknowns take their observed frequency;
+    trip-count / bound unknowns take their observed mean.  Unknowns the
+    profile does not cover stay symbolic -- unlike the guessing
+    baseline, nothing is invented.
+    """
+    bindings: dict[str, Poly] = {}
+    for name in expr.poly.variables():
+        unknown = expr.unknowns.get(name)
+        kind = unknown.kind if unknown else UnknownKind.PARAMETER
+        if kind is UnknownKind.BRANCH_PROB and name in profile.branches:
+            branch = profile.branches[name]
+            if branch.total:
+                bindings[name] = Poly.const(branch.probability)
+        elif name in profile.trip_counts and profile.trip_counts[name]:
+            bindings[name] = Poly.const(profile.mean_trips(name))
+    if not bindings:
+        return expr
+    return expr.substitute(bindings)

@@ -1,0 +1,68 @@
+"""Winner-region reporting for comparisons (paper Figure 10).
+
+Formats a :class:`~repro.compare.comparator.ComparisonResult` into the
+per-interval winner table the paper's cubic example illustrates, and
+computes summary statistics (areas, shares) the selection policies use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from ..symbolic.signs import Sign
+from .comparator import ComparisonResult, Verdict
+
+__all__ = ["WinnerRegion", "winner_regions", "region_report"]
+
+
+@dataclass(frozen=True)
+class WinnerRegion:
+    """One maximal interval with a single winner."""
+
+    lo: Fraction
+    hi: Fraction
+    winner: str  # "first" | "second" | "tie"
+
+    @property
+    def width(self) -> Fraction:
+        return self.hi - self.lo
+
+    def __str__(self) -> str:
+        return f"[{self.lo}, {self.hi}] -> {self.winner}"
+
+
+def winner_regions(result: ComparisonResult) -> list[WinnerRegion]:
+    """Winner per region; P < 0 means the first expression is cheaper."""
+    out: list[WinnerRegion] = []
+    for region in result.regions:
+        if region.sign is Sign.NEGATIVE:
+            winner = "first"
+        elif region.sign is Sign.POSITIVE:
+            winner = "second"
+        else:
+            winner = "tie"
+        out.append(WinnerRegion(
+            Fraction(region.interval.lo), Fraction(region.interval.hi), winner
+        ))
+    return out
+
+
+def region_report(result: ComparisonResult) -> str:
+    """Human-readable comparison summary (used by examples and benches)."""
+    lines = [f"verdict: {result.verdict.value}"]
+    if result.variable:
+        lines.append(f"deciding variable: {result.variable}")
+    for region in winner_regions(result):
+        lines.append(f"  {region}")
+    if result.integrals is not None:
+        lines.append(
+            f"  mass: first={float(result.integrals.negative_integral):.6g} "
+            f"second={float(result.integrals.positive_integral):.6g}"
+        )
+    if result.verdict is Verdict.DEPENDS:
+        crossings = ", ".join(str(c) for c in result.crossovers())
+        lines.append(f"  crossovers: {crossings}")
+    if result.condition is not None and result.verdict is Verdict.UNKNOWN:
+        lines.append(f"  undecided condition: {result.condition} < 0 favours first")
+    return "\n".join(lines)

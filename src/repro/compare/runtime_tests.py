@@ -1,0 +1,125 @@
+"""Run-time test generation from performance conditions (section 3.4).
+
+"For cases where the bounds on the related variables are not enough to
+decide whether the value of the expression is positive, the compiler
+can compute the condition when the value is positive (this can be used
+in generating run-time tests)."
+
+Given a DEPENDS/UNKNOWN comparison, this module produces the guard --
+as IR, so the transformed program literally contains
+``if (<condition>) then <version f> else <version g>`` -- plus a
+human-readable description.  Section 3.4 warns that "usually only a few
+run-time tests can be afforded"; :func:`worth_testing` implements that
+gate using the integral masses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from ..ir.nodes import BinOp, Expr, If, IntConst, RealConst, Stmt, VarRef
+from ..symbolic.poly import Poly
+from .comparator import ComparisonResult, Verdict
+
+__all__ = ["RuntimeTest", "build_guard", "worth_testing", "poly_to_ir"]
+
+#: Minimum share of the domain the minority winner must hold before a
+#: run-time test pays for itself (the test itself costs cycles).
+_MIN_MINORITY_SHARE = Fraction(1, 20)
+
+
+@dataclass(frozen=True)
+class RuntimeTest:
+    """A generated multi-version guard."""
+
+    condition: Expr          # true  => first version is cheaper
+    description: str
+    crossovers: tuple[Fraction, ...]
+
+    def guarded(self, first_version: tuple[Stmt, ...],
+                second_version: tuple[Stmt, ...]) -> If:
+        """The two-version IR statement."""
+        return If(self.condition, first_version, second_version)
+
+
+def poly_to_ir(poly: Poly) -> Expr:
+    """Render an exact polynomial as an IR expression tree."""
+    terms = sorted(
+        poly.terms.items(),
+        key=lambda kv: (-sum(e for _, e in kv[0]), kv[0]),
+    )
+    expr: Expr | None = None
+    for mono, coeff in terms:
+        term = _term_to_ir(mono, coeff)
+        expr = term if expr is None else BinOp("+", expr, term)
+    return expr if expr is not None else IntConst(0)
+
+
+def _term_to_ir(mono, coeff: Fraction) -> Expr:
+    factors: list[Expr] = []
+    if coeff != 1 or not mono:
+        if coeff.denominator == 1:
+            factors.append(IntConst(int(coeff)))
+        else:
+            factors.append(RealConst(coeff, str(float(coeff))))
+    for var, exp in mono:
+        base: Expr = VarRef(var)
+        if exp == 1:
+            factors.append(base)
+        else:
+            factors.append(BinOp("**", base, IntConst(exp)))
+    expr = factors[0]
+    for factor in factors[1:]:
+        expr = BinOp("*", expr, factor)
+    return expr
+
+
+def build_guard(result: ComparisonResult) -> RuntimeTest | None:
+    """A run-time test choosing the cheaper version at execution time.
+
+    For a univariate DEPENDS with a single crossover ``r``, the guard is
+    the simple bound check ``var <= r`` (oriented so that true selects
+    the first version); in general the guard evaluates the full
+    condition polynomial: first wins where ``P < 0``.
+    """
+    if result.verdict not in (Verdict.DEPENDS, Verdict.UNKNOWN):
+        return None
+    if result.condition is None:
+        return None
+    crossovers = tuple(result.crossovers())
+    if result.variable is not None and len(crossovers) == 1 and result.regions:
+        r = crossovers[0]
+        first_low = result.regions[0].sign.value == "negative"
+        bound: Expr = (
+            IntConst(int(r)) if r.denominator == 1
+            else RealConst(r, str(float(r)))
+        )
+        op = ".le." if first_low else ".ge."
+        condition: Expr = BinOp(op, VarRef(result.variable), bound)
+        side = "below" if first_low else "above"
+        description = (
+            f"first version wins {side} {result.variable} = {r}"
+        )
+    else:
+        condition = BinOp(".lt.", poly_to_ir(result.condition), IntConst(0))
+        description = f"first version wins where {result.condition} < 0"
+    return RuntimeTest(condition, description, crossovers)
+
+
+def worth_testing(result: ComparisonResult) -> bool:
+    """Should the compiler spend a run-time test on this choice?
+
+    Yes only when the winner genuinely changes and the minority regime
+    occupies a non-trivial share of the domain -- "excessive run-time
+    tests may lead to negative effects on performance".
+    """
+    if result.verdict is not Verdict.DEPENDS:
+        return False
+    first = result.first_wins_measure()
+    second = result.second_wins_measure()
+    total = first + second
+    if total == 0:
+        return False
+    minority = min(first, second)
+    return minority / total >= _MIN_MINORITY_SHARE

@@ -1,0 +1,21 @@
+"""The superscalar straight-line cost model (paper section 2.1).
+
+Tetris-style placement of atomic operations into functional-unit bins,
+with coverable/noncoverable costs, the signed-block slot data
+structure, cost-block shapes, and inter-block overlap estimation.
+"""
+
+from .bins import BinSet, Placement
+from .costblock import CostBlock
+from .estimator import BlockCost, StraightLineEstimator
+from .focus import DEFAULT_SPAN, EXHAUSTIVE_SPAN, FAST_SPAN, recommended_span
+from .overlap import combined_cycles, max_overlap, steady_state_cycles
+from .placement import DEFAULT_FOCUS_SPAN, PlacedBlock, PlacedOp, place_stream
+from .slots import SlotArray
+
+__all__ = [
+    "BinSet", "BlockCost", "CostBlock", "DEFAULT_FOCUS_SPAN", "DEFAULT_SPAN",
+    "EXHAUSTIVE_SPAN", "FAST_SPAN", "PlacedBlock", "PlacedOp", "Placement",
+    "SlotArray", "StraightLineEstimator", "combined_cycles", "max_overlap",
+    "place_stream", "recommended_span", "steady_state_cycles",
+]

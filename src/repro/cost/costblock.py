@@ -1,0 +1,112 @@
+"""Cost blocks: the shape of a placed basic block (paper Figure 8).
+
+"The first and last occupied time slots in functional units define the
+actual cost of a basic block and the area they enclosed is called the
+cost block. ... The shape of the cost block reveals many useful
+information that can be used to combine costs of adjacent basic blocks
+or aggregate costs of compound statements." (section 2.4.2)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..machine.units import UnitKind
+
+__all__ = ["CostBlock"]
+
+BinId = tuple[UnitKind, int]
+
+
+@dataclass(frozen=True)
+class CostBlock:
+    """Shape summary of one placed basic block.
+
+    ``lo``           -- lowest occupied time slot;
+    ``occupied_hi``  -- one past the highest occupied slot;
+    ``completion``   -- the time at which every result is available
+                        (occupied_hi plus trailing coverable latency);
+    ``bin_profiles`` -- per-bin (first, last) occupied slots for bins
+                        that were used at all.
+    """
+
+    lo: int
+    occupied_hi: int
+    completion: int
+    bin_profiles: dict[BinId, tuple[int, int]] = field(default_factory=dict)
+    bin_occupancy: dict[BinId, int] = field(default_factory=dict)
+
+    @classmethod
+    def empty(cls) -> "CostBlock":
+        return cls(lo=0, occupied_hi=0, completion=0)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.bin_profiles
+
+    @property
+    def cycles(self) -> int:
+        """Total cost: highest minus lowest slot, counting the trailing
+        coverable cycles of the final operations (a lone fadd costs 2)."""
+        return self.completion - self.lo if not self.is_empty else 0
+
+    @property
+    def occupied_cycles(self) -> int:
+        """Extent of the solid (noncoverable) region only."""
+        return self.occupied_hi - self.lo if not self.is_empty else 0
+
+    # -- shape queries (used for overlap, unrolling, branch decisions) ----
+    def bottom_gap(self, bin_id: BinId) -> int | None:
+        """Empty slots at the bottom of one bin (None if bin unused)."""
+        profile = self.bin_profiles.get(bin_id)
+        if profile is None:
+            return None
+        return profile[0] - self.lo
+
+    def top_gap(self, bin_id: BinId) -> int | None:
+        """Empty slots at the top of one bin (None if bin unused)."""
+        profile = self.bin_profiles.get(bin_id)
+        if profile is None:
+            return None
+        return self.occupied_hi - 1 - profile[1]
+
+    def used_bins(self) -> set[BinId]:
+        return set(self.bin_profiles)
+
+    def critical_bins(self) -> list[BinId]:
+        """Bins with the highest occupancy -- the resource bottleneck."""
+        if not self.bin_occupancy:
+            return []
+        best = max(self.bin_occupancy.values())
+        return [b for b, occ in self.bin_occupancy.items() if occ == best and occ > 0]
+
+    def density(self, bin_id: BinId) -> float:
+        """Occupied / span ratio of one bin over the block extent.
+
+        The paper: "By checking the ratio of the occupied and empty
+        slots in the critical functional bin(s), the compiler can decide
+        whether statement reordering and loop unrolling are beneficial."
+        """
+        span = self.occupied_cycles
+        if span == 0:
+            return 0.0
+        return self.bin_occupancy.get(bin_id, 0) / span
+
+    def unroll_headroom(self) -> float:
+        """1 - density of the critical bin: how much an unroll could fill."""
+        critical = self.critical_bins()
+        if not critical:
+            return 0.0
+        return 1.0 - max(self.density(b) for b in critical)
+
+    def __str__(self) -> str:
+        bins = ", ".join(
+            f"{kind.value}{pipe}:[{first},{last}]"
+            for (kind, pipe), (first, last) in sorted(
+                self.bin_profiles.items(), key=lambda kv: (kv[0][0].value, kv[0][1])
+            )
+        )
+        return (
+            f"CostBlock(cycles={self.cycles}, occupied=[{self.lo},"
+            f"{self.occupied_hi}), completion={self.completion}, {bins})"
+        )

@@ -1,0 +1,32 @@
+"""Focus-span policies (paper section 2.1).
+
+The focus span bounds how far below the top of the bins the placement
+search may reach.  A small span is faster and models a compiler with a
+small reordering window; a large span is slower and models aggressive
+global scheduling.  Bench ``E-FOCUS`` sweeps the trade-off.
+"""
+
+from __future__ import annotations
+
+from .placement import DEFAULT_FOCUS_SPAN
+
+__all__ = ["FAST_SPAN", "DEFAULT_SPAN", "EXHAUSTIVE_SPAN", "recommended_span"]
+
+#: Cheap, bounded-accuracy analysis (tight compile-time budget).
+FAST_SPAN = 8
+#: The default balance.
+DEFAULT_SPAN = DEFAULT_FOCUS_SPAN
+#: Effectively unbounded search (placement becomes pure first-fit).
+EXHAUSTIVE_SPAN = 1 << 20
+
+
+def recommended_span(stream_length: int) -> int:
+    """A span that keeps placement effectively linear in practice.
+
+    Longer blocks leave deeper holes worth revisiting; cap at the
+    default so that the promise of repeated cheap estimator calls
+    (requirement "Efficiency", section 1.3) holds.
+    """
+    if stream_length <= 16:
+        return FAST_SPAN
+    return min(DEFAULT_SPAN, max(FAST_SPAN, stream_length // 2))

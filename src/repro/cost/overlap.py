@@ -1,0 +1,65 @@
+"""Inter-block overlap estimation (paper Figure 9).
+
+"Overlapping between basic blocks or iterations of a loop can be
+estimated by matching the top and bottom of the geometry shape of the
+cost block."
+
+Given blocks A then B, the overlap is the largest upward shift of B
+into A's top region such that, in every bin both blocks use, B's first
+occupied slot still lands strictly above A's last occupied slot.  The
+caller is responsible for dependence legality (the aggregator only
+applies iteration overlap when the loop body carries no loop-carried
+flow dependence on the critical path).
+"""
+
+from __future__ import annotations
+
+from .costblock import CostBlock
+
+__all__ = ["max_overlap", "combined_cycles", "steady_state_cycles"]
+
+
+def max_overlap(first: CostBlock, second: CostBlock) -> int:
+    """Maximal legal shape overlap (in cycles) between two cost blocks."""
+    if first.is_empty or second.is_empty:
+        return 0
+    limit = min(first.occupied_cycles, second.occupied_cycles)
+    shared = first.used_bins() & second.used_bins()
+    best = limit
+    for bin_id in shared:
+        top_gap = first.top_gap(bin_id)
+        bottom_gap = second.bottom_gap(bin_id)
+        assert top_gap is not None and bottom_gap is not None
+        # B may rise until its first slot in this bin would collide with
+        # A's last: that allows (top gap of A) + (bottom gap of B) slots.
+        best = min(best, top_gap + bottom_gap)
+    # The latency tail of A (completion beyond occupancy) does not block
+    # independent work, so it never reduces shape overlap.
+    return max(0, best)
+
+
+def combined_cycles(first: CostBlock, second: CostBlock) -> int:
+    """Cycles of A followed by B with shape overlap (Figure 9's example)."""
+    if first.is_empty:
+        return second.cycles
+    if second.is_empty:
+        return first.cycles
+    overlap = max_overlap(first, second)
+    start_b = first.occupied_hi - overlap
+    end = max(first.completion, start_b + second.completion - second.lo)
+    return end - first.lo
+
+
+def steady_state_cycles(block: CostBlock) -> int:
+    """Per-iteration cost of a loop body in steady state.
+
+    Overlapping an iteration's cost block with itself: each iteration
+    costs the full block the first time, and ``occupied - overlap``
+    thereafter (never less than the critical bin's occupancy, which is a
+    hard throughput floor).
+    """
+    if block.is_empty:
+        return 0
+    self_overlap = max_overlap(block, block)
+    floor = max(block.bin_occupancy.values(), default=0)
+    return max(block.occupied_cycles - self_overlap, floor, 1)

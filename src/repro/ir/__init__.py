@@ -1,0 +1,50 @@
+"""Mini-Fortran IR: the language substrate of the predictor.
+
+The paper's framework operates on HPF/Fortran-90 programs inside the
+PTRAN II compiler; this package provides the equivalent program
+representation -- a small Fortran dialect with ``DO`` loops, ``IF``
+statements, typed scalars and arrays -- plus a parser, printer,
+builder API, symbol table, and traversal utilities.
+"""
+
+from .lexer import LexError, Token, TokenKind, tokenize
+from .nodes import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    CallStmt,
+    Decl,
+    Do,
+    Expr,
+    FuncCall,
+    If,
+    IntConst,
+    Program,
+    RealConst,
+    Stmt,
+    UnOp,
+    VarRef,
+)
+from .parser import ParseError, parse_expression, parse_fragment, parse_program
+from .printer import print_expr, print_program, print_stmt, print_stmts
+from .symtab import SymbolTable
+from .types import ArrayType, ScalarType, TypeError_
+from .visitor import (
+    map_exprs,
+    map_stmts,
+    rename_index,
+    substitute_var,
+    walk_exprs,
+    walk_stmts,
+)
+
+__all__ = [
+    "ArrayRef", "ArrayType", "Assign", "BinOp", "CallStmt", "Decl", "Do",
+    "Expr", "FuncCall", "If", "IntConst", "LexError", "ParseError",
+    "Program", "RealConst", "ScalarType", "Stmt", "SymbolTable", "Token",
+    "TokenKind", "TypeError_", "UnOp", "VarRef",
+    "map_exprs", "map_stmts", "parse_expression", "parse_fragment",
+    "parse_program", "print_expr", "print_program", "print_stmt",
+    "print_stmts", "rename_index", "substitute_var", "tokenize",
+    "walk_exprs", "walk_stmts",
+]

@@ -1,0 +1,153 @@
+"""Programmatic IR construction helpers.
+
+Transformations and tests often need to synthesize IR without going
+through source text; these helpers keep that terse::
+
+    from repro.ir import builder as b
+
+    loop = b.do_("i", 1, b.var("n"), body=[
+        b.assign(b.aref("c", b.var("i")),
+                 b.add(b.aref("a", b.var("i")), b.aref("b", b.var("i")))),
+    ])
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, Union
+
+from .nodes import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    CallStmt,
+    Decl,
+    Do,
+    Expr,
+    FuncCall,
+    If,
+    IntConst,
+    Program,
+    RealConst,
+    Stmt,
+    UnOp,
+    VarRef,
+)
+from .types import ArrayType, ScalarType
+
+__all__ = [
+    "lit", "var", "aref", "call",
+    "add", "sub", "mul", "div", "pow_", "neg",
+    "lt", "le", "gt", "ge", "eq", "ne", "and_", "or_", "not_",
+    "assign", "do_", "if_", "call_stmt",
+    "decl", "array_decl", "program",
+]
+
+ExprLike = Union[Expr, int, float, Fraction, str]
+
+
+def lit(value: int | float | Fraction) -> Expr:
+    """An integer or real literal."""
+    if isinstance(value, int):
+        return IntConst(value)
+    return RealConst(Fraction(value))
+
+
+def _expr(value: ExprLike) -> Expr:
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, str):
+        return VarRef(value)
+    return lit(value)
+
+
+def var(name: str) -> VarRef:
+    return VarRef(name)
+
+
+def aref(name: str, *subscripts: ExprLike) -> ArrayRef:
+    return ArrayRef(name, tuple(_expr(s) for s in subscripts))
+
+
+def call(name: str, *args: ExprLike) -> FuncCall:
+    return FuncCall(name, tuple(_expr(a) for a in args))
+
+
+def _binop(op: str):
+    def build(left: ExprLike, right: ExprLike) -> BinOp:
+        return BinOp(op, _expr(left), _expr(right))
+
+    build.__name__ = f"binop_{op}"
+    return build
+
+
+add = _binop("+")
+sub = _binop("-")
+mul = _binop("*")
+div = _binop("/")
+pow_ = _binop("**")
+lt = _binop(".lt.")
+le = _binop(".le.")
+gt = _binop(".gt.")
+ge = _binop(".ge.")
+eq = _binop(".eq.")
+ne = _binop(".ne.")
+and_ = _binop(".and.")
+or_ = _binop(".or.")
+
+
+def neg(operand: ExprLike) -> UnOp:
+    return UnOp("-", _expr(operand))
+
+
+def not_(operand: ExprLike) -> UnOp:
+    return UnOp(".not.", _expr(operand))
+
+
+def assign(target: VarRef | ArrayRef | str, value: ExprLike) -> Assign:
+    if isinstance(target, str):
+        target = VarRef(target)
+    return Assign(target, _expr(value))
+
+
+def do_(
+    index: str,
+    lb: ExprLike,
+    ub: ExprLike,
+    body: Iterable[Stmt],
+    step: ExprLike = 1,
+) -> Do:
+    return Do(index, _expr(lb), _expr(ub), _expr(step), tuple(body))
+
+
+def if_(
+    cond: ExprLike,
+    then_body: Iterable[Stmt],
+    else_body: Iterable[Stmt] = (),
+) -> If:
+    return If(_expr(cond), tuple(then_body), tuple(else_body))
+
+
+def call_stmt(name: str, *args: ExprLike) -> CallStmt:
+    return CallStmt(name, tuple(_expr(a) for a in args))
+
+
+def decl(name: str, scalar: ScalarType = ScalarType.REAL) -> Decl:
+    return Decl(name, scalar)
+
+
+def array_decl(
+    name: str,
+    *dims: str | int,
+    scalar: ScalarType = ScalarType.REAL,
+) -> Decl:
+    dim_texts = tuple(str(d) for d in dims)
+    return Decl(name, scalar, ArrayType(scalar, dim_texts))
+
+
+def program(
+    name: str,
+    decls: Iterable[Decl],
+    body: Iterable[Stmt],
+) -> Program:
+    return Program(name, tuple(decls), tuple(body))

@@ -1,0 +1,125 @@
+"""Tokenizer for the mini-Fortran dialect.
+
+Free-form source, case-insensitive keywords, ``!`` comments, Fortran
+dotted operators (``.le.``, ``.and.``) alongside the modern symbolic
+spellings (``<=``, ``==``).
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = ["TokenKind", "Token", "LexError", "tokenize"]
+
+
+class LexError(SyntaxError):
+    """Raised on unrecognized input."""
+
+
+class TokenKind(enum.Enum):
+    IDENT = "ident"
+    INT = "int"
+    REAL = "real"
+    OP = "op"
+    LPAREN = "("
+    RPAREN = ")"
+    COMMA = ","
+    NEWLINE = "newline"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"{self.kind.value}:{self.text!r}@{self.line}:{self.column}"
+
+
+#: Keywords are lexed as IDENT; the parser gives them meaning (this keeps
+#: identifiers like a variable named `do1` unambiguous).
+KEYWORDS = frozenset(
+    "program end do enddo if then else elseif endif call integer real double logical return".split()
+)
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<comment>![^\n]*)
+  | (?P<real>(\d+\.\d*|\.\d+)([edED][+-]?\d+)?|\d+[edED][+-]?\d+)
+  | (?P<int>\d+)
+  | (?P<dotop>\.(lt|le|gt|ge|eq|ne|and|or|not|true|false)\.)
+  | (?P<ident>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<op>\*\*|<=|>=|==|/=|!=|[-+*/<>=])
+  | (?P<lparen>\()
+  | (?P<rparen>\))
+  | (?P<comma>,)
+  | (?P<newline>\n|;)
+  | (?P<ws>[ \t\r]+)
+  | (?P<ampcont>&[ \t]*\n)
+    """,
+    re.VERBOSE,
+)
+
+#: Canonicalize symbolic relational spellings to the dotted forms.
+_SYMBOLIC_TO_DOTTED = {
+    "<": ".lt.",
+    "<=": ".le.",
+    ">": ".gt.",
+    ">=": ".ge.",
+    "==": ".eq.",
+    "/=": ".ne.",
+    "!=": ".ne.",
+}
+
+
+def tokenize(source: str) -> Iterator[Token]:
+    """Yield tokens; raises :class:`LexError` on unrecognized characters."""
+    line = 1
+    line_start = 0
+    pos = 0
+    length = len(source)
+    while pos < length:
+        match = _TOKEN_RE.match(source, pos)
+        if match is None:
+            column = pos - line_start + 1
+            raise LexError(f"unexpected character {source[pos]!r} at line {line}:{column}")
+        column = pos - line_start + 1
+        pos = match.end()
+        kind = match.lastgroup
+        text = match.group()
+        if kind in ("ws", "comment"):
+            continue
+        if kind == "ampcont":
+            # Continuation: swallow the newline entirely.
+            line += 1
+            line_start = pos
+            continue
+        if kind == "newline":
+            yield Token(TokenKind.NEWLINE, text, line, column)
+            if text == "\n":
+                line += 1
+                line_start = pos
+            continue
+        if kind == "ident":
+            yield Token(TokenKind.IDENT, text.lower(), line, column)
+        elif kind == "int":
+            yield Token(TokenKind.INT, text, line, column)
+        elif kind == "real":
+            yield Token(TokenKind.REAL, text, line, column)
+        elif kind == "dotop":
+            yield Token(TokenKind.OP, text.lower(), line, column)
+        elif kind == "op":
+            yield Token(TokenKind.OP, _SYMBOLIC_TO_DOTTED.get(text, text), line, column)
+        elif kind == "lparen":
+            yield Token(TokenKind.LPAREN, text, line, column)
+        elif kind == "rparen":
+            yield Token(TokenKind.RPAREN, text, line, column)
+        elif kind == "comma":
+            yield Token(TokenKind.COMMA, text, line, column)
+    yield Token(TokenKind.EOF, "", line, pos - line_start + 1)

@@ -1,0 +1,237 @@
+"""AST nodes of the mini-Fortran IR.
+
+The IR deliberately mirrors the program constructs the paper's
+predictor consumes (section 2.4): straight-line assignment blocks,
+``DO`` loops with possibly-unknown bounds, ``IF`` statements with
+possibly-unknown branch behaviour, and calls to external procedures.
+
+Nodes are immutable dataclasses; program transformations rebuild the
+tree (see :mod:`repro.transform`).  Every node compares structurally
+and is hashable, which the incremental-update machinery uses to detect
+unchanged subtrees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Union
+
+from .types import ArrayType, ScalarType
+
+__all__ = [
+    "Expr",
+    "IntConst",
+    "RealConst",
+    "VarRef",
+    "ArrayRef",
+    "BinOp",
+    "UnOp",
+    "FuncCall",
+    "Stmt",
+    "Assign",
+    "Do",
+    "If",
+    "CallStmt",
+    "Decl",
+    "Program",
+    "BINARY_OPS",
+    "COMPARISON_OPS",
+    "LOGICAL_OPS",
+]
+
+#: Arithmetic binary operator spellings.
+BINARY_OPS = ("+", "-", "*", "/", "**")
+#: Relational operator spellings (canonical, Fortran-style).
+COMPARISON_OPS = (".lt.", ".le.", ".gt.", ".ge.", ".eq.", ".ne.")
+#: Logical connectives.
+LOGICAL_OPS = (".and.", ".or.")
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+class Expr:
+    """Base class for expressions (structural, immutable)."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class IntConst(Expr):
+    """An integer literal."""
+
+    value: int
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class RealConst(Expr):
+    """A floating literal, held exactly as a Fraction for reproducibility."""
+
+    value: Fraction
+    text: str = ""
+
+    def __str__(self) -> str:
+        return self.text or str(float(self.value))
+
+
+@dataclass(frozen=True)
+class VarRef(Expr):
+    """A scalar variable reference."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class ArrayRef(Expr):
+    """An array element reference ``name(sub1, sub2, ...)``."""
+
+    name: str
+    subscripts: tuple[Expr, ...]
+
+    def __str__(self) -> str:
+        subs = ", ".join(str(s) for s in self.subscripts)
+        return f"{self.name}({subs})"
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    """A binary operation: arithmetic, relational, or logical."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class UnOp(Expr):
+    """A unary operation: ``-`` or ``.not.``."""
+
+    op: str
+    operand: Expr
+
+    def __str__(self) -> str:
+        return f"({self.op}{self.operand})"
+
+
+@dataclass(frozen=True)
+class FuncCall(Expr):
+    """A call to an intrinsic or external function in expression position."""
+
+    name: str
+    args: tuple[Expr, ...]
+
+    def __str__(self) -> str:
+        return f"{self.name}({', '.join(str(a) for a in self.args)})"
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+class Stmt:
+    """Base class for statements."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Assign(Stmt):
+    """An assignment ``target = value``."""
+
+    target: Union[VarRef, ArrayRef]
+    value: Expr
+
+    def __str__(self) -> str:
+        return f"{self.target} = {self.value}"
+
+
+@dataclass(frozen=True)
+class Do(Stmt):
+    """A counted ``DO`` loop; bounds may be arbitrary expressions."""
+
+    var: str
+    lb: Expr
+    ub: Expr
+    step: Expr
+    body: tuple[Stmt, ...]
+
+    def __str__(self) -> str:
+        head = f"do {self.var} = {self.lb}, {self.ub}"
+        if self.step != IntConst(1):
+            head += f", {self.step}"
+        return head + f"  ! {len(self.body)} stmts"
+
+
+@dataclass(frozen=True)
+class If(Stmt):
+    """A two-armed conditional (the else arm may be empty)."""
+
+    cond: Expr
+    then_body: tuple[Stmt, ...]
+    else_body: tuple[Stmt, ...] = ()
+
+    def __str__(self) -> str:
+        return f"if ({self.cond}) then ... " + ("else ..." if self.else_body else "")
+
+
+@dataclass(frozen=True)
+class CallStmt(Stmt):
+    """A call to an external subroutine (costed via the library table)."""
+
+    name: str
+    args: tuple[Expr, ...] = ()
+
+    def __str__(self) -> str:
+        return f"call {self.name}({', '.join(str(a) for a in self.args)})"
+
+
+# ---------------------------------------------------------------------------
+# Declarations and program
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Decl:
+    """A variable declaration (scalar when ``array`` is None)."""
+
+    name: str
+    scalar: ScalarType
+    array: ArrayType | None = None
+
+    @property
+    def is_array(self) -> bool:
+        return self.array is not None
+
+    def __str__(self) -> str:
+        if self.array:
+            return f"{self.scalar} {self.name}({', '.join(self.array.dims)})"
+        return f"{self.scalar} {self.name}"
+
+
+@dataclass(frozen=True)
+class Program:
+    """A complete mini-Fortran program unit."""
+
+    name: str
+    decls: tuple[Decl, ...]
+    body: tuple[Stmt, ...]
+    params: tuple[str, ...] = field(default_factory=tuple)
+
+    def decl_of(self, name: str) -> Decl | None:
+        for decl in self.decls:
+            if decl.name == name:
+                return decl
+        return None
+
+    def __str__(self) -> str:
+        return f"program {self.name} ({len(self.decls)} decls, {len(self.body)} stmts)"

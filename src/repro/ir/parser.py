@@ -1,0 +1,396 @@
+"""Recursive-descent parser for the mini-Fortran dialect.
+
+Grammar (newline-terminated statements, case-insensitive)::
+
+    program  := 'program' IDENT nl decls stmts 'end' ['program' [IDENT]]
+    decl     := type ident [ '(' dim {',' dim} ')' ] {',' ...} nl
+    type     := 'integer' | 'real' | 'double' ['precision'] | 'logical'
+    stmt     := assign | do | if | call | 'return'
+    do       := 'do' IDENT '=' expr ',' expr [',' expr] nl stmts end_do
+    if       := 'if' '(' expr ')' 'then' nl stmts ['else' nl stmts] end_if
+    assign   := lvalue '=' expr nl
+    call     := 'call' IDENT ['(' [expr {',' expr}] ')'] nl
+
+Expression precedence (loosest to tightest): ``.or.``, ``.and.``,
+``.not.``, relational, additive, multiplicative, unary minus, ``**``
+(right-associative), primary.
+
+Use :func:`parse_program` for full units and :func:`parse_fragment`
+for bare statement lists (the paper's basic-block kernels).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from .lexer import Token, TokenKind, tokenize
+from .nodes import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    CallStmt,
+    Decl,
+    Do,
+    Expr,
+    FuncCall,
+    If,
+    IntConst,
+    Program,
+    RealConst,
+    Stmt,
+    UnOp,
+    VarRef,
+)
+from .types import ArrayType, ScalarType
+
+__all__ = ["ParseError", "parse_program", "parse_fragment", "parse_expression"]
+
+_TYPE_KEYWORDS = {
+    "integer": ScalarType.INTEGER,
+    "real": ScalarType.REAL,
+    "double": ScalarType.DOUBLE,
+    "logical": ScalarType.LOGICAL,
+}
+
+_BLOCK_ENDERS = frozenset({"end", "enddo", "endif", "else", "elseif"})
+
+
+class ParseError(SyntaxError):
+    """Raised on malformed input, with line/column context."""
+
+
+class _Parser:
+    def __init__(self, source: str):
+        self.tokens = list(tokenize(source))
+        self.pos = 0
+
+    # -- token helpers -----------------------------------------------------
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind is not TokenKind.EOF:
+            self.pos += 1
+        return token
+
+    def check(self, kind: TokenKind, text: str | None = None) -> bool:
+        token = self.peek()
+        return token.kind is kind and (text is None or token.text == text)
+
+    def accept(self, kind: TokenKind, text: str | None = None) -> Token | None:
+        if self.check(kind, text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: TokenKind, text: str | None = None) -> Token:
+        token = self.peek()
+        if not self.check(kind, text):
+            want = text or kind.value
+            raise ParseError(
+                f"expected {want!r}, found {token.text!r} at line {token.line}:{token.column}"
+            )
+        return self.advance()
+
+    def skip_newlines(self) -> None:
+        while self.accept(TokenKind.NEWLINE):
+            pass
+
+    def end_of_stmt(self) -> None:
+        if self.peek().kind is TokenKind.EOF:
+            return
+        self.expect(TokenKind.NEWLINE)
+        self.skip_newlines()
+
+    # -- program ------------------------------------------------------------
+    def parse_program(self) -> Program:
+        """A ``program`` unit or a ``subroutine`` with formal parameters."""
+        self.skip_newlines()
+        kind_token = self.peek()
+        if kind_token.kind is TokenKind.IDENT and kind_token.text == "subroutine":
+            self.advance()
+            is_subroutine = True
+        else:
+            self.expect(TokenKind.IDENT, "program")
+            is_subroutine = False
+        name = self.expect(TokenKind.IDENT).text
+        params: list[str] = []
+        if is_subroutine and self.accept(TokenKind.LPAREN):
+            if not self.check(TokenKind.RPAREN):
+                params.append(self.expect(TokenKind.IDENT).text)
+                while self.accept(TokenKind.COMMA):
+                    params.append(self.expect(TokenKind.IDENT).text)
+            self.expect(TokenKind.RPAREN)
+        self.end_of_stmt()
+        decls = self.parse_decls()
+        body = self.parse_stmts()
+        self.expect(TokenKind.IDENT, "end")
+        self.accept(TokenKind.IDENT, "subroutine" if is_subroutine else "program")
+        self.accept(TokenKind.IDENT)  # optional repeated name
+        self.skip_newlines()
+        self.expect(TokenKind.EOF)
+        return Program(
+            name=name, decls=tuple(decls), body=tuple(body),
+            params=tuple(params),
+        )
+
+    def parse_decls(self) -> list[Decl]:
+        decls: list[Decl] = []
+        while True:
+            self.skip_newlines()
+            token = self.peek()
+            if token.kind is not TokenKind.IDENT or token.text not in _TYPE_KEYWORDS:
+                break
+            scalar = _TYPE_KEYWORDS[self.advance().text]
+            if scalar is ScalarType.DOUBLE:
+                self.accept(TokenKind.IDENT, "precision")
+            while True:
+                name = self.expect(TokenKind.IDENT).text
+                dims: list[str] = []
+                if self.accept(TokenKind.LPAREN):
+                    while True:
+                        dims.append(self.parse_dim_text())
+                        if not self.accept(TokenKind.COMMA):
+                            break
+                    self.expect(TokenKind.RPAREN)
+                array = ArrayType(scalar, tuple(dims)) if dims else None
+                decls.append(Decl(name, scalar, array))
+                if not self.accept(TokenKind.COMMA):
+                    break
+            self.end_of_stmt()
+        return decls
+
+    def parse_dim_text(self) -> str:
+        """A dimension extent: an identifier, an integer, or ``lo:hi``."""
+        parts = [self.expect_any((TokenKind.IDENT, TokenKind.INT)).text]
+        # Allow simple arithmetic like `n+1` inside a dimension.
+        while self.peek().kind is TokenKind.OP and self.peek().text in ("+", "-", "*"):
+            parts.append(self.advance().text)
+            parts.append(self.expect_any((TokenKind.IDENT, TokenKind.INT)).text)
+        return "".join(parts)
+
+    def expect_any(self, kinds: tuple[TokenKind, ...]) -> Token:
+        token = self.peek()
+        if token.kind not in kinds:
+            raise ParseError(
+                f"unexpected {token.text!r} at line {token.line}:{token.column}"
+            )
+        return self.advance()
+
+    # -- statements ----------------------------------------------------------
+    def parse_stmts(self) -> list[Stmt]:
+        stmts: list[Stmt] = []
+        while True:
+            self.skip_newlines()
+            token = self.peek()
+            if token.kind is TokenKind.EOF:
+                break
+            if token.kind is TokenKind.IDENT and token.text in _BLOCK_ENDERS:
+                break
+            stmts.append(self.parse_stmt())
+        return stmts
+
+    def parse_stmt(self) -> Stmt:
+        token = self.peek()
+        if token.kind is not TokenKind.IDENT:
+            raise ParseError(
+                f"expected a statement, found {token.text!r} at line {token.line}"
+            )
+        if token.text == "do":
+            return self.parse_do()
+        if token.text == "if":
+            return self.parse_if()
+        if token.text == "call":
+            return self.parse_call()
+        if token.text == "return":
+            self.advance()
+            self.end_of_stmt()
+            return CallStmt("return", ())
+        return self.parse_assign()
+
+    def parse_do(self) -> Do:
+        self.expect(TokenKind.IDENT, "do")
+        var = self.expect(TokenKind.IDENT).text
+        self.expect(TokenKind.OP, "=")
+        lb = self.parse_expr()
+        self.expect(TokenKind.COMMA)
+        ub = self.parse_expr()
+        step: Expr = IntConst(1)
+        if self.accept(TokenKind.COMMA):
+            step = self.parse_expr()
+        self.end_of_stmt()
+        body = self.parse_stmts()
+        if self.accept(TokenKind.IDENT, "enddo") is None:
+            self.expect(TokenKind.IDENT, "end")
+            self.expect(TokenKind.IDENT, "do")
+        self.end_of_stmt()
+        return Do(var, lb, ub, step, tuple(body))
+
+    def parse_if(self) -> If:
+        self.expect(TokenKind.IDENT, "if")
+        self.expect(TokenKind.LPAREN)
+        cond = self.parse_expr()
+        self.expect(TokenKind.RPAREN)
+        self.expect(TokenKind.IDENT, "then")
+        self.end_of_stmt()
+        then_body = self.parse_stmts()
+        else_body: list[Stmt] = []
+        if self.accept(TokenKind.IDENT, "else"):
+            self.end_of_stmt()
+            else_body = self.parse_stmts()
+        if self.accept(TokenKind.IDENT, "endif") is None:
+            self.expect(TokenKind.IDENT, "end")
+            self.expect(TokenKind.IDENT, "if")
+        self.end_of_stmt()
+        return If(cond, tuple(then_body), tuple(else_body))
+
+    def parse_call(self) -> CallStmt:
+        self.expect(TokenKind.IDENT, "call")
+        name = self.expect(TokenKind.IDENT).text
+        args: list[Expr] = []
+        if self.accept(TokenKind.LPAREN):
+            if not self.check(TokenKind.RPAREN):
+                args.append(self.parse_expr())
+                while self.accept(TokenKind.COMMA):
+                    args.append(self.parse_expr())
+            self.expect(TokenKind.RPAREN)
+        self.end_of_stmt()
+        return CallStmt(name, tuple(args))
+
+    def parse_assign(self) -> Assign:
+        target = self.parse_primary()
+        if not isinstance(target, (VarRef, ArrayRef)):
+            raise ParseError(f"invalid assignment target {target}")
+        self.expect(TokenKind.OP, "=")
+        value = self.parse_expr()
+        self.end_of_stmt()
+        return Assign(target, value)
+
+    # -- expressions ----------------------------------------------------------
+    def parse_expr(self) -> Expr:
+        return self.parse_or()
+
+    def parse_or(self) -> Expr:
+        left = self.parse_and()
+        while self.check(TokenKind.OP, ".or."):
+            self.advance()
+            left = BinOp(".or.", left, self.parse_and())
+        return left
+
+    def parse_and(self) -> Expr:
+        left = self.parse_not()
+        while self.check(TokenKind.OP, ".and."):
+            self.advance()
+            left = BinOp(".and.", left, self.parse_not())
+        return left
+
+    def parse_not(self) -> Expr:
+        if self.check(TokenKind.OP, ".not."):
+            self.advance()
+            return UnOp(".not.", self.parse_not())
+        return self.parse_relational()
+
+    def parse_relational(self) -> Expr:
+        left = self.parse_additive()
+        token = self.peek()
+        if token.kind is TokenKind.OP and token.text in (
+            ".lt.", ".le.", ".gt.", ".ge.", ".eq.", ".ne.",
+        ):
+            op = self.advance().text
+            return BinOp(op, left, self.parse_additive())
+        return left
+
+    def parse_additive(self) -> Expr:
+        left = self.parse_multiplicative()
+        while self.peek().kind is TokenKind.OP and self.peek().text in ("+", "-"):
+            op = self.advance().text
+            left = BinOp(op, left, self.parse_multiplicative())
+        return left
+
+    def parse_multiplicative(self) -> Expr:
+        left = self.parse_unary()
+        while self.peek().kind is TokenKind.OP and self.peek().text in ("*", "/"):
+            op = self.advance().text
+            left = BinOp(op, left, self.parse_unary())
+        return left
+
+    def parse_unary(self) -> Expr:
+        if self.check(TokenKind.OP, "-"):
+            self.advance()
+            return UnOp("-", self.parse_unary())
+        if self.check(TokenKind.OP, "+"):
+            self.advance()
+            return self.parse_unary()
+        return self.parse_power()
+
+    def parse_power(self) -> Expr:
+        base = self.parse_primary()
+        if self.check(TokenKind.OP, "**"):
+            self.advance()
+            # Right-associative: a ** b ** c == a ** (b ** c).
+            return BinOp("**", base, self.parse_unary())
+        return base
+
+    def parse_primary(self) -> Expr:
+        token = self.peek()
+        if token.kind is TokenKind.INT:
+            self.advance()
+            return IntConst(int(token.text))
+        if token.kind is TokenKind.REAL:
+            self.advance()
+            text = token.text.lower().replace("d", "e")
+            return RealConst(Fraction(text), token.text)
+        if token.kind is TokenKind.LPAREN:
+            self.advance()
+            inner = self.parse_expr()
+            self.expect(TokenKind.RPAREN)
+            return inner
+        if token.kind is TokenKind.IDENT:
+            name = self.advance().text
+            if self.accept(TokenKind.LPAREN):
+                args: list[Expr] = []
+                if not self.check(TokenKind.RPAREN):
+                    args.append(self.parse_expr())
+                    while self.accept(TokenKind.COMMA):
+                        args.append(self.parse_expr())
+                self.expect(TokenKind.RPAREN)
+                # Whether this is an intrinsic call or an array reference is
+                # resolved later by the symbol table; default to ArrayRef,
+                # with known intrinsics becoming FuncCall.
+                if name in _INTRINSICS:
+                    return FuncCall(name, tuple(args))
+                return ArrayRef(name, tuple(args))
+            return VarRef(name)
+        raise ParseError(
+            f"unexpected token {token.text!r} at line {token.line}:{token.column}"
+        )
+
+
+_INTRINSICS = frozenset(
+    "abs min max sqrt exp log sin cos mod int real dble".split()
+)
+
+
+def parse_program(source: str) -> Program:
+    """Parse a complete ``program ... end`` unit."""
+    return _Parser(source).parse_program()
+
+
+def parse_fragment(source: str) -> tuple[Stmt, ...]:
+    """Parse a bare statement list (no ``program`` wrapper)."""
+    parser = _Parser(source)
+    parser.skip_newlines()
+    stmts = parser.parse_stmts()
+    parser.skip_newlines()
+    parser.expect(TokenKind.EOF)
+    return tuple(stmts)
+
+
+def parse_expression(source: str) -> Expr:
+    """Parse a single expression."""
+    parser = _Parser(source)
+    parser.skip_newlines()
+    expr = parser.parse_expr()
+    parser.skip_newlines()
+    parser.expect(TokenKind.EOF)
+    return expr

@@ -1,0 +1,122 @@
+"""Render IR back to mini-Fortran source.
+
+``parse_program(print_program(p))`` round-trips structurally; the
+printer is also what examples and benchmark reports use to show
+transformed programs.
+"""
+
+from __future__ import annotations
+
+from .nodes import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    CallStmt,
+    Decl,
+    Do,
+    Expr,
+    FuncCall,
+    If,
+    IntConst,
+    Program,
+    RealConst,
+    Stmt,
+    UnOp,
+    VarRef,
+)
+from .types import ScalarType
+
+__all__ = ["print_expr", "print_stmt", "print_stmts", "print_program"]
+
+_PRECEDENCE = {
+    ".or.": 1,
+    ".and.": 2,
+    ".lt.": 4, ".le.": 4, ".gt.": 4, ".ge.": 4, ".eq.": 4, ".ne.": 4,
+    "+": 5, "-": 5,
+    "*": 6, "/": 6,
+    "**": 8,
+}
+
+
+def print_expr(expr: Expr, parent_prec: int = 0) -> str:
+    """Render an expression with minimal parentheses."""
+    if isinstance(expr, (IntConst, RealConst, VarRef)):
+        return str(expr)
+    if isinstance(expr, ArrayRef):
+        subs = ", ".join(print_expr(s) for s in expr.subscripts)
+        return f"{expr.name}({subs})"
+    if isinstance(expr, FuncCall):
+        args = ", ".join(print_expr(a) for a in expr.args)
+        return f"{expr.name}({args})"
+    if isinstance(expr, UnOp):
+        inner = print_expr(expr.operand, 7)
+        text = f"{expr.op}{inner}" if expr.op == "-" else f"{expr.op} {inner}"
+        return f"({text})" if parent_prec > 7 else text
+    if isinstance(expr, BinOp):
+        prec = _PRECEDENCE[expr.op]
+        if expr.op == "**":
+            # Right-associative: parenthesize a nested ** on the left.
+            left = print_expr(expr.left, prec + 1)
+            right = print_expr(expr.right, prec)
+        else:
+            # Left-associative: parenthesize a same-precedence right child.
+            left = print_expr(expr.left, prec)
+            right = print_expr(expr.right, prec + 1)
+        spaced_op = expr.op if expr.op.startswith(".") else f" {expr.op} "
+        if expr.op.startswith("."):
+            spaced_op = f" {expr.op} "
+        text = f"{left}{spaced_op}{right}".replace("  ", " ")
+        return f"({text})" if prec < parent_prec else text
+    raise TypeError(f"cannot print {expr!r}")
+
+
+def print_stmt(stmt: Stmt, indent: int = 0) -> str:
+    pad = "  " * indent
+    if isinstance(stmt, Assign):
+        return f"{pad}{print_expr(stmt.target)} = {print_expr(stmt.value)}"
+    if isinstance(stmt, Do):
+        head = f"{pad}do {stmt.var} = {print_expr(stmt.lb)}, {print_expr(stmt.ub)}"
+        if stmt.step != IntConst(1):
+            head += f", {print_expr(stmt.step)}"
+        body = print_stmts(stmt.body, indent + 1)
+        return f"{head}\n{body}\n{pad}end do"
+    if isinstance(stmt, If):
+        head = f"{pad}if ({print_expr(stmt.cond)}) then"
+        lines = [head, print_stmts(stmt.then_body, indent + 1)]
+        if stmt.else_body:
+            lines.append(f"{pad}else")
+            lines.append(print_stmts(stmt.else_body, indent + 1))
+        lines.append(f"{pad}end if")
+        return "\n".join(lines)
+    if isinstance(stmt, CallStmt):
+        if stmt.name == "return" and not stmt.args:
+            return f"{pad}return"
+        args = ", ".join(print_expr(a) for a in stmt.args)
+        return f"{pad}call {stmt.name}({args})"
+    raise TypeError(f"cannot print {stmt!r}")
+
+
+def print_stmts(stmts: tuple[Stmt, ...], indent: int = 0) -> str:
+    return "\n".join(print_stmt(s, indent) for s in stmts)
+
+
+def _print_decl(decl: Decl) -> str:
+    type_name = "double precision" if decl.scalar is ScalarType.DOUBLE else str(decl.scalar)
+    if decl.array:
+        return f"  {type_name} {decl.name}({', '.join(decl.array.dims)})"
+    return f"  {type_name} {decl.name}"
+
+
+def print_program(program: Program) -> str:
+    if program.params:
+        header = f"subroutine {program.name}({', '.join(program.params)})"
+        footer = "end subroutine"
+    else:
+        header = f"program {program.name}"
+        footer = "end program"
+    lines = [header]
+    lines.extend(_print_decl(d) for d in program.decls)
+    if program.body:
+        lines.append(print_stmts(program.body, 1))
+    lines.append(footer)
+    return "\n".join(lines) + "\n"

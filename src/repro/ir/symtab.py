@@ -1,0 +1,112 @@
+"""Symbol table: name → type resolution and expression typing.
+
+The translator needs operand types to pick basic operations (integer
+add vs double-precision add), and the memory model needs array shapes.
+Undeclared scalars default to Fortran implicit typing: names starting
+with ``i``–``n`` are INTEGER, everything else REAL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .nodes import (
+    ArrayRef,
+    BinOp,
+    Decl,
+    Expr,
+    FuncCall,
+    IntConst,
+    Program,
+    RealConst,
+    UnOp,
+    VarRef,
+)
+from .types import ArrayType, ScalarType, TypeError_
+
+__all__ = ["SymbolTable"]
+
+_COMPARISONS = frozenset({".lt.", ".le.", ".gt.", ".ge.", ".eq.", ".ne."})
+_LOGICALS = frozenset({".and.", ".or."})
+
+
+def _implicit_type(name: str) -> ScalarType:
+    return ScalarType.INTEGER if name[0] in "ijklmn" else ScalarType.REAL
+
+
+@dataclass
+class SymbolTable:
+    """Mapping from names to declarations, with implicit-typing fallback."""
+
+    decls: dict[str, Decl] = field(default_factory=dict)
+
+    @classmethod
+    def from_program(cls, program: Program) -> "SymbolTable":
+        return cls({decl.name: decl for decl in program.decls})
+
+    @classmethod
+    def from_decls(cls, decls: tuple[Decl, ...] | list[Decl]) -> "SymbolTable":
+        return cls({decl.name: decl for decl in decls})
+
+    def declare(self, decl: Decl) -> None:
+        self.decls[decl.name] = decl
+
+    def scalar_type(self, name: str) -> ScalarType:
+        decl = self.decls.get(name)
+        if decl is not None:
+            return decl.scalar
+        return _implicit_type(name)
+
+    def array_type(self, name: str) -> ArrayType | None:
+        decl = self.decls.get(name)
+        return decl.array if decl else None
+
+    def is_array(self, name: str) -> bool:
+        decl = self.decls.get(name)
+        return bool(decl and decl.is_array)
+
+    def type_of(self, expr: Expr) -> ScalarType:
+        """Type of an expression under usual arithmetic conversions."""
+        if isinstance(expr, IntConst):
+            return ScalarType.INTEGER
+        if isinstance(expr, RealConst):
+            return ScalarType.REAL
+        if isinstance(expr, VarRef):
+            return self.scalar_type(expr.name)
+        if isinstance(expr, ArrayRef):
+            return self.scalar_type(expr.name)
+        if isinstance(expr, UnOp):
+            if expr.op == ".not.":
+                return ScalarType.LOGICAL
+            return self.type_of(expr.operand)
+        if isinstance(expr, BinOp):
+            if expr.op in _COMPARISONS or expr.op in _LOGICALS:
+                return ScalarType.LOGICAL
+            left = self.type_of(expr.left)
+            right = self.type_of(expr.right)
+            if expr.op == "/" and left is ScalarType.INTEGER and right is ScalarType.INTEGER:
+                return ScalarType.INTEGER
+            return left.join(right)
+        if isinstance(expr, FuncCall):
+            return self._intrinsic_type(expr)
+        raise TypeError_(f"cannot type expression {expr!r}")
+
+    def _intrinsic_type(self, call: FuncCall) -> ScalarType:
+        if call.name in ("int", "mod"):
+            return ScalarType.INTEGER
+        if call.name == "dble":
+            return ScalarType.DOUBLE
+        if call.name == "real":
+            return ScalarType.REAL
+        if call.name in ("abs", "min", "max"):
+            if not call.args:
+                raise TypeError_(f"{call.name} needs arguments")
+            result = self.type_of(call.args[0])
+            for arg in call.args[1:]:
+                result = result.join(self.type_of(arg))
+            return result
+        # sqrt/exp/log/sin/cos: float result, width of the argument.
+        if call.args:
+            arg_type = self.type_of(call.args[0])
+            return arg_type if arg_type.is_float else ScalarType.REAL
+        return ScalarType.REAL

@@ -1,0 +1,76 @@
+"""Scalar and array types of the mini-Fortran IR.
+
+The predictor is type-driven: the *operation specialization mapping*
+(paper section 2.2.1) maps a high-level ``+`` to an integer add, a
+single-precision add, or a double-precision add depending on operand
+types, and those basic operations carry different costs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+__all__ = ["ScalarType", "ArrayType", "TypeError_"]
+
+
+class TypeError_(Exception):
+    """Raised on type mismatches during IR construction or translation."""
+
+
+class ScalarType(enum.Enum):
+    """Fortran-style scalar types."""
+
+    INTEGER = "integer"
+    REAL = "real"          # single precision
+    DOUBLE = "double"      # double precision
+    LOGICAL = "logical"
+
+    @property
+    def is_float(self) -> bool:
+        return self in (ScalarType.REAL, ScalarType.DOUBLE)
+
+    @property
+    def size_bytes(self) -> int:
+        """Storage size, used by the memory and communication models."""
+        if self is ScalarType.DOUBLE:
+            return 8
+        return 4
+
+    def join(self, other: "ScalarType") -> "ScalarType":
+        """Usual arithmetic conversion: the wider numeric type wins."""
+        if self is other:
+            return self
+        if ScalarType.LOGICAL in (self, other):
+            raise TypeError_(f"no numeric join of {self.value} and {other.value}")
+        order = [ScalarType.INTEGER, ScalarType.REAL, ScalarType.DOUBLE]
+        return order[max(order.index(self), order.index(other))]
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class ArrayType:
+    """An array of scalars with per-dimension extents.
+
+    Extents are stored as *source strings* (e.g. ``"n"`` or ``"100"``)
+    because they may be symbolic; the symbol table resolves them to
+    expressions when needed.
+    """
+
+    element: ScalarType
+    dims: tuple[str, ...] = field(default_factory=tuple)
+
+    @property
+    def rank(self) -> int:
+        return len(self.dims)
+
+    @property
+    def size_bytes_per_element(self) -> int:
+        return self.element.size_bytes
+
+    def __str__(self) -> str:
+        if not self.dims:
+            return str(self.element)
+        return f"{self.element}({', '.join(self.dims)})"

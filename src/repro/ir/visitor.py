@@ -1,0 +1,151 @@
+"""Generic traversal and rewriting of the mini-Fortran IR.
+
+Transformations (:mod:`repro.transform`) and analyses use these to walk
+or rebuild trees without writing per-node boilerplate.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from .nodes import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    CallStmt,
+    Do,
+    Expr,
+    FuncCall,
+    If,
+    Stmt,
+    UnOp,
+)
+
+__all__ = [
+    "walk_exprs",
+    "walk_stmts",
+    "map_exprs",
+    "map_stmts",
+    "substitute_var",
+    "rename_index",
+]
+
+
+def walk_exprs(expr: Expr) -> Iterator[Expr]:
+    """Yield every sub-expression (pre-order), including ``expr`` itself."""
+    yield expr
+    if isinstance(expr, BinOp):
+        yield from walk_exprs(expr.left)
+        yield from walk_exprs(expr.right)
+    elif isinstance(expr, UnOp):
+        yield from walk_exprs(expr.operand)
+    elif isinstance(expr, (ArrayRef, FuncCall)):
+        for sub in expr.subscripts if isinstance(expr, ArrayRef) else expr.args:
+            yield from walk_exprs(sub)
+
+
+def walk_stmts(stmts: tuple[Stmt, ...]) -> Iterator[Stmt]:
+    """Yield every statement (pre-order), descending into bodies."""
+    for stmt in stmts:
+        yield stmt
+        if isinstance(stmt, Do):
+            yield from walk_stmts(stmt.body)
+        elif isinstance(stmt, If):
+            yield from walk_stmts(stmt.then_body)
+            yield from walk_stmts(stmt.else_body)
+
+
+def map_exprs(expr: Expr, fn: Callable[[Expr], Expr]) -> Expr:
+    """Rebuild an expression bottom-up, applying ``fn`` to every node.
+
+    ``fn`` receives each node *after* its children have been rewritten
+    and returns the node to use in its place.
+    """
+    if isinstance(expr, BinOp):
+        rebuilt: Expr = BinOp(expr.op, map_exprs(expr.left, fn), map_exprs(expr.right, fn))
+    elif isinstance(expr, UnOp):
+        rebuilt = UnOp(expr.op, map_exprs(expr.operand, fn))
+    elif isinstance(expr, ArrayRef):
+        rebuilt = ArrayRef(expr.name, tuple(map_exprs(s, fn) for s in expr.subscripts))
+    elif isinstance(expr, FuncCall):
+        rebuilt = FuncCall(expr.name, tuple(map_exprs(a, fn) for a in expr.args))
+    else:
+        rebuilt = expr
+    return fn(rebuilt)
+
+
+def map_stmts(
+    stmts: tuple[Stmt, ...],
+    stmt_fn: Callable[[Stmt], Stmt | tuple[Stmt, ...] | None] | None = None,
+    expr_fn: Callable[[Expr], Expr] | None = None,
+) -> tuple[Stmt, ...]:
+    """Rebuild a statement list.
+
+    ``expr_fn`` rewrites every expression; ``stmt_fn`` is applied to each
+    rebuilt statement and may return a replacement statement, a tuple of
+    statements (splicing), or ``None`` to delete the statement.
+    """
+    out: list[Stmt] = []
+    for stmt in stmts:
+        rebuilt = _rebuild_stmt(stmt, stmt_fn, expr_fn)
+        if stmt_fn is not None:
+            result = stmt_fn(rebuilt)
+            if result is None:
+                continue
+            if isinstance(result, tuple):
+                out.extend(result)
+            else:
+                out.append(result)
+        else:
+            out.append(rebuilt)
+    return tuple(out)
+
+
+def _rebuild_stmt(stmt, stmt_fn, expr_fn) -> Stmt:
+    fix = (lambda e: map_exprs(e, expr_fn)) if expr_fn else (lambda e: e)
+    if isinstance(stmt, Assign):
+        target = fix(stmt.target)
+        if not isinstance(target, (ArrayRef,)) and not hasattr(target, "name"):
+            raise TypeError(f"expression rewrite produced invalid target {target}")
+        return Assign(target, fix(stmt.value))  # type: ignore[arg-type]
+    if isinstance(stmt, Do):
+        return Do(
+            stmt.var,
+            fix(stmt.lb),
+            fix(stmt.ub),
+            fix(stmt.step),
+            map_stmts(stmt.body, stmt_fn, expr_fn),
+        )
+    if isinstance(stmt, If):
+        return If(
+            fix(stmt.cond),
+            map_stmts(stmt.then_body, stmt_fn, expr_fn),
+            map_stmts(stmt.else_body, stmt_fn, expr_fn),
+        )
+    if isinstance(stmt, CallStmt):
+        return CallStmt(stmt.name, tuple(fix(a) for a in stmt.args))
+    return stmt
+
+
+def substitute_var(expr: Expr, name: str, replacement: Expr) -> Expr:
+    """Replace every ``VarRef(name)`` in an expression."""
+    from .nodes import VarRef
+
+    def swap(node: Expr) -> Expr:
+        if isinstance(node, VarRef) and node.name == name:
+            return replacement
+        return node
+
+    return map_exprs(expr, swap)
+
+
+def rename_index(stmts: tuple[Stmt, ...], old: str, replacement: Expr) -> tuple[Stmt, ...]:
+    """Replace a loop index by an expression throughout a statement list."""
+    from .nodes import VarRef
+
+    def swap(node: Expr) -> Expr:
+        if isinstance(node, VarRef) and node.name == old:
+            return replacement
+        return node
+
+    return map_stmts(stmts, expr_fn=swap)

@@ -1,0 +1,19 @@
+"""Architecture descriptions: units, atomic ops, cost tables, machines."""
+
+from .alpha import alpha_machine
+from .atomic import AtomicCostTable, AtomicOp
+from .machine import Machine, MemoryGeometry
+from .power import POWER_ATOMIC_MAPPING, build_power_table, power_machine
+from .registry import get_machine, machine_names, register_machine
+from .scalar import scalar_machine
+from .training import TrainingProbe, calibrate, make_probes
+from .units import FunctionalUnit, UnitCost, UnitKind
+from .wide import wide_machine
+
+__all__ = [
+    "AtomicCostTable", "AtomicOp", "FunctionalUnit", "Machine",
+    "MemoryGeometry", "POWER_ATOMIC_MAPPING", "UnitCost", "UnitKind",
+    "build_power_table", "get_machine", "machine_names", "power_machine",
+    "register_machine", "scalar_machine", "wide_machine",
+    "TrainingProbe", "alpha_machine", "calibrate", "make_probes",
+]

@@ -1,0 +1,117 @@
+"""Alpha 21064-flavoured machine description.
+
+The paper's motivating trend names "Cray T3Ds that use Alpha Chips"
+alongside the IBM SP machines.  The 21064 is a dual-issue superscalar
+without fused multiply-add, with deeper FP latencies than POWER
+(6-cycle pipelined FP add/multiply) and a 3-cycle load.  Latencies
+follow the published 21064 hardware reference; as with the POWER
+description, only the atomic mapping and the cost table are new --
+"adding a new architecture to the cost model is a matter of defining
+the atomic operation mapping and the atomic operation cost table".
+"""
+
+from __future__ import annotations
+
+from .atomic import AtomicCostTable, AtomicOp
+from .machine import Machine, MemoryGeometry
+from .units import FunctionalUnit, UnitCost, UnitKind
+
+__all__ = ["alpha_machine"]
+
+
+def _build_table() -> AtomicCostTable:
+    table = AtomicCostTable()
+    define = table.define
+    define(AtomicOp(
+        "ebox_op", (UnitCost(UnitKind.FXU, 1),),
+        "integer operate (EBOX): single-cycle",
+    ))
+    define(AtomicOp(
+        "ebox_mul", (UnitCost(UnitKind.FXU, 1, 20),),
+        "integer multiply: 21-cycle latency, partially pipelined",
+    ))
+    define(AtomicOp(
+        "fbox_op", (UnitCost(UnitKind.FPU, 1, 5),),
+        "FP add/sub/mul (FBOX): 6-cycle latency, fully pipelined",
+    ))
+    define(AtomicOp(
+        "fbox_div", (UnitCost(UnitKind.FPU, 30, 4),),
+        "FP divide: ~34 cycles, blocking",
+    ))
+    define(AtomicOp(
+        "fbox_sqrt", (UnitCost(UnitKind.FPU, 60, 8),),
+        "FP square root (software sequence)",
+    ))
+    define(AtomicOp(
+        "abox_load", (UnitCost(UnitKind.LSU, 1, 2),),
+        "D-cache load (ABOX): 3-cycle latency",
+    ))
+    define(AtomicOp(
+        "abox_store", (UnitCost(UnitKind.LSU, 1),),
+        "store: one ABOX slot (write buffer absorbs latency)",
+    ))
+    define(AtomicOp(
+        "ebox_cmp", (UnitCost(UnitKind.FXU, 1),),
+        "integer compare into a register",
+    ))
+    define(AtomicOp(
+        "fbox_cmp", (UnitCost(UnitKind.FPU, 1, 5),),
+        "FP compare",
+    ))
+    define(AtomicOp(
+        "ibox_br", (UnitCost(UnitKind.BRANCH, 1),),
+        "conditional branch (IBOX predicts)",
+    ))
+    define(AtomicOp(
+        "call_linkage",
+        (UnitCost(UnitKind.BRANCH, 1), UnitCost(UnitKind.FXU, 2)),
+        "jsr linkage overhead",
+    ))
+    return table
+
+
+_MAPPING: dict[str, tuple[str, ...]] = {
+    "iadd": ("ebox_op",), "isub": ("ebox_op",), "ineg": ("ebox_op",),
+    "imul": ("ebox_mul",), "imul_small": ("ebox_mul",), "idiv": ("fbox_div",),
+    "land": ("ebox_op",), "lor": ("ebox_op",), "lnot": ("ebox_op",),
+    "fadd": ("fbox_op",), "fsub": ("fbox_op",), "fneg": ("fbox_op",),
+    "fmul": ("fbox_op",), "fdiv": ("fbox_div",), "fsqrt": ("fbox_sqrt",),
+    "dadd": ("fbox_op",), "dsub": ("fbox_op",), "dneg": ("fbox_op",),
+    "dmul": ("fbox_op",), "ddiv": ("fbox_div",), "dsqrt": ("fbox_sqrt",),
+    # No multiply-and-add on Alpha: the translator decomposes fma.
+    "iload": ("abox_load",), "fload": ("abox_load",), "dload": ("abox_load",),
+    "istore": ("abox_store",), "fstore": ("abox_store",), "dstore": ("abox_store",),
+    "icmp": ("ebox_cmp",), "fcmp": ("fbox_cmp",), "dcmp": ("fbox_cmp",),
+    "br": ("ibox_br",), "jmp": ("ibox_br",),
+    "cvt_if": ("fbox_op",), "cvt_fi": ("fbox_op",),
+    "cvt_fd": ("fbox_op",), "cvt_df": ("fbox_op",),
+    "iabs": ("ebox_op",), "fabs": ("fbox_op",), "dabs": ("fbox_op",),
+    "fmin": ("fbox_cmp", "fbox_op"), "fmax": ("fbox_cmp", "fbox_op"),
+    "imin": ("ebox_cmp", "ebox_op"), "imax": ("ebox_cmp", "ebox_op"),
+    "call": ("call_linkage",),
+}
+
+
+def alpha_machine() -> Machine:
+    """A dual-issue Alpha-like target (T3D node processor)."""
+    return Machine(
+        name="alpha",
+        units=(
+            FunctionalUnit(UnitKind.FXU, 1),
+            FunctionalUnit(UnitKind.FPU, 1),
+            FunctionalUnit(UnitKind.BRANCH, 1),
+            FunctionalUnit(UnitKind.LSU, 1),
+        ),
+        table=_build_table(),
+        atomic_mapping=dict(_MAPPING),
+        supports_fma=False,
+        dispatch_width=2,
+        fp_registers=32,
+        int_registers=32,
+        memory=MemoryGeometry(
+            cache_line_bytes=32,
+            cache_size_bytes=8 * 1024,   # the 21064's small D-cache
+            cache_associativity=1,
+            cache_miss_cycles=25,
+        ),
+    )

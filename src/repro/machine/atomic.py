@@ -1,0 +1,81 @@
+"""Atomic operations and the atomic operation cost table.
+
+"Cost of operations is assigned based on operation units that we called
+atomic operations.  Atomic operations are specific low level
+instructions supported by the processor architecture." (section 2.1)
+
+The *atomic operation cost table* (section 2.2.1) maps each atomic
+operation name to its per-unit cost objects; it is one of the two
+architecture-dependent tables, set up "based on manufacturer's
+specifications".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .units import UnitCost, UnitKind
+
+__all__ = ["AtomicOp", "AtomicCostTable"]
+
+
+@dataclass(frozen=True)
+class AtomicOp:
+    """A machine-level operation with costs on one or more units."""
+
+    name: str
+    costs: tuple[UnitCost, ...]
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.costs:
+            raise ValueError(f"atomic op {self.name} has no unit costs")
+        kinds = [c.unit for c in self.costs]
+        if len(kinds) != len(set(kinds)):
+            raise ValueError(f"atomic op {self.name} lists a unit twice")
+
+    @property
+    def result_latency(self) -> int:
+        """Cycles from issue until the result is usable by a dependent."""
+        return max(cost.total for cost in self.costs)
+
+    @property
+    def units(self) -> tuple[UnitKind, ...]:
+        return tuple(cost.unit for cost in self.costs)
+
+    def cost_on(self, unit: UnitKind) -> UnitCost | None:
+        for cost in self.costs:
+            if cost.unit is unit:
+                return cost
+        return None
+
+    def __str__(self) -> str:
+        return f"{self.name}[{', '.join(str(c) for c in self.costs)}]"
+
+
+@dataclass
+class AtomicCostTable:
+    """Name -> :class:`AtomicOp` lookup with helpful diagnostics."""
+
+    ops: dict[str, AtomicOp] = field(default_factory=dict)
+
+    def define(self, op: AtomicOp) -> None:
+        if op.name in self.ops:
+            raise ValueError(f"atomic op {op.name} already defined")
+        self.ops[op.name] = op
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.ops
+
+    def __getitem__(self, name: str) -> AtomicOp:
+        try:
+            return self.ops[name]
+        except KeyError:
+            known = ", ".join(sorted(self.ops))
+            raise KeyError(f"unknown atomic op {name!r}; known: {known}") from None
+
+    def names(self) -> list[str]:
+        return sorted(self.ops)
+
+    def __len__(self) -> int:
+        return len(self.ops)

@@ -1,0 +1,106 @@
+"""Complete machine descriptions.
+
+A :class:`Machine` bundles everything the predictor needs to know about
+a target: its functional units, its atomic operation cost table, the
+architecture-dependent *atomic operation mapping* (basic operation ->
+atomic operations, section 2.2.1), register counts for the
+register-pressure heuristic, a dispatch model for the reference
+back-end, and memory geometry for the cache cost model.
+
+Porting the cost model to a new architecture "is a matter of defining
+the atomic operation mapping and the atomic operation cost table" --
+that is literally the constructor signature here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .atomic import AtomicCostTable, AtomicOp
+from .units import FunctionalUnit, UnitKind
+
+__all__ = ["MemoryGeometry", "Machine"]
+
+
+@dataclass(frozen=True)
+class MemoryGeometry:
+    """Cache/TLB/page parameters consumed by the memory cost model."""
+
+    cache_line_bytes: int = 64
+    cache_size_bytes: int = 64 * 1024
+    cache_associativity: int = 4
+    cache_miss_cycles: int = 12
+    page_bytes: int = 4096
+    tlb_entries: int = 128
+    tlb_miss_cycles: int = 30
+    page_fault_cycles: int = 200_000
+
+
+@dataclass(frozen=True)
+class Machine:
+    """An architecture description (paper sections 2.1-2.2).
+
+    ``atomic_mapping`` maps each *basic operation* name (language
+    independent, see :mod:`repro.translate.basic_ops`) to the sequence
+    of atomic operations it expands to on this machine.  A basic
+    operation absent from the mapping is unsupported and expands via
+    the translator's fallback decompositions (e.g. ``fma`` on a machine
+    without multiply-and-add becomes ``fmul`` then ``fadd``).
+    """
+
+    name: str
+    units: tuple[FunctionalUnit, ...]
+    table: AtomicCostTable
+    atomic_mapping: dict[str, tuple[str, ...]]
+    supports_fma: bool = False
+    dispatch_width: int = 4
+    fp_registers: int = 32
+    int_registers: int = 32
+    memory: MemoryGeometry = field(default_factory=MemoryGeometry)
+
+    def __post_init__(self) -> None:
+        kinds = [u.kind for u in self.units]
+        if len(kinds) != len(set(kinds)):
+            raise ValueError(f"machine {self.name} lists a unit kind twice")
+        available = set(kinds)
+        for name, atomics in self.atomic_mapping.items():
+            for atomic_name in atomics:
+                op = self.table[atomic_name]  # raises on unknown
+                for unit in op.units:
+                    if unit not in available:
+                        raise ValueError(
+                            f"{self.name}: atomic {atomic_name} (for basic op "
+                            f"{name}) needs unit {unit} which the machine lacks"
+                        )
+
+    # -- unit structure ---------------------------------------------------
+    def unit(self, kind: UnitKind) -> FunctionalUnit:
+        for u in self.units:
+            if u.kind is kind:
+                return u
+        raise KeyError(f"machine {self.name} has no {kind} unit")
+
+    def has_unit(self, kind: UnitKind) -> bool:
+        return any(u.kind is kind for u in self.units)
+
+    def bins(self) -> list[tuple[UnitKind, int]]:
+        """All (kind, pipeline index) bins, e.g. [(FPU,0), (FPU,1), ...]."""
+        out: list[tuple[UnitKind, int]] = []
+        for u in self.units:
+            out.extend((u.kind, i) for i in range(u.count))
+        return out
+
+    # -- op lookup -----------------------------------------------------------
+    def atomics_for(self, basic_op: str) -> tuple[AtomicOp, ...] | None:
+        """Atomic expansion of a basic operation, or None if unmapped."""
+        names = self.atomic_mapping.get(basic_op)
+        if names is None:
+            return None
+        return tuple(self.table[n] for n in names)
+
+    def atomic(self, name: str) -> AtomicOp:
+        return self.table[name]
+
+    def __str__(self) -> str:
+        units = ", ".join(str(u) for u in self.units)
+        return f"Machine({self.name}: {units}; {len(self.table)} atomic ops)"

@@ -1,0 +1,155 @@
+"""IBM POWER (RS/6000) style machine description.
+
+All headline numbers come from the paper's own text:
+
+* a floating-point add has one cycle noncoverable + one cycle coverable
+  on the FPU;
+* a floating-point store occupies the FPU for two cycles (one
+  coverable) and an integer unit for one cycle;
+* integer multiply takes three cycles when the multiplier is in
+  [-128, 127] and five cycles for general values (section 2.2.1);
+* the unit bins of Figure 3: FXU, FPU, BranchU, CR-LogicU, Load/StoreU;
+* multiply-and-add is a single FPU operation (the Matmul kernel packs
+  16 FMAs into one basic block).
+
+Latencies not stated in the paper (divide, sqrt) use published RS/6000
+POWER1 figures.
+"""
+
+from __future__ import annotations
+
+from .atomic import AtomicCostTable, AtomicOp
+from .machine import Machine, MemoryGeometry
+from .units import FunctionalUnit, UnitCost, UnitKind
+
+__all__ = ["power_machine", "POWER_ATOMIC_MAPPING", "build_power_table"]
+
+
+def build_power_table() -> AtomicCostTable:
+    """Atomic operation cost table for the POWER-like target."""
+    table = AtomicCostTable()
+    define = table.define
+    define(AtomicOp(
+        "fxu_add", (UnitCost(UnitKind.FXU, 1),),
+        "integer add/subtract/logical; one busy FXU cycle",
+    ))
+    define(AtomicOp(
+        "fxu_mul3", (UnitCost(UnitKind.FXU, 3),),
+        "integer multiply, small multiplier in [-128,127] (paper: 3 cycles)",
+    ))
+    define(AtomicOp(
+        "fxu_mul5", (UnitCost(UnitKind.FXU, 5),),
+        "integer multiply, general multiplier (paper: 5 cycles)",
+    ))
+    define(AtomicOp(
+        "fxu_div", (UnitCost(UnitKind.FXU, 19),),
+        "integer divide (POWER1: 19 cycles, blocking)",
+    ))
+    define(AtomicOp(
+        "fpu_arith", (UnitCost(UnitKind.FPU, 1, 1),),
+        "FP add/sub/mul/fma: 1 noncoverable + 1 coverable FPU cycle (paper)",
+    ))
+    define(AtomicOp(
+        "fpu_div", (UnitCost(UnitKind.FPU, 16, 3),),
+        "FP divide (POWER1: ~19 cycle latency, mostly blocking)",
+    ))
+    define(AtomicOp(
+        "fpu_sqrt", (UnitCost(UnitKind.FPU, 25, 2),),
+        "FP square root (software-assisted on POWER1)",
+    ))
+    define(AtomicOp(
+        "lsu_load", (UnitCost(UnitKind.LSU, 1, 1),),
+        "cache-hit load: 1 busy cycle, result after 2",
+    ))
+    define(AtomicOp(
+        "fpu_store",
+        (UnitCost(UnitKind.FPU, 1, 1), UnitCost(UnitKind.FXU, 1)),
+        "FP store: FPU 2 cycles (1 coverable) + 1 FXU cycle (paper example)",
+    ))
+    define(AtomicOp(
+        "fxu_store",
+        (UnitCost(UnitKind.FXU, 1), UnitCost(UnitKind.LSU, 1)),
+        "integer store: address generation + store-queue slot",
+    ))
+    define(AtomicOp(
+        "fxu_cmp",
+        (UnitCost(UnitKind.FXU, 1), UnitCost(UnitKind.CRLOGIC, 1, 1)),
+        "integer compare setting a CR field",
+    ))
+    define(AtomicOp(
+        "fpu_cmp",
+        (UnitCost(UnitKind.FPU, 1, 1), UnitCost(UnitKind.CRLOGIC, 1, 1)),
+        "FP compare setting a CR field",
+    ))
+    define(AtomicOp(
+        "branch", (UnitCost(UnitKind.BRANCH, 1),),
+        "conditional or unconditional branch; often zero-visible-cost "
+        "when covered (the estimator's shape matching decides)",
+    ))
+    define(AtomicOp(
+        "cr_logic", (UnitCost(UnitKind.CRLOGIC, 1),),
+        "condition-register logical operation",
+    ))
+    define(AtomicOp(
+        "fpu_cvt", (UnitCost(UnitKind.FPU, 1, 1),),
+        "int<->float or single<->double conversion",
+    ))
+    define(AtomicOp(
+        "call_overhead",
+        (UnitCost(UnitKind.BRANCH, 1), UnitCost(UnitKind.FXU, 2)),
+        "linkage cost of an external call (excluding the callee body)",
+    ))
+    return table
+
+
+#: Architecture-dependent level-2 mapping: basic op -> atomic ops.
+POWER_ATOMIC_MAPPING: dict[str, tuple[str, ...]] = {
+    "iadd": ("fxu_add",), "isub": ("fxu_add",), "ineg": ("fxu_add",),
+    "imul_small": ("fxu_mul3",), "imul": ("fxu_mul5",), "idiv": ("fxu_div",),
+    "land": ("fxu_add",), "lor": ("fxu_add",), "lnot": ("fxu_add",),
+    # POWER's FPU computes in double precision; single ops cost the same.
+    "fadd": ("fpu_arith",), "fsub": ("fpu_arith",), "fmul": ("fpu_arith",),
+    "fneg": ("fpu_arith",), "fdiv": ("fpu_div",), "fsqrt": ("fpu_sqrt",),
+    "dadd": ("fpu_arith",), "dsub": ("fpu_arith",), "dmul": ("fpu_arith",),
+    "dneg": ("fpu_arith",), "ddiv": ("fpu_div",), "dsqrt": ("fpu_sqrt",),
+    "fma": ("fpu_arith",), "dfma": ("fpu_arith",),
+    "iload": ("lsu_load",), "fload": ("lsu_load",), "dload": ("lsu_load",),
+    "istore": ("fxu_store",), "fstore": ("fpu_store",), "dstore": ("fpu_store",),
+    "icmp": ("fxu_cmp",), "fcmp": ("fpu_cmp",), "dcmp": ("fpu_cmp",),
+    "br": ("branch",), "jmp": ("branch",),
+    "cvt_if": ("fpu_cvt",), "cvt_fi": ("fpu_cvt",),
+    "cvt_fd": ("fpu_cvt",), "cvt_df": ("fpu_cvt",),
+    "iabs": ("fxu_add",), "fabs": ("fpu_arith",), "dabs": ("fpu_arith",),
+    "fmin": ("fpu_cmp", "fpu_arith"), "fmax": ("fpu_cmp", "fpu_arith"),
+    "imin": ("fxu_cmp", "fxu_add"), "imax": ("fxu_cmp", "fxu_add"),
+    "call": ("call_overhead",),
+}
+
+
+def power_machine() -> Machine:
+    """The POWER-like superscalar: one pipeline of each unit of Figure 3."""
+    return Machine(
+        name="power",
+        units=(
+            FunctionalUnit(UnitKind.FXU, 1),
+            FunctionalUnit(UnitKind.FPU, 1),
+            FunctionalUnit(UnitKind.BRANCH, 1),
+            FunctionalUnit(UnitKind.CRLOGIC, 1),
+            FunctionalUnit(UnitKind.LSU, 1),
+        ),
+        table=build_power_table(),
+        atomic_mapping=dict(POWER_ATOMIC_MAPPING),
+        supports_fma=True,
+        dispatch_width=4,
+        fp_registers=32,
+        int_registers=32,
+        memory=MemoryGeometry(
+            cache_line_bytes=64,
+            cache_size_bytes=64 * 1024,
+            cache_associativity=4,
+            cache_miss_cycles=12,
+            page_bytes=4096,
+            tlb_entries=128,
+            tlb_miss_cycles=36,
+        ),
+    )

@@ -1,0 +1,46 @@
+"""Machine registry: look up architecture descriptions by name.
+
+"Adding a new architecture to the cost model is a matter of defining
+the atomic operation mapping and the atomic operation cost table"
+(section 2.2.1); register the resulting factory here to make it
+reachable from the CLI-facing API.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .alpha import alpha_machine
+from .machine import Machine
+from .power import power_machine
+from .scalar import scalar_machine
+from .wide import wide_machine
+
+__all__ = ["get_machine", "register_machine", "machine_names"]
+
+_FACTORIES: dict[str, Callable[[], Machine]] = {
+    "alpha": alpha_machine,
+    "power": power_machine,
+    "scalar": scalar_machine,
+    "wide": wide_machine,
+}
+
+
+def register_machine(name: str, factory: Callable[[], Machine]) -> None:
+    """Register a new architecture factory (overwriting is an error)."""
+    if name in _FACTORIES:
+        raise ValueError(f"machine {name!r} already registered")
+    _FACTORIES[name] = factory
+
+
+def machine_names() -> list[str]:
+    return sorted(_FACTORIES)
+
+
+def get_machine(name: str) -> Machine:
+    try:
+        return _FACTORIES[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown machine {name!r}; available: {', '.join(machine_names())}"
+        ) from None

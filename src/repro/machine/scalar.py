@@ -1,0 +1,87 @@
+"""Single-issue scalar baseline machine.
+
+A "traditional processor" in the paper's sense: one do-everything unit,
+no overlap, every operation blocks for its full latency (all cost is
+noncoverable).  On this machine an operation-count model and the Tetris
+model agree -- the gap between them opens up only on the superscalar
+targets, which is exactly the paper's "off by a factor of ten" argument
+(section 1.2) that bench ``E-OPC`` reproduces.
+"""
+
+from __future__ import annotations
+
+from .atomic import AtomicCostTable, AtomicOp
+from .machine import Machine, MemoryGeometry
+from .units import FunctionalUnit, UnitCost, UnitKind
+
+__all__ = ["scalar_machine"]
+
+#: name -> blocking latency of the single ALU.
+_LATENCIES = {
+    "alu_add": 1,
+    "alu_mul": 4,
+    "alu_imul": 5,
+    "alu_div": 20,
+    "alu_fadd": 2,
+    "alu_fmul": 3,
+    "alu_fdiv": 20,
+    "alu_sqrt": 30,
+    "alu_load": 2,
+    "alu_store": 2,
+    "alu_cmp": 1,
+    "alu_branch": 2,
+    "alu_call": 4,
+}
+
+
+def _build_table() -> AtomicCostTable:
+    table = AtomicCostTable()
+    for name, latency in _LATENCIES.items():
+        table.define(AtomicOp(
+            name,
+            (UnitCost(UnitKind.ALU, latency),),
+            f"scalar {name.removeprefix('alu_')}: {latency} blocking cycles",
+        ))
+    return table
+
+
+_MAPPING: dict[str, tuple[str, ...]] = {
+    "iadd": ("alu_add",), "isub": ("alu_add",), "ineg": ("alu_add",),
+    "imul": ("alu_imul",), "imul_small": ("alu_imul",), "idiv": ("alu_div",),
+    "land": ("alu_add",), "lor": ("alu_add",), "lnot": ("alu_add",),
+    "fadd": ("alu_fadd",), "fsub": ("alu_fadd",), "fneg": ("alu_fadd",),
+    "fmul": ("alu_fmul",), "fdiv": ("alu_fdiv",), "fsqrt": ("alu_sqrt",),
+    "dadd": ("alu_fadd",), "dsub": ("alu_fadd",), "dneg": ("alu_fadd",),
+    "dmul": ("alu_fmul",), "ddiv": ("alu_fdiv",), "dsqrt": ("alu_sqrt",),
+    # No fused multiply-add: the translator falls back to fmul + fadd.
+    "iload": ("alu_load",), "fload": ("alu_load",), "dload": ("alu_load",),
+    "istore": ("alu_store",), "fstore": ("alu_store",), "dstore": ("alu_store",),
+    "icmp": ("alu_cmp",), "fcmp": ("alu_cmp",), "dcmp": ("alu_cmp",),
+    "br": ("alu_branch",), "jmp": ("alu_branch",),
+    "cvt_if": ("alu_fadd",), "cvt_fi": ("alu_fadd",),
+    "cvt_fd": ("alu_fadd",), "cvt_df": ("alu_fadd",),
+    "iabs": ("alu_add",), "fabs": ("alu_fadd",), "dabs": ("alu_fadd",),
+    "fmin": ("alu_cmp", "alu_fadd"), "fmax": ("alu_cmp", "alu_fadd"),
+    "imin": ("alu_cmp", "alu_add"), "imax": ("alu_cmp", "alu_add"),
+    "call": ("alu_call",),
+}
+
+
+def scalar_machine() -> Machine:
+    """A single-issue, non-overlapping scalar processor."""
+    return Machine(
+        name="scalar",
+        units=(FunctionalUnit(UnitKind.ALU, 1),),
+        table=_build_table(),
+        atomic_mapping=dict(_MAPPING),
+        supports_fma=False,
+        dispatch_width=1,
+        fp_registers=16,
+        int_registers=16,
+        memory=MemoryGeometry(
+            cache_line_bytes=32,
+            cache_size_bytes=32 * 1024,
+            cache_associativity=2,
+            cache_miss_cycles=20,
+        ),
+    )

@@ -1,0 +1,130 @@
+"""Training-set calibration of atomic operation costs (section 2.2.1).
+
+"When low level cost information is not available, a training-set like
+approach can be used" -- instead of reading latencies off the
+manufacturer's data sheet, time a set of probe blocks on the real
+machine (here: on any cycle oracle) and solve for per-operation costs.
+
+The calibrator builds *serial* probe blocks (dependence chains), so
+each measured time is the sum of the chain's result latencies; the
+least-squares solution of the resulting linear system recovers each
+atomic operation's latency.  Recovered latencies update (a copy of)
+the cost table's noncoverable components, preserving each operation's
+coverable share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..translate.stream import Instr
+from .atomic import AtomicCostTable, AtomicOp
+from .machine import Machine
+from .units import UnitCost
+
+__all__ = ["TrainingProbe", "make_probes", "calibrate"]
+
+#: A cycle oracle: given an instruction chain, how many cycles does it
+#: take?  In the benches this is the reference simulator; on real
+#: hardware it would be a timer.
+CycleOracle = Callable[[list[Instr]], int]
+
+
+@dataclass(frozen=True)
+class TrainingProbe:
+    """One probe block: a serial chain mixing atomic operations."""
+
+    name: str
+    ops: tuple[str, ...]
+
+    def chain(self) -> list[Instr]:
+        return [
+            Instr(i, op, deps=(i - 1,) if i else ())
+            for i, op in enumerate(self.ops)
+        ]
+
+
+def make_probes(
+    machine: Machine,
+    ops: Sequence[str] | None = None,
+    chain_length: int = 8,
+) -> list[TrainingProbe]:
+    """A probe set that isolates each operation plus mixed chains.
+
+    One homogeneous chain per operation (determines its latency
+    directly) and pairwise mixed chains (over-determination guards
+    against measurement noise in the least-squares solve).
+    """
+    names = list(ops) if ops is not None else machine.table.names()
+    probes = [
+        TrainingProbe(f"homo_{op}", (op,) * chain_length) for op in names
+    ]
+    for i, a in enumerate(names):
+        b = names[(i + 1) % len(names)]
+        if a != b:
+            probes.append(TrainingProbe(
+                f"mixed_{a}_{b}", ((a, b) * (chain_length // 2))[:chain_length]
+            ))
+    return probes
+
+
+def calibrate(
+    machine: Machine,
+    oracle: CycleOracle,
+    ops: Sequence[str] | None = None,
+    chain_length: int = 8,
+) -> AtomicCostTable:
+    """Fit per-operation latencies from probe timings.
+
+    Returns a new cost table whose operations have the fitted total
+    latency, split between noncoverable and coverable in the same
+    proportion as the original table (a data sheet may be wrong about
+    magnitudes but usually right about which part of a latency is
+    pipelineable).
+    """
+    import numpy as np
+
+    names = list(ops) if ops is not None else machine.table.names()
+    index = {name: i for i, name in enumerate(names)}
+    probes = make_probes(machine, names, chain_length)
+    rows = []
+    measured = []
+    for probe in probes:
+        counts = [0.0] * len(names)
+        for op in probe.ops:
+            counts[index[op]] += 1.0
+        rows.append(counts)
+        measured.append(float(oracle(probe.chain())))
+    solution, *_ = np.linalg.lstsq(
+        np.array(rows), np.array(measured), rcond=None
+    )
+
+    calibrated = AtomicCostTable()
+    for name in machine.table.names():
+        op = machine.table[name]
+        if name not in index:
+            calibrated.define(op)
+            continue
+        fitted_total = max(1, round(float(solution[index[name]])))
+        calibrated.define(_rescale(op, fitted_total))
+    return calibrated
+
+
+def _rescale(op: AtomicOp, fitted_total: int) -> AtomicOp:
+    """Scale the op's costs so its result latency equals the fit."""
+    original_total = op.result_latency
+    if original_total == fitted_total:
+        return op
+    new_costs = []
+    for cost in op.costs:
+        if cost.total != original_total:
+            # Secondary-unit cost (e.g. the store's FXU cycle): keep.
+            new_costs.append(cost)
+            continue
+        coverable = round(fitted_total * cost.coverable / original_total)
+        noncoverable = max(fitted_total - coverable, 0)
+        if noncoverable == 0 and coverable == 0:
+            coverable = 1
+        new_costs.append(UnitCost(cost.unit, noncoverable, coverable))
+    return AtomicOp(op.name, tuple(new_costs), op.description + " [calibrated]")

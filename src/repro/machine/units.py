@@ -1,0 +1,86 @@
+"""Functional units and per-unit operation costs.
+
+The heart of the paper's cost model (section 2.1) is the split of each
+atomic operation's cost on each functional unit into:
+
+* **noncoverable cost** -- cycles the unit is exclusively dedicated to
+  the operation (a *solid* Tetris object: no other operation may occupy
+  those slots of that unit);
+* **coverable cost** -- additional cycles before the *result* is
+  available.  Independent operations may execute during these slots
+  (a *transparent* object), but operations that use the result must
+  wait for them.
+
+Example from the paper: on IBM POWER a floating-point add has one cycle
+of noncoverable and one cycle of coverable cost on the FPU; a
+floating-point store occupies the FPU for two cycles (one coverable)
+and an integer unit for one cycle.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["UnitKind", "FunctionalUnit", "UnitCost"]
+
+
+class UnitKind(enum.Enum):
+    """Classes of functional units found in the modeled machines.
+
+    The names follow the paper's Figure 3 bins: FXU (fixed point), FPU
+    (floating point), Branch, CR-Logic (condition register), and
+    Load/Store.
+    """
+
+    FXU = "fxu"
+    FPU = "fpu"
+    BRANCH = "branch"
+    CRLOGIC = "crlogic"
+    LSU = "lsu"
+    ALU = "alu"  # the single do-everything unit of the scalar baseline
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class FunctionalUnit:
+    """A functional unit class with ``count`` identical pipelines (bins)."""
+
+    kind: UnitKind
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError(f"unit {self.kind} needs count >= 1")
+
+    def __str__(self) -> str:
+        return f"{self.kind}x{self.count}"
+
+
+@dataclass(frozen=True)
+class UnitCost:
+    """Cost of one atomic operation on one unit kind.
+
+    ``noncoverable`` slots are exclusively occupied; ``coverable`` slots
+    delay dependents but are shareable with other operations.
+    """
+
+    unit: UnitKind
+    noncoverable: int
+    coverable: int = 0
+
+    def __post_init__(self) -> None:
+        if self.noncoverable < 0 or self.coverable < 0:
+            raise ValueError("costs must be non-negative")
+        if self.noncoverable == 0 and self.coverable == 0:
+            raise ValueError("a unit cost must consume at least one cycle")
+
+    @property
+    def total(self) -> int:
+        """Cycles until the result contribution of this unit is complete."""
+        return self.noncoverable + self.coverable
+
+    def __str__(self) -> str:
+        return f"{self.unit}:{self.noncoverable}+{self.coverable}c"

@@ -1,0 +1,42 @@
+"""A wider superscalar variant (POWER2-flavoured) for ablations.
+
+Doubles the FXU, FPU, and load/store pipelines relative to the POWER
+description ("for architectures with multiple operation pipes, more
+bins can be added", section 2.1).  Used by the ablation benches to show
+that the cost model tracks added machine parallelism while an
+operation-count model cannot.
+"""
+
+from __future__ import annotations
+
+from .machine import Machine, MemoryGeometry
+from .power import POWER_ATOMIC_MAPPING, build_power_table
+from .units import FunctionalUnit, UnitKind
+
+__all__ = ["wide_machine"]
+
+
+def wide_machine() -> Machine:
+    """POWER with two pipelines in each of FXU, FPU, and LSU."""
+    return Machine(
+        name="wide",
+        units=(
+            FunctionalUnit(UnitKind.FXU, 2),
+            FunctionalUnit(UnitKind.FPU, 2),
+            FunctionalUnit(UnitKind.BRANCH, 1),
+            FunctionalUnit(UnitKind.CRLOGIC, 1),
+            FunctionalUnit(UnitKind.LSU, 2),
+        ),
+        table=build_power_table(),
+        atomic_mapping=dict(POWER_ATOMIC_MAPPING),
+        supports_fma=True,
+        dispatch_width=6,
+        fp_registers=32,
+        int_registers=32,
+        memory=MemoryGeometry(
+            cache_line_bytes=128,
+            cache_size_bytes=256 * 1024,
+            cache_associativity=4,
+            cache_miss_cycles=10,
+        ),
+    )

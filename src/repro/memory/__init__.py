@@ -1,0 +1,15 @@
+"""Memory cost model: cache-line counting, TLB/page terms, reference
+cache simulator (paper section 2.3)."""
+
+from .cache import NestAccessModel, RefLineCount, count_nest_lines
+from .model import MemoryCostModel
+from .refs import LevelBehavior, RefBehavior, analyze_reference, collect_references
+from .simcache import SetAssociativeCache, simulate_nest_misses, trace_nest
+from .tlb import page_fault_cost, pages_touched, tlb_cost
+
+__all__ = [
+    "LevelBehavior", "MemoryCostModel", "NestAccessModel", "RefBehavior",
+    "RefLineCount", "SetAssociativeCache", "analyze_reference",
+    "collect_references", "count_nest_lines", "page_fault_cost",
+    "pages_touched", "simulate_nest_misses", "tlb_cost", "trace_nest",
+]

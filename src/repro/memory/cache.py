@@ -1,0 +1,130 @@
+"""Cache-line access counting (paper section 2.3).
+
+"The total number of cache line accesses is counted and the cost of
+filling these cache lines is used to approximate the memory cost" --
+the approach of Ferrante, Sarkar and Thrash [8] that the paper adopts.
+
+For each reference, walking the nest from innermost to outermost:
+
+* a level whose index the reference ignores contributes factor 1 when
+  the inner footprint still fits in cache (temporal reuse), otherwise
+  the full trip count (reuse evicted);
+* a level moving only the contiguous dimension with stride ``s``
+  contributes ``trips * min(1, s*elsize/line)`` distinct lines
+  (spatial locality);
+* any other moving level contributes the full trip count.
+
+Counts are exact Fractions when the trip counts are concrete and
+symbolic polynomials otherwise (capacity checks then assume the
+optimistic cold-miss case and note it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from ..analysis.loops import perfect_nest, trip_count
+from ..ir.nodes import Do
+from ..ir.symtab import SymbolTable
+from ..machine.machine import MemoryGeometry
+from ..symbolic.expr import PerfExpr
+from .refs import analyze_reference, collect_references
+
+__all__ = ["RefLineCount", "NestAccessModel", "count_nest_lines"]
+
+
+@dataclass(frozen=True)
+class RefLineCount:
+    """Line-access count for one reference across the whole nest."""
+
+    name: str
+    lines: PerfExpr
+    footprint_bytes: PerfExpr
+    capacity_spill: bool  # some temporal reuse was evicted
+
+
+@dataclass(frozen=True)
+class NestAccessModel:
+    """All references of one nest with their line counts."""
+
+    refs: tuple[RefLineCount, ...]
+
+    def total_lines(self) -> PerfExpr:
+        total = PerfExpr.zero()
+        for ref in self.refs:
+            total = total + ref.lines
+        return total
+
+
+def count_nest_lines(
+    loop: Do,
+    symtab: SymbolTable,
+    geometry: MemoryGeometry,
+) -> NestAccessModel:
+    """Count distinct cache-line accesses of the nest rooted at ``loop``."""
+    nest = perfect_nest(loop)
+    indices = tuple(info.index for info in nest)       # outermost first
+    trips = [trip_count(info.loop) for info in nest]
+    body = nest[-1].loop.body
+    refs = collect_references(body)
+    out: list[RefLineCount] = []
+    for ref in refs:
+        behavior = analyze_reference(ref, symtab, indices)
+        lines = PerfExpr.const(1)
+        footprint = PerfExpr.const(behavior.element_bytes)
+        spill = False
+        # innermost -> outermost
+        for level in range(len(indices) - 1, -1, -1):
+            index = indices[level]
+            trip = trips[level]
+            level_behavior = behavior.behavior_at(index)
+            occupied = lines * PerfExpr.const(geometry.cache_line_bytes)
+            if not level_behavior.moves:
+                # Temporal reuse across this level -- valid only while
+                # the lines held so far survive an inner traversal.
+                if _exceeds_cache(occupied, geometry):
+                    lines = lines * trip
+                    spill = True
+                continue
+            stride = level_behavior.contiguous_stride
+            if stride is not None:
+                spatial = min(
+                    Fraction(1),
+                    Fraction(stride * behavior.element_bytes,
+                             geometry.cache_line_bytes),
+                )
+                # Spatial reuse across an *outer* level (several index
+                # values share a line) requires the line to survive a
+                # whole inner traversal: check capacity like temporal
+                # reuse does.
+                if spatial < 1 and _exceeds_cache(occupied, geometry):
+                    spatial = Fraction(1)
+                    spill = True
+                lines = lines * trip * PerfExpr.const(spatial)
+                footprint = footprint * trip * PerfExpr.const(
+                    min(Fraction(1), stride)
+                )
+            else:
+                lines = lines * trip
+                footprint = footprint * trip
+        out.append(RefLineCount(ref.name, lines, footprint, spill))
+    return NestAccessModel(tuple(out))
+
+
+def _exceeds_cache(footprint: PerfExpr, geometry: MemoryGeometry) -> bool:
+    """Does the accumulated footprint overflow the cache?
+
+    Concrete footprints compare exactly; symbolic ones use their lower
+    bound when available and otherwise optimistically assume they fit
+    (the paper's model is a cold-miss approximation too).
+    """
+    if footprint.is_constant():
+        return footprint.constant_value() > geometry.cache_size_bytes
+    try:
+        from ..symbolic.intervals import bound_poly
+
+        enclosure = bound_poly(footprint.poly, footprint.effective_bounds())
+    except Exception:
+        return False
+    return float(enclosure.lo) > geometry.cache_size_bytes

@@ -1,0 +1,68 @@
+"""Memory cost model facade (paper section 2.3).
+
+"The memory access cost (cache misses, TLB misses and page faults) is
+computed independent from the straight line code estimation because the
+former is a more global matter."
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from ..ir.nodes import Do
+from ..ir.symtab import SymbolTable
+from ..machine.machine import Machine, MemoryGeometry
+from ..symbolic.expr import PerfExpr
+from .cache import NestAccessModel, count_nest_lines
+from .tlb import page_fault_cost, tlb_cost
+
+__all__ = ["MemoryCostModel"]
+
+
+class MemoryCostModel:
+    """Per-loop-nest memory cost: cache-line fills + TLB + page faults."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        include_tlb: bool = True,
+        include_page_faults: bool = False,
+        resident_fraction: Fraction = Fraction(1),
+    ):
+        self.machine = machine
+        self.geometry: MemoryGeometry = machine.memory
+        self.include_tlb = include_tlb
+        self.include_page_faults = include_page_faults
+        self.resident_fraction = resident_fraction
+
+    def nest_model(self, loop: Do, symtab: SymbolTable) -> NestAccessModel:
+        """The per-reference line counts (exposed for benches/examples)."""
+        return count_nest_lines(loop, symtab, self.geometry)
+
+    def loop_cost(
+        self,
+        loop: Do,
+        symtab: SymbolTable,
+        enclosing: tuple[str, ...] = (),
+    ) -> PerfExpr:
+        """Memory cycles of the nest rooted at ``loop``.
+
+        ``enclosing`` is accepted for interface symmetry with the
+        aggregator; reuse across *enclosing* loops is not modeled (the
+        nest is costed as if entered cold each time, which matches the
+        cold-miss character of the underlying model).
+        """
+        model = self.nest_model(loop, symtab)
+        lines = model.total_lines()
+        total = lines * PerfExpr.const(self.geometry.cache_miss_cycles)
+        if self.include_tlb or self.include_page_faults:
+            footprint = PerfExpr.zero()
+            for ref in model.refs:
+                footprint = footprint + ref.footprint_bytes
+            if self.include_tlb:
+                total = total + tlb_cost(footprint, self.geometry)
+            if self.include_page_faults:
+                total = total + page_fault_cost(
+                    footprint, self.geometry, self.resident_fraction
+                )
+        return total

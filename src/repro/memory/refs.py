@@ -1,0 +1,111 @@
+"""Array-reference footprint analysis for the memory cost model.
+
+For each array reference in a loop nest we need, per loop level: does
+the reference *move* with that loop, and if it moves through the
+contiguous (first, in Fortran's column-major order) dimension, with
+what stride?  That is all the line-counting model of Ferrante, Sarkar
+and Thrash needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from ..analysis.dependence import _affine_parts, _NotAffine
+from ..ir.nodes import ArrayRef, Assign, Do, Stmt
+from ..ir.symtab import SymbolTable
+from ..ir.visitor import walk_exprs, walk_stmts
+
+__all__ = ["RefBehavior", "LevelBehavior", "collect_references", "analyze_reference"]
+
+
+@dataclass(frozen=True)
+class LevelBehavior:
+    """How one reference behaves w.r.t. one loop level."""
+
+    index: str
+    moves: bool                 # subscripts mention this index
+    contiguous_stride: Fraction | None  # stride (elements) in dim 1, if that
+    # dimension is affine in this index; None when the index only moves
+    # non-contiguous dimensions (every iteration touches a new line).
+
+
+@dataclass(frozen=True)
+class RefBehavior:
+    """Per-level behavior of one array reference."""
+
+    ref: ArrayRef
+    element_bytes: int
+    levels: tuple[LevelBehavior, ...]
+
+    def behavior_at(self, index: str) -> LevelBehavior:
+        for level in self.levels:
+            if level.index == index:
+                return level
+        raise KeyError(index)
+
+
+def collect_references(body: tuple[Stmt, ...]) -> list[ArrayRef]:
+    """Every distinct array reference in a statement tree (reads+writes)."""
+    seen: list[ArrayRef] = []
+    for stmt in walk_stmts(body):
+        exprs = []
+        if isinstance(stmt, Assign):
+            exprs.append(stmt.value)
+            if isinstance(stmt.target, ArrayRef):
+                exprs.append(stmt.target)
+        elif isinstance(stmt, Do):
+            exprs.extend([stmt.lb, stmt.ub, stmt.step])
+        elif hasattr(stmt, "cond"):
+            exprs.append(stmt.cond)
+        for expr in exprs:
+            for node in walk_exprs(expr):
+                if isinstance(node, ArrayRef) and node not in seen:
+                    seen.append(node)
+    return seen
+
+
+def analyze_reference(
+    ref: ArrayRef,
+    symtab: SymbolTable,
+    nest_indices: tuple[str, ...],
+) -> RefBehavior:
+    """Per-level movement/stride classification of one reference."""
+    element_bytes = symtab.scalar_type(ref.name).size_bytes
+    levels: list[LevelBehavior] = []
+    for index in nest_indices:
+        moves = False
+        contiguous: Fraction | None = None
+        only_contiguous = True
+        for dim, sub in enumerate(ref.subscripts):
+            try:
+                coeff, _, _ = _affine_parts(sub, index)
+            except _NotAffine:
+                # Unknown subscript: assume it moves, non-contiguously.
+                if _mentions(sub, index):
+                    moves = True
+                    only_contiguous = False
+                continue
+            if coeff != 0:
+                moves = True
+                if dim == 0:
+                    contiguous = abs(coeff)
+                else:
+                    only_contiguous = False
+        if not moves:
+            levels.append(LevelBehavior(index, False, None))
+        elif contiguous is not None and only_contiguous:
+            levels.append(LevelBehavior(index, True, contiguous))
+        else:
+            levels.append(LevelBehavior(index, True, None))
+    return RefBehavior(ref, element_bytes, tuple(levels))
+
+
+def _mentions(expr, index: str) -> bool:
+    from ..ir.nodes import VarRef
+
+    return any(
+        isinstance(node, VarRef) and node.name == index
+        for node in walk_exprs(expr)
+    )

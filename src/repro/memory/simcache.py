@@ -1,0 +1,157 @@
+"""Reference set-associative cache simulator (validation substrate).
+
+The line-counting model of :mod:`repro.memory.cache` is an analytical
+approximation; this simulator is its ground truth.  Bench ``E-MEM``
+enumerates a loop nest's actual address trace for concrete bounds and
+compares simulated misses against the model's counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..ir.nodes import ArrayRef, Assign, Do, IntConst, Stmt, VarRef
+from ..ir.symtab import SymbolTable
+from ..ir.visitor import walk_exprs
+from ..machine.machine import MemoryGeometry
+
+__all__ = ["SetAssociativeCache", "trace_nest", "simulate_nest_misses"]
+
+
+class SetAssociativeCache:
+    """An LRU set-associative cache over byte addresses."""
+
+    def __init__(self, geometry: MemoryGeometry):
+        self.line = geometry.cache_line_bytes
+        self.sets = max(
+            1,
+            geometry.cache_size_bytes
+            // (geometry.cache_line_bytes * geometry.cache_associativity),
+        )
+        self.ways = geometry.cache_associativity
+        self._sets: list[list[int]] = [[] for _ in range(self.sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, address: int) -> bool:
+        """Touch one byte address; returns True on hit."""
+        tag = address // self.line
+        index = tag % self.sets
+        ways = self._sets[index]
+        if tag in ways:
+            ways.remove(tag)
+            ways.append(tag)  # most recently used at the end
+            self.hits += 1
+            return True
+        ways.append(tag)
+        if len(ways) > self.ways:
+            ways.pop(0)
+        self.misses += 1
+        return False
+
+    def run(self, addresses: Iterable[int]) -> None:
+        for address in addresses:
+            self.access(address)
+
+
+@dataclass
+class _ArrayLayout:
+    base: int
+    dims: tuple[int, ...]
+    element_bytes: int
+
+    def address(self, subscripts: tuple[int, ...]) -> int:
+        # Fortran column-major, 1-based subscripts.
+        offset = 0
+        stride = 1
+        for sub, dim in zip(subscripts, self.dims):
+            offset += (sub - 1) * stride
+            stride *= dim
+        return self.base + offset * self.element_bytes
+
+
+def _eval_expr(expr, env: dict[str, int]) -> int:
+    from ..ir.nodes import BinOp, UnOp
+
+    if isinstance(expr, IntConst):
+        return expr.value
+    if isinstance(expr, VarRef):
+        return env[expr.name]
+    if isinstance(expr, UnOp) and expr.op == "-":
+        return -_eval_expr(expr.operand, env)
+    if isinstance(expr, BinOp):
+        left = _eval_expr(expr.left, env)
+        right = _eval_expr(expr.right, env)
+        ops = {"+": lambda: left + right, "-": lambda: left - right,
+               "*": lambda: left * right, "/": lambda: left // right,
+               "**": lambda: left ** right}
+        if expr.op in ops:
+            return ops[expr.op]()
+    raise ValueError(f"cannot evaluate {expr} numerically")
+
+
+def trace_nest(
+    loop: Do,
+    symtab: SymbolTable,
+    env: dict[str, int],
+    dim_sizes: dict[str, tuple[int, ...]],
+) -> list[int]:
+    """Enumerate the nest's byte-address trace for concrete bounds.
+
+    ``env`` binds free scalars (e.g. ``n``); ``dim_sizes`` gives each
+    array's concrete extents.  Arrays are laid out back to back with
+    padding so they never alias.
+    """
+    layouts: dict[str, _ArrayLayout] = {}
+    base = 0
+    for name, dims in sorted(dim_sizes.items()):
+        element = symtab.scalar_type(name).size_bytes
+        layouts[name] = _ArrayLayout(base, dims, element)
+        size = element
+        for d in dims:
+            size *= d
+        base += size + 1024  # pad between arrays
+
+    trace: list[int] = []
+
+    def run_stmts(stmts: tuple[Stmt, ...], local: dict[str, int]) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, Do):
+                lb = _eval_expr(stmt.lb, local)
+                ub = _eval_expr(stmt.ub, local)
+                step = _eval_expr(stmt.step, local)
+                k = lb
+                while (step > 0 and k <= ub) or (step < 0 and k >= ub):
+                    run_stmts(stmt.body, {**local, stmt.var: k})
+                    k += step
+            elif isinstance(stmt, Assign):
+                for node in walk_exprs(stmt.value):
+                    if isinstance(node, ArrayRef):
+                        _touch(node, local)
+                if isinstance(stmt.target, ArrayRef):
+                    _touch(stmt.target, local)
+            else:
+                raise ValueError(f"trace_nest cannot handle {stmt}")
+
+    def _touch(ref: ArrayRef, local: dict[str, int]) -> None:
+        layout = layouts[ref.name]
+        subs = tuple(_eval_expr(s, local) for s in ref.subscripts)
+        trace.append(layout.address(subs))
+
+    run_stmts((loop,), dict(env))
+    return trace
+
+
+def simulate_nest_misses(
+    loop: Do,
+    symtab: SymbolTable,
+    geometry: MemoryGeometry,
+    env: dict[str, int],
+    dim_sizes: dict[str, tuple[int, ...]],
+) -> tuple[int, int]:
+    """(misses, total accesses) of the nest on the reference cache."""
+    trace = trace_nest(loop, symtab, env, dim_sizes)
+    cache = SetAssociativeCache(geometry)
+    cache.run(trace)
+    return cache.misses, len(trace)

@@ -1,0 +1,45 @@
+"""TLB and page-fault cost terms (paper section 2.3).
+
+Crude by design, like the paper's: the number of distinct pages touched
+approximates both cold TLB misses and first-touch page faults; when the
+page working set exceeds the TLB, capacity misses recur per outer
+traversal.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from ..machine.machine import MemoryGeometry
+from ..symbolic.expr import PerfExpr
+
+__all__ = ["tlb_cost", "page_fault_cost", "pages_touched"]
+
+
+def pages_touched(footprint_bytes: PerfExpr, geometry: MemoryGeometry) -> PerfExpr:
+    """Distinct pages covered by a footprint (fractional = expected)."""
+    return footprint_bytes * PerfExpr.const(Fraction(1, geometry.page_bytes))
+
+
+def tlb_cost(footprint_bytes: PerfExpr, geometry: MemoryGeometry) -> PerfExpr:
+    """Cycles of TLB misses for one traversal of the footprint.
+
+    Cold misses: one per page.  If the (concrete) page count exceeds
+    the TLB, each page misses again on every reuse traversal; symbolic
+    footprints keep the cold-miss term only.
+    """
+    pages = pages_touched(footprint_bytes, geometry)
+    return pages * PerfExpr.const(geometry.tlb_miss_cycles)
+
+
+def page_fault_cost(
+    footprint_bytes: PerfExpr,
+    geometry: MemoryGeometry,
+    resident_fraction: Fraction = Fraction(1),
+) -> PerfExpr:
+    """First-touch page faults for the non-resident share of the data."""
+    if not 0 <= resident_fraction <= 1:
+        raise ValueError("resident_fraction must be within [0, 1]")
+    missing = PerfExpr.const(Fraction(1) - resident_fraction)
+    pages = pages_touched(footprint_bytes, geometry)
+    return pages * missing * PerfExpr.const(geometry.page_fault_cycles)

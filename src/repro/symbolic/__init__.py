@@ -1,0 +1,51 @@
+"""Symbolic performance-expression engine (Wang 1994, sections 2.4 & 3).
+
+Exact polynomials, rational functions, interval bound propagation,
+closed-form roots to degree four, sign regions, positive/negative-part
+integrals, and certified negligible-term dropping.
+"""
+
+from .expr import PerfExpr, Unknown, UnknownKind, as_perf
+from .integrate import PosNegIntegrals, antiderivative, integrate, split_integrals
+from .intervals import Bounds, Interval, bound_poly
+from .poly import Monomial, Poly, PolyError, as_poly
+from .rational import RationalFn, as_rational
+from .roots import Root, real_roots, solve_cubic, solve_quadratic, solve_quartic
+from .signs import Sign, SignRegion, clear_laurent, decide_sign, sign_regions
+from .simplify import DroppedTerm, SimplifyResult, drop_negligible_terms
+from .summation import power_sum, sum_poly
+
+__all__ = [
+    "Bounds",
+    "DroppedTerm",
+    "Interval",
+    "Monomial",
+    "PerfExpr",
+    "Poly",
+    "PolyError",
+    "PosNegIntegrals",
+    "RationalFn",
+    "Root",
+    "Sign",
+    "SignRegion",
+    "SimplifyResult",
+    "Unknown",
+    "UnknownKind",
+    "antiderivative",
+    "as_perf",
+    "as_poly",
+    "as_rational",
+    "bound_poly",
+    "clear_laurent",
+    "decide_sign",
+    "drop_negligible_terms",
+    "integrate",
+    "real_roots",
+    "sign_regions",
+    "solve_cubic",
+    "solve_quadratic",
+    "solve_quartic",
+    "split_integrals",
+    "power_sum",
+    "sum_poly",
+]

@@ -1,0 +1,218 @@
+"""Performance expressions: polynomials plus knowledge about unknowns.
+
+A :class:`PerfExpr` is the currency of the whole framework: the
+estimated cost (in machine cycles) of a program fragment, represented
+as an exact polynomial over the program's *unknowns* -- loop trip
+counts, loop bounds, conditional branch probabilities, and conditional
+split points -- together with whatever bounds on those unknowns the
+compiler has discovered.  Keeping the bounds attached to the expression
+lets sign queries and simplification run without a separate
+environment, and lets expressions from different program regions merge
+their knowledge when combined (section 2.4 of the paper).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from fractions import Fraction
+from numbers import Rational
+from typing import Mapping, Union
+
+from .intervals import Interval
+from .poly import Poly, PolyError, as_poly
+from .signs import Sign, decide_sign
+from .simplify import SimplifyResult, drop_negligible_terms
+
+__all__ = ["UnknownKind", "Unknown", "PerfExpr", "as_perf"]
+
+
+class UnknownKind(enum.Enum):
+    """What a symbolic variable in a performance expression stands for."""
+
+    TRIP_COUNT = "trip_count"       # number of iterations of a loop
+    LOOP_BOUND = "loop_bound"       # an lb/ub/step value
+    BRANCH_PROB = "branch_prob"     # reaching probability of a branch
+    SPLIT_POINT = "split_point"     # e.g. k in `if (i .le. k)`
+    PARAMETER = "parameter"         # formal parameter of a procedure
+    MACHINE = "machine"             # machine parameter (latency, bandwidth)
+
+
+@dataclass(frozen=True)
+class Unknown:
+    """A symbolic variable with its semantic kind and default bounds."""
+
+    name: str
+    kind: UnknownKind = UnknownKind.PARAMETER
+    description: str = ""
+
+    def default_interval(self) -> Interval:
+        if self.kind is UnknownKind.BRANCH_PROB:
+            return Interval.probability()
+        if self.kind in (UnknownKind.TRIP_COUNT, UnknownKind.MACHINE):
+            return Interval.nonnegative()
+        return Interval.unbounded()
+
+
+PerfLike = Union["PerfExpr", Poly, int, Fraction]
+
+
+@dataclass(frozen=True)
+class PerfExpr:
+    """An exact symbolic cost with bounds and unknown metadata attached.
+
+    Arithmetic (`+`, `-`, `*`) merges the bounds of both operands by
+    intersection (both pieces of knowledge hold simultaneously) and the
+    unknown tables by union.
+    """
+
+    poly: Poly
+    bounds: Mapping[str, Interval] = field(default_factory=dict)
+    unknowns: Mapping[str, Unknown] = field(default_factory=dict)
+
+    # -- constructors ------------------------------------------------------
+    @classmethod
+    def const(cls, value: Rational | int) -> "PerfExpr":
+        return cls(Poly.const(value))
+
+    @classmethod
+    def zero(cls) -> "PerfExpr":
+        return cls(Poly.zero())
+
+    @classmethod
+    def unknown(
+        cls,
+        name: str,
+        kind: UnknownKind = UnknownKind.PARAMETER,
+        interval: Interval | None = None,
+        description: str = "",
+    ) -> "PerfExpr":
+        meta = Unknown(name, kind, description)
+        bounds = {name: interval if interval is not None else meta.default_interval()}
+        return cls(Poly.var(name), bounds, {name: meta})
+
+    # -- inspection ----------------------------------------------------------
+    def is_constant(self) -> bool:
+        return self.poly.is_constant()
+
+    def constant_value(self) -> Fraction:
+        return self.poly.constant_value()
+
+    def variables(self) -> frozenset[str]:
+        return self.poly.variables()
+
+    def effective_bounds(self) -> dict[str, Interval]:
+        """Bounds for every variable, defaulting by unknown kind."""
+        out: dict[str, Interval] = {}
+        for var in self.poly.variables():
+            if var in self.bounds:
+                out[var] = self.bounds[var]
+            elif var in self.unknowns:
+                out[var] = self.unknowns[var].default_interval()
+            else:
+                out[var] = Interval.unbounded()
+        return out
+
+    # -- combination ------------------------------------------------------------
+    def _merged_env(self, other: "PerfExpr") -> tuple[dict, dict]:
+        bounds = dict(self.bounds)
+        for name, interval in other.bounds.items():
+            if name in bounds:
+                narrowed = bounds[name].intersect(interval)
+                if narrowed is None:
+                    raise PolyError(f"contradictory bounds for {name}")
+                bounds[name] = narrowed
+            else:
+                bounds[name] = interval
+        unknowns = dict(self.unknowns)
+        unknowns.update({k: v for k, v in other.unknowns.items() if k not in unknowns})
+        return bounds, unknowns
+
+    def _coerce(self, other: PerfLike) -> "PerfExpr | None":
+        if isinstance(other, PerfExpr):
+            return other
+        if isinstance(other, (Poly, int, Fraction)):
+            return PerfExpr(as_poly(other))
+        return None
+
+    def __add__(self, other: PerfLike) -> "PerfExpr":
+        rhs = self._coerce(other)
+        if rhs is None:
+            return NotImplemented
+        bounds, unknowns = self._merged_env(rhs)
+        return PerfExpr(self.poly + rhs.poly, bounds, unknowns)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "PerfExpr":
+        return PerfExpr(-self.poly, self.bounds, self.unknowns)
+
+    def __sub__(self, other: PerfLike) -> "PerfExpr":
+        rhs = self._coerce(other)
+        if rhs is None:
+            return NotImplemented
+        return self + (-rhs)
+
+    def __rsub__(self, other: PerfLike) -> "PerfExpr":
+        rhs = self._coerce(other)
+        if rhs is None:
+            return NotImplemented
+        return rhs + (-self)
+
+    def __mul__(self, other: PerfLike) -> "PerfExpr":
+        rhs = self._coerce(other)
+        if rhs is None:
+            return NotImplemented
+        bounds, unknowns = self._merged_env(rhs)
+        return PerfExpr(self.poly * rhs.poly, bounds, unknowns)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: PerfLike) -> "PerfExpr":
+        rhs = self._coerce(other)
+        if rhs is None:
+            return NotImplemented
+        bounds, unknowns = self._merged_env(rhs)
+        return PerfExpr(self.poly / rhs.poly, bounds, unknowns)
+
+    # -- knowledge updates -----------------------------------------------------
+    def with_bound(self, name: str, interval: Interval) -> "PerfExpr":
+        """Return a copy with a (possibly narrowed) bound for one unknown."""
+        bounds = dict(self.bounds)
+        if name in bounds:
+            narrowed = bounds[name].intersect(interval)
+            if narrowed is None:
+                raise PolyError(f"contradictory bounds for {name}")
+            bounds[name] = narrowed
+        else:
+            bounds[name] = interval
+        return PerfExpr(self.poly, bounds, self.unknowns)
+
+    def substitute(self, bindings: Mapping[str, Poly | int | Fraction]) -> "PerfExpr":
+        """Bind unknowns to values or expressions (the delayed guess)."""
+        poly = self.poly.substitute(bindings)
+        bounds = {k: v for k, v in self.bounds.items() if k not in bindings}
+        unknowns = {k: v for k, v in self.unknowns.items() if k not in bindings}
+        return PerfExpr(poly, bounds, unknowns)
+
+    def evaluate(self, values: Mapping[str, Rational | int]) -> Fraction:
+        return self.poly.evaluate(values)
+
+    # -- queries ------------------------------------------------------------------
+    def sign(self) -> Sign:
+        """Sign of this expression over its own bounds."""
+        return decide_sign(self.poly, self.effective_bounds())
+
+    def simplified(self, rel_tol: Fraction | float = Fraction(1, 1000)) -> SimplifyResult:
+        """Drop provably negligible terms relative to the attached bounds."""
+        return drop_negligible_terms(self.poly, self.effective_bounds(), rel_tol)
+
+    def __str__(self) -> str:
+        return str(self.poly)
+
+
+def as_perf(value: PerfLike) -> PerfExpr:
+    """Coerce a Poly, int, or Fraction into a :class:`PerfExpr`."""
+    if isinstance(value, PerfExpr):
+        return value
+    return PerfExpr(as_poly(value))

@@ -1,0 +1,230 @@
+"""Interval arithmetic and bound propagation for performance expressions.
+
+The paper (section 3.1) decides the sign of a performance difference
+"based on bounds on the variables" whenever possible, so that the
+compiler "may not have to guess values of the unknowns".  This module
+provides closed rational intervals (endpoints may be +/- infinity),
+their arithmetic, and naive interval evaluation of polynomials over a
+box of variable bounds.
+
+Interval arithmetic is conservative: the computed enclosure always
+contains the true range, so a definite sign verdict is sound, while an
+indefinite one merely means "the bounds were not enough" -- exactly the
+situation in which the paper falls back to run-time tests or guesses.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+from numbers import Rational
+from typing import Mapping, Union
+
+from .poly import Poly, PolyError
+
+__all__ = ["Interval", "Bounds", "bound_poly"]
+
+Endpoint = Union[Fraction, float]  # float only for +/- inf
+
+_NEG_INF = float("-inf")
+_POS_INF = float("inf")
+
+
+def _as_endpoint(value: Rational | float) -> Endpoint:
+    if isinstance(value, float):
+        if math.isinf(value):
+            return value
+        if math.isnan(value):
+            raise ValueError("NaN endpoint")
+        return Fraction(value)
+    return Fraction(value)
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed interval [lo, hi]; endpoints rational or infinite."""
+
+    lo: Endpoint
+    hi: Endpoint
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "lo", _as_endpoint(self.lo))
+        object.__setattr__(self, "hi", _as_endpoint(self.hi))
+        if self.lo > self.hi:
+            raise ValueError(f"empty interval [{self.lo}, {self.hi}]")
+
+    # -- constructors ---------------------------------------------------
+    @classmethod
+    def point(cls, value: Rational) -> "Interval":
+        frac = Fraction(value)
+        return cls(frac, frac)
+
+    @classmethod
+    def unbounded(cls) -> "Interval":
+        return cls(_NEG_INF, _POS_INF)
+
+    @classmethod
+    def nonnegative(cls) -> "Interval":
+        return cls(Fraction(0), _POS_INF)
+
+    @classmethod
+    def probability(cls) -> "Interval":
+        """The [0, 1] interval used for branch probabilities."""
+        return cls(Fraction(0), Fraction(1))
+
+    # -- predicates ------------------------------------------------------
+    def is_point(self) -> bool:
+        return self.lo == self.hi
+
+    def contains(self, value: Rational | float) -> bool:
+        return self.lo <= value <= self.hi
+
+    def strictly_positive(self) -> bool:
+        return self.lo > 0
+
+    def strictly_negative(self) -> bool:
+        return self.hi < 0
+
+    def nonneg(self) -> bool:
+        return self.lo >= 0
+
+    def nonpos(self) -> bool:
+        return self.hi <= 0
+
+    def width(self) -> Endpoint:
+        if isinstance(self.lo, float) or isinstance(self.hi, float):
+            return _POS_INF
+        return self.hi - self.lo
+
+    def midpoint(self) -> Fraction:
+        if isinstance(self.lo, float) or isinstance(self.hi, float):
+            raise ValueError("midpoint of an unbounded interval")
+        return (self.lo + self.hi) / 2
+
+    def intersect(self, other: "Interval") -> "Interval | None":
+        lo = max(self.lo, other.lo)
+        hi = min(self.hi, other.hi)
+        if lo > hi:
+            return None
+        return Interval(lo, hi)
+
+    # -- arithmetic -------------------------------------------------------
+    def __add__(self, other: "Interval") -> "Interval":
+        return Interval(_add(self.lo, other.lo), _add(self.hi, other.hi))
+
+    def __neg__(self) -> "Interval":
+        return Interval(_neg(self.hi), _neg(self.lo))
+
+    def __sub__(self, other: "Interval") -> "Interval":
+        return self + (-other)
+
+    def __mul__(self, other: "Interval") -> "Interval":
+        products = [
+            _mul(self.lo, other.lo),
+            _mul(self.lo, other.hi),
+            _mul(self.hi, other.lo),
+            _mul(self.hi, other.hi),
+        ]
+        return Interval(min(products), max(products))
+
+    def scale(self, factor: Rational) -> "Interval":
+        frac = Fraction(factor)
+        if frac >= 0:
+            return Interval(_mul(self.lo, frac), _mul(self.hi, frac))
+        return Interval(_mul(self.hi, frac), _mul(self.lo, frac))
+
+    def power(self, exponent: int) -> "Interval":
+        """Enclosure of x**exponent over the interval.
+
+        Negative exponents require the interval to exclude zero.
+        """
+        if exponent == 0:
+            return Interval.point(1)
+        if exponent < 0:
+            return self.reciprocal().power(-exponent)
+        if exponent % 2 == 1:
+            return Interval(_pow(self.lo, exponent), _pow(self.hi, exponent))
+        # Even power: minimum at 0 if the interval straddles it.
+        ends = (_pow(self.lo, exponent), _pow(self.hi, exponent))
+        if self.contains(0):
+            return Interval(Fraction(0), max(ends))
+        return Interval(min(ends), max(ends))
+
+    def reciprocal(self) -> "Interval":
+        if self.contains(0):
+            raise ValueError(f"reciprocal of interval containing 0: {self}")
+        return Interval(_recip(self.hi), _recip(self.lo))
+
+    def abs_sup(self) -> Endpoint:
+        """Supremum of |x| over the interval (may be infinite)."""
+        return max(_abs(self.lo), _abs(self.hi))
+
+    def __str__(self) -> str:
+        return f"[{self.lo}, {self.hi}]"
+
+
+# Endpoint arithmetic with infinities -------------------------------------
+
+def _add(a: Endpoint, b: Endpoint) -> Endpoint:
+    if isinstance(a, float) or isinstance(b, float):
+        return float(a) + float(b)
+    return a + b
+
+
+def _neg(a: Endpoint) -> Endpoint:
+    return -a
+
+
+def _mul(a: Endpoint, b: Endpoint) -> Endpoint:
+    a_inf = isinstance(a, float) and math.isinf(a)
+    b_inf = isinstance(b, float) and math.isinf(b)
+    if a_inf or b_inf:
+        if a == 0 or b == 0:
+            return Fraction(0)  # convention: 0 * inf = 0 for enclosures
+        sign = (1 if a > 0 else -1) * (1 if b > 0 else -1)
+        return _POS_INF if sign > 0 else _NEG_INF
+    return a * b
+
+
+def _pow(a: Endpoint, k: int) -> Endpoint:
+    if isinstance(a, float) and math.isinf(a):
+        if k % 2 == 0:
+            return _POS_INF
+        return a
+    return a ** k
+
+
+def _recip(a: Endpoint) -> Endpoint:
+    if isinstance(a, float) and math.isinf(a):
+        return Fraction(0)
+    return Fraction(1) / a
+
+
+def _abs(a: Endpoint) -> Endpoint:
+    return -a if a < 0 else a
+
+
+#: A box of per-variable bounds.
+Bounds = Mapping[str, Interval]
+
+
+def bound_poly(poly: Poly, bounds: Bounds) -> Interval:
+    """Conservative enclosure of a polynomial's range over a box.
+
+    Every variable of ``poly`` must appear in ``bounds``; variables whose
+    bounds are unknown should be given :meth:`Interval.unbounded`.
+    Evaluation is monomial-wise interval arithmetic, which is sound but
+    not tight (no sub-distributivity refinement is attempted -- the paper
+    only needs sign certificates, which this provides).
+    """
+    missing = poly.variables() - set(bounds)
+    if missing:
+        raise PolyError(f"no bounds for variables: {sorted(missing)}")
+    total = Interval.point(0)
+    for mono, coeff in poly.terms.items():
+        acc = Interval.point(1)
+        for var, exp in mono:
+            acc = acc * bounds[var].power(exp)
+        total = total + acc.scale(coeff)
+    return total

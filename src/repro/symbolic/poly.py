@@ -1,0 +1,451 @@
+"""Exact multivariate (Laurent) polynomials over the rationals.
+
+This module is the arithmetic core of the symbolic performance
+expressions of Wang (PLDI 1994, section 2.4): costs of compound
+statements are represented as polynomials whose variables are the
+unknowns of the program (loop bounds, branch probabilities, split
+points).  Exact :class:`fractions.Fraction` coefficients are used
+throughout so that aggregating many program fragments never magnifies
+rounding error -- a concern the paper calls out explicitly.
+
+Monomials may carry *negative* exponents (Laurent terms) because the
+paper's expressions contain terms such as ``1/x**3`` (section 3.1) and
+trip counts divide by a symbolic ``step``.
+
+The representation is a mapping ``monomial -> coefficient`` where a
+monomial is a sorted tuple of ``(variable, exponent)`` pairs with all
+exponents non-zero.  The empty tuple is the constant monomial.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from numbers import Rational
+from typing import Iterable, Iterator, Mapping, Union
+
+__all__ = ["Monomial", "Poly", "as_poly", "PolyError"]
+
+#: A monomial: sorted tuple of (variable name, non-zero integer exponent).
+Monomial = tuple[tuple[str, int], ...]
+
+#: Things accepted wherever a polynomial operand is expected.
+PolyLike = Union["Poly", int, Fraction]
+
+_ONE_MONOMIAL: Monomial = ()
+
+
+class PolyError(ValueError):
+    """Raised for invalid polynomial operations (e.g. division by zero)."""
+
+
+def _mono_mul(a: Monomial, b: Monomial) -> Monomial:
+    """Multiply two monomials by adding exponents of shared variables."""
+    if not a:
+        return b
+    if not b:
+        return a
+    exps: dict[str, int] = dict(a)
+    for var, exp in b:
+        new = exps.get(var, 0) + exp
+        if new:
+            exps[var] = new
+        else:
+            del exps[var]
+    return tuple(sorted(exps.items()))
+
+
+def _mono_pow(m: Monomial, k: int) -> Monomial:
+    if k == 0 or not m:
+        return _ONE_MONOMIAL
+    return tuple((var, exp * k) for var, exp in m)
+
+
+def _mono_degree(m: Monomial) -> int:
+    """Total degree of a monomial (negative exponents count as written)."""
+    return sum(exp for _, exp in m)
+
+
+def _mono_str(m: Monomial) -> str:
+    if not m:
+        return "1"
+    parts = []
+    for var, exp in m:
+        parts.append(var if exp == 1 else f"{var}^{exp}")
+    return "*".join(parts)
+
+
+class Poly:
+    """An immutable exact multivariate Laurent polynomial.
+
+    Instances support ``+``, ``-``, ``*``, ``**`` (integer power, negative
+    allowed only for monomials), ``/`` by a rational constant or by a
+    monomial polynomial, comparison for equality, hashing, substitution
+    and exact evaluation.
+
+    Construct with the convenience classmethods::
+
+        n = Poly.var("n")
+        cost = 4 * n**2 + 3 * n + 7
+
+    Coefficients are :class:`fractions.Fraction`; any :class:`int` or
+    rational input is converted exactly.
+    """
+
+    __slots__ = ("_terms", "_hash")
+
+    def __init__(self, terms: Mapping[Monomial, Fraction] | None = None):
+        clean: dict[Monomial, Fraction] = {}
+        if terms:
+            for mono, coeff in terms.items():
+                frac = Fraction(coeff)
+                if frac:
+                    clean[mono] = frac
+        self._terms: dict[Monomial, Fraction] = clean
+        self._hash: int | None = None
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def const(cls, value: Rational | int | float) -> "Poly":
+        """Constant polynomial.  Floats are converted exactly via Fraction."""
+        frac = Fraction(value)
+        return cls({_ONE_MONOMIAL: frac}) if frac else cls()
+
+    @classmethod
+    def var(cls, name: str, exponent: int = 1) -> "Poly":
+        """The polynomial ``name**exponent`` (exponent may be negative)."""
+        if not name:
+            raise PolyError("variable name must be non-empty")
+        if exponent == 0:
+            return cls.const(1)
+        return cls({((name, exponent),): Fraction(1)})
+
+    @classmethod
+    def zero(cls) -> "Poly":
+        return cls()
+
+    @classmethod
+    def one(cls) -> "Poly":
+        return cls.const(1)
+
+    @classmethod
+    def from_coeffs(cls, coeffs: Iterable[Rational], var: str) -> "Poly":
+        """Univariate polynomial from coefficients, lowest degree first."""
+        terms: dict[Monomial, Fraction] = {}
+        for power, coeff in enumerate(coeffs):
+            frac = Fraction(coeff)
+            if frac:
+                mono = _ONE_MONOMIAL if power == 0 else ((var, power),)
+                terms[mono] = frac
+        return cls(terms)
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    @property
+    def terms(self) -> Mapping[Monomial, Fraction]:
+        """Read-only view of the term mapping."""
+        return dict(self._terms)
+
+    def __len__(self) -> int:
+        return len(self._terms)
+
+    def __bool__(self) -> bool:
+        return bool(self._terms)
+
+    def is_zero(self) -> bool:
+        return not self._terms
+
+    def is_constant(self) -> bool:
+        return not self._terms or set(self._terms) == {_ONE_MONOMIAL}
+
+    def constant_value(self) -> Fraction:
+        """Value of a constant polynomial; raises PolyError otherwise."""
+        if not self.is_constant():
+            raise PolyError(f"{self} is not constant")
+        return self._terms.get(_ONE_MONOMIAL, Fraction(0))
+
+    def variables(self) -> frozenset[str]:
+        """The set of variable names appearing with non-zero exponent."""
+        return frozenset(var for mono in self._terms for var, _ in mono)
+
+    def degree(self, var: str | None = None) -> int:
+        """Total degree, or degree in one variable.  Zero poly has degree 0."""
+        if not self._terms:
+            return 0
+        if var is None:
+            return max(_mono_degree(m) for m in self._terms)
+        return max((exp for mono in self._terms for v, exp in mono if v == var), default=0)
+
+    def min_degree(self, var: str) -> int:
+        """Smallest exponent of ``var`` across terms (negative for Laurent)."""
+        exps = [dict(mono).get(var, 0) for mono in self._terms]
+        return min(exps, default=0)
+
+    def is_laurent(self) -> bool:
+        """True if any term carries a negative exponent."""
+        return any(exp < 0 for mono in self._terms for _, exp in mono)
+
+    def coefficient(self, mono: Monomial) -> Fraction:
+        return self._terms.get(tuple(sorted(mono)), Fraction(0))
+
+    def coeffs_by_var(self, var: str) -> dict[int, "Poly"]:
+        """Collect terms by the power of one variable.
+
+        Returns ``{exponent: coefficient-polynomial}`` such that
+        ``self == sum(var**e * c for e, c in result.items())``.
+        """
+        buckets: dict[int, dict[Monomial, Fraction]] = {}
+        for mono, coeff in self._terms.items():
+            exps = dict(mono)
+            power = exps.pop(var, 0)
+            rest = tuple(sorted(exps.items()))
+            bucket = buckets.setdefault(power, {})
+            bucket[rest] = bucket.get(rest, Fraction(0)) + coeff
+        return {power: Poly(terms) for power, terms in buckets.items()}
+
+    def univariate_coeffs(self, var: str) -> list[Fraction]:
+        """Dense coefficient list (lowest first) for a univariate polynomial.
+
+        Raises :class:`PolyError` if other variables appear or any exponent
+        of ``var`` is negative.
+        """
+        if self.variables() - {var}:
+            raise PolyError(f"{self} is not univariate in {var}")
+        if self.min_degree(var) < 0:
+            raise PolyError(f"{self} has Laurent terms in {var}")
+        coeffs = [Fraction(0)] * (self.degree(var) + 1)
+        for mono, coeff in self._terms.items():
+            power = dict(mono).get(var, 0)
+            coeffs[power] += coeff
+        return coeffs
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def _coerce(self, other: PolyLike) -> "Poly | None":
+        if isinstance(other, Poly):
+            return other
+        if isinstance(other, (int, Fraction)):
+            return Poly.const(other)
+        return None
+
+    def __add__(self, other: PolyLike) -> "Poly":
+        rhs = self._coerce(other)
+        if rhs is None:
+            return NotImplemented
+        terms = dict(self._terms)
+        for mono, coeff in rhs._terms.items():
+            new = terms.get(mono, Fraction(0)) + coeff
+            if new:
+                terms[mono] = new
+            else:
+                terms.pop(mono, None)
+        return Poly(terms)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Poly":
+        return Poly({m: -c for m, c in self._terms.items()})
+
+    def __sub__(self, other: PolyLike) -> "Poly":
+        rhs = self._coerce(other)
+        if rhs is None:
+            return NotImplemented
+        return self + (-rhs)
+
+    def __rsub__(self, other: PolyLike) -> "Poly":
+        rhs = self._coerce(other)
+        if rhs is None:
+            return NotImplemented
+        return rhs + (-self)
+
+    def __mul__(self, other: PolyLike) -> "Poly":
+        rhs = self._coerce(other)
+        if rhs is None:
+            return NotImplemented
+        terms: dict[Monomial, Fraction] = {}
+        for mono_a, coeff_a in self._terms.items():
+            for mono_b, coeff_b in rhs._terms.items():
+                mono = _mono_mul(mono_a, mono_b)
+                new = terms.get(mono, Fraction(0)) + coeff_a * coeff_b
+                if new:
+                    terms[mono] = new
+                else:
+                    terms.pop(mono, None)
+        return Poly(terms)
+
+    __rmul__ = __mul__
+
+    def __pow__(self, exponent: int) -> "Poly":
+        if not isinstance(exponent, int):
+            return NotImplemented
+        if exponent < 0:
+            inverted = self.invert()
+            return inverted ** (-exponent)
+        result = Poly.one()
+        base = self
+        k = exponent
+        while k:
+            if k & 1:
+                result = result * base
+            base = base * base
+            k >>= 1
+        return result
+
+    def invert(self) -> "Poly":
+        """Multiplicative inverse; only defined for single-term polynomials."""
+        if len(self._terms) != 1:
+            raise PolyError(f"cannot invert non-monomial polynomial {self}")
+        ((mono, coeff),) = self._terms.items()
+        return Poly({_mono_pow(mono, -1): Fraction(1) / coeff})
+
+    def __truediv__(self, other: PolyLike) -> "Poly":
+        rhs = self._coerce(other)
+        if rhs is None:
+            return NotImplemented
+        if rhs.is_zero():
+            raise PolyError("division by zero polynomial")
+        return self * rhs.invert()
+
+    def __rtruediv__(self, other: PolyLike) -> "Poly":
+        lhs = self._coerce(other)
+        if lhs is None:
+            return NotImplemented
+        return lhs * self.invert()
+
+    # ------------------------------------------------------------------
+    # Substitution / evaluation
+    # ------------------------------------------------------------------
+    def substitute(self, bindings: Mapping[str, PolyLike]) -> "Poly":
+        """Replace variables by polynomials or rational values.
+
+        Unbound variables remain symbolic.  Substituting ``0`` for a
+        variable that appears with a negative exponent raises
+        :class:`PolyError`.
+        """
+        if not bindings:
+            return self
+        resolved: dict[str, Poly] = {}
+        for name, value in bindings.items():
+            poly = self._coerce(value)
+            if poly is None:
+                raise PolyError(f"cannot substitute {value!r} for {name}")
+            resolved[name] = poly
+        result = Poly.zero()
+        for mono, coeff in self._terms.items():
+            term = Poly.const(coeff)
+            for var, exp in mono:
+                replacement = resolved.get(var)
+                if replacement is None:
+                    term = term * Poly.var(var, exp)
+                elif exp >= 0:
+                    term = term * replacement ** exp
+                else:
+                    if replacement.is_zero():
+                        raise PolyError(f"substituting 0 for {var} in Laurent term")
+                    term = term * replacement.invert() ** (-exp)
+            result = result + term
+        return result
+
+    def evaluate(self, values: Mapping[str, Rational | float]) -> Fraction:
+        """Exactly evaluate with all variables bound to rational values."""
+        missing = self.variables() - set(values)
+        if missing:
+            raise PolyError(f"unbound variables: {sorted(missing)}")
+        total = Fraction(0)
+        for mono, coeff in self._terms.items():
+            term = coeff
+            for var, exp in mono:
+                base = Fraction(values[var])
+                if exp < 0 and base == 0:
+                    raise PolyError(f"evaluating 1/{var} at 0")
+                term *= base ** exp
+            total += term
+        return total
+
+    def evaluate_float(self, values: Mapping[str, float]) -> float:
+        """Floating-point evaluation (for plotting and benchmarks)."""
+        total = 0.0
+        for mono, coeff in self._terms.items():
+            term = float(coeff)
+            for var, exp in mono:
+                term *= float(values[var]) ** exp
+            total += term
+        return total
+
+    def derivative(self, var: str) -> "Poly":
+        """Partial derivative with respect to ``var``."""
+        terms: dict[Monomial, Fraction] = {}
+        for mono, coeff in self._terms.items():
+            exps = dict(mono)
+            exp = exps.get(var, 0)
+            if exp == 0:
+                continue
+            new_exp = exp - 1
+            if new_exp:
+                exps[var] = new_exp
+            else:
+                del exps[var]
+            new_mono = tuple(sorted(exps.items()))
+            new = terms.get(new_mono, Fraction(0)) + coeff * exp
+            if new:
+                terms[new_mono] = new
+            else:
+                terms.pop(new_mono, None)
+        return Poly(terms)
+
+    # ------------------------------------------------------------------
+    # Equality / hashing / display
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, (int, Fraction)):
+            other = Poly.const(other)
+        if not isinstance(other, Poly):
+            return NotImplemented
+        return self._terms == other._terms
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(frozenset(self._terms.items()))
+        return self._hash
+
+    def _sorted_terms(self) -> Iterator[tuple[Monomial, Fraction]]:
+        def key(item: tuple[Monomial, Fraction]):
+            mono, _ = item
+            return (-_mono_degree(mono), mono)
+
+        return iter(sorted(self._terms.items(), key=key))
+
+    def __str__(self) -> str:
+        if not self._terms:
+            return "0"
+        parts: list[str] = []
+        for mono, coeff in self._sorted_terms():
+            sign = "-" if coeff < 0 else "+"
+            mag = abs(coeff)
+            if not mono:
+                body = str(mag)
+            elif mag == 1:
+                body = _mono_str(mono)
+            else:
+                body = f"{mag}*{_mono_str(mono)}"
+            parts.append((sign, body))
+        first_sign, first_body = parts[0]
+        out = ("-" if first_sign == "-" else "") + first_body
+        for sign, body in parts[1:]:
+            out += f" {sign} {body}"
+        return out
+
+    def __repr__(self) -> str:
+        return f"Poly({self})"
+
+
+def as_poly(value: PolyLike) -> Poly:
+    """Coerce an int, Fraction, or Poly into a :class:`Poly`."""
+    if isinstance(value, Poly):
+        return value
+    if isinstance(value, (int, Fraction)):
+        return Poly.const(value)
+    raise PolyError(f"cannot interpret {value!r} as a polynomial")

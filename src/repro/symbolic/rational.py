@@ -1,0 +1,174 @@
+"""Rational functions of performance unknowns.
+
+Laurent polynomials (:mod:`repro.symbolic.poly`) cover division by a
+monomial (``1/step``), but some of the paper's expressions divide by a
+general polynomial -- e.g. the reaching probability of a loop-index
+conditional is ``step / (ub - lb)`` (section 3.3.2).  A
+:class:`RationalFn` is a quotient of two polynomials with lightweight
+normalization: denominators that are constants or monomials are folded
+into the numerator, and common constant factors are removed.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Mapping, Union
+
+from .intervals import Bounds, bound_poly
+from .poly import Poly, PolyError, as_poly
+from .signs import Sign, decide_sign
+
+__all__ = ["RationalFn", "as_rational"]
+
+RationalLike = Union["RationalFn", Poly, int, Fraction]
+
+
+class RationalFn:
+    """An immutable quotient ``num / den`` of exact polynomials."""
+
+    __slots__ = ("num", "den")
+
+    def __init__(self, num: Poly, den: Poly | None = None):
+        den = Poly.one() if den is None else den
+        if den.is_zero():
+            raise PolyError("rational function with zero denominator")
+        # Fold invertible (monomial) denominators into the numerator.
+        if len(den.terms) == 1:
+            num = num * den.invert()
+            den = Poly.one()
+        elif den.is_constant():
+            num = num / den.constant_value()
+            den = Poly.one()
+        self.num = num
+        self.den = den
+
+    # -- constructors ----------------------------------------------------
+    @classmethod
+    def const(cls, value: Fraction | int) -> "RationalFn":
+        return cls(Poly.const(value))
+
+    @classmethod
+    def var(cls, name: str) -> "RationalFn":
+        return cls(Poly.var(name))
+
+    # -- predicates --------------------------------------------------------
+    def is_polynomial(self) -> bool:
+        return self.den.is_constant() and self.den.constant_value() == 1
+
+    def as_poly(self) -> Poly:
+        if not self.is_polynomial():
+            raise PolyError(f"{self} has a non-trivial denominator")
+        return self.num
+
+    def is_zero(self) -> bool:
+        return self.num.is_zero()
+
+    def variables(self) -> frozenset[str]:
+        return self.num.variables() | self.den.variables()
+
+    # -- arithmetic ---------------------------------------------------------
+    def _coerce(self, other: RationalLike) -> "RationalFn | None":
+        if isinstance(other, RationalFn):
+            return other
+        if isinstance(other, (Poly, int, Fraction)):
+            return RationalFn(as_poly(other))
+        return None
+
+    def __add__(self, other: RationalLike) -> "RationalFn":
+        rhs = self._coerce(other)
+        if rhs is None:
+            return NotImplemented
+        if self.den == rhs.den:
+            return RationalFn(self.num + rhs.num, self.den)
+        return RationalFn(self.num * rhs.den + rhs.num * self.den, self.den * rhs.den)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "RationalFn":
+        return RationalFn(-self.num, self.den)
+
+    def __sub__(self, other: RationalLike) -> "RationalFn":
+        rhs = self._coerce(other)
+        if rhs is None:
+            return NotImplemented
+        return self + (-rhs)
+
+    def __rsub__(self, other: RationalLike) -> "RationalFn":
+        rhs = self._coerce(other)
+        if rhs is None:
+            return NotImplemented
+        return rhs + (-self)
+
+    def __mul__(self, other: RationalLike) -> "RationalFn":
+        rhs = self._coerce(other)
+        if rhs is None:
+            return NotImplemented
+        return RationalFn(self.num * rhs.num, self.den * rhs.den)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: RationalLike) -> "RationalFn":
+        rhs = self._coerce(other)
+        if rhs is None:
+            return NotImplemented
+        if rhs.is_zero():
+            raise PolyError("division by zero rational function")
+        return RationalFn(self.num * rhs.den, self.den * rhs.num)
+
+    def __rtruediv__(self, other: RationalLike) -> "RationalFn":
+        lhs = self._coerce(other)
+        if lhs is None:
+            return NotImplemented
+        return lhs / self
+
+    # -- evaluation ---------------------------------------------------------
+    def substitute(self, bindings: Mapping[str, Poly | int | Fraction]) -> "RationalFn":
+        return RationalFn(self.num.substitute(bindings), self.den.substitute(bindings))
+
+    def evaluate(self, values: Mapping[str, Fraction | int]) -> Fraction:
+        den = self.den.evaluate(values)
+        if den == 0:
+            raise PolyError("denominator vanishes at the given point")
+        return self.num.evaluate(values) / den
+
+    def sign(self, bounds: Bounds) -> Sign:
+        """Sign of the quotient from the signs of numerator and denominator."""
+        num_sign = decide_sign(self.num, bounds)
+        den_sign = decide_sign(self.den, bounds)
+        if num_sign is Sign.ZERO:
+            return Sign.ZERO
+        if not num_sign.definite() or not den_sign.definite():
+            return Sign.UNKNOWN
+        if den_sign is Sign.ZERO:
+            return Sign.UNKNOWN  # pole somewhere in the box
+        return num_sign if den_sign is Sign.POSITIVE else num_sign.negate()
+
+    def bound(self, bounds: Bounds):
+        """Interval enclosure of the quotient over a box (may raise)."""
+        return bound_poly(self.num, bounds) * bound_poly(self.den, bounds).reciprocal()
+
+    # -- identity -------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        coerced = self._coerce(other) if not isinstance(other, RationalFn) else other
+        if coerced is None:
+            return NotImplemented
+        # Cross-multiplied comparison avoids needing polynomial gcd.
+        return self.num * coerced.den == coerced.num * self.den
+
+    def __hash__(self) -> int:
+        return hash((self.num, self.den))
+
+    def __str__(self) -> str:
+        if self.is_polynomial():
+            return str(self.num)
+        return f"({self.num}) / ({self.den})"
+
+    def __repr__(self) -> str:
+        return f"RationalFn({self})"
+
+
+def as_rational(value: RationalLike) -> RationalFn:
+    """Coerce a Poly, int, or Fraction into a :class:`RationalFn`."""
+    if isinstance(value, RationalFn):
+        return value
+    return RationalFn(as_poly(value))

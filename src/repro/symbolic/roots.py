@@ -1,0 +1,233 @@
+"""Real-root finding for univariate performance polynomials.
+
+Section 3.1 of the paper observes that the difference of two
+performance expressions is typically a polynomial in a *single*
+variable ("since loop transformations modify only one structure at a
+time"), and that closed forms exist for degrees up to 4.  This module
+implements those closed forms (quadratic formula, Cardano, Ferrari)
+plus a numeric companion-matrix fallback for higher degrees, and
+polishes numeric roots back to exact rationals when possible so that
+downstream sign regions get exact endpoints.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Sequence
+
+from .poly import Poly, PolyError
+
+__all__ = ["Root", "real_roots", "solve_quadratic", "solve_cubic", "solve_quartic"]
+
+#: Roots closer together than this (relative) are merged.
+_MERGE_TOL = 1e-9
+#: A float candidate within this distance of an exact rational is polished.
+_POLISH_TOL = 1e-8
+
+
+@dataclass(frozen=True)
+class Root:
+    """A real root: exact :class:`Fraction` when known, float otherwise."""
+
+    value: Fraction | float
+    exact: bool
+
+    def as_float(self) -> float:
+        return float(self.value)
+
+    def __str__(self) -> str:
+        return str(self.value) if self.exact else f"{self.value:.6g}"
+
+
+def solve_quadratic(a: float, b: float, c: float) -> list[float]:
+    """Real roots of a*x**2 + b*x + c, a != 0."""
+    disc = b * b - 4.0 * a * c
+    # A discriminant that is tiny relative to the coefficient scale is
+    # treated as zero so double roots survive floating-point noise.
+    scale = b * b + abs(4.0 * a * c)
+    if abs(disc) <= 1e-12 * scale:
+        disc = 0.0
+    if disc < 0:
+        return []
+    if disc == 0:
+        return [-b / (2.0 * a)]
+    sq = math.sqrt(disc)
+    # Numerically stable form: avoid cancellation in -b +/- sq.
+    q = -0.5 * (b + math.copysign(sq, b))
+    roots = [q / a]
+    if q != 0:
+        roots.append(c / q)
+    else:
+        roots.append(0.0)
+    return sorted(set(roots))
+
+
+def solve_cubic(a: float, b: float, c: float, d: float) -> list[float]:
+    """Real roots of a*x**3 + b*x**2 + c*x + d (Cardano / trigonometric)."""
+    if a == 0:
+        raise ValueError("leading coefficient is zero")
+    # Depressed cubic t**3 + p*t + q via x = t - b/(3a).
+    b, c, d = b / a, c / a, d / a
+    shift = b / 3.0
+    p = c - b * b / 3.0
+    q = 2.0 * b ** 3 / 27.0 - b * c / 3.0 + d
+    roots: list[float]
+    disc = (q / 2.0) ** 2 + (p / 3.0) ** 3
+    # Snap tiny discriminants to zero (double-root case) to avoid losing
+    # a root to floating-point noise.
+    disc_scale = (q / 2.0) ** 2 + abs(p / 3.0) ** 3
+    if abs(disc) <= 1e-12 * disc_scale:
+        disc = 0.0
+    if abs(p) < 1e-300 and abs(q) < 1e-300:
+        roots = [0.0]
+    elif disc > 0:
+        # One real root (Cardano).
+        sq = math.sqrt(disc)
+        u = _cbrt(-q / 2.0 + sq)
+        v = _cbrt(-q / 2.0 - sq)
+        roots = [u + v]
+    elif disc == 0:
+        u = _cbrt(-q / 2.0)
+        roots = [2.0 * u, -u]
+    else:
+        # Three real roots (trigonometric method, p < 0 here).
+        r = math.sqrt(-p / 3.0)
+        phi = math.acos(max(-1.0, min(1.0, 3.0 * q / (2.0 * p * r))))
+        roots = [2.0 * r * math.cos((phi - 2.0 * math.pi * k) / 3.0) for k in range(3)]
+    return sorted(t - shift for t in roots)
+
+
+def solve_quartic(a: float, b: float, c: float, d: float, e: float) -> list[float]:
+    """Real roots of a quartic via Ferrari's resolvent cubic."""
+    if a == 0:
+        raise ValueError("leading coefficient is zero")
+    b, c, d, e = b / a, c / a, d / a, e / a
+    # Depressed quartic y**4 + p*y**2 + q*y + r via x = y - b/4.
+    shift = b / 4.0
+    p = c - 3.0 * b * b / 8.0
+    q = d - b * c / 2.0 + b ** 3 / 8.0
+    r = e - b * d / 4.0 + b * b * c / 16.0 - 3.0 * b ** 4 / 256.0
+    roots: list[float] = []
+    if abs(q) < 1e-12:
+        # Biquadratic: z**2 + p*z + r with z = y**2.
+        for z in solve_quadratic(1.0, p, r):
+            if z >= 0:
+                s = math.sqrt(z)
+                roots.extend([s, -s] if s else [0.0])
+    else:
+        # Resolvent cubic: m**3 + p*m**2 + (p**2/4 - r)*m - q**2/8 = 0.
+        resolvent = solve_cubic(1.0, p, p * p / 4.0 - r, -q * q / 8.0)
+        m = max(resolvent)
+        if m <= 0:
+            m = max((x for x in resolvent if x > 0), default=0.0)
+        if m > 0:
+            s = math.sqrt(2.0 * m)
+            for sign in (1.0, -1.0):
+                # y**2 + sign*s*y + (p/2 + m - sign*q/(2s)) = 0
+                const = p / 2.0 + m - sign * q / (2.0 * s)
+                roots.extend(solve_quadratic(1.0, sign * s, const))
+    return sorted(y - shift for y in roots)
+
+
+def _cbrt(x: float) -> float:
+    return math.copysign(abs(x) ** (1.0 / 3.0), x)
+
+
+def _numeric_roots(coeffs: Sequence[float]) -> list[float]:
+    """Real eigenvalue roots via the companion matrix (degree >= 5)."""
+    import numpy as np
+
+    # numpy.roots wants highest degree first.
+    arr = np.array(list(reversed(coeffs)), dtype=float)
+    values = np.roots(arr)
+    out = []
+    for z in values:
+        if abs(z.imag) < 1e-8 * max(1.0, abs(z.real)):
+            out.append(float(z.real))
+    return sorted(out)
+
+
+def _polish(candidate: float, coeffs: Sequence[Fraction]) -> Root:
+    """Snap a numeric root to a nearby exact rational when it truly is one."""
+    for denominator in (1, 2, 3, 4, 5, 6, 8, 10, 12, 16, 100):
+        approx = Fraction(round(candidate * denominator), denominator)
+        if abs(float(approx) - candidate) <= _POLISH_TOL * max(1.0, abs(candidate)):
+            if _eval_exact(coeffs, approx) == 0:
+                return Root(approx, exact=True)
+    return Root(candidate, exact=False)
+
+
+def _eval_exact(coeffs: Sequence[Fraction], x: Fraction) -> Fraction:
+    total = Fraction(0)
+    for coeff in reversed(coeffs):
+        total = total * x + coeff
+    return total
+
+
+def _dedupe(values: list[float]) -> list[float]:
+    values = sorted(values)
+    out: list[float] = []
+    for v in values:
+        if out and abs(v - out[-1]) <= _MERGE_TOL * max(1.0, abs(v)):
+            continue
+        out.append(v)
+    return out
+
+
+def real_roots(poly: Poly, var: str) -> list[Root]:
+    """All distinct real roots of a univariate polynomial in ``var``.
+
+    The polynomial must be univariate in ``var`` with non-negative
+    exponents (clear Laurent terms first by multiplying through).
+    Constants have no roots; the zero polynomial raises
+    :class:`PolyError` since every point is a root.
+    """
+    if poly.is_zero():
+        raise PolyError("the zero polynomial is identically zero")
+    coeffs = poly.univariate_coeffs(var)
+    # Strip trailing zero coefficients (can't happen post-normalization,
+    # but leading zeros at the high end never occur by construction).
+    while len(coeffs) > 1 and coeffs[-1] == 0:
+        coeffs.pop()
+    degree = len(coeffs) - 1
+    if degree == 0:
+        return []
+    # Factor out x**k when the constant term vanishes: x = 0 is a root.
+    zero_root = False
+    while coeffs[0] == 0:
+        zero_root = True
+        coeffs = coeffs[1:]
+        degree -= 1
+    floats = [float(c) for c in coeffs]
+    if degree == 0:
+        numeric: list[float] = []
+    elif degree == 1:
+        numeric = []  # handled exactly below
+    elif degree == 2:
+        numeric = solve_quadratic(floats[2], floats[1], floats[0])
+    elif degree == 3:
+        numeric = solve_cubic(floats[3], floats[2], floats[1], floats[0])
+    elif degree == 4:
+        numeric = solve_quartic(floats[4], floats[3], floats[2], floats[1], floats[0])
+    else:
+        numeric = _numeric_roots(floats)
+
+    roots: list[Root] = []
+    if zero_root:
+        roots.append(Root(Fraction(0), exact=True))
+    if degree == 1:
+        roots.append(Root(-coeffs[0] / coeffs[1], exact=True))
+    else:
+        for value in _dedupe(numeric):
+            roots.append(_polish(value, coeffs))
+    # Deduplicate after polishing (a polished root may equal the zero root).
+    seen: list[Root] = []
+    for root in sorted(roots, key=lambda r: float(r.value)):
+        if seen and abs(float(root.value) - float(seen[-1].value)) <= _MERGE_TOL:
+            if root.exact and not seen[-1].exact:
+                seen[-1] = root
+            continue
+        seen.append(root)
+    return seen

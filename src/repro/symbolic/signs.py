@@ -1,0 +1,178 @@
+"""Sign analysis of performance expressions.
+
+Implements the decision machinery of section 3.1: given the difference
+``P = C(f) - C(g)`` of two performance expressions, determine *where*
+``P`` is positive or negative.
+
+Two levels are provided:
+
+* :func:`decide_sign` -- a fast, conservative multivariate verdict from
+  interval bound propagation.  When it answers ``POSITIVE`` /
+  ``NEGATIVE`` / ``ZERO`` the answer is sound; ``UNKNOWN`` means the
+  bounds were insufficient (the paper then computes conditions for
+  run-time tests or guesses).
+* :func:`sign_regions` -- the exact univariate analysis: find the real
+  roots of ``P`` inside ``[lb, ub]`` (closed forms up to degree 4) and
+  return the maximal subintervals of constant sign, as in the paper's
+  Figure 10 cubic example.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from fractions import Fraction
+
+from .intervals import Bounds, Interval, bound_poly
+from .poly import Poly, PolyError
+from .roots import Root, real_roots
+
+__all__ = ["Sign", "SignRegion", "decide_sign", "sign_regions", "clear_laurent"]
+
+
+class Sign(enum.Enum):
+    """Verdict of a sign query."""
+
+    POSITIVE = "positive"
+    NEGATIVE = "negative"
+    ZERO = "zero"
+    UNKNOWN = "unknown"
+
+    def definite(self) -> bool:
+        return self is not Sign.UNKNOWN
+
+    def negate(self) -> "Sign":
+        if self is Sign.POSITIVE:
+            return Sign.NEGATIVE
+        if self is Sign.NEGATIVE:
+            return Sign.POSITIVE
+        return self
+
+
+@dataclass(frozen=True)
+class SignRegion:
+    """A maximal subinterval on which the expression has constant sign."""
+
+    interval: Interval
+    sign: Sign
+
+    def __str__(self) -> str:
+        return f"{self.interval}: {self.sign.value}"
+
+
+def decide_sign(poly: Poly, bounds: Bounds) -> Sign:
+    """Conservative multivariate sign verdict by bound propagation.
+
+    Returns a definite sign only when the interval enclosure proves it;
+    never wrong, sometimes ``UNKNOWN``.
+    """
+    if poly.is_zero():
+        return Sign.ZERO
+    if poly.is_constant():
+        value = poly.constant_value()
+        if value > 0:
+            return Sign.POSITIVE
+        if value < 0:
+            return Sign.NEGATIVE
+        return Sign.ZERO
+    try:
+        enclosure = bound_poly(poly, bounds)
+    except (PolyError, ValueError):
+        return Sign.UNKNOWN
+    if enclosure.strictly_positive():
+        return Sign.POSITIVE
+    if enclosure.strictly_negative():
+        return Sign.NEGATIVE
+    if enclosure.lo == 0 and enclosure.hi == 0:
+        return Sign.ZERO
+    return Sign.UNKNOWN
+
+
+def clear_laurent(poly: Poly, var: str) -> Poly:
+    """Multiply through by ``var**k`` to clear negative exponents.
+
+    On a domain with ``var > 0`` this preserves the sign everywhere, so
+    sign regions of the cleared polynomial equal those of the original.
+    """
+    k = poly.min_degree(var)
+    if k >= 0:
+        return poly
+    return poly * Poly.var(var, -k)
+
+
+def _sample_sign(poly: Poly, var: str, at: Fraction) -> Sign:
+    value = poly.evaluate({var: at})
+    if value > 0:
+        return Sign.POSITIVE
+    if value < 0:
+        return Sign.NEGATIVE
+    return Sign.ZERO
+
+
+def sign_regions(poly: Poly, var: str, domain: Interval) -> list[SignRegion]:
+    """Exact sign regions of a univariate polynomial over a bounded domain.
+
+    The polynomial must be univariate in ``var``.  Laurent terms are
+    permitted only when the domain excludes zero (they are cleared by
+    multiplying through by a power of ``var``, which preserves signs on a
+    positive domain and flips the rule consistently on a negative one).
+
+    Returns maximal regions in ascending order; zero-width regions are
+    emitted for isolated roots that fall strictly inside the domain, so
+    that the union of regions is exactly the domain.
+    """
+    if isinstance(domain.lo, float) or isinstance(domain.hi, float):
+        raise ValueError("sign_regions requires a bounded domain")
+    if poly.variables() - {var}:
+        raise PolyError(f"{poly} is not univariate in {var}")
+    if poly.min_degree(var) < 0 and domain.contains(0):
+        raise PolyError("Laurent expression on a domain containing zero")
+
+    work = clear_laurent(poly, var)
+    if poly.min_degree(var) < 0 and domain.hi < 0:
+        # Multiplying by an odd power of a negative variable flips signs.
+        flip = (-poly.min_degree(var)) % 2 == 1
+    else:
+        flip = False
+
+    if work.is_zero():
+        return [SignRegion(domain, Sign.ZERO)]
+    if work.is_constant() or work.degree(var) == 0:
+        sign = _sample_sign(work, var, domain.lo)
+        return [SignRegion(domain, sign.negate() if flip else sign)]
+
+    roots_in = [r for r in real_roots(work, var) if _inside(r, domain)]
+    cuts: list[Fraction] = []
+    for root in roots_in:
+        value = root.value if root.exact else Fraction(root.as_float()).limit_denominator(10 ** 9)
+        if domain.lo < value < domain.hi and value not in cuts:
+            cuts.append(Fraction(value))
+    cuts.sort()
+
+    points = [domain.lo, *cuts, domain.hi]
+    regions: list[SignRegion] = []
+    for i in range(len(points) - 1):
+        lo, hi = points[i], points[i + 1]
+        mid = (Fraction(lo) + Fraction(hi)) / 2
+        sign = _sample_sign(work, var, mid)
+        if flip:
+            sign = sign.negate()
+        _append_region(regions, Interval(lo, hi), sign)
+    if not regions:
+        sign = _sample_sign(work, var, Fraction(domain.lo))
+        regions.append(SignRegion(domain, sign.negate() if flip else sign))
+    return regions
+
+
+def _inside(root: Root, domain: Interval) -> bool:
+    value = float(root.value)
+    return float(domain.lo) - 1e-12 <= value <= float(domain.hi) + 1e-12
+
+
+def _append_region(regions: list[SignRegion], interval: Interval, sign: Sign) -> None:
+    """Append, merging with the previous region when the sign matches."""
+    if regions and regions[-1].sign is sign:
+        prev = regions[-1]
+        regions[-1] = SignRegion(Interval(prev.interval.lo, interval.hi), sign)
+    else:
+        regions.append(SignRegion(interval, sign))

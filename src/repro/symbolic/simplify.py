@@ -1,0 +1,112 @@
+"""Negligible-term simplification of performance expressions.
+
+Section 3.1: "It is also possible for the compiler to change expressions
+to simpler expressions by dropping some terms.  For example, if the
+range of x is [3, 100], then the equation 4x^4 + 2x^3 - 4x + 1/x^3 can
+be changed into 4x^4 + 2x^3 - 4x."
+
+A term is dropped only with a *certificate*: its worst-case magnitude
+over the variable box must be at most ``rel_tol`` times the best-case
+magnitude of the dominant term.  Dropping is therefore sound for
+ranking purposes up to the stated tolerance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from .intervals import Bounds, Interval
+from .poly import Poly
+
+__all__ = ["DroppedTerm", "SimplifyResult", "drop_negligible_terms"]
+
+_DEFAULT_REL_TOL = Fraction(1, 1000)
+
+
+@dataclass(frozen=True)
+class DroppedTerm:
+    """Record of one dropped term and the bound that justified it."""
+
+    term: Poly
+    max_abs: float
+
+    def __str__(self) -> str:
+        return f"dropped {self.term} (|term| <= {self.max_abs:.3g} over bounds)"
+
+
+@dataclass(frozen=True)
+class SimplifyResult:
+    """The simplified polynomial plus an audit trail of dropped terms."""
+
+    poly: Poly
+    dropped: tuple[DroppedTerm, ...]
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.dropped)
+
+
+def _term_abs_sup(mono, coeff: Fraction, bounds: Bounds) -> float:
+    """Supremum of |coeff * monomial| over the box (may be inf)."""
+    acc = Interval.point(1)
+    for var, exp in mono:
+        interval = bounds.get(var)
+        if interval is None:
+            return float("inf")
+        try:
+            acc = acc * interval.power(exp)
+        except ValueError:
+            return float("inf")
+    return abs(float(coeff)) * float(acc.abs_sup())
+
+
+def _term_abs_inf(mono, coeff: Fraction, bounds: Bounds) -> float:
+    """Infimum of |coeff * monomial| over the box (0 when sign can vanish)."""
+    acc_lo = 1.0
+    for var, exp in mono:
+        interval = bounds.get(var)
+        if interval is None:
+            return 0.0
+        try:
+            powered = interval.power(exp)
+        except ValueError:
+            return 0.0
+        lo, hi = float(powered.lo), float(powered.hi)
+        if lo <= 0.0 <= hi:
+            return 0.0
+        acc_lo *= min(abs(lo), abs(hi))
+    return abs(float(coeff)) * acc_lo
+
+
+def drop_negligible_terms(
+    poly: Poly,
+    bounds: Bounds,
+    rel_tol: Fraction | float = _DEFAULT_REL_TOL,
+) -> SimplifyResult:
+    """Drop terms provably negligible relative to the dominant term.
+
+    A term ``t`` is dropped when ``sup |t| <= rel_tol * max_s inf |s|``
+    where the max ranges over the *kept* candidates.  The dominant term
+    is never dropped.  Variables without bounds are treated as unbounded,
+    which prevents dropping any term that mentions them.
+    """
+    if len(poly) <= 1:
+        return SimplifyResult(poly, ())
+    rel = float(rel_tol)
+    infima = {
+        mono: _term_abs_inf(mono, coeff, bounds) for mono, coeff in poly.terms.items()
+    }
+    dominant_floor = max(infima.values(), default=0.0)
+    if dominant_floor == 0.0:
+        return SimplifyResult(poly, ())
+    kept: dict = {}
+    dropped: list[DroppedTerm] = []
+    for mono, coeff in poly.terms.items():
+        sup = _term_abs_sup(mono, coeff, bounds)
+        # Keep the dominant term unconditionally.
+        if infima[mono] == dominant_floor or sup > rel * dominant_floor:
+            kept[mono] = coeff
+        else:
+            dropped.append(DroppedTerm(Poly({mono: coeff}), sup))
+    return SimplifyResult(Poly(kept), tuple(dropped))

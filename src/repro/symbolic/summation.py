@@ -1,0 +1,71 @@
+"""Exact closed-form summation of polynomials over iteration spaces.
+
+The aggregation rule ``C(do k = lb, ub, step {B}) = ... + Σ_k C(B_k)``
+(paper section 2.4.1) needs a *closed form* when the body cost depends
+on the loop variable -- triangular nests, index-split conditionals --
+or the performance expression would not stay polynomial.  Faulhaber's
+formula provides it exactly.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from functools import lru_cache
+from math import comb
+
+from .poly import Poly, PolyError
+
+__all__ = ["power_sum", "sum_poly"]
+
+#: Internal fresh variable for the normalized iteration counter.
+_T = "__t"
+
+
+@lru_cache(maxsize=None)
+def power_sum(m: int) -> Poly:
+    """Faulhaber: ``S_m(n) = sum(k**m for k in 1..n)`` as a Poly in ``n``.
+
+    Computed exactly by the recurrence
+    ``(n+1)**(m+1) - 1 = sum(C(m+1, j) * S_j(n) for j in 0..m)``.
+    """
+    if m < 0:
+        raise ValueError("power_sum needs m >= 0")
+    n = Poly.var("n")
+    lhs = (n + 1) ** (m + 1) - 1
+    for j in range(m):
+        lhs = lhs - comb(m + 1, j) * power_sum(j)
+    return lhs / Fraction(m + 1)
+
+
+def sum_poly(body: Poly, var: str, lb: Poly, ub: Poly, step: Poly | None = None) -> Poly:
+    """Exact ``sum(body(k) for k = lb, ub, step)`` as a polynomial.
+
+    ``lb``, ``ub``, ``step`` may be symbolic.  The trip count is taken
+    to be ``N = (ub - lb + step) / step`` (the Fortran count when it is
+    non-negative and integral; for symbolic bounds this is the standard
+    polynomial extension the paper uses).  The body must not contain
+    Laurent terms in ``var``.
+
+    Raises :class:`PolyError` when ``step`` is not invertible (not a
+    constant or monomial).
+    """
+    step = Poly.one() if step is None else step
+    if body.min_degree(var) < 0:
+        raise PolyError(f"cannot sum Laurent term in {var}")
+    if len(step.terms) != 1:
+        raise PolyError(f"step {step} is not a monomial; introduce an unknown")
+    trips = (ub - lb + step) / step
+    # Normalize: k = lb + step * t with t = 0 .. N-1.
+    t = Poly.var(_T)
+    shifted = body.substitute({var: lb + step * t})
+    buckets = shifted.coeffs_by_var(_T)
+    upper = trips - 1  # sum over t in 0..N-1 -> S_m evaluated at N-1
+    total = Poly.zero()
+    for power, coeff in buckets.items():
+        if power == 0:
+            total = total + coeff * trips
+        else:
+            total = total + coeff * power_sum(power).substitute({"n": upper})
+    if _T in total.variables():
+        raise AssertionError("internal: summation variable escaped")
+    return total

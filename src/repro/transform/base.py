@@ -1,0 +1,169 @@
+"""Transformation framework: sites, paths, and the rewrite protocol.
+
+A *site* addresses a statement inside the (immutable) IR by the path of
+body indices leading to it.  Transformations enumerate their applicable
+sites and rebuild the program functionally; the incremental predictor
+(section 3.3.1) exploits the sharing this leaves behind -- untouched
+subtrees compare equal, so their cached costs are reused.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..ir.nodes import Do, If, Program, Stmt
+
+__all__ = [
+    "Path",
+    "TransformSite",
+    "Transformation",
+    "stmt_at",
+    "replace_at",
+    "loop_paths",
+]
+
+#: A path of body indices from the program root to a statement.  Each
+#: element selects a child: in a Do, the body index; in an If, indices
+#: 0..len(then)-1 address the then-arm and are offset by 1000 for the
+#: else-arm (IR bodies are far smaller than 1000 statements).
+Path = tuple[int, ...]
+
+_ELSE_OFFSET = 1000
+
+
+@dataclass(frozen=True)
+class TransformSite:
+    """One legal application point of a transformation."""
+
+    path: Path
+    description: str
+    parameter: int | None = None  # unroll factor, tile size, ...
+
+
+class Transformation(ABC):
+    """A source-to-source restructuring transformation."""
+
+    name: str = "transformation"
+
+    @abstractmethod
+    def sites(self, program: Program) -> list[TransformSite]:
+        """All legal application sites in the program."""
+
+    @abstractmethod
+    def apply(self, program: Program, site: TransformSite) -> Program:
+        """Functionally rebuild the program with the site transformed."""
+
+    def affected_path(self, site: TransformSite) -> Path:
+        """Root of the region whose cost the transformation may change.
+
+        Default: the site itself (the enclosing structure is rebuilt but
+        its *other* children keep their cached costs).
+        """
+        return site.path
+
+    def __str__(self) -> str:
+        return self.name
+
+
+# ---------------------------------------------------------------------------
+# Path navigation over the immutable IR
+# ---------------------------------------------------------------------------
+
+def stmt_at(program: Program, path: Path) -> Stmt:
+    """The statement addressed by a path.
+
+    A step under an ``If`` parent selects the then-arm for plain
+    indices and the else-arm for indices offset by ``_ELSE_OFFSET``.
+    """
+    node: Stmt | None = None
+    for step in path:
+        if node is None:
+            siblings: tuple[Stmt, ...] = program.body
+            if step >= _ELSE_OFFSET or step >= len(siblings):
+                raise IndexError(f"path step {step} out of range at root")
+            node = siblings[step]
+        elif isinstance(node, Do):
+            if step >= _ELSE_OFFSET or step >= len(node.body):
+                raise IndexError(f"path step {step} out of range in do-body")
+            node = node.body[step]
+        elif isinstance(node, If):
+            if step >= _ELSE_OFFSET:
+                node = node.else_body[step - _ELSE_OFFSET]
+            else:
+                node = node.then_body[step]
+        else:
+            raise IndexError(f"cannot descend into {node}")
+    if node is None:
+        raise IndexError("empty path")
+    return node
+
+
+def replace_at(
+    program: Program, path: Path, replacement: tuple[Stmt, ...]
+) -> Program:
+    """Rebuild the program with the addressed statement replaced.
+
+    ``replacement`` may contain zero, one, or several statements
+    (deletion / substitution / splicing).
+    """
+    if not path:
+        raise IndexError("empty path")
+    new_body = _replace_in(program.body, path, replacement)
+    return Program(program.name, program.decls, new_body, program.params)
+
+
+def _replace_in(
+    stmts: tuple[Stmt, ...], path: Path, replacement: tuple[Stmt, ...]
+) -> tuple[Stmt, ...]:
+    step, rest = path[0], path[1:]
+    if step >= len(stmts):
+        raise IndexError(f"path step {step} out of range")
+    target = stmts[step]
+    if not rest:
+        return stmts[:step] + replacement + stmts[step + 1:]
+    if isinstance(target, Do):
+        new_child = Do(
+            target.var, target.lb, target.ub, target.step,
+            _replace_in(target.body, rest, replacement),
+        )
+    elif isinstance(target, If):
+        then_len = len(target.then_body)
+        inner_step = rest[0]
+        if inner_step >= _ELSE_OFFSET:
+            adjusted = (inner_step - _ELSE_OFFSET,) + rest[1:]
+            new_child = If(
+                target.cond,
+                target.then_body,
+                _replace_in(target.else_body, adjusted, replacement),
+            )
+        else:
+            new_child = If(
+                target.cond,
+                _replace_in(target.then_body, rest, replacement),
+                target.else_body,
+            )
+    else:
+        raise IndexError(f"cannot descend into {target}")
+    return stmts[:step] + (new_child,) + stmts[step + 1:]
+
+
+def loop_paths(program: Program) -> Iterator[tuple[Path, Do]]:
+    """All DO loops with their paths, preorder."""
+
+    def walk(stmts: tuple[Stmt, ...], prefix: Path) -> Iterator[tuple[Path, Do]]:
+        for i, stmt in enumerate(stmts):
+            path = prefix + (i,)
+            if isinstance(stmt, Do):
+                yield path, stmt
+                yield from walk(stmt.body, path)
+            elif isinstance(stmt, If):
+                yield from walk(stmt.then_body, path)
+                for j, inner in enumerate(stmt.else_body):
+                    else_path = path + (_ELSE_OFFSET + j,)
+                    if isinstance(inner, Do):
+                        yield else_path, inner
+                        yield from walk(inner.body, else_path)
+
+    yield from walk(program.body, ())

@@ -1,0 +1,126 @@
+"""Loop fusion and loop distribution.
+
+Fusion merges adjacent conformable loops (fewer loop overheads, better
+producer/consumer locality); distribution splits a multi-statement loop
+into separate loops (enabling different per-statement treatment).  Both
+use the dependence legality predicates from :mod:`repro.analysis`.
+"""
+
+from __future__ import annotations
+
+from ..analysis.dependence import fusion_legal
+from ..analysis.usedef import accesses
+from ..ir.nodes import Assign, CallStmt, Do, Program, Stmt, VarRef
+from ..ir.visitor import rename_index
+from .base import Path, TransformSite, Transformation, loop_paths, replace_at, stmt_at
+
+__all__ = ["Fuse", "Distribute", "fuse_loops", "distribute_loop"]
+
+
+def fuse_loops(first: Do, second: Do) -> Do:
+    """Concatenate two conformable loop bodies under the first index."""
+    body2 = (
+        second.body
+        if second.var == first.var
+        else rename_index(second.body, second.var, VarRef(first.var))
+    )
+    return Do(first.var, first.lb, first.ub, first.step, first.body + body2)
+
+
+def distribute_loop(loop: Do, split: int) -> tuple[Do, Do]:
+    """Split the body at ``split`` into two loops (legality: caller)."""
+    if not 0 < split < len(loop.body):
+        raise ValueError("split out of range")
+    head = Do(loop.var, loop.lb, loop.ub, loop.step, loop.body[:split])
+    tail = Do(loop.var, loop.lb, loop.ub, loop.step, loop.body[split:])
+    return head, tail
+
+
+def _distribution_legal(loop: Do, split: int) -> bool:
+    """Conservative: the two groups must touch disjoint data, except
+    that both may *read* the same names."""
+    first, second = loop.body[:split], loop.body[split:]
+
+    def summary(stmts: tuple[Stmt, ...]):
+        reads: set[str] = set()
+        writes: set[str] = set()
+        for stmt in stmts:
+            if not isinstance(stmt, (Assign, CallStmt)):
+                return None
+            acc = accesses(stmt)
+            if acc.has_call:
+                return None
+            reads |= set(acc.reads_scalars | acc.reads_arrays)
+            writes |= set(acc.writes_scalars | acc.writes_arrays)
+        return reads, writes
+
+    a = summary(first)
+    b = summary(second)
+    if a is None or b is None:
+        return False
+    reads_a, writes_a = a
+    reads_b, writes_b = b
+    return not (
+        writes_a & (reads_b | writes_b) or writes_b & (reads_a | writes_a)
+    )
+
+
+class Fuse(Transformation):
+    """Fuse adjacent conformable loops."""
+
+    name = "fuse"
+
+    def sites(self, program: Program) -> list[TransformSite]:
+        out: list[TransformSite] = []
+        seen: set[Path] = set()
+        for path, loop in loop_paths(program):
+            parent_path, index = path[:-1], path[-1]
+            sibling_path = parent_path + (index + 1,)
+            try:
+                sibling = stmt_at(program, sibling_path)
+            except IndexError:
+                continue
+            if not isinstance(sibling, Do):
+                continue
+            if path in seen:
+                continue
+            seen.add(path)
+            if fusion_legal(loop, sibling):
+                out.append(TransformSite(
+                    path, f"fuse {loop.var}-loops at {path}"
+                ))
+        return out
+
+    def apply(self, program: Program, site: TransformSite) -> Program:
+        first = stmt_at(program, site.path)
+        second_path = site.path[:-1] + (site.path[-1] + 1,)
+        second = stmt_at(program, second_path)
+        assert isinstance(first, Do) and isinstance(second, Do)
+        fused = fuse_loops(first, second)
+        # Replace the pair: drop the second, substitute the first.
+        without_second = replace_at(program, second_path, ())
+        return replace_at(without_second, site.path, (fused,))
+
+
+class Distribute(Transformation):
+    """Split multi-statement loops into independent loops."""
+
+    name = "distribute"
+
+    def sites(self, program: Program) -> list[TransformSite]:
+        out: list[TransformSite] = []
+        for path, loop in loop_paths(program):
+            if len(loop.body) < 2:
+                continue
+            for split in range(1, len(loop.body)):
+                if _distribution_legal(loop, split):
+                    out.append(TransformSite(
+                        path, f"distribute {loop.var}-loop at {split}", split
+                    ))
+        return out
+
+    def apply(self, program: Program, site: TransformSite) -> Program:
+        loop = stmt_at(program, site.path)
+        assert isinstance(loop, Do) and site.parameter is not None
+        head, tail = distribute_loop(loop, site.parameter)
+        return replace_at(program, site.path, (head, tail))

@@ -1,0 +1,67 @@
+"""Loop interchange.
+
+Swaps a perfectly-nested pair of loops when the dependence distance
+vectors permit it (:func:`repro.analysis.interchange_legal`).  The
+classic profitability case -- which the performance-guided search
+discovers by itself -- is turning a row-traversing inner loop into a
+column-traversing one, or moving a parallel/overlappable loop inward.
+"""
+
+from __future__ import annotations
+
+from ..analysis.dependence import interchange_legal
+from ..ir.nodes import Do, Program
+from .base import TransformSite, Transformation, loop_paths, replace_at, stmt_at
+
+__all__ = ["Interchange", "interchange_pair"]
+
+
+def interchange_pair(outer: Do) -> Do:
+    """The interchanged nest (legality is the caller's concern)."""
+    if len(outer.body) != 1 or not isinstance(outer.body[0], Do):
+        raise ValueError("interchange needs a perfectly nested pair")
+    inner = outer.body[0]
+    new_outer = Do(
+        inner.var, inner.lb, inner.ub, inner.step,
+        (Do(outer.var, outer.lb, outer.ub, outer.step, inner.body),),
+    )
+    return new_outer
+
+
+class Interchange(Transformation):
+    """Interchange adjacent perfectly-nested loop pairs."""
+
+    name = "interchange"
+
+    def sites(self, program: Program) -> list[TransformSite]:
+        out: list[TransformSite] = []
+        for path, loop in loop_paths(program):
+            if len(loop.body) == 1 and isinstance(loop.body[0], Do):
+                inner = loop.body[0]
+                # Bounds of the inner loop must not depend on the outer
+                # index (no triangular interchange).
+                if _mentions_index(inner, loop.var):
+                    continue
+                if interchange_legal(loop, inner):
+                    out.append(TransformSite(
+                        path, f"interchange {loop.var}<->{inner.var}"
+                    ))
+        return out
+
+    def apply(self, program: Program, site: TransformSite) -> Program:
+        loop = stmt_at(program, site.path)
+        assert isinstance(loop, Do)
+        return replace_at(program, site.path, (interchange_pair(loop),))
+
+
+def _mentions_index(inner: Do, outer_var: str) -> bool:
+    from ..ir.nodes import VarRef
+    from ..ir.visitor import walk_exprs
+
+    for expr in (inner.lb, inner.ub, inner.step):
+        if any(
+            isinstance(node, VarRef) and node.name == outer_var
+            for node in walk_exprs(expr)
+        ):
+            return True
+    return False

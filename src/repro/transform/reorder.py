@@ -1,0 +1,53 @@
+"""Statement reordering.
+
+Section 2.4.2: "The shapes of the cost blocks can be used to decide the
+order of statement blocks" -- exchanging independent adjacent
+statements can expose overlap (an FXU-heavy statement slides next to an
+FPU-heavy one).  Legality comes from
+:func:`repro.analysis.statements_commute`.
+"""
+
+from __future__ import annotations
+
+from ..analysis.usedef import statements_commute
+from ..ir.nodes import Assign, CallStmt, Do, If, Program, Stmt
+from .base import Path, TransformSite, Transformation, replace_at, stmt_at
+
+__all__ = ["ReorderStatements"]
+
+
+class ReorderStatements(Transformation):
+    """Swap adjacent independent straight-line statements."""
+
+    name = "reorder"
+
+    def sites(self, program: Program) -> list[TransformSite]:
+        out: list[TransformSite] = []
+
+        def scan(stmts: tuple[Stmt, ...], prefix: Path) -> None:
+            for i, stmt in enumerate(stmts):
+                if isinstance(stmt, Do):
+                    scan(stmt.body, prefix + (i,))
+                elif isinstance(stmt, If):
+                    scan(stmt.then_body, prefix + (i,))
+                if i + 1 >= len(stmts):
+                    continue
+                nxt = stmts[i + 1]
+                if (
+                    isinstance(stmt, (Assign, CallStmt))
+                    and isinstance(nxt, (Assign, CallStmt))
+                    and statements_commute(stmt, nxt)
+                ):
+                    out.append(TransformSite(
+                        prefix + (i,), f"swap statements {i} and {i + 1}"
+                    ))
+
+        scan(program.body, ())
+        return out
+
+    def apply(self, program: Program, site: TransformSite) -> Program:
+        first = stmt_at(program, site.path)
+        second_path = site.path[:-1] + (site.path[-1] + 1,)
+        second = stmt_at(program, second_path)
+        without_second = replace_at(program, second_path, ())
+        return replace_at(without_second, site.path, (second, first))

@@ -1,0 +1,187 @@
+"""Performance-guided transformation search (paper section 3.2).
+
+"Based on the symbolic performance comparison, the compiler can utilize
+graph search algorithms, such as the A* algorithm, to choose program
+transformation sequence systematically."
+
+States are programs; edges are (transformation, site) applications.
+The evaluation function is the predicted cost of the state, obtained
+from an :class:`~repro.transform.incremental.IncrementalPredictor`
+(so probing many variants stays cheap), evaluated either
+
+* at a concrete workload point (``workload={"n": 100}``), or
+* by symbolic comparison against the incumbent (``workload=None``):
+  a successor replaces the incumbent only when the comparator proves it
+  cheaper over the whole domain, or recommends it by integral mass.
+
+``astar_search`` expands best-first on predicted cost; ``exhaustive``
+enumerates every sequence up to a depth, as the oracle the E-SEARCH
+bench compares node counts against.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Mapping, Sequence
+
+from ..compare.comparator import Verdict, compare
+from ..ir.nodes import Program
+from ..ir.printer import print_program
+from ..symbolic.expr import PerfExpr
+from ..symbolic.intervals import Interval
+from .base import Transformation
+from .incremental import IncrementalPredictor
+
+__all__ = ["SearchResult", "SearchStep", "astar_search", "exhaustive_search"]
+
+
+@dataclass(frozen=True)
+class SearchStep:
+    """One applied transformation in the winning sequence."""
+
+    transformation: str
+    description: str
+
+
+@dataclass
+class SearchResult:
+    """Outcome of a transformation search."""
+
+    program: Program
+    cost: PerfExpr
+    steps: tuple[SearchStep, ...]
+    nodes_expanded: int
+    nodes_generated: int
+
+    @property
+    def sequence(self) -> str:
+        return " ; ".join(s.description for s in self.steps) or "(original)"
+
+
+def _scalar_cost(cost: PerfExpr, workload: Mapping[str, int]) -> Fraction:
+    bindings = dict(workload)
+    for name in cost.poly.variables():
+        if name not in bindings:
+            # Unknowns the workload doesn't pin: midpoint of bounds or 1.
+            interval = cost.effective_bounds()[name]
+            try:
+                bindings[name] = interval.midpoint()
+            except ValueError:
+                bindings[name] = Fraction(1)
+    return cost.poly.evaluate(bindings)
+
+
+def astar_search(
+    program: Program,
+    transformations: Sequence[Transformation],
+    predictor: IncrementalPredictor,
+    workload: Mapping[str, int] | None = None,
+    max_depth: int = 3,
+    max_nodes: int = 200,
+    domain: Mapping[str, "Interval"] | None = None,
+) -> SearchResult:
+    """Best-first search over transformation sequences.
+
+    The priority is the predicted cost of the state (an admissible
+    estimate of the best reachable final cost would require knowing the
+    future; using the state's own cost makes this the standard
+    cost-guided best-first variant of A* with zero path cost, which is
+    what a compiler actually wants: the cheapest *program*, not the
+    shortest sequence).
+    """
+    counter = itertools.count()
+    start_cost = predictor.predict(program)
+    frontier: list = []
+
+    def push(prog: Program, cost: PerfExpr, steps: tuple[SearchStep, ...], depth: int):
+        priority = (
+            float(_scalar_cost(cost, workload)) if workload is not None else 0.0
+        )
+        heapq.heappush(frontier, (priority, next(counter), prog, cost, steps, depth))
+
+    push(program, start_cost, (), 0)
+    best_prog, best_cost, best_steps = program, start_cost, ()
+    seen: set[str] = {print_program(program)}
+    expanded = 0
+    generated = 1
+
+    while frontier and expanded < max_nodes:
+        _, _, prog, cost, steps, depth = heapq.heappop(frontier)
+        expanded += 1
+        if _better(cost, best_cost, workload, domain):
+            best_prog, best_cost, best_steps = prog, cost, steps
+        if depth >= max_depth:
+            continue
+        for transformation in transformations:
+            for site in transformation.sites(prog):
+                candidate = transformation.apply(prog, site)
+                key = print_program(candidate)
+                if key in seen:
+                    continue
+                seen.add(key)
+                candidate_cost = predictor.predict(candidate)
+                generated += 1
+                push(
+                    candidate,
+                    candidate_cost,
+                    steps + (SearchStep(transformation.name, site.description),),
+                    depth + 1,
+                )
+    return SearchResult(best_prog, best_cost, best_steps, expanded, generated)
+
+
+def _better(
+    candidate: PerfExpr,
+    incumbent: PerfExpr,
+    workload: Mapping[str, int] | None,
+    domain: Mapping[str, "Interval"] | None = None,
+) -> bool:
+    if workload is not None:
+        return _scalar_cost(candidate, workload) < _scalar_cost(incumbent, workload)
+    result = compare(candidate, incumbent, domain=dict(domain) if domain else None)
+    if result.verdict is Verdict.FIRST_ALWAYS:
+        return True
+    if result.verdict is Verdict.DEPENDS:
+        return result.recommended("integral") is Verdict.FIRST_ALWAYS
+    return False
+
+
+def exhaustive_search(
+    program: Program,
+    transformations: Sequence[Transformation],
+    predictor: IncrementalPredictor,
+    workload: Mapping[str, int],
+    max_depth: int = 3,
+    max_nodes: int = 100_000,
+) -> SearchResult:
+    """Enumerate every sequence to ``max_depth`` (the oracle baseline)."""
+    best_prog, best_cost, best_steps = program, predictor.predict(program), ()
+    seen: set[str] = {print_program(program)}
+    queue: list[tuple[Program, tuple[SearchStep, ...], int]] = [(program, (), 0)]
+    expanded = 0
+    generated = 1
+    while queue and expanded < max_nodes:
+        prog, steps, depth = queue.pop()
+        expanded += 1
+        cost = predictor.predict(prog)
+        if _scalar_cost(cost, workload) < _scalar_cost(best_cost, workload):
+            best_prog, best_cost, best_steps = prog, cost, steps
+        if depth >= max_depth:
+            continue
+        for transformation in transformations:
+            for site in transformation.sites(prog):
+                candidate = transformation.apply(prog, site)
+                key = print_program(candidate)
+                if key in seen:
+                    continue
+                seen.add(key)
+                generated += 1
+                queue.append(
+                    (candidate,
+                     steps + (SearchStep(transformation.name, site.description),),
+                     depth + 1)
+                )
+    return SearchResult(best_prog, best_cost, best_steps, expanded, generated)

@@ -1,0 +1,136 @@
+"""Loop tiling (blocking) and strip-mining.
+
+Strip-mining a loop with tile size ``B`` produces the controlling loop
+``do ii = lb, ub, B`` around ``do i = ii, ii + B - 1`` (the divisible
+boundary convention; the symbolic trip counts absorb the remainder the
+same way unrolling does).  Tiling a 2-D nest strip-mines both loops and
+interchanges the middle pair, the classic blocked-matmul shape whose
+cache benefit the memory model prices (paper's incremental-update
+example even uses blocking: "when a loop is blocked, the execution time
+for the straight line code inside the loop is not changed ... the cache
+access cost for the loop is changed").
+"""
+
+from __future__ import annotations
+
+from ..analysis.dependence import interchange_legal
+from ..ir.nodes import BinOp, Do, IntConst, Program
+from .base import TransformSite, Transformation, loop_paths, replace_at, stmt_at
+
+__all__ = ["StripMine", "Tile2D", "strip_mine", "tile_nest_2d"]
+
+
+def strip_mine(loop: Do, tile: int, control_suffix: str = "_blk") -> Do:
+    """``do i`` -> ``do i_blk step B / do i = i_blk, i_blk + B - 1``."""
+    if tile < 2:
+        raise ValueError("tile size must be >= 2")
+    if loop.step != IntConst(1):
+        raise ValueError("strip-mining requires unit step")
+    control = loop.var + control_suffix
+    inner = Do(
+        loop.var,
+        _var(control),
+        BinOp("+", _var(control), IntConst(tile - 1)),
+        IntConst(1),
+        loop.body,
+    )
+    return Do(control, loop.lb, loop.ub, IntConst(tile), (inner,))
+
+
+def _var(name: str):
+    from ..ir.nodes import VarRef
+
+    return VarRef(name)
+
+
+def tile_nest_2d(outer: Do, tile: int) -> Do:
+    """Block a perfect 2-D nest: (i, j) -> (i_blk, j_blk, i, j)."""
+    if len(outer.body) != 1 or not isinstance(outer.body[0], Do):
+        raise ValueError("tiling needs a perfectly nested pair")
+    inner = outer.body[0]
+    # Strip-mine inner first, then outer, then interchange the middle
+    # pair (i, j_blk) -> (j_blk, i).
+    inner_stripped = strip_mine(inner, tile)          # j_blk / j
+    outer_stripped = strip_mine(
+        Do(outer.var, outer.lb, outer.ub, outer.step, (inner_stripped,)),
+        tile,
+    )                                                  # i_blk / i / j_blk / j
+    i_loop = outer_stripped.body[0]
+    assert isinstance(i_loop, Do)
+    j_blk_loop = i_loop.body[0]
+    assert isinstance(j_blk_loop, Do)
+    swapped = Do(
+        j_blk_loop.var, j_blk_loop.lb, j_blk_loop.ub, j_blk_loop.step,
+        (Do(i_loop.var, i_loop.lb, i_loop.ub, i_loop.step, j_blk_loop.body),),
+    )
+    return Do(
+        outer_stripped.var, outer_stripped.lb, outer_stripped.ub,
+        outer_stripped.step, (swapped,),
+    )
+
+
+class StripMine(Transformation):
+    """Strip-mine unit-step loops with the configured tile sizes."""
+
+    name = "strip-mine"
+
+    def __init__(self, tiles: tuple[int, ...] = (16, 64)):
+        if any(t < 2 for t in tiles):
+            raise ValueError("tile sizes must be >= 2")
+        self.tiles = tiles
+
+    def sites(self, program: Program) -> list[TransformSite]:
+        out: list[TransformSite] = []
+        for path, loop in loop_paths(program):
+            if loop.step != IntConst(1):
+                continue
+            if loop.var.endswith("_blk"):
+                continue  # don't re-tile control loops
+            for tile in self.tiles:
+                out.append(TransformSite(
+                    path, f"strip-mine {loop.var} by {tile}", tile
+                ))
+        return out
+
+    def apply(self, program: Program, site: TransformSite) -> Program:
+        loop = stmt_at(program, site.path)
+        assert isinstance(loop, Do) and site.parameter is not None
+        return replace_at(program, site.path, (strip_mine(loop, site.parameter),))
+
+
+class Tile2D(Transformation):
+    """Block perfect 2-D nests (requires interchange legality)."""
+
+    name = "tile2d"
+
+    def __init__(self, tiles: tuple[int, ...] = (16, 64)):
+        if any(t < 2 for t in tiles):
+            raise ValueError("tile sizes must be >= 2")
+        self.tiles = tiles
+
+    def sites(self, program: Program) -> list[TransformSite]:
+        out: list[TransformSite] = []
+        for path, loop in loop_paths(program):
+            if loop.step != IntConst(1) or loop.var.endswith("_blk"):
+                continue
+            if len(loop.body) != 1 or not isinstance(loop.body[0], Do):
+                continue
+            inner = loop.body[0]
+            if inner.step != IntConst(1) or inner.var.endswith("_blk"):
+                continue
+            if not interchange_legal(loop, inner):
+                continue
+            for tile in self.tiles:
+                out.append(TransformSite(
+                    path,
+                    f"tile ({loop.var},{inner.var}) by {tile}",
+                    tile,
+                ))
+        return out
+
+    def apply(self, program: Program, site: TransformSite) -> Program:
+        loop = stmt_at(program, site.path)
+        assert isinstance(loop, Do) and site.parameter is not None
+        return replace_at(
+            program, site.path, (tile_nest_2d(loop, site.parameter),)
+        )

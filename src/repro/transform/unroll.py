@@ -1,0 +1,75 @@
+"""Loop unrolling (paper section 2.2.2).
+
+Replicates the innermost body ``factor`` times with the index shifted
+by ``k * step`` per copy and multiplies the loop step by ``factor``.
+Following the paper's cost-study convention, the remainder loop is
+omitted (the trip count is treated as divisible by the factor; the
+aggregation's symbolic trip count ``(ub - lb + f*step) / (f*step)``
+absorbs the boundary).
+
+The estimator offers two unroll-factor predictions (shape inspection
+and repeated dropping, section 2.2.2); :func:`recommend_factor` exposes
+them for the examples and benches.
+"""
+
+from __future__ import annotations
+
+from ..ir.nodes import Assign, BinOp, CallStmt, Do, IntConst, Program, VarRef
+from ..ir.visitor import rename_index
+from .base import TransformSite, Transformation, loop_paths, replace_at, stmt_at
+
+__all__ = ["Unroll", "unroll_loop"]
+
+
+def unroll_loop(loop: Do, factor: int) -> Do:
+    """The unrolled loop (main body only; remainder omitted by design)."""
+    if factor < 2:
+        raise ValueError("unroll factor must be >= 2")
+    new_body = []
+    for k in range(factor):
+        if k == 0:
+            new_body.extend(loop.body)
+            continue
+        offset: BinOp | VarRef
+        shift = (
+            IntConst(k)
+            if loop.step == IntConst(1)
+            else BinOp("*", IntConst(k), loop.step)
+        )
+        offset = BinOp("+", VarRef(loop.var), shift)
+        new_body.extend(rename_index(loop.body, loop.var, offset))
+    new_step = (
+        IntConst(factor)
+        if loop.step == IntConst(1)
+        else BinOp("*", IntConst(factor), loop.step)
+    )
+    return Do(loop.var, loop.lb, loop.ub, new_step, tuple(new_body))
+
+
+class Unroll(Transformation):
+    """Unroll innermost straight-line loops by the configured factors."""
+
+    name = "unroll"
+
+    def __init__(self, factors: tuple[int, ...] = (2, 4)):
+        if any(f < 2 for f in factors):
+            raise ValueError("factors must be >= 2")
+        self.factors = factors
+
+    def sites(self, program: Program) -> list[TransformSite]:
+        out: list[TransformSite] = []
+        for path, loop in loop_paths(program):
+            if not all(isinstance(s, (Assign, CallStmt)) for s in loop.body):
+                continue  # only innermost straight-line bodies
+            for factor in self.factors:
+                out.append(TransformSite(
+                    path, f"unroll {loop.var}-loop x{factor}", factor
+                ))
+        return out
+
+    def apply(self, program: Program, site: TransformSite) -> Program:
+        loop = stmt_at(program, site.path)
+        assert isinstance(loop, Do) and site.parameter is not None
+        return replace_at(
+            program, site.path, (unroll_loop(loop, site.parameter),)
+        )

@@ -1,0 +1,128 @@
+"""Unroll-and-jam: unroll an outer loop and fuse the copies inward.
+
+The transformation that actually produces the paper's Matmul kernel
+("blocked and unrolled 4 times in both dimensions (a total of 16 FMA
+operations in the basic block)"): unrolling the ``i`` and ``j`` loops
+of a matmul and jamming the copies into the ``k`` body multiplies the
+independent FMA chains in the innermost block, feeding the FPU's
+pipeline.
+
+Legality: jamming moves the copied inner iterations across outer
+iterations -- exactly an interchange of the (outer, inner) pair -- so
+the interchange test gates it.
+"""
+
+from __future__ import annotations
+
+from ..analysis.dependence import interchange_legal
+from ..ir.nodes import BinOp, Do, IntConst, Program, VarRef
+from ..ir.visitor import rename_index
+from .base import TransformSite, Transformation, loop_paths, replace_at, stmt_at
+
+__all__ = ["UnrollAndJam", "unroll_and_jam"]
+
+
+def unroll_and_jam(outer: Do, factor: int) -> Do:
+    """Unroll ``outer`` by ``factor`` and jam the copies inward.
+
+    The copies are jammed through the whole perfect nest into the
+    *innermost* body (for a 3-deep matmul nest, unrolling ``i`` puts 4
+    shifted statements into the ``k`` body, not 4 separate ``k`` loops).
+    Requires every deeper loop's bounds to be independent of the outer
+    index.  As with plain unrolling, the remainder iterations are
+    omitted by the usual cost-study convention.
+    """
+    from ..analysis.loops import perfect_nest
+
+    if factor < 2:
+        raise ValueError("unroll-and-jam factor must be >= 2")
+    nest = perfect_nest(outer)
+    if len(nest) < 2:
+        raise ValueError("unroll-and-jam needs a perfectly nested pair")
+    for info in nest[1:]:
+        if _bounds_mention(info.loop, outer.var):
+            raise ValueError(
+                f"inner loop {info.loop.var}'s bounds depend on {outer.var}"
+            )
+    innermost = nest[-1].loop
+    jammed_body = []
+    for k in range(factor):
+        if k == 0:
+            jammed_body.extend(innermost.body)
+            continue
+        shift = (
+            IntConst(k)
+            if outer.step == IntConst(1)
+            else BinOp("*", IntConst(k), outer.step)
+        )
+        offset = BinOp("+", VarRef(outer.var), shift)
+        jammed_body.extend(rename_index(innermost.body, outer.var, offset))
+    # Rebuild the nest bottom-up with the jammed innermost body.
+    rebuilt: Do = Do(
+        innermost.var, innermost.lb, innermost.ub, innermost.step,
+        tuple(jammed_body),
+    )
+    for info in reversed(nest[1:-1]):
+        loop = info.loop
+        rebuilt = Do(loop.var, loop.lb, loop.ub, loop.step, (rebuilt,))
+    new_step = (
+        IntConst(factor)
+        if outer.step == IntConst(1)
+        else BinOp("*", IntConst(factor), outer.step)
+    )
+    return Do(outer.var, outer.lb, outer.ub, new_step, (rebuilt,))
+
+
+class UnrollAndJam(Transformation):
+    """Unroll-and-jam perfectly nested pairs by the configured factors."""
+
+    name = "unroll-and-jam"
+
+    def __init__(self, factors: tuple[int, ...] = (2, 4)):
+        if any(f < 2 for f in factors):
+            raise ValueError("factors must be >= 2")
+        self.factors = factors
+
+    def sites(self, program: Program) -> list[TransformSite]:
+        from ..analysis.loops import perfect_nest
+
+        out: list[TransformSite] = []
+        for path, loop in loop_paths(program):
+            nest = perfect_nest(loop)
+            if len(nest) < 2:
+                continue
+            if any(_bounds_mention(info.loop, loop.var) for info in nest[1:]):
+                continue
+            # Jamming crosses outer iterations past every deeper loop:
+            # the outer index must be interchange-legal with each.
+            if not all(
+                interchange_legal(loop, info.loop) for info in nest[1:]
+            ):
+                continue
+            innermost = nest[-1].loop
+            for factor in self.factors:
+                out.append(TransformSite(
+                    path,
+                    f"unroll-and-jam {loop.var} x{factor} into {innermost.var}",
+                    factor,
+                ))
+        return out
+
+    def apply(self, program: Program, site: TransformSite) -> Program:
+        loop = stmt_at(program, site.path)
+        assert isinstance(loop, Do) and site.parameter is not None
+        return replace_at(
+            program, site.path, (unroll_and_jam(loop, site.parameter),)
+        )
+
+
+def _bounds_mention(inner: Do, outer_var: str) -> bool:
+    from ..ir.visitor import walk_exprs
+
+    for expr in (inner.lb, inner.ub, inner.step):
+        if any(
+            isinstance(node, VarRef) and node.name == outer_var
+            for node in walk_exprs(expr)
+        ):
+            return True
+    return False

@@ -1,0 +1,38 @@
+"""The instruction translation module (paper section 2.2).
+
+Two-level translation (operation specialization, then atomic operation
+mapping) plus imitation of back-end optimizations, so that source-level
+cost estimates match the code the compiler will eventually generate.
+"""
+
+from .atomic_map import UnsupportedOperation, resolve_basic_op
+from .backend_opts import AGGRESSIVE_BACKEND, NAIVE_BACKEND, BackendFlags
+from .basic_ops import ALL_BASIC_OPS, FALLBACKS, arith_op, cmp_op, load_op, store_op
+from .hl_table import HL_INTRINSICS, HL_OPERATORS, HLOp, SMALL_MULTIPLIER_RANGE
+from .patterns import (
+    Reduction,
+    carried_scalar_chain,
+    find_reductions,
+    is_axpy_loop,
+    is_inner_product_loop,
+)
+from .registers import RegisterPressure
+from .specialize import (
+    power_expansion,
+    specialize_binop,
+    specialize_intrinsic,
+    specialize_unop,
+)
+from .stream import Instr, InstrStream
+from .translator import BlockInfo, Translator
+
+__all__ = [
+    "AGGRESSIVE_BACKEND", "ALL_BASIC_OPS", "BackendFlags", "BlockInfo",
+    "FALLBACKS", "HLOp", "HL_INTRINSICS", "HL_OPERATORS", "Instr",
+    "InstrStream", "NAIVE_BACKEND", "Reduction", "RegisterPressure",
+    "SMALL_MULTIPLIER_RANGE", "Translator", "UnsupportedOperation",
+    "arith_op", "carried_scalar_chain", "cmp_op", "find_reductions",
+    "is_axpy_loop", "is_inner_product_loop", "load_op", "power_expansion",
+    "resolve_basic_op", "specialize_binop", "specialize_intrinsic",
+    "specialize_unop", "store_op",
+]

@@ -1,0 +1,53 @@
+"""Level-2 translation: basic operations -> atomic operations.
+
+The *atomic operation mapping* is architecture dependent but language
+independent (section 2.2.1).  Each machine carries its own mapping; a
+basic operation the machine does not map directly is decomposed through
+the language-level :data:`~repro.translate.basic_ops.FALLBACKS` table
+(e.g. ``fma`` -> ``fmul`` + ``fadd`` on a machine without
+multiply-and-add) until every name resolves.
+"""
+
+from __future__ import annotations
+
+from ..machine.machine import Machine
+from .basic_ops import ALL_BASIC_OPS, FALLBACKS
+
+__all__ = ["resolve_basic_op", "UnsupportedOperation"]
+
+_MAX_DEPTH = 8
+
+
+class UnsupportedOperation(KeyError):
+    """A basic operation has no mapping and no usable fallback."""
+
+
+def resolve_basic_op(machine: Machine, basic_op: str) -> tuple[str, ...]:
+    """Atomic-op names for one basic operation on one machine.
+
+    The result is an ordered sequence; the translator chains each
+    atomic's result into the next (a multi-atomic expansion behaves as
+    a dependent micro-op sequence).
+    """
+    if basic_op not in ALL_BASIC_OPS:
+        raise UnsupportedOperation(f"unknown basic op {basic_op!r}")
+    return _resolve(machine, basic_op, 0)
+
+
+def _resolve(machine: Machine, name: str, depth: int) -> tuple[str, ...]:
+    if depth > _MAX_DEPTH:
+        raise UnsupportedOperation(
+            f"fallback recursion too deep resolving {name!r} on {machine.name}"
+        )
+    direct = machine.atomic_mapping.get(name)
+    if direct is not None:
+        return direct
+    expansion = FALLBACKS.get(name)
+    if expansion is None:
+        raise UnsupportedOperation(
+            f"machine {machine.name} cannot execute basic op {name!r}"
+        )
+    out: list[str] = []
+    for sub in expansion:
+        out.extend(_resolve(machine, sub, depth + 1))
+    return tuple(out)

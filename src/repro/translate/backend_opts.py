@@ -1,0 +1,72 @@
+"""Imitated back-end optimizations and their capability flags.
+
+Section 2.2.2: performance estimation runs *before* code generation,
+so the translator must imitate the low-level optimizations the back-end
+will later perform, or the source-level estimate will not match the
+generated code.  "To ease this process, flags representing the
+optimization capabilities of the back-end are defined and used for
+tuning the cost model" -- porting the cost model to a *compiler* (as
+opposed to a machine) is a matter of setting these flags.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["BackendFlags", "AGGRESSIVE_BACKEND", "NAIVE_BACKEND"]
+
+
+@dataclass(frozen=True)
+class BackendFlags:
+    """Which back-end optimizations the target compiler performs.
+
+    Each flag corresponds to an imitation implemented by the
+    translator / aggregator:
+
+    ``cse``                  evaluate common subexpressions once;
+    ``licm``                 hoist loop-invariant expressions (costed in
+                             the one-time bins, section 2.2.2);
+    ``dce``                  drop computed-but-unused values;
+    ``fuse_fma``             use multiply-and-add where the machine has it;
+    ``registerize_scalars``  keep block-local scalars in registers and
+                             eliminate per-iteration stores (this is what
+                             makes sum-reductions cheap);
+    ``strength_reduce_addressing``  induction-variable addressing is free
+                             (update-form loads), only non-affine subscript
+                             arithmetic is charged;
+    ``branch_optimize``      let naturally-covered branches cost nothing
+                             (shape matching, section 2.2.2);
+    ``overlap_iterations``   credit shape overlap between loop iterations
+                             when no loop-carried dependence forbids it.
+    """
+
+    cse: bool = True
+    licm: bool = True
+    dce: bool = True
+    fuse_fma: bool = True
+    registerize_scalars: bool = True
+    strength_reduce_addressing: bool = True
+    branch_optimize: bool = True
+    overlap_iterations: bool = True
+
+    def without(self, **off: bool) -> "BackendFlags":
+        """A copy with the named optimizations disabled, e.g.
+        ``flags.without(cse=True, licm=True)``."""
+        updates = {name: False for name, value in off.items() if value}
+        return replace(self, **updates)
+
+
+#: A modern optimizing back-end (IBM xlf-class): everything on.
+AGGRESSIVE_BACKEND = BackendFlags()
+
+#: A naive code generator: no optimization imitation at all.
+NAIVE_BACKEND = BackendFlags(
+    cse=False,
+    licm=False,
+    dce=False,
+    fuse_fma=False,
+    registerize_scalars=False,
+    strength_reduce_addressing=False,
+    branch_optimize=False,
+    overlap_iterations=False,
+)

@@ -1,0 +1,113 @@
+"""The basic operation vocabulary (language- and machine-independent).
+
+Section 2.2.1: the *operation specialization mapping* translates
+language-specific expressions into "language independent basic
+operations such as integer-add operation, floating-point multiply-add
+operation, etc.".  This module fixes that vocabulary.  Each machine's
+*atomic operation mapping* then lowers these names to its own atomic
+operations; names a machine does not map are decomposed via
+:data:`FALLBACKS` (e.g. ``fma`` on a machine without multiply-and-add).
+
+Type prefixes: ``i`` integer, ``f`` single-precision, ``d`` double.
+"""
+
+from __future__ import annotations
+
+from ..ir.types import ScalarType
+
+__all__ = [
+    "ALL_BASIC_OPS",
+    "FALLBACKS",
+    "arith_op",
+    "load_op",
+    "store_op",
+    "cmp_op",
+    "PREFIX",
+]
+
+#: Scalar type -> basic-op prefix.
+PREFIX = {
+    ScalarType.INTEGER: "i",
+    ScalarType.REAL: "f",
+    ScalarType.DOUBLE: "d",
+    ScalarType.LOGICAL: "i",  # logicals live in integer registers
+}
+
+_ARITH = [
+    "add", "sub", "mul", "div", "neg",
+]
+
+#: Every basic operation name the specializer may emit.
+ALL_BASIC_OPS = frozenset(
+    [f"{p}{op}" for p in "ifd" for op in _ARITH]
+    + [
+        "imul_small",            # integer multiply by a small constant
+        "ipow",                  # integer power (decomposed when possible)
+        "fma", "dfma",           # fused multiply-add
+        "fsqrt", "dsqrt",
+        "iload", "fload", "dload",
+        "istore", "fstore", "dstore",
+        "icmp", "fcmp", "dcmp",
+        "br", "jmp",
+        "cvt_if", "cvt_fi", "cvt_fd", "cvt_df",
+        "iabs", "fabs", "dabs",
+        "fmin", "fmax", "imin", "imax",
+        "land", "lor", "lnot",
+        "call",
+    ]
+)
+
+#: Decompositions used when a machine's atomic mapping lacks a basic op.
+#: Applied recursively until every name is mapped.
+FALLBACKS: dict[str, tuple[str, ...]] = {
+    "fma": ("fmul", "fadd"),
+    "dfma": ("dmul", "dadd"),
+    "imul_small": ("imul",),
+    "ipow": ("imul", "imul"),  # general integer power: repeated multiplies
+    "ineg": ("isub",),
+    "fneg": ("fsub",),
+    "dneg": ("dsub",),
+    "iabs": ("icmp", "isub"),
+    "fabs": ("fcmp", "fsub"),
+    "dabs": ("dcmp", "dsub"),
+    "fmin": ("fcmp", "fadd"),
+    "fmax": ("fcmp", "fadd"),
+    "imin": ("icmp", "iadd"),
+    "imax": ("icmp", "iadd"),
+    "land": ("iadd",),
+    "lor": ("iadd",),
+    "lnot": ("iadd",),
+    "jmp": ("br",),
+    "cvt_if": ("fadd",),
+    "cvt_fi": ("fadd",),
+    "cvt_fd": ("fadd",),
+    "cvt_df": ("fadd",),
+    "dsqrt": ("fsqrt",),
+    "dadd": ("fadd",),
+    "dsub": ("fsub",),
+    "dmul": ("fmul",),
+    "ddiv": ("fdiv",),
+    "dload": ("fload",),
+    "dstore": ("fstore",),
+    "dcmp": ("fcmp",),
+}
+
+
+def arith_op(op: str, scalar: ScalarType) -> str:
+    """Basic-op name for an arithmetic operator on a scalar type.
+
+    ``op`` is one of ``add sub mul div neg``.
+    """
+    return f"{PREFIX[scalar]}{op}"
+
+
+def load_op(scalar: ScalarType) -> str:
+    return f"{PREFIX[scalar]}load"
+
+
+def store_op(scalar: ScalarType) -> str:
+    return f"{PREFIX[scalar]}store"
+
+
+def cmp_op(scalar: ScalarType) -> str:
+    return f"{PREFIX[scalar]}cmp"

@@ -1,0 +1,61 @@
+"""The high-level operation table (paper Figure 6, left column).
+
+Declarative description of the source language's operations: which
+arithmetic category each operator belongs to, which intrinsics exist
+and how they specialize.  This table is language dependent and
+architecture independent; a different front-end language would plug in
+a different table while reusing the specializer machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["HLOp", "HL_OPERATORS", "HL_INTRINSICS", "SMALL_MULTIPLIER_RANGE"]
+
+#: The paper: integer multiply is cheap "when the multiplier has a value
+#: between -128 and 127".
+SMALL_MULTIPLIER_RANGE = (-128, 127)
+
+
+@dataclass(frozen=True)
+class HLOp:
+    """One high-level operation: its category and basic-op stem."""
+
+    spelling: str
+    category: str        # "arith" | "compare" | "logical"
+    stem: str            # basic-op stem, e.g. "add" -> iadd/fadd/dadd
+
+
+#: Operator spelling -> high-level operation descriptor.
+HL_OPERATORS: dict[str, HLOp] = {
+    "+": HLOp("+", "arith", "add"),
+    "-": HLOp("-", "arith", "sub"),
+    "*": HLOp("*", "arith", "mul"),
+    "/": HLOp("/", "arith", "div"),
+    "**": HLOp("**", "arith", "pow"),
+    ".lt.": HLOp(".lt.", "compare", "cmp"),
+    ".le.": HLOp(".le.", "compare", "cmp"),
+    ".gt.": HLOp(".gt.", "compare", "cmp"),
+    ".ge.": HLOp(".ge.", "compare", "cmp"),
+    ".eq.": HLOp(".eq.", "compare", "cmp"),
+    ".ne.": HLOp(".ne.", "compare", "cmp"),
+    ".and.": HLOp(".and.", "logical", "land"),
+    ".or.": HLOp(".or.", "logical", "lor"),
+}
+
+#: Intrinsic name -> basic-op stem ("" means free / type conversion only).
+HL_INTRINSICS: dict[str, str] = {
+    "sqrt": "sqrt",
+    "abs": "abs",
+    "min": "min",
+    "max": "max",
+    "mod": "mod",
+    "exp": "call",
+    "log": "call",
+    "sin": "call",
+    "cos": "call",
+    "int": "cvt",
+    "real": "cvt",
+    "dble": "cvt",
+}

@@ -1,0 +1,135 @@
+"""Pattern recognizers for common operations (paper section 2.2.2).
+
+"The cost model can use pattern matching techniques to recognize some
+commonly used operations such as sum-reductions for which all but one
+store instruction can be eliminated by using registers.  The same
+technique can be applied to other operations such as inner products,
+array-constant multiply, or array multiplications."
+
+Recognition has two uses: the translator keeps recognized accumulators
+in registers (eliminating per-iteration stores), and the aggregator
+learns the loop-carried dependence chain that bounds iteration overlap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ir.nodes import ArrayRef, Assign, BinOp, Do, Expr, Stmt, VarRef
+from ..ir.visitor import walk_exprs
+
+__all__ = [
+    "Reduction",
+    "find_reductions",
+    "is_inner_product_loop",
+    "is_axpy_loop",
+    "carried_scalar_chain",
+]
+
+
+@dataclass(frozen=True)
+class Reduction:
+    """A recognized accumulation ``acc = acc op expr``."""
+
+    target: str          # scalar name, or "array:name" for array accumulators
+    op: str              # "+", "-", or "*"
+    statement: Assign
+
+
+def _accumulator_key(target: VarRef | ArrayRef) -> str:
+    if isinstance(target, VarRef):
+        return target.name
+    return f"array:{target.name}({', '.join(str(s) for s in target.subscripts)})"
+
+
+def _reads_target(expr: Expr, target: VarRef | ArrayRef) -> bool:
+    """Does the expression read exactly the assignment target?"""
+    return any(node == target for node in walk_exprs(expr))
+
+
+def find_reductions(body: tuple[Stmt, ...]) -> list[Reduction]:
+    """Recognize ``s = s + e`` / ``s = e + s`` (and -, *) accumulations.
+
+    Array-element accumulators (``c(i,j) = c(i,j) + ...``) count too:
+    after unrolling they are exactly the 16 independent FMA chains of
+    the paper's Matmul kernel.
+    """
+    out: list[Reduction] = []
+    for stmt in body:
+        if not isinstance(stmt, Assign):
+            continue
+        value = stmt.value
+        if not isinstance(value, BinOp) or value.op not in ("+", "-", "*"):
+            continue
+        target = stmt.target
+        if value.left == target and not _reads_target(value.right, target):
+            out.append(Reduction(_accumulator_key(target), value.op, stmt))
+        elif (
+            value.op in ("+", "*")
+            and value.right == target
+            and not _reads_target(value.left, target)
+        ):
+            out.append(Reduction(_accumulator_key(target), value.op, stmt))
+    return out
+
+
+def is_inner_product_loop(loop: Do) -> bool:
+    """``s = s + a(...) * b(...)`` as the only statement of the loop."""
+    if len(loop.body) != 1:
+        return False
+    reductions = find_reductions(loop.body)
+    if len(reductions) != 1 or reductions[0].op != "+":
+        return False
+    stmt = reductions[0].statement
+    added = stmt.value.right if stmt.value.left == stmt.target else stmt.value.left
+    return (
+        isinstance(added, BinOp)
+        and added.op == "*"
+        and isinstance(added.left, ArrayRef)
+        and isinstance(added.right, ArrayRef)
+    )
+
+
+def is_axpy_loop(loop: Do) -> bool:
+    """``y(i) = y(i) + a * x(i)`` (or a*x(i) form) as the loop body."""
+    if len(loop.body) != 1:
+        return False
+    stmt = loop.body[0]
+    if not isinstance(stmt, Assign) or not isinstance(stmt.target, ArrayRef):
+        return False
+    value = stmt.value
+    if not isinstance(value, BinOp) or value.op != "+":
+        return False
+    other = None
+    if value.left == stmt.target:
+        other = value.right
+    elif value.right == stmt.target:
+        other = value.left
+    if other is None or not isinstance(other, BinOp) or other.op != "*":
+        return False
+    return isinstance(other.left, ArrayRef) or isinstance(other.right, ArrayRef)
+
+
+def carried_scalar_chain(body: tuple[Stmt, ...]) -> bool:
+    """Is there any scalar read-then-written across iterations?
+
+    Conservative: a scalar that is both read and assigned in the body
+    (in any order) carries a dependence from one iteration to the next,
+    which forbids free iteration overlap.  Loop indices are handled by
+    the caller (they are recurrences too, but strength-reduced away).
+    """
+    assigned: set[str] = set()
+    read: set[str] = set()
+    for stmt in body:
+        if isinstance(stmt, Assign):
+            for node in walk_exprs(stmt.value):
+                if isinstance(node, VarRef):
+                    read.add(node.name)
+            if isinstance(stmt.target, VarRef):
+                assigned.add(stmt.target.name)
+            else:
+                for sub in stmt.target.subscripts:
+                    for node in walk_exprs(sub):
+                        if isinstance(node, VarRef):
+                            read.add(node.name)
+    return bool(assigned & read)

@@ -1,0 +1,62 @@
+"""Register-pressure heuristic (paper section 2.2.1).
+
+"The effect of the limited number of registers on performance is
+simulated by using a heuristic that forces a store after certain number
+of loads."
+
+The tracker counts simultaneously-live loaded values per register
+class; once the count passes the budget, each further load also incurs
+a spill store (and the evicted value will reload if used again -- the
+re-load shows up naturally because the translator's CSE cache entry is
+invalidated).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["RegisterPressure"]
+
+#: Registers reserved for the stack pointer, constants, accumulators...
+_RESERVED = 4
+
+
+@dataclass
+class RegisterPressure:
+    """Tracks live loaded values and reports forced spills.
+
+    ``fp_budget`` / ``int_budget`` are the machine's register counts;
+    the heuristic spills once live values exceed ``budget - reserved``.
+    """
+
+    fp_budget: int
+    int_budget: int
+    fp_live: list[str] = field(default_factory=list)
+    int_live: list[str] = field(default_factory=list)
+    spills: int = 0
+
+    def note_load(self, key: str, is_float: bool) -> str | None:
+        """Record a loaded value; returns the evicted key on spill.
+
+        The eviction is FIFO -- deliberately crude, like the paper's
+        heuristic: the point is to charge *some* store traffic when a
+        block's working set exceeds the register file, not to model a
+        real allocator.
+        """
+        live = self.fp_live if is_float else self.int_live
+        budget = (self.fp_budget if is_float else self.int_budget) - _RESERVED
+        if key in live:
+            return None
+        live.append(key)
+        if len(live) > max(budget, 1):
+            evicted = live.pop(0)
+            self.spills += 1
+            return evicted
+        return None
+
+    def forget(self, key: str) -> None:
+        """Drop a value (e.g. it was overwritten)."""
+        if key in self.fp_live:
+            self.fp_live.remove(key)
+        if key in self.int_live:
+            self.int_live.remove(key)

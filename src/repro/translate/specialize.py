@@ -1,0 +1,150 @@
+"""Level-1 translation: operation specialization mapping.
+
+"In the first level, the operation specialization mapping translates
+language specific expressions into language independent basic
+operations such as integer-add operation, floating-point multiply-add
+operation, etc."  (section 2.2.1)
+
+Specialization is type-driven and value-aware:
+
+* ``+`` on two integers is ``iadd``; on a double and a real, ``dadd``;
+* integer ``*`` by a constant in [-128, 127] is ``imul_small`` (the
+  paper's variable-latency multiply, modeled as "multiple basic
+  operations ... the operation specialization mapping can map different
+  cases to different basic operations");
+* small constant integer powers expand to multiply chains;
+* intrinsics map to their basic ops or to an external ``call``.
+"""
+
+from __future__ import annotations
+
+from ..ir.nodes import Expr, IntConst
+from ..ir.symtab import SymbolTable
+from ..ir.types import ScalarType, TypeError_
+from .basic_ops import PREFIX
+from .hl_table import HL_INTRINSICS, HL_OPERATORS, SMALL_MULTIPLIER_RANGE
+
+__all__ = [
+    "specialize_binop",
+    "specialize_unop",
+    "specialize_intrinsic",
+    "power_expansion",
+]
+
+
+def _prefix(scalar: ScalarType) -> str:
+    return PREFIX[scalar]
+
+
+def specialize_binop(op: str, left_type: ScalarType, right_type: ScalarType,
+                     right: Expr | None = None) -> list[str]:
+    """Basic-op names for a binary operator applied to typed operands.
+
+    ``right`` (when supplied) enables value-aware specialization of
+    integer multiplies.  Returns a list because some spellings expand
+    to several basic operations.
+    """
+    hl = HL_OPERATORS.get(op)
+    if hl is None:
+        raise TypeError_(f"no high-level operation for {op!r}")
+    if hl.category == "logical":
+        return [hl.stem]
+    if hl.category == "compare":
+        joined = left_type.join(right_type)
+        return [f"{_prefix(joined)}cmp"]
+    joined = left_type.join(right_type)
+    prefix = _prefix(joined)
+    if hl.stem == "pow":
+        return power_expansion(joined, right)
+    if hl.stem == "mul" and joined is ScalarType.INTEGER:
+        if isinstance(right, IntConst) and _is_small(right.value):
+            return ["imul_small"]
+        return ["imul"]
+    return [f"{prefix}{hl.stem}"]
+
+
+def _is_small(value: int) -> bool:
+    lo, hi = SMALL_MULTIPLIER_RANGE
+    return lo <= value <= hi
+
+
+def power_expansion(scalar: ScalarType, exponent: Expr | None) -> list[str]:
+    """Expand ``x ** e``.
+
+    Small constant integer exponents become multiply chains (the
+    back-end strength-reduces them); anything else is an external call
+    to the runtime's pow.
+    """
+    prefix = _prefix(scalar)
+    if isinstance(exponent, IntConst) and 0 <= exponent.value <= 8:
+        e = exponent.value
+        if e in (0, 1):
+            return []
+        # Binary-method multiply count: squarings + extra multiplies.
+        count = e.bit_length() - 1 + bin(e).count("1") - 1
+        if scalar is ScalarType.INTEGER:
+            return ["imul"] * count
+        return [f"{prefix}mul"] * count
+    return ["call"]
+
+
+def specialize_unop(op: str, operand_type: ScalarType) -> list[str]:
+    if op == "-":
+        return [f"{_prefix(operand_type)}neg"]
+    if op == ".not.":
+        return ["lnot"]
+    raise TypeError_(f"no high-level operation for unary {op!r}")
+
+
+def specialize_intrinsic(name: str, table: SymbolTable, args: tuple[Expr, ...]) -> list[str]:
+    """Basic ops for an intrinsic function call."""
+    stem = HL_INTRINSICS.get(name)
+    if stem is None:
+        return ["call"]  # unknown function: external call overhead
+    if stem == "call":
+        return ["call"]
+    if stem == "cvt":
+        return _conversion_ops(name, table, args)
+    if not args:
+        raise TypeError_(f"intrinsic {name} needs arguments")
+    arg_type = table.type_of(args[0])
+    for arg in args[1:]:
+        arg_type = arg_type.join(table.type_of(arg))
+    if stem == "sqrt":
+        # Square root of an integer promotes to single precision.
+        prefix = _prefix(arg_type) if arg_type.is_float else "f"
+        return [f"{prefix}sqrt"]
+    prefix = _prefix(arg_type)
+    if stem == "mod":
+        # mod(a, b) = a - (a/b)*b
+        if arg_type is ScalarType.INTEGER:
+            return ["idiv", "imul", "isub"]
+        return [f"{prefix}div", f"{prefix}mul", f"{prefix}sub"]
+    if stem in ("min", "max"):
+        # n-ary min/max: one cmp+select per extra argument.
+        per_pair = [f"{prefix}{stem}"]
+        return per_pair * max(1, len(args) - 1)
+    if stem == "abs":
+        return [f"{prefix}abs"]
+    raise TypeError_(f"unhandled intrinsic {name}")
+
+
+def _conversion_ops(name: str, table: SymbolTable, args: tuple[Expr, ...]) -> list[str]:
+    if not args:
+        raise TypeError_(f"intrinsic {name} needs an argument")
+    src = table.type_of(args[0])
+    if name == "int":
+        return [] if src is ScalarType.INTEGER else ["cvt_fi"]
+    if name == "real":
+        if src is ScalarType.INTEGER:
+            return ["cvt_if"]
+        if src is ScalarType.DOUBLE:
+            return ["cvt_df"]
+        return []
+    if name == "dble":
+        if src is ScalarType.INTEGER:
+            return ["cvt_if"]
+        if src is ScalarType.REAL:
+            return ["cvt_fd"]
+        return []
+    raise TypeError_(f"unknown conversion {name}")

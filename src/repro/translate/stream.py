@@ -1,0 +1,103 @@
+"""Atomic-instruction streams: what translation hands the cost model.
+
+The instruction translation module (section 2.2) turns a basic block
+into a stream of atomic operations with data-dependence edges; the cost
+model's placement algorithm (section 2.1) then drops those operations
+into the functional-unit bins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = ["Instr", "InstrStream", "reindex"]
+
+
+def reindex(instrs: list["Instr"]) -> list["Instr"]:
+    """Renumber a filtered instruction list densely, remapping deps.
+
+    Dependences on instructions outside the list are dropped: the
+    producing value is assumed to be available (e.g. a loop-invariant
+    operand already sitting in a register).
+    """
+    index_map = {instr.index: new for new, instr in enumerate(instrs)}
+    out: list[Instr] = []
+    for new_index, instr in enumerate(instrs):
+        deps = tuple(index_map[d] for d in instr.deps if d in index_map)
+        out.append(Instr(new_index, instr.atomic, deps, instr.tag, instr.one_time))
+    return out
+
+
+@dataclass(frozen=True)
+class Instr:
+    """One atomic operation in a basic block's instruction stream.
+
+    ``deps`` lists the stream indices of instructions whose *results*
+    this one consumes (flow dependences): the placement algorithm will
+    not start it before those results are available (the paper's
+    "filter" on top of each cost object).
+    """
+
+    index: int
+    atomic: str
+    deps: tuple[int, ...] = ()
+    tag: str = ""
+    one_time: bool = False  # loop-invariant: costed once, not per iteration
+
+    def __post_init__(self) -> None:
+        for dep in self.deps:
+            if dep >= self.index:
+                raise ValueError(
+                    f"instr {self.index} depends on later/self instr {dep}"
+                )
+            if dep < 0:
+                raise ValueError(f"instr {self.index} has negative dep {dep}")
+
+    def __str__(self) -> str:
+        deps = f" <-{list(self.deps)}" if self.deps else ""
+        note = f"  ; {self.tag}" if self.tag else ""
+        return f"{self.index:3d}: {self.atomic}{deps}{note}"
+
+
+@dataclass
+class InstrStream:
+    """An ordered list of atomic instructions for one basic block."""
+
+    instrs: list[Instr] = field(default_factory=list)
+    machine_name: str = ""
+    label: str = ""
+
+    def append(self, atomic: str, deps: tuple[int, ...] = (), tag: str = "",
+               one_time: bool = False) -> Instr:
+        instr = Instr(len(self.instrs), atomic, deps, tag, one_time)
+        self.instrs.append(instr)
+        return instr
+
+    def __len__(self) -> int:
+        return len(self.instrs)
+
+    def __iter__(self) -> Iterator[Instr]:
+        return iter(self.instrs)
+
+    def __getitem__(self, index: int) -> Instr:
+        return self.instrs[index]
+
+    def iterative(self) -> list[Instr]:
+        """Instructions charged per iteration (the non-one-time part)."""
+        return [i for i in self.instrs if not i.one_time]
+
+    def one_time(self) -> list[Instr]:
+        """Loop-invariant instructions, costed once outside the loop."""
+        return [i for i in self.instrs if i.one_time]
+
+    def counts(self) -> dict[str, int]:
+        """Histogram of atomic op names (used by the op-count baseline)."""
+        out: dict[str, int] = {}
+        for instr in self.instrs:
+            out[instr.atomic] = out.get(instr.atomic, 0) + 1
+        return out
+
+    def listing(self) -> str:
+        header = f"; {self.label or 'block'} on {self.machine_name or '?'}\n"
+        return header + "\n".join(str(i) for i in self.instrs)

@@ -1,0 +1,617 @@
+"""The instruction translation module (paper section 2.2).
+
+Converts a basic block of the mini-Fortran IR into a stream of atomic
+operations for one machine, *imitating the back-end*: common
+subexpressions are evaluated once, loop-invariant work is marked
+one-time (it will be hoisted), recognized reduction accumulators stay
+in registers with their per-iteration stores eliminated, multiply-adds
+are fused where the machine supports them, induction-variable
+addressing is free, dead values are removed, and register pressure
+forces spill stores.
+
+The two-level mapping runs inside: expressions specialize to basic
+operations (:mod:`.specialize`), which resolve to machine atomics
+(:mod:`.atomic_map`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ir.nodes import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    CallStmt,
+    Expr,
+    FuncCall,
+    IntConst,
+    RealConst,
+    Stmt,
+    UnOp,
+    VarRef,
+)
+from ..ir.symtab import SymbolTable
+from ..ir.types import ScalarType
+from ..ir.visitor import walk_exprs
+from ..machine.machine import Machine
+from .atomic_map import resolve_basic_op
+from .backend_opts import AGGRESSIVE_BACKEND, BackendFlags
+from .basic_ops import load_op, store_op
+from .patterns import Reduction, carried_scalar_chain, find_reductions
+from .registers import RegisterPressure
+from .specialize import specialize_binop, specialize_intrinsic, specialize_unop
+from .stream import InstrStream
+
+__all__ = ["BlockInfo", "Translator"]
+
+#: Atomic-op side effects survive dead-code elimination.
+_SIDE_EFFECT_BASIC = frozenset({
+    "istore", "fstore", "dstore", "br", "jmp", "call",
+})
+
+
+@dataclass
+class BlockInfo:
+    """Everything the aggregator needs to know about one basic block."""
+
+    stream: InstrStream
+    reductions: list[Reduction] = field(default_factory=list)
+    carried_latency: int = 0          # cycles of the per-iteration recurrence
+    has_carried_chain: bool = False   # non-reduction scalar recurrence
+    spills: int = 0
+    external_calls: list[str] = field(default_factory=list)
+
+
+class Translator:
+    """IR basic blocks -> atomic instruction streams for one machine."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        symtab: SymbolTable | None = None,
+        flags: BackendFlags = AGGRESSIVE_BACKEND,
+    ):
+        self.machine = machine
+        self.symtab = symtab if symtab is not None else SymbolTable()
+        self.flags = flags
+
+    # ------------------------------------------------------------------
+    # Public entry points
+    # ------------------------------------------------------------------
+    def translate_block(
+        self,
+        stmts: tuple[Stmt, ...] | list[Stmt],
+        loop_indices: tuple[str, ...] = (),
+        label: str = "",
+    ) -> BlockInfo:
+        """Translate straight-line statements (assignments and calls).
+
+        ``loop_indices`` are the enclosing loop variables, innermost
+        last; they drive invariant detection and free addressing.
+        """
+        session = _BlockSession(self, tuple(stmts), loop_indices, label)
+        return session.run()
+
+    def translate_condition(
+        self,
+        cond: Expr,
+        loop_indices: tuple[str, ...] = (),
+        label: str = "cond",
+    ) -> BlockInfo:
+        """Translate a conditional expression plus its compare-and-branch."""
+        session = _BlockSession(self, (), loop_indices, label)
+        dep = session.translate_expr(cond)[0]
+        deps = (dep,) if dep is not None else ()
+        session.emit_basic("br", deps, tag="branch")
+        return session.finish()
+
+    def loop_overhead(self, label: str = "loop-overhead") -> BlockInfo:
+        """The per-iteration bookkeeping: increment, compare, branch."""
+        session = _BlockSession(self, (), (), label)
+        incr = session.emit_basic("iadd", (), tag="index += step")
+        cmp_idx = session.emit_basic("icmp", (incr,), tag="index vs bound")
+        session.emit_basic("br", (cmp_idx,), tag="loop back-edge")
+        return session.finish()
+
+
+class _BlockSession:
+    """Translation state for one basic block."""
+
+    def __init__(
+        self,
+        owner: Translator,
+        stmts: tuple[Stmt, ...],
+        loop_indices: tuple[str, ...],
+        label: str,
+    ):
+        self.machine = owner.machine
+        self.symtab = owner.symtab
+        self.flags = owner.flags
+        self.stmts = stmts
+        self.loop_indices = loop_indices
+        self.innermost = loop_indices[-1] if loop_indices else None
+        self.stream = InstrStream(machine_name=owner.machine.name, label=label)
+        self.value_cache: dict[Expr, tuple[int | None, bool]] = {}
+        self.last_array_store: dict[str, int] = {}
+        self.block_assigned = self._collect_assigned()
+        self.arrays_stored = self._collect_stored_arrays()
+        # A syntactic reduction is a true cross-iteration accumulator only
+        # when its target does not move with the innermost loop index
+        # (c(i,j) accumulating over k, or a scalar sum) -- c(i) += ... with
+        # loop index i touches a fresh element each iteration.
+        self.reductions = [
+            r for r in find_reductions(stmts)
+            if self._is_accumulator_target(r.statement.target)
+        ]
+        self.reduction_stmts = {r.statement for r in self.reductions}
+        self.regs = RegisterPressure(
+            owner.machine.fp_registers, owner.machine.int_registers
+        )
+        self.carried_latency = 0
+        self.accumulator_final: dict[Expr, int] = {}
+        self.external_calls: list[str] = []
+        self.live_out: set[int] = set()
+
+    def _is_accumulator_target(self, target: VarRef | ArrayRef) -> bool:
+        if isinstance(target, VarRef):
+            return True
+        if self.innermost is None:
+            return True
+        for sub in target.subscripts:
+            for node in walk_exprs(sub):
+                if isinstance(node, VarRef) and node.name == self.innermost:
+                    return False
+        return True
+
+    # -- pre-passes ---------------------------------------------------------
+    def _collect_assigned(self) -> set[str]:
+        names: set[str] = set()
+        for stmt in self.stmts:
+            if isinstance(stmt, Assign) and isinstance(stmt.target, VarRef):
+                names.add(stmt.target.name)
+        return names
+
+    def _collect_stored_arrays(self) -> set[str]:
+        names: set[str] = set()
+        for stmt in self.stmts:
+            if isinstance(stmt, Assign) and isinstance(stmt.target, ArrayRef):
+                names.add(stmt.target.name)
+        return names
+
+    # -- driver ---------------------------------------------------------------
+    def run(self) -> BlockInfo:
+        for stmt in self.stmts:
+            if isinstance(stmt, Assign):
+                self._translate_assign(stmt)
+            elif isinstance(stmt, CallStmt):
+                self._translate_call(stmt)
+            else:
+                raise TypeError(
+                    f"translate_block only handles straight-line code, got {stmt}"
+                )
+        self._store_accumulators()
+        return self.finish()
+
+    def finish(self) -> BlockInfo:
+        if self.flags.dce:
+            self._eliminate_dead_code()
+        return BlockInfo(
+            stream=self.stream,
+            reductions=self.reductions,
+            carried_latency=self.carried_latency,
+            has_carried_chain=self._has_non_reduction_chain(),
+            spills=self.regs.spills,
+            external_calls=self.external_calls,
+        )
+
+    def _has_non_reduction_chain(self) -> bool:
+        if not self.stmts:
+            return False
+        reduction_keys = {r.target for r in self.reductions}
+        non_reduction = tuple(
+            s for s in self.stmts if s not in self.reduction_stmts
+        )
+        if not carried_scalar_chain(non_reduction):
+            return False
+        # A scalar both read and written outside reductions: real chain,
+        # unless the only such scalars are recognized accumulators.
+        return not all(key in reduction_keys for key in self._chain_scalars(non_reduction))
+
+    @staticmethod
+    def _chain_scalars(stmts: tuple[Stmt, ...]) -> set[str]:
+        assigned: set[str] = set()
+        read: set[str] = set()
+        for stmt in stmts:
+            if isinstance(stmt, Assign):
+                for node in walk_exprs(stmt.value):
+                    if isinstance(node, VarRef):
+                        read.add(node.name)
+                if isinstance(stmt.target, VarRef):
+                    assigned.add(stmt.target.name)
+        return assigned & read
+
+    # -- emission ---------------------------------------------------------------
+    def emit_basic(
+        self,
+        basic_op: str,
+        deps: tuple[int, ...],
+        tag: str = "",
+        one_time: bool = False,
+    ) -> int:
+        """Emit the atomic expansion of one basic op; returns value index."""
+        atomics = resolve_basic_op(self.machine, basic_op)
+        index = -1
+        for i, atomic in enumerate(atomics):
+            chain = deps if i == 0 else (index,)
+            instr = self.stream.append(atomic, chain, tag=tag, one_time=one_time)
+            index = instr.index
+        if index < 0:
+            raise AssertionError(f"basic op {basic_op} expanded to nothing")
+        return index
+
+    # -- expressions ----------------------------------------------------------
+    def translate_expr(self, expr: Expr) -> tuple[int | None, bool]:
+        """Translate one expression.
+
+        Returns ``(value_index, invariant)``: the stream index whose
+        result holds the value (None for free values: constants, loop
+        indices, already-registered scalars), and whether the value is
+        invariant in the innermost loop.
+        """
+        if isinstance(expr, (IntConst, RealConst)):
+            return None, True
+        if isinstance(expr, VarRef):
+            return self._translate_var(expr)
+        if isinstance(expr, ArrayRef):
+            return self._translate_array_load(expr)
+        if isinstance(expr, BinOp):
+            return self._translate_binop(expr)
+        if isinstance(expr, UnOp):
+            return self._translate_unop(expr)
+        if isinstance(expr, FuncCall):
+            return self._translate_funccall(expr)
+        raise TypeError(f"cannot translate expression {expr!r}")
+
+    def _cached(self, expr: Expr) -> tuple[int | None, bool] | None:
+        if self.flags.cse:
+            return self.value_cache.get(expr)
+        return None
+
+    def _remember(self, expr: Expr, value: int | None, invariant: bool) -> None:
+        if self.flags.cse:
+            self.value_cache[expr] = (value, invariant)
+
+    def _is_invariant_name(self, name: str) -> bool:
+        if name in self.block_assigned:
+            return False
+        return name != self.innermost
+
+    def _translate_var(self, ref: VarRef) -> tuple[int | None, bool]:
+        if ref.name in self.loop_indices:
+            return None, ref.name != self.innermost
+        # Scalar values live in registers once loaded or assigned --
+        # this is register reuse, not CSE, so it ignores the cse flag.
+        hit = self.value_cache.get(ref)
+        if hit is not None:
+            return hit
+        scalar = self.symtab.scalar_type(ref.name)
+        invariant = self.flags.licm and self._is_invariant_name(ref.name)
+        one_time = invariant and self.innermost is not None
+        value = self.emit_basic(
+            load_op(scalar), (), tag=f"load {ref.name}", one_time=one_time
+        )
+        self._note_register(str(ref), scalar)
+        self.value_cache[ref] = (value, invariant)
+        return value, invariant
+
+    def _translate_array_load(self, ref: ArrayRef) -> tuple[int | None, bool]:
+        # Element values are forwarded/reused from registers regardless
+        # of the cse flag (register reuse); see _translate_var.
+        hit = self.value_cache.get(ref)
+        if hit is not None:
+            return hit
+        deps, subs_invariant = self._subscript_deps(ref)
+        order_dep = self._ordering_dep(ref)
+        if order_dep is not None:
+            deps = deps + (order_dep,)
+        scalar = self.symtab.scalar_type(ref.name)
+        invariant = (
+            self.flags.licm
+            and subs_invariant
+            and ref.name not in self.arrays_stored
+        )
+        one_time = invariant and self.innermost is not None
+        value = self.emit_basic(
+            load_op(scalar), deps, tag=f"load {ref}", one_time=one_time
+        )
+        self._note_register(str(ref), scalar)
+        self.value_cache[ref] = (value, invariant)
+        return value, invariant
+
+    def _subscript_deps(self, ref: ArrayRef) -> tuple[tuple[int, ...], bool]:
+        """Cost of computing the element address.
+
+        With strength-reduced addressing, affine subscripts in loop
+        indices and invariants are free (update-form loads); otherwise
+        each subscript expression is translated and charged, and its
+        value feeds the load.
+        """
+        deps: list[int] = []
+        invariant = True
+        for sub in ref.subscripts:
+            if self.flags.strength_reduce_addressing and self._is_affine(sub):
+                invariant = invariant and self._expr_invariant(sub)
+                continue
+            value, sub_invariant = self.translate_expr(sub)
+            invariant = invariant and sub_invariant
+            if value is not None:
+                deps.append(value)
+        return tuple(deps), invariant
+
+    def _is_affine(self, expr: Expr) -> bool:
+        """Affine in loop indices / invariants: free under strength
+        reduction."""
+        if isinstance(expr, IntConst):
+            return True
+        if isinstance(expr, VarRef):
+            return expr.name in self.loop_indices or expr.name not in self.block_assigned
+        if isinstance(expr, UnOp) and expr.op == "-":
+            return self._is_affine(expr.operand)
+        if isinstance(expr, BinOp):
+            if expr.op in ("+", "-"):
+                return self._is_affine(expr.left) and self._is_affine(expr.right)
+            if expr.op == "*":
+                left_const = isinstance(expr.left, IntConst)
+                right_const = isinstance(expr.right, IntConst)
+                if left_const:
+                    return self._is_affine(expr.right)
+                if right_const:
+                    return self._is_affine(expr.left)
+        return False
+
+    def _expr_invariant(self, expr: Expr) -> bool:
+        for node in walk_exprs(expr):
+            if isinstance(node, VarRef):
+                if node.name == self.innermost or node.name in self.block_assigned:
+                    return False
+        return True
+
+    def _ordering_dep(self, ref: ArrayRef) -> int | None:
+        """Conservative memory ordering: a load after a may-alias store."""
+        store = self.last_array_store.get(ref.name)
+        if store is None:
+            return None
+        return store
+
+    def _translate_binop(self, expr: BinOp) -> tuple[int | None, bool]:
+        hit = self._cached(expr)
+        if hit is not None:
+            return hit
+        fused = self._try_fma(expr)
+        if fused is not None:
+            self._remember(expr, fused[0], fused[1])
+            return fused
+        left_value, left_inv = self.translate_expr(expr.left)
+        right_value, right_inv = self.translate_expr(expr.right)
+        left_type = self.symtab.type_of(expr.left)
+        right_type = self.symtab.type_of(expr.right)
+        basics = specialize_binop(expr.op, left_type, right_type, expr.right)
+        deps = tuple(d for d in (left_value, right_value) if d is not None)
+        invariant = left_inv and right_inv
+        if not basics:  # e.g. x ** 1: free
+            value = left_value
+        else:
+            value = deps[0] if deps else None
+            one_time = invariant and self.innermost is not None and self.flags.licm
+            for i, basic in enumerate(basics):
+                chain = deps if i == 0 else ((value,) if value is not None else ())
+                value = self.emit_basic(
+                    basic, chain, tag=f"{expr.op}", one_time=one_time
+                )
+        self._remember(expr, value, invariant)
+        return value, invariant
+
+    def _try_fma(self, expr: BinOp) -> tuple[int | None, bool] | None:
+        """Fuse a*b+c (and c+a*b, a*b-c) into a multiply-add."""
+        if not (self.flags.fuse_fma and self.machine.supports_fma):
+            return None
+        if expr.op not in ("+", "-"):
+            return None
+        result_type = self.symtab.type_of(expr)
+        if not result_type.is_float:
+            return None
+        mul: BinOp | None = None
+        other: Expr | None = None
+        if isinstance(expr.left, BinOp) and expr.left.op == "*":
+            mul, other = expr.left, expr.right
+        elif (
+            expr.op == "+"
+            and isinstance(expr.right, BinOp)
+            and expr.right.op == "*"
+        ):
+            mul, other = expr.right, expr.left
+        if mul is None or not self.symtab.type_of(mul).is_float:
+            return None
+        a_value, a_inv = self.translate_expr(mul.left)
+        b_value, b_inv = self.translate_expr(mul.right)
+        c_value, c_inv = self.translate_expr(other)
+        deps = tuple(d for d in (a_value, b_value, c_value) if d is not None)
+        invariant = a_inv and b_inv and c_inv
+        basic = "dfma" if result_type is ScalarType.DOUBLE else "fma"
+        one_time = invariant and self.innermost is not None and self.flags.licm
+        value = self.emit_basic(basic, deps, tag="fma", one_time=one_time)
+        return value, invariant
+
+    def _translate_unop(self, expr: UnOp) -> tuple[int | None, bool]:
+        hit = self._cached(expr)
+        if hit is not None:
+            return hit
+        value, invariant = self.translate_expr(expr.operand)
+        basics = specialize_unop(expr.op, self.symtab.type_of(expr.operand))
+        deps = (value,) if value is not None else ()
+        one_time = invariant and self.innermost is not None and self.flags.licm
+        for i, basic in enumerate(basics):
+            chain = deps if i == 0 else ((value,) if value is not None else ())
+            value = self.emit_basic(basic, chain, tag=expr.op, one_time=one_time)
+        self._remember(expr, value, invariant)
+        return value, invariant
+
+    def _translate_funccall(self, expr: FuncCall) -> tuple[int | None, bool]:
+        hit = self._cached(expr)
+        if hit is not None:
+            return hit
+        deps: list[int] = []
+        invariant = True
+        for arg in expr.args:
+            value, arg_inv = self.translate_expr(arg)
+            invariant = invariant and arg_inv
+            if value is not None:
+                deps.append(value)
+        basics = specialize_intrinsic(expr.name, self.symtab, expr.args)
+        if basics == ["call"]:
+            self.external_calls.append(expr.name)
+        value: int | None = deps[0] if deps else None
+        one_time = invariant and self.innermost is not None and self.flags.licm
+        dep_tuple = tuple(deps)
+        for i, basic in enumerate(basics):
+            chain = dep_tuple if i == 0 else ((value,) if value is not None else ())
+            value = self.emit_basic(
+                basic, chain, tag=expr.name, one_time=one_time
+            )
+        if not basics:  # free conversion
+            value = deps[0] if deps else None
+        self._remember(expr, value, invariant)
+        return value, invariant
+
+    # -- statements ------------------------------------------------------------
+    def _translate_assign(self, stmt: Assign) -> None:
+        is_reduction = stmt in self.reduction_stmts
+        if is_reduction and self.flags.registerize_scalars:
+            self._translate_reduction(stmt)
+            return
+        value, _ = self.translate_expr(stmt.value)
+        target = stmt.target
+        if isinstance(target, VarRef):
+            self._assign_scalar(target, value)
+        else:
+            self._assign_array(target, value)
+
+    def _assign_scalar(self, target: VarRef, value: int | None) -> None:
+        self.value_cache[target] = (value, False)
+        if value is not None:
+            self.live_out.add(value)
+        if not self.flags.registerize_scalars:
+            scalar = self.symtab.scalar_type(target.name)
+            deps = (value,) if value is not None else ()
+            self.emit_basic(store_op(scalar), deps, tag=f"store {target.name}")
+
+    def _assign_array(self, target: ArrayRef, value: int | None) -> None:
+        sub_deps, _ = self._subscript_deps(target)
+        deps = sub_deps + ((value,) if value is not None else ())
+        scalar = self.symtab.scalar_type(target.name)
+        store = self.emit_basic(store_op(scalar), deps, tag=f"store {target}")
+        self.last_array_store[target.name] = store
+        # Forward the stored value to later loads of the same element.
+        self.value_cache[target] = (value, False)
+
+    def _translate_reduction(self, stmt: Assign) -> None:
+        """Accumulate in a register; the store happens once, after the loop.
+
+        The accumulator's initial load is one-time (hoisted); the
+        accumulate operation itself is the loop-carried recurrence whose
+        latency bounds iteration overlap.
+        """
+        target = stmt.target
+        if target not in self.value_cache:
+            # The accumulator's initial value loads once, before the loop.
+            scalar = self.symtab.scalar_type(target.name)
+            seed = self.emit_basic(
+                load_op(scalar), (), tag=f"load {target} (acc)", one_time=True
+            )
+            self.value_cache[target] = (seed, False)
+        value, _ = self.translate_expr(stmt.value)
+        if value is not None:
+            accumulate_atomic = self.stream[value].atomic
+            latency = self.machine.atomic(accumulate_atomic).result_latency
+            self.carried_latency = max(self.carried_latency, latency)
+            self.live_out.add(value)
+        self.value_cache[target] = (value, False)
+        self.accumulator_final[target] = value if value is not None else before
+
+    def _store_accumulators(self) -> None:
+        """One-time stores of registered accumulators after the loop."""
+        for target, value in self.accumulator_final.items():
+            scalar = self.symtab.scalar_type(
+                target.name if isinstance(target, (VarRef, ArrayRef)) else ""
+            )
+            self.emit_basic(
+                store_op(scalar),
+                (value,),
+                tag=f"store {target} (post-loop)",
+                one_time=True,
+            )
+
+    def _translate_call(self, stmt: CallStmt) -> None:
+        if stmt.name == "return":
+            return
+        deps: list[int] = []
+        for arg in stmt.args:
+            value, _ = self.translate_expr(arg)
+            if value is not None:
+                deps.append(value)
+        self.external_calls.append(stmt.name)
+        self.emit_basic("call", tuple(deps), tag=f"call {stmt.name}")
+
+    # -- register pressure -------------------------------------------------------
+    def _note_register(self, key: str, scalar: ScalarType) -> None:
+        evicted = self.regs.note_load(key, scalar.is_float)
+        if evicted is not None:
+            # The heuristic's forced spill store (section 2.2.1).
+            self.emit_basic(
+                store_op(scalar), (), tag=f"spill {evicted}",
+            )
+
+    # -- dead-code elimination ------------------------------------------------------
+    def _eliminate_dead_code(self) -> None:
+        instrs = self.stream.instrs
+        if not instrs:
+            return
+        side_effects: set[int] = set()
+        for instr in instrs:
+            if _is_side_effecting(instr.atomic):
+                side_effects.add(instr.index)
+        live: set[int] = set(side_effects) | {
+            v for v in self.live_out if v is not None
+        }
+        worklist = list(live)
+        while worklist:
+            index = worklist.pop()
+            for dep in instrs[index].deps:
+                if dep not in live:
+                    live.add(dep)
+                    worklist.append(dep)
+        if len(live) == len(instrs):
+            return
+        keep = [i for i in instrs if i.index in live]
+        remap = {old.index: new for new, old in enumerate(keep)}
+        new_stream = InstrStream(
+            machine_name=self.stream.machine_name, label=self.stream.label
+        )
+        for instr in keep:
+            new_stream.append(
+                instr.atomic,
+                tuple(remap[d] for d in instr.deps if d in remap),
+                tag=instr.tag,
+                one_time=instr.one_time,
+            )
+        self.stream = new_stream
+
+
+def _is_side_effecting(atomic: str) -> bool:
+    return (
+        "store" in atomic
+        or "branch" in atomic
+        or "call" in atomic
+        or atomic in ("br", "jmp")
+    )

@@ -1,0 +1,242 @@
+"""Tests for symbolic cost aggregation (paper section 2.4)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.aggregate import CostAggregator, LibraryCostTable, aggregate_program
+from repro.ir import SymbolTable, parse_fragment, parse_program
+from repro.machine import power_machine, scalar_machine
+from repro.symbolic import Interval, PerfExpr, Poly, Sign, UnknownKind
+
+
+def _prog(src):
+    return parse_program(src)
+
+
+def _agg(prog, machine=None, **kw):
+    return CostAggregator(
+        machine or power_machine(), SymbolTable.from_program(prog), **kw
+    )
+
+
+MATMUL = """
+program matmul
+  integer n, i, j, k
+  real a(n,n), b(n,n), c(n,n)
+  do i = 1, n
+    do j = 1, n
+      do k = 1, n
+        c(i,j) = c(i,j) + a(i,k) * b(k,j)
+      end do
+    end do
+  end do
+end
+"""
+
+
+def test_straight_line_block_cost_is_constant():
+    prog = _prog("program t\n  real x, y\n  x = 1.0\n  y = x * 2.0\nend\n")
+    cost = aggregate_program(prog, power_machine())
+    assert cost.is_constant()
+    assert cost.constant_value() > 0
+
+
+def test_empty_program():
+    prog = _prog("program t\n  real x\nend\n")
+    assert aggregate_program(prog, power_machine()).poly.is_zero()
+
+
+def test_constant_loop_cost():
+    prog = _prog(
+        "program t\n  real a(100)\n  integer i\n"
+        "  do i = 1, 100\n    a(i) = a(i) + 1.0\n  end do\nend\n"
+    )
+    cost = aggregate_program(prog, power_machine())
+    assert cost.is_constant()
+    value = cost.constant_value()
+    # 100 iterations of a small body: at least 100, at most ~10/iter.
+    assert 100 <= value <= 1000
+
+
+def test_symbolic_loop_cost_linear_in_n():
+    prog = _prog(
+        "program t\n  integer n, i\n  real a(n)\n"
+        "  do i = 1, n\n    a(i) = a(i) + 1.0\n  end do\nend\n"
+    )
+    cost = aggregate_program(prog, power_machine())
+    assert cost.poly.degree("n") == 1
+    assert "n" in cost.unknowns
+    # Trip-count unknowns are flagged as loop bounds and non-negative.
+    assert cost.bounds["n"].nonneg()
+
+
+def test_matmul_cost_cubic():
+    cost = aggregate_program(_prog(MATMUL), power_machine())
+    assert cost.poly.degree("n") == 3
+    # The n^3 coefficient is the steady-state cost of the inner body:
+    # 2 loads on one LSU bounds it at 2 cycles per iteration.
+    coeff = cost.poly.coeffs_by_var("n")[3]
+    assert coeff.constant_value() == 2
+
+
+def test_matmul_on_scalar_machine_is_much_slower():
+    power_cost = aggregate_program(_prog(MATMUL), power_machine())
+    scalar_cost = aggregate_program(_prog(MATMUL), scalar_machine())
+    p = power_cost.evaluate({"n": 50})
+    s = scalar_cost.evaluate({"n": 50})
+    assert s > 3 * p  # no overlap, no FMA, slower ops
+
+
+def test_triangular_nest_exact_summation():
+    prog = _prog(
+        "program t\n  integer n, i, j\n  real a(n,n)\n"
+        "  do i = 1, n\n    do j = 1, i\n      a(i,j) = a(i,j) * 2.0\n"
+        "    end do\n  end do\nend\n"
+    )
+    cost = aggregate_program(prog, power_machine())
+    # Sum over i of (c1*i + c0) = quadratic with leading coeff c1/2.
+    assert cost.poly.degree("n") == 2
+    lead = cost.poly.coeffs_by_var("n")[2]
+    inner_steady = 2 * lead.constant_value()  # reverse Faulhaber
+    assert inner_steady >= 1
+
+
+def test_nested_symbolic_bounds_product():
+    prog = _prog(
+        "program t\n  integer n, m, i, j\n  real a(n,m)\n"
+        "  do i = 1, n\n    do j = 1, m\n      a(i,j) = 0.0\n"
+        "    end do\n  end do\nend\n"
+    )
+    cost = aggregate_program(prog, power_machine())
+    poly = cost.poly
+    assert poly.degree("n") == 1 and poly.degree("m") == 1
+    # The n*m term exists (inner body executes n*m times).
+    nm_coeff = [c for mono, c in poly.terms.items() if len(mono) == 2]
+    assert nm_coeff and nm_coeff[0] > 0
+
+
+def test_loop_index_conditional_splits_exactly():
+    """do i = 1,n / if (i .le. k): no probability unknown appears."""
+    prog = _prog(
+        "program t\n  integer n, i, k\n  real a(n), b(n)\n"
+        "  do i = 1, n\n"
+        "    if (i .le. k) then\n      a(i) = a(i) + 1.0\n"
+        "    else\n      b(i) = b(i) / a(i)\n    end if\n  end do\nend\n"
+    )
+    cost = aggregate_program(prog, power_machine())
+    assert "k" in cost.poly.variables()
+    assert not any(v.startswith("pt_") for v in cost.poly.variables())
+    # The divide branch is much slower, so cost decreases with k.
+    low_k = cost.evaluate({"n": 100, "k": 10})
+    high_k = cost.evaluate({"n": 100, "k": 90})
+    assert high_k < low_k
+
+
+def test_general_conditional_uses_probability_unknown():
+    prog = _prog(
+        "program t\n  real x, y, t\n"
+        "  if (x .gt. 0.0) then\n    y = x * 2.0\n"
+        "  else\n    y = sqrt(x * x + 1.0)\n    t = y * y\n  end if\nend\n"
+    )
+    cost = aggregate_program(prog, power_machine())
+    prob_vars = [v for v in cost.poly.variables() if v.startswith("pt_")]
+    assert len(prob_vars) == 1
+    (pt,) = prob_vars
+    assert cost.unknowns[pt].kind is UnknownKind.BRANCH_PROB
+    assert cost.bounds[pt] == Interval.probability()
+    # Substituting the probability gives a constant.
+    assert cost.substitute({pt: Fraction(1, 2)}).is_constant()
+
+
+def test_near_equal_branches_skip_probability():
+    """Section 3.3.2: nearly-equal branch costs need no pt."""
+    prog = _prog(
+        "program t\n  real x, y\n"
+        "  if (x .gt. 0.0) then\n    y = x + 1.0\n"
+        "  else\n    y = x - 1.0\n  end if\nend\n"
+    )
+    cost = aggregate_program(prog, power_machine())
+    assert cost.is_constant()
+
+
+def test_conditional_inside_loop_with_probability():
+    """A data-dependent conditional in a loop keeps pt symbolic."""
+    prog = _prog(
+        "program t\n  integer n, i\n  real a(n), x\n"
+        "  do i = 1, n\n"
+        "    if (a(i) .gt. x) then\n      a(i) = a(i) - x\n"
+        "    else\n      a(i) = a(i) * a(i) / x\n    end if\n  end do\nend\n"
+    )
+    cost = aggregate_program(prog, power_machine())
+    prob_vars = [v for v in cost.poly.variables() if v.startswith("pt_")]
+    assert prob_vars
+    # pt multiplies n: the blend happens per iteration.
+    (pt,) = prob_vars
+    assert cost.poly.degree(pt) == 1
+
+
+def test_library_call_cost_substitution():
+    prog = _prog(
+        "program t\n  integer n\n  real a(n)\n  call daxpy(n)\nend\n"
+    )
+    library = LibraryCostTable()
+    n = PerfExpr.unknown("sz", UnknownKind.PARAMETER, Interval.nonnegative())
+    library.define("daxpy", ("sz",), 4 * n + 10)
+    agg = CostAggregator(
+        power_machine(), SymbolTable.from_program(prog), library=library
+    )
+    cost = agg.cost_program(prog)
+    assert cost.poly.degree("n") == 1
+    assert cost.poly.coeffs_by_var("n")[1].constant_value() == 4
+
+
+def test_unknown_call_becomes_symbolic():
+    prog = _prog("program t\n  call mystery()\nend\n")
+    cost = aggregate_program(prog, power_machine())
+    assert "cost_mystery" in cost.poly.variables()
+    assert cost.bounds["cost_mystery"].nonneg()
+
+
+def test_library_table_validates_formals():
+    library = LibraryCostTable()
+    stray = PerfExpr.unknown("q")
+    with pytest.raises(ValueError):
+        library.define("f", ("a",), stray)
+
+
+def test_reduction_loop_cost():
+    prog = _prog(
+        "program t\n  integer n, i\n  real a(n), s\n"
+        "  do i = 1, n\n    s = s + a(i)\n  end do\nend\n"
+    )
+    cost = aggregate_program(prog, power_machine())
+    # Per-iteration cost is bounded below by the recurrence latency (2).
+    coeff = cost.poly.coeffs_by_var("n")[1]
+    assert coeff.constant_value() >= 2
+
+
+def test_overlap_flag_changes_loop_cost():
+    from repro.translate import AGGRESSIVE_BACKEND
+
+    prog = _prog(
+        "program t\n  integer n, i\n  real a(n), b(n), c(n)\n"
+        "  do i = 1, n\n    c(i) = a(i) + b(i)\n  end do\nend\n"
+    )
+    table = SymbolTable.from_program(prog)
+    fast = CostAggregator(power_machine(), table).cost_program(prog)
+    slow = CostAggregator(
+        power_machine(), table,
+        flags=AGGRESSIVE_BACKEND.without(overlap_iterations=True),
+    ).cost_program(prog)
+    assert slow.evaluate({"n": 100}) > fast.evaluate({"n": 100})
+
+
+def test_sign_query_on_difference():
+    """The point of it all: compare two versions symbolically."""
+    base = aggregate_program(_prog(MATMUL), power_machine())
+    # An artificial 'transformed' version: 1 cycle less per iteration.
+    n = Poly.var("n")
+    improved = PerfExpr(base.poly - n ** 3, base.bounds, base.unknowns)
+    diff = base - improved
+    assert diff.with_bound("n", Interval(1, 1000)).sign() is Sign.POSITIVE

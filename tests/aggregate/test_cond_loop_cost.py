@@ -1,0 +1,121 @@
+"""Unit tests for conditional splitting and loop-cost internals."""
+
+from fractions import Fraction
+
+from repro.aggregate import index_split, nearly_equal, probability_blend
+from repro.ir import parse_expression, parse_fragment
+from repro.symbolic import Interval, PerfExpr, Poly, UnknownKind
+
+
+def _loop(src="do i = 1, n\n  x = 1\nend do\n"):
+    (loop,) = parse_fragment(src)
+    return loop
+
+
+def _cond(text):
+    return parse_expression(text)
+
+
+def test_index_split_le():
+    split = index_split(_cond("i .le. k"), _loop())
+    assert split.true_count == Poly.var("k")  # k - 1 + 1
+
+
+def test_index_split_lt():
+    split = index_split(_cond("i .lt. k"), _loop())
+    assert split.true_count == Poly.var("k") - 1
+
+
+def test_index_split_ge():
+    split = index_split(_cond("i .ge. k"), _loop())
+    assert split.true_count == Poly.var("n") - Poly.var("k") + 1
+
+
+def test_index_split_gt():
+    split = index_split(_cond("i .gt. k"), _loop())
+    assert split.true_count == Poly.var("n") - Poly.var("k")
+
+
+def test_index_split_eq_and_ne():
+    assert index_split(_cond("i .eq. k"), _loop()).true_count == Poly.one()
+    split = index_split(_cond("i .ne. k"), _loop())
+    assert split.true_count == Poly.var("n") - 1
+
+
+def test_index_split_mirrored_operands():
+    """`k .ge. i` mirrors to `i .le. k`."""
+    split = index_split(_cond("k .ge. i"), _loop())
+    assert split.true_count == Poly.var("k")
+
+
+def test_index_split_nonconstant_lb():
+    split = index_split(_cond("i .le. k"), _loop("do i = m, n\n x = 1\nend do\n"))
+    assert split.true_count == Poly.var("k") - Poly.var("m") + 1
+
+
+def test_index_split_rejects_non_unit_step():
+    loop = _loop("do i = 1, n, 2\n  x = 1\nend do\n")
+    assert index_split(_cond("i .le. k"), loop) is None
+
+
+def test_index_split_rejects_index_on_both_sides():
+    assert index_split(_cond("i .le. i + 1"), _loop()) is None
+
+
+def test_index_split_rejects_unrelated_condition():
+    assert index_split(_cond("x .gt. 0.0"), _loop()) is None
+    assert index_split(_cond("j .le. k"), _loop()) is None
+
+
+def test_index_split_expression_bound():
+    split = index_split(_cond("i .le. 2*k + 1"), _loop())
+    assert split.true_count == 2 * Poly.var("k") + 1
+
+
+def test_nearly_equal_thresholds():
+    assert nearly_equal(PerfExpr.const(100), PerfExpr.const(101))
+    assert nearly_equal(PerfExpr.const(100), PerfExpr.const(109))
+    assert not nearly_equal(PerfExpr.const(100), PerfExpr.const(150))
+    # Symbolic costs are never merged.
+    n = PerfExpr.unknown("n", UnknownKind.TRIP_COUNT)
+    assert not nearly_equal(n, n)
+
+
+def test_probability_blend_structure():
+    blend = probability_blend(
+        PerfExpr.const(10), PerfExpr.const(30), "pt_9"
+    )
+    assert blend.bounds["pt_9"] == Interval.probability()
+    assert blend.evaluate({"pt_9": 0}) == 30
+    assert blend.evaluate({"pt_9": 1}) == 10
+    assert blend.evaluate({"pt_9": Fraction(1, 2)}) == 20
+
+
+def test_laurent_index_falls_back_to_midpoint():
+    """A body cost Laurent in the index uses the midpoint substitution."""
+    import repro
+
+    # Inner loop with trip count n/i: cost has i^-1 terms, which cannot
+    # be Faulhaber-summed; the aggregator substitutes the midpoint.
+    prog = repro.parse_program(
+        "program t\n  integer n, i, j\n  real a(n)\n"
+        "  do i = 1, n\n    do j = 1, n/i\n      a(j) = 0.0\n"
+        "    end do\n  end do\nend\n"
+    )
+    cost = repro.predict(prog)
+    assert "n" in cost.poly.variables()
+    value = cost.evaluate({"n": 100})
+    assert value > 0
+
+
+def test_triangular_sum_is_exact_not_midpoint():
+    import repro
+
+    prog = repro.parse_program(
+        "program t\n  integer n, i, j\n  real a(n,n)\n"
+        "  do i = 1, n\n    do j = i, n\n      a(j,i) = 0.0\n"
+        "    end do\n  end do\nend\n"
+    )
+    cost = repro.predict(prog)
+    # Upper-triangular: quadratic leading term, exact Faulhaber.
+    assert cost.poly.degree("n") == 2

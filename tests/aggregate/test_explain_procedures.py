@@ -1,0 +1,131 @@
+"""Tests for cost breakdowns and source-analyzed library routines."""
+
+import pytest
+
+import repro
+from repro.aggregate import (
+    CostAggregator,
+    LibraryCostTable,
+    explain_program,
+    render_report,
+)
+from repro.ir import SymbolTable, parse_expression, parse_program, print_program
+from repro.machine import power_machine
+
+DAXPY = """
+subroutine daxpy(n, alpha)
+  integer n, i
+  real x(n), y(n), alpha
+  do i = 1, n
+    y(i) = y(i) + alpha * x(i)
+  end do
+end subroutine
+"""
+
+
+def test_subroutine_parses_with_params():
+    routine = parse_program(DAXPY)
+    assert routine.name == "daxpy"
+    assert routine.params == ("n", "alpha")
+
+
+def test_subroutine_roundtrip():
+    routine = parse_program(DAXPY)
+    assert parse_program(print_program(routine)) == routine
+
+
+def test_subroutine_without_args():
+    routine = parse_program("subroutine init()\n  real x\n  x = 0.0\nend\n")
+    assert routine.params == ()
+
+
+def test_define_from_source_and_substitute():
+    table = LibraryCostTable()
+    entry = table.define_from_source(parse_program(DAXPY), power_machine())
+    assert entry.source == "analyzed"
+    assert entry.cost.poly.degree("n") == 1
+    # Actuals substitute for formals at the call site.
+    cost = table.cost_of_call(
+        "daxpy", (parse_expression("2*m"), parse_expression("a"))
+    )
+    assert cost.poly.degree("m") == 1
+    assert cost.poly.coeffs_by_var("m")[1].constant_value() == 6
+
+
+def test_define_from_source_requires_params():
+    table = LibraryCostTable()
+    plain = parse_program("program p\n  real x\n  x = 1.0\nend\n")
+    with pytest.raises(ValueError):
+        table.define_from_source(plain, power_machine())
+    with pytest.raises(TypeError):
+        table.define_from_source("not a program", power_machine())
+
+
+def test_analyzed_routine_used_by_aggregator():
+    """A call site prices the analyzed routine, n bound to the actual."""
+    table = LibraryCostTable()
+    table.define_from_source(parse_program(DAXPY), power_machine())
+    caller = parse_program(
+        "program main\n  integer m\n  call daxpy(m, 2.0)\nend\n"
+    )
+    agg = CostAggregator(
+        power_machine(), SymbolTable.from_program(caller), library=table
+    )
+    cost = agg.cost_program(caller)
+    assert cost.poly.degree("m") == 1
+
+
+def test_explain_program_structure():
+    prog = parse_program(
+        "program t\n  integer n, i\n  real a(n), s\n"
+        "  s = 0.0\n"
+        "  do i = 1, n\n    s = s + a(i)\n  end do\n"
+        "  call report(s)\nend\n"
+    )
+    agg = CostAggregator(power_machine(), SymbolTable.from_program(prog))
+    report = explain_program(prog, agg)
+    kinds = [child.kind for child in report.children]
+    assert kinds == ["block", "loop", "call"]
+    loop = report.children[1]
+    assert loop.details["reductions"] == ["s"]
+    assert loop.details["carried_latency"] == 2
+    assert "trip_count" in loop.details
+
+
+def test_explain_nested_and_conditional():
+    prog = parse_program(
+        "program t\n  integer n, i, j\n  real a(n,n), x\n"
+        "  do i = 1, n\n"
+        "    if (x .gt. 0.0) then\n"
+        "      do j = 1, n\n        a(j,i) = 0.0\n      end do\n"
+        "    end if\n  end do\nend\n"
+    )
+    agg = CostAggregator(power_machine(), SymbolTable.from_program(prog))
+    report = explain_program(prog, agg)
+    outer = report.children[0]
+    assert outer.kind == "loop"
+    assert outer.children[0].kind == "if"
+    assert outer.children[0].children[0].kind == "loop"
+
+
+def test_render_report_text():
+    prog = repro.parse_program(
+        "program t\n  integer n, i\n  real a(n)\n"
+        "  do i = 1, n\n    a(i) = a(i) + 1.0\n  end do\nend\n"
+    )
+    agg = CostAggregator(power_machine(), SymbolTable.from_program(prog))
+    text = render_report(explain_program(prog, agg))
+    assert "[program]" in text
+    assert "[loop] do i = 1, n" in text
+    assert "cycles" in text
+
+
+def test_explain_total_matches_predict():
+    prog = repro.parse_program(
+        "program t\n  integer n, i, j\n  real a(n,n)\n"
+        "  do i = 1, n\n    do j = 1, i\n      a(j,i) = 1.0\n"
+        "    end do\n  end do\nend\n"
+    )
+    agg = CostAggregator(power_machine(), SymbolTable.from_program(prog))
+    report = explain_program(prog, agg)
+    assert report.cost.poly == repro.predict(prog).poly

@@ -1,0 +1,146 @@
+"""Tests for dependence analysis and legality predicates."""
+
+from fractions import Fraction
+
+from repro.analysis import (
+    DepKind,
+    affine_subscript,
+    fusion_legal,
+    interchange_legal,
+    is_parallel_loop,
+    loop_carried_dependences,
+    statements_commute,
+    accesses,
+)
+from repro.ir import parse_expression, parse_fragment
+
+
+def _loop(src):
+    (loop,) = parse_fragment(src)
+    return loop
+
+
+def test_affine_subscript():
+    sub = affine_subscript(parse_expression("2*i + 3"), "i")
+    assert sub.coeff == 2 and sub.offset == 3
+    sub = affine_subscript(parse_expression("i"), "i")
+    assert sub.coeff == 1 and sub.offset == 0
+    sub = affine_subscript(parse_expression("7"), "i")
+    assert sub.is_constant and sub.offset == 7
+    assert affine_subscript(parse_expression("i*i"), "i") is None
+    assert affine_subscript(parse_expression("idx(i)"), "i") is None
+    sub = affine_subscript(parse_expression("-i + 1"), "i")
+    assert sub.coeff == -1 and sub.offset == 1
+    # Symbolic additive terms are rejected by the public helper.
+    assert affine_subscript(parse_expression("i + j"), "i") is None
+
+
+def test_parallel_elementwise_loop():
+    loop = _loop("do i = 1, n\n  c(i) = a(i) + b(i)\nend do\n")
+    assert is_parallel_loop(loop)
+    assert loop_carried_dependences(loop) == []
+
+
+def test_carried_flow_dependence():
+    loop = _loop("do i = 2, n\n  a(i) = a(i-1) + 1.0\nend do\n")
+    deps = loop_carried_dependences(loop)
+    assert any(d.kind is DepKind.FLOW and d.distance == 1 for d in deps)
+    assert not is_parallel_loop(loop)
+
+
+def test_anti_direction_recorded_as_dependence():
+    loop = _loop("do i = 1, n\n  a(i) = a(i+1) + 1.0\nend do\n")
+    deps = loop_carried_dependences(loop)
+    assert deps  # distance -1 (anti when executed in order)
+    assert any(d.distance == -1 for d in deps)
+
+
+def test_scalar_recurrence_blocks_parallelism():
+    loop = _loop("do i = 1, n\n  s = s + a(i)\nend do\n")
+    assert not is_parallel_loop(loop)
+
+
+def test_unknown_subscript_conservative():
+    loop = _loop("do i = 1, n\n  a(idx(i)) = a(i) + 1.0\nend do\n")
+    deps = loop_carried_dependences(loop)
+    assert any(d.distance is None for d in deps)
+
+
+def test_different_strides_independent_when_offsets_disagree():
+    loop = _loop("do i = 1, n\n  a(2*i) = a(2*i+1) + 1.0\nend do\n")
+    # 2i = 2j+1 has no integer solution: independent.
+    assert is_parallel_loop(loop)
+
+
+def test_interchange_legal_matmul():
+    nest = _loop(
+        """
+do i = 1, n
+  do j = 1, n
+    c(i,j) = c(i,j) + a(i,j)
+  end do
+end do
+"""
+    )
+    inner = nest.body[0]
+    assert interchange_legal(nest, inner)
+
+
+def test_interchange_illegal_skewed_dependence():
+    """a(i,j) = a(i-1,j+1): (+,-) pair forbids interchange."""
+    nest = _loop(
+        """
+do i = 2, n
+  do j = 1, n
+    a(i,j) = a(i-1,j+1) + 1.0
+  end do
+end do
+"""
+    )
+    inner = nest.body[0]
+    assert not interchange_legal(nest, inner)
+
+
+def test_fusion_legal_independent_loops():
+    first = _loop("do i = 1, n\n  a(i) = b(i) + 1.0\nend do\n")
+    second = _loop("do i = 1, n\n  c(i) = a(i) * 2.0\nend do\n")
+    assert fusion_legal(first, second)
+
+
+def test_fusion_illegal_backward_use():
+    first = _loop("do i = 1, n\n  a(i) = b(i) + 1.0\nend do\n")
+    second = _loop("do i = 1, n\n  c(i) = a(i+1) * 2.0\nend do\n")
+    assert not fusion_legal(first, second)
+
+
+def test_fusion_requires_same_bounds():
+    first = _loop("do i = 1, n\n  a(i) = 1.0\nend do\n")
+    second = _loop("do i = 1, m\n  c(i) = 2.0\nend do\n")
+    assert not fusion_legal(first, second)
+
+
+def test_fusion_with_renamed_index():
+    first = _loop("do i = 1, n\n  a(i) = b(i) + 1.0\nend do\n")
+    second = _loop("do j = 1, n\n  c(j) = a(j) * 2.0\nend do\n")
+    # Same bounds, forward dep only -- but indexes named differently.
+    assert fusion_legal(first, second)
+
+
+def test_statements_commute():
+    s1, s2 = parse_fragment("a(i) = 1.0\nb(i) = 2.0\n")
+    assert statements_commute(s1, s2)
+    s3, s4 = parse_fragment("a(i) = 1.0\nc(i) = a(i) + 1.0\n")
+    assert not statements_commute(s3, s4)
+    s5, s6 = parse_fragment("x = 1.0\ny = x + 1.0\n")
+    assert not statements_commute(s5, s6)
+    s7, s8 = parse_fragment("x = 1.0\ncall foo(y)\n")
+    assert not statements_commute(s7, s8)
+
+
+def test_accesses_summary():
+    (stmt,) = parse_fragment("c(i) = a(i) + x\n")
+    acc = accesses(stmt)
+    assert "a" in acc.reads_arrays
+    assert "c" in acc.writes_arrays
+    assert "x" in acc.reads_scalars
+    assert "i" in acc.reads_scalars

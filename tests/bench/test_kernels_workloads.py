@@ -1,0 +1,104 @@
+"""Tests for the kernel suite and workload generators."""
+
+import pytest
+
+from repro.bench import (
+    KERNELS,
+    innermost_block,
+    kernel,
+    kernel_names,
+    kernel_stream,
+    random_block_program,
+    random_stream,
+)
+from repro.ir import Assign, parse_program, print_program
+from repro.machine import get_machine, power_machine
+
+
+def test_kernel_names_order():
+    names = kernel_names()
+    assert names[0] == "f1" and names[-1] == "rb"
+    assert len(names) == 10
+    assert set(names) == set(KERNELS)
+
+
+def test_kernel_lookup_error():
+    with pytest.raises(KeyError):
+        kernel("f99")
+
+
+def test_all_kernels_parse_and_roundtrip():
+    for name in kernel_names():
+        k = kernel(name)
+        assert parse_program(print_program(k.program)) == k.program
+
+
+def test_matmul_has_16_fma_statements():
+    k = kernel("matmul")
+    stmts, indices = innermost_block(k)
+    assert indices == ("i", "j", "k")
+    assert len(stmts) == 16
+    assert all(isinstance(s, Assign) for s in stmts)
+
+
+def test_innermost_block_extraction():
+    stmts, indices = innermost_block(kernel("jacobi"))
+    assert indices == ("j", "i")
+    assert len(stmts) == 1
+
+
+def test_kernel_stream_on_all_machines():
+    for machine_name in ("power", "scalar", "wide"):
+        machine = get_machine(machine_name)
+        for name in kernel_names():
+            info = kernel_stream(kernel(name), machine)
+            assert len(info.stream) > 0
+            for instr in info.stream:
+                assert instr.atomic in machine.table
+
+
+def test_f3_is_a_reduction_kernel():
+    info = kernel_stream(kernel("f3"), power_machine())
+    assert info.reductions
+    assert info.carried_latency > 0
+
+
+def test_rb_red_points_step_two():
+    k = kernel("rb")
+    inner = k.program.body[0].body[0]
+    from repro.ir import IntConst
+
+    assert inner.step == IntConst(2)
+
+
+def test_random_block_program_deterministic():
+    a = random_block_program(10, seed=3)
+    b = random_block_program(10, seed=3)
+    c = random_block_program(10, seed=4)
+    assert a == b
+    assert a != c
+    assert len(a.body[0].body) == 10
+
+
+def test_random_block_program_translates():
+    from repro.ir import SymbolTable
+    from repro.translate import Translator
+
+    prog = random_block_program(20, seed=1)
+    translator = Translator(power_machine(), SymbolTable.from_program(prog))
+    loop = prog.body[0]
+    info = translator.translate_block(loop.body, (loop.var,))
+    assert len(info.stream) > 0
+
+
+def test_random_stream_properties():
+    machine = power_machine()
+    stream = random_stream(machine, 50, seed=9)
+    assert len(stream) == 50
+    for instr in stream:
+        assert instr.atomic in machine.table
+        for dep in instr.deps:
+            assert dep < instr.index
+    # Deterministic.
+    again = random_stream(machine, 50, seed=9)
+    assert [i.atomic for i in stream] == [i.atomic for i in again]

@@ -1,0 +1,94 @@
+"""Tests for the communication cost model."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.comm import (
+    CommunicationCostModel,
+    NetworkParameters,
+    broadcast_cost,
+    ethernet_cluster,
+    exchange_cost,
+    reduce_cost,
+    send_cost,
+    shift_cost,
+    sp1_network,
+)
+from repro.ir import parse_fragment
+from repro.symbolic import PerfExpr, UnknownKind
+
+
+def test_network_validation():
+    with pytest.raises(ValueError):
+        NetworkParameters("bad", 0, 10, Fraction(1))
+    with pytest.raises(ValueError):
+        NetworkParameters("bad", 4, -1, Fraction(1))
+
+
+def test_send_cost_linear_in_bytes():
+    net = sp1_network()
+    small = send_cost(net, 100).constant_value()
+    large = send_cost(net, 1000).constant_value()
+    assert large > small
+    # alpha dominates small messages.
+    assert small > net.startup_cycles
+    assert large - small == Fraction(900) * net.cycles_per_byte
+
+
+def test_send_cost_symbolic_size():
+    net = sp1_network()
+    msg = PerfExpr.unknown("m", UnknownKind.PARAMETER)
+    cost = send_cost(net, msg)
+    assert "m" in cost.poly.variables()
+    assert cost.poly.degree("m") == 1
+
+
+def test_broadcast_log_steps():
+    net16 = sp1_network(16)
+    net4 = sp1_network(4)
+    c16 = broadcast_cost(net16, 1000).constant_value()
+    c4 = broadcast_cost(net4, 1000).constant_value()
+    assert c16 == 2 * c4  # log2(16)=4 vs log2(4)=2
+
+
+def test_reduce_more_expensive_than_send():
+    net = sp1_network()
+    assert reduce_cost(net, 4096).constant_value() > send_cost(net, 4096).constant_value()
+
+
+def test_exchange_scales_with_processors():
+    small = exchange_cost(sp1_network(4), 100).constant_value()
+    big = exchange_cost(sp1_network(32), 100).constant_value()
+    assert big > small
+
+
+def test_ethernet_contention_penalty():
+    eth = ethernet_cluster()
+    sp = sp1_network(eth.processors)
+    assert shift_cost(eth, 1000).constant_value() > shift_cost(sp, 1000).constant_value()
+
+
+def test_model_prices_recognized_calls():
+    model = CommunicationCostModel(sp1_network())
+    (stmt,) = parse_fragment("call broadcast(n)\n")
+    assert model.recognizes("broadcast")
+    cost = model.call_cost(stmt)
+    assert "n" in cost.poly.variables()
+    assert not model.recognizes("dgemm")
+
+
+def test_block_distribution_cost():
+    model = CommunicationCostModel(sp1_network(), element_bytes=8)
+    n = PerfExpr.unknown("n", UnknownKind.PARAMETER)
+    cost = model.block_distribution_cost(n)
+    assert cost.poly.degree("n") == 1
+    # Two shifts pay two startups.
+    const_term = cost.poly.coeffs_by_var("n").get(0)
+    assert const_term.constant_value() >= 2 * sp1_network().startup_cycles
+
+
+def test_processors_unknown():
+    model = CommunicationCostModel(sp1_network(16))
+    p = model.processors_unknown()
+    assert p.bounds["nproc"].hi == 16

@@ -1,0 +1,122 @@
+"""Tests for symbolic comparison of performance expressions."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.compare import Verdict, compare, region_report, winner_regions
+from repro.symbolic import Interval, PerfExpr, Poly, UnknownKind
+
+
+def _n(lo=1, hi=1000):
+    return PerfExpr.unknown("n", UnknownKind.TRIP_COUNT, Interval(lo, hi))
+
+
+def test_equal_costs():
+    n = _n()
+    result = compare(2 * n + 1, 2 * n + 1)
+    assert result.verdict is Verdict.EQUAL
+
+
+def test_first_always_by_bounds():
+    n = _n()
+    result = compare(2 * n, 3 * n + 5)
+    assert result.verdict is Verdict.FIRST_ALWAYS
+
+
+def test_second_always_by_bounds():
+    n = _n()
+    result = compare(3 * n + 5, 2 * n)
+    assert result.verdict is Verdict.SECOND_ALWAYS
+
+
+def test_depends_with_crossover():
+    """f = 2n + 50 vs g = 3n: f wins above n = 50, g below."""
+    n = _n(1, 1000)
+    result = compare(2 * n + 50, 3 * n)
+    assert result.verdict is Verdict.DEPENDS
+    assert result.variable == "n"
+    assert result.crossovers() == [50]
+    regions = winner_regions(result)
+    assert regions[0].winner == "second"   # small n: g cheaper
+    assert regions[-1].winner == "first"   # large n: f cheaper
+    # f wins on [50,1000]: a much larger measure (domain starts at 1).
+    assert result.first_wins_measure() == 950
+    assert result.second_wins_measure() == 49
+
+
+def test_recommended_by_integral_and_measure():
+    n = _n(1, 1000)
+    result = compare(2 * n + 50, 3 * n)
+    assert result.recommended("measure") is Verdict.FIRST_ALWAYS
+    assert result.recommended("integral") is Verdict.FIRST_ALWAYS
+    with pytest.raises(ValueError):
+        result.recommended("bogus")
+
+
+def test_recommended_passthrough_for_definite():
+    n = _n()
+    result = compare(n, n + 1)
+    assert result.recommended() is Verdict.FIRST_ALWAYS
+
+
+def test_cubic_difference_regions():
+    """The Figure 10 shape: a cubic with three roots in-domain."""
+    x = PerfExpr.unknown("x", UnknownKind.PARAMETER, Interval(0, 10))
+    p = Poly.var("x")
+    cubic = PerfExpr((p - 1) * (p - 3) * (p - 6), x.bounds, x.unknowns)
+    result = compare(cubic, PerfExpr.zero())
+    assert result.verdict is Verdict.DEPENDS
+    assert [float(c) for c in result.crossovers()] == [1.0, 3.0, 6.0]
+    winners = [r.winner for r in winner_regions(result)]
+    assert winners == ["first", "second", "first", "second"]
+
+
+def test_domain_override_narrows():
+    n = _n(1, 1000)
+    result = compare(2 * n + 50, 3 * n, domain={"n": Interval(100, 1000)})
+    # Above the crossover everywhere: f always cheaper.
+    assert result.verdict is Verdict.FIRST_ALWAYS
+
+
+def test_negligible_term_dropped_before_region_analysis():
+    """A tiny 1/x^3 term must not prevent univariate analysis."""
+    x = PerfExpr.unknown("x", UnknownKind.PARAMETER, Interval(3, 100))
+    poly = 4 * Poly.var("x") ** 4 + 2 * Poly.var("x") ** 3 - 4 * Poly.var("x") \
+        + Poly.var("x") ** -3
+    expr = PerfExpr(poly, x.bounds, x.unknowns)
+    result = compare(expr, PerfExpr.zero())
+    # Over [3,100] the quartic dominates: positive everywhere.
+    assert result.verdict is Verdict.SECOND_ALWAYS
+
+
+def test_multivariate_unknown_returns_condition():
+    n = PerfExpr.unknown("n", UnknownKind.TRIP_COUNT, Interval(1, 100))
+    m = PerfExpr.unknown("m", UnknownKind.TRIP_COUNT, Interval(1, 100))
+    result = compare(n * 3, m * 2)
+    assert result.verdict is Verdict.UNKNOWN
+    assert result.condition == 3 * Poly.var("n") - 2 * Poly.var("m")
+
+
+def test_unbounded_univariate_returns_condition():
+    n = PerfExpr.unknown("n", UnknownKind.PARAMETER)  # unbounded
+    result = compare(n * n, 100 * n.poly)
+    assert result.verdict is Verdict.UNKNOWN
+    assert result.variable == "n"
+
+
+def test_branch_probability_comparison():
+    """pt in [0,1] can already decide some comparisons outright."""
+    pt = PerfExpr.unknown("pt", UnknownKind.BRANCH_PROB)
+    slow = 100 + 10 * pt   # at most 110
+    fast = 200 + 10 * pt   # at least 200
+    assert compare(slow, fast).verdict is Verdict.FIRST_ALWAYS
+
+
+def test_region_report_text():
+    n = _n(1, 1000)
+    result = compare(2 * n + 50, 3 * n)
+    report = region_report(result)
+    assert "depends" in report
+    assert "crossovers: 50" in report
+    assert "first" in report and "second" in report

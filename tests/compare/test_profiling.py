@@ -1,0 +1,97 @@
+"""Tests for profile-driven unknown elimination (paper section 3.4)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.compare import BranchProfile, ProfileData, apply_profile
+from repro.symbolic import Interval, PerfExpr, UnknownKind
+
+
+def _expr():
+    n = PerfExpr.unknown("n", UnknownKind.TRIP_COUNT, Interval(1, 10 ** 6))
+    pt = PerfExpr.unknown("pt_1", UnknownKind.BRANCH_PROB)
+    return 5 * n + 100 * pt + 7
+
+
+def test_branch_profile_probability():
+    profile = BranchProfile()
+    for _ in range(3):
+        profile.record(True)
+    profile.record(False)
+    assert profile.probability == Fraction(3, 4)
+    assert profile.total == 4
+    with pytest.raises(ValueError):
+        BranchProfile().probability
+
+
+def test_apply_profile_substitutes_branch_probability():
+    data = ProfileData()
+    for _ in range(9):
+        data.record_branch("pt_1", True)
+    data.record_branch("pt_1", False)
+    result = apply_profile(_expr(), data)
+    assert "pt_1" not in result.poly.variables()
+    assert "n" in result.poly.variables()  # untouched
+    # 100 * 0.9 folded into the constant term.
+    assert result.poly.coeffs_by_var("n")[0].constant_value() == 97
+
+
+def test_apply_profile_substitutes_trip_counts():
+    data = ProfileData()
+    for trips in (10, 20, 30):
+        data.record_trips("n", trips)
+    assert data.mean_trips("n") == 20
+    result = apply_profile(_expr(), data)
+    assert "n" not in result.poly.variables()
+    assert "pt_1" in result.poly.variables()
+
+
+def test_apply_profile_full_resolution_gives_constant():
+    data = ProfileData()
+    data.record_branch("pt_1", True)
+    data.record_trips("n", 10)
+    result = apply_profile(_expr(), data)
+    assert result.is_constant()
+    assert result.constant_value() == 5 * 10 + 100 * 1 + 7
+
+
+def test_apply_profile_no_data_is_identity():
+    expr = _expr()
+    assert apply_profile(expr, ProfileData()).poly == expr.poly
+
+
+def test_coverage_report():
+    data = ProfileData()
+    data.record_branch("pt_1", True)
+    resolvable, unresolvable = data.coverage(_expr())
+    assert resolvable == {"pt_1"}
+    assert unresolvable == {"n"}
+
+
+def test_mean_trips_missing():
+    with pytest.raises(KeyError):
+        ProfileData().mean_trips("n")
+
+
+def test_profile_on_aggregated_program():
+    """End to end: profile a data-dependent conditional's probability."""
+    import repro
+
+    prog = repro.parse_program(
+        "program t\n  integer n, i\n  real a(n), x\n"
+        "  do i = 1, n\n"
+        "    if (a(i) .gt. x) then\n      a(i) = a(i) - x\n"
+        "    else\n      a(i) = a(i) * a(i) / x\n    end if\n  end do\nend\n"
+    )
+    cost = repro.predict(prog)
+    prob_vars = [v for v in cost.poly.variables() if v.startswith("pt_")]
+    assert prob_vars
+    data = ProfileData()
+    for _ in range(7):
+        data.record_branch(prob_vars[0], True)
+    for _ in range(3):
+        data.record_branch(prob_vars[0], False)
+    profiled = apply_profile(cost, data)
+    assert not any(v.startswith("pt_") for v in profiled.poly.variables())
+    assert profiled.poly.degree("n") == 1

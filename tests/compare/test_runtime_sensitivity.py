@@ -1,0 +1,131 @@
+"""Tests for run-time test generation and sensitivity analysis."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.compare import (
+    Verdict,
+    build_guard,
+    compare,
+    elasticity,
+    perturbation_sensitivity,
+    poly_to_ir,
+    rank_variables,
+    worth_testing,
+)
+from repro.ir import BinOp, If, IntConst, VarRef, parse_fragment, print_expr
+from repro.symbolic import Interval, PerfExpr, Poly, UnknownKind
+
+
+def _depends_result():
+    n = PerfExpr.unknown("n", UnknownKind.TRIP_COUNT, Interval(1, 1000))
+    return compare(2 * n + 50, 3 * n)
+
+
+def test_guard_single_crossover():
+    result = _depends_result()
+    test = build_guard(result)
+    assert test is not None
+    # g (second) wins below 50, so "first wins" means n >= 50.
+    assert isinstance(test.condition, BinOp)
+    assert test.condition.op == ".ge."
+    assert test.condition.right == IntConst(50)
+    assert "above n = 50" in test.description
+
+
+def test_guarded_versions_build_if():
+    result = _depends_result()
+    test = build_guard(result)
+    first = parse_fragment("x = 1.0\n")
+    second = parse_fragment("x = 2.0\n")
+    guard = test.guarded(first, second)
+    assert isinstance(guard, If)
+    assert guard.then_body == first
+    assert guard.else_body == second
+
+
+def test_guard_none_for_definite_verdicts():
+    n = PerfExpr.unknown("n", UnknownKind.TRIP_COUNT, Interval(1, 100))
+    result = compare(n, 2 * n)
+    assert result.verdict is Verdict.FIRST_ALWAYS
+    assert build_guard(result) is None
+
+
+def test_guard_general_condition_for_multivariate():
+    n = PerfExpr.unknown("n", UnknownKind.TRIP_COUNT, Interval(1, 100))
+    m = PerfExpr.unknown("m", UnknownKind.TRIP_COUNT, Interval(1, 100))
+    result = compare(3 * n, 2 * m)
+    test = build_guard(result)
+    assert test is not None
+    assert test.condition.op == ".lt."
+    text = print_expr(test.condition)
+    assert "n" in text and "m" in text
+
+
+def test_poly_to_ir_roundtrip_values():
+    poly = 3 * Poly.var("n") ** 2 - 2 * Poly.var("m") + 7
+    expr = poly_to_ir(poly)
+    # Evaluate the IR numerically and compare against the polynomial.
+    from repro.memory.simcache import _eval_expr
+
+    for n in (1, 5):
+        for m in (2, 9):
+            assert _eval_expr(expr, {"n": n, "m": m}) == poly.evaluate(
+                {"n": n, "m": m}
+            )
+    assert poly_to_ir(Poly.zero()) == IntConst(0)
+
+
+def test_worth_testing_gate():
+    n = PerfExpr.unknown("n", UnknownKind.TRIP_COUNT, Interval(0, 1000))
+    balanced = compare(2 * n + 50, 3 * n)  # 50/950 split: 5% exactly
+    assert worth_testing(balanced)
+    n = PerfExpr.unknown("n", UnknownKind.TRIP_COUNT, Interval(1, 10000))
+    lopsided = compare(2 * n + 50, 3 * n)  # minority share 0.5%
+    assert lopsided.verdict is Verdict.DEPENDS
+    assert not worth_testing(lopsided)
+    definite = compare(n, 2 * n)
+    assert not worth_testing(definite)
+
+
+def test_perturbation_sensitivity_ranking():
+    n = PerfExpr.unknown("n", UnknownKind.TRIP_COUNT, Interval(1, 10 ** 6))
+    m = PerfExpr.unknown("m", UnknownKind.TRIP_COUNT, Interval(1, 10 ** 6))
+    expr = n * n * 5 + m  # n dominates at the nominal point
+    point = {"n": 100, "m": 100}
+    ranked = rank_variables(expr, point)
+    assert ranked[0].name == "n"
+    assert ranked[0].score > ranked[1].score
+
+
+def test_elasticity_matches_perturbation_for_polynomials():
+    n = PerfExpr.unknown("n", UnknownKind.TRIP_COUNT)
+    expr = 3 * n * n  # elasticity = 2 exactly
+    point = {"n": 10}
+    el = elasticity(expr, point)[0]
+    assert el.score == 2
+    pe = perturbation_sensitivity(expr, point)[0]
+    # Central difference of a quadratic is exact too.
+    assert pe.score == 2
+
+
+def test_sensitivity_top_k_and_methods():
+    a = PerfExpr.unknown("a")
+    b = PerfExpr.unknown("b")
+    c = PerfExpr.unknown("c")
+    expr = a * 100 + b * 10 + c
+    point = {"a": 1, "b": 1, "c": 1}
+    top2 = rank_variables(expr, point, top=2)
+    assert [s.name for s in top2] == ["a", "b"]
+    el = rank_variables(expr, point, method="elasticity")
+    assert el[0].name == "a"
+    with pytest.raises(ValueError):
+        rank_variables(expr, point, method="nope")
+
+
+def test_sensitivity_zero_base():
+    n = PerfExpr.unknown("n")
+    expr = n - 10
+    scores = perturbation_sensitivity(expr, {"n": 10})
+    assert scores[0].score > 0  # falls back to absolute swing

@@ -1,0 +1,130 @@
+"""Tests for cost-block shapes and inter-block overlap (Figures 8-9)."""
+
+from repro.cost import (
+    CostBlock,
+    combined_cycles,
+    max_overlap,
+    place_stream,
+    steady_state_cycles,
+)
+from repro.machine import UnitKind, power_machine
+from repro.translate.stream import Instr
+
+FPU = (UnitKind.FPU, 0)
+FXU = (UnitKind.FXU, 0)
+LSU = (UnitKind.LSU, 0)
+
+
+def _block(instrs):
+    return place_stream(power_machine(), instrs).block
+
+
+def test_empty_block():
+    block = CostBlock.empty()
+    assert block.is_empty
+    assert block.cycles == 0
+    assert max_overlap(block, block) == 0
+    assert steady_state_cycles(block) == 0
+
+
+def test_profiles_and_gaps():
+    block = _block([
+        Instr(0, "fxu_add"),
+        Instr(1, "fxu_add"),
+        Instr(2, "fpu_arith"),
+    ])
+    assert block.lo == 0
+    assert block.occupied_hi == 2     # FXU slots 0..1
+    assert block.completion == 2      # fpu result at 2 as well
+    assert block.bottom_gap(FPU) == 0
+    assert block.top_gap(FPU) == 1    # FPU used only at slot 0
+    assert block.top_gap(FXU) == 0
+    assert block.bottom_gap(LSU) is None
+
+
+def test_critical_bins_and_density():
+    block = _block([
+        Instr(0, "fxu_add"),
+        Instr(1, "fxu_add"),
+        Instr(2, "fpu_arith"),
+    ])
+    assert block.critical_bins() == [FXU]
+    assert block.density(FXU) == 1.0
+    assert block.density(FPU) == 0.5
+
+
+def test_unroll_headroom():
+    dense = _block([Instr(i, "fpu_arith") for i in range(8)])
+    assert dense.unroll_headroom() < 0.2
+    sparse = _block([
+        Instr(0, "fpu_arith"),
+        Instr(1, "fpu_arith", deps=(0,)),
+        Instr(2, "fpu_arith", deps=(1,)),
+    ])
+    # Dependent chain: FPU occupied 3 of 6 slots.
+    assert sparse.unroll_headroom() >= 0.4
+
+
+def test_overlap_complementary_shapes():
+    """FXU-heavy block followed by FPU-heavy block: they interlock."""
+    fxu_block = _block([Instr(i, "fxu_add") for i in range(4)])
+    fpu_block = _block([Instr(i, "fpu_arith") for i in range(4)])
+    overlap = max_overlap(fxu_block, fpu_block)
+    # No shared bins: full overlap up to the smaller occupied span.
+    assert overlap == min(fxu_block.occupied_cycles, fpu_block.occupied_cycles)
+
+
+def test_overlap_same_unit_blocks():
+    """Two FPU-saturated blocks cannot overlap at all."""
+    a = _block([Instr(i, "fpu_arith") for i in range(4)])
+    b = _block([Instr(i, "fpu_arith") for i in range(4)])
+    assert max_overlap(a, b) == 0
+
+
+def test_overlap_partial():
+    """A block that tails off in FXU + one that ramps up in FXU."""
+    a = _block([
+        Instr(0, "fxu_add"),
+        Instr(1, "fpu_arith", deps=(0,)),   # FPU at 1..2
+        Instr(2, "fpu_arith", deps=(1,)),   # FPU slot 3
+    ])
+    b = _block([
+        Instr(0, "fxu_add"),
+        Instr(1, "fpu_arith", deps=(0,)),
+    ])
+    # a: FXU busy only at slot 0, FPU busy up to its top.
+    # b: FXU busy at its bottom, FPU starts one slot up.
+    # FXU allows 3 slots of overlap, FPU allows 1 -> overlap is 1.
+    overlap = max_overlap(a, b)
+    assert overlap == 1
+
+
+def test_combined_cycles_never_worse_than_sum():
+    a = _block([Instr(0, "fxu_add"), Instr(1, "fxu_add")])
+    b = _block([Instr(0, "fpu_arith"), Instr(1, "fpu_arith")])
+    assert combined_cycles(a, b) <= a.cycles + b.cycles
+    assert combined_cycles(a, CostBlock.empty()) == a.cycles
+    assert combined_cycles(CostBlock.empty(), b) == b.cycles
+
+
+def test_steady_state_cycles_floor_is_critical_occupancy():
+    """A saturated FPU body iterates at its occupancy, not lower."""
+    block = _block([Instr(i, "fpu_arith") for i in range(4)])
+    assert steady_state_cycles(block) == 4
+
+
+def test_steady_state_cycles_sparse_body():
+    """A body with one FP op per iteration can almost fully overlap."""
+    block = _block([
+        Instr(0, "lsu_load"),
+        Instr(1, "fpu_arith", deps=(0,)),
+    ])
+    steady = steady_state_cycles(block)
+    assert steady <= block.occupied_cycles
+    assert steady >= 1
+
+
+def test_str_rendering():
+    block = _block([Instr(0, "fpu_arith")])
+    assert "CostBlock" in str(block)
+    assert "fpu" in str(block)

@@ -1,0 +1,212 @@
+"""Tests for the signed-block slot array (paper Figures 4-5)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cost import SlotArray
+
+
+def test_initial_state():
+    array = SlotArray(8)
+    assert array.capacity == 8
+    assert array.first_filled() is None
+    assert array.last_filled() is None
+    assert array.is_free(0, 8)
+    assert list(array.blocks()) == [(0, 8, False)]
+
+
+def test_fill_middle_splits_block():
+    array = SlotArray(8)
+    array.fill(2, 3)
+    assert list(array.blocks()) == [(0, 2, False), (2, 3, True), (5, 3, False)]
+    assert array.first_filled() == 2
+    assert array.last_filled() == 4
+    assert array.filled_total == 3
+
+
+def test_fill_at_origin():
+    array = SlotArray(8)
+    array.fill(0, 2)
+    assert list(array.blocks()) == [(0, 2, True), (2, 6, False)]
+
+
+def test_merge_with_predecessor():
+    array = SlotArray(16)
+    array.fill(0, 2)
+    array.fill(2, 3)
+    assert list(array.blocks()) == [(0, 5, True), (5, 11, False)]
+
+
+def test_merge_with_successor():
+    array = SlotArray(16)
+    array.fill(5, 2)
+    array.fill(3, 2)
+    assert (3, 4, True) in list(array.blocks())
+
+
+def test_merge_both_sides():
+    array = SlotArray(16)
+    array.fill(0, 2)
+    array.fill(4, 2)
+    array.fill(2, 2)
+    assert list(array.blocks())[0] == (0, 6, True)
+
+
+def test_double_fill_rejected():
+    array = SlotArray(8)
+    array.fill(2, 2)
+    with pytest.raises(ValueError):
+        array.fill(3, 1)
+    with pytest.raises(ValueError):
+        array.fill(1, 2)
+
+
+def test_zero_length_fill_is_noop():
+    array = SlotArray(8)
+    array.fill(3, 0)
+    assert array.first_filled() is None
+
+
+def test_negative_slot_rejected():
+    array = SlotArray(8)
+    with pytest.raises(ValueError):
+        array.fill(-1, 2)
+    with pytest.raises(ValueError):
+        array.is_free(-1, 1)
+    with pytest.raises(ValueError):
+        array.next_fit(-1, 1)
+
+
+def test_growth_beyond_capacity():
+    array = SlotArray(4)
+    array.fill(10, 3)
+    assert array.capacity >= 14
+    assert array.last_filled() == 12
+    assert array.is_free(0, 10)
+
+
+def test_growth_when_tail_filled():
+    array = SlotArray(4)
+    array.fill(0, 4)
+    array.fill(4, 2)  # forces growth with a filled tail
+    assert array.first_filled() == 0
+    assert array.last_filled() == 5
+    assert list(array.blocks())[0] == (0, 6, True)
+
+
+def test_next_fit_simple():
+    array = SlotArray(16)
+    array.fill(0, 4)
+    assert array.next_fit(0, 2) == 4
+    assert array.next_fit(2, 2) == 4
+    assert array.next_fit(6, 2) == 6
+
+
+def test_next_fit_skips_small_holes():
+    array = SlotArray(32)
+    array.fill(0, 2)
+    array.fill(3, 2)   # hole of size 1 at slot 2
+    array.fill(8, 2)   # hole of size 3 at slots 5..7
+    assert array.next_fit(0, 1) == 2
+    assert array.next_fit(0, 2) == 5
+    assert array.next_fit(0, 3) == 5
+    assert array.next_fit(0, 4) == 10
+
+
+def test_next_fit_beyond_capacity():
+    array = SlotArray(4)
+    array.fill(0, 4)
+    assert array.next_fit(0, 10) == 4  # implicit empty tail
+
+
+def test_next_fit_zero_length():
+    array = SlotArray(4)
+    array.fill(0, 4)
+    assert array.next_fit(2, 0) == 2
+
+
+def test_is_free_tail():
+    array = SlotArray(4)
+    assert array.is_free(100, 50)
+    array.fill(2, 2)
+    assert array.is_free(4, 100)
+
+
+def test_occupancy_in():
+    array = SlotArray(16)
+    array.fill(2, 4)
+    array.fill(10, 2)
+    assert array.occupancy_in(0, 16) == 6
+    assert array.occupancy_in(3, 11) == 4
+    assert array.occupancy_in(6, 10) == 0
+
+
+def test_as_bools_and_str():
+    array = SlotArray(6)
+    array.fill(1, 2)
+    assert array.as_bools() == [False, True, True, False, False, False]
+    assert "#" in str(array)
+
+
+# ---------------------------------------------------------------------------
+# Property test: the block representation vs a naive boolean-array model.
+# ---------------------------------------------------------------------------
+
+@st.composite
+def fill_sequences(draw):
+    ops = []
+    for _ in range(draw(st.integers(1, 20))):
+        start = draw(st.integers(0, 40))
+        length = draw(st.integers(1, 8))
+        ops.append((start, length))
+    return ops
+
+
+@given(fill_sequences())
+@settings(max_examples=120)
+def test_matches_naive_model(ops):
+    array = SlotArray(8)
+    model = [False] * 128
+    for start, length in ops:
+        free_in_model = not any(model[start:start + length])
+        if free_in_model:
+            array.fill(start, length)
+            for i in range(start, start + length):
+                model[i] = True
+        else:
+            with pytest.raises(ValueError):
+                array.fill(start, length)
+    # Dense state agrees.
+    dense = array.as_bools()
+    for i, value in enumerate(model):
+        got = dense[i] if i < len(dense) else False
+        assert got == value, f"slot {i}"
+    # Extremes agree.
+    filled_indices = [i for i, v in enumerate(model) if v]
+    if filled_indices:
+        assert array.first_filled() == filled_indices[0]
+        assert array.last_filled() == filled_indices[-1]
+        assert array.filled_total == len(filled_indices)
+    # Alternation invariant: no two adjacent blocks share filledness.
+    blocks = list(array.blocks())
+    for (s1, z1, f1), (s2, z2, f2) in zip(blocks, blocks[1:]):
+        assert s1 + z1 == s2
+        assert f1 != f2
+
+
+@given(fill_sequences(), st.integers(0, 50), st.integers(1, 6))
+@settings(max_examples=120)
+def test_next_fit_matches_naive_search(ops, query_start, query_len):
+    array = SlotArray(8)
+    model = [False] * 256
+    for start, length in ops:
+        if not any(model[start:start + length]):
+            array.fill(start, length)
+            for i in range(start, start + length):
+                model[i] = True
+    got = array.next_fit(query_start, query_len)
+    expected = query_start
+    while any(model[expected:expected + query_len]):
+        expected += 1
+    assert got == expected

@@ -1,0 +1,82 @@
+"""Tests for the mini-Fortran tokenizer."""
+
+import pytest
+
+from repro.ir import LexError, TokenKind, tokenize
+
+
+def _kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def _texts(source):
+    return [t.text for t in tokenize(source) if t.kind is not TokenKind.EOF]
+
+
+def test_simple_assignment():
+    tokens = list(tokenize("x = a + 1\n"))
+    kinds = [t.kind for t in tokens]
+    assert kinds == [
+        TokenKind.IDENT, TokenKind.OP, TokenKind.IDENT,
+        TokenKind.OP, TokenKind.INT, TokenKind.NEWLINE, TokenKind.EOF,
+    ]
+
+
+def test_keywords_lowercased():
+    assert _texts("DO I = 1, N") == ["do", "i", "=", "1", ",", "n"]
+
+
+def test_real_literals():
+    texts = _texts("x = 1.5 + .25 + 2.0e3 + 1d-2")
+    assert "1.5" in texts and ".25" in texts and "2.0e3" in texts and "1d-2" in texts
+    kinds = [t.kind for t in tokenize("1.5 .25 2.0e3 1d-2")]
+    assert kinds.count(TokenKind.REAL) == 4
+
+
+def test_dotted_operators():
+    texts = _texts("a .le. b .and. c .ne. d")
+    assert ".le." in texts and ".and." in texts and ".ne." in texts
+
+
+def test_symbolic_relationals_canonicalized():
+    assert _texts("a <= b") == ["a", ".le.", "b"]
+    assert _texts("a == b") == ["a", ".eq.", "b"]
+    assert _texts("a /= b") == ["a", ".ne.", "b"]
+    assert _texts("a < b") == ["a", ".lt.", "b"]
+    assert _texts("a >= b") == ["a", ".ge.", "b"]
+
+
+def test_power_operator():
+    assert _texts("x ** 2") == ["x", "**", "2"]
+
+
+def test_comment_skipped():
+    texts = _texts("x = 1  ! the whole comment vanishes\n")
+    assert texts == ["x", "=", "1", "\n"]
+
+
+def test_semicolon_is_statement_separator():
+    kinds = _kinds("x = 1; y = 2")
+    assert kinds.count(TokenKind.NEWLINE) == 1
+
+
+def test_continuation_ampersand():
+    texts = _texts("x = a + &\n    b\n")
+    assert "&" not in texts
+    assert texts.count("\n") == 1
+
+
+def test_line_numbers_advance():
+    tokens = [t for t in tokenize("a = 1\nb = 2\n")]
+    last_ident = [t for t in tokens if t.text == "b"][0]
+    assert last_ident.line == 2
+
+
+def test_lex_error():
+    with pytest.raises(LexError):
+        list(tokenize("x = @"))
+
+
+def test_eof_always_emitted():
+    tokens = list(tokenize(""))
+    assert tokens[-1].kind is TokenKind.EOF

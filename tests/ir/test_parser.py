@@ -1,0 +1,175 @@
+"""Tests for the mini-Fortran parser."""
+
+import pytest
+
+from repro.ir import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    CallStmt,
+    Do,
+    FuncCall,
+    If,
+    IntConst,
+    ParseError,
+    RealConst,
+    ScalarType,
+    UnOp,
+    VarRef,
+    parse_expression,
+    parse_fragment,
+    parse_program,
+)
+
+MATMUL = """
+program matmul
+  integer n, i, j, k
+  real a(n,n), b(n,n), c(n,n)
+  do i = 1, n
+    do j = 1, n
+      do k = 1, n
+        c(i,j) = c(i,j) + a(i,k) * b(k,j)
+      end do
+    end do
+  end do
+end program
+"""
+
+
+def test_parse_matmul_structure():
+    prog = parse_program(MATMUL)
+    assert prog.name == "matmul"
+    assert len(prog.decls) == 7
+    assert prog.decl_of("a").array.dims == ("n", "n")
+    assert prog.decl_of("n").scalar is ScalarType.INTEGER
+    (outer,) = prog.body
+    assert isinstance(outer, Do) and outer.var == "i"
+    inner = outer.body[0].body[0]
+    assert isinstance(inner, Do) and inner.var == "k"
+    assignment = inner.body[0]
+    assert isinstance(assignment, Assign)
+    assert isinstance(assignment.target, ArrayRef)
+
+
+def test_do_with_step():
+    (loop,) = parse_fragment("do i = 1, n, 2\n  x = x + 1\nend do\n")
+    assert isinstance(loop, Do)
+    assert loop.step == IntConst(2)
+
+
+def test_do_enddo_spelling():
+    (loop,) = parse_fragment("do i = 1, 10\n  x = i\nenddo\n")
+    assert isinstance(loop, Do)
+
+
+def test_if_then_else():
+    (cond,) = parse_fragment(
+        "if (i .le. k) then\n  x = 1\nelse\n  x = 2\nend if\n"
+    )
+    assert isinstance(cond, If)
+    assert isinstance(cond.cond, BinOp) and cond.cond.op == ".le."
+    assert len(cond.then_body) == 1 and len(cond.else_body) == 1
+
+
+def test_if_without_else():
+    (cond,) = parse_fragment("if (x .gt. 0) then\n  y = 1\nendif\n")
+    assert cond.else_body == ()
+
+
+def test_nested_if_in_do():
+    src = """
+do i = 1, n
+  if (i .le. k) then
+    a(i) = 0.0
+  else
+    a(i) = 1.0
+  end if
+end do
+"""
+    (loop,) = parse_fragment(src)
+    assert isinstance(loop.body[0], If)
+
+
+def test_call_statement():
+    (stmt,) = parse_fragment("call dgemm(a, b, c)\n")
+    assert isinstance(stmt, CallStmt)
+    assert stmt.name == "dgemm" and len(stmt.args) == 3
+
+
+def test_precedence():
+    expr = parse_expression("a + b * c")
+    assert isinstance(expr, BinOp) and expr.op == "+"
+    assert isinstance(expr.right, BinOp) and expr.right.op == "*"
+
+
+def test_power_right_associative():
+    expr = parse_expression("a ** b ** c")
+    assert expr.op == "**"
+    assert isinstance(expr.right, BinOp) and expr.right.op == "**"
+
+
+def test_unary_minus():
+    expr = parse_expression("-a + b")
+    assert expr.op == "+"
+    assert isinstance(expr.left, UnOp)
+
+
+def test_relational_and_logical():
+    expr = parse_expression("i .lt. n .and. j .gt. 0")
+    assert expr.op == ".and."
+    assert expr.left.op == ".lt."
+
+
+def test_intrinsic_vs_array():
+    expr = parse_expression("sqrt(x) + a(i)")
+    assert isinstance(expr.left, FuncCall)
+    assert isinstance(expr.right, ArrayRef)
+
+
+def test_real_constant_parsing():
+    expr = parse_expression("1.5e2")
+    assert isinstance(expr, RealConst)
+    assert float(expr.value) == 150.0
+    d = parse_expression("1d0")
+    assert isinstance(d, RealConst) and float(d.value) == 1.0
+
+
+def test_multi_dim_array_ref():
+    expr = parse_expression("a(i, j+1, 2*k)")
+    assert isinstance(expr, ArrayRef)
+    assert len(expr.subscripts) == 3
+
+
+def test_parenthesized():
+    expr = parse_expression("(a + b) * c")
+    assert expr.op == "*"
+    assert expr.left.op == "+"
+
+
+def test_double_precision_decl():
+    prog = parse_program(
+        "program t\n  double precision x, y(10)\n  x = 1d0\nend\n"
+    )
+    assert prog.decl_of("x").scalar is ScalarType.DOUBLE
+    assert prog.decl_of("y").array is not None
+
+
+def test_decl_with_expression_dim():
+    prog = parse_program("program t\n  real a(n+1)\n  a(1) = 0.0\nend\n")
+    assert prog.decl_of("a").array.dims == ("n+1",)
+
+
+def test_errors():
+    with pytest.raises(ParseError):
+        parse_program("program t\n  1 = x\nend\n")
+    with pytest.raises(ParseError):
+        parse_fragment("do i = 1\n end do\n")
+    with pytest.raises(ParseError):
+        parse_expression("a +")
+    with pytest.raises(ParseError):
+        parse_fragment("if (x) then\n y = 1\n")  # missing end if
+
+
+def test_assignment_to_expression_rejected():
+    with pytest.raises(ParseError):
+        parse_fragment("a + b = c\n")

@@ -1,0 +1,83 @@
+"""Round-trip and rendering tests for the IR printer."""
+
+from repro.ir import (
+    parse_expression,
+    parse_fragment,
+    parse_program,
+    print_expr,
+    print_program,
+    print_stmts,
+)
+
+MATMUL = """
+program matmul
+  integer n, i, j, k
+  real a(n,n), b(n,n), c(n,n)
+  do i = 1, n
+    do j = 1, n
+      do k = 1, n
+        c(i,j) = c(i,j) + a(i,k) * b(k,j)
+      end do
+    end do
+  end do
+end program
+"""
+
+
+def test_program_roundtrip():
+    prog = parse_program(MATMUL)
+    text = print_program(prog)
+    reparsed = parse_program(text)
+    assert reparsed == prog
+
+
+def test_fragment_roundtrip():
+    src = """
+do i = 1, n, 2
+  if (i .le. k) then
+    a(i) = a(i) + 1.0
+  else
+    a(i) = 0.0
+  end if
+end do
+"""
+    stmts = parse_fragment(src)
+    assert parse_fragment(print_stmts(stmts)) == stmts
+
+
+def test_expression_roundtrip_preserves_meaning():
+    for source in [
+        "a + b * c",
+        "(a + b) * c",
+        "a - b - c",
+        "a - (b - c)",
+        "a / b / c",
+        "-a + b",
+        "a ** b ** c",
+        "(a ** b) ** c",
+        "i .lt. n .and. j .gt. 0",
+        ".not. flag",
+        "sqrt(x * x + y * y)",
+        "a(i, j+1)",
+    ]:
+        expr = parse_expression(source)
+        assert parse_expression(print_expr(expr)) == expr, source
+
+
+def test_minimal_parentheses():
+    assert print_expr(parse_expression("a + b * c")) == "a + b * c"
+    assert print_expr(parse_expression("(a + b) * c")) == "(a + b) * c"
+
+
+def test_step_printed_only_when_not_one():
+    stmts = parse_fragment("do i = 1, n\n  x = i\nend do\n")
+    assert ", 1" not in print_stmts(stmts).splitlines()[0]
+    stmts2 = parse_fragment("do i = 1, n, 4\n  x = i\nend do\n")
+    assert print_stmts(stmts2).splitlines()[0].endswith(", 4")
+
+
+def test_call_and_return_printing():
+    stmts = parse_fragment("call foo(a, 1)\nreturn\n")
+    text = print_stmts(stmts)
+    assert "call foo(a, 1)" in text
+    assert "return" in text

@@ -1,0 +1,160 @@
+"""Tests for the symbol table, visitors, and builder helpers."""
+
+import pytest
+
+from repro.ir import (
+    ArrayRef,
+    Assign,
+    Do,
+    IntConst,
+    ScalarType,
+    SymbolTable,
+    TypeError_,
+    VarRef,
+    map_stmts,
+    parse_expression,
+    parse_fragment,
+    parse_program,
+    rename_index,
+    substitute_var,
+    walk_exprs,
+    walk_stmts,
+)
+from repro.ir import builder as b
+
+
+def _table():
+    prog = parse_program(
+        """
+program t
+  integer n, i
+  real x, a(n)
+  double precision d
+  logical flag
+  x = 1.0
+end
+"""
+    )
+    return SymbolTable.from_program(prog)
+
+
+def test_declared_types():
+    table = _table()
+    assert table.scalar_type("n") is ScalarType.INTEGER
+    assert table.scalar_type("x") is ScalarType.REAL
+    assert table.scalar_type("d") is ScalarType.DOUBLE
+    assert table.scalar_type("flag") is ScalarType.LOGICAL
+    assert table.is_array("a") and not table.is_array("x")
+    assert table.array_type("a").dims == ("n",)
+
+
+def test_implicit_typing():
+    table = SymbolTable()
+    assert table.scalar_type("i") is ScalarType.INTEGER
+    assert table.scalar_type("m") is ScalarType.INTEGER
+    assert table.scalar_type("x") is ScalarType.REAL
+    assert table.scalar_type("alpha") is ScalarType.REAL
+
+
+def test_expression_typing():
+    table = _table()
+    assert table.type_of(parse_expression("i + n")) is ScalarType.INTEGER
+    assert table.type_of(parse_expression("x + i")) is ScalarType.REAL
+    assert table.type_of(parse_expression("d * x")) is ScalarType.DOUBLE
+    assert table.type_of(parse_expression("i .lt. n")) is ScalarType.LOGICAL
+    assert table.type_of(parse_expression("a(i)")) is ScalarType.REAL
+    assert table.type_of(parse_expression("i / n")) is ScalarType.INTEGER
+    assert table.type_of(parse_expression("x / i")) is ScalarType.REAL
+
+
+def test_intrinsic_typing():
+    table = _table()
+    assert table.type_of(parse_expression("sqrt(x)")) is ScalarType.REAL
+    assert table.type_of(parse_expression("sqrt(d)")) is ScalarType.DOUBLE
+    assert table.type_of(parse_expression("int(x)")) is ScalarType.INTEGER
+    assert table.type_of(parse_expression("abs(i)")) is ScalarType.INTEGER
+    assert table.type_of(parse_expression("max(i, x)")) is ScalarType.REAL
+
+
+def test_logical_join_rejected():
+    table = _table()
+    with pytest.raises(TypeError_):
+        table.type_of(parse_expression("flag + i"))
+
+
+def test_walk_exprs_counts_nodes():
+    expr = parse_expression("a(i) + b(i) * c")
+    nodes = list(walk_exprs(expr))
+    # +, a(i), i, b(i)*c, b(i), i, c
+    assert len(nodes) == 7
+
+
+def test_walk_stmts_descends():
+    stmts = parse_fragment(
+        "do i = 1, n\n  if (i .gt. 0) then\n    x = 1\n  end if\nend do\n"
+    )
+    kinds = [type(s).__name__ for s in walk_stmts(stmts)]
+    assert kinds == ["Do", "If", "Assign"]
+
+
+def test_substitute_var():
+    expr = parse_expression("a(i) + i * 2")
+    swapped = substitute_var(expr, "i", parse_expression("i + 4"))
+    assert "i + 4" in str(swapped) or "(i + 4)" in str(swapped)
+    # Original untouched (immutability).
+    assert "4" not in str(expr)
+
+
+def test_rename_index():
+    stmts = parse_fragment("a(i) = a(i) + 1.0\n")
+    renamed = rename_index(stmts, "i", IntConst(3))
+    target = renamed[0].target
+    assert isinstance(target, ArrayRef)
+    assert target.subscripts == (IntConst(3),)
+
+
+def test_map_stmts_delete_and_splice():
+    stmts = parse_fragment("x = 1\ny = 2\n")
+
+    def drop_x(stmt):
+        if isinstance(stmt, Assign) and isinstance(stmt.target, VarRef):
+            if stmt.target.name == "x":
+                return None
+        return stmt
+
+    remaining = map_stmts(stmts, stmt_fn=drop_x)
+    assert len(remaining) == 1
+
+    def duplicate(stmt):
+        return (stmt, stmt)
+
+    doubled = map_stmts(stmts, stmt_fn=duplicate)
+    assert len(doubled) == 4
+
+
+def test_builder_roundtrip():
+    loop = b.do_(
+        "i", 1, b.var("n"),
+        body=[b.assign(b.aref("c", b.var("i")),
+                       b.add(b.aref("a", b.var("i")), b.aref("b", b.var("i"))))],
+    )
+    assert isinstance(loop, Do)
+    assert loop.lb == IntConst(1)
+    assert isinstance(loop.body[0], Assign)
+
+
+def test_builder_operators():
+    expr = b.mul(b.add("x", 1), b.var("y"))
+    assert str(expr) == "((x + 1) * y)"
+    cond = b.if_(b.le("i", "k"), [b.assign("x", 1)], [b.assign("x", 2)])
+    assert len(cond.then_body) == 1 and len(cond.else_body) == 1
+
+
+def test_builder_program():
+    prog = b.program(
+        "t",
+        [b.decl("x"), b.array_decl("a", "n")],
+        [b.assign("x", b.lit(1.5))],
+    )
+    assert prog.decl_of("a").is_array
+    assert prog.decl_of("x").scalar is ScalarType.REAL

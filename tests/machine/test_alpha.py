@@ -1,0 +1,81 @@
+"""Tests for the Alpha-like machine description."""
+
+from repro.backend import simulate
+from repro.cost import StraightLineEstimator, place_stream
+from repro.machine import UnitKind, alpha_machine, get_machine
+from repro.translate import Translator, resolve_basic_op
+from repro.translate.stream import Instr
+
+
+def test_registered():
+    assert get_machine("alpha").name == "alpha"
+
+
+def test_no_fma_decomposition():
+    machine = alpha_machine()
+    assert not machine.supports_fma
+    assert resolve_basic_op(machine, "fma") == ("fbox_op", "fbox_op")
+
+
+def test_fp_latency_six_pipelined():
+    machine = alpha_machine()
+    op = machine.atomic("fbox_op")
+    assert op.result_latency == 6
+    cost = op.cost_on(UnitKind.FPU)
+    assert cost.noncoverable == 1  # fully pipelined
+
+
+def test_independent_fp_ops_pipeline():
+    machine = alpha_machine()
+    placed = place_stream(machine, [Instr(i, "fbox_op") for i in range(8)])
+    # 8 issue slots + 5 trailing coverable cycles.
+    assert placed.cycles == 13
+
+
+def test_dependent_chain_pays_full_latency():
+    machine = alpha_machine()
+    instrs = [
+        Instr(i, "fbox_op", deps=(i - 1,) if i else ()) for i in range(4)
+    ]
+    placed = place_stream(machine, instrs)
+    assert placed.cycles == 24
+
+
+def test_translator_emits_separate_mul_add():
+    from repro.ir import SymbolTable, parse_fragment, parse_program
+
+    prog = parse_program(
+        "program t\n  integer n, i\n  real x(n), y(n), alpha\n"
+        "  y(1) = y(1) + alpha * x(1)\nend\n"
+    )
+    translator = Translator(alpha_machine(), SymbolTable.from_program(prog))
+    info = translator.translate_block(
+        parse_fragment("y(i) = y(i) + alpha * x(i)\n"), ("i",)
+    )
+    atomics = [i.atomic for i in info.stream]
+    assert atomics.count("fbox_op") == 2  # mul then add, no fma
+
+
+def test_estimator_tracks_reference_on_alpha():
+    from repro.bench import kernel, kernel_names, kernel_stream
+
+    machine = alpha_machine()
+    estimator = StraightLineEstimator(machine)
+    for name in kernel_names():
+        info = kernel_stream(kernel(name), machine)
+        predicted = estimator.estimate(info.stream).cycles
+        reference = simulate(
+            machine, [i for i in info.stream if not i.one_time]
+        ).cycles
+        assert abs(predicted - reference) / reference <= 0.10, name
+
+
+def test_alpha_slower_than_power_on_fp_chains():
+    """Deeper FP latency: dependence-heavy kernels cost more than POWER."""
+    import repro
+    from repro.bench import kernel
+
+    program = kernel("f3").program  # reduction: chain-bound
+    alpha_cost = repro.predict(program, machine="alpha")
+    power_cost = repro.predict(program, machine="power")
+    assert alpha_cost.evaluate({"n": 100}) > power_cost.evaluate({"n": 100})

@@ -1,0 +1,169 @@
+"""Tests for machine descriptions, units, and cost tables."""
+
+import pytest
+
+from repro.machine import (
+    AtomicCostTable,
+    AtomicOp,
+    FunctionalUnit,
+    Machine,
+    UnitCost,
+    UnitKind,
+    get_machine,
+    machine_names,
+    power_machine,
+    register_machine,
+    scalar_machine,
+    wide_machine,
+)
+from repro.translate.basic_ops import ALL_BASIC_OPS, FALLBACKS
+
+
+def test_unit_cost_validation():
+    cost = UnitCost(UnitKind.FPU, 1, 1)
+    assert cost.total == 2
+    with pytest.raises(ValueError):
+        UnitCost(UnitKind.FPU, 0, 0)
+    with pytest.raises(ValueError):
+        UnitCost(UnitKind.FPU, -1)
+
+
+def test_functional_unit_validation():
+    assert FunctionalUnit(UnitKind.FPU, 2).count == 2
+    with pytest.raises(ValueError):
+        FunctionalUnit(UnitKind.FPU, 0)
+
+
+def test_atomic_op_properties():
+    op = AtomicOp(
+        "fpu_store",
+        (UnitCost(UnitKind.FPU, 1, 1), UnitCost(UnitKind.FXU, 1)),
+    )
+    assert op.result_latency == 2
+    assert op.units == (UnitKind.FPU, UnitKind.FXU)
+    assert op.cost_on(UnitKind.FXU).noncoverable == 1
+    assert op.cost_on(UnitKind.LSU) is None
+
+
+def test_atomic_op_rejects_duplicate_units():
+    with pytest.raises(ValueError):
+        AtomicOp("bad", (UnitCost(UnitKind.FPU, 1), UnitCost(UnitKind.FPU, 1)))
+    with pytest.raises(ValueError):
+        AtomicOp("empty", ())
+
+
+def test_cost_table_lookup_and_errors():
+    table = AtomicCostTable()
+    op = AtomicOp("x", (UnitCost(UnitKind.ALU, 1),))
+    table.define(op)
+    assert "x" in table and table["x"] is op
+    with pytest.raises(ValueError):
+        table.define(op)
+    with pytest.raises(KeyError):
+        table["missing"]
+
+
+def test_power_machine_paper_numbers():
+    """The costs the paper states verbatim must be encoded exactly."""
+    machine = power_machine()
+    fadd = machine.atomic("fpu_arith")
+    fpu = fadd.cost_on(UnitKind.FPU)
+    assert fpu.noncoverable == 1 and fpu.coverable == 1
+    store = machine.atomic("fpu_store")
+    assert store.cost_on(UnitKind.FPU).total == 2
+    assert store.cost_on(UnitKind.FPU).coverable == 1
+    assert store.cost_on(UnitKind.FXU).noncoverable == 1
+    assert machine.atomic("fxu_mul3").cost_on(UnitKind.FXU).noncoverable == 3
+    assert machine.atomic("fxu_mul5").cost_on(UnitKind.FXU).noncoverable == 5
+    assert machine.supports_fma
+    # FMA is a single FPU operation on POWER.
+    assert machine.atomic_mapping["fma"] == ("fpu_arith",)
+
+
+def test_power_has_figure3_bins():
+    machine = power_machine()
+    for kind in (UnitKind.FXU, UnitKind.FPU, UnitKind.BRANCH,
+                 UnitKind.CRLOGIC, UnitKind.LSU):
+        assert machine.has_unit(kind)
+    assert len(machine.bins()) == 5
+
+
+def test_scalar_machine_is_single_issue():
+    machine = scalar_machine()
+    assert machine.units == (FunctionalUnit(UnitKind.ALU, 1),)
+    assert not machine.supports_fma
+    assert machine.dispatch_width == 1
+    # Everything is blocking: no coverable cost anywhere.
+    for name in machine.table.names():
+        for cost in machine.atomic(name).costs:
+            assert cost.coverable == 0
+
+
+def test_wide_machine_has_double_pipes():
+    machine = wide_machine()
+    assert machine.unit(UnitKind.FPU).count == 2
+    assert machine.unit(UnitKind.FXU).count == 2
+    assert len(machine.bins()) == 8
+
+
+def test_all_machines_cover_basic_ops_via_fallbacks():
+    """Every basic op must resolve on every machine, possibly by fallback."""
+    for name in machine_names():
+        machine = get_machine(name)
+
+        def resolves(op: str, depth: int = 0) -> bool:
+            if depth > 6:
+                return False
+            if op in machine.atomic_mapping:
+                return True
+            expansion = FALLBACKS.get(op)
+            if expansion is None:
+                return False
+            return all(resolves(sub, depth + 1) for sub in expansion)
+
+        missing = [op for op in sorted(ALL_BASIC_OPS) if not resolves(op)]
+        assert not missing, f"{name} cannot resolve {missing}"
+
+
+def test_machine_validates_mapping_against_units():
+    table = AtomicCostTable()
+    table.define(AtomicOp("fp", (UnitCost(UnitKind.FPU, 1),)))
+    with pytest.raises(ValueError):
+        Machine(
+            name="broken",
+            units=(FunctionalUnit(UnitKind.ALU, 1),),  # no FPU!
+            table=table,
+            atomic_mapping={"fadd": ("fp",)},
+        )
+
+
+def test_machine_rejects_duplicate_unit_kinds():
+    table = AtomicCostTable()
+    with pytest.raises(ValueError):
+        Machine(
+            name="dup",
+            units=(FunctionalUnit(UnitKind.FPU, 1), FunctionalUnit(UnitKind.FPU, 1)),
+            table=table,
+            atomic_mapping={},
+        )
+
+
+def test_registry():
+    assert set(machine_names()) >= {"power", "scalar", "wide"}
+    with pytest.raises(KeyError):
+        get_machine("vax")
+    with pytest.raises(ValueError):
+        register_machine("power", power_machine)
+
+
+def test_unit_lookup():
+    machine = power_machine()
+    assert machine.unit(UnitKind.FPU).count == 1
+    with pytest.raises(KeyError):
+        scalar_machine().unit(UnitKind.FPU)
+
+
+def test_memory_geometry_defaults():
+    machine = power_machine()
+    assert machine.memory.cache_line_bytes == 64
+    assert machine.memory.cache_size_bytes > 0

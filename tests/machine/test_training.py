@@ -1,0 +1,97 @@
+"""Tests for training-set calibration (paper section 2.2.1)."""
+
+from repro.backend import simulate
+from repro.machine import (
+    AtomicCostTable,
+    AtomicOp,
+    Machine,
+    FunctionalUnit,
+    UnitCost,
+    UnitKind,
+    calibrate,
+    make_probes,
+    power_machine,
+)
+from repro.machine.training import TrainingProbe
+
+
+def _oracle_for(machine):
+    """The reference simulator plays the role of the stopwatch."""
+
+    def oracle(chain):
+        return simulate(machine, chain, with_spills=False).cycles
+
+    return oracle
+
+
+def test_probes_cover_all_ops():
+    machine = power_machine()
+    probes = make_probes(machine)
+    probed_ops = {op for probe in probes for op in probe.ops}
+    assert probed_ops == set(machine.table.names())
+
+
+def test_probe_chain_is_serial():
+    probe = TrainingProbe("t", ("fpu_arith",) * 4)
+    chain = probe.chain()
+    for instr in chain[1:]:
+        assert instr.deps == (instr.index - 1,)
+
+
+def test_calibration_recovers_true_latencies():
+    """Calibrating against the machine's own simulator is a fixpoint."""
+    machine = power_machine()
+    ops = ["fpu_arith", "fxu_add", "fxu_mul3", "lsu_load"]
+    fitted = calibrate(machine, _oracle_for(machine), ops=ops)
+    for name in ops:
+        assert fitted[name].result_latency == machine.atomic(name).result_latency
+
+
+def test_calibration_detects_doctored_latency():
+    """If the 'hardware' is slower than the table says, the fit sees it."""
+    machine = power_machine()
+
+    # An oracle for a machine whose FP unit is secretly 3x slower.
+    slow_table = AtomicCostTable()
+    for name in machine.table.names():
+        op = machine.atomic(name)
+        if name == "fpu_arith":
+            slow_table.define(AtomicOp(
+                name, (UnitCost(UnitKind.FPU, 3, 3),), op.description
+            ))
+        else:
+            slow_table.define(op)
+    slow_machine = Machine(
+        name="slowfp",
+        units=machine.units,
+        table=slow_table,
+        atomic_mapping=dict(machine.atomic_mapping),
+        supports_fma=True,
+    )
+    fitted = calibrate(
+        machine, _oracle_for(slow_machine), ops=["fpu_arith", "fxu_add"]
+    )
+    assert fitted["fpu_arith"].result_latency == 6
+    # Coverable share preserved proportionally (was 1/2 -> now 3/6).
+    cost = fitted["fpu_arith"].cost_on(UnitKind.FPU)
+    assert cost.coverable == 3 and cost.noncoverable == 3
+    # Untouched op unchanged.
+    assert fitted["fxu_add"].result_latency == 1
+
+
+def test_calibrated_table_keeps_secondary_unit_costs():
+    """The FP store's FXU cycle survives rescaling of its FPU cost."""
+    machine = power_machine()
+    fitted = calibrate(machine, _oracle_for(machine), ops=["fpu_store"])
+    store = fitted["fpu_store"]
+    assert store.cost_on(UnitKind.FXU) is not None
+    assert store.cost_on(UnitKind.FXU).noncoverable == 1
+
+
+def test_uncalibrated_ops_pass_through():
+    machine = power_machine()
+    fitted = calibrate(machine, _oracle_for(machine), ops=["fxu_add"])
+    assert fitted["fpu_div"].result_latency == machine.atomic(
+        "fpu_div"
+    ).result_latency
+    assert len(fitted) == len(machine.table)

@@ -1,0 +1,121 @@
+"""Tests for PerfExpr: bounds merging, unknowns, sign queries."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.symbolic import (
+    Interval,
+    PerfExpr,
+    Poly,
+    PolyError,
+    Sign,
+    Unknown,
+    UnknownKind,
+    as_perf,
+)
+
+
+def test_const_and_zero():
+    assert PerfExpr.const(5).constant_value() == 5
+    assert PerfExpr.zero().poly.is_zero()
+    assert as_perf(3).constant_value() == 3
+    assert as_perf(Poly.var("n")).variables() == {"n"}
+
+
+def test_unknown_default_bounds():
+    n = PerfExpr.unknown("n", UnknownKind.TRIP_COUNT)
+    assert n.bounds["n"].nonneg()
+    p = PerfExpr.unknown("pt", UnknownKind.BRANCH_PROB)
+    assert p.bounds["pt"] == Interval.probability()
+    x = PerfExpr.unknown("x")
+    assert x.bounds["x"] == Interval.unbounded()
+
+
+def test_arithmetic_merges_bounds():
+    n = PerfExpr.unknown("n", UnknownKind.TRIP_COUNT, Interval(1, 100))
+    m = PerfExpr.unknown("m", UnknownKind.TRIP_COUNT, Interval(1, 50))
+    combined = n * 3 + m
+    assert combined.bounds["n"] == Interval(1, 100)
+    assert combined.bounds["m"] == Interval(1, 50)
+    assert combined.unknowns["n"].kind is UnknownKind.TRIP_COUNT
+
+
+def test_bound_intersection_on_merge():
+    a = PerfExpr.unknown("n", UnknownKind.TRIP_COUNT, Interval(0, 100))
+    b = PerfExpr.unknown("n", UnknownKind.TRIP_COUNT, Interval(50, 200))
+    merged = a + b
+    assert merged.bounds["n"] == Interval(50, 100)
+
+
+def test_contradictory_bounds_raise():
+    a = PerfExpr.unknown("n", interval=Interval(0, 1))
+    b = PerfExpr.unknown("n", interval=Interval(5, 9))
+    with pytest.raises(PolyError):
+        a + b
+
+
+def test_with_bound_narrows():
+    n = PerfExpr.unknown("n", UnknownKind.TRIP_COUNT, Interval(0, 1000))
+    narrowed = n.with_bound("n", Interval(10, 20))
+    assert narrowed.bounds["n"] == Interval(10, 20)
+
+
+def test_substitute_removes_unknown():
+    n = PerfExpr.unknown("n", UnknownKind.TRIP_COUNT, Interval(1, 100))
+    cost = 3 * n + 7
+    bound = cost.substitute({"n": 10})
+    assert bound.constant_value() == 37
+    assert "n" not in bound.bounds
+    assert "n" not in bound.unknowns
+
+
+def test_sign_uses_attached_bounds():
+    n = PerfExpr.unknown("n", UnknownKind.TRIP_COUNT, Interval(1, 100))
+    assert (n + 1).sign() is Sign.POSITIVE
+    assert (n - 200).sign() is Sign.NEGATIVE
+    assert (n - 50).sign() is Sign.UNKNOWN
+
+
+def test_sign_defaults_for_branch_probability():
+    pt = PerfExpr.unknown("pt", UnknownKind.BRANCH_PROB)
+    # pt - 2 is always negative since pt in [0,1].
+    assert (pt - 2).sign() is Sign.NEGATIVE
+
+
+def test_simplified_uses_attached_bounds():
+    x = PerfExpr.unknown("x", interval=Interval(3, 100))
+    expr = x * x * x * x * 4 + 1 / (x * x * x).poly  # 4x^4 + x^-3
+    perf = PerfExpr(expr.poly if isinstance(expr, PerfExpr) else expr, x.bounds, x.unknowns)
+    result = perf.simplified()
+    assert result.changed
+
+
+def test_sub_and_div():
+    n = PerfExpr.unknown("n", UnknownKind.TRIP_COUNT, Interval(1, 10))
+    diff = (3 * n) - n
+    assert diff.poly == 2 * Poly.var("n")
+    quot = (n * n) / n
+    assert quot.poly == Poly.var("n")
+    assert (5 - n).poly == 5 - Poly.var("n")
+
+
+def test_evaluate():
+    n = PerfExpr.unknown("n", UnknownKind.TRIP_COUNT)
+    assert (2 * n + 1).evaluate({"n": 4}) == 9
+
+
+def test_effective_bounds_fills_gaps():
+    raw = PerfExpr(Poly.var("q"))
+    assert raw.effective_bounds()["q"] == Interval.unbounded()
+
+
+def test_unknown_dataclass():
+    u = Unknown("n", UnknownKind.TRIP_COUNT, "trips of loop i")
+    assert u.name == "n"
+    assert u.default_interval().nonneg()
+
+
+def test_str():
+    n = PerfExpr.unknown("n", UnknownKind.TRIP_COUNT)
+    assert str(2 * n + 1) == "2*n + 1"

@@ -1,0 +1,101 @@
+"""Tests for exact integration and P+/P- splitting (paper section 3.1)."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.symbolic import (
+    Interval,
+    Poly,
+    PolyError,
+    antiderivative,
+    integrate,
+    split_integrals,
+)
+
+
+def test_antiderivative_power_rule():
+    x = Poly.var("x")
+    assert antiderivative(x, "x") == Fraction(1, 2) * x ** 2
+    assert antiderivative(x ** 2, "x") == Fraction(1, 3) * x ** 3
+    assert antiderivative(Poly.const(3), "x") == 3 * x
+
+
+def test_antiderivative_roundtrip():
+    x = Poly.var("x")
+    p = 4 * x ** 3 - 2 * x + 7
+    assert antiderivative(p, "x").derivative("x") == p
+
+
+def test_antiderivative_log_term_rejected():
+    x = Poly.var("x")
+    with pytest.raises(PolyError):
+        antiderivative(1 / x, "x")
+
+
+def test_antiderivative_laurent_ok():
+    x = Poly.var("x")
+    assert antiderivative(x ** -2, "x") == -(x ** -1)
+
+
+def test_integrate_simple():
+    x = Poly.var("x")
+    assert integrate(x, "x", Interval(0, 2)) == 2
+    assert integrate(x ** 2, "x", Interval(0, 3)) == 9
+    assert integrate(Poly.const(5), "x", Interval(1, 3)) == 10
+
+
+def test_integrate_respects_multivariate_rejection():
+    p = Poly.var("x") * Poly.var("y")
+    with pytest.raises(PolyError):
+        integrate(p, "x", Interval(0, 1))
+
+
+def test_integrate_unbounded_rejected():
+    with pytest.raises(ValueError):
+        integrate(Poly.var("x"), "x", Interval.nonnegative())
+
+
+def test_split_integrals_linear():
+    x = Poly.var("x")
+    result = split_integrals(x - 5, "x", Interval(0, 10))
+    assert result.negative_integral == Fraction(25, 2)
+    assert result.positive_integral == Fraction(25, 2)
+    assert result.positive_measure == 5
+    assert result.negative_measure == 5
+    assert result.net == 0
+
+
+def test_split_integrals_all_positive():
+    x = Poly.var("x")
+    result = split_integrals(x + 1, "x", Interval(0, 2))
+    assert result.positive_integral == 4
+    assert result.negative_integral == 0
+    assert result.positive_measure == 2
+
+
+def test_split_integrals_cubic():
+    x = Poly.var("x")
+    p = (x - 1) * (x - 3)  # negative on (1,3)
+    result = split_integrals(p, "x", Interval(0, 4))
+    # Exact: ∫0..4 = 4/3 + 4/3 positive mass, 4/3 negative mass... compute:
+    total = integrate(p, "x", Interval(0, 4))
+    assert result.net == total
+    assert result.negative_measure == 2
+    assert result.negative_integral == Fraction(4, 3)
+
+
+@given(st.integers(-4, 4), st.integers(-4, 4), st.integers(-4, 4))
+@settings(max_examples=50)
+def test_split_parts_sum_to_total(c0, c1, c2):
+    poly = Poly.from_coeffs([Fraction(c0), Fraction(c1), Fraction(c2)], "x")
+    domain = Interval(0, 7)
+    result = split_integrals(poly, "x", domain)
+    # Small slack for irrational root endpoints approximated rationally.
+    total = integrate(poly, "x", domain)
+    assert abs(float(result.net - total)) < 1e-6
+    assert result.positive_integral >= 0
+    assert result.negative_integral >= 0
+    assert result.positive_measure + result.negative_measure <= Fraction(7)

@@ -1,0 +1,124 @@
+"""Tests for interval arithmetic and polynomial bound propagation."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.symbolic import Interval, Poly, bound_poly
+
+
+def test_construction_and_validation():
+    iv = Interval(1, 5)
+    assert iv.lo == 1 and iv.hi == 5
+    with pytest.raises(ValueError):
+        Interval(5, 1)
+    assert Interval.point(3).is_point()
+    assert Interval.unbounded().contains(1e9)
+    assert Interval.probability() == Interval(0, 1)
+
+
+def test_predicates():
+    assert Interval(1, 2).strictly_positive()
+    assert Interval(-2, -1).strictly_negative()
+    assert Interval(0, 2).nonneg()
+    assert not Interval(0, 2).strictly_positive()
+    assert Interval(-1, 1).contains(0)
+
+
+def test_add_sub_neg():
+    a, b = Interval(1, 2), Interval(-1, 3)
+    assert a + b == Interval(0, 5)
+    assert -a == Interval(-2, -1)
+    assert a - b == Interval(-2, 3)
+
+
+def test_mul_sign_cases():
+    assert Interval(1, 2) * Interval(3, 4) == Interval(3, 8)
+    assert Interval(-2, -1) * Interval(3, 4) == Interval(-8, -3)
+    assert Interval(-1, 2) * Interval(-3, 4) == Interval(-6, 8)
+
+
+def test_power():
+    assert Interval(-2, 3).power(2) == Interval(0, 9)
+    assert Interval(-2, 3).power(3) == Interval(-8, 27)
+    assert Interval(2, 4).power(-1) == Interval(Fraction(1, 4), Fraction(1, 2))
+    with pytest.raises(ValueError):
+        Interval(-1, 1).power(-1)
+    assert Interval(-5, 5).power(0) == Interval.point(1)
+
+
+def test_reciprocal_negative_interval():
+    assert Interval(-4, -2).reciprocal() == Interval(Fraction(-1, 2), Fraction(-1, 4))
+
+
+def test_intersect():
+    assert Interval(0, 5).intersect(Interval(3, 9)) == Interval(3, 5)
+    assert Interval(0, 1).intersect(Interval(2, 3)) is None
+
+
+def test_scale():
+    assert Interval(1, 2).scale(3) == Interval(3, 6)
+    assert Interval(1, 2).scale(-1) == Interval(-2, -1)
+
+
+def test_midpoint_and_width():
+    assert Interval(1, 3).midpoint() == 2
+    assert Interval(1, 3).width() == 2
+    with pytest.raises(ValueError):
+        Interval.unbounded().midpoint()
+
+
+def test_infinite_endpoint_arithmetic():
+    inf = float("inf")
+    iv = Interval(0, inf)
+    assert (iv + Interval(1, 2)).lo == 1
+    assert (iv * Interval(2, 3)).hi == inf
+    assert iv.power(2).hi == inf
+
+
+def test_bound_poly_simple():
+    x = Poly.var("x")
+    p = x * x - 2 * x
+    enclosure = bound_poly(p, {"x": Interval(0, 3)})
+    # True range is [-1, 3]; naive interval arithmetic gives [-6, 9].
+    assert enclosure.contains(-1)
+    assert enclosure.contains(3)
+
+
+def test_bound_poly_definite_sign():
+    n = Poly.var("n")
+    p = n * n + 1
+    enclosure = bound_poly(p, {"n": Interval(-10, 10)})
+    assert enclosure.strictly_positive()
+
+
+def test_bound_poly_missing_bounds():
+    from repro.symbolic import PolyError
+
+    with pytest.raises(PolyError):
+        bound_poly(Poly.var("x"), {})
+
+
+@given(
+    st.integers(-5, 5), st.integers(0, 5),
+    st.integers(-5, 5), st.integers(0, 5),
+    st.integers(-3, 3), st.integers(-3, 3),
+)
+@settings(max_examples=80)
+def test_mul_soundness(alo, awidth, blo, bwidth, x_off, y_off):
+    a = Interval(alo, alo + awidth)
+    b = Interval(blo, blo + bwidth)
+    # Pick points inside each interval; the product must land inside a*b.
+    x = min(max(alo + abs(x_off), alo), alo + awidth)
+    y = min(max(blo + abs(y_off), blo), blo + bwidth)
+    assert (a * b).contains(Fraction(x) * Fraction(y))
+
+
+@given(st.integers(-4, 4), st.integers(0, 4), st.integers(1, 4))
+@settings(max_examples=80)
+def test_power_soundness(lo, width, exp):
+    iv = Interval(lo, lo + width)
+    for point in (iv.lo, iv.midpoint(), iv.hi):
+        assert iv.power(exp).contains(Fraction(point) ** exp)

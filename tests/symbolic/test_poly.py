@@ -1,0 +1,209 @@
+"""Unit and property tests for exact multivariate Laurent polynomials."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.symbolic import Poly, PolyError
+
+
+def test_const_and_zero():
+    assert Poly.const(0).is_zero()
+    assert Poly.const(5).constant_value() == 5
+    assert Poly.zero() == 0
+    assert Poly.one() == 1
+    assert not Poly.zero()
+    assert Poly.const(3)
+
+
+def test_var_construction():
+    n = Poly.var("n")
+    assert n.variables() == {"n"}
+    assert n.degree() == 1
+    assert Poly.var("n", 0) == 1
+    with pytest.raises(PolyError):
+        Poly.var("")
+
+
+def test_addition_and_subtraction():
+    n = Poly.var("n")
+    m = Poly.var("m")
+    p = n + m + 1
+    q = p - m
+    assert q == n + 1
+    assert p - p == 0
+    assert 1 + n == n + 1
+    assert (3 - n) + n == 3
+
+
+def test_multiplication_expands():
+    n = Poly.var("n")
+    p = (n + 1) * (n - 1)
+    assert p == n * n - 1
+    assert p.degree() == 2
+
+
+def test_power():
+    n = Poly.var("n")
+    assert (n + 1) ** 2 == n * n + 2 * n + 1
+    assert (n + 1) ** 0 == 1
+    assert n ** 3 == n * n * n
+
+
+def test_negative_power_of_monomial():
+    n = Poly.var("n")
+    inv = n ** -1
+    assert inv * n == 1
+    assert (2 * n) ** -2 == Fraction(1, 4) * n ** -2
+
+
+def test_negative_power_of_sum_rejected():
+    n = Poly.var("n")
+    with pytest.raises(PolyError):
+        (n + 1) ** -1
+
+
+def test_division_by_constant_and_monomial():
+    n = Poly.var("n")
+    assert (2 * n) / 2 == n
+    assert (n * n) / n == n
+    assert (n * n + n) / n == n + 1
+    with pytest.raises(PolyError):
+        n / Poly.zero()
+
+
+def test_laurent_detection():
+    n = Poly.var("n")
+    assert not (n + 1).is_laurent()
+    assert (1 / n + n).is_laurent()
+    assert (1 / n).min_degree("n") == -1
+
+
+def test_substitute_full_and_partial():
+    n, m = Poly.var("n"), Poly.var("m")
+    p = n * n + m
+    assert p.substitute({"n": 3}) == 9 + m
+    assert p.substitute({"n": 3, "m": 1}) == 10
+    assert p.substitute({"n": m}) == m * m + m
+    assert p.substitute({}) == p
+
+
+def test_substitute_zero_into_laurent_raises():
+    n = Poly.var("n")
+    with pytest.raises(PolyError):
+        (1 / n).substitute({"n": 0})
+
+
+def test_evaluate():
+    n, m = Poly.var("n"), Poly.var("m")
+    p = 2 * n * n - m + Fraction(1, 2)
+    assert p.evaluate({"n": 3, "m": 4}) == Fraction(29, 2)
+    with pytest.raises(PolyError):
+        p.evaluate({"n": 3})
+
+
+def test_evaluate_float():
+    n = Poly.var("n")
+    assert (n * n).evaluate_float({"n": 2.0}) == 4.0
+
+
+def test_derivative():
+    x = Poly.var("x")
+    p = 4 * x ** 4 + 2 * x ** 3 - 4 * x + 7
+    assert p.derivative("x") == 16 * x ** 3 + 6 * x ** 2 - 4
+    assert Poly.const(5).derivative("x") == 0
+    assert (1 / x).derivative("x") == -(x ** -2)
+
+
+def test_univariate_coeffs():
+    x = Poly.var("x")
+    p = 3 * x ** 2 + 1
+    assert p.univariate_coeffs("x") == [1, 0, 3]
+    with pytest.raises(PolyError):
+        (x + Poly.var("y")).univariate_coeffs("x")
+    with pytest.raises(PolyError):
+        (1 / x).univariate_coeffs("x")
+
+
+def test_degree_queries():
+    x, y = Poly.var("x"), Poly.var("y")
+    p = x ** 2 * y + y
+    assert p.degree() == 3
+    assert p.degree("x") == 2
+    assert p.degree("y") == 1
+    assert Poly.zero().degree() == 0
+
+
+def test_str_rendering():
+    x = Poly.var("x")
+    assert str(Poly.zero()) == "0"
+    assert str(x - 1) == "x - 1"
+    assert str(-x) == "-x"
+    assert str(2 * x ** 2 + 3) == "2*x^2 + 3"
+    assert str(x ** -1) == "x^-1"
+
+
+def test_hash_and_dict_key():
+    x = Poly.var("x")
+    table = {x + 1: "a", x - 1: "b"}
+    assert table[Poly.var("x") + 1] == "a"
+
+
+# ---------------------------------------------------------------------------
+# Property-based tests: ring axioms and substitution/evaluation coherence.
+# ---------------------------------------------------------------------------
+
+_coeffs = st.integers(min_value=-9, max_value=9)
+_vars = st.sampled_from(["x", "y", "z"])
+
+
+@st.composite
+def polys(draw, max_terms: int = 4, max_exp: int = 3):
+    terms = {}
+    for _ in range(draw(st.integers(0, max_terms))):
+        nvars = draw(st.integers(0, 2))
+        mono = {}
+        for _ in range(nvars):
+            mono[draw(_vars)] = draw(st.integers(1, max_exp))
+        terms[tuple(sorted(mono.items()))] = Fraction(draw(_coeffs))
+    return Poly(terms)
+
+
+@given(polys(), polys(), polys())
+@settings(max_examples=60)
+def test_ring_axioms(p, q, r):
+    assert p + q == q + p
+    assert p * q == q * p
+    assert (p + q) + r == p + (q + r)
+    assert (p * q) * r == p * (q * r)
+    assert p * (q + r) == p * q + p * r
+    assert p + 0 == p
+    assert p * 1 == p
+    assert p * 0 == Poly.zero()
+    assert p - p == 0
+
+
+@given(polys(), polys(), st.integers(-5, 5), st.integers(-5, 5), st.integers(-5, 5))
+@settings(max_examples=60)
+def test_evaluation_is_homomorphism(p, q, x, y, z):
+    env = {"x": x, "y": y, "z": z}
+    assert (p + q).evaluate(env) == p.evaluate(env) + q.evaluate(env)
+    assert (p * q).evaluate(env) == p.evaluate(env) * q.evaluate(env)
+
+
+@given(polys(), st.integers(-5, 5), st.integers(-5, 5), st.integers(-5, 5))
+@settings(max_examples=60)
+def test_substitute_then_evaluate(p, x, y, z):
+    env = {"x": x, "y": y, "z": z}
+    substituted = p.substitute({"x": x})
+    assert substituted.evaluate(env) == p.evaluate(env)
+
+
+@given(polys())
+@settings(max_examples=60)
+def test_derivative_of_sum_rule(p):
+    q = p * p
+    # (p^2)' = 2 p p'
+    assert q.derivative("x") == 2 * p * p.derivative("x")

@@ -1,0 +1,102 @@
+"""Tests for rational functions (loop-index probability expressions)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.symbolic import Interval, Poly, PolyError, RationalFn, Sign, as_rational
+
+
+def test_monomial_denominator_folds_into_numerator():
+    step, span = Poly.var("step"), Poly.var("ub") - Poly.var("lb")
+    prob = RationalFn(step, Poly.var("step"))
+    assert prob.is_polynomial()
+    assert prob.as_poly() == 1
+    r = RationalFn(span, Poly.var("step"))
+    assert r.is_polynomial()  # Laurent fold
+
+
+def test_general_denominator_kept():
+    step = Poly.var("step")
+    span = Poly.var("ub") - Poly.var("lb")
+    prob = RationalFn(step, span)  # paper: step/(ub - lb)
+    assert not prob.is_polynomial()
+    with pytest.raises(PolyError):
+        prob.as_poly()
+
+
+def test_zero_denominator_rejected():
+    with pytest.raises(PolyError):
+        RationalFn(Poly.one(), Poly.zero())
+
+
+def test_constant_denominator_folds():
+    r = RationalFn(Poly.var("n"), Poly.const(2))
+    assert r.is_polynomial()
+    assert r.as_poly() == Fraction(1, 2) * Poly.var("n")
+
+
+def test_arithmetic():
+    n = Poly.var("n")
+    a = RationalFn(Poly.one(), n + 1)
+    b = RationalFn(Poly.one(), n + 1)
+    s = a + b
+    assert s == RationalFn(Poly.const(2), n + 1)
+    assert (a - b).is_zero()
+    prod = a * RationalFn(n + 1)
+    assert prod == RationalFn(Poly.one())
+    quot = a / b
+    assert quot == RationalFn(Poly.one())
+
+
+def test_cross_multiplied_equality():
+    n = Poly.var("n")
+    a = RationalFn(n, n * n)  # folds to 1/n (monomial denominator)
+    b = RationalFn(Poly.one(), n)
+    assert a == b
+
+
+def test_evaluate():
+    n = Poly.var("n")
+    r = RationalFn(n + 1, n - 1)
+    assert r.evaluate({"n": 3}) == 2
+    with pytest.raises(PolyError):
+        r.evaluate({"n": 1})
+
+
+def test_substitute():
+    n, m = Poly.var("n"), Poly.var("m")
+    r = RationalFn(n, m + 1)
+    assert r.substitute({"n": 4}).num == 4
+
+
+def test_sign():
+    n = Poly.var("n")
+    r = RationalFn(n + 1, n + 2)
+    assert r.sign({"n": Interval(0, 100)}) is Sign.POSITIVE
+    r_neg = RationalFn(-(n + 1), n + 2)
+    assert r_neg.sign({"n": Interval(0, 100)}) is Sign.NEGATIVE
+    r_unknown = RationalFn(n - 5, n + 2)
+    assert r_unknown.sign({"n": Interval(0, 100)}) is Sign.UNKNOWN
+    assert RationalFn(Poly.zero(), n + 1).sign({"n": Interval(0, 1)}) is Sign.ZERO
+
+
+def test_bound():
+    n = Poly.var("n")
+    r = RationalFn(Poly.one(), n)
+    enclosure = r.bound({"n": Interval(2, 4)})
+    assert enclosure.contains(Fraction(1, 3))
+    assert not enclosure.contains(1)
+
+
+def test_as_rational_coercion():
+    assert as_rational(3).evaluate({}) == 3
+    assert as_rational(Poly.var("x")).variables() == {"x"}
+    r = as_rational(RationalFn(Poly.one(), Poly.var("x") + 1))
+    assert not r.is_polynomial()
+
+
+def test_str():
+    n = Poly.var("n")
+    assert str(RationalFn(n)) == "n"
+    assert "/" in str(RationalFn(Poly.one(), n + 1))

@@ -1,0 +1,142 @@
+"""Tests for closed-form and numeric real-root finding."""
+
+import math
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.symbolic import (
+    Poly,
+    PolyError,
+    real_roots,
+    solve_cubic,
+    solve_quadratic,
+    solve_quartic,
+)
+
+
+def _poly_from(coeffs, var="x"):
+    return Poly.from_coeffs([Fraction(c) for c in coeffs], var)
+
+
+def test_linear_root_exact():
+    roots = real_roots(_poly_from([-6, 2]), "x")  # 2x - 6
+    assert len(roots) == 1
+    assert roots[0].exact and roots[0].value == 3
+
+
+def test_quadratic_two_roots():
+    roots = real_roots(_poly_from([-1, 0, 1]), "x")  # x^2 - 1
+    values = [r.value for r in roots]
+    assert values == [-1, 1]
+    assert all(r.exact for r in roots)
+
+
+def test_quadratic_no_real_roots():
+    assert real_roots(_poly_from([1, 0, 1]), "x") == []
+
+
+def test_quadratic_double_root():
+    roots = real_roots(_poly_from([1, -2, 1]), "x")  # (x-1)^2
+    assert [r.value for r in roots] == [1]
+
+
+def test_cubic_three_roots():
+    # (x-1)(x-2)(x-3) = x^3 - 6x^2 + 11x - 6
+    roots = real_roots(_poly_from([-6, 11, -6, 1]), "x")
+    assert [r.value for r in roots] == [1, 2, 3]
+    assert all(r.exact for r in roots)
+
+
+def test_cubic_one_real_root():
+    # x^3 + x + 1 has a single irrational real root near -0.6823
+    roots = real_roots(_poly_from([1, 1, 0, 1]), "x")
+    assert len(roots) == 1
+    assert math.isclose(roots[0].as_float(), -0.6823278, rel_tol=1e-5)
+
+
+def test_quartic_four_roots():
+    # (x^2-1)(x^2-4) = x^4 - 5x^2 + 4
+    roots = real_roots(_poly_from([4, 0, -5, 0, 1]), "x")
+    assert [r.value for r in roots] == [-2, -1, 1, 2]
+
+
+def test_quartic_biquadratic_no_roots():
+    roots = real_roots(_poly_from([1, 0, 1, 0, 1]), "x")
+    assert roots == []
+
+
+def test_quintic_numeric_fallback():
+    # (x-1)(x-2)(x-3)(x-4)(x-5)
+    coeffs = [-120, 274, -225, 85, -15, 1]
+    roots = real_roots(_poly_from(coeffs), "x")
+    assert len(roots) == 5
+    for root, expect in zip(roots, [1, 2, 3, 4, 5]):
+        assert math.isclose(root.as_float(), expect, abs_tol=1e-6)
+
+
+def test_zero_constant_cases():
+    assert real_roots(Poly.const(5), "x") == []
+    with pytest.raises(PolyError):
+        real_roots(Poly.zero(), "x")
+
+
+def test_root_at_zero():
+    roots = real_roots(_poly_from([0, 0, 1]), "x")  # x^2
+    assert [r.value for r in roots] == [0]
+    roots = real_roots(_poly_from([0, -1, 1]), "x")  # x(x-1)
+    assert [r.value for r in roots] == [0, 1]
+
+
+def test_fractional_root_polish():
+    # 2x - 1 => x = 1/2 exactly
+    roots = real_roots(_poly_from([-1, 2]), "x")
+    assert roots[0].exact and roots[0].value == Fraction(1, 2)
+    # (2x-1)(x-3) = 2x^2 - 7x + 3
+    roots = real_roots(_poly_from([3, -7, 2]), "x")
+    assert [r.value for r in roots] == [Fraction(1, 2), 3]
+    assert all(r.exact for r in roots)
+
+
+def test_solve_quadratic_direct():
+    assert solve_quadratic(1, -3, 2) == [1, 2]
+    assert solve_quadratic(1, 0, 1) == []
+    assert solve_quadratic(1, -2, 1) == [1]
+
+
+def test_solve_cubic_rejects_zero_leading():
+    with pytest.raises(ValueError):
+        solve_cubic(0, 1, 1, 1)
+    with pytest.raises(ValueError):
+        solve_quartic(0, 1, 1, 1, 1)
+
+
+@given(st.lists(st.integers(-6, 6), min_size=2, max_size=4))
+@settings(max_examples=60)
+def test_constructed_roots_are_found(root_values):
+    """Build a polynomial from chosen integer roots; all must be found."""
+    poly = Poly.one()
+    x = Poly.var("x")
+    for r in root_values:
+        poly = poly * (x - r)
+    found = sorted(root.as_float() for root in real_roots(poly, "x"))
+    expected = sorted(set(root_values))
+    assert len(found) == len(expected)
+    for got, want in zip(found, expected):
+        assert math.isclose(got, want, abs_tol=1e-5)
+
+
+@given(
+    st.integers(-5, 5), st.integers(-5, 5),
+    st.integers(-5, 5), st.integers(1, 5),
+)
+@settings(max_examples=60)
+def test_roots_actually_vanish(c0, c1, c2, c3):
+    poly = _poly_from([c0, c1, c2, c3])
+    for root in real_roots(poly, "x"):
+        if root.exact:
+            assert poly.evaluate({"x": root.value}) == 0
+        else:
+            assert abs(poly.evaluate_float({"x": root.as_float()})) < 1e-5

@@ -1,0 +1,159 @@
+"""Tests for sign decision and sign-region computation (paper Fig. 10)."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.symbolic import (
+    Interval,
+    Poly,
+    PolyError,
+    Sign,
+    decide_sign,
+    sign_regions,
+)
+
+
+def test_decide_sign_constants():
+    assert decide_sign(Poly.const(3), {}) is Sign.POSITIVE
+    assert decide_sign(Poly.const(-2), {}) is Sign.NEGATIVE
+    assert decide_sign(Poly.zero(), {}) is Sign.ZERO
+
+
+def test_decide_sign_with_bounds():
+    n = Poly.var("n")
+    assert decide_sign(n + 1, {"n": Interval(0, 100)}) is Sign.POSITIVE
+    assert decide_sign(-n - 1, {"n": Interval(0, 100)}) is Sign.NEGATIVE
+    assert decide_sign(n - 50, {"n": Interval(0, 100)}) is Sign.UNKNOWN
+
+
+def test_decide_sign_missing_bounds_is_unknown():
+    assert decide_sign(Poly.var("n"), {}) is Sign.UNKNOWN
+
+
+def test_decide_sign_sum_of_squares():
+    x, y = Poly.var("x"), Poly.var("y")
+    p = x * x + y * y + 1
+    verdict = decide_sign(p, {"x": Interval(-10, 10), "y": Interval(-10, 10)})
+    assert verdict is Sign.POSITIVE
+
+
+def test_sign_negate():
+    assert Sign.POSITIVE.negate() is Sign.NEGATIVE
+    assert Sign.UNKNOWN.negate() is Sign.UNKNOWN
+    assert Sign.ZERO.negate() is Sign.ZERO
+    assert Sign.POSITIVE.definite() and not Sign.UNKNOWN.definite()
+
+
+def test_sign_regions_linear():
+    x = Poly.var("x")
+    regions = sign_regions(x - 5, "x", Interval(0, 10))
+    assert len(regions) == 2
+    assert regions[0].sign is Sign.NEGATIVE
+    assert regions[0].interval == Interval(0, 5)
+    assert regions[1].sign is Sign.POSITIVE
+    assert regions[1].interval == Interval(5, 10)
+
+
+def test_sign_regions_constant():
+    regions = sign_regions(Poly.const(7), "x", Interval(0, 1))
+    assert regions == [type(regions[0])(Interval(0, 1), Sign.POSITIVE)]
+
+
+def test_sign_regions_zero_poly():
+    regions = sign_regions(Poly.zero(), "x", Interval(0, 1))
+    assert len(regions) == 1 and regions[0].sign is Sign.ZERO
+
+
+def test_sign_regions_cubic_paper_figure10():
+    """The paper's Figure 10: cubic with a > 0 dips negative between roots."""
+    x = Poly.var("x")
+    # (x-1)(x-3)(x-6) = x^3 - 10x^2 + 27x - 18, positive leading coeff.
+    p = (x - 1) * (x - 3) * (x - 6)
+    regions = sign_regions(p, "x", Interval(0, 10))
+    signs = [r.sign for r in regions]
+    assert signs == [Sign.NEGATIVE, Sign.POSITIVE, Sign.NEGATIVE, Sign.POSITIVE]
+    boundaries = [float(r.interval.hi) for r in regions[:-1]]
+    assert boundaries == [1, 3, 6]
+
+
+def test_sign_regions_union_covers_domain():
+    x = Poly.var("x")
+    p = (x - 2) * (x - 4)
+    regions = sign_regions(p, "x", Interval(0, 10))
+    assert float(regions[0].interval.lo) == 0
+    assert float(regions[-1].interval.hi) == 10
+    for a, b in zip(regions, regions[1:]):
+        assert a.interval.hi == b.interval.lo
+
+
+def test_sign_regions_no_roots_inside():
+    x = Poly.var("x")
+    regions = sign_regions(x - 100, "x", Interval(0, 10))
+    assert len(regions) == 1 and regions[0].sign is Sign.NEGATIVE
+
+
+def test_sign_regions_laurent_positive_domain():
+    x = Poly.var("x")
+    # 1/x - 1 is positive on (0,1), negative beyond 1.
+    p = 1 / x - 1
+    regions = sign_regions(p, "x", Interval(Fraction(1, 2), 4))
+    assert regions[0].sign is Sign.POSITIVE
+    assert regions[-1].sign is Sign.NEGATIVE
+    assert float(regions[0].interval.hi) == 1.0
+
+
+def test_sign_regions_laurent_domain_with_zero_rejected():
+    x = Poly.var("x")
+    with pytest.raises(PolyError):
+        sign_regions(1 / x, "x", Interval(-1, 1))
+
+
+def test_sign_regions_multivariate_rejected():
+    p = Poly.var("x") + Poly.var("y")
+    with pytest.raises(PolyError):
+        sign_regions(p, "x", Interval(0, 1))
+
+
+def test_sign_regions_unbounded_domain_rejected():
+    with pytest.raises(ValueError):
+        sign_regions(Poly.var("x"), "x", Interval.unbounded())
+
+
+@given(st.lists(st.integers(1, 9), min_size=1, max_size=3, unique=True))
+@settings(max_examples=40)
+def test_regions_match_pointwise_signs(roots):
+    """Sampled signs inside each region must match the region label."""
+    x = Poly.var("x")
+    poly = Poly.one()
+    for r in sorted(roots):
+        poly = poly * (x - r)
+    regions = sign_regions(poly, "x", Interval(0, 10))
+    for region in regions:
+        if region.interval.width() == 0:
+            continue
+        mid = region.interval.midpoint()
+        value = poly.evaluate({"x": mid})
+        if region.sign is Sign.POSITIVE:
+            assert value > 0
+        elif region.sign is Sign.NEGATIVE:
+            assert value < 0
+
+
+@given(
+    st.integers(-5, 5), st.integers(-5, 5), st.integers(-5, 5),
+    st.integers(0, 5), st.integers(6, 12),
+)
+@settings(max_examples=40)
+def test_decide_sign_is_sound(c0, c1, c2, lo, hi):
+    poly = Poly.from_coeffs([Fraction(c0), Fraction(c1), Fraction(c2)], "x")
+    verdict = decide_sign(poly, {"x": Interval(lo, hi)})
+    if verdict.definite() and verdict is not Sign.ZERO:
+        for point in (lo, (lo + hi) // 2, hi):
+            value = poly.evaluate({"x": point})
+            if verdict is Sign.POSITIVE:
+                assert value > 0
+            else:
+                assert value < 0

@@ -1,0 +1,77 @@
+"""Tests for certified negligible-term dropping (paper section 3.1)."""
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.symbolic import Interval, Poly, drop_negligible_terms
+
+
+def test_paper_example():
+    """4x^4 + 2x^3 - 4x + 1/x^3 over [3,100] simplifies by dropping 1/x^3."""
+    x = Poly.var("x")
+    p = 4 * x ** 4 + 2 * x ** 3 - 4 * x + x ** -3
+    result = drop_negligible_terms(p, {"x": Interval(3, 100)})
+    assert result.changed
+    assert result.poly == 4 * x ** 4 + 2 * x ** 3 - 4 * x
+    assert len(result.dropped) == 1
+    assert "x^-3" in str(result.dropped[0].term)
+
+
+def test_nothing_dropped_without_bounds():
+    x = Poly.var("x")
+    p = x ** 4 + x ** -3
+    result = drop_negligible_terms(p, {})
+    assert not result.changed
+    assert result.poly == p
+
+
+def test_nothing_dropped_when_terms_comparable():
+    x = Poly.var("x")
+    p = x + 2
+    result = drop_negligible_terms(p, {"x": Interval(1, 3)})
+    assert not result.changed
+
+
+def test_dominant_term_never_dropped():
+    x = Poly.var("x")
+    p = x ** 5
+    result = drop_negligible_terms(p, {"x": Interval(2, 10)})
+    assert result.poly == p
+
+
+def test_constant_poly_untouched():
+    result = drop_negligible_terms(Poly.const(3), {})
+    assert result.poly == 3 and not result.changed
+
+
+def test_interval_straddling_zero_blocks_drop():
+    """If the dominant term can vanish, no drop certificate exists."""
+    x = Poly.var("x")
+    p = x ** 4 + x ** -3  # x in [-1, 1]: x^4 may be 0
+    result = drop_negligible_terms(p, {"x": Interval(Fraction(1, 2), 1)})
+    # Here x^-3 is actually >= 1 > x^4's floor; nothing droppable.
+    assert not result.changed
+
+
+def test_rel_tol_controls_aggressiveness():
+    x = Poly.var("x")
+    p = x ** 2 + 1  # over [10, 100]: floor of x^2 is 100, sup of 1 is 1
+    loose = drop_negligible_terms(p, {"x": Interval(10, 100)}, rel_tol=Fraction(1, 10))
+    tight = drop_negligible_terms(p, {"x": Interval(10, 100)}, rel_tol=Fraction(1, 1000))
+    assert loose.changed
+    assert not tight.changed
+
+
+@given(st.integers(2, 20), st.integers(30, 200))
+@settings(max_examples=40)
+def test_simplified_value_close_to_original(lo, hi):
+    """Dropping terms changes values by at most rel_tol * dominant floor scale."""
+    x = Poly.var("x")
+    p = 4 * x ** 4 + 2 * x ** 3 - 4 * x + x ** -3
+    result = drop_negligible_terms(p, {"x": Interval(lo, hi)}, rel_tol=Fraction(1, 1000))
+    for point in (lo, hi):
+        orig = float(p.evaluate({"x": point}))
+        simp = float(result.poly.evaluate({"x": point}))
+        assert abs(orig - simp) <= 1e-3 * abs(orig) + 1e-9

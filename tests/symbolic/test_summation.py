@@ -1,0 +1,116 @@
+"""Tests for closed-form Faulhaber summation."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.symbolic import Poly, PolyError
+from repro.symbolic.summation import power_sum, sum_poly
+
+
+def test_power_sum_closed_forms():
+    n = Poly.var("n")
+    assert power_sum(0) == n
+    assert power_sum(1) == (n * n + n) / 2
+    assert power_sum(2) == (2 * n ** 3 + 3 * n ** 2 + n) / 6
+    assert power_sum(3) == ((n * n + n) / 2) ** 2  # Nicomachus
+
+
+def test_power_sum_negative_rejected():
+    with pytest.raises(ValueError):
+        power_sum(-1)
+
+
+@given(st.integers(0, 6), st.integers(1, 30))
+@settings(max_examples=60)
+def test_power_sum_matches_bruteforce(m, n):
+    expected = sum(k ** m for k in range(1, n + 1))
+    assert power_sum(m).evaluate({"n": n}) == expected
+
+
+def test_sum_poly_constant_body():
+    n = Poly.var("n")
+    assert sum_poly(Poly.const(3), "k", Poly.one(), n) == 3 * n
+
+
+def test_sum_poly_linear_body():
+    n, k = Poly.var("n"), Poly.var("k")
+    assert sum_poly(k, "k", Poly.one(), n) == (n * n + n) / 2
+
+
+def test_sum_poly_shifted_bounds():
+    k = Poly.var("k")
+    # sum_{k=5}^{9} k = 35
+    result = sum_poly(k, "k", Poly.const(5), Poly.const(9))
+    assert result.constant_value() == 35
+
+
+def test_sum_poly_with_step():
+    k = Poly.var("k")
+    # 2 + 5 + 8 = 15 over k = 2, 8 step 3
+    result = sum_poly(k, "k", Poly.const(2), Poly.const(8), Poly.const(3))
+    assert result.constant_value() == 15
+
+
+def test_sum_poly_other_variables_pass_through():
+    k, m, n = Poly.var("k"), Poly.var("m"), Poly.var("n")
+    result = sum_poly(m * k, "k", Poly.one(), n)
+    assert result == m * (n * n + n) / 2
+
+
+def test_sum_poly_body_without_var():
+    n, m = Poly.var("n"), Poly.var("m")
+    assert sum_poly(m, "k", Poly.one(), n) == m * n
+
+
+def test_sum_poly_laurent_rejected():
+    n, k = Poly.var("n"), Poly.var("k")
+    with pytest.raises(PolyError):
+        sum_poly(1 / k, "k", Poly.one(), n)
+
+
+def test_sum_poly_nonmonomial_step_rejected():
+    n, k, s = Poly.var("n"), Poly.var("k"), Poly.var("s")
+    with pytest.raises(PolyError):
+        sum_poly(k, "k", Poly.one(), n, s + 1)
+
+
+def test_sum_poly_symbolic_step():
+    k, n, s = Poly.var("k"), Poly.var("n"), Poly.var("s")
+    result = sum_poly(Poly.one(), "k", Poly.one(), n, s)
+    # Trip count (n - 1 + s)/s.
+    assert result == (n - 1) / s + 1
+
+
+@given(
+    st.lists(st.integers(-4, 4), min_size=1, max_size=4),
+    st.integers(-3, 3), st.integers(0, 12), st.integers(1, 3),
+)
+@settings(max_examples=80)
+def test_sum_poly_matches_bruteforce(coeffs, lb, width, step):
+    body = Poly.from_coeffs([Fraction(c) for c in coeffs], "k")
+    ub = lb + width
+    result = sum_poly(
+        body, "k", Poly.const(lb), Poly.const(ub), Poly.const(step)
+    )
+    # Brute force, matching Fortran trip semantics for positive steps.
+    expected = Fraction(0)
+    k = lb
+    while k <= ub:
+        expected += body.evaluate({"k": k})
+        k += step
+    # The closed form uses the polynomial trip count (ub-lb+step)/step,
+    # which equals the Fortran count when the span divides evenly; when
+    # it does not, the closed form "sums" a fractional final iteration.
+    if (ub - lb + step) % step == 0:
+        assert result.evaluate({}) == expected
+
+
+def test_triangular_double_sum():
+    """sum_{i=1..n} sum_{j=1..i} 1 = n(n+1)/2, composed."""
+    n, i = Poly.var("n"), Poly.var("i")
+    inner = sum_poly(Poly.one(), "j", Poly.one(), i)  # = i
+    outer = sum_poly(inner, "i", Poly.one(), n)
+    assert outer == (n * n + n) / 2

@@ -1,0 +1,118 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import _parse_bindings, _parse_domain, main
+
+SAXPY = """
+program saxpy
+  integer n, i
+  real x(n), y(n), alpha
+  do i = 1, n
+    y(i) = y(i) + alpha * x(i)
+  end do
+end
+"""
+
+SAXPY_UNROLLED = """
+program saxpy2
+  integer n, i
+  real x(n), y(n), alpha
+  do i = 1, n, 2
+    y(i) = y(i) + alpha * x(i)
+    y(i+1) = y(i+1) + alpha * x(i+1)
+  end do
+end
+"""
+
+
+@pytest.fixture
+def saxpy_file(tmp_path):
+    path = tmp_path / "saxpy.f"
+    path.write_text(SAXPY)
+    return str(path)
+
+
+@pytest.fixture
+def unrolled_file(tmp_path):
+    path = tmp_path / "saxpy2.f"
+    path.write_text(SAXPY_UNROLLED)
+    return str(path)
+
+
+def test_parse_bindings():
+    assert _parse_bindings("n=100,m=50") == {"n": 100, "m": 50}
+    assert _parse_bindings(None) == {}
+    with pytest.raises(SystemExit):
+        _parse_bindings("n")
+
+
+def test_parse_domain():
+    domain = _parse_domain("n=1:1000")
+    assert domain["n"].lo == 1 and domain["n"].hi == 1000
+    assert _parse_domain(None) == {}
+    with pytest.raises(SystemExit):
+        _parse_domain("n=5")
+
+
+def test_predict_command(saxpy_file, capsys):
+    assert main(["predict", saxpy_file, "--at", "n=100"]) == 0
+    out = capsys.readouterr().out
+    assert "cost[power]" in out
+    assert "308 cycles" in out
+
+
+def test_predict_with_memory_and_machine(saxpy_file, capsys):
+    assert main(["predict", saxpy_file, "--machine", "scalar",
+                 "--memory"]) == 0
+    out = capsys.readouterr().out
+    assert "cost[scalar]" in out
+
+
+def test_predict_naive_backend_higher(saxpy_file, capsys):
+    main(["predict", saxpy_file, "--at", "n=100"])
+    aggressive = capsys.readouterr().out
+    main(["predict", saxpy_file, "--backend", "naive", "--at", "n=100"])
+    naive = capsys.readouterr().out
+
+    def cycles(text):
+        return int(text.split("at n=100:")[1].split("cycles")[0].strip())
+
+    assert cycles(naive) > cycles(aggressive)
+
+
+def test_compare_command(saxpy_file, unrolled_file, capsys):
+    assert main(["compare", unrolled_file, saxpy_file,
+                 "--domain", "n=1:100000"]) == 0
+    out = capsys.readouterr().out
+    assert "verdict:" in out
+
+
+def test_restructure_command(saxpy_file, capsys):
+    assert main(["restructure", saxpy_file, "--workload", "n=1000",
+                 "--depth", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "sequence:" in out
+    assert "cost:" in out
+
+
+def test_kernels_command(capsys):
+    assert main(["kernels"]) == 0
+    out = capsys.readouterr().out
+    assert "matmul" in out and "jacobi" in out
+
+
+def test_machines_command(capsys):
+    assert main(["machines"]) == 0
+    out = capsys.readouterr().out
+    assert "power" in out and "scalar" in out and "wide" in out
+
+
+def test_missing_file():
+    with pytest.raises(SystemExit):
+        main(["predict", "/nonexistent/prog.f"])
+
+
+def test_bad_command():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])

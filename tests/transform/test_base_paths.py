@@ -1,0 +1,81 @@
+"""Edge-case tests for transformation path machinery."""
+
+import pytest
+
+from repro.ir import Do, parse_program
+from repro.transform import loop_paths, replace_at, stmt_at
+
+NESTED_IF = """
+program t
+  integer n, i, j, k
+  real a(n)
+  do i = 1, n
+    if (i .gt. 1) then
+      a(i) = 1.0
+      do j = 1, 3
+        a(j) = 2.0
+      end do
+    else
+      do k = 1, 5
+        a(k) = 3.0
+      end do
+    end if
+  end do
+end
+"""
+
+
+def test_stmt_at_then_arm():
+    prog = parse_program(NESTED_IF)
+    paths = dict((loop.var, path) for path, loop in loop_paths(prog))
+    # then-arm loop j: path descends do(0) -> if(0) -> index 1 in then.
+    assert paths["j"] == (0, 0, 1)
+    assert stmt_at(prog, paths["j"]).var == "j"
+
+
+def test_stmt_at_else_arm_offset():
+    prog = parse_program(NESTED_IF)
+    paths = dict((loop.var, path) for path, loop in loop_paths(prog))
+    assert paths["k"][-1] == 1000  # else offset + index 0
+    assert stmt_at(prog, paths["k"]).var == "k"
+
+
+def test_replace_in_else_arm():
+    prog = parse_program(NESTED_IF)
+    paths = dict((loop.var, path) for path, loop in loop_paths(prog))
+    k_loop = stmt_at(prog, paths["k"])
+    doubled = replace_at(prog, paths["k"], (k_loop, k_loop))
+    if_stmt = stmt_at(doubled, (0, 0))
+    assert len(if_stmt.else_body) == 2
+    # The then arm is untouched (and shares structure).
+    assert if_stmt.then_body == stmt_at(prog, (0, 0)).then_body
+
+
+def test_replace_in_then_arm():
+    prog = parse_program(NESTED_IF)
+    removed = replace_at(prog, (0, 0, 0), ())  # drop `a(i) = 1.0`
+    if_stmt = stmt_at(removed, (0, 0))
+    assert len(if_stmt.then_body) == 1
+    assert isinstance(if_stmt.then_body[0], Do)
+
+
+def test_bad_paths_raise():
+    prog = parse_program(NESTED_IF)
+    with pytest.raises(IndexError):
+        stmt_at(prog, (9,))
+    with pytest.raises(IndexError):
+        stmt_at(prog, (0, 0, 0, 0))  # descend into an Assign
+    with pytest.raises(IndexError):
+        stmt_at(prog, (1000,))       # else offset at root
+    with pytest.raises(IndexError):
+        replace_at(prog, (), ())
+    with pytest.raises(IndexError):
+        replace_at(prog, (9,), ())
+
+
+def test_replace_at_root_splice():
+    prog = parse_program(NESTED_IF)
+    outer = prog.body[0]
+    tripled = replace_at(prog, (0,), (outer, outer, outer))
+    assert len(tripled.body) == 3
+    assert all(isinstance(s, Do) for s in tripled.body)

@@ -1,0 +1,130 @@
+"""Tests for the A* search and incremental prediction (sections 3.2-3.3)."""
+
+from repro.aggregate import CostAggregator
+from repro.ir import SymbolTable, parse_program
+from repro.machine import power_machine
+from repro.transform import (
+    IncrementalPredictor,
+    Interchange,
+    ReorderStatements,
+    Unroll,
+    astar_search,
+    exhaustive_search,
+)
+
+LATENCY_BOUND = """
+program daxpyish
+  integer n, i
+  real x(n), y(n)
+  real alpha
+  do i = 1, n
+    y(i) = y(i) + alpha * x(i)
+  end do
+end
+"""
+
+
+def _predictor(prog):
+    agg = CostAggregator(power_machine(), SymbolTable.from_program(prog))
+    return IncrementalPredictor(agg)
+
+
+def test_incremental_cache_reuses_unchanged_regions():
+    prog = parse_program(
+        "program t\n  integer n, i, j\n  real a(n), b(n)\n"
+        "  do i = 1, n\n    a(i) = a(i) + 1.0\n  end do\n"
+        "  do j = 1, n\n    b(j) = b(j) * 2.0\n  end do\nend\n"
+    )
+    predictor = _predictor(prog)
+    first = predictor.predict(prog)
+    baseline_misses = predictor.stats.misses
+    # Transform only the second loop; the first loop's region must hit.
+    unroll = Unroll(factors=(2,))
+    site = [s for s in unroll.sites(prog) if s.path == (1,)][0]
+    transformed = unroll.apply(prog, site)
+    second = predictor.predict(transformed)
+    assert predictor.stats.hits >= 1
+    assert predictor.stats.misses > baseline_misses  # new region costed
+    assert second.poly != first.poly
+    # Re-predicting the same program is a pure cache hit.
+    hits_before = predictor.stats.hits
+    predictor.predict(transformed)
+    assert predictor.stats.hits > hits_before
+    assert 0 < predictor.stats.hit_rate < 1
+
+
+def test_incremental_invalidate():
+    prog = parse_program(LATENCY_BOUND)
+    predictor = _predictor(prog)
+    predictor.predict(prog)
+    predictor.invalidate()
+    assert predictor.stats.total == 0
+    predictor.predict(prog)
+    assert predictor.stats.misses >= 1
+
+
+def test_astar_finds_unroll_for_latency_bound_loop():
+    prog = parse_program(LATENCY_BOUND)
+    predictor = _predictor(prog)
+    result = astar_search(
+        prog,
+        [Unroll(factors=(2, 4))],
+        predictor,
+        workload={"n": 1000},
+        max_depth=2,
+        max_nodes=50,
+    )
+    base_cost = predictor.predict(prog).evaluate({"n": 1000})
+    best_cost = result.cost.evaluate({"n": 1000})
+    assert best_cost < base_cost
+    assert any(step.transformation == "unroll" for step in result.steps)
+
+
+def test_astar_matches_exhaustive_with_fewer_nodes():
+    prog = parse_program(LATENCY_BOUND)
+    workload = {"n": 512}
+    astar_result = astar_search(
+        parse_program(LATENCY_BOUND),
+        [Unroll(factors=(2, 4)), ReorderStatements()],
+        _predictor(prog),
+        workload=workload,
+        max_depth=2,
+        max_nodes=100,
+    )
+    oracle = exhaustive_search(
+        parse_program(LATENCY_BOUND),
+        [Unroll(factors=(2, 4)), ReorderStatements()],
+        _predictor(prog),
+        workload=workload,
+        max_depth=2,
+    )
+    assert astar_result.cost.evaluate(workload) == oracle.cost.evaluate(workload)
+
+
+def test_search_without_workload_uses_symbolic_comparison():
+    from repro.symbolic import Interval
+
+    prog = parse_program(LATENCY_BOUND)
+    predictor = _predictor(prog)
+    result = astar_search(
+        prog,
+        [Unroll(factors=(2,))],
+        predictor,
+        workload=None,
+        max_depth=1,
+        max_nodes=20,
+        domain={"n": Interval(1, 10 ** 6)},
+    )
+    # The unrolled version is provably cheaper for all n in bounds:
+    # symbolic mode must find it too.
+    assert result.steps
+
+
+def test_search_result_sequence_string():
+    prog = parse_program(LATENCY_BOUND)
+    predictor = _predictor(prog)
+    result = astar_search(
+        prog, [Interchange()], predictor, workload={"n": 10}, max_depth=1
+    )
+    assert result.sequence == "(original)"  # nothing to interchange
+    assert result.nodes_expanded >= 1

@@ -1,0 +1,274 @@
+"""Tests for individual transformations and path machinery."""
+
+import pytest
+
+from repro.ir import (
+    Assign,
+    Do,
+    IntConst,
+    parse_fragment,
+    parse_program,
+    print_program,
+    print_stmts,
+)
+from repro.transform import (
+    Distribute,
+    Fuse,
+    Interchange,
+    ReorderStatements,
+    StripMine,
+    Tile2D,
+    Unroll,
+    distribute_loop,
+    fuse_loops,
+    interchange_pair,
+    loop_paths,
+    replace_at,
+    stmt_at,
+    strip_mine,
+    tile_nest_2d,
+    unroll_loop,
+)
+
+MATMUL = """
+program matmul
+  integer n, i, j, k
+  real a(n,n), b(n,n), c(n,n)
+  do i = 1, n
+    do j = 1, n
+      do k = 1, n
+        c(i,j) = c(i,j) + a(i,k) * b(k,j)
+      end do
+    end do
+  end do
+end
+"""
+
+
+def test_loop_paths_and_stmt_at():
+    prog = parse_program(MATMUL)
+    paths = list(loop_paths(prog))
+    assert [loop.var for _, loop in paths] == ["i", "j", "k"]
+    assert stmt_at(prog, (0,)).var == "i"
+    assert stmt_at(prog, (0, 0, 0)).var == "k"
+    with pytest.raises(IndexError):
+        stmt_at(prog, (5,))
+    with pytest.raises(IndexError):
+        stmt_at(prog, ())
+
+
+def test_paths_into_if_arms():
+    prog = parse_program(
+        "program t\n  integer n, i\n  real a(n)\n"
+        "  do i = 1, n\n    if (i .gt. 1) then\n"
+        "      do j = 1, 2\n        a(j) = 0.0\n      end do\n"
+        "    else\n      do k = 1, 3\n        a(k) = 1.0\n      end do\n"
+        "    end if\n  end do\nend\n"
+    )
+    paths = dict((loop.var, path) for path, loop in loop_paths(prog))
+    assert stmt_at(prog, paths["j"]).var == "j"
+    assert stmt_at(prog, paths["k"]).var == "k"
+    assert paths["k"][-1] >= 1000  # else-arm offset
+
+
+def test_replace_at_splice_and_delete():
+    prog = parse_program("program t\n  real x, y\n  x = 1.0\n  y = 2.0\nend\n")
+    deleted = replace_at(prog, (0,), ())
+    assert len(deleted.body) == 1
+    doubled = replace_at(prog, (1,), (prog.body[1], prog.body[1]))
+    assert len(doubled.body) == 3
+
+
+def test_unroll_loop_body_replication():
+    (loop,) = parse_fragment("do i = 1, n\n  a(i) = a(i) + 1.0\nend do\n")
+    unrolled = unroll_loop(loop, 4)
+    assert unrolled.step == IntConst(4)
+    assert len(unrolled.body) == 4
+    text = print_stmts((unrolled,))
+    assert "a(i + 1)" in text and "a(i + 3)" in text
+    with pytest.raises(ValueError):
+        unroll_loop(loop, 1)
+
+
+def test_unroll_with_non_unit_step():
+    (loop,) = parse_fragment("do i = 1, n, 2\n  a(i) = 0.0\nend do\n")
+    unrolled = unroll_loop(loop, 2)
+    text = print_stmts((unrolled,))
+    assert "a(i + 1 * 2)" in text or "a(i + 2)" in text
+
+
+def test_unroll_transformation_sites():
+    prog = parse_program(MATMUL)
+    unroll = Unroll(factors=(2, 4))
+    sites = unroll.sites(prog)
+    # Only the innermost k-loop has a straight-line body: 2 factors.
+    assert len(sites) == 2
+    new_prog = unroll.apply(prog, sites[0])
+    k_loop = stmt_at(new_prog, sites[0].path)
+    assert len(k_loop.body) == 2
+
+
+def test_interchange_pair():
+    prog = parse_program(MATMUL)
+    nest = prog.body[0]
+    swapped = interchange_pair(nest)
+    assert swapped.var == "j"
+    assert swapped.body[0].var == "i"
+    # Body preserved under the swap.
+    assert swapped.body[0].body == nest.body[0].body
+
+
+def test_interchange_sites_exclude_triangular():
+    prog = parse_program(
+        "program t\n  integer n, i, j\n  real a(n,n)\n"
+        "  do i = 1, n\n    do j = 1, i\n      a(i,j) = 0.0\n"
+        "    end do\n  end do\nend\n"
+    )
+    assert Interchange().sites(prog) == []
+
+
+def test_interchange_sites_matmul():
+    prog = parse_program(MATMUL)
+    sites = Interchange().sites(prog)
+    # (i,j) and (j,k) pairs both legal.
+    assert len(sites) == 2
+
+
+def test_strip_mine():
+    (loop,) = parse_fragment("do i = 1, n\n  a(i) = 0.0\nend do\n")
+    mined = strip_mine(loop, 16)
+    assert mined.var == "i_blk"
+    assert mined.step == IntConst(16)
+    inner = mined.body[0]
+    assert inner.var == "i"
+    with pytest.raises(ValueError):
+        strip_mine(loop, 1)
+    (stepped,) = parse_fragment("do i = 1, n, 2\n  a(i) = 0.0\nend do\n")
+    with pytest.raises(ValueError):
+        strip_mine(stepped, 8)
+
+
+def test_tile_nest_2d_structure():
+    prog = parse_program(
+        "program t\n  integer n, i, j\n  real a(n,n)\n"
+        "  do i = 1, n\n    do j = 1, n\n      a(i,j) = a(i,j) + 1.0\n"
+        "    end do\n  end do\nend\n"
+    )
+    nest = prog.body[0]
+    tiled = tile_nest_2d(nest, 32)
+    # Expected order: i_blk, j_blk, i, j.
+    order = []
+    cur = tiled
+    while isinstance(cur, Do):
+        order.append(cur.var)
+        cur = cur.body[0] if cur.body and isinstance(cur.body[0], Do) else None
+    assert order == ["i_blk", "j_blk", "i", "j"]
+
+
+def test_tile2d_sites_do_not_retile():
+    prog = parse_program(
+        "program t\n  integer n, i, j\n  real a(n,n)\n"
+        "  do i = 1, n\n    do j = 1, n\n      a(i,j) = 0.0\n"
+        "    end do\n  end do\nend\n"
+    )
+    tile = Tile2D(tiles=(16,))
+    sites = tile.sites(prog)
+    assert len(sites) == 1
+    tiled = tile.apply(prog, sites[0])
+    # The tiled program offers no further 2-D tiling at the block loops.
+    again = [s for s in tile.sites(tiled) if "_blk" in s.description]
+    assert not again
+
+
+def test_fuse_loops():
+    first, second = parse_fragment(
+        "do i = 1, n\n  a(i) = b(i) + 1.0\nend do\n"
+        "do j = 1, n\n  c(j) = a(j) * 2.0\nend do\n"
+    )
+    fused = fuse_loops(first, second)
+    assert len(fused.body) == 2
+    text = print_stmts((fused,))
+    assert "c(i)" in text  # second body reindexed
+
+
+def test_fuse_transformation():
+    prog = parse_program(
+        "program t\n  integer n, i, j\n  real a(n), b(n), c(n)\n"
+        "  do i = 1, n\n    a(i) = b(i) + 1.0\n  end do\n"
+        "  do j = 1, n\n    c(j) = a(j) * 2.0\n  end do\nend\n"
+    )
+    fuse = Fuse()
+    sites = fuse.sites(prog)
+    assert len(sites) == 1
+    fused_prog = fuse.apply(prog, sites[0])
+    assert len(fused_prog.body) == 1
+    assert len(fused_prog.body[0].body) == 2
+
+
+def test_fuse_blocked_by_dependence():
+    prog = parse_program(
+        "program t\n  integer n, i, j\n  real a(n), c(n)\n"
+        "  do i = 1, n\n    a(i) = 1.0\n  end do\n"
+        "  do j = 1, n\n    c(j) = a(j+1)\n  end do\nend\n"
+    )
+    assert Fuse().sites(prog) == []
+
+
+def test_distribute():
+    prog = parse_program(
+        "program t\n  integer n, i\n  real a(n), b(n), c(n), d(n)\n"
+        "  do i = 1, n\n    a(i) = b(i) + 1.0\n    c(i) = d(i) * 2.0\n"
+        "  end do\nend\n"
+    )
+    dist = Distribute()
+    sites = dist.sites(prog)
+    assert len(sites) == 1
+    split = dist.apply(prog, sites[0])
+    assert len(split.body) == 2
+    assert all(isinstance(s, Do) for s in split.body)
+
+
+def test_distribute_blocked_by_shared_write():
+    prog = parse_program(
+        "program t\n  integer n, i\n  real a(n), b(n)\n"
+        "  do i = 1, n\n    a(i) = b(i) + 1.0\n    b(i) = a(i) * 2.0\n"
+        "  end do\nend\n"
+    )
+    assert Distribute().sites(prog) == []
+
+
+def test_distribute_loop_validation():
+    (loop,) = parse_fragment("do i = 1, n\n  a(i) = 1.0\nend do\n")
+    with pytest.raises(ValueError):
+        distribute_loop(loop, 1)
+
+
+def test_reorder_statements():
+    prog = parse_program(
+        "program t\n  real x, y\n  x = 1.0\n  y = 2.0\nend\n"
+    )
+    reorder = ReorderStatements()
+    sites = reorder.sites(prog)
+    assert len(sites) == 1
+    swapped = reorder.apply(prog, sites[0])
+    assert isinstance(swapped.body[0], Assign)
+    assert swapped.body[0].target.name == "y"
+
+
+def test_reorder_respects_dependences():
+    prog = parse_program(
+        "program t\n  real x, y\n  x = 1.0\n  y = x + 1.0\nend\n"
+    )
+    assert ReorderStatements().sites(prog) == []
+
+
+def test_transform_produces_valid_programs():
+    """Every transformation's output reparses (printer round-trip)."""
+    from repro.ir import parse_program as reparse
+
+    prog = parse_program(MATMUL)
+    for transformation in (Unroll((2,)), Interchange(), StripMine((16,)),
+                           Tile2D((16,))):
+        for site in transformation.sites(prog):
+            result = transformation.apply(prog, site)
+            assert reparse(print_program(result)) == result

@@ -1,0 +1,132 @@
+"""Tests for unroll-and-jam (the transformation behind the Matmul kernel)."""
+
+import pytest
+
+import repro
+from repro.ir import Do, parse_fragment, parse_program, print_program
+from repro.transform import UnrollAndJam, unroll_and_jam
+
+MATMUL = """
+program mm
+  integer n, i, j, k
+  real a(n,n), b(n,n), c(n,n)
+  do i = 1, n
+    do j = 1, n
+      do k = 1, n
+        c(i,j) = c(i,j) + a(i,k) * b(k,j)
+      end do
+    end do
+  end do
+end
+"""
+
+
+def test_jam_two_level_nest():
+    (nest,) = parse_fragment(
+        "do i = 1, n\n  do j = 1, n\n    a(i,j) = 0.0\n  end do\nend do\n"
+    )
+    jammed = unroll_and_jam(nest, 2)
+    assert jammed.step.value == 2
+    inner = jammed.body[0]
+    assert isinstance(inner, Do) and inner.var == "j"
+    assert len(inner.body) == 2
+    text = print_program(
+        parse_program(MATMUL)  # placeholder for re-parse utility
+    )
+    assert text  # smoke
+
+
+def test_jam_three_level_nest_goes_innermost():
+    prog = parse_program(MATMUL)
+    jammed = unroll_and_jam(prog.body[0], 4)
+    j_loop = jammed.body[0]
+    k_loop = j_loop.body[0]
+    assert isinstance(k_loop, Do) and k_loop.var == "k"
+    assert len(k_loop.body) == 4
+    # Intermediate j loop not duplicated.
+    assert len(j_loop.body) == 1
+
+
+def test_double_jam_equals_paper_kernel():
+    """i x4 then j x4 gives the exact cost of the hand-built kernel."""
+    from repro.bench import kernel
+
+    prog = parse_program(MATMUL)
+    uj = UnrollAndJam(factors=(4,))
+    step1 = uj.apply(prog, [s for s in uj.sites(prog) if s.path == (0,)][0])
+    step2 = uj.apply(
+        step1, [s for s in uj.sites(step1) if s.path == (0, 0)][0]
+    )
+    inner = step2.body[0].body[0].body[0]
+    assert len(inner.body) == 16
+    assert repro.predict(step2).poly == repro.predict(
+        kernel("matmul").program
+    ).poly
+
+
+def test_jam_improves_matmul():
+    prog = parse_program(MATMUL)
+    jammed = unroll_and_jam(prog.body[0], 4)
+    new_prog = parse_program(MATMUL)
+    new_prog = repro.Program(
+        new_prog.name, new_prog.decls, (jammed,), new_prog.params
+    )
+    base = repro.predict(prog).evaluate({"n": 128})
+    better = repro.predict(new_prog).evaluate({"n": 128})
+    assert better < base
+
+
+def test_validation_errors():
+    (single,) = parse_fragment("do i = 1, n\n  a(i) = 0.0\nend do\n")
+    with pytest.raises(ValueError):
+        unroll_and_jam(single, 2)
+    (nest,) = parse_fragment(
+        "do i = 1, n\n  do j = 1, n\n    a(i,j) = 0.0\n  end do\nend do\n"
+    )
+    with pytest.raises(ValueError):
+        unroll_and_jam(nest, 1)
+    (tri,) = parse_fragment(
+        "do i = 1, n\n  do j = 1, i\n    a(i,j) = 0.0\n  end do\nend do\n"
+    )
+    with pytest.raises(ValueError):
+        unroll_and_jam(tri, 2)
+
+
+def test_sites_respect_dependence():
+    """A (+,-) skewed dependence forbids jamming (as it does interchange)."""
+    prog = parse_program(
+        "program t\n  integer n, i, j\n  real a(n,n)\n"
+        "  do i = 2, n\n    do j = 1, n\n      a(i,j) = a(i-1,j+1) + 1.0\n"
+        "    end do\n  end do\nend\n"
+    )
+    uj = UnrollAndJam(factors=(2,))
+    assert [s for s in uj.sites(prog) if s.path == (0,)] == []
+
+
+def test_sites_and_apply_roundtrip():
+    prog = parse_program(MATMUL)
+    uj = UnrollAndJam(factors=(2,))
+    for site in uj.sites(prog):
+        result = uj.apply(prog, site)
+        assert parse_program(print_program(result)) == result
+
+
+def test_jam_in_search():
+    """The A* search discovers unroll-and-jam on its own."""
+    from repro.aggregate import CostAggregator
+    from repro.ir import SymbolTable
+    from repro.machine import power_machine
+    from repro.transform import IncrementalPredictor, astar_search
+
+    prog = parse_program(MATMUL)
+    predictor = IncrementalPredictor(
+        CostAggregator(power_machine(), SymbolTable.from_program(prog))
+    )
+    result = astar_search(
+        prog, [UnrollAndJam(factors=(2, 4))], predictor,
+        workload={"n": 128}, max_depth=2, max_nodes=60,
+    )
+    assert any(s.transformation == "unroll-and-jam" for s in result.steps)
+    assert result.cost.evaluate({"n": 128}) < predictor.predict(prog).evaluate(
+        {"n": 128}
+    )

@@ -1,0 +1,160 @@
+"""Tests for pattern recognition, register pressure, and streams."""
+
+import pytest
+
+from repro.ir import parse_fragment
+from repro.translate import (
+    InstrStream,
+    RegisterPressure,
+    carried_scalar_chain,
+    find_reductions,
+    is_axpy_loop,
+    is_inner_product_loop,
+)
+from repro.translate.stream import Instr, reindex
+
+
+# -- pattern recognition ------------------------------------------------------
+
+def test_find_scalar_sum_reduction():
+    stmts = parse_fragment("s = s + a(i)\n")
+    (red,) = find_reductions(stmts)
+    assert red.target == "s" and red.op == "+"
+
+
+def test_find_reversed_operand_reduction():
+    stmts = parse_fragment("s = a(i) + s\n")
+    (red,) = find_reductions(stmts)
+    assert red.target == "s"
+
+
+def test_find_product_reduction():
+    stmts = parse_fragment("p = p * a(i)\n")
+    (red,) = find_reductions(stmts)
+    assert red.op == "*"
+
+
+def test_subtraction_reduction_only_left():
+    assert find_reductions(parse_fragment("s = s - a(i)\n"))
+    # s = a(i) - s is NOT an accumulation (sign alternates).
+    assert not find_reductions(parse_fragment("s = a(i) - s\n"))
+
+
+def test_array_element_reduction():
+    stmts = parse_fragment("c(i,j) = c(i,j) + a(i,k) * b(k,j)\n")
+    (red,) = find_reductions(stmts)
+    assert red.target.startswith("array:c")
+
+
+def test_self_referencing_rhs_rejected():
+    # s appears inside the added expression too: not a simple reduction.
+    assert not find_reductions(parse_fragment("s = s + s * a(i)\n"))
+
+
+def test_is_inner_product_loop():
+    (loop,) = parse_fragment(
+        "do i = 1, n\n  s = s + a(i) * b(i)\nend do\n"
+    )
+    assert is_inner_product_loop(loop)
+    (not_ip,) = parse_fragment("do i = 1, n\n  s = s + a(i)\nend do\n")
+    assert not is_inner_product_loop(not_ip)
+    (two_stmt,) = parse_fragment(
+        "do i = 1, n\n  s = s + a(i) * b(i)\n  x = 1.0\nend do\n"
+    )
+    assert not is_inner_product_loop(two_stmt)
+
+
+def test_is_axpy_loop():
+    (loop,) = parse_fragment(
+        "do i = 1, n\n  y(i) = y(i) + alpha * x(i)\nend do\n"
+    )
+    assert is_axpy_loop(loop)
+    (other,) = parse_fragment("do i = 1, n\n  y(i) = x(i)\nend do\n")
+    assert not is_axpy_loop(other)
+
+
+def test_carried_scalar_chain():
+    assert carried_scalar_chain(parse_fragment("s = s * 0.5\n"))
+    assert carried_scalar_chain(parse_fragment("t = s\ns = t + 1.0\n"))
+    assert not carried_scalar_chain(parse_fragment("a(i) = b(i)\n"))
+    # Write-only scalar: no chain.
+    assert not carried_scalar_chain(parse_fragment("s = a(i)\n"))
+
+
+# -- register pressure ----------------------------------------------------------
+
+def test_register_pressure_no_spill_under_budget():
+    regs = RegisterPressure(fp_budget=8, int_budget=8)
+    for i in range(4):  # budget - reserved = 4
+        assert regs.note_load(f"v{i}", is_float=True) is None
+    assert regs.spills == 0
+
+
+def test_register_pressure_spills_fifo():
+    regs = RegisterPressure(fp_budget=8, int_budget=8)
+    for i in range(5):
+        regs.note_load(f"v{i}", is_float=True)
+    assert regs.spills == 1
+    # v0 was evicted first.
+    assert "v0" not in regs.fp_live
+
+
+def test_register_pressure_duplicate_load_free():
+    regs = RegisterPressure(fp_budget=8, int_budget=8)
+    regs.note_load("x", True)
+    assert regs.note_load("x", True) is None
+    assert len(regs.fp_live) == 1
+
+
+def test_register_pressure_pools_are_separate():
+    regs = RegisterPressure(fp_budget=8, int_budget=8)
+    for i in range(4):
+        regs.note_load(f"f{i}", True)
+        regs.note_load(f"i{i}", False)
+    assert regs.spills == 0
+
+
+def test_register_pressure_forget():
+    regs = RegisterPressure(fp_budget=8, int_budget=8)
+    regs.note_load("x", True)
+    regs.forget("x")
+    assert "x" not in regs.fp_live
+
+
+# -- instruction streams -------------------------------------------------------
+
+def test_instr_validation():
+    with pytest.raises(ValueError):
+        Instr(1, "fadd", deps=(1,))   # self-dep
+    with pytest.raises(ValueError):
+        Instr(1, "fadd", deps=(2,))   # forward dep
+    with pytest.raises(ValueError):
+        Instr(0, "fadd", deps=(-1,))
+
+
+def test_stream_append_and_query():
+    stream = InstrStream(machine_name="power", label="b")
+    a = stream.append("lsu_load", tag="load x")
+    b = stream.append("fpu_arith", (a.index,), one_time=True)
+    assert len(stream) == 2
+    assert stream[1].one_time
+    assert stream.counts() == {"lsu_load": 1, "fpu_arith": 1}
+    assert len(stream.iterative()) == 1
+    assert len(stream.one_time()) == 1
+    listing = stream.listing()
+    assert "load x" in listing and "power" in listing
+
+
+def test_reindex_drops_external_deps():
+    instrs = [
+        Instr(0, "lsu_load"),
+        Instr(2, "fpu_arith", deps=(0, 1)),  # dep 1 not in list
+    ]
+    dense = reindex(instrs)
+    assert [i.index for i in dense] == [0, 1]
+    assert dense[1].deps == (0,)
+
+
+def test_reindex_preserves_one_time():
+    instrs = [Instr(3, "lsu_load", one_time=True)]
+    assert reindex(instrs)[0].one_time

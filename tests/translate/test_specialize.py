@@ -1,0 +1,122 @@
+"""Tests for level-1 specialization and level-2 atomic mapping."""
+
+import pytest
+
+from repro.ir import IntConst, SymbolTable, parse_expression
+from repro.ir.types import ScalarType
+from repro.machine import get_machine, power_machine, scalar_machine
+from repro.translate import (
+    UnsupportedOperation,
+    power_expansion,
+    resolve_basic_op,
+    specialize_binop,
+    specialize_intrinsic,
+    specialize_unop,
+)
+
+INT = ScalarType.INTEGER
+REAL = ScalarType.REAL
+DOUBLE = ScalarType.DOUBLE
+
+
+def test_arith_specialization_by_type():
+    assert specialize_binop("+", INT, INT) == ["iadd"]
+    assert specialize_binop("+", REAL, REAL) == ["fadd"]
+    assert specialize_binop("+", INT, REAL) == ["fadd"]
+    assert specialize_binop("+", REAL, DOUBLE) == ["dadd"]
+    assert specialize_binop("/", INT, INT) == ["idiv"]
+    assert specialize_binop("-", DOUBLE, DOUBLE) == ["dsub"]
+
+
+def test_integer_multiply_value_specialization():
+    """Paper: multiplier in [-128, 127] uses the 3-cycle multiply."""
+    assert specialize_binop("*", INT, INT, IntConst(5)) == ["imul_small"]
+    assert specialize_binop("*", INT, INT, IntConst(127)) == ["imul_small"]
+    assert specialize_binop("*", INT, INT, IntConst(128)) == ["imul"]
+    assert specialize_binop("*", INT, INT, IntConst(-128)) == ["imul_small"]
+    assert specialize_binop("*", INT, INT, IntConst(-129)) == ["imul"]
+    # Unknown multiplier: general multiply.
+    assert specialize_binop("*", INT, INT, parse_expression("n")) == ["imul"]
+    # Float multiply is never value-specialized.
+    assert specialize_binop("*", REAL, REAL, IntConst(2)) == ["fmul"]
+
+
+def test_comparison_specialization():
+    assert specialize_binop(".lt.", INT, INT) == ["icmp"]
+    assert specialize_binop(".eq.", REAL, INT) == ["fcmp"]
+    assert specialize_binop(".ge.", DOUBLE, REAL) == ["dcmp"]
+
+
+def test_logical_specialization():
+    assert specialize_binop(".and.", ScalarType.LOGICAL, ScalarType.LOGICAL) == ["land"]
+    assert specialize_binop(".or.", ScalarType.LOGICAL, ScalarType.LOGICAL) == ["lor"]
+    assert specialize_unop(".not.", ScalarType.LOGICAL) == ["lnot"]
+    assert specialize_unop("-", REAL) == ["fneg"]
+
+
+def test_power_expansion():
+    assert power_expansion(REAL, IntConst(0)) == []
+    assert power_expansion(REAL, IntConst(1)) == []
+    assert power_expansion(REAL, IntConst(2)) == ["fmul"]
+    assert power_expansion(REAL, IntConst(3)) == ["fmul", "fmul"]
+    assert power_expansion(REAL, IntConst(4)) == ["fmul", "fmul"]
+    assert power_expansion(REAL, IntConst(8)) == ["fmul"] * 3
+    assert power_expansion(INT, IntConst(2)) == ["imul"]
+    # Non-constant or large exponents call the runtime.
+    assert power_expansion(REAL, parse_expression("n")) == ["call"]
+    assert power_expansion(REAL, IntConst(20)) == ["call"]
+
+
+def test_intrinsic_specialization():
+    table = SymbolTable()
+    e = parse_expression
+    assert specialize_intrinsic("sqrt", table, (e("x"),)) == ["fsqrt"]
+    assert specialize_intrinsic("abs", table, (e("i"),)) == ["iabs"]
+    assert specialize_intrinsic("abs", table, (e("x"),)) == ["fabs"]
+    assert specialize_intrinsic("max", table, (e("x"), e("y"))) == ["fmax"]
+    assert specialize_intrinsic("max", table, (e("x"), e("y"), e("z"))) == ["fmax"] * 2
+    assert specialize_intrinsic("mod", table, (e("i"), e("j"))) == ["idiv", "imul", "isub"]
+    assert specialize_intrinsic("sin", table, (e("x"),)) == ["call"]
+    assert specialize_intrinsic("myfunc", table, (e("x"),)) == ["call"]
+
+
+def test_conversion_specialization():
+    table = SymbolTable()
+    e = parse_expression
+    assert specialize_intrinsic("int", table, (e("x"),)) == ["cvt_fi"]
+    assert specialize_intrinsic("int", table, (e("i"),)) == []
+    assert specialize_intrinsic("real", table, (e("i"),)) == ["cvt_if"]
+    assert specialize_intrinsic("real", table, (e("x"),)) == []
+    assert specialize_intrinsic("dble", table, (e("x"),)) == ["cvt_fd"]
+
+
+def test_resolve_basic_op_direct():
+    machine = power_machine()
+    assert resolve_basic_op(machine, "fadd") == ("fpu_arith",)
+    assert resolve_basic_op(machine, "fma") == ("fpu_arith",)
+    assert resolve_basic_op(machine, "imul_small") == ("fxu_mul3",)
+
+
+def test_resolve_basic_op_fallback():
+    """fma on the scalar machine decomposes to multiply + add."""
+    machine = scalar_machine()
+    assert resolve_basic_op(machine, "fma") == ("alu_fmul", "alu_fadd")
+    assert resolve_basic_op(machine, "imul_small") == ("alu_imul",)
+
+
+def test_resolve_basic_op_errors():
+    machine = power_machine()
+    with pytest.raises(UnsupportedOperation):
+        resolve_basic_op(machine, "frobnicate")
+
+
+def test_resolution_covers_vocabulary_everywhere():
+    from repro.translate import ALL_BASIC_OPS
+
+    for name in ("power", "scalar", "wide"):
+        machine = get_machine(name)
+        for op in sorted(ALL_BASIC_OPS):
+            atomics = resolve_basic_op(machine, op)
+            assert atomics, f"{op} on {name}"
+            for atomic in atomics:
+                assert atomic in machine.table
