@@ -49,6 +49,7 @@ from .ir import (
     parse_fragment,
     parse_program,
     print_program,
+    program_digest,
 )
 from .machine import Machine, get_machine, machine_names, register_machine
 from .memory import MemoryCostModel
@@ -68,21 +69,37 @@ from .transform import (
     exhaustive_search,
 )
 from .translate import AGGRESSIVE_BACKEND, NAIVE_BACKEND, BackendFlags, Translator
+from .service import (
+    CompareRequest,
+    KernelsRequest,
+    PredictRequest,
+    PredictionEngine,
+    PredictionServer,
+    RestructureRequest,
+    ServiceError,
+    make_server,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
-    "AGGRESSIVE_BACKEND", "BackendFlags", "BlockCost", "ComparisonResult",
+    "AGGRESSIVE_BACKEND", "BackendFlags", "BlockCost", "CompareRequest",
+    "ComparisonResult",
     "CommunicationCostModel", "CostAggregator", "CostBlock", "Distribute",
     "Fuse", "GuessPolicy", "IncrementalPredictor", "Interchange", "Interval",
+    "KernelsRequest",
     "LibraryCostTable", "Machine", "MemoryCostModel", "NAIVE_BACKEND",
-    "OpCountEstimator", "PerfExpr", "Poly", "Program", "ReorderStatements",
+    "OpCountEstimator", "PerfExpr", "Poly", "PredictRequest",
+    "PredictionEngine", "PredictionServer", "Program", "ReorderStatements",
+    "RestructureRequest", "ServiceError",
     "Sign", "StraightLineEstimator", "StripMine", "SymbolTable", "Tile2D",
     "Translator", "Unroll", "UnrollAndJam", "UnknownKind", "Verdict", "aggregate_program",
     "astar_search", "build_guard", "compare", "ethernet_cluster",
     "exhaustive_search", "get_machine", "guess_all", "guessed_comparison",
-    "machine_names", "parse_expression", "parse_fragment", "parse_program",
-    "place_stream", "predict", "print_program", "rank_variables",
+    "machine_names", "make_server", "parse_expression", "parse_fragment",
+    "parse_program",
+    "place_stream", "predict", "print_program", "program_digest",
+    "rank_variables",
     "region_report", "register_machine", "simulate", "simulate_loop",
     "sp1_network", "winner_regions", "worth_testing",
 ]

@@ -7,11 +7,17 @@ Commands
 ``restructure FILE``  performance-guided A* restructuring
 ``kernels``           the Figure 7 table (predicted vs reference)
 ``machines``          registered machine descriptions
+``serve``             run the HTTP/JSON prediction service
+
+``predict``, ``compare``, and ``kernels`` take ``--json`` to emit the
+service wire format (see :mod:`repro.service.protocol`) instead of
+human-readable text, so scripted callers get a stable schema.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from fractions import Fraction
 
@@ -40,7 +46,11 @@ def _parse_bindings(text: str | None) -> dict[str, Fraction]:
         name, _, value = item.partition("=")
         if not value:
             raise SystemExit(f"bad binding {item!r}; expected name=value")
-        out[name.strip()] = Fraction(value.strip())
+        try:
+            out[name.strip()] = Fraction(value.strip())
+        except (ValueError, ZeroDivisionError):
+            raise SystemExit(f"bad binding {item!r}; {value.strip()!r} "
+                             "is not a number")
     return out
 
 
@@ -74,7 +84,41 @@ def _flags(name: str):
     raise SystemExit(f"unknown backend flags {name!r}")
 
 
+def _read_source(path: str) -> str:
+    try:
+        with open(path) as handle:
+            return handle.read()
+    except OSError as error:
+        raise SystemExit(f"cannot read {path}: {error}")
+
+
+def _emit_json(kind: str, payload: dict) -> int:
+    """Run one request inline through the service engine and print it."""
+    from .service import PredictionEngine
+
+    result = PredictionEngine(workers=0, cache_size=1).handle(kind, payload)
+    print(json.dumps(result, indent=2, sort_keys=True))
+    return 1 if "error" in result else 0
+
+
+def _domain_json(text: str | None) -> dict[str, list[str]] | None:
+    domain = _parse_domain(text)
+    if not domain:
+        return None
+    return {k: [str(v.lo), str(v.hi)] for k, v in domain.items()}
+
+
 def _cmd_predict(args: argparse.Namespace) -> int:
+    if args.json:
+        bindings = _parse_bindings(args.at)
+        return _emit_json("predict", {
+            "source": _read_source(args.file),
+            "machine": args.machine,
+            "backend": args.backend,
+            "include_memory": bool(args.memory),
+            **({"bindings": {k: str(v) for k, v in bindings.items()}}
+               if bindings else {}),
+        })
     program = _load(args.file)
     cost = predict(
         program,
@@ -92,6 +136,14 @@ def _cmd_predict(args: argparse.Namespace) -> int:
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
+    if args.json:
+        domain = _domain_json(args.domain)
+        return _emit_json("compare", {
+            "first": _read_source(args.first),
+            "second": _read_source(args.second),
+            "machine": args.machine,
+            **({"domain": domain} if domain else {}),
+        })
     cost_a = predict(_load(args.first), machine=args.machine)
     cost_b = predict(_load(args.second), machine=args.machine)
     print(f"A = {cost_a}")
@@ -142,6 +194,8 @@ def _cmd_restructure(args: argparse.Namespace) -> int:
 
 
 def _cmd_kernels(args: argparse.Namespace) -> int:
+    if args.json:
+        return _emit_json("kernels", {"machine": args.machine})
     from .backend import simulate
     from .bench import kernel, kernel_names, kernel_stream
     from .cost import StraightLineEstimator
@@ -165,6 +219,19 @@ def _cmd_machines(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import PredictionEngine, run_server
+
+    engine = PredictionEngine(
+        workers=args.workers,
+        cache_size=args.cache_size,
+        cache_path=args.cache_file,
+        executor=args.executor,
+    )
+    run_server(engine, host=args.host, port=args.port)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -180,6 +247,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--memory", action="store_true",
                    help="include cache/TLB cost terms")
     p.add_argument("--at", help="evaluate at a point, e.g. n=100,m=50")
+    p.add_argument("--json", action="store_true",
+                   help="emit the service wire format")
     p.set_defaults(func=_cmd_predict)
 
     p = sub.add_parser("compare", help="compare two programs symbolically")
@@ -187,6 +256,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("second")
     p.add_argument("--machine", default="power", choices=machine_names())
     p.add_argument("--domain", help="bounds, e.g. n=1:1000")
+    p.add_argument("--json", action="store_true",
+                   help="emit the service wire format")
     p.set_defaults(func=_cmd_compare)
 
     p = sub.add_parser("restructure", help="performance-guided A* search")
@@ -200,10 +271,25 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("kernels", help="the Figure 7 table")
     p.add_argument("--machine", default="power", choices=machine_names())
+    p.add_argument("--json", action="store_true",
+                   help="emit the service wire format")
     p.set_defaults(func=_cmd_kernels)
 
     p = sub.add_parser("machines", help="list machine descriptions")
     p.set_defaults(func=_cmd_machines)
+
+    p = sub.add_parser("serve", help="run the HTTP/JSON prediction service")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8080)
+    p.add_argument("--workers", type=int, default=0,
+                   help="worker processes (0/1 = inline execution)")
+    p.add_argument("--cache-size", type=int, default=1024,
+                   help="max resident result-cache entries")
+    p.add_argument("--cache-file",
+                   help="JSON-lines persistence file for warm restarts")
+    p.add_argument("--executor", default="auto",
+                   choices=("auto", "process", "thread", "sync"))
+    p.set_defaults(func=_cmd_serve)
     return parser
 
 

@@ -7,6 +7,7 @@ statements, typed scalars and arrays -- plus a parser, printer,
 builder API, symbol table, and traversal utilities.
 """
 
+from .digest import program_digest, source_digest
 from .lexer import LexError, Token, TokenKind, tokenize
 from .nodes import (
     ArrayRef,
@@ -45,6 +46,7 @@ __all__ = [
     "TokenKind", "TypeError_", "UnOp", "VarRef",
     "map_exprs", "map_stmts", "parse_expression", "parse_fragment",
     "parse_program", "print_expr", "print_program", "print_stmt",
-    "print_stmts", "rename_index", "substitute_var", "tokenize",
+    "print_stmts", "program_digest", "rename_index", "source_digest",
+    "substitute_var", "tokenize",
     "walk_exprs", "walk_stmts",
 ]

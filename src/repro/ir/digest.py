@@ -1,0 +1,34 @@
+"""Stable content hashes for IR programs.
+
+The canonical rendering produced by :mod:`repro.ir.printer` is a
+normal form: parsing and re-printing a program erases formatting,
+comments, declaration grouping, and case differences, so two programs
+that are *structurally* equal print identically.  Hashing that
+rendering therefore gives a content address -- the key the service
+layer uses for its cross-request result cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from .nodes import Program
+from .printer import print_program
+
+__all__ = ["program_digest", "source_digest"]
+
+
+def program_digest(program: Program) -> str:
+    """Hex SHA-256 of the canonical rendering of ``program``.
+
+    Structurally equal programs (same statements, declarations, and
+    name, regardless of source formatting) collide; any structural
+    variation -- a renamed index, a reassociated expression, an extra
+    statement -- produces a different digest.
+    """
+    return source_digest(print_program(program))
+
+
+def source_digest(text: str) -> str:
+    """Hex SHA-256 of a source string (no canonicalization applied)."""
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()

@@ -1,0 +1,55 @@
+"""Serving subsystem: batched engine, content-addressed cache, HTTP server.
+
+Turns the one-shot prediction library into long-lived infrastructure:
+
+* :class:`PredictionEngine` -- validates, caches, and executes
+  predict / compare / restructure / kernels requests, singly or in
+  batches, over a process (or thread) worker pool;
+* :class:`ResultCache` -- content-addressed LRU keyed by canonical
+  program digest, with JSON-lines persistence for instant warm starts;
+* :mod:`~repro.service.protocol` -- strict wire dataclasses shared by
+  the HTTP server and the CLI ``--json`` flags;
+* :class:`PredictionServer` -- a dependency-free ``http.server``
+  JSON front end with ``/healthz`` and Prometheus ``/metrics``.
+
+Quick start::
+
+    from repro.service import PredictionEngine, PredictRequest
+
+    engine = PredictionEngine(workers=4, cache_size=4096)
+    response = engine.predict(PredictRequest(source=saxpy_text))
+    print(response.cost)          # "3*n + 8"
+"""
+
+from .cache import CacheStats, ResultCache
+from .engine import PredictionEngine, ServiceError, execute_request
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .protocol import (
+    CompareRequest,
+    CompareResponse,
+    ErrorResponse,
+    KernelRow,
+    KernelsRequest,
+    KernelsResponse,
+    PredictRequest,
+    PredictResponse,
+    ProtocolError,
+    RestructureRequest,
+    RestructureResponse,
+    error_envelope,
+    request_from_dict,
+    response_from_dict,
+    response_to_dict,
+)
+from .server import PredictionServer, make_server, run_server
+
+__all__ = [
+    "CacheStats", "CompareRequest", "CompareResponse", "Counter",
+    "ErrorResponse", "Gauge", "Histogram", "KernelRow", "KernelsRequest",
+    "KernelsResponse", "MetricsRegistry", "PredictRequest",
+    "PredictResponse", "PredictionEngine", "PredictionServer",
+    "ProtocolError", "RestructureRequest", "RestructureResponse",
+    "ResultCache", "ServiceError", "error_envelope", "execute_request",
+    "make_server", "request_from_dict", "response_from_dict",
+    "response_to_dict", "run_server",
+]

@@ -1,0 +1,156 @@
+"""Content-addressed result cache for the prediction service.
+
+Keys are strings built from the *canonical content digest* of the
+program(s) involved (see :func:`repro.ir.program_digest`) plus every
+input that changes the answer: machine name, back-end capability
+flags, memory-model switch, bindings/domain/workload.  Two clients
+posting differently-formatted sources of the same program therefore
+share one cache entry, while any semantic variation misses.
+
+Values are the JSON-ready response dicts produced by
+:mod:`repro.service.protocol`, which makes on-disk persistence trivial:
+the cache appends one JSON line per store, and a restarted server
+replays the file to warm itself before taking traffic.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+__all__ = ["CacheStats", "ResultCache"]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction accounting for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.total if self.total else 0.0
+
+
+class ResultCache:
+    """A bounded, thread-safe LRU mapping cache keys to response dicts.
+
+    ``maxsize`` bounds the number of resident entries (least recently
+    *used* falls out first).  When ``path`` is given, every store is
+    appended to that JSON-lines file and :meth:`load` replays it --
+    later lines win, and only the newest ``maxsize`` entries stay
+    resident, so the file may grow past the memory bound safely.
+    """
+
+    def __init__(self, maxsize: int = 1024, path: str | os.PathLike | None = None):
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        self.maxsize = maxsize
+        self.path = os.fspath(path) if path is not None else None
+        self.stats = CacheStats()
+        self._data: OrderedDict[str, dict[str, Any]] = OrderedDict()
+        self._lock = threading.Lock()
+        if self.path is not None:
+            self.load()
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._data
+
+    def get(self, key: str) -> dict[str, Any] | None:
+        """Look up ``key``; counts a hit or miss and refreshes recency."""
+        with self._lock:
+            try:
+                value = self._data[key]
+            except KeyError:
+                self.stats.misses += 1
+                return None
+            self._data.move_to_end(key)
+            self.stats.hits += 1
+            return value
+
+    def put(self, key: str, value: dict[str, Any]) -> None:
+        """Store ``key``; evicts the LRU entry past ``maxsize``."""
+        with self._lock:
+            already_present = key in self._data
+            self._data[key] = value
+            self._data.move_to_end(key)
+            if not already_present and len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+                self.stats.evictions += 1
+            if self.path is not None:
+                self._append_line(key, value)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+            self.stats = CacheStats()
+
+    def keys(self) -> Iterator[str]:
+        with self._lock:
+            return iter(list(self._data))
+
+    # ------------------------------------------------------------------
+    # persistence
+
+    def _append_line(self, key: str, value: dict[str, Any]) -> None:
+        line = json.dumps({"key": key, "value": value}, sort_keys=True)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+
+    def load(self) -> int:
+        """Replay the JSON-lines file; returns how many entries loaded.
+
+        Corrupt lines (a torn final write after a crash) are skipped
+        rather than fatal -- a warm start must never block serving.
+        """
+        if self.path is None or not os.path.exists(self.path):
+            return 0
+        loaded: OrderedDict[str, dict[str, Any]] = OrderedDict()
+        with open(self.path, encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                    key, value = record["key"], record["value"]
+                except (json.JSONDecodeError, KeyError, TypeError):
+                    continue
+                if key in loaded:
+                    loaded.move_to_end(key)
+                loaded[key] = value
+        while len(loaded) > self.maxsize:
+            loaded.popitem(last=False)
+        with self._lock:
+            self._data = loaded
+            return len(self._data)
+
+    def compact(self) -> None:
+        """Rewrite the persistence file to exactly the resident entries."""
+        if self.path is None:
+            return
+        with self._lock:
+            lines = [
+                json.dumps({"key": k, "value": v}, sort_keys=True)
+                for k, v in self._data.items()
+            ]
+            tmp = self.path + ".tmp"
+            with open(tmp, "w", encoding="utf-8") as handle:
+                handle.write("\n".join(lines) + ("\n" if lines else ""))
+            os.replace(tmp, self.path)

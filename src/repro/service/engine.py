@@ -1,0 +1,505 @@
+"""The prediction engine: batched, concurrent, cached request execution.
+
+Requests (predict / compare / restructure / kernels) come in as wire
+dicts or typed :mod:`protocol` dataclasses, singly or in batches.  The
+engine:
+
+1. validates each request strictly at the boundary;
+2. computes its content-addressed cache key (canonical program digest
+   + machine + back-end capability flags + evaluation point) and
+   answers hits without touching a worker;
+3. fans the misses out over a worker pool -- ``ProcessPoolExecutor``
+   for true CPU parallelism of the pure-Python cost model, degrading
+   automatically to threads (Windows spawn quirks, pickling edge
+   cases, broken pools) and to inline execution for ``workers <= 1``;
+4. stores fresh results back in the cache and reports counters and
+   latencies to a :class:`~repro.service.metrics.MetricsRegistry`.
+
+Workers keep a bounded pool of :class:`IncrementalPredictor` instances
+keyed by (program digest, machine, flags), so repeated work on the
+same program -- different evaluation points, restructure probes --
+reuses the paper's section 3.3.1 affected-region cache instead of
+re-aggregating from scratch.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from concurrent.futures import (
+    Executor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Mapping, Sequence
+
+from ..ir.digest import program_digest
+from ..ir.parser import ParseError, parse_program
+from ..ir.lexer import LexError
+from ..ir.symtab import SymbolTable
+from ..machine.registry import get_machine
+from ..symbolic.poly import PolyError
+from ..translate.backend_opts import AGGRESSIVE_BACKEND, NAIVE_BACKEND, BackendFlags
+from .cache import ResultCache
+from .metrics import MetricsRegistry
+from .protocol import (
+    CompareRequest,
+    CompareResponse,
+    KernelRow,
+    KernelsRequest,
+    KernelsResponse,
+    PredictRequest,
+    PredictResponse,
+    ProtocolError,
+    RestructureRequest,
+    RestructureResponse,
+    error_envelope,
+    parse_bindings,
+    parse_domain,
+    request_from_dict,
+    response_from_dict,
+    response_to_dict,
+)
+
+__all__ = ["PredictionEngine", "ServiceError", "execute_request"]
+
+#: Exceptions that mean "the client sent something invalid" (HTTP 400),
+#: as opposed to an internal fault (HTTP 500).
+_CLIENT_ERRORS = (ProtocolError, ParseError, LexError, PolyError, KeyError, ValueError)
+
+
+class ServiceError(Exception):
+    """A request failed; carries the wire error envelope."""
+
+    def __init__(self, envelope: dict[str, Any]):
+        super().__init__(envelope.get("message", "service error"))
+        self.envelope = envelope
+
+
+def _flags(backend: str) -> BackendFlags:
+    return AGGRESSIVE_BACKEND if backend == "aggressive" else NAIVE_BACKEND
+
+
+# ----------------------------------------------------------------------
+# worker-side execution (module-level so ProcessPoolExecutor can pickle)
+
+_PREDICTOR_LIMIT = 64
+_predictors: OrderedDict[tuple, Any] = OrderedDict()
+
+
+def _symbolic_cost(source: str, machine_name: str, backend: str,
+                   include_memory: bool):
+    """(program, digest, symbolic cost), via the per-worker predictor pool."""
+    from ..aggregate.aggregator import CostAggregator
+    from ..transform.incremental import IncrementalPredictor
+
+    program = parse_program(source)
+    digest = program_digest(program)
+    key = (digest, machine_name, backend, include_memory)
+    predictor = _predictors.get(key)
+    if predictor is None:
+        machine = get_machine(machine_name)
+        kwargs: dict[str, Any] = {}
+        if include_memory:
+            from ..memory.model import MemoryCostModel
+            kwargs["memory_model"] = MemoryCostModel(machine)
+            kwargs["include_memory"] = True
+        aggregator = CostAggregator(
+            machine, SymbolTable.from_program(program),
+            flags=_flags(backend), **kwargs,
+        )
+        predictor = IncrementalPredictor(aggregator)
+        _predictors[key] = predictor
+        while len(_predictors) > _PREDICTOR_LIMIT:
+            _predictors.popitem(last=False)
+    else:
+        _predictors.move_to_end(key)
+    return program, digest, predictor.predict(program)
+
+
+def _do_predict(request: PredictRequest) -> PredictResponse:
+    _, digest, cost = _symbolic_cost(
+        request.source, request.machine, request.backend,
+        request.include_memory,
+    )
+    bindings = parse_bindings(request.bindings)
+    cycles = str(cost.evaluate(bindings)) if bindings else None
+    return PredictResponse(
+        cost=str(cost),
+        digest=digest,
+        machine=request.machine,
+        backend=request.backend,
+        variables=tuple(sorted(cost.variables())),
+        cycles=cycles,
+    )
+
+
+def _do_compare(request: CompareRequest) -> CompareResponse:
+    from ..compare.comparator import compare
+    from ..compare.regions import region_report
+
+    _, digest_first, cost_first = _symbolic_cost(
+        request.first, request.machine, "aggressive", False)
+    _, digest_second, cost_second = _symbolic_cost(
+        request.second, request.machine, "aggressive", False)
+    result = compare(cost_first, cost_second,
+                     domain=parse_domain(request.domain) or None)
+    return CompareResponse(
+        cost_first=str(cost_first),
+        cost_second=str(cost_second),
+        verdict=result.verdict.value,
+        report=region_report(result),
+        digest_first=digest_first,
+        digest_second=digest_second,
+        machine=request.machine,
+    )
+
+
+def _do_restructure(request: RestructureRequest) -> RestructureResponse:
+    from ..aggregate.aggregator import CostAggregator
+    from ..ir.printer import print_program
+    from ..transform import (
+        Distribute,
+        Fuse,
+        IncrementalPredictor,
+        Interchange,
+        ReorderStatements,
+        StripMine,
+        Unroll,
+        UnrollAndJam,
+        astar_search,
+    )
+
+    program = parse_program(request.source)
+    digest = program_digest(program)
+    machine = get_machine(request.machine)
+    predictor = IncrementalPredictor(
+        CostAggregator(machine, SymbolTable.from_program(program))
+    )
+    workload = {
+        name: int(value)
+        for name, value in parse_bindings(request.workload).items()
+    } or None
+    result = astar_search(
+        program,
+        [Unroll(factors=(2, 4)), UnrollAndJam(factors=(2, 4)),
+         Interchange(), StripMine(tiles=(16,)),
+         Fuse(), Distribute(), ReorderStatements()],
+        predictor,
+        workload=workload,
+        max_depth=request.depth,
+        max_nodes=request.max_nodes,
+        domain=parse_domain(request.domain) or None,
+    )
+    return RestructureResponse(
+        sequence=result.sequence,
+        cost=str(result.cost),
+        program=print_program(result.program),
+        digest=digest,
+        machine=request.machine,
+        nodes_expanded=result.nodes_expanded,
+    )
+
+
+def _do_kernels(request: KernelsRequest) -> KernelsResponse:
+    from ..backend.simulator import simulate
+    from ..bench.kernels import kernel, kernel_names, kernel_stream
+    from ..cost import StraightLineEstimator
+
+    machine = get_machine(request.machine)
+    estimator = StraightLineEstimator(machine)
+    rows = []
+    for name in kernel_names():
+        info = kernel_stream(kernel(name), machine)
+        predicted = estimator.estimate(info.stream).cycles
+        iterative = [i for i in info.stream if not i.one_time]
+        reference = simulate(machine, iterative).cycles
+        error = 100.0 * (predicted - reference) / reference
+        rows.append(KernelRow(name, predicted, reference, round(error, 2)))
+    return KernelsResponse(machine=request.machine, rows=tuple(rows))
+
+
+_HANDLERS = {
+    "predict": _do_predict,
+    "compare": _do_compare,
+    "restructure": _do_restructure,
+    "kernels": _do_kernels,
+}
+
+
+def execute_request(kind: str, payload: Mapping[str, Any]) -> dict[str, Any]:
+    """Run one request end to end; never raises -- errors become envelopes.
+
+    This is the unit of work shipped to pool workers, so both the
+    argument and the return value are plain picklable dicts.
+    """
+    try:
+        request = request_from_dict(kind, payload)
+        return response_to_dict(_HANDLERS[kind](request))
+    except _CLIENT_ERRORS as error:
+        return error_envelope(error, status=400)
+    except Exception as error:  # noqa: BLE001 -- envelope, don't crash a worker
+        return error_envelope(error, status=500)
+
+
+# ----------------------------------------------------------------------
+# cache keys (computed engine-side, before any worker is involved)
+
+
+def _canonical_mapping(raw: Mapping[str, Any] | None) -> str:
+    if not raw:
+        return "-"
+    return ",".join(f"{k}={raw[k]}" for k in sorted(raw))
+
+
+def _cache_key(kind: str, request: Any) -> str:
+    """Content-addressed key: program digests + everything that matters."""
+    if kind == "predict":
+        digest = program_digest(parse_program(request.source))
+        return "|".join((
+            "predict", digest, request.machine, request.backend,
+            f"mem={int(request.include_memory)}",
+            f"at={_canonical_mapping(request.bindings)}",
+        ))
+    if kind == "compare":
+        first = program_digest(parse_program(request.first))
+        second = program_digest(parse_program(request.second))
+        return "|".join((
+            "compare", first, second, request.machine,
+            f"dom={_canonical_mapping(request.domain)}",
+        ))
+    if kind == "restructure":
+        digest = program_digest(parse_program(request.source))
+        return "|".join((
+            "restructure", digest, request.machine,
+            f"wl={_canonical_mapping(request.workload)}",
+            f"dom={_canonical_mapping(request.domain)}",
+            f"depth={request.depth}", f"nodes={request.max_nodes}",
+        ))
+    if kind == "kernels":
+        return f"kernels|{request.machine}"
+    raise ProtocolError(f"unknown request kind {kind!r}")
+
+
+_KIND_BY_TYPE = {
+    PredictRequest: "predict",
+    CompareRequest: "compare",
+    RestructureRequest: "restructure",
+    KernelsRequest: "kernels",
+}
+
+
+# ----------------------------------------------------------------------
+
+
+class PredictionEngine:
+    """Serve prediction requests with batching, caching, and workers.
+
+    ``workers <= 1`` executes inline (no pool) -- the right mode for
+    the CLI and for tests.  ``executor`` may force ``"process"``,
+    ``"thread"``, or ``"sync"``; the default ``"auto"`` picks processes
+    and falls back to threads if the pool cannot be used.
+    """
+
+    def __init__(
+        self,
+        workers: int = 0,
+        cache_size: int = 1024,
+        cache_path: str | None = None,
+        executor: str = "auto",
+        metrics: MetricsRegistry | None = None,
+    ):
+        if executor not in ("auto", "process", "thread", "sync"):
+            raise ValueError(f"unknown executor policy {executor!r}")
+        self.workers = max(0, workers)
+        self.cache = ResultCache(maxsize=cache_size, path=cache_path)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._executor_policy = executor
+        self._pool: Executor | None = None
+        self._pool_kind = "sync"
+        self._requests = self.metrics.counter(
+            "repro_engine_requests_total",
+            "Engine requests by kind and outcome.")
+        self._latency = self.metrics.histogram(
+            "repro_engine_request_seconds",
+            "Engine request latency by kind.")
+
+    # -- pool management ------------------------------------------------
+    def start_workers(self) -> None:
+        """Spawn the worker pool now instead of at the first batch.
+
+        The server calls this *before* binding its listening socket:
+        forked workers must not inherit the socket fd, or they keep
+        the port bound (and black-hole connections) if the parent
+        dies without a clean shutdown.
+        """
+        self._ensure_pool()
+
+    def _ensure_pool(self) -> None:
+        if self._pool is not None or self.workers <= 1:
+            return
+        policy = self._executor_policy
+        if policy in ("auto", "process"):
+            try:
+                self._pool = ProcessPoolExecutor(max_workers=self.workers)
+                self._pool_kind = "process"
+                return
+            except (OSError, ValueError):
+                if policy == "process":
+                    raise
+        if policy in ("auto", "thread", "process"):
+            self._pool = ThreadPoolExecutor(max_workers=self.workers)
+            self._pool_kind = "thread"
+
+    def _degrade_to_threads(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+        self._pool = ThreadPoolExecutor(max_workers=self.workers)
+        self._pool_kind = "thread"
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+            self._pool_kind = "sync"
+
+    def __enter__(self) -> "PredictionEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- wire-level API -------------------------------------------------
+    def handle(self, kind: str, payload: Mapping[str, Any]) -> dict[str, Any]:
+        """One request dict in, one response dict out (never raises)."""
+        return self.handle_batch([(kind, payload)])[0]
+
+    def handle_batch(
+        self, items: Sequence[tuple[str, Mapping[str, Any]]]
+    ) -> list[dict[str, Any]]:
+        """Serve a mixed batch; order of responses matches the input.
+
+        Cache hits are answered immediately; the misses run on the
+        worker pool concurrently (inline when ``workers <= 1``).
+        """
+        started = time.perf_counter()
+        results: list[dict[str, Any] | None] = [None] * len(items)
+        pending: list[tuple[int, str, dict[str, Any], str]] = []
+
+        for index, (kind, payload) in enumerate(items):
+            try:
+                request = request_from_dict(kind, payload)
+                key = _cache_key(kind, request)
+            except _CLIENT_ERRORS as error:
+                results[index] = error_envelope(error, status=400)
+                self._requests.inc(kind=kind, outcome="client_error")
+                continue
+            hit = self.cache.get(key)
+            if hit is not None:
+                served = dict(hit)
+                served["cached"] = True
+                results[index] = served
+                self._requests.inc(kind=kind, outcome="cache_hit")
+                continue
+            pending.append((index, kind, dict(payload), key))
+
+        if pending:
+            fresh = self._run_pending(pending)
+            for (index, kind, _, key), result in zip(pending, fresh):
+                results[index] = result
+                if "error" in result:
+                    outcome = ("client_error"
+                               if result.get("status") == 400 else "error")
+                else:
+                    self.cache.put(key, result)
+                    outcome = "computed"
+                self._requests.inc(kind=kind, outcome=outcome)
+
+        elapsed = time.perf_counter() - started
+        for kind, _ in items:
+            self._latency.observe(elapsed / max(1, len(items)), kind=kind)
+        return results  # type: ignore[return-value]
+
+    def _run_pending(
+        self, pending: Sequence[tuple[int, str, dict[str, Any], str]]
+    ) -> list[dict[str, Any]]:
+        jobs = [(kind, payload) for _, kind, payload, _ in pending]
+        if self.workers <= 1 or len(jobs) == 0:
+            return [execute_request(kind, payload) for kind, payload in jobs]
+        self._ensure_pool()
+        if self._pool is None:
+            return [execute_request(kind, payload) for kind, payload in jobs]
+        try:
+            futures = [self._pool.submit(execute_request, kind, payload)
+                       for kind, payload in jobs]
+            return [f.result() for f in futures]
+        except (BrokenProcessPool, OSError):
+            # A worker died or the pool could not run: degrade once to
+            # threads and retry the whole slice.
+            self._degrade_to_threads()
+            futures = [self._pool.submit(execute_request, kind, payload)
+                       for kind, payload in jobs]
+            return [f.result() for f in futures]
+
+    # -- typed API ------------------------------------------------------
+    def _typed(self, request: Any):
+        kind = _KIND_BY_TYPE[type(request)]
+        result = self.handle(kind, _request_to_dict(request))
+        if "error" in result:
+            raise ServiceError(result)
+        return response_from_dict(kind, result)
+
+    def predict(self, request: PredictRequest) -> PredictResponse:
+        return self._typed(request)
+
+    def compare(self, request: CompareRequest) -> CompareResponse:
+        return self._typed(request)
+
+    def restructure(self, request: RestructureRequest) -> RestructureResponse:
+        return self._typed(request)
+
+    def kernels(self, request: KernelsRequest) -> KernelsResponse:
+        return self._typed(request)
+
+    def batch(self, requests: Sequence[Any]) -> list[Any]:
+        """Typed batch: dataclass requests in, dataclass responses out.
+
+        Failed entries come back as :class:`ServiceError` instances
+        (not raised), so one bad request cannot void a whole batch.
+        """
+        kinds = [_KIND_BY_TYPE[type(r)] for r in requests]
+        raw = self.handle_batch(
+            [(kind, _request_to_dict(r)) for kind, r in zip(kinds, requests)]
+        )
+        out: list[Any] = []
+        for kind, result in zip(kinds, raw):
+            if "error" in result:
+                out.append(ServiceError(result))
+            else:
+                out.append(response_from_dict(kind, result))
+        return out
+
+    # -- observability --------------------------------------------------
+    def export_cache_metrics(self) -> None:
+        """Refresh the cache gauges (called at /metrics scrape time)."""
+        stats = self.cache.stats
+        self.metrics.gauge(
+            "repro_cache_hits_total", "Result-cache hits.").set(stats.hits)
+        self.metrics.gauge(
+            "repro_cache_misses_total", "Result-cache misses.").set(stats.misses)
+        self.metrics.gauge(
+            "repro_cache_evictions_total",
+            "Result-cache evictions.").set(stats.evictions)
+        self.metrics.gauge(
+            "repro_cache_entries", "Resident result-cache entries.").set(
+            len(self.cache))
+        self.metrics.gauge(
+            "repro_engine_workers", "Configured worker count.").set(self.workers)
+
+
+def _request_to_dict(request: Any) -> dict[str, Any]:
+    from dataclasses import asdict
+
+    out = asdict(request)
+    return {k: v for k, v in out.items() if v is not None}

@@ -1,0 +1,205 @@
+"""Process-wide service metrics in Prometheus text exposition format.
+
+Dependency-free counters, gauges, and cumulative histograms, rendered
+by ``GET /metrics`` exactly the way a Prometheus scraper expects:
+
+    # HELP repro_requests_total Requests served, by endpoint and status.
+    # TYPE repro_requests_total counter
+    repro_requests_total{endpoint="predict",status="200"} 42
+
+All mutation is lock-protected; the server handles requests on many
+threads and the engine may report from worker callbacks.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Iterable, Mapping
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricsRegistry", "DEFAULT_BUCKETS",
+]
+
+#: Latency buckets in seconds -- spans a cache hit (~10us) to a deep
+#: restructure search (seconds).
+DEFAULT_BUCKETS = (
+    0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 30.0,
+)
+
+
+def _format_value(value: float) -> str:
+    if value == int(value):
+        return str(int(value))
+    return repr(value)
+
+
+def _label_key(labels: Mapping[str, str]) -> tuple[tuple[str, str], ...]:
+    return tuple(sorted(labels.items()))
+
+
+def _render_labels(key: tuple[tuple[str, str], ...],
+                   extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = key + extra
+    if not pairs:
+        return ""
+    body = ",".join(f'{name}="{value}"' for name, value in pairs)
+    return "{" + body + "}"
+
+
+class _Metric:
+    kind = "untyped"
+
+    def __init__(self, name: str, help_text: str):
+        self.name = name
+        self.help = help_text
+        self._lock = threading.Lock()
+
+    def render(self) -> list[str]:
+        raise NotImplementedError
+
+
+class Counter(_Metric):
+    """A monotonically increasing per-labelset count."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help_text: str):
+        super().__init__(name, help_text)
+        self._values: dict[tuple[tuple[str, str], ...], float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: str) -> float:
+        with self._lock:
+            return self._values.get(_label_key(labels), 0.0)
+
+    def render(self) -> list[str]:
+        with self._lock:
+            items = sorted(self._values.items())
+        return [
+            f"{self.name}{_render_labels(key)} {_format_value(value)}"
+            for key, value in items
+        ] or [f"{self.name} 0"]
+
+
+class Gauge(_Metric):
+    """A value that can go up and down (cache size, worker count)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help_text: str):
+        super().__init__(name, help_text)
+        self._values: dict[tuple[tuple[str, str], ...], float] = {}
+
+    def set(self, value: float, **labels: str) -> None:
+        with self._lock:
+            self._values[_label_key(labels)] = float(value)
+
+    def value(self, **labels: str) -> float:
+        with self._lock:
+            return self._values.get(_label_key(labels), 0.0)
+
+    def render(self) -> list[str]:
+        with self._lock:
+            items = sorted(self._values.items())
+        return [
+            f"{self.name}{_render_labels(key)} {_format_value(value)}"
+            for key, value in items
+        ] or [f"{self.name} 0"]
+
+
+class Histogram(_Metric):
+    """Cumulative-bucket latency histogram (Prometheus semantics)."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help_text: str,
+                 buckets: Iterable[float] = DEFAULT_BUCKETS):
+        super().__init__(name, help_text)
+        self.buckets = tuple(sorted(buckets))
+        if not self.buckets:
+            raise ValueError("need at least one bucket bound")
+        empty = [0] * (len(self.buckets) + 1)  # +1 for +Inf
+        self._counts: dict[tuple[tuple[str, str], ...], list[int]] = {}
+        self._sums: dict[tuple[tuple[str, str], ...], float] = {}
+        self._empty = empty
+
+    def observe(self, value: float, **labels: str) -> None:
+        key = _label_key(labels)
+        index = bisect_left(self.buckets, value)
+        with self._lock:
+            counts = self._counts.setdefault(key, list(self._empty))
+            counts[index] += 1
+            self._sums[key] = self._sums.get(key, 0.0) + value
+
+    def count(self, **labels: str) -> int:
+        with self._lock:
+            return sum(self._counts.get(_label_key(labels), self._empty))
+
+    def render(self) -> list[str]:
+        with self._lock:
+            items = sorted(
+                (key, list(counts), self._sums.get(key, 0.0))
+                for key, counts in self._counts.items()
+            )
+        lines: list[str] = []
+        for key, counts, total in items:
+            running = 0
+            for bound, count in zip(self.buckets, counts):
+                running += count
+                labels = _render_labels(key, (("le", _format_value(bound)),))
+                lines.append(f"{self.name}_bucket{labels} {running}")
+            running += counts[-1]
+            labels = _render_labels(key, (("le", "+Inf"),))
+            lines.append(f"{self.name}_bucket{labels} {running}")
+            lines.append(f"{self.name}_sum{_render_labels(key)} {total!r}")
+            lines.append(f"{self.name}_count{_render_labels(key)} {running}")
+        return lines
+
+
+class MetricsRegistry:
+    """Create-or-get metric instruments and render them all at once."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, _Metric] = {}
+        self._lock = threading.Lock()
+
+    def _get(self, cls, name: str, help_text: str, **kwargs) -> _Metric:
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = cls(name, help_text, **kwargs)
+                self._metrics[name] = metric
+            elif not isinstance(metric, cls):
+                raise TypeError(
+                    f"metric {name!r} already registered as {metric.kind}"
+                )
+            return metric
+
+    def counter(self, name: str, help_text: str = "") -> Counter:
+        return self._get(Counter, name, help_text)  # type: ignore[return-value]
+
+    def gauge(self, name: str, help_text: str = "") -> Gauge:
+        return self._get(Gauge, name, help_text)  # type: ignore[return-value]
+
+    def histogram(self, name: str, help_text: str = "",
+                  buckets: Iterable[float] = DEFAULT_BUCKETS) -> Histogram:
+        return self._get(Histogram, name, help_text, buckets=buckets)  # type: ignore[return-value]
+
+    def render(self) -> str:
+        """The full ``/metrics`` payload."""
+        with self._lock:
+            metrics = sorted(self._metrics.values(), key=lambda m: m.name)
+        lines: list[str] = []
+        for metric in metrics:
+            if metric.help:
+                lines.append(f"# HELP {metric.name} {metric.help}")
+            lines.append(f"# TYPE {metric.name} {metric.kind}")
+            lines.extend(metric.render())
+        return "\n".join(lines) + "\n"

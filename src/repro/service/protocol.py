@@ -1,0 +1,295 @@
+"""Wire types for the prediction service.
+
+Every endpoint has a request dataclass and a response dataclass with a
+strict dict/JSON form: deserialization rejects unknown fields, missing
+required fields, and wrong types, so a malformed client call fails at
+the boundary with a :class:`ProtocolError` (surfaced as a 400 error
+envelope) rather than deep inside the engine.
+
+The same serializers back the CLI ``--json`` flags, so scripted
+callers see one schema whether they go over HTTP or the command line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import MISSING, asdict, dataclass, fields
+from fractions import Fraction
+from typing import Any, Mapping
+
+from ..symbolic.intervals import Interval
+
+__all__ = [
+    "ProtocolError",
+    "PredictRequest", "PredictResponse",
+    "CompareRequest", "CompareResponse",
+    "RestructureRequest", "RestructureResponse",
+    "KernelsRequest", "KernelRow", "KernelsResponse",
+    "ErrorResponse",
+    "request_from_dict", "response_to_dict", "error_envelope",
+    "parse_bindings", "parse_domain",
+    "REQUEST_TYPES",
+]
+
+
+class ProtocolError(ValueError):
+    """A request that violates the wire schema."""
+
+
+# ----------------------------------------------------------------------
+# strict construction helpers
+
+_JSON_SCALARS = (str, int, float, bool)
+
+
+def _strict_build(cls, data: Mapping[str, Any]):
+    """Build a request dataclass from a dict, rejecting schema drift."""
+    if not isinstance(data, Mapping):
+        raise ProtocolError(f"{cls.__name__}: body must be a JSON object")
+    known = {f.name for f in fields(cls)}
+    unknown = set(data) - known
+    if unknown:
+        raise ProtocolError(
+            f"{cls.__name__}: unknown field(s) {sorted(unknown)}"
+        )
+    kwargs: dict[str, Any] = {}
+    for f in fields(cls):
+        if f.name in data:
+            kwargs[f.name] = data[f.name]
+        elif f.default is MISSING and f.default_factory is MISSING:  # type: ignore[misc]
+            raise ProtocolError(f"{cls.__name__}: missing field {f.name!r}")
+    obj = cls(**kwargs)
+    obj.validate()
+    return obj
+
+
+def _require(cond: bool, message: str) -> None:
+    if not cond:
+        raise ProtocolError(message)
+
+
+def _check_str(name: str, value: Any, *, allow_none: bool = False) -> None:
+    if allow_none and value is None:
+        return
+    _require(isinstance(value, str) and value != "",
+             f"{name} must be a non-empty string")
+
+
+def _check_mapping(name: str, value: Any, *, allow_none: bool = True) -> None:
+    if allow_none and value is None:
+        return
+    _require(isinstance(value, Mapping), f"{name} must be a JSON object")
+    for key in value:
+        _require(isinstance(key, str), f"{name} keys must be strings")
+
+
+def parse_bindings(raw: Mapping[str, Any] | None) -> dict[str, Fraction]:
+    """``{"n": 100, "m": "1/2"}`` -> exact Fraction bindings."""
+    out: dict[str, Fraction] = {}
+    for name, value in (raw or {}).items():
+        try:
+            out[name] = Fraction(str(value))
+        except (ValueError, ZeroDivisionError) as error:
+            raise ProtocolError(f"bad binding {name}={value!r}: {error}")
+    return out
+
+
+def parse_domain(raw: Mapping[str, Any] | None) -> dict[str, Interval]:
+    """``{"n": [1, 1000]}`` -> per-variable interval bounds."""
+    out: dict[str, Interval] = {}
+    for name, span in (raw or {}).items():
+        if not (isinstance(span, (list, tuple)) and len(span) == 2):
+            raise ProtocolError(
+                f"domain for {name!r} must be a [lo, hi] pair"
+            )
+        try:
+            out[name] = Interval(Fraction(str(span[0])), Fraction(str(span[1])))
+        except (ValueError, ZeroDivisionError) as error:
+            raise ProtocolError(f"bad domain for {name!r}: {error}")
+    return out
+
+
+# ----------------------------------------------------------------------
+# requests
+
+
+@dataclass(frozen=True)
+class PredictRequest:
+    """Symbolic cost of one mini-Fortran program."""
+
+    source: str
+    machine: str = "power"
+    backend: str = "aggressive"
+    include_memory: bool = False
+    bindings: Mapping[str, Any] | None = None
+
+    def validate(self) -> None:
+        _check_str("source", self.source)
+        _check_str("machine", self.machine)
+        _require(self.backend in ("aggressive", "naive"),
+                 "backend must be 'aggressive' or 'naive'")
+        _require(isinstance(self.include_memory, bool),
+                 "include_memory must be a boolean")
+        _check_mapping("bindings", self.bindings)
+        parse_bindings(self.bindings)
+
+
+@dataclass(frozen=True)
+class CompareRequest:
+    """Symbolic comparison of two programs on one machine."""
+
+    first: str
+    second: str
+    machine: str = "power"
+    domain: Mapping[str, Any] | None = None
+
+    def validate(self) -> None:
+        _check_str("first", self.first)
+        _check_str("second", self.second)
+        _check_str("machine", self.machine)
+        _check_mapping("domain", self.domain)
+        parse_domain(self.domain)
+
+
+@dataclass(frozen=True)
+class RestructureRequest:
+    """Performance-guided A* restructuring of one program."""
+
+    source: str
+    machine: str = "power"
+    workload: Mapping[str, Any] | None = None
+    domain: Mapping[str, Any] | None = None
+    depth: int = 2
+    max_nodes: int = 200
+
+    def validate(self) -> None:
+        _check_str("source", self.source)
+        _check_str("machine", self.machine)
+        _check_mapping("workload", self.workload)
+        _check_mapping("domain", self.domain)
+        parse_bindings(self.workload)
+        parse_domain(self.domain)
+        _require(isinstance(self.depth, int) and 1 <= self.depth <= 8,
+                 "depth must be an integer in 1..8")
+        _require(isinstance(self.max_nodes, int) and 1 <= self.max_nodes <= 10000,
+                 "max_nodes must be an integer in 1..10000")
+
+
+@dataclass(frozen=True)
+class KernelsRequest:
+    """The Figure 7 table (predicted vs reference) for one machine."""
+
+    machine: str = "power"
+
+    def validate(self) -> None:
+        _check_str("machine", self.machine)
+
+
+REQUEST_TYPES: dict[str, type] = {
+    "predict": PredictRequest,
+    "compare": CompareRequest,
+    "restructure": RestructureRequest,
+    "kernels": KernelsRequest,
+}
+
+
+def request_from_dict(kind: str, data: Mapping[str, Any]):
+    """Strictly deserialize a request body for endpoint ``kind``."""
+    try:
+        cls = REQUEST_TYPES[kind]
+    except KeyError:
+        raise ProtocolError(f"unknown request kind {kind!r}") from None
+    return _strict_build(cls, data)
+
+
+# ----------------------------------------------------------------------
+# responses
+
+
+@dataclass(frozen=True)
+class PredictResponse:
+    cost: str                      # symbolic cycles, e.g. "3*n + 8"
+    digest: str                    # canonical content hash of the program
+    machine: str
+    backend: str
+    variables: tuple[str, ...] = ()
+    cycles: str | None = None      # exact value when bindings were given
+    cached: bool = False
+
+
+@dataclass(frozen=True)
+class CompareResponse:
+    cost_first: str
+    cost_second: str
+    verdict: str
+    report: str
+    digest_first: str
+    digest_second: str
+    machine: str
+    cached: bool = False
+
+
+@dataclass(frozen=True)
+class RestructureResponse:
+    sequence: str
+    cost: str
+    program: str
+    digest: str                    # digest of the *input* program
+    machine: str
+    nodes_expanded: int = 0
+    cached: bool = False
+
+
+@dataclass(frozen=True)
+class KernelRow:
+    kernel: str
+    predicted: int
+    reference: int
+    error_pct: float
+
+
+@dataclass(frozen=True)
+class KernelsResponse:
+    machine: str
+    rows: tuple[KernelRow, ...] = ()
+    cached: bool = False
+
+
+@dataclass(frozen=True)
+class ErrorResponse:
+    error: str                     # exception class name
+    message: str
+    status: int = 400
+
+
+RESPONSE_TYPES: dict[str, type] = {
+    "predict": PredictResponse,
+    "compare": CompareResponse,
+    "restructure": RestructureResponse,
+    "kernels": KernelsResponse,
+}
+
+
+def response_to_dict(response) -> dict[str, Any]:
+    """Dataclass response -> plain JSON-ready dict."""
+    out = asdict(response)
+    if isinstance(response, KernelsResponse):
+        out["rows"] = [asdict(r) for r in response.rows]
+    return out
+
+
+def response_from_dict(kind: str, data: Mapping[str, Any]):
+    """Rebuild a response dataclass from its dict form (cache replay)."""
+    cls = RESPONSE_TYPES[kind]
+    payload = dict(data)
+    if cls is KernelsResponse:
+        payload["rows"] = tuple(KernelRow(**r) for r in payload.get("rows", ()))
+    if "variables" in payload and payload["variables"] is not None:
+        payload["variables"] = tuple(payload["variables"])
+    return cls(**payload)
+
+
+def error_envelope(error: BaseException, status: int = 400) -> dict[str, Any]:
+    """The uniform error shape every endpoint returns on failure."""
+    return response_to_dict(
+        ErrorResponse(type(error).__name__, str(error), status)
+    )

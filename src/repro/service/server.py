@@ -1,0 +1,221 @@
+"""Dependency-free HTTP/JSON front end for the prediction engine.
+
+Built on :mod:`http.server` with ``ThreadingMixIn`` so each connection
+gets a thread while the engine's own pool handles CPU-bound work.
+
+Routes
+------
+``POST /predict``      one :class:`PredictRequest` object, or a JSON
+                       array of them (a batch -> array of responses)
+``POST /compare``      symbolic comparison of two programs
+``POST /restructure``  A*-guided restructuring
+``GET  /kernels``      the Figure 7 table (``?machine=power``)
+``GET  /healthz``      liveness probe
+``GET  /metrics``      Prometheus text format
+
+Error responses use the protocol's uniform envelope:
+``{"error": "...", "message": "...", "status": 400}``.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import signal
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, HTTPServer
+from socketserver import ThreadingMixIn
+from typing import Any
+from urllib.parse import parse_qs, urlparse
+
+from .engine import PredictionEngine
+from .protocol import error_envelope
+
+__all__ = ["PredictionServer", "make_server", "run_server"]
+
+log = logging.getLogger("repro.service")
+
+_MAX_BODY_BYTES = 4 * 1024 * 1024
+_MAX_BATCH = 256
+
+_POST_ROUTES = {"/predict": "predict", "/compare": "compare",
+                "/restructure": "restructure"}
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: "PredictionServer"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing -------------------------------------------------------
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        log.debug("%s -- %s", self.address_string(), format % args)
+
+    def _send_json(self, payload: Any, status: int = 200) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self._send_bytes(body, status, "application/json")
+
+    def _send_bytes(self, body: bytes, status: int, content_type: str) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _observe(self, endpoint: str, status: int, started: float) -> None:
+        metrics = self.server.engine.metrics
+        metrics.counter(
+            "repro_http_requests_total",
+            "HTTP requests by endpoint and status.",
+        ).inc(endpoint=endpoint, status=str(status))
+        metrics.histogram(
+            "repro_http_request_seconds",
+            "HTTP request latency by endpoint.",
+        ).observe(time.perf_counter() - started, endpoint=endpoint)
+
+    def _read_body(self) -> Any:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise ValueError("empty request body")
+        if length > _MAX_BODY_BYTES:
+            raise ValueError(f"request body over {_MAX_BODY_BYTES} bytes")
+        raw = self.rfile.read(length)
+        return json.loads(raw.decode("utf-8"))
+
+    # -- routes ---------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 -- http.server API
+        started = time.perf_counter()
+        url = urlparse(self.path)
+        if url.path == "/healthz":
+            self._send_json({"status": "ok"})
+            self._observe("healthz", 200, started)
+            return
+        if url.path == "/metrics":
+            engine = self.server.engine
+            engine.export_cache_metrics()
+            text = engine.metrics.render()
+            self._send_bytes(text.encode("utf-8"), 200,
+                             "text/plain; version=0.0.4")
+            self._observe("metrics", 200, started)
+            return
+        if url.path == "/kernels":
+            params = parse_qs(url.query)
+            machine = params.get("machine", ["power"])[0]
+            result = self.server.engine.handle("kernels", {"machine": machine})
+            status = result.get("status", 200) if "error" in result else 200
+            self._send_json(result, status)
+            self._observe("kernels", status, started)
+            return
+        self._send_json(
+            {"error": "NotFound", "message": f"no route {url.path}",
+             "status": 404},
+            404,
+        )
+        self._observe("unknown", 404, started)
+
+    def do_POST(self) -> None:  # noqa: N802 -- http.server API
+        started = time.perf_counter()
+        url = urlparse(self.path)
+        kind = _POST_ROUTES.get(url.path)
+        if kind is None:
+            self._send_json(
+                {"error": "NotFound", "message": f"no route {url.path}",
+                 "status": 404},
+                404,
+            )
+            self._observe("unknown", 404, started)
+            return
+        try:
+            body = self._read_body()
+        except (ValueError, json.JSONDecodeError) as error:
+            self._send_json(error_envelope(error, status=400), 400)
+            self._observe(kind, 400, started)
+            return
+
+        engine = self.server.engine
+        if isinstance(body, list):
+            if len(body) > _MAX_BATCH:
+                envelope = error_envelope(
+                    ValueError(f"batch over {_MAX_BATCH} requests"), 400)
+                self._send_json(envelope, 400)
+                self._observe(kind, 400, started)
+                return
+            results = engine.handle_batch([(kind, item) for item in body])
+            self._send_json(results, 200)
+            self._observe(kind, 200, started)
+            return
+
+        result = engine.handle(kind, body)
+        status = result.get("status", 200) if "error" in result else 200
+        self._send_json(result, status)
+        self._observe(kind, status, started)
+
+
+class PredictionServer(ThreadingMixIn, HTTPServer):
+    """A threaded HTTP server bound to one :class:`PredictionEngine`."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address: tuple[str, int], engine: PredictionEngine):
+        super().__init__(address, _Handler)
+        self.engine = engine
+        self._thread: threading.Thread | None = None
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+    def start_background(self) -> "PredictionServer":
+        """Serve on a daemon thread (used by tests and the smoke job)."""
+        self._thread = threading.Thread(
+            target=self.serve_forever, name="repro-service", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self.shutdown()
+        self.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+        self.engine.close()
+
+
+def make_server(
+    engine: PredictionEngine,
+    host: str = "127.0.0.1",
+    port: int = 0,
+) -> PredictionServer:
+    """Bind (``port=0`` picks an ephemeral port) without serving yet."""
+    return PredictionServer((host, port), engine)
+
+
+def run_server(
+    engine: PredictionEngine,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+) -> None:
+    """Blocking serve loop with clean Ctrl-C/SIGTERM shutdown (the CLI path)."""
+    # Fork workers before binding so they never inherit the listening
+    # socket; otherwise an unclean parent death leaves orphans holding
+    # the port open and silently swallowing connections.
+    engine.start_workers()
+    server = make_server(engine, host, port)
+
+    def _terminate(signum, frame):
+        raise SystemExit(128 + signum)
+
+    try:
+        signal.signal(signal.SIGTERM, _terminate)
+    except ValueError:
+        pass  # not the main thread; Ctrl-C handling still applies
+    log.info("serving on %s:%d", host, server.port)
+    print(f"repro service listening on http://{host}:{server.port}")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        engine.close()

@@ -1,0 +1,82 @@
+"""Canonical content hashing of programs."""
+
+from repro.ir import parse_program, program_digest, source_digest
+
+BASE = """
+program saxpy
+  integer n, i
+  real x(n), y(n), alpha
+  do i = 1, n
+    y(i) = y(i) + alpha * x(i)
+  end do
+end
+"""
+
+# The same program with noisy formatting and split declarations.
+REFORMATTED = """
+program saxpy
+  integer n
+  integer i
+  real x(n)
+  real y(n)
+  real alpha
+
+  do i = 1, n
+      y(i)   = y(i) + alpha*x(i)
+  end do
+end
+"""
+
+RENAMED_INDEX = """
+program saxpy
+  integer n, j
+  real x(n), y(n), alpha
+  do j = 1, n
+    y(j) = y(j) + alpha * x(j)
+  end do
+end
+"""
+
+EXTRA_STATEMENT = """
+program saxpy
+  integer n, i
+  real x(n), y(n), alpha
+  do i = 1, n
+    y(i) = y(i) + alpha * x(i)
+    x(i) = y(i)
+  end do
+end
+"""
+
+
+def test_digest_is_stable():
+    program = parse_program(BASE)
+    assert program_digest(program) == program_digest(program)
+    assert program_digest(program) == program_digest(parse_program(BASE))
+
+
+def test_digest_shape():
+    digest = program_digest(parse_program(BASE))
+    assert len(digest) == 64
+    assert all(c in "0123456789abcdef" for c in digest)
+
+
+def test_structurally_equal_programs_collide():
+    assert (program_digest(parse_program(BASE))
+            == program_digest(parse_program(REFORMATTED)))
+
+
+def test_variants_do_not_collide():
+    base = program_digest(parse_program(BASE))
+    assert base != program_digest(parse_program(RENAMED_INDEX))
+    assert base != program_digest(parse_program(EXTRA_STATEMENT))
+
+
+def test_different_name_different_digest():
+    renamed = BASE.replace("program saxpy", "program daxpy")
+    assert (program_digest(parse_program(BASE))
+            != program_digest(parse_program(renamed)))
+
+
+def test_source_digest_is_raw():
+    assert source_digest("a") != source_digest("a ")

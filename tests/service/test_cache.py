@@ -1,0 +1,87 @@
+"""LRU behaviour, stats, and JSON-lines persistence of ResultCache."""
+
+import json
+
+from repro.service.cache import ResultCache
+
+
+def test_hit_miss_accounting():
+    cache = ResultCache(maxsize=4)
+    assert cache.get("a") is None
+    cache.put("a", {"v": 1})
+    assert cache.get("a") == {"v": 1}
+    assert cache.stats.hits == 1
+    assert cache.stats.misses == 1
+    assert cache.stats.hit_rate == 0.5
+
+
+def test_lru_eviction_order():
+    cache = ResultCache(maxsize=2)
+    cache.put("a", {"v": 1})
+    cache.put("b", {"v": 2})
+    cache.get("a")                  # refresh "a": "b" is now LRU
+    cache.put("c", {"v": 3})
+    assert "a" in cache and "c" in cache
+    assert "b" not in cache
+    assert cache.stats.evictions == 1
+
+
+def test_overwrite_does_not_evict():
+    cache = ResultCache(maxsize=2)
+    cache.put("a", {"v": 1})
+    cache.put("b", {"v": 2})
+    cache.put("a", {"v": 10})
+    assert len(cache) == 2
+    assert cache.stats.evictions == 0
+    assert cache.get("a") == {"v": 10}
+
+
+def test_persistence_roundtrip(tmp_path):
+    path = tmp_path / "cache.jsonl"
+    cache = ResultCache(maxsize=8, path=path)
+    cache.put("k1", {"cost": "3*n + 8"})
+    cache.put("k2", {"cost": "5*n"})
+    cache.put("k1", {"cost": "updated"})
+
+    warmed = ResultCache(maxsize=8, path=path)
+    assert len(warmed) == 2
+    assert warmed.get("k1") == {"cost": "updated"}  # later line wins
+    assert warmed.get("k2") == {"cost": "5*n"}
+
+
+def test_load_respects_maxsize(tmp_path):
+    path = tmp_path / "cache.jsonl"
+    cache = ResultCache(maxsize=16, path=path)
+    for i in range(10):
+        cache.put(f"k{i}", {"v": i})
+
+    small = ResultCache(maxsize=3, path=path)
+    assert len(small) == 3
+    # The newest entries survive the trim.
+    assert "k9" in small and "k7" in small
+    assert "k0" not in small
+
+
+def test_load_skips_corrupt_lines(tmp_path):
+    path = tmp_path / "cache.jsonl"
+    path.write_text(
+        json.dumps({"key": "good", "value": {"v": 1}}) + "\n"
+        + "{torn-write\n"
+        + json.dumps({"no_key": True}) + "\n"
+    )
+    cache = ResultCache(maxsize=4, path=path)
+    assert len(cache) == 1
+    assert cache.get("good") == {"v": 1}
+
+
+def test_compact_rewrites_file(tmp_path):
+    path = tmp_path / "cache.jsonl"
+    cache = ResultCache(maxsize=2, path=path)
+    for i in range(6):
+        cache.put(f"k{i}", {"v": i})
+    assert len(path.read_text().splitlines()) == 6
+    cache.compact()
+    lines = path.read_text().splitlines()
+    assert len(lines) == 2
+    warmed = ResultCache(maxsize=2, path=path)
+    assert "k5" in warmed and "k4" in warmed

@@ -1,0 +1,173 @@
+"""Engine behaviour: caching, batching, errors, worker pools."""
+
+import pytest
+
+from repro.service import (
+    CompareRequest,
+    KernelsRequest,
+    PredictRequest,
+    PredictionEngine,
+    RestructureRequest,
+    ServiceError,
+)
+
+SAXPY = """
+program saxpy
+  integer n, i
+  real x(n), y(n), alpha
+  do i = 1, n
+    y(i) = y(i) + alpha * x(i)
+  end do
+end
+"""
+
+# Same program, different formatting: must share a cache entry.
+SAXPY_REFORMATTED = """
+program saxpy
+  integer n
+  integer i
+  real x(n)
+  real y(n)
+  real alpha
+  do i = 1, n
+    y(i) = y(i) + alpha * x(i)
+  end do
+end
+"""
+
+DAXPY_VARIANT = """
+program saxpy
+  integer n, i
+  real x(n), y(n), alpha
+  do i = 1, n
+    y(i) = y(i) + alpha * x(i) + 1.0
+  end do
+end
+"""
+
+
+@pytest.fixture
+def engine():
+    with PredictionEngine(workers=0, cache_size=32) as eng:
+        yield eng
+
+
+def test_predict_symbolic_and_point(engine):
+    response = engine.predict(
+        PredictRequest(source=SAXPY, bindings={"n": 100}))
+    assert response.cost == "3*n + 8"
+    assert response.cycles == "308"
+    assert response.variables == ("n",)
+    assert not response.cached
+
+
+def test_cache_hit_on_identical_request(engine):
+    first = engine.predict(PredictRequest(source=SAXPY))
+    second = engine.predict(PredictRequest(source=SAXPY))
+    assert not first.cached and second.cached
+    assert second.cost == first.cost
+    assert engine.cache.stats.hits == 1
+
+
+def test_cache_is_content_addressed(engine):
+    first = engine.predict(PredictRequest(source=SAXPY))
+    reformatted = engine.predict(PredictRequest(source=SAXPY_REFORMATTED))
+    assert reformatted.cached                 # structural equality collides
+    assert reformatted.digest == first.digest
+    variant = engine.predict(PredictRequest(source=DAXPY_VARIANT))
+    assert not variant.cached                 # real change misses
+    assert variant.digest != first.digest
+
+
+def test_cache_key_covers_inputs(engine):
+    engine.predict(PredictRequest(source=SAXPY))
+    different_machine = engine.predict(
+        PredictRequest(source=SAXPY, machine="scalar"))
+    different_backend = engine.predict(
+        PredictRequest(source=SAXPY, backend="naive"))
+    different_point = engine.predict(
+        PredictRequest(source=SAXPY, bindings={"n": 7}))
+    assert not different_machine.cached
+    assert not different_backend.cached
+    assert not different_point.cached
+
+
+def test_batch_preserves_order_and_isolates_errors(engine):
+    responses = engine.batch([
+        PredictRequest(source=SAXPY),
+        PredictRequest(source="this is not fortran ("),
+        KernelsRequest(machine="power"),
+    ])
+    assert responses[0].cost == "3*n + 8"
+    assert isinstance(responses[1], ServiceError)
+    assert responses[1].envelope["status"] == 400
+    assert len(responses[2].rows) >= 10
+
+
+def test_compare_and_restructure(engine):
+    comparison = engine.compare(
+        CompareRequest(first=SAXPY, second=DAXPY_VARIANT,
+                       domain={"n": [1, 1000]}))
+    assert comparison.verdict in ("first_always", "second_always",
+                                  "depends", "equal", "unknown")
+    assert "verdict:" in comparison.report
+
+    restructured = engine.restructure(
+        RestructureRequest(source=SAXPY, workload={"n": 512}, depth=1,
+                           max_nodes=50))
+    assert restructured.sequence  # "(original)" or a transform chain
+    assert restructured.cost
+
+
+def test_handle_wire_errors(engine):
+    missing = engine.handle("predict", {})
+    assert missing["error"] == "ProtocolError" and missing["status"] == 400
+    unknown_machine = engine.handle(
+        "predict", {"source": SAXPY, "machine": "cray"})
+    assert unknown_machine["status"] == 400
+    bad_kind = engine.handle("frobnicate", {})
+    assert bad_kind["status"] == 400
+
+
+def test_errors_are_not_cached(engine):
+    for _ in range(2):
+        result = engine.handle("predict", {"source": SAXPY, "machine": "cray"})
+        assert "error" in result
+    assert len(engine.cache) == 0
+
+
+def test_persistent_cache_warm_start(tmp_path):
+    path = str(tmp_path / "service.jsonl")
+    with PredictionEngine(workers=0, cache_size=32, cache_path=path) as eng:
+        assert not eng.predict(PredictRequest(source=SAXPY)).cached
+    with PredictionEngine(workers=0, cache_size=32, cache_path=path) as eng:
+        warmed = eng.predict(PredictRequest(source=SAXPY))
+        assert warmed.cached
+        assert warmed.cost == "3*n + 8"
+
+
+def test_metrics_counters(engine):
+    engine.predict(PredictRequest(source=SAXPY))
+    engine.predict(PredictRequest(source=SAXPY))
+    requests = engine.metrics.counter("repro_engine_requests_total")
+    assert requests.value(kind="predict", outcome="computed") == 1
+    assert requests.value(kind="predict", outcome="cache_hit") == 1
+    engine.export_cache_metrics()
+    assert engine.metrics.gauge("repro_cache_hits_total").value() == 1
+
+
+@pytest.mark.parametrize("executor", ["process", "thread"])
+def test_worker_pool_batch(executor):
+    with PredictionEngine(workers=2, cache_size=32,
+                          executor=executor) as eng:
+        responses = eng.batch([
+            PredictRequest(source=SAXPY),
+            PredictRequest(source=DAXPY_VARIANT),
+            PredictRequest(source=SAXPY, bindings={"n": 10}),
+        ])
+        assert [isinstance(r, ServiceError) for r in responses] == [False] * 3
+        assert responses[0].cost == "3*n + 8"
+        assert responses[2].cycles == "38"
+        # Second round is served entirely from the in-process cache.
+        again = eng.batch([PredictRequest(source=SAXPY)])
+        assert again[0].cached

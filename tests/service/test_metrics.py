@@ -1,0 +1,59 @@
+"""Prometheus text rendering of counters, gauges, and histograms."""
+
+import pytest
+
+from repro.service.metrics import Counter, Histogram, MetricsRegistry
+
+
+def test_counter_labels_and_render():
+    registry = MetricsRegistry()
+    counter = registry.counter("reqs_total", "Requests.")
+    counter.inc(endpoint="predict", status="200")
+    counter.inc(2, endpoint="predict", status="200")
+    counter.inc(endpoint="compare", status="400")
+    assert counter.value(endpoint="predict", status="200") == 3
+    text = registry.render()
+    assert "# TYPE reqs_total counter" in text
+    assert 'reqs_total{endpoint="predict",status="200"} 3' in text
+    assert 'reqs_total{endpoint="compare",status="400"} 1' in text
+
+
+def test_counter_rejects_negative():
+    with pytest.raises(ValueError):
+        Counter("c", "").inc(-1)
+
+
+def test_gauge_set_and_overwrite():
+    registry = MetricsRegistry()
+    gauge = registry.gauge("cache_entries", "Entries.")
+    gauge.set(5)
+    gauge.set(3)
+    assert gauge.value() == 3
+    assert "cache_entries 3" in registry.render()
+
+
+def test_histogram_cumulative_buckets():
+    histogram = Histogram("lat", "Latency.", buckets=(0.01, 0.1, 1.0))
+    for value in (0.005, 0.05, 0.05, 0.5, 5.0):
+        histogram.observe(value, endpoint="predict")
+    lines = histogram.render()
+    assert 'lat_bucket{endpoint="predict",le="0.01"} 1' in lines
+    assert 'lat_bucket{endpoint="predict",le="0.1"} 3' in lines
+    assert 'lat_bucket{endpoint="predict",le="1"} 4' in lines
+    assert 'lat_bucket{endpoint="predict",le="+Inf"} 5' in lines
+    assert histogram.count(endpoint="predict") == 5
+
+
+def test_histogram_boundary_lands_in_bucket():
+    histogram = Histogram("lat", "", buckets=(0.1, 1.0))
+    histogram.observe(0.1)
+    assert 'lat_bucket{le="0.1"} 1' in histogram.render()
+
+
+def test_registry_same_name_same_instrument():
+    registry = MetricsRegistry()
+    a = registry.counter("x_total", "")
+    b = registry.counter("x_total", "")
+    assert a is b
+    with pytest.raises(TypeError):
+        registry.gauge("x_total", "")

@@ -1,0 +1,117 @@
+"""Strict wire-schema behaviour of the service protocol."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.service.protocol import (
+    CompareRequest,
+    KernelRow,
+    KernelsResponse,
+    PredictRequest,
+    PredictResponse,
+    ProtocolError,
+    RestructureRequest,
+    error_envelope,
+    parse_bindings,
+    parse_domain,
+    request_from_dict,
+    response_from_dict,
+    response_to_dict,
+)
+
+SAXPY = "program p\n  integer n, i\n  real x(n)\n  do i = 1, n\n    x(i) = x(i) + 1.0\n  end do\nend\n"
+
+
+def test_predict_request_roundtrip():
+    request = request_from_dict("predict", {
+        "source": SAXPY, "machine": "power", "bindings": {"n": 100},
+    })
+    assert isinstance(request, PredictRequest)
+    assert request.backend == "aggressive"
+    assert parse_bindings(request.bindings) == {"n": Fraction(100)}
+
+
+def test_unknown_field_rejected():
+    with pytest.raises(ProtocolError, match="unknown field"):
+        request_from_dict("predict", {"source": SAXPY, "sauce": 1})
+
+
+def test_missing_required_field_rejected():
+    with pytest.raises(ProtocolError, match="missing field"):
+        request_from_dict("predict", {"machine": "power"})
+
+
+def test_non_object_body_rejected():
+    with pytest.raises(ProtocolError, match="JSON object"):
+        request_from_dict("predict", ["not", "an", "object"])
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ProtocolError, match="unknown request kind"):
+        request_from_dict("frobnicate", {})
+
+
+def test_bad_backend_rejected():
+    with pytest.raises(ProtocolError, match="backend"):
+        request_from_dict("predict", {"source": SAXPY, "backend": "gcc"})
+
+
+def test_bad_bindings_rejected():
+    with pytest.raises(ProtocolError, match="bad binding"):
+        request_from_dict("predict",
+                          {"source": SAXPY, "bindings": {"n": "not-a-number"}})
+
+
+def test_compare_domain_parsing():
+    request = request_from_dict("compare", {
+        "first": SAXPY, "second": SAXPY, "domain": {"n": [1, 1000]},
+    })
+    assert isinstance(request, CompareRequest)
+    domain = parse_domain(request.domain)
+    assert domain["n"].lo == 1 and domain["n"].hi == 1000
+
+
+def test_bad_domain_rejected():
+    with pytest.raises(ProtocolError, match="lo, hi"):
+        request_from_dict("compare",
+                          {"first": SAXPY, "second": SAXPY,
+                           "domain": {"n": "1:1000"}})
+
+
+def test_restructure_bounds_checked():
+    with pytest.raises(ProtocolError, match="depth"):
+        request_from_dict("restructure", {"source": SAXPY, "depth": 99})
+    with pytest.raises(ProtocolError, match="max_nodes"):
+        request_from_dict("restructure", {"source": SAXPY, "max_nodes": 0})
+    request = request_from_dict("restructure", {"source": SAXPY})
+    assert isinstance(request, RestructureRequest)
+    assert request.depth == 2
+
+
+def test_response_dict_roundtrip():
+    response = PredictResponse(
+        cost="3*n + 8", digest="d" * 64, machine="power",
+        backend="aggressive", variables=("n",), cycles="308",
+    )
+    data = response_to_dict(response)
+    assert data["cost"] == "3*n + 8" and data["cached"] is False
+    rebuilt = response_from_dict("predict", data)
+    assert rebuilt == response
+
+
+def test_kernels_response_roundtrip():
+    response = KernelsResponse(
+        machine="power",
+        rows=(KernelRow("f1", 11, 9, 22.22),),
+    )
+    data = response_to_dict(response)
+    assert data["rows"][0]["kernel"] == "f1"
+    rebuilt = response_from_dict("kernels", data)
+    assert rebuilt.rows[0].predicted == 11
+
+
+def test_error_envelope_shape():
+    envelope = error_envelope(ValueError("boom"), status=400)
+    assert envelope == {"error": "ValueError", "message": "boom",
+                        "status": 400}

@@ -1,0 +1,137 @@
+"""End-to-end HTTP tests: ephemeral port, JSON bodies, /metrics."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.service import PredictionEngine, make_server
+
+SAXPY = """
+program saxpy
+  integer n, i
+  real x(n), y(n), alpha
+  do i = 1, n
+    y(i) = y(i) + alpha * x(i)
+  end do
+end
+"""
+
+
+@pytest.fixture
+def server():
+    engine = PredictionEngine(workers=0, cache_size=32)
+    instance = make_server(engine, host="127.0.0.1", port=0)
+    instance.start_background()
+    yield instance
+    instance.stop()
+
+
+def _post(server, path, payload):
+    body = json.dumps(payload).encode("utf-8")
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{server.port}{path}",
+        data=body,
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=10) as response:
+        return response.status, json.loads(response.read())
+
+
+def _get(server, path):
+    with urllib.request.urlopen(
+        f"http://127.0.0.1:{server.port}{path}", timeout=10
+    ) as response:
+        return response.status, response.read().decode("utf-8")
+
+
+def test_healthz(server):
+    status, body = _get(server, "/healthz")
+    assert status == 200
+    assert json.loads(body) == {"status": "ok"}
+
+
+def test_predict_endpoint_and_cache_hit_via_metrics(server):
+    # The ISSUE acceptance path: saxpy in, 3*n + 8 out as JSON ...
+    status, body = _post(server, "/predict",
+                         {"source": SAXPY, "bindings": {"n": 100}})
+    assert status == 200
+    assert body["cost"] == "3*n + 8"
+    assert body["cycles"] == "308"
+    assert body["cached"] is False
+
+    # ... and an identical second POST is served from the cache,
+    # verified through the /metrics hit counter.
+    status, body = _post(server, "/predict",
+                         {"source": SAXPY, "bindings": {"n": 100}})
+    assert status == 200
+    assert body["cached"] is True
+
+    status, text = _get(server, "/metrics")
+    assert status == 200
+    metrics = {
+        line.split(" ")[0]: line.rsplit(" ", 1)[1]
+        for line in text.splitlines()
+        if line and not line.startswith("#")
+    }
+    assert float(metrics["repro_cache_hits_total"]) == 1
+    assert float(metrics["repro_cache_misses_total"]) >= 1
+
+
+def test_batch_predict(server):
+    status, body = _post(server, "/predict", [
+        {"source": SAXPY},
+        {"source": SAXPY, "machine": "scalar"},
+    ])
+    assert status == 200
+    assert isinstance(body, list) and len(body) == 2
+    assert body[0]["machine"] == "power"
+    assert body[1]["machine"] == "scalar"
+
+
+def test_compare_endpoint(server):
+    status, body = _post(server, "/compare",
+                         {"first": SAXPY, "second": SAXPY})
+    assert status == 200
+    assert body["verdict"] == "equal"
+
+
+def test_kernels_endpoint(server):
+    status, body = _get(server, "/kernels?machine=power")
+    assert status == 200
+    rows = json.loads(body)["rows"]
+    names = {row["kernel"] for row in rows}
+    assert {"matmul", "jacobi", "rb"} <= names
+
+
+def test_malformed_json_is_400(server):
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{server.port}/predict",
+        data=b"{not json",
+        headers={"Content-Type": "application/json"},
+    )
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        urllib.request.urlopen(request, timeout=10)
+    assert excinfo.value.code == 400
+    envelope = json.loads(excinfo.value.read())
+    assert envelope["status"] == 400
+
+
+def test_schema_violation_is_400(server):
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{server.port}/predict",
+        data=json.dumps({"source": SAXPY, "bogus": 1}).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        urllib.request.urlopen(request, timeout=10)
+    assert excinfo.value.code == 400
+    assert json.loads(excinfo.value.read())["error"] == "ProtocolError"
+
+
+def test_unknown_route_is_404(server):
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        urllib.request.urlopen(
+            f"http://127.0.0.1:{server.port}/nope", timeout=10)
+    assert excinfo.value.code == 404

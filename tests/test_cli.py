@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import _parse_bindings, _parse_domain, main
@@ -106,6 +108,54 @@ def test_machines_command(capsys):
     assert main(["machines"]) == 0
     out = capsys.readouterr().out
     assert "power" in out and "scalar" in out and "wide" in out
+
+
+def test_predict_json(saxpy_file, capsys):
+    assert main(["predict", saxpy_file, "--at", "n=100", "--json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["cost"] == "3*n + 8"
+    assert data["cycles"] == "308"
+    assert len(data["digest"]) == 64
+
+
+def test_predict_json_without_bindings(saxpy_file, capsys):
+    assert main(["predict", saxpy_file, "--json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["cycles"] is None
+    assert data["variables"] == ["n"]
+
+
+def test_compare_json(saxpy_file, unrolled_file, capsys):
+    assert main(["compare", unrolled_file, saxpy_file,
+                 "--domain", "n=1:100000", "--json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert "verdict" in data
+    assert data["digest_first"] != data["digest_second"]
+
+
+def test_kernels_json(capsys):
+    assert main(["kernels", "--json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    names = {row["kernel"] for row in data["rows"]}
+    assert {"matmul", "jacobi", "rb"} <= names
+    for row in data["rows"]:
+        assert set(row) == {"kernel", "predicted", "reference", "error_pct"}
+
+
+def test_predict_json_parse_error(tmp_path, capsys):
+    bad = tmp_path / "bad.f"
+    bad.write_text("program broken\n  do i =\nend\n")
+    assert main(["predict", str(bad), "--json"]) == 1
+    data = json.loads(capsys.readouterr().out)
+    assert data["status"] == 400
+
+
+def test_serve_subcommand_registered():
+    from repro.cli import build_parser
+
+    args = build_parser().parse_args(
+        ["serve", "--port", "0", "--workers", "2", "--cache-size", "64"])
+    assert args.port == 0 and args.workers == 2 and args.cache_size == 64
 
 
 def test_missing_file():
