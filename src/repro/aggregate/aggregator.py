@@ -15,6 +15,7 @@ from ..cost.placement import DEFAULT_FOCUS_SPAN
 from ..ir.nodes import Assign, CallStmt, Do, Expr, If, Program, Stmt, VarRef
 from ..ir.symtab import SymbolTable
 from ..machine.machine import Machine
+from ..obs import trace_span
 from ..translate.backend_opts import AGGRESSIVE_BACKEND, BackendFlags
 from ..translate.translator import Translator
 from .cond_cost import nearly_equal, probability_blend
@@ -62,7 +63,12 @@ class CostAggregator:
     # ------------------------------------------------------------------
     def cost_program(self, program: Program) -> PerfExpr:
         """Cost of a whole program unit."""
-        return self.cost_stmts(program.body, ())
+        with trace_span("aggregate.program") as span:
+            total = self.cost_stmts(program.body, ())
+            if span.recording:
+                span.set(name=program.name, machine=self.machine.name,
+                         statements=len(program.body), cost=str(total))
+        return total
 
     def cost_stmts(self, stmts: tuple[Stmt, ...], enclosing: tuple[str, ...] = ()) -> PerfExpr:
         """Cost of a statement sequence: straight-line runs + compounds."""
@@ -89,11 +95,14 @@ class CostAggregator:
     def cost_loop(self, stmt: Do, enclosing: tuple[str, ...]) -> PerfExpr:
         """Cost of one DO loop (separate method so that the incremental
         predictor can memoize per-loop regions)."""
-        total = aggregate_loop(self, stmt, enclosing)
-        if self.include_memory and self.memory_model is not None:
-            total = total + self.memory_model.loop_cost(
-                stmt, self.symtab, enclosing
-            )
+        with trace_span("aggregate.loop") as span:
+            total = aggregate_loop(self, stmt, enclosing)
+            if self.include_memory and self.memory_model is not None:
+                total = total + self.memory_model.loop_cost(
+                    stmt, self.symtab, enclosing
+                )
+            if span.recording:
+                span.set(index=stmt.var, depth=len(enclosing))
         return total
 
     # ------------------------------------------------------------------

@@ -228,7 +228,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache_path=args.cache_file,
         executor=args.executor,
     )
-    run_server(engine, host=args.host, port=args.port)
+    run_server(
+        engine,
+        host=args.host,
+        port=args.port,
+        tracing=not args.no_tracing,
+        slow_request_seconds=args.slow_request_seconds,
+    )
     return 0
 
 
@@ -249,6 +255,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--at", help="evaluate at a point, e.g. n=100,m=50")
     p.add_argument("--json", action="store_true",
                    help="emit the service wire format")
+    p.add_argument("--trace", metavar="FILE",
+                   help="write a Chrome trace_event JSON of the run")
     p.set_defaults(func=_cmd_predict)
 
     p = sub.add_parser("compare", help="compare two programs symbolically")
@@ -258,6 +266,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--domain", help="bounds, e.g. n=1:1000")
     p.add_argument("--json", action="store_true",
                    help="emit the service wire format")
+    p.add_argument("--trace", metavar="FILE",
+                   help="write a Chrome trace_event JSON of the run")
     p.set_defaults(func=_cmd_compare)
 
     p = sub.add_parser("restructure", help="performance-guided A* search")
@@ -267,6 +277,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--domain", help="bounds for symbolic mode")
     p.add_argument("--depth", type=int, default=2)
     p.add_argument("--max-nodes", type=int, default=200)
+    p.add_argument("--trace", metavar="FILE",
+                   help="write a Chrome trace_event JSON of the run")
     p.set_defaults(func=_cmd_restructure)
 
     p = sub.add_parser("kernels", help="the Figure 7 table")
@@ -289,6 +301,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="JSON-lines persistence file for warm restarts")
     p.add_argument("--executor", default="auto",
                    choices=("auto", "process", "thread", "sync"))
+    p.add_argument("--slow-request-seconds", type=float, default=1.0,
+                   help="log requests slower than this, with their span tree")
+    p.add_argument("--no-tracing", action="store_true",
+                   help="disable per-request tracing spans")
     p.set_defaults(func=_cmd_serve)
     return parser
 
@@ -296,7 +312,19 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    trace_path = getattr(args, "trace", None)
+    if not trace_path:
+        return args.func(args)
+
+    from .obs import Tracer, trace_span, write_chrome_trace
+
+    tracer = Tracer()
+    with tracer.activate():
+        with trace_span(f"cli.{args.command}", file=getattr(args, "file", "")):
+            status = args.func(args)
+    write_chrome_trace(tracer.export(), trace_path)
+    print(f"trace written to {trace_path}", file=sys.stderr)
+    return status
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..machine.machine import Machine
+from ..obs import trace_span
 from ..translate.stream import Instr, InstrStream
 from .bins import BinSet
 from .costblock import CostBlock
@@ -77,25 +78,29 @@ def place_stream(
         instr_list = list(instrs)
     else:
         instr_list = instrs
-    bin_set = bins if bins is not None else BinSet(machine)
-    completions: dict[int, int] = {}
-    placed = PlacedBlock(machine_name=machine.name)
+    with trace_span("cost.place") as span:
+        bin_set = bins if bins is not None else BinSet(machine)
+        completions: dict[int, int] = {}
+        placed = PlacedBlock(machine_name=machine.name)
 
-    for instr in instr_list:
-        op = machine.atomic(instr.atomic)
-        ready = 0
-        for dep in instr.deps:
-            dep_done = completions.get(dep, 0)
-            if dep_done > ready:
-                ready = dep_done
-        floor = bin_set.top() - focus_span
-        earliest = max(ready, floor, 0)
-        placement = bin_set.place(op.costs, earliest)
-        completion = placement.time + op.result_latency
-        completions[instr.index] = completion
-        placed.ops.append(PlacedOp(instr, placement.time, completion))
+        for instr in instr_list:
+            op = machine.atomic(instr.atomic)
+            ready = 0
+            for dep in instr.deps:
+                dep_done = completions.get(dep, 0)
+                if dep_done > ready:
+                    ready = dep_done
+            floor = bin_set.top() - focus_span
+            earliest = max(ready, floor, 0)
+            placement = bin_set.place(op.costs, earliest)
+            completion = placement.time + op.result_latency
+            completions[instr.index] = completion
+            placed.ops.append(PlacedOp(instr, placement.time, completion))
 
-    placed.block = _summarize(bin_set, placed.ops)
+        placed.block = _summarize(bin_set, placed.ops)
+        if span.recording:
+            span.set(machine=machine.name, ops=len(instr_list),
+                     focus_span=focus_span, cycles=placed.cycles)
     return placed
 
 

@@ -14,12 +14,13 @@ that is literally the constructor signature here.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 
 from .atomic import AtomicCostTable, AtomicOp
 from .units import FunctionalUnit, UnitKind
 
-__all__ = ["MemoryGeometry", "Machine"]
+__all__ = ["MemoryGeometry", "Machine", "cost_table_fingerprint"]
 
 
 @dataclass(frozen=True)
@@ -104,3 +105,39 @@ class Machine:
     def __str__(self) -> str:
         units = ", ".join(str(u) for u in self.units)
         return f"Machine({self.name}: {units}; {len(self.table)} atomic ops)"
+
+    def fingerprint(self) -> str:
+        """Content hash of everything that affects predicted costs.
+
+        Covers the atomic cost table (per-unit coverable/noncoverable
+        cycles), the atomic operation mapping, the unit inventory, and
+        the scalar capability knobs -- so recalibration via
+        :mod:`repro.machine.training` (which rewrites table latencies)
+        changes the fingerprint even though the machine *name* stays
+        the same.  The prediction service folds this into its cache
+        keys: persisted entries computed against a stale cost table can
+        never be served again.
+        """
+        return cost_table_fingerprint(self)
+
+
+def cost_table_fingerprint(machine: Machine) -> str:
+    """Short stable hash of a machine's cost-relevant definition."""
+    parts = [
+        machine.name,
+        f"dw={machine.dispatch_width}",
+        f"fma={int(machine.supports_fma)}",
+        f"fpr={machine.fp_registers}",
+        f"ir={machine.int_registers}",
+        ";".join(str(u) for u in machine.units),
+    ]
+    for name in machine.table.names():
+        op = machine.table[name]
+        costs = ",".join(
+            f"{c.unit.value}:{c.noncoverable}+{c.coverable}" for c in op.costs
+        )
+        parts.append(f"{name}=[{costs}]")
+    for basic_op in sorted(machine.atomic_mapping):
+        parts.append(f"{basic_op}->{'/'.join(machine.atomic_mapping[basic_op])}")
+    digest = hashlib.sha256("|".join(parts).encode("utf-8")).hexdigest()
+    return digest[:16]

@@ -1,0 +1,120 @@
+"""Exporters for collected spans.
+
+Two renderings of the same span dicts (see ``Span.to_dict``):
+
+* :func:`chrome_trace` -- the Chrome ``trace_event`` JSON format, as
+  one complete-duration (``"ph": "X"``) event per span.  Load the file
+  in ``chrome://tracing`` or https://ui.perfetto.dev; worker-process
+  spans appear on their own ``pid`` track.
+* :func:`render_tree` -- a human-readable indented tree with durations
+  and attributes, used by the slow-request log and the CLI.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable, Mapping
+
+__all__ = ["chrome_trace", "write_chrome_trace", "render_tree"]
+
+
+def chrome_trace(spans: Iterable[Mapping[str, Any]],
+                 process_name: str = "repro") -> dict[str, Any]:
+    """Span dicts -> a ``chrome://tracing``-loadable JSON object."""
+    events: list[dict[str, Any]] = []
+    pids_seen: set[int] = set()
+    for span in spans:
+        pid = int(span.get("pid", 0))
+        if pid not in pids_seen:
+            pids_seen.add(pid)
+            events.append({
+                "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+                "args": {"name": f"{process_name} (pid {pid})"},
+            })
+        args = {k: _jsonable(v) for k, v in (span.get("attrs") or {}).items()}
+        args["span_id"] = span.get("span_id")
+        if span.get("parent_id"):
+            args["parent_id"] = span["parent_id"]
+        events.append({
+            "name": span.get("name", "?"),
+            "cat": "repro",
+            "ph": "X",
+            "ts": float(span.get("start", 0.0)) * 1e6,
+            "dur": float(span.get("duration", 0.0)) * 1e6,
+            "pid": pid,
+            "tid": int(span.get("tid", 0)),
+            "args": args,
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(spans: Iterable[Mapping[str, Any]], path: str,
+                       process_name: str = "repro") -> None:
+    """Write :func:`chrome_trace` output to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(chrome_trace(spans, process_name), handle, indent=1)
+        handle.write("\n")
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def _format_duration(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.2f}s"
+    if seconds >= 0.001:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds * 1e6:.0f}us"
+
+
+def render_tree(spans: Iterable[Mapping[str, Any]]) -> str:
+    """Indented parent/child rendering of a span collection.
+
+    Spans whose parent is absent (or None) are roots; children sort by
+    start time.  Unknown parents can happen when the span cap dropped
+    an ancestor -- such spans surface as extra roots rather than being
+    lost.
+    """
+    records = list(spans)
+    by_id = {r.get("span_id"): r for r in records}
+    children: dict[Any, list[Mapping[str, Any]]] = {}
+    roots: list[Mapping[str, Any]] = []
+    for record in records:
+        parent = record.get("parent_id")
+        if parent is not None and parent in by_id:
+            children.setdefault(parent, []).append(record)
+        else:
+            roots.append(record)
+
+    lines: list[str] = []
+    emitted: set[int] = set()  # break cycles from malformed parent links
+
+    def emit(record: Mapping[str, Any], depth: int) -> None:
+        if id(record) in emitted:
+            return
+        emitted.add(id(record))
+        attrs = record.get("attrs") or {}
+        suffix = "".join(
+            f" {key}={attrs[key]}" for key in sorted(attrs)
+        )
+        lines.append(
+            "  " * depth
+            + f"{record.get('name', '?')} "
+            + f"({_format_duration(float(record.get('duration', 0.0)))})"
+            + suffix
+        )
+        for child in sorted(children.get(record.get("span_id"), []),
+                            key=lambda r: r.get("start", 0.0)):
+            emit(child, depth + 1)
+
+    for root in sorted(roots, key=lambda r: r.get("start", 0.0)):
+        emit(root, 0)
+    # Records reachable only through a parent cycle have no root at
+    # all; surface them flat rather than silently dropping them.
+    for record in records:
+        if id(record) not in emitted:
+            emit(record, 0)
+    return "\n".join(lines)

@@ -1,0 +1,90 @@
+"""Structured JSON logging with request-id propagation.
+
+The service logs one JSON object per line so log shippers need no
+parsing rules: timestamp, level, logger, message, the request id from
+the ambient context (set once per HTTP request by the server), and any
+extra fields passed via ``logger.info(msg, extra={"fields": {...}})``.
+
+The request id lives in a context variable, so every log record
+emitted while handling a request -- in the handler thread or in code
+it calls inline -- carries the same id without threading it through
+call signatures.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import json
+import logging
+import sys
+import time
+import uuid
+from typing import Any, Mapping, TextIO
+
+__all__ = [
+    "JsonFormatter",
+    "configure_json_logging",
+    "new_request_id",
+    "set_request_id",
+    "get_request_id",
+]
+
+_REQUEST_ID: contextvars.ContextVar[str | None] = \
+    contextvars.ContextVar("repro_request_id", default=None)
+
+
+def new_request_id() -> str:
+    """A fresh 12-hex-char request id."""
+    return uuid.uuid4().hex[:12]
+
+
+def set_request_id(request_id: str | None) -> contextvars.Token:
+    """Bind the ambient request id; returns the token for reset."""
+    return _REQUEST_ID.set(request_id)
+
+
+def get_request_id() -> str | None:
+    """The request id bound to the current context, if any."""
+    return _REQUEST_ID.get()
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per record; ``extra={"fields": {...}}`` merges in."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        out: dict[str, Any] = {
+            "ts": time.strftime(
+                "%Y-%m-%dT%H:%M:%S", time.gmtime(record.created)),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        request_id = get_request_id()
+        if request_id is not None:
+            out["request_id"] = request_id
+        fields = getattr(record, "fields", None)
+        if isinstance(fields, Mapping):
+            for key, value in fields.items():
+                if key not in out:
+                    out[key] = value
+        if record.exc_info and record.exc_info[0] is not None:
+            out["exception"] = self.formatException(record.exc_info)
+        return json.dumps(out, sort_keys=True, default=str)
+
+
+def configure_json_logging(
+    logger_name: str = "repro",
+    level: int = logging.INFO,
+    stream: TextIO | None = None,
+) -> logging.Logger:
+    """Install a JSON handler on ``logger_name`` (idempotent)."""
+    logger = logging.getLogger(logger_name)
+    logger.setLevel(level)
+    for handler in logger.handlers:
+        if isinstance(handler.formatter, JsonFormatter):
+            return logger
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(JsonFormatter())
+    logger.addHandler(handler)
+    logger.propagate = False
+    return logger

@@ -1,0 +1,290 @@
+"""Hierarchical spans for the prediction pipeline.
+
+A :class:`Tracer` collects finished :class:`Span` records; the *active*
+tracer lives in a :mod:`contextvars` variable, so concurrent server
+requests (one thread each) trace independently.  Instrumented code
+calls :func:`trace_span` -- when no tracer is active, that returns a
+shared no-op span whose ``with`` protocol does nothing, keeping the
+disabled-mode cost of an instrumented call site to one context-variable
+read (the ``bench_tracing`` bench holds this under 5% of the
+prediction hot path).
+
+Span parentage normally follows the current-span context variable;
+work handed to another thread passes the parent explicitly
+(``trace_span(name, parent=span)``) or runs inside
+``contextvars.copy_context()``.  Spans record wall-clock start times
+(comparable across worker processes) and monotonic durations.
+
+When a tracer is given a metrics registry, every finished span whose
+name is a known pipeline phase feeds the ``repro_phase_seconds``
+histogram, so ``GET /metrics`` exposes per-phase latency without a
+separate instrumentation pass.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import itertools
+import os
+import threading
+import time
+from typing import Any, Iterable, Mapping
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NOOP_SPAN",
+    "PIPELINE_PHASES",
+    "PHASE_BUCKETS",
+    "PHASE_HISTOGRAM",
+    "trace_span",
+    "current_tracer",
+    "current_span",
+]
+
+#: Span names whose durations feed the per-phase latency histogram.
+#: A closed set keeps the metric's label cardinality bounded.
+PIPELINE_PHASES = frozenset({
+    "server.handle",
+    "engine.execute",
+    "predict", "compare", "restructure", "kernels",
+    "translate.specialize", "translate.atomic_map",
+    "cost.place",
+    "aggregate.loop", "aggregate.program",
+    "transform.search",
+})
+
+#: Phase durations span ~10us block placements to multi-second searches.
+PHASE_BUCKETS = (
+    0.00001, 0.00005, 0.0001, 0.0005, 0.001, 0.005,
+    0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 30.0,
+)
+
+PHASE_HISTOGRAM = "repro_phase_seconds"
+
+#: Process-global so span ids never collide across tracers in one
+#: process (a request-local worker tracer's spans get ingested next to
+#: the server tracer's own; duplicate ids would corrupt the span tree).
+_SPAN_IDS = itertools.count(1)
+
+_ACTIVE_TRACER: contextvars.ContextVar["Tracer | None"] = \
+    contextvars.ContextVar("repro_obs_tracer", default=None)
+_CURRENT_SPAN: contextvars.ContextVar["Span | None"] = \
+    contextvars.ContextVar("repro_obs_span", default=None)
+
+
+class _NoopSpan:
+    """The span handed out when tracing is off: every method is a no-op."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> bool:
+        return False
+
+    def set(self, **attrs: Any) -> "_NoopSpan":
+        return self
+
+    def set_attribute(self, key: str, value: Any) -> "_NoopSpan":
+        return self
+
+    @property
+    def recording(self) -> bool:
+        return False
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class Span:
+    """One timed, attributed region of work, nested under a parent."""
+
+    __slots__ = (
+        "tracer", "name", "trace_id", "span_id", "parent_id", "attrs",
+        "start_wall", "duration", "pid", "tid",
+        "_start", "_token", "_explicit_parent",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        parent: "Span | None" = None,
+        attrs: Mapping[str, Any] | None = None,
+    ):
+        self.tracer = tracer
+        self.name = name
+        self.trace_id = tracer.trace_id
+        self.span_id = tracer._next_span_id()
+        self._explicit_parent = parent
+        self.parent_id: str | None = None
+        self.attrs: dict[str, Any] = dict(attrs) if attrs else {}
+        self.start_wall = 0.0
+        self.duration = 0.0
+        self.pid = os.getpid()
+        self.tid = threading.get_ident()
+        self._start = 0.0
+        self._token: contextvars.Token | None = None
+
+    @property
+    def recording(self) -> bool:
+        return True
+
+    def set(self, **attrs: Any) -> "Span":
+        self.attrs.update(attrs)
+        return self
+
+    def set_attribute(self, key: str, value: Any) -> "Span":
+        self.attrs[key] = value
+        return self
+
+    # -- context manager ------------------------------------------------
+    def __enter__(self) -> "Span":
+        parent = self._explicit_parent
+        if parent is None:
+            parent = _CURRENT_SPAN.get()
+        if parent is not None and parent.recording:
+            self.parent_id = parent.span_id
+        self._token = _CURRENT_SPAN.set(self)
+        self.start_wall = time.time()
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.duration = time.perf_counter() - self._start
+        if self._token is not None:
+            _CURRENT_SPAN.reset(self._token)
+            self._token = None
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        self.tracer._finish(self)
+        return False
+
+    # -- serialization --------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": self.start_wall,
+            "duration": self.duration,
+            "pid": self.pid,
+            "tid": self.tid,
+            "attrs": dict(self.attrs),
+        }
+
+
+class Tracer:
+    """Collects finished spans for one request, command, or test.
+
+    ``metrics`` (optional) is a
+    :class:`~repro.service.metrics.MetricsRegistry`-compatible object;
+    finished spans named in :data:`PIPELINE_PHASES` observe the
+    ``repro_phase_seconds`` histogram on it.  ``max_spans`` bounds
+    memory on runaway workloads (a deep restructure search); spans past
+    the bound are counted in :attr:`dropped`, not stored.
+    """
+
+    def __init__(self, metrics: Any = None, max_spans: int = 20_000):
+        self.trace_id = f"{os.getpid():x}-{id(self) & 0xFFFFFFFF:08x}"
+        self.max_spans = max_spans
+        self.dropped = 0
+        self._spans: list[Span] = []
+        self._ingested: list[dict[str, Any]] = []
+        self._lock = threading.Lock()
+        self._histogram = None
+        if metrics is not None:
+            self._histogram = metrics.histogram(
+                PHASE_HISTOGRAM,
+                "Pipeline phase latency from tracing spans.",
+                buckets=PHASE_BUCKETS,
+            )
+
+    # -- span lifecycle -------------------------------------------------
+    @staticmethod
+    def _next_span_id() -> str:
+        # itertools.count is atomic under the GIL; the pid prefix keeps
+        # ids distinct across worker processes too.
+        return f"{os.getpid():x}-{next(_SPAN_IDS):x}"
+
+    def span(self, name: str, parent: Span | None = None,
+             **attrs: Any) -> Span:
+        """Start a span (use as a context manager)."""
+        return Span(self, name, parent=parent, attrs=attrs)
+
+    def _finish(self, span: Span) -> None:
+        if self._histogram is not None and span.name in PIPELINE_PHASES:
+            self._histogram.observe(span.duration, phase=span.name)
+        with self._lock:
+            if len(self._spans) + len(self._ingested) >= self.max_spans:
+                self.dropped += 1
+                return
+            self._spans.append(span)
+
+    def ingest(self, span_dicts: Iterable[Mapping[str, Any]]) -> None:
+        """Adopt spans recorded elsewhere (a worker process).
+
+        The dicts keep their own ids and pid, so a Chrome export shows
+        worker activity on its own process track; phase metrics are
+        observed here because worker registries die with the worker.
+        """
+        for record in span_dicts:
+            record = dict(record)
+            if (self._histogram is not None
+                    and record.get("name") in PIPELINE_PHASES):
+                self._histogram.observe(
+                    float(record.get("duration", 0.0)),
+                    phase=record["name"])
+            with self._lock:
+                if len(self._spans) + len(self._ingested) >= self.max_spans:
+                    self.dropped += 1
+                    continue
+                self._ingested.append(record)
+
+    # -- activation -----------------------------------------------------
+    @contextlib.contextmanager
+    def activate(self):
+        """Make this the active tracer for the current context."""
+        token = _ACTIVE_TRACER.set(self)
+        try:
+            yield self
+        finally:
+            _ACTIVE_TRACER.reset(token)
+
+    # -- access ---------------------------------------------------------
+    def export(self) -> list[dict[str, Any]]:
+        """All finished spans as plain dicts, ordered by start time."""
+        with self._lock:
+            records = [s.to_dict() for s in self._spans] + list(self._ingested)
+        records.sort(key=lambda r: r.get("start", 0.0))
+        return records
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans) + len(self._ingested)
+
+
+def current_tracer() -> Tracer | None:
+    """The tracer active in this context, or None when tracing is off."""
+    return _ACTIVE_TRACER.get()
+
+
+def current_span() -> Span | None:
+    """The innermost open span in this context (for thread handoff)."""
+    return _CURRENT_SPAN.get()
+
+
+def trace_span(name: str, parent: Span | None = None, **attrs: Any):
+    """Start a span on the active tracer, or a no-op when none is active.
+
+    This is the one call instrumented code makes; it must stay cheap
+    when tracing is off (one context-variable read).
+    """
+    tracer = _ACTIVE_TRACER.get()
+    if tracer is None:
+        return NOOP_SPAN
+    return Span(tracer, name, parent=parent, attrs=attrs or None)

@@ -21,7 +21,7 @@ Quick start::
     print(response.cost)          # "3*n + 8"
 """
 
-from .cache import CacheStats, ResultCache
+from .cache import CacheStats, Eviction, ResultCache, endpoint_of
 from .engine import PredictionEngine, ServiceError, execute_request
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .protocol import (
@@ -45,11 +45,12 @@ from .server import PredictionServer, make_server, run_server
 
 __all__ = [
     "CacheStats", "CompareRequest", "CompareResponse", "Counter",
-    "ErrorResponse", "Gauge", "Histogram", "KernelRow", "KernelsRequest",
-    "KernelsResponse", "MetricsRegistry", "PredictRequest",
-    "PredictResponse", "PredictionEngine", "PredictionServer",
-    "ProtocolError", "RestructureRequest", "RestructureResponse",
-    "ResultCache", "ServiceError", "error_envelope", "execute_request",
-    "make_server", "request_from_dict", "response_from_dict",
-    "response_to_dict", "run_server",
+    "ErrorResponse", "Eviction", "Gauge", "Histogram", "KernelRow",
+    "KernelsRequest", "KernelsResponse", "MetricsRegistry",
+    "PredictRequest", "PredictResponse", "PredictionEngine",
+    "PredictionServer", "ProtocolError", "RestructureRequest",
+    "RestructureResponse", "ResultCache", "ServiceError", "endpoint_of",
+    "error_envelope", "execute_request", "make_server",
+    "request_from_dict", "response_from_dict", "response_to_dict",
+    "run_server",
 ]

@@ -18,11 +18,17 @@ from __future__ import annotations
 import json
 import os
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Iterator
 
-__all__ = ["CacheStats", "ResultCache"]
+__all__ = ["CacheStats", "Eviction", "ResultCache", "endpoint_of"]
+
+
+def endpoint_of(key: str) -> str:
+    """The endpoint a cache key belongs to (keys start ``kind|...``)."""
+    return key.split("|", 1)[0]
 
 
 @dataclass
@@ -42,6 +48,15 @@ class CacheStats:
         return self.hits / self.total if self.total else 0.0
 
 
+@dataclass(frozen=True)
+class Eviction:
+    """One LRU eviction: which entry fell out, and how old it was."""
+
+    key: str
+    endpoint: str
+    age: float  # seconds since the entry was stored
+
+
 class ResultCache:
     """A bounded, thread-safe LRU mapping cache keys to response dicts.
 
@@ -59,6 +74,7 @@ class ResultCache:
         self.path = os.fspath(path) if path is not None else None
         self.stats = CacheStats()
         self._data: OrderedDict[str, dict[str, Any]] = OrderedDict()
+        self._stamps: dict[str, float] = {}  # key -> insertion wall time
         self._lock = threading.Lock()
         if self.path is not None:
             self.load()
@@ -84,21 +100,43 @@ class ResultCache:
             self.stats.hits += 1
             return value
 
-    def put(self, key: str, value: dict[str, Any]) -> None:
-        """Store ``key``; evicts the LRU entry past ``maxsize``."""
+    def put(self, key: str, value: dict[str, Any]) -> Eviction | None:
+        """Store ``key``; evicts the LRU entry past ``maxsize``.
+
+        Returns an :class:`Eviction` record when a resident entry fell
+        out (so callers can report which endpoint lost an entry and how
+        stale it was), or ``None`` when everything fit.
+        """
+        now = time.time()
+        evicted: Eviction | None = None
         with self._lock:
             already_present = key in self._data
             self._data[key] = value
             self._data.move_to_end(key)
+            self._stamps[key] = now
             if not already_present and len(self._data) > self.maxsize:
-                self._data.popitem(last=False)
+                victim, _ = self._data.popitem(last=False)
+                stored = self._stamps.pop(victim, now)
                 self.stats.evictions += 1
+                evicted = Eviction(victim, endpoint_of(victim),
+                                   max(now - stored, 0.0))
             if self.path is not None:
-                self._append_line(key, value)
+                self._append_line(key, value, now)
+        return evicted
+
+    def entry_ages(self) -> dict[str, float]:
+        """Seconds since insertion for every resident entry."""
+        now = time.time()
+        with self._lock:
+            return {
+                key: max(now - self._stamps.get(key, now), 0.0)
+                for key in self._data
+            }
 
     def clear(self) -> None:
         with self._lock:
             self._data.clear()
+            self._stamps.clear()
             self.stats = CacheStats()
 
     def keys(self) -> Iterator[str]:
@@ -108,8 +146,10 @@ class ResultCache:
     # ------------------------------------------------------------------
     # persistence
 
-    def _append_line(self, key: str, value: dict[str, Any]) -> None:
-        line = json.dumps({"key": key, "value": value}, sort_keys=True)
+    def _append_line(self, key: str, value: dict[str, Any],
+                     stamp: float) -> None:
+        line = json.dumps({"key": key, "value": value, "ts": stamp},
+                          sort_keys=True)
         with open(self.path, "a", encoding="utf-8") as handle:
             handle.write(line + "\n")
 
@@ -121,7 +161,9 @@ class ResultCache:
         """
         if self.path is None or not os.path.exists(self.path):
             return 0
+        now = time.time()
         loaded: OrderedDict[str, dict[str, Any]] = OrderedDict()
+        stamps: dict[str, float] = {}
         with open(self.path, encoding="utf-8") as handle:
             for line in handle:
                 line = line.strip()
@@ -135,10 +177,16 @@ class ResultCache:
                 if key in loaded:
                     loaded.move_to_end(key)
                 loaded[key] = value
+                # Files written before timestamps existed lack "ts";
+                # treat those entries as stored at load time.
+                ts = record.get("ts")
+                stamps[key] = float(ts) if isinstance(ts, (int, float)) else now
         while len(loaded) > self.maxsize:
-            loaded.popitem(last=False)
+            victim, _ = loaded.popitem(last=False)
+            stamps.pop(victim, None)
         with self._lock:
             self._data = loaded
+            self._stamps = stamps
             return len(self._data)
 
     def compact(self) -> None:
@@ -146,8 +194,12 @@ class ResultCache:
         if self.path is None:
             return
         with self._lock:
+            now = time.time()
             lines = [
-                json.dumps({"key": k, "value": v}, sort_keys=True)
+                json.dumps(
+                    {"key": k, "value": v, "ts": self._stamps.get(k, now)},
+                    sort_keys=True,
+                )
                 for k, v in self._data.items()
             ]
             tmp = self.path + ".tmp"

@@ -24,6 +24,7 @@ re-aggregating from scratch.
 
 from __future__ import annotations
 
+import logging
 import time
 from collections import OrderedDict
 from concurrent.futures import (
@@ -39,9 +40,10 @@ from ..ir.parser import ParseError, parse_program
 from ..ir.lexer import LexError
 from ..ir.symtab import SymbolTable
 from ..machine.registry import get_machine
+from ..obs import Tracer, current_tracer, trace_span
 from ..symbolic.poly import PolyError
 from ..translate.backend_opts import AGGRESSIVE_BACKEND, NAIVE_BACKEND, BackendFlags
-from .cache import ResultCache
+from .cache import ResultCache, endpoint_of
 from .metrics import MetricsRegistry
 from .protocol import (
     CompareRequest,
@@ -67,6 +69,11 @@ __all__ = ["PredictionEngine", "ServiceError", "execute_request"]
 #: Exceptions that mean "the client sent something invalid" (HTTP 400),
 #: as opposed to an internal fault (HTTP 500).
 _CLIENT_ERRORS = (ProtocolError, ParseError, LexError, PolyError, KeyError, ValueError)
+
+log = logging.getLogger("repro.service.engine")
+
+#: Cache entries live seconds to days; buckets for age telemetry.
+CACHE_AGE_BUCKETS = (1.0, 10.0, 60.0, 300.0, 1800.0, 3600.0, 21600.0, 86400.0)
 
 
 class ServiceError(Exception):
@@ -228,15 +235,45 @@ _HANDLERS = {
 }
 
 
-def execute_request(kind: str, payload: Mapping[str, Any]) -> dict[str, Any]:
+def execute_request(kind: str, payload: Mapping[str, Any],
+                    collect_trace: bool = False) -> dict[str, Any]:
     """Run one request end to end; never raises -- errors become envelopes.
 
     This is the unit of work shipped to pool workers, so both the
-    argument and the return value are plain picklable dicts.
+    argument and the return value are plain picklable dicts.  With
+    ``collect_trace``, the request runs under a fresh request-local
+    tracer and the finished spans travel back in the result under
+    ``"trace"`` -- the engine re-ingests them, since a worker process's
+    tracer (and metrics registry) dies with the worker.
     """
+    if collect_trace:
+        tracer = Tracer()
+        with tracer.activate():
+            result = _execute_one(kind, payload)
+        result["trace"] = tracer.export()
+        return result
+    return _execute_one(kind, payload)
+
+
+def _cache_hit_trace(kind: str) -> list[dict[str, Any]]:
+    """The trace block for a cache hit: one ``engine.execute`` span.
+
+    Hits never re-run the pipeline, so replaying the stored pipeline
+    spans would report work that did not happen; a traced hit instead
+    gets a single honest span marking the lookup.
+    """
+    tracer = Tracer()
+    with tracer.activate():
+        with trace_span("engine.execute", kind=kind, cached=True):
+            pass
+    return tracer.export()
+
+
+def _execute_one(kind: str, payload: Mapping[str, Any]) -> dict[str, Any]:
     try:
         request = request_from_dict(kind, payload)
-        return response_to_dict(_HANDLERS[kind](request))
+        with trace_span(kind, machine=getattr(request, "machine", "")):
+            return response_to_dict(_HANDLERS[kind](request))
     except _CLIENT_ERRORS as error:
         return error_envelope(error, status=400)
     except Exception as error:  # noqa: BLE001 -- envelope, don't crash a worker
@@ -253,12 +290,36 @@ def _canonical_mapping(raw: Mapping[str, Any] | None) -> str:
     return ",".join(f"{k}={raw[k]}" for k in sorted(raw))
 
 
+#: Machine-name -> (machine object identity, fingerprint).  Machines
+#: are registry singletons, so the identity check makes the fingerprint
+#: free on the hot path while still recomputing when recalibration
+#: swaps in a retrained machine under the same name.
+_FINGERPRINTS: dict[str, tuple[int, str]] = {}
+
+
+def _machine_fingerprint(name: str) -> str:
+    machine = get_machine(name)
+    memo = _FINGERPRINTS.get(name)
+    if memo is not None and memo[0] == id(machine):
+        return memo[1]
+    fingerprint = machine.fingerprint()
+    _FINGERPRINTS[name] = (id(machine), fingerprint)
+    return fingerprint
+
+
 def _cache_key(kind: str, request: Any) -> str:
-    """Content-addressed key: program digests + everything that matters."""
+    """Content-addressed key: program digests + everything that matters.
+
+    ``fp`` is the machine's cost-table fingerprint: recalibrating a
+    machine (``repro.machine.training``) changes the predicted numbers
+    without changing the machine *name*, so persisted entries from the
+    old table must stop matching.
+    """
+    fp = f"fp={_machine_fingerprint(request.machine)}"
     if kind == "predict":
         digest = program_digest(parse_program(request.source))
         return "|".join((
-            "predict", digest, request.machine, request.backend,
+            "predict", digest, request.machine, fp, request.backend,
             f"mem={int(request.include_memory)}",
             f"at={_canonical_mapping(request.bindings)}",
         ))
@@ -266,19 +327,19 @@ def _cache_key(kind: str, request: Any) -> str:
         first = program_digest(parse_program(request.first))
         second = program_digest(parse_program(request.second))
         return "|".join((
-            "compare", first, second, request.machine,
+            "compare", first, second, request.machine, fp,
             f"dom={_canonical_mapping(request.domain)}",
         ))
     if kind == "restructure":
         digest = program_digest(parse_program(request.source))
         return "|".join((
-            "restructure", digest, request.machine,
+            "restructure", digest, request.machine, fp,
             f"wl={_canonical_mapping(request.workload)}",
             f"dom={_canonical_mapping(request.domain)}",
             f"depth={request.depth}", f"nodes={request.max_nodes}",
         ))
     if kind == "kernels":
-        return f"kernels|{request.machine}"
+        return f"kernels|{request.machine}|{fp}"
     raise ProtocolError(f"unknown request kind {kind!r}")
 
 
@@ -324,6 +385,16 @@ class PredictionEngine:
         self._latency = self.metrics.histogram(
             "repro_engine_request_seconds",
             "Engine request latency by kind.")
+        self._cache_lookups = self.metrics.counter(
+            "repro_cache_requests_total",
+            "Result-cache lookups by endpoint and result.")
+        self._cache_evicted = self.metrics.counter(
+            "repro_cache_endpoint_evictions_total",
+            "Result-cache evictions by endpoint.")
+        self._evicted_age = self.metrics.histogram(
+            "repro_cache_evicted_age_seconds",
+            "Age of result-cache entries at eviction.",
+            buckets=CACHE_AGE_BUCKETS)
 
     # -- pool management ------------------------------------------------
     def start_workers(self) -> None:
@@ -385,7 +456,7 @@ class PredictionEngine:
         """
         started = time.perf_counter()
         results: list[dict[str, Any] | None] = [None] * len(items)
-        pending: list[tuple[int, str, dict[str, Any], str]] = []
+        pending: list[tuple[int, str, dict[str, Any], str, bool]] = []
 
         for index, (kind, payload) in enumerate(items):
             try:
@@ -395,25 +466,54 @@ class PredictionEngine:
                 results[index] = error_envelope(error, status=400)
                 self._requests.inc(kind=kind, outcome="client_error")
                 continue
+            want_trace = bool(getattr(request, "trace", False))
             hit = self.cache.get(key)
             if hit is not None:
-                served = dict(hit)
-                served["cached"] = True
+                with trace_span("engine.execute", kind=kind, cached=True):
+                    served = dict(hit)
+                    served["cached"] = True
+                    if want_trace:
+                        served["trace"] = _cache_hit_trace(kind)
                 results[index] = served
+                self._cache_lookups.inc(endpoint=kind, result="hit")
                 self._requests.inc(kind=kind, outcome="cache_hit")
                 continue
-            pending.append((index, kind, dict(payload), key))
+            self._cache_lookups.inc(endpoint=kind, result="miss")
+            pending.append((index, kind, dict(payload), key, want_trace))
 
         if pending:
             fresh = self._run_pending(pending)
-            for (index, kind, _, key), result in zip(pending, fresh):
+            for (index, kind, _, key, want_trace), result in zip(pending, fresh):
+                spans = result.pop("trace", None)
+                if spans:
+                    tracer = current_tracer()
+                    if tracer is not None:
+                        tracer.ingest(spans)
                 results[index] = result
                 if "error" in result:
-                    outcome = ("client_error"
-                               if result.get("status") == 400 else "error")
+                    if result.get("status") == 400:
+                        outcome = "client_error"
+                    else:
+                        outcome = "error"
+                        log.error(
+                            "request failed",
+                            extra={"fields": {
+                                "kind": kind,
+                                "error": result.get("error"),
+                                "message": result.get("message"),
+                            }},
+                        )
                 else:
-                    self.cache.put(key, result)
+                    evicted = self.cache.put(key, result)
+                    if evicted is not None:
+                        self._cache_evicted.inc(endpoint=evicted.endpoint)
+                        self._evicted_age.observe(
+                            evicted.age, endpoint=evicted.endpoint)
                     outcome = "computed"
+                    if want_trace and spans is not None:
+                        # Attach *after* cache.put so cached copies stay
+                        # trace-free (a replayed trace would be a lie).
+                        results[index] = {**result, "trace": spans}
                 self._requests.inc(kind=kind, outcome=outcome)
 
         elapsed = time.perf_counter() - started
@@ -422,25 +522,47 @@ class PredictionEngine:
         return results  # type: ignore[return-value]
 
     def _run_pending(
-        self, pending: Sequence[tuple[int, str, dict[str, Any], str]]
+        self, pending: Sequence[tuple[int, str, dict[str, Any], str, bool]]
     ) -> list[dict[str, Any]]:
-        jobs = [(kind, payload) for _, kind, payload, _ in pending]
+        jobs = [(kind, payload) for _, kind, payload, _, _ in pending]
         if self.workers <= 1 or len(jobs) == 0:
-            return [execute_request(kind, payload) for kind, payload in jobs]
+            return [self._execute_inline(kind, payload, want)
+                    for (_, kind, payload, _, want) in pending]
         self._ensure_pool()
         if self._pool is None:
-            return [execute_request(kind, payload) for kind, payload in jobs]
+            return [self._execute_inline(kind, payload, want)
+                    for (_, kind, payload, _, want) in pending]
+        # Workers cannot see this process's active tracer; have them
+        # collect spans locally whenever anyone is listening.
+        collect = (current_tracer() is not None
+                   or any(want for *_, want in pending))
         try:
-            futures = [self._pool.submit(execute_request, kind, payload)
+            futures = [self._pool.submit(execute_request, kind, payload, collect)
                        for kind, payload in jobs]
-            return [f.result() for f in futures]
+            return [self._await(future, kind)
+                    for future, (kind, _) in zip(futures, jobs)]
         except (BrokenProcessPool, OSError):
             # A worker died or the pool could not run: degrade once to
             # threads and retry the whole slice.
             self._degrade_to_threads()
-            futures = [self._pool.submit(execute_request, kind, payload)
+            futures = [self._pool.submit(execute_request, kind, payload, collect)
                        for kind, payload in jobs]
-            return [f.result() for f in futures]
+            return [self._await(future, kind)
+                    for future, (kind, _) in zip(futures, jobs)]
+
+    @staticmethod
+    def _execute_inline(kind: str, payload: dict[str, Any],
+                        want_trace: bool) -> dict[str, Any]:
+        # Without a trace block to build, spans flow straight into any
+        # active tracer; with one, a request-local tracer collects them
+        # (and handle_batch re-ingests, so nothing is lost either way).
+        with trace_span("engine.execute", kind=kind, cached=False):
+            return execute_request(kind, payload, collect_trace=want_trace)
+
+    @staticmethod
+    def _await(future, kind: str) -> dict[str, Any]:
+        with trace_span("engine.execute", kind=kind, cached=False):
+            return future.result()
 
     # -- typed API ------------------------------------------------------
     def _typed(self, request: Any):
@@ -496,6 +618,13 @@ class PredictionEngine:
             len(self.cache))
         self.metrics.gauge(
             "repro_engine_workers", "Configured worker count.").set(self.workers)
+        age_hist = self.metrics.histogram(
+            "repro_cache_entry_age_seconds",
+            "Ages of resident result-cache entries (snapshot per scrape).",
+            buckets=CACHE_AGE_BUCKETS)
+        age_hist.reset()  # snapshot of *current* residents, not cumulative
+        for key, age in self.cache.entry_ages().items():
+            age_hist.observe(age, endpoint=endpoint_of(key))
 
 
 def _request_to_dict(request: Any) -> dict[str, Any]:

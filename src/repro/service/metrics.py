@@ -38,12 +38,28 @@ def _label_key(labels: Mapping[str, str]) -> tuple[tuple[str, str], ...]:
     return tuple(sorted(labels.items()))
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition format.
+
+    Backslash, double quote, and newline are the three characters the
+    format requires escaping; anything else passes through verbatim.
+    """
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
 def _render_labels(key: tuple[tuple[str, str], ...],
                    extra: tuple[tuple[str, str], ...] = ()) -> str:
     pairs = key + extra
     if not pairs:
         return ""
-    body = ",".join(f'{name}="{value}"' for name, value in pairs)
+    body = ",".join(
+        f'{name}="{_escape_label_value(value)}"' for name, value in pairs
+    )
     return "{" + body + "}"
 
 
@@ -142,6 +158,13 @@ class Histogram(_Metric):
         with self._lock:
             return sum(self._counts.get(_label_key(labels), self._empty))
 
+    def reset(self) -> None:
+        """Drop all observations (for snapshot-style distributions that
+        are rebuilt from current state on every scrape)."""
+        with self._lock:
+            self._counts.clear()
+            self._sums.clear()
+
     def render(self) -> list[str]:
         with self._lock:
             items = sorted(
@@ -158,7 +181,9 @@ class Histogram(_Metric):
             running += counts[-1]
             labels = _render_labels(key, (("le", "+Inf"),))
             lines.append(f"{self.name}_bucket{labels} {running}")
-            lines.append(f"{self.name}_sum{_render_labels(key)} {total!r}")
+            lines.append(
+                f"{self.name}_sum{_render_labels(key)} {_format_value(total)}"
+            )
             lines.append(f"{self.name}_count{_render_labels(key)} {running}")
         return lines
 

@@ -121,6 +121,7 @@ class PredictRequest:
     backend: str = "aggressive"
     include_memory: bool = False
     bindings: Mapping[str, Any] | None = None
+    trace: bool = False
 
     def validate(self) -> None:
         _check_str("source", self.source)
@@ -131,6 +132,7 @@ class PredictRequest:
                  "include_memory must be a boolean")
         _check_mapping("bindings", self.bindings)
         parse_bindings(self.bindings)
+        _require(isinstance(self.trace, bool), "trace must be a boolean")
 
 
 @dataclass(frozen=True)
@@ -141,6 +143,7 @@ class CompareRequest:
     second: str
     machine: str = "power"
     domain: Mapping[str, Any] | None = None
+    trace: bool = False
 
     def validate(self) -> None:
         _check_str("first", self.first)
@@ -148,6 +151,7 @@ class CompareRequest:
         _check_str("machine", self.machine)
         _check_mapping("domain", self.domain)
         parse_domain(self.domain)
+        _require(isinstance(self.trace, bool), "trace must be a boolean")
 
 
 @dataclass(frozen=True)
@@ -160,6 +164,7 @@ class RestructureRequest:
     domain: Mapping[str, Any] | None = None
     depth: int = 2
     max_nodes: int = 200
+    trace: bool = False
 
     def validate(self) -> None:
         _check_str("source", self.source)
@@ -172,6 +177,7 @@ class RestructureRequest:
                  "depth must be an integer in 1..8")
         _require(isinstance(self.max_nodes, int) and 1 <= self.max_nodes <= 10000,
                  "max_nodes must be an integer in 1..10000")
+        _require(isinstance(self.trace, bool), "trace must be a boolean")
 
 
 @dataclass(frozen=True)
@@ -179,9 +185,11 @@ class KernelsRequest:
     """The Figure 7 table (predicted vs reference) for one machine."""
 
     machine: str = "power"
+    trace: bool = False
 
     def validate(self) -> None:
         _check_str("machine", self.machine)
+        _require(isinstance(self.trace, bool), "trace must be a boolean")
 
 
 REQUEST_TYPES: dict[str, type] = {
@@ -214,6 +222,7 @@ class PredictResponse:
     variables: tuple[str, ...] = ()
     cycles: str | None = None      # exact value when bindings were given
     cached: bool = False
+    trace: Any = None              # span dicts when the request opted in
 
 
 @dataclass(frozen=True)
@@ -226,6 +235,7 @@ class CompareResponse:
     digest_second: str
     machine: str
     cached: bool = False
+    trace: Any = None
 
 
 @dataclass(frozen=True)
@@ -237,6 +247,7 @@ class RestructureResponse:
     machine: str
     nodes_expanded: int = 0
     cached: bool = False
+    trace: Any = None
 
 
 @dataclass(frozen=True)
@@ -252,6 +263,7 @@ class KernelsResponse:
     machine: str
     rows: tuple[KernelRow, ...] = ()
     cached: bool = False
+    trace: Any = None
 
 
 @dataclass(frozen=True)
@@ -270,10 +282,16 @@ RESPONSE_TYPES: dict[str, type] = {
 
 
 def response_to_dict(response) -> dict[str, Any]:
-    """Dataclass response -> plain JSON-ready dict."""
+    """Dataclass response -> plain JSON-ready dict.
+
+    The ``trace`` block is omitted unless spans were attached, so the
+    wire format of untraced responses is unchanged.
+    """
     out = asdict(response)
     if isinstance(response, KernelsResponse):
         out["rows"] = [asdict(r) for r in response.rows]
+    if out.get("trace") is None:
+        out.pop("trace", None)
     return out
 
 

@@ -19,6 +19,7 @@ Error responses use the protocol's uniform envelope:
 
 from __future__ import annotations
 
+import contextlib
 import json
 import logging
 import signal
@@ -29,6 +30,14 @@ from socketserver import ThreadingMixIn
 from typing import Any
 from urllib.parse import parse_qs, urlparse
 
+from ..obs import (
+    Tracer,
+    configure_json_logging,
+    new_request_id,
+    render_tree,
+    set_request_id,
+    trace_span,
+)
 from .engine import PredictionEngine
 from .protocol import error_envelope
 
@@ -59,8 +68,49 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        request_id = getattr(self, "_request_id", None)
+        if request_id:
+            self.send_header("X-Request-Id", request_id)
         self.end_headers()
         self.wfile.write(body)
+
+    @contextlib.contextmanager
+    def _request_scope(self, endpoint: str):
+        """Per-request observability: id binding, tracing, slow-log.
+
+        Binds the request id (honoring a client-sent ``X-Request-Id``)
+        for every log line emitted while handling, runs the handler
+        under a request-local tracer whose spans feed the phase
+        histograms, and dumps the span tree to the log when the request
+        exceeds the server's slow threshold.
+        """
+        server = self.server
+        request_id = ((self.headers.get("X-Request-Id") or "").strip()
+                      or new_request_id())
+        self._request_id = request_id
+        token = set_request_id(request_id)
+        started = time.perf_counter()
+        tracer = (Tracer(metrics=server.engine.metrics)
+                  if server.tracing else None)
+        try:
+            if tracer is not None:
+                with tracer.activate(), trace_span(
+                        "server.handle", endpoint=endpoint,
+                        request_id=request_id):
+                    yield
+            else:
+                yield
+        finally:
+            elapsed = time.perf_counter() - started
+            if elapsed >= server.slow_request_seconds:
+                fields: dict[str, Any] = {
+                    "endpoint": endpoint,
+                    "seconds": round(elapsed, 6),
+                }
+                if tracer is not None:
+                    fields["span_tree"] = render_tree(tracer.export())
+                log.warning("slow request", extra={"fields": fields})
+            token.var.reset(token)
 
     def _observe(self, endpoint: str, status: int, started: float) -> None:
         metrics = self.server.engine.metrics
@@ -84,6 +134,14 @@ class _Handler(BaseHTTPRequestHandler):
 
     # -- routes ---------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 -- http.server API
+        with self._request_scope(urlparse(self.path).path):
+            self._handle_get()
+
+    def do_POST(self) -> None:  # noqa: N802 -- http.server API
+        with self._request_scope(urlparse(self.path).path):
+            self._handle_post()
+
+    def _handle_get(self) -> None:
         started = time.perf_counter()
         url = urlparse(self.path)
         if url.path == "/healthz":
@@ -113,7 +171,7 @@ class _Handler(BaseHTTPRequestHandler):
         )
         self._observe("unknown", 404, started)
 
-    def do_POST(self) -> None:  # noqa: N802 -- http.server API
+    def _handle_post(self) -> None:
         started = time.perf_counter()
         url = urlparse(self.path)
         kind = _POST_ROUTES.get(url.path)
@@ -157,9 +215,18 @@ class PredictionServer(ThreadingMixIn, HTTPServer):
     daemon_threads = True
     allow_reuse_address = True
 
-    def __init__(self, address: tuple[str, int], engine: PredictionEngine):
+    def __init__(
+        self,
+        address: tuple[str, int],
+        engine: PredictionEngine,
+        *,
+        tracing: bool = True,
+        slow_request_seconds: float = 1.0,
+    ):
         super().__init__(address, _Handler)
         self.engine = engine
+        self.tracing = tracing
+        self.slow_request_seconds = slow_request_seconds
         self._thread: threading.Thread | None = None
 
     @property
@@ -186,22 +253,34 @@ def make_server(
     engine: PredictionEngine,
     host: str = "127.0.0.1",
     port: int = 0,
+    *,
+    tracing: bool = True,
+    slow_request_seconds: float = 1.0,
 ) -> PredictionServer:
     """Bind (``port=0`` picks an ephemeral port) without serving yet."""
-    return PredictionServer((host, port), engine)
+    return PredictionServer(
+        (host, port), engine,
+        tracing=tracing, slow_request_seconds=slow_request_seconds,
+    )
 
 
 def run_server(
     engine: PredictionEngine,
     host: str = "127.0.0.1",
     port: int = 8080,
+    *,
+    tracing: bool = True,
+    slow_request_seconds: float = 1.0,
 ) -> None:
     """Blocking serve loop with clean Ctrl-C/SIGTERM shutdown (the CLI path)."""
+    configure_json_logging()
     # Fork workers before binding so they never inherit the listening
     # socket; otherwise an unclean parent death leaves orphans holding
     # the port open and silently swallowing connections.
     engine.start_workers()
-    server = make_server(engine, host, port)
+    server = make_server(engine, host, port,
+                         tracing=tracing,
+                         slow_request_seconds=slow_request_seconds)
 
     def _terminate(signum, frame):
         raise SystemExit(128 + signum)

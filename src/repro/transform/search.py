@@ -29,6 +29,7 @@ from typing import Mapping, Sequence
 
 from ..compare.comparator import Verdict, compare
 from ..ir.nodes import Program
+from ..obs import trace_span
 from ..ir.printer import print_program
 from ..symbolic.expr import PerfExpr
 from ..symbolic.intervals import Interval
@@ -92,44 +93,50 @@ def astar_search(
     what a compiler actually wants: the cheapest *program*, not the
     shortest sequence).
     """
-    counter = itertools.count()
-    start_cost = predictor.predict(program)
-    frontier: list = []
+    with trace_span("transform.search") as span:
+        counter = itertools.count()
+        start_cost = predictor.predict(program)
+        frontier: list = []
 
-    def push(prog: Program, cost: PerfExpr, steps: tuple[SearchStep, ...], depth: int):
-        priority = (
-            float(_scalar_cost(cost, workload)) if workload is not None else 0.0
-        )
-        heapq.heappush(frontier, (priority, next(counter), prog, cost, steps, depth))
+        def push(prog: Program, cost: PerfExpr, steps: tuple[SearchStep, ...], depth: int):
+            priority = (
+                float(_scalar_cost(cost, workload)) if workload is not None else 0.0
+            )
+            heapq.heappush(frontier, (priority, next(counter), prog, cost, steps, depth))
 
-    push(program, start_cost, (), 0)
-    best_prog, best_cost, best_steps = program, start_cost, ()
-    seen: set[str] = {print_program(program)}
-    expanded = 0
-    generated = 1
+        push(program, start_cost, (), 0)
+        best_prog, best_cost, best_steps = program, start_cost, ()
+        seen: set[str] = {print_program(program)}
+        expanded = 0
+        generated = 1
 
-    while frontier and expanded < max_nodes:
-        _, _, prog, cost, steps, depth = heapq.heappop(frontier)
-        expanded += 1
-        if _better(cost, best_cost, workload, domain):
-            best_prog, best_cost, best_steps = prog, cost, steps
-        if depth >= max_depth:
-            continue
-        for transformation in transformations:
-            for site in transformation.sites(prog):
-                candidate = transformation.apply(prog, site)
-                key = print_program(candidate)
-                if key in seen:
-                    continue
-                seen.add(key)
-                candidate_cost = predictor.predict(candidate)
-                generated += 1
-                push(
-                    candidate,
-                    candidate_cost,
-                    steps + (SearchStep(transformation.name, site.description),),
-                    depth + 1,
-                )
+        while frontier and expanded < max_nodes:
+            _, _, prog, cost, steps, depth = heapq.heappop(frontier)
+            expanded += 1
+            if _better(cost, best_cost, workload, domain):
+                best_prog, best_cost, best_steps = prog, cost, steps
+            if depth >= max_depth:
+                continue
+            for transformation in transformations:
+                for site in transformation.sites(prog):
+                    candidate = transformation.apply(prog, site)
+                    key = print_program(candidate)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    candidate_cost = predictor.predict(candidate)
+                    generated += 1
+                    push(
+                        candidate,
+                        candidate_cost,
+                        steps + (SearchStep(transformation.name, site.description),),
+                        depth + 1,
+                    )
+        if span.recording:
+            span.set(nodes_expanded=expanded, nodes_generated=generated,
+                     max_depth=max_depth, best_cost=str(best_cost),
+                     best_sequence=" ; ".join(s.description for s in best_steps)
+                     or "(original)")
     return SearchResult(best_prog, best_cost, best_steps, expanded, generated)
 
 

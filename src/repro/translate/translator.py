@@ -35,6 +35,7 @@ from ..ir.symtab import SymbolTable
 from ..ir.types import ScalarType
 from ..ir.visitor import walk_exprs
 from ..machine.machine import Machine
+from ..obs import trace_span
 from .atomic_map import resolve_basic_op
 from .backend_opts import AGGRESSIVE_BACKEND, BackendFlags
 from .basic_ops import load_op, store_op
@@ -101,9 +102,12 @@ class Translator:
     ) -> BlockInfo:
         """Translate a conditional expression plus its compare-and-branch."""
         session = _BlockSession(self, (), loop_indices, label)
-        dep = session.translate_expr(cond)[0]
-        deps = (dep,) if dep is not None else ()
-        session.emit_basic("br", deps, tag="branch")
+        with trace_span("translate.specialize") as span:
+            dep = session.translate_expr(cond)[0]
+            deps = (dep,) if dep is not None else ()
+            session.emit_basic("br", deps, tag="branch")
+            if span.recording:
+                span.set(label=label, emitted=len(session.stream))
         return session.finish()
 
     def loop_overhead(self, label: str = "loop-overhead") -> BlockInfo:
@@ -181,21 +185,32 @@ class _BlockSession:
 
     # -- driver ---------------------------------------------------------------
     def run(self) -> BlockInfo:
-        for stmt in self.stmts:
-            if isinstance(stmt, Assign):
-                self._translate_assign(stmt)
-            elif isinstance(stmt, CallStmt):
-                self._translate_call(stmt)
-            else:
-                raise TypeError(
-                    f"translate_block only handles straight-line code, got {stmt}"
-                )
-        self._store_accumulators()
+        with trace_span("translate.specialize") as span:
+            for stmt in self.stmts:
+                if isinstance(stmt, Assign):
+                    self._translate_assign(stmt)
+                elif isinstance(stmt, CallStmt):
+                    self._translate_call(stmt)
+                else:
+                    raise TypeError(
+                        f"translate_block only handles straight-line code, got {stmt}"
+                    )
+            self._store_accumulators()
+            if span.recording:
+                span.set(statements=len(self.stmts),
+                         label=self.stream.label,
+                         emitted=len(self.stream))
         return self.finish()
 
     def finish(self) -> BlockInfo:
-        if self.flags.dce:
-            self._eliminate_dead_code()
+        with trace_span("translate.atomic_map") as span:
+            if self.flags.dce:
+                self._eliminate_dead_code()
+            if span.recording:
+                span.set(label=self.stream.label,
+                         atomics=len(self.stream),
+                         spills=self.regs.spills,
+                         reductions=len(self.reductions))
         return BlockInfo(
             stream=self.stream,
             reductions=self.reductions,

@@ -1,0 +1,95 @@
+"""Structured JSON logging and request-id propagation."""
+
+import io
+import json
+import logging
+
+from repro.obs import (
+    JsonFormatter,
+    configure_json_logging,
+    get_request_id,
+    new_request_id,
+    set_request_id,
+)
+
+
+def _logger_with_buffer(name):
+    stream = io.StringIO()
+    logger = logging.getLogger(name)
+    logger.setLevel(logging.INFO)
+    handler = logging.StreamHandler(stream)
+    handler.setFormatter(JsonFormatter())
+    logger.addHandler(handler)
+    logger.propagate = False
+    return logger, stream, handler
+
+
+def test_one_json_object_per_line():
+    logger, stream, handler = _logger_with_buffer("test.obs.json")
+    try:
+        logger.info("hello %s", "world")
+        record = json.loads(stream.getvalue())
+        assert record["message"] == "hello world"
+        assert record["level"] == "info"
+        assert record["logger"] == "test.obs.json"
+        assert "ts" in record
+    finally:
+        logger.removeHandler(handler)
+
+
+def test_extra_fields_merge_into_record():
+    logger, stream, handler = _logger_with_buffer("test.obs.fields")
+    try:
+        logger.info("slow request", extra={"fields": {
+            "endpoint": "/predict", "seconds": 2.5}})
+        record = json.loads(stream.getvalue())
+        assert record["endpoint"] == "/predict"
+        assert record["seconds"] == 2.5
+    finally:
+        logger.removeHandler(handler)
+
+
+def test_request_id_rides_along():
+    logger, stream, handler = _logger_with_buffer("test.obs.reqid")
+    token = set_request_id("abc123def456")
+    try:
+        assert get_request_id() == "abc123def456"
+        logger.info("traced line")
+        record = json.loads(stream.getvalue())
+        assert record["request_id"] == "abc123def456"
+    finally:
+        token.var.reset(token)
+        logger.removeHandler(handler)
+    assert get_request_id() is None
+
+
+def test_new_request_ids_are_short_and_distinct():
+    first, second = new_request_id(), new_request_id()
+    assert first != second
+    assert len(first) == 12
+    int(first, 16)  # hex
+
+
+def test_exception_rendering():
+    logger, stream, handler = _logger_with_buffer("test.obs.exc")
+    try:
+        try:
+            raise ValueError("kaput")
+        except ValueError:
+            logger.exception("operation failed")
+        record = json.loads(stream.getvalue())
+        assert record["level"] == "error"
+        assert "kaput" in record["exception"]
+    finally:
+        logger.removeHandler(handler)
+
+
+def test_configure_json_logging_idempotent():
+    stream = io.StringIO()
+    logger = configure_json_logging("test.obs.configure", stream=stream)
+    again = configure_json_logging("test.obs.configure", stream=stream)
+    assert logger is again
+    json_handlers = [h for h in logger.handlers
+                     if isinstance(h.formatter, JsonFormatter)]
+    assert len(json_handlers) == 1
+    logger.handlers.clear()

@@ -1,0 +1,267 @@
+"""The span model: nesting, no-op mode, ingestion, and exporters."""
+
+import contextvars
+import json
+import threading
+
+from repro.obs import (
+    NOOP_SPAN,
+    PIPELINE_PHASES,
+    Tracer,
+    chrome_trace,
+    current_span,
+    current_tracer,
+    render_tree,
+    trace_span,
+    write_chrome_trace,
+)
+from repro.service.metrics import MetricsRegistry
+
+
+def _by_name(spans, name):
+    return [s for s in spans if s["name"] == name]
+
+
+# ----------------------------------------------------------------------
+# basic lifecycle
+
+
+def test_spans_nest_under_the_current_span():
+    tracer = Tracer()
+    with tracer.activate():
+        with trace_span("outer") as outer:
+            with trace_span("inner"):
+                pass
+        with trace_span("sibling"):
+            pass
+    spans = tracer.export()
+    assert [s["name"] for s in spans] == ["outer", "inner", "sibling"]
+    inner = _by_name(spans, "inner")[0]
+    assert inner["parent_id"] == outer.span_id
+    assert _by_name(spans, "outer")[0]["parent_id"] is None
+    assert _by_name(spans, "sibling")[0]["parent_id"] is None
+
+
+def test_span_records_duration_and_attrs():
+    tracer = Tracer()
+    with tracer.activate():
+        with trace_span("work", machine="power") as span:
+            assert span.recording
+            span.set(ops=7)
+    (record,) = tracer.export()
+    assert record["duration"] >= 0.0
+    assert record["attrs"] == {"machine": "power", "ops": 7}
+
+
+def test_exception_marks_span_and_propagates():
+    tracer = Tracer()
+    try:
+        with tracer.activate():
+            with trace_span("boom"):
+                raise RuntimeError("no")
+    except RuntimeError:
+        pass
+    (record,) = tracer.export()
+    assert record["attrs"]["error"] == "RuntimeError"
+
+
+def test_current_span_restored_after_exit():
+    tracer = Tracer()
+    with tracer.activate():
+        with trace_span("outer") as outer:
+            with trace_span("inner"):
+                assert current_span().name == "inner"
+            assert current_span() is outer
+        assert current_span() is None
+
+
+def test_span_ids_unique_across_tracers():
+    # Two tracers in one process (a request tracer plus a worker-local
+    # collection tracer) must never hand out colliding span ids, or the
+    # ingested tree grows cycles.
+    ids = set()
+    for _ in range(3):
+        tracer = Tracer()
+        with tracer.activate():
+            with trace_span("a"), trace_span("b"):
+                pass
+        ids.update(s["span_id"] for s in tracer.export())
+    assert len(ids) == 6
+
+
+# ----------------------------------------------------------------------
+# disabled mode
+
+
+def test_no_active_tracer_returns_noop_span():
+    assert current_tracer() is None
+    span = trace_span("anything")
+    assert span is NOOP_SPAN
+    assert not span.recording
+    with span as inner:
+        inner.set(ignored=True).set_attribute("also", "ignored")
+
+
+def test_noop_span_costs_no_storage():
+    tracer = Tracer()
+    with trace_span("outside-any-tracer"):
+        pass
+    assert len(tracer) == 0
+
+
+# ----------------------------------------------------------------------
+# threads
+
+
+def test_explicit_parent_links_across_threads():
+    tracer = Tracer()
+    with tracer.activate():
+        with trace_span("parent") as parent:
+            def work():
+                # A fresh thread has no ambient context; the parent (and
+                # tracer) travel explicitly via tracer.span(parent=...).
+                with tracer.span("child", parent=parent):
+                    pass
+            thread = threading.Thread(target=work)
+            thread.start()
+            thread.join()
+    spans = tracer.export()
+    child = _by_name(spans, "child")[0]
+    assert child["parent_id"] == parent.span_id
+
+
+def test_copy_context_carries_tracer_into_thread():
+    tracer = Tracer()
+    with tracer.activate():
+        with trace_span("parent") as parent:
+            ctx = contextvars.copy_context()
+            thread = threading.Thread(
+                target=ctx.run, args=(lambda: trace_span("child").__enter__().__exit__(None, None, None),))
+            thread.start()
+            thread.join()
+    child = _by_name(tracer.export(), "child")[0]
+    assert child["parent_id"] == parent.span_id
+
+
+# ----------------------------------------------------------------------
+# bounding and ingestion
+
+
+def test_max_spans_drops_instead_of_growing():
+    tracer = Tracer(max_spans=2)
+    with tracer.activate():
+        for _ in range(5):
+            with trace_span("s"):
+                pass
+    assert len(tracer) == 2
+    assert tracer.dropped == 3
+
+
+def test_ingest_adopts_worker_spans():
+    worker = Tracer()
+    with worker.activate():
+        with trace_span("predict"):
+            with trace_span("cost.place"):
+                pass
+    server = Tracer()
+    server.ingest(worker.export())
+    names = [s["name"] for s in server.export()]
+    assert names == ["predict", "cost.place"]
+
+
+def test_ingest_feeds_phase_metrics():
+    registry = MetricsRegistry()
+    worker = Tracer()
+    with worker.activate():
+        with trace_span("cost.place"):
+            pass
+        with trace_span("not-a-phase"):
+            pass
+    server = Tracer(metrics=registry)
+    server.ingest(worker.export())
+    histogram = registry.histogram("repro_phase_seconds")
+    assert histogram.count(phase="cost.place") == 1
+    assert histogram.count(phase="not-a-phase") == 0
+
+
+def test_finished_phase_spans_observe_histogram():
+    registry = MetricsRegistry()
+    tracer = Tracer(metrics=registry)
+    with tracer.activate():
+        with trace_span("aggregate.loop"):
+            pass
+    assert registry.histogram("repro_phase_seconds").count(
+        phase="aggregate.loop") == 1
+    assert "aggregate.loop" in PIPELINE_PHASES
+
+
+# ----------------------------------------------------------------------
+# exporters
+
+
+def test_chrome_trace_schema(tmp_path):
+    tracer = Tracer()
+    with tracer.activate():
+        with trace_span("outer", machine="power"):
+            with trace_span("inner"):
+                pass
+    path = tmp_path / "trace.json"
+    write_chrome_trace(tracer.export(), str(path))
+    document = json.loads(path.read_text())
+    assert document["displayTimeUnit"] == "ms"
+    events = document["traceEvents"]
+    complete = [e for e in events if e["ph"] == "X"]
+    metadata = [e for e in events if e["ph"] == "M"]
+    assert len(metadata) == 1  # one process -> one process_name record
+    assert [e["name"] for e in complete] == ["outer", "inner"]
+    for event in complete:
+        assert set(event) >= {"name", "cat", "ph", "ts", "dur", "pid", "tid"}
+        assert event["ts"] >= 0 and event["dur"] >= 0
+    outer, inner = complete
+    assert outer["args"]["machine"] == "power"
+    assert inner["args"]["parent_id"] == outer["args"]["span_id"]
+
+
+def test_chrome_trace_separates_worker_pids():
+    spans = [
+        {"name": "a", "span_id": "1-1", "parent_id": None,
+         "start": 0.0, "duration": 0.1, "pid": 100, "tid": 1, "attrs": {}},
+        {"name": "b", "span_id": "2-1", "parent_id": None,
+         "start": 0.0, "duration": 0.1, "pid": 200, "tid": 1, "attrs": {}},
+    ]
+    events = chrome_trace(spans)["traceEvents"]
+    metadata = [e for e in events if e["ph"] == "M"]
+    assert {e["pid"] for e in metadata} == {100, 200}
+
+
+def test_render_tree_indents_children():
+    tracer = Tracer()
+    with tracer.activate():
+        with trace_span("root"):
+            with trace_span("child", ops=3):
+                pass
+    tree = render_tree(tracer.export())
+    lines = tree.splitlines()
+    assert lines[0].startswith("root ")
+    assert lines[1].startswith("  child ")
+    assert "ops=3" in lines[1]
+
+
+def test_render_tree_orphans_become_roots():
+    spans = [
+        {"name": "lost-child", "span_id": "x-2", "parent_id": "x-1",
+         "start": 1.0, "duration": 0.1, "pid": 1, "tid": 1, "attrs": {}},
+    ]
+    tree = render_tree(spans)
+    assert tree.startswith("lost-child ")
+
+
+def test_render_tree_survives_a_parent_cycle():
+    spans = [
+        {"name": "a", "span_id": "1", "parent_id": "2",
+         "start": 0.0, "duration": 0.1, "pid": 1, "tid": 1, "attrs": {}},
+        {"name": "b", "span_id": "2", "parent_id": "1",
+         "start": 0.1, "duration": 0.1, "pid": 1, "tid": 1, "attrs": {}},
+    ]
+    tree = render_tree(spans)  # must terminate
+    assert "a" in tree and "b" in tree

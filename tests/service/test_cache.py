@@ -85,3 +85,66 @@ def test_compact_rewrites_file(tmp_path):
     assert len(lines) == 2
     warmed = ResultCache(maxsize=2, path=path)
     assert "k5" in warmed and "k4" in warmed
+
+
+# ----------------------------------------------------------------------
+# telemetry: endpoints, entry ages, eviction records
+
+
+def test_endpoint_of_takes_key_prefix():
+    from repro.service.cache import endpoint_of
+
+    assert endpoint_of("predict|abc123|power|fp=ff") == "predict"
+    assert endpoint_of("kernels") == "kernels"
+
+
+def test_put_reports_eviction_with_endpoint_and_age():
+    cache = ResultCache(maxsize=1)
+    assert cache.put("predict|old", {"v": 1}) is None
+    evicted = cache.put("compare|new", {"v": 2})
+    assert evicted is not None
+    assert evicted.key == "predict|old"
+    assert evicted.endpoint == "predict"
+    assert evicted.age >= 0.0
+
+
+def test_overwrite_returns_no_eviction():
+    cache = ResultCache(maxsize=1)
+    cache.put("k", {"v": 1})
+    assert cache.put("k", {"v": 2}) is None
+
+
+def test_entry_ages_track_residents():
+    cache = ResultCache(maxsize=4)
+    cache.put("predict|a", {"v": 1})
+    cache.put("compare|b", {"v": 2})
+    ages = cache.entry_ages()
+    assert set(ages) == {"predict|a", "compare|b"}
+    assert all(age >= 0.0 for age in ages.values())
+    cache.clear()
+    assert cache.entry_ages() == {}
+
+
+def test_persistence_keeps_timestamps(tmp_path):
+    path = tmp_path / "cache.jsonl"
+    cache = ResultCache(maxsize=8, path=path)
+    cache.put("k1", {"cost": "3*n + 8"})
+    with open(path) as handle:
+        record = json.loads(handle.readline())
+    assert record["ts"] > 0
+
+    warmed = ResultCache(maxsize=8, path=path)
+    # The reloaded age reflects the original insertion, not load time.
+    assert warmed.entry_ages()["k1"] >= 0.0
+    warmed.compact()
+    with open(path) as handle:
+        record = json.loads(handle.readline())
+    assert record["ts"] > 0
+
+
+def test_legacy_lines_without_ts_still_load(tmp_path):
+    path = tmp_path / "cache.jsonl"
+    path.write_text(json.dumps({"key": "k", "value": {"v": 1}}) + "\n")
+    cache = ResultCache(maxsize=8, path=path)
+    assert cache.get("k") == {"v": 1}
+    assert cache.entry_ages()["k"] >= 0.0

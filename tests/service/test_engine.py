@@ -171,3 +171,123 @@ def test_worker_pool_batch(executor):
         # Second round is served entirely from the in-process cache.
         again = eng.batch([PredictRequest(source=SAXPY)])
         assert again[0].cached
+
+
+# ----------------------------------------------------------------------
+# cost-table fingerprints in cache keys
+
+
+def test_cache_key_includes_cost_table_fingerprint(engine, monkeypatch):
+    from repro.machine.registry import get_machine
+    from repro.service import engine as engine_mod
+
+    first = engine.predict(PredictRequest(source=SAXPY))
+    assert engine.predict(PredictRequest(source=SAXPY)).cached
+
+    # Simulate recalibration: same machine name, different fingerprint.
+    machine = get_machine("power")
+    engine_mod._FINGERPRINTS.pop("power", None)
+    monkeypatch.setattr(type(machine), "fingerprint",
+                        lambda self: "deadbeefdeadbeef")
+    try:
+        recalibrated = engine.predict(PredictRequest(source=SAXPY))
+    finally:
+        engine_mod._FINGERPRINTS.pop("power", None)
+    assert not recalibrated.cached        # stale entry no longer matches
+    assert recalibrated.cost == first.cost
+
+
+def test_fingerprint_covers_cost_table():
+    from repro.machine.machine import cost_table_fingerprint
+    from repro.machine.registry import get_machine
+
+    power = get_machine("power")
+    risc = get_machine("alpha")
+    assert cost_table_fingerprint(power) != cost_table_fingerprint(risc)
+    assert cost_table_fingerprint(power) == power.fingerprint()
+    assert len(power.fingerprint()) == 16
+
+
+# ----------------------------------------------------------------------
+# tracing through the engine
+
+
+def test_trace_block_on_request(engine):
+    from repro.service import engine as engine_mod
+
+    # The worker-side predictor pool memoizes whole-program results;
+    # start cold so the full pipeline (and its spans) actually runs.
+    engine_mod._predictors.clear()
+    response = engine.predict(PredictRequest(source=SAXPY, trace=True))
+    names = {span["name"] for span in response.trace}
+    assert {"predict", "translate.specialize", "cost.place",
+            "aggregate.loop"} <= names
+
+
+def test_untraced_request_has_no_trace_block(engine):
+    result = engine.handle("predict", {"source": SAXPY})
+    assert "trace" not in result
+
+
+def test_cached_response_stays_trace_free(engine):
+    engine.predict(PredictRequest(source=SAXPY, trace=True))
+    hit = engine.predict(PredictRequest(source=SAXPY, trace=True))
+    assert hit.cached
+    # A hit never re-runs the pipeline; it reports only the lookup.
+    assert [span["name"] for span in hit.trace] == ["engine.execute"]
+    assert hit.trace[0]["attrs"]["cached"] is True
+
+
+def test_engine_ingests_spans_into_active_tracer(engine):
+    from repro.obs import Tracer
+    from repro.service import engine as engine_mod
+
+    engine_mod._predictors.clear()
+    tracer = Tracer(metrics=engine.metrics)
+    with tracer.activate():
+        engine.handle("predict", {"source": SAXPY})
+    names = [span["name"] for span in tracer.export()]
+    assert "engine.execute" in names
+    assert "cost.place" in names
+    histogram = engine.metrics.histogram("repro_phase_seconds")
+    assert histogram.count(phase="cost.place") > 0
+
+
+def test_cache_lookup_counters_by_endpoint(engine):
+    engine.handle("predict", {"source": SAXPY})
+    engine.handle("predict", {"source": SAXPY})
+    lookups = engine.metrics.counter("repro_cache_requests_total")
+    assert lookups.value(endpoint="predict", result="miss") == 1
+    assert lookups.value(endpoint="predict", result="hit") == 1
+
+
+def test_entry_age_histogram_snapshots_current_residents(engine):
+    engine.handle("predict", {"source": SAXPY})
+    engine.export_cache_metrics()
+    ages = engine.metrics.histogram("repro_cache_entry_age_seconds")
+    assert ages.count(endpoint="predict") == 1
+    engine.export_cache_metrics()      # re-scrape must not double-count
+    assert ages.count(endpoint="predict") == 1
+
+
+def test_eviction_telemetry(tmp_path):
+    with PredictionEngine(workers=0, cache_size=1) as engine:
+        engine.handle("predict", {"source": SAXPY})
+        engine.handle("predict", {"source": DAXPY_VARIANT})
+        evictions = engine.metrics.counter(
+            "repro_cache_endpoint_evictions_total")
+        assert evictions.value(endpoint="predict") == 1
+        age_hist = engine.metrics.histogram("repro_cache_evicted_age_seconds")
+        assert age_hist.count(endpoint="predict") == 1
+
+
+@pytest.mark.parametrize("executor", ["process", "thread"])
+def test_worker_pool_returns_trace(executor):
+    from repro.service import engine as engine_mod
+
+    engine_mod._predictors.clear()   # thread workers share this pool
+    with PredictionEngine(workers=2, cache_size=8,
+                          executor=executor) as engine:
+        response = engine.predict(PredictRequest(source=SAXPY, trace=True))
+        names = {span["name"] for span in response.trace}
+        assert "predict" in names and "cost.place" in names

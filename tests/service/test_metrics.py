@@ -57,3 +57,44 @@ def test_registry_same_name_same_instrument():
     assert a is b
     with pytest.raises(TypeError):
         registry.gauge("x_total", "")
+
+
+# ----------------------------------------------------------------------
+# exposition-format escaping
+
+
+def test_label_values_escape_quotes_backslashes_newlines():
+    registry = MetricsRegistry()
+    counter = registry.counter("esc_total", "")
+    counter.inc(message='say "hi"\\now\non two lines')
+    (line,) = counter.render()
+    assert line == (
+        'esc_total{message="say \\"hi\\"\\\\now\\non two lines"} 1'
+    )
+
+
+def test_escaped_labels_stay_single_line():
+    counter = Counter("one_line_total", "")
+    counter.inc(path="a\nb")
+    (line,) = counter.render()
+    assert "\n" not in line
+
+
+def test_histogram_sum_uses_plain_float_format():
+    histogram = Histogram("lat", "", buckets=(1.0,))
+    histogram.observe(0.25)
+    histogram.observe(0.25)
+    lines = histogram.render()
+    assert "lat_sum 0.5" in lines          # not repr() -> "0.5" w/o quotes
+    histogram2 = Histogram("lat2", "", buckets=(1.0,))
+    histogram2.observe(2.0)
+    assert "lat2_sum 2" in histogram2.render()
+
+
+def test_histogram_reset_drops_observations():
+    histogram = Histogram("ages", "", buckets=(1.0, 10.0))
+    histogram.observe(0.5, endpoint="predict")
+    assert histogram.count(endpoint="predict") == 1
+    histogram.reset()
+    assert histogram.count(endpoint="predict") == 0
+    assert histogram.render() == []

@@ -135,3 +135,81 @@ def test_unknown_route_is_404(server):
         urllib.request.urlopen(
             f"http://127.0.0.1:{server.port}/nope", timeout=10)
     assert excinfo.value.code == 404
+
+
+# ----------------------------------------------------------------------
+# observability: request ids, tracing, slow-request log
+
+
+def _post_raw(server, path, payload, headers=None):
+    body = json.dumps(payload).encode("utf-8")
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{server.port}{path}",
+        data=body,
+        headers={"Content-Type": "application/json", **(headers or {})},
+    )
+    return urllib.request.urlopen(request, timeout=10)
+
+
+def test_response_carries_request_id(server):
+    with _post_raw(server, "/predict", {"source": SAXPY}) as response:
+        rid = response.headers.get("X-Request-Id")
+    assert rid and len(rid) == 12
+
+
+def test_client_request_id_is_echoed(server):
+    with _post_raw(server, "/predict", {"source": SAXPY},
+                   headers={"X-Request-Id": "trace-me-42"}) as response:
+        assert response.headers.get("X-Request-Id") == "trace-me-42"
+
+
+def test_trace_opt_in_returns_span_block(server):
+    status, body = _post(server, "/predict",
+                         {"source": SAXPY, "trace": True})
+    assert status == 200
+    names = {span["name"] for span in body["trace"]}
+    # The block holds the request-local pipeline spans; the enclosing
+    # server.handle/engine.execute spans live on the server's tracer.
+    assert "predict" in names
+
+
+def test_metrics_exposes_phase_histogram(server):
+    _post(server, "/predict", {"source": SAXPY})
+    status, text = _get(server, "/metrics")
+    assert status == 200
+    assert "# TYPE repro_phase_seconds histogram" in text
+    assert 'repro_phase_seconds_count{phase="server.handle"}' in text
+    assert 'repro_phase_seconds_count{phase="engine.execute"}' in text
+    assert 'repro_cache_requests_total{endpoint="predict",result="miss"} 1' \
+        in text
+
+
+def test_tracing_can_be_disabled():
+    engine = PredictionEngine(workers=0, cache_size=8)
+    instance = make_server(engine, host="127.0.0.1", port=0, tracing=False)
+    instance.start_background()
+    try:
+        _post(instance, "/predict", {"source": SAXPY})
+        _, text = _get(instance, "/metrics")
+        assert 'phase="server.handle"' not in text
+    finally:
+        instance.stop()
+
+
+def test_slow_request_logs_span_tree(caplog):
+    import logging
+
+    engine = PredictionEngine(workers=0, cache_size=8)
+    instance = make_server(engine, host="127.0.0.1", port=0,
+                           slow_request_seconds=0.0)  # everything is slow
+    instance.start_background()
+    try:
+        with caplog.at_level(logging.WARNING, logger="repro.service"):
+            _post(instance, "/predict", {"source": SAXPY})
+    finally:
+        instance.stop()
+    slow = [r for r in caplog.records if r.getMessage() == "slow request"]
+    assert slow
+    fields = slow[0].fields
+    assert fields["endpoint"] == "/predict"
+    assert "server.handle" in fields["span_tree"]

@@ -166,3 +166,44 @@ def test_missing_file():
 def test_bad_command():
     with pytest.raises(SystemExit):
         main(["frobnicate"])
+
+
+def test_predict_trace_writes_chrome_json(saxpy_file, tmp_path, capsys):
+    trace_path = tmp_path / "trace.json"
+    assert main(["predict", saxpy_file, "--trace", str(trace_path)]) == 0
+    assert "cost[power]" in capsys.readouterr().out
+    document = json.loads(trace_path.read_text())
+    events = [e for e in document["traceEvents"] if e.get("ph") == "X"]
+    names = {e["name"] for e in events}
+    assert "cli.predict" in names
+    assert {"translate.specialize", "cost.place", "aggregate.loop"} <= names
+    for event in events:
+        assert event["dur"] >= 0 and event["ts"] > 0
+
+
+def test_compare_trace_flag(saxpy_file, unrolled_file, tmp_path, capsys):
+    trace_path = tmp_path / "cmp.json"
+    assert main(["compare", saxpy_file, unrolled_file,
+                 "--trace", str(trace_path)]) == 0
+    capsys.readouterr()
+    names = {e["name"]
+             for e in json.loads(trace_path.read_text())["traceEvents"]
+             if e.get("ph") == "X"}
+    assert "cli.compare" in names
+
+
+def test_restructure_trace_has_search_span(saxpy_file, tmp_path, capsys):
+    trace_path = tmp_path / "rs.json"
+    assert main(["restructure", saxpy_file, "--workload", "n=64",
+                 "--depth", "1", "--trace", str(trace_path)]) == 0
+    capsys.readouterr()
+    names = {e["name"]
+             for e in json.loads(trace_path.read_text())["traceEvents"]
+             if e.get("ph") == "X"}
+    assert "transform.search" in names
+
+
+def test_untraced_run_writes_nothing(saxpy_file, tmp_path, capsys):
+    assert main(["predict", saxpy_file]) == 0
+    capsys.readouterr()
+    assert not list(tmp_path.glob("*.json"))
