@@ -27,10 +27,14 @@ def test_eff_linearity_table(benchmark):
         rows = []
         per_op: list[float] = []
         for size in _SIZES:
-            stream = random_stream(machine, size, seed=size)
-            t0 = time.perf_counter()
             repeats = max(1, 2000 // size)
-            for _ in range(repeats):
+            # Distinct streams per repeat: identical ones would be
+            # answered by the placement memo, and this bench times the
+            # placement algorithm itself.
+            streams = [random_stream(machine, size, seed=size + 7919 * r)
+                       for r in range(repeats)]
+            t0 = time.perf_counter()
+            for stream in streams:
                 estimator.estimate(stream)
             elapsed = (time.perf_counter() - t0) / repeats
             per_op.append(elapsed / size)

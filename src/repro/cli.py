@@ -186,6 +186,8 @@ def _cmd_restructure(args: argparse.Namespace) -> int:
         max_depth=args.depth,
         max_nodes=args.max_nodes,
         domain=_parse_domain(args.domain) or None,
+        beam_width=args.beam_width,
+        search_workers=args.search_workers,
     )
     print(f"sequence: {result.sequence}")
     print(f"cost: {result.cost}")
@@ -227,6 +229,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache_size=args.cache_size,
         cache_path=args.cache_file,
         executor=args.executor,
+        scheduling=args.scheduling,
     )
     run_server(
         engine,
@@ -277,6 +280,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--domain", help="bounds for symbolic mode")
     p.add_argument("--depth", type=int, default=2)
     p.add_argument("--max-nodes", type=int, default=200)
+    p.add_argument("--beam-width", type=int, default=1,
+                   help="nodes expanded per search round (batched together)")
+    p.add_argument("--search-workers", type=int, default=0,
+                   help="worker processes for candidate evaluation "
+                        "(0/1 = inline)")
     p.add_argument("--trace", metavar="FILE",
                    help="write a Chrome trace_event JSON of the run")
     p.set_defaults(func=_cmd_restructure)
@@ -301,6 +309,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="JSON-lines persistence file for warm restarts")
     p.add_argument("--executor", default="auto",
                    choices=("auto", "process", "thread", "sync"))
+    p.add_argument("--scheduling", default="weighted",
+                   choices=("weighted", "naive"),
+                   help="batch scheduling: group light requests and split "
+                        "heavy restructures (weighted) or one task per "
+                        "request (naive)")
     p.add_argument("--slow-request-seconds", type=float, default=1.0,
                    help="log requests slower than this, with their span tree")
     p.add_argument("--no-tracing", action="store_true",

@@ -10,12 +10,23 @@ from .costblock import CostBlock
 from .estimator import BlockCost, StraightLineEstimator
 from .focus import DEFAULT_SPAN, EXHAUSTIVE_SPAN, FAST_SPAN, recommended_span
 from .overlap import combined_cycles, max_overlap, steady_state_cycles
-from .placement import DEFAULT_FOCUS_SPAN, PlacedBlock, PlacedOp, place_stream
+from .placement import (
+    DEFAULT_FOCUS_SPAN,
+    PLACEMENT_CACHE_LIMIT,
+    PlacedBlock,
+    PlacedOp,
+    place_stream,
+    placement_cache_stats,
+    reset_placement_cache,
+    stream_digest,
+)
 from .slots import SlotArray
 
 __all__ = [
     "BinSet", "BlockCost", "CostBlock", "DEFAULT_FOCUS_SPAN", "DEFAULT_SPAN",
-    "EXHAUSTIVE_SPAN", "FAST_SPAN", "PlacedBlock", "PlacedOp", "Placement",
-    "SlotArray", "StraightLineEstimator", "combined_cycles", "max_overlap",
-    "place_stream", "recommended_span", "steady_state_cycles",
+    "EXHAUSTIVE_SPAN", "FAST_SPAN", "PLACEMENT_CACHE_LIMIT", "PlacedBlock",
+    "PlacedOp", "Placement", "SlotArray", "StraightLineEstimator",
+    "combined_cycles", "max_overlap", "place_stream",
+    "placement_cache_stats", "recommended_span", "reset_placement_cache",
+    "steady_state_cycles", "stream_digest",
 ]

@@ -42,10 +42,18 @@ class BinSet:
         self._pipes_of: dict[UnitKind, list[tuple[UnitKind, int]]] = {}
         for kind, pipe in machine.bins():
             self._pipes_of.setdefault(kind, []).append((kind, pipe))
+        # Running top, maintained by place(): recomputing it by
+        # scanning every bin is O(bins) per instruction, and the
+        # focus-span floor asks for it on *every* placement.
+        self._top = 0
 
     # ------------------------------------------------------------------
     def top(self) -> int:
         """One past the highest occupied slot across all bins (0 if empty)."""
+        return self._top
+
+    def _scan_top(self) -> int:
+        """Recompute the top from the bins (oracle for tests)."""
         highest = -1
         for array in self.arrays.values():
             last = array.last_filled()
@@ -98,6 +106,8 @@ class BinSet:
             if worst == t:
                 for cost, pipe in zip(needed, chosen):
                     self.arrays[pipe].fill(t, cost.noncoverable)
+                    if t + cost.noncoverable > self._top:
+                        self._top = t + cost.noncoverable
                 return Placement(t, tuple(chosen))
             t = worst
 

@@ -14,6 +14,9 @@ considerations."
 
 from __future__ import annotations
 
+import hashlib
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from ..machine.machine import Machine
@@ -22,7 +25,11 @@ from ..translate.stream import Instr, InstrStream
 from .bins import BinSet
 from .costblock import CostBlock
 
-__all__ = ["PlacedOp", "PlacedBlock", "place_stream", "DEFAULT_FOCUS_SPAN"]
+__all__ = [
+    "PlacedOp", "PlacedBlock", "place_stream", "DEFAULT_FOCUS_SPAN",
+    "stream_digest", "placement_cache_stats", "reset_placement_cache",
+    "PLACEMENT_CACHE_LIMIT",
+]
 
 #: Default focus span; the ablation bench E-FOCUS sweeps this.
 DEFAULT_FOCUS_SPAN = 64
@@ -53,6 +60,90 @@ class PlacedBlock:
         return self.ops[index].completion
 
 
+# ----------------------------------------------------------------------
+# Placement memo
+#
+# Transformation search predicts thousands of program variants whose
+# straight-line bodies are overwhelmingly *identical* to bodies already
+# placed (a rewrite touches one loop; every other block re-translates
+# to the same instruction stream).  Placement is a pure function of
+# (machine cost table, instruction stream, focus span), so a bounded
+# LRU keyed exactly that way answers those repeats without replaying
+# the Tetris drop.  The service engine publishes the hit/miss counters
+# as ``repro_placement_cache_*`` on /metrics.
+
+PLACEMENT_CACHE_LIMIT = 2048
+
+_cache: OrderedDict[tuple[str, str, int], PlacedBlock] = OrderedDict()
+_cache_lock = threading.Lock()
+_cache_hits = 0
+_cache_misses = 0
+_cache_evictions = 0
+
+#: Machine identity -> fingerprint memo: fingerprints hash the whole
+#: cost table, so recomputing one per placement would dwarf the win.
+_fingerprints: dict[int, tuple[Machine, str]] = {}
+
+
+def _machine_fingerprint(machine: Machine) -> str:
+    memo = _fingerprints.get(id(machine))
+    if memo is not None and memo[0] is machine:
+        return memo[1]
+    fingerprint = machine.fingerprint()
+    if len(_fingerprints) > 64:
+        _fingerprints.clear()
+    _fingerprints[id(machine)] = (machine, fingerprint)
+    return fingerprint
+
+
+def stream_digest(instrs: list[Instr]) -> str:
+    """Hex digest of an instruction stream's placement-relevant content.
+
+    Covers index, atomic op, dependence edges, and the one-time flag --
+    everything placement reads -- and nothing else (tags are
+    diagnostic).
+    """
+    h = hashlib.blake2b(digest_size=16)
+    for instr in instrs:
+        h.update(b"|")
+        h.update(str(instr.index).encode())
+        h.update(instr.atomic.encode())
+        h.update(b"1" if instr.one_time else b"0")
+        for dep in instr.deps:
+            h.update(b",")
+            h.update(str(dep).encode())
+    return h.hexdigest()
+
+
+def placement_cache_stats() -> dict[str, int]:
+    """Snapshot of the placement memo's counters and size."""
+    with _cache_lock:
+        return {
+            "hits": _cache_hits,
+            "misses": _cache_misses,
+            "evictions": _cache_evictions,
+            "entries": len(_cache),
+        }
+
+
+def reset_placement_cache() -> None:
+    """Drop all memoized placements and zero the counters."""
+    global _cache_hits, _cache_misses, _cache_evictions
+    with _cache_lock:
+        _cache.clear()
+        _cache_hits = _cache_misses = _cache_evictions = 0
+
+
+def _share(placed: PlacedBlock) -> PlacedBlock:
+    """A caller-safe view of a cached placement.
+
+    The ops list is copied (callers may not mutate the memo's master);
+    the ops themselves and the summary block are immutable-in-practice
+    and shared.
+    """
+    return PlacedBlock(placed.machine_name, list(placed.ops), placed.block)
+
+
 def place_stream(
     machine: Machine,
     instrs: list[Instr] | InstrStream,
@@ -71,13 +162,54 @@ def place_stream(
     The first two conditions model the paper's "filter": an operation
     passes through the transparent (coverable) region of its
     predecessors but cannot sink below its producers' completions.
+
+    Identical (machine, stream, focus span) placements are answered
+    from a bounded LRU; passing explicit ``bins`` (shared, possibly
+    pre-filled state) bypasses the memo.
     """
+    global _cache_hits, _cache_misses, _cache_evictions
     if focus_span < 1:
         raise ValueError("focus span must be at least 1")
     if isinstance(instrs, InstrStream):
         instr_list = list(instrs)
     else:
         instr_list = instrs
+    key = None
+    if bins is None:
+        key = (_machine_fingerprint(machine), stream_digest(instr_list),
+               focus_span)
+        with _cache_lock:
+            hit = _cache.get(key)
+            if hit is not None:
+                _cache.move_to_end(key)
+                _cache_hits += 1
+        if hit is not None:
+            # Memoized placements still announce the phase: traces and
+            # the cost.place histogram stay complete under a warm memo.
+            with trace_span("cost.place") as span:
+                if span.recording:
+                    span.set(machine=machine.name, ops=len(instr_list),
+                             focus_span=focus_span, cycles=hit.cycles,
+                             cached=True)
+            return _share(hit)
+        with _cache_lock:
+            _cache_misses += 1
+    placed = _place_uncached(machine, instr_list, focus_span, bins)
+    if key is not None:
+        with _cache_lock:
+            _cache[key] = _share(placed)
+            while len(_cache) > PLACEMENT_CACHE_LIMIT:
+                _cache.popitem(last=False)
+                _cache_evictions += 1
+    return placed
+
+
+def _place_uncached(
+    machine: Machine,
+    instr_list: list[Instr],
+    focus_span: int,
+    bins: BinSet | None,
+) -> PlacedBlock:
     with trace_span("cost.place") as span:
         bin_set = bins if bins is not None else BinSet(machine)
         completions: dict[int, int] = {}

@@ -7,7 +7,7 @@ statements, typed scalars and arrays -- plus a parser, printer,
 builder API, symbol table, and traversal utilities.
 """
 
-from .digest import program_digest, source_digest
+from .digest import node_digest, program_digest, source_digest, stmts_digest
 from .lexer import LexError, Token, TokenKind, tokenize
 from .nodes import (
     ArrayRef,
@@ -44,9 +44,9 @@ __all__ = [
     "Expr", "FuncCall", "If", "IntConst", "LexError", "ParseError",
     "Program", "RealConst", "ScalarType", "Stmt", "SymbolTable", "Token",
     "TokenKind", "TypeError_", "UnOp", "VarRef",
-    "map_exprs", "map_stmts", "parse_expression", "parse_fragment",
-    "parse_program", "print_expr", "print_program", "print_stmt",
-    "print_stmts", "program_digest", "rename_index", "source_digest",
-    "substitute_var", "tokenize",
+    "map_exprs", "map_stmts", "node_digest", "parse_expression",
+    "parse_fragment", "parse_program", "print_expr", "print_program",
+    "print_stmt", "print_stmts", "program_digest", "rename_index",
+    "source_digest", "stmts_digest", "substitute_var", "tokenize",
     "walk_exprs", "walk_stmts",
 ]

@@ -15,34 +15,62 @@ engine:
 4. stores fresh results back in the cache and reports counters and
    latencies to a :class:`~repro.service.metrics.MetricsRegistry`.
 
+Scheduling is *weight-classed* by default: a tiny predict and a
+depth-3 restructure differ by three orders of magnitude, so giving
+each its own pool task lets one heavy request occupy a worker for
+seconds while light requests queue behind it.  Instead the engine
+
+* groups light requests (predict / compare / small restructures) into
+  shared chunk tasks, amortizing pool overhead and keeping their
+  queueing delay bounded by a chunk, not a search;
+* splits each heavy restructure into per-round subtasks: the A* round
+  loop runs engine-side and ships every round's fresh candidates to
+  the shared pool in chunks capped at ``workers - 1``, so a single
+  request can never occupy the whole pool;
+* submits light chunks *before* heavy subtasks, so FIFO pools serve
+  them first.
+
+``scheduling="naive"`` restores one-task-per-request (the E-SERVICE
+bench compares the two).
+
 Workers keep a bounded pool of :class:`IncrementalPredictor` instances
-keyed by (program digest, machine, flags), so repeated work on the
-same program -- different evaluation points, restructure probes --
-reuses the paper's section 3.3.1 affected-region cache instead of
-re-aggregating from scratch.
+(:func:`~repro.transform.parallel.shared_predictor` -- the same LRU the
+parallel search uses), so repeated work on the same program -- other
+evaluation points, restructure probes -- reuses the paper's section
+3.3.1 affected-region cache instead of re-aggregating from scratch.
+Worker tasks also report their placement-memo hit/miss deltas, which
+the engine folds into ``repro_placement_cache_requests_total``.
 """
 
 from __future__ import annotations
 
 import logging
+import pickle
+import threading
 import time
-from collections import OrderedDict
 from concurrent.futures import (
+    CancelledError,
     Executor,
     ProcessPoolExecutor,
     ThreadPoolExecutor,
+    as_completed,
 )
 from concurrent.futures.process import BrokenProcessPool
-from typing import Any, Mapping, Sequence
+from typing import Any, Callable, Mapping, NamedTuple, Sequence
 
-from ..ir.digest import program_digest
+from ..cost.placement import placement_cache_stats
+from ..ir.digest import program_digest, stmts_digest
 from ..ir.parser import ParseError, parse_program
 from ..ir.lexer import LexError
-from ..ir.symtab import SymbolTable
 from ..machine.registry import get_machine
 from ..obs import Tracer, current_tracer, trace_span
 from ..symbolic.poly import PolyError
-from ..translate.backend_opts import AGGRESSIVE_BACKEND, NAIVE_BACKEND, BackendFlags
+from ..transform.parallel import (
+    _chunked,
+    _predictors,
+    evaluate_chunk,
+    shared_predictor,
+)
 from .cache import ResultCache, endpoint_of
 from .metrics import MetricsRegistry
 from .protocol import (
@@ -64,7 +92,10 @@ from .protocol import (
     response_to_dict,
 )
 
-__all__ = ["PredictionEngine", "ServiceError", "execute_request"]
+__all__ = [
+    "PredictionEngine", "ServiceError", "execute_request",
+    "execute_request_chunk",
+]
 
 #: Exceptions that mean "the client sent something invalid" (HTTP 400),
 #: as opposed to an internal fault (HTTP 500).
@@ -75,6 +106,14 @@ log = logging.getLogger("repro.service.engine")
 #: Cache entries live seconds to days; buckets for age telemetry.
 CACHE_AGE_BUCKETS = (1.0, 10.0, 60.0, 300.0, 1800.0, 3600.0, 21600.0, 86400.0)
 
+#: ``depth * max_nodes`` at which a restructure counts as heavy (worth
+#: splitting into per-round subtasks rather than riding in a chunk).
+_SPLIT_THRESHOLD = 100
+
+#: Smallest number of light requests (or search candidates) worth a
+#: pool task of their own; below this, chunks are merged.
+_GROUP_MIN = 4
+
 
 class ServiceError(Exception):
     """A request failed; carries the wire error envelope."""
@@ -84,44 +123,20 @@ class ServiceError(Exception):
         self.envelope = envelope
 
 
-def _flags(backend: str) -> BackendFlags:
-    return AGGRESSIVE_BACKEND if backend == "aggressive" else NAIVE_BACKEND
-
-
 # ----------------------------------------------------------------------
 # worker-side execution (module-level so ProcessPoolExecutor can pickle)
-
-_PREDICTOR_LIMIT = 64
-_predictors: OrderedDict[tuple, Any] = OrderedDict()
 
 
 def _symbolic_cost(source: str, machine_name: str, backend: str,
                    include_memory: bool):
     """(program, digest, symbolic cost), via the per-worker predictor pool."""
-    from ..aggregate.aggregator import CostAggregator
-    from ..transform.incremental import IncrementalPredictor
-
     program = parse_program(source)
     digest = program_digest(program)
-    key = (digest, machine_name, backend, include_memory)
-    predictor = _predictors.get(key)
-    if predictor is None:
-        machine = get_machine(machine_name)
-        kwargs: dict[str, Any] = {}
-        if include_memory:
-            from ..memory.model import MemoryCostModel
-            kwargs["memory_model"] = MemoryCostModel(machine)
-            kwargs["include_memory"] = True
-        aggregator = CostAggregator(
-            machine, SymbolTable.from_program(program),
-            flags=_flags(backend), **kwargs,
-        )
-        predictor = IncrementalPredictor(aggregator)
-        _predictors[key] = predictor
-        while len(_predictors) > _PREDICTOR_LIMIT:
-            _predictors.popitem(last=False)
-    else:
-        _predictors.move_to_end(key)
+    machine = get_machine(machine_name)
+    predictor = shared_predictor(
+        (digest, machine_name, backend, include_memory),
+        machine, program, backend, include_memory,
+    )
     return program, digest, predictor.predict(program)
 
 
@@ -163,41 +178,55 @@ def _do_compare(request: CompareRequest) -> CompareResponse:
     )
 
 
-def _do_restructure(request: RestructureRequest) -> RestructureResponse:
-    from ..aggregate.aggregator import CostAggregator
-    from ..ir.printer import print_program
+def _restructure_transformations() -> list:
     from ..transform import (
         Distribute,
         Fuse,
-        IncrementalPredictor,
         Interchange,
         ReorderStatements,
         StripMine,
         Unroll,
         UnrollAndJam,
-        astar_search,
     )
+
+    return [Unroll(factors=(2, 4)), UnrollAndJam(factors=(2, 4)),
+            Interchange(), StripMine(tiles=(16,)),
+            Fuse(), Distribute(), ReorderStatements()]
+
+
+def _restructure_response(
+    request: RestructureRequest,
+    evaluate_batch: Callable[[list], list] | None = None,
+) -> RestructureResponse:
+    """The restructure endpoint's body, shared by both execution shapes.
+
+    Run whole on a worker (``evaluate_batch=None``), or engine-side
+    with each search round's candidate batch shipped to the pool (the
+    split path).  Either way the search is deterministic, so both
+    shapes produce the same response for the same request.
+    """
+    from ..ir.printer import print_program
+    from ..transform import astar_search
 
     program = parse_program(request.source)
     digest = program_digest(program)
     machine = get_machine(request.machine)
-    predictor = IncrementalPredictor(
-        CostAggregator(machine, SymbolTable.from_program(program))
-    )
+    predictor = shared_predictor(
+        (digest, request.machine, "aggressive", False), machine, program)
     workload = {
         name: int(value)
         for name, value in parse_bindings(request.workload).items()
     } or None
     result = astar_search(
         program,
-        [Unroll(factors=(2, 4)), UnrollAndJam(factors=(2, 4)),
-         Interchange(), StripMine(tiles=(16,)),
-         Fuse(), Distribute(), ReorderStatements()],
+        _restructure_transformations(),
         predictor,
         workload=workload,
         max_depth=request.depth,
         max_nodes=request.max_nodes,
         domain=parse_domain(request.domain) or None,
+        beam_width=request.beam_width,
+        evaluate_batch=evaluate_batch,
     )
     return RestructureResponse(
         sequence=result.sequence,
@@ -207,6 +236,10 @@ def _do_restructure(request: RestructureRequest) -> RestructureResponse:
         machine=request.machine,
         nodes_expanded=result.nodes_expanded,
     )
+
+
+def _do_restructure(request: RestructureRequest) -> RestructureResponse:
+    return _restructure_response(request)
 
 
 def _do_kernels(request: KernelsRequest) -> KernelsResponse:
@@ -253,6 +286,36 @@ def execute_request(kind: str, payload: Mapping[str, Any],
         result["trace"] = tracer.export()
         return result
     return _execute_one(kind, payload)
+
+
+def _placement_delta(before: Mapping[str, int],
+                     after: Mapping[str, int]) -> dict[str, int]:
+    return {"hits": after["hits"] - before["hits"],
+            "misses": after["misses"] - before["misses"]}
+
+
+def execute_request_chunk(jobs: Sequence[tuple[str, Mapping[str, Any]]],
+                          collect_trace: bool = False) -> dict[str, Any]:
+    """Run several light requests as one pool task.
+
+    A task per tiny predict pays pool round-trip overhead comparable to
+    the work itself; grouping amortizes it.  The worker also reports
+    its placement-memo hit/miss delta, which the engine cannot observe
+    across a process boundary.
+    """
+    before = placement_cache_stats()
+    results = [execute_request(kind, payload, collect_trace)
+               for kind, payload in jobs]
+    return {"results": results,
+            "placement": _placement_delta(before, placement_cache_stats())}
+
+
+def _search_round_chunk(root, root_key, machine, programs) -> dict[str, Any]:
+    """Evaluate one slice of a split restructure's round batch."""
+    before = placement_cache_stats()
+    costs = evaluate_chunk(root, root_key, machine, programs)
+    return {"costs": costs,
+            "placement": _placement_delta(before, placement_cache_stats())}
 
 
 def _cache_hit_trace(kind: str) -> list[dict[str, Any]]:
@@ -337,6 +400,7 @@ def _cache_key(kind: str, request: Any) -> str:
             f"wl={_canonical_mapping(request.workload)}",
             f"dom={_canonical_mapping(request.domain)}",
             f"depth={request.depth}", f"nodes={request.max_nodes}",
+            f"beam={request.beam_width}",
         ))
     if kind == "kernels":
         return f"kernels|{request.machine}|{fp}"
@@ -351,6 +415,27 @@ _KIND_BY_TYPE = {
 }
 
 
+class _Pending(NamedTuple):
+    """One cache-missed request awaiting execution."""
+
+    index: int
+    kind: str
+    payload: dict[str, Any]
+    key: str
+    want_trace: bool
+    request: Any
+
+
+def _is_heavy(entry: _Pending) -> bool:
+    """Weight class: does this request deserve a pool task of its own?"""
+    if entry.kind == "kernels":
+        return True
+    if entry.kind == "restructure":
+        request = entry.request
+        return request.depth * request.max_nodes >= _SPLIT_THRESHOLD
+    return False
+
+
 # ----------------------------------------------------------------------
 
 
@@ -361,6 +446,11 @@ class PredictionEngine:
     the CLI and for tests.  ``executor`` may force ``"process"``,
     ``"thread"``, or ``"sync"``; the default ``"auto"`` picks processes
     and falls back to threads if the pool cannot be used.
+
+    ``scheduling`` picks how a batch maps onto pool tasks:
+    ``"weighted"`` (default) groups light requests into shared chunks
+    and splits heavy restructures into per-round subtasks capped at
+    ``workers - 1`` slots; ``"naive"`` submits one task per request.
     """
 
     def __init__(
@@ -370,21 +460,26 @@ class PredictionEngine:
         cache_path: str | None = None,
         executor: str = "auto",
         metrics: MetricsRegistry | None = None,
+        scheduling: str = "weighted",
     ):
         if executor not in ("auto", "process", "thread", "sync"):
             raise ValueError(f"unknown executor policy {executor!r}")
+        if scheduling not in ("weighted", "naive"):
+            raise ValueError(f"unknown scheduling policy {scheduling!r}")
         self.workers = max(0, workers)
+        self.scheduling = scheduling
         self.cache = ResultCache(maxsize=cache_size, path=cache_path)
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._executor_policy = executor
         self._pool: Executor | None = None
         self._pool_kind = "sync"
+        self._pool_guard = threading.Lock()
         self._requests = self.metrics.counter(
             "repro_engine_requests_total",
             "Engine requests by kind and outcome.")
         self._latency = self.metrics.histogram(
             "repro_engine_request_seconds",
-            "Engine request latency by kind.")
+            "Engine request latency by kind (batch arrival to response).")
         self._cache_lookups = self.metrics.counter(
             "repro_cache_requests_total",
             "Result-cache lookups by endpoint and result.")
@@ -395,6 +490,15 @@ class PredictionEngine:
             "repro_cache_evicted_age_seconds",
             "Age of result-cache entries at eviction.",
             buckets=CACHE_AGE_BUCKETS)
+        self._tasks = self.metrics.counter(
+            "repro_engine_tasks_total",
+            "Worker-pool tasks submitted, by shape.")
+        self._placement = self.metrics.counter(
+            "repro_placement_cache_requests_total",
+            "Placement-memo lookups by result (engine + process workers).")
+        self._placement_guard = threading.Lock()
+        base = placement_cache_stats()
+        self._placement_seen = (base["hits"], base["misses"])
 
     # -- pool management ------------------------------------------------
     def start_workers(self) -> None:
@@ -424,10 +528,13 @@ class PredictionEngine:
             self._pool_kind = "thread"
 
     def _degrade_to_threads(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown(wait=False, cancel_futures=True)
-        self._pool = ThreadPoolExecutor(max_workers=self.workers)
-        self._pool_kind = "thread"
+        with self._pool_guard:
+            if self._pool_kind == "thread" and self._pool is not None:
+                return          # another thread already degraded
+            if self._pool is not None:
+                self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = ThreadPoolExecutor(max_workers=self.workers)
+            self._pool_kind = "thread"
 
     def close(self) -> None:
         if self._pool is not None:
@@ -447,24 +554,36 @@ class PredictionEngine:
         return self.handle_batch([(kind, payload)])[0]
 
     def handle_batch(
-        self, items: Sequence[tuple[str, Mapping[str, Any]]]
+        self,
+        items: Sequence[tuple[str, Mapping[str, Any]]],
+        on_result: Callable[[int, dict[str, Any]], None] | None = None,
     ) -> list[dict[str, Any]]:
         """Serve a mixed batch; order of responses matches the input.
 
         Cache hits are answered immediately; the misses run on the
         worker pool concurrently (inline when ``workers <= 1``).
+        ``on_result`` fires once per item, as its response becomes
+        final -- in completion order under weighted scheduling, so a
+        caller can stream answers out while heavy work is still
+        running.
         """
         started = time.perf_counter()
         results: list[dict[str, Any] | None] = [None] * len(items)
-        pending: list[tuple[int, str, dict[str, Any], str, bool]] = []
+        pending: list[_Pending] = []
+
+        def resolve(index: int, kind: str, result: dict[str, Any]) -> None:
+            results[index] = result
+            self._latency.observe(time.perf_counter() - started, kind=kind)
+            if on_result is not None:
+                on_result(index, result)
 
         for index, (kind, payload) in enumerate(items):
             try:
                 request = request_from_dict(kind, payload)
                 key = _cache_key(kind, request)
             except _CLIENT_ERRORS as error:
-                results[index] = error_envelope(error, status=400)
                 self._requests.inc(kind=kind, outcome="client_error")
+                resolve(index, kind, error_envelope(error, status=400))
                 continue
             want_trace = bool(getattr(request, "trace", False))
             hit = self.cache.get(key)
@@ -474,81 +593,256 @@ class PredictionEngine:
                     served["cached"] = True
                     if want_trace:
                         served["trace"] = _cache_hit_trace(kind)
-                results[index] = served
                 self._cache_lookups.inc(endpoint=kind, result="hit")
                 self._requests.inc(kind=kind, outcome="cache_hit")
+                resolve(index, kind, served)
                 continue
             self._cache_lookups.inc(endpoint=kind, result="miss")
-            pending.append((index, kind, dict(payload), key, want_trace))
+            pending.append(
+                _Pending(index, kind, dict(payload), key, want_trace, request))
 
         if pending:
-            fresh = self._run_pending(pending)
-            for (index, kind, _, key, want_trace), result in zip(pending, fresh):
-                spans = result.pop("trace", None)
-                if spans:
-                    tracer = current_tracer()
-                    if tracer is not None:
-                        tracer.ingest(spans)
-                results[index] = result
-                if "error" in result:
-                    if result.get("status") == 400:
-                        outcome = "client_error"
-                    else:
-                        outcome = "error"
-                        log.error(
-                            "request failed",
-                            extra={"fields": {
-                                "kind": kind,
-                                "error": result.get("error"),
-                                "message": result.get("message"),
-                            }},
-                        )
-                else:
-                    evicted = self.cache.put(key, result)
-                    if evicted is not None:
-                        self._cache_evicted.inc(endpoint=evicted.endpoint)
-                        self._evicted_age.observe(
-                            evicted.age, endpoint=evicted.endpoint)
-                    outcome = "computed"
-                    if want_trace and spans is not None:
-                        # Attach *after* cache.put so cached copies stay
-                        # trace-free (a replayed trace would be a lie).
-                        results[index] = {**result, "trace": spans}
-                self._requests.inc(kind=kind, outcome=outcome)
+            def finish(entry: _Pending, result: dict[str, Any]) -> None:
+                self._finish(entry, result, resolve)
 
-        elapsed = time.perf_counter() - started
-        for kind, _ in items:
-            self._latency.observe(elapsed / max(1, len(items)), kind=kind)
+            self._run_pending(pending, finish)
+            self._sync_local_placement()
         return results  # type: ignore[return-value]
 
+    def _finish(self, entry: _Pending, result: dict[str, Any],
+                resolve: Callable[[int, str, dict[str, Any]], None]) -> None:
+        """Post-process one computed result (always on the batch thread)."""
+        spans = result.pop("trace", None)
+        if spans:
+            tracer = current_tracer()
+            if tracer is not None:
+                tracer.ingest(spans)
+        final = result
+        if "error" in result:
+            if result.get("status") == 400:
+                outcome = "client_error"
+            else:
+                outcome = "error"
+                log.error(
+                    "request failed",
+                    extra={"fields": {
+                        "kind": entry.kind,
+                        "error": result.get("error"),
+                        "message": result.get("message"),
+                    }},
+                )
+        else:
+            evicted = self.cache.put(entry.key, result)
+            if evicted is not None:
+                self._cache_evicted.inc(endpoint=evicted.endpoint)
+                self._evicted_age.observe(
+                    evicted.age, endpoint=evicted.endpoint)
+            outcome = "computed"
+            if entry.want_trace and spans is not None:
+                # Attach *after* cache.put so cached copies stay
+                # trace-free (a replayed trace would be a lie).
+                final = {**result, "trace": spans}
+        self._requests.inc(kind=entry.kind, outcome=outcome)
+        resolve(entry.index, entry.kind, final)
+
+    # -- scheduling -----------------------------------------------------
     def _run_pending(
-        self, pending: Sequence[tuple[int, str, dict[str, Any], str, bool]]
-    ) -> list[dict[str, Any]]:
-        jobs = [(kind, payload) for _, kind, payload, _, _ in pending]
-        if self.workers <= 1 or len(jobs) == 0:
-            return [self._execute_inline(kind, payload, want)
-                    for (_, kind, payload, _, want) in pending]
+        self,
+        pending: Sequence[_Pending],
+        finish: Callable[[_Pending, dict[str, Any]], None],
+    ) -> None:
+        if self.workers <= 1 or not pending:
+            return self._run_inline(pending, finish)
         self._ensure_pool()
         if self._pool is None:
-            return [self._execute_inline(kind, payload, want)
-                    for (_, kind, payload, _, want) in pending]
+            return self._run_inline(pending, finish)
         # Workers cannot see this process's active tracer; have them
         # collect spans locally whenever anyone is listening.
         collect = (current_tracer() is not None
-                   or any(want for *_, want in pending))
+                   or any(entry.want_trace for entry in pending))
+        if self.scheduling == "naive":
+            self._run_naive(pending, finish, collect)
+        else:
+            self._run_weighted(pending, finish, collect)
+
+    def _run_inline(
+        self,
+        pending: Sequence[_Pending],
+        finish: Callable[[_Pending, dict[str, Any]], None],
+    ) -> None:
+        for entry in pending:
+            finish(entry, self._execute_inline(
+                entry.kind, entry.payload, entry.want_trace))
+
+    def _run_naive(
+        self,
+        pending: Sequence[_Pending],
+        finish: Callable[[_Pending, dict[str, Any]], None],
+        collect: bool,
+    ) -> None:
+        """One pool task per request, awaited in submission order."""
+        jobs = [(execute_request, (entry.kind, entry.payload, collect))
+                for entry in pending]
+        futures = [self._submit(fn, *args) for fn, args in jobs]
+        for entry, future, job in zip(pending, futures, jobs):
+            self._tasks.inc(shape="single")
+            with trace_span("engine.execute", kind=entry.kind, cached=False):
+                result = self._result_or_retry(future, job)
+            finish(entry, result)
+
+    def _run_weighted(
+        self,
+        pending: Sequence[_Pending],
+        finish: Callable[[_Pending, dict[str, Any]], None],
+        collect: bool,
+    ) -> None:
+        """Weight-classed scheduling: chunked light work, split heavy work.
+
+        Light chunks are submitted before any heavy subtask so a FIFO
+        pool serves them first; each heavy restructure is driven from
+        its own engine-side thread and may occupy at most
+        ``workers - 1`` pool slots per round, so light traffic always
+        has a free slot.  Results are finished on this thread, in
+        completion order.
+        """
+        light = [entry for entry in pending if not _is_heavy(entry)]
+        heavy = [entry for entry in pending if _is_heavy(entry)]
+        waiters: dict[Any, tuple[str, Any, Any]] = {}
+
+        if light:
+            chunk_count = min(self.workers, max(1, len(light) // _GROUP_MIN))
+            for group in _chunked(light, chunk_count):
+                jobs = [(entry.kind, entry.payload) for entry in group]
+                job = (execute_request_chunk, (jobs, collect))
+                waiters[self._submit(*_flatten(job))] = ("chunk", group, job)
+                self._tasks.inc(shape="chunk")
+        singles = [entry for entry in heavy if entry.kind != "restructure"]
+        splits = [entry for entry in heavy if entry.kind == "restructure"]
+        for entry in singles:
+            job = (execute_request, (entry.kind, entry.payload, collect))
+            waiters[self._submit(*_flatten(job))] = ("single", entry, job)
+            self._tasks.inc(shape="single")
+        drivers: ThreadPoolExecutor | None = None
+        if splits:
+            drivers = ThreadPoolExecutor(
+                max_workers=len(splits),
+                thread_name_prefix="restructure-driver")
+            for entry in splits:
+                future = drivers.submit(
+                    self._drive_restructure, entry, collect)
+                waiters[future] = ("driver", entry, None)
+                self._tasks.inc(shape="split")
         try:
-            futures = [self._pool.submit(execute_request, kind, payload, collect)
-                       for kind, payload in jobs]
-            return [self._await(future, kind)
-                    for future, (kind, _) in zip(futures, jobs)]
+            for future in as_completed(list(waiters)):
+                shape, target, job = waiters[future]
+                if shape == "chunk":
+                    outcome = self._result_or_retry(future, job)
+                    self._ingest_placement(outcome.get("placement"))
+                    for entry, result in zip(target, outcome["results"]):
+                        with trace_span("engine.execute", kind=entry.kind,
+                                        cached=False):
+                            finish(entry, result)
+                elif shape == "single":
+                    with trace_span("engine.execute", kind=target.kind,
+                                    cached=False):
+                        finish(target, self._result_or_retry(future, job))
+                else:
+                    with trace_span("engine.execute", kind=target.kind,
+                                    cached=False):
+                        finish(target, future.result())
+        finally:
+            if drivers is not None:
+                drivers.shutdown(wait=True)
+
+    def _drive_restructure(self, entry: _Pending,
+                           collect: bool) -> dict[str, Any]:
+        """Run one heavy restructure engine-side (in a driver thread).
+
+        Mirrors :func:`execute_request` -- errors become envelopes,
+        spans are collected under a request-local tracer -- but the A*
+        round loop runs here and ships each round's candidate batch to
+        the shared pool.
+        """
+        def run() -> dict[str, Any]:
+            try:
+                request = entry.request
+                with trace_span("restructure", machine=request.machine):
+                    response = self._restructure_split(request)
+                return response_to_dict(response)
+            except _CLIENT_ERRORS as error:
+                return error_envelope(error, status=400)
+            except Exception as error:  # noqa: BLE001 -- envelope it
+                return error_envelope(error, status=500)
+
+        if collect:
+            tracer = Tracer()
+            with tracer.activate():
+                result = run()
+            result["trace"] = tracer.export()
+            return result
+        return run()
+
+    def _restructure_split(
+        self, request: RestructureRequest
+    ) -> RestructureResponse:
+        """The split execution shape: pool-evaluated search rounds.
+
+        Each round's fresh candidates go to the pool in at most
+        ``workers - 1`` chunks, leaving one slot free for light
+        chunks regardless of how long the search runs.  Pool failures
+        degrade this search to inline evaluation (same results).
+        """
+        cap = max(1, self.workers - 1)
+        program = parse_program(request.source)
+        machine = get_machine(request.machine)
+        root_key = ("search", stmts_digest(program.body),
+                    machine.fingerprint())
+        degraded = [False]
+
+        def evaluate(programs: list) -> list:
+            programs = list(programs)
+            if not programs:
+                return []
+            if degraded[0] or self._pool is None:
+                return evaluate_chunk(program, root_key, machine, programs)
+            chunks = _chunked(
+                programs, min(cap, max(1, len(programs) // _GROUP_MIN)))
+            try:
+                futures = [
+                    self._submit(_search_round_chunk, program, root_key,
+                                 machine, chunk)
+                    for chunk in chunks
+                ]
+                costs: list = []
+                for future in futures:
+                    outcome = future.result()
+                    self._ingest_placement(outcome.get("placement"))
+                    costs.extend(outcome["costs"])
+                self._tasks.inc(len(chunks), shape="search_round")
+                return costs
+            except (BrokenProcessPool, CancelledError, OSError,
+                    pickle.PicklingError, TypeError, AttributeError):
+                degraded[0] = True
+                return evaluate_chunk(program, root_key, machine, programs)
+
+        return _restructure_response(request, evaluate_batch=evaluate)
+
+    # -- pool plumbing --------------------------------------------------
+    def _submit(self, fn, *args):
+        try:
+            return self._pool.submit(fn, *args)
         except (BrokenProcessPool, OSError):
-            # A worker died or the pool could not run: degrade once to
-            # threads and retry the whole slice.
             self._degrade_to_threads()
-            futures = [self._pool.submit(execute_request, kind, payload, collect)
-                       for kind, payload in jobs]
-            return [self._await(future, kind)
-                    for future, (kind, _) in zip(futures, jobs)]
+            return self._pool.submit(fn, *args)
+
+    def _result_or_retry(self, future, job):
+        """Await a pool future; on a broken pool, degrade and re-run."""
+        fn, args = job
+        try:
+            return future.result()
+        except (BrokenProcessPool, CancelledError, OSError):
+            self._degrade_to_threads()
+            return self._pool.submit(fn, *args).result()
 
     @staticmethod
     def _execute_inline(kind: str, payload: dict[str, Any],
@@ -559,10 +853,35 @@ class PredictionEngine:
         with trace_span("engine.execute", kind=kind, cached=False):
             return execute_request(kind, payload, collect_trace=want_trace)
 
-    @staticmethod
-    def _await(future, kind: str) -> dict[str, Any]:
-        with trace_span("engine.execute", kind=kind, cached=False):
-            return future.result()
+    # -- placement-memo telemetry --------------------------------------
+    def _ingest_placement(self, delta: Mapping[str, int] | None) -> None:
+        """Fold a worker task's placement-memo delta into the counter.
+
+        Thread workers and inline execution hit *this* process's memo,
+        which :meth:`_sync_local_placement` already counts; folding
+        their deltas too would double-count, so only process workers
+        report this way.
+        """
+        if not delta or self._pool_kind != "process":
+            return
+        hits = int(delta.get("hits", 0))
+        misses = int(delta.get("misses", 0))
+        if hits > 0:
+            self._placement.inc(hits, result="hit")
+        if misses > 0:
+            self._placement.inc(misses, result="miss")
+
+    def _sync_local_placement(self) -> None:
+        """Count engine-process placement-memo activity since last sync."""
+        stats = placement_cache_stats()
+        with self._placement_guard:
+            hits = stats["hits"] - self._placement_seen[0]
+            misses = stats["misses"] - self._placement_seen[1]
+            self._placement_seen = (stats["hits"], stats["misses"])
+        if hits > 0:
+            self._placement.inc(hits, result="hit")
+        if misses > 0:
+            self._placement.inc(misses, result="miss")
 
     # -- typed API ------------------------------------------------------
     def _typed(self, request: Any):
@@ -618,6 +937,16 @@ class PredictionEngine:
             len(self.cache))
         self.metrics.gauge(
             "repro_engine_workers", "Configured worker count.").set(self.workers)
+        self._sync_local_placement()
+        placement = placement_cache_stats()
+        self.metrics.gauge(
+            "repro_placement_cache_entries",
+            "Resident placement-memo entries (engine process).").set(
+            placement["entries"])
+        self.metrics.gauge(
+            "repro_placement_cache_evictions_total",
+            "Placement-memo evictions (engine process).").set(
+            placement["evictions"])
         age_hist = self.metrics.histogram(
             "repro_cache_entry_age_seconds",
             "Ages of resident result-cache entries (snapshot per scrape).",
@@ -625,6 +954,11 @@ class PredictionEngine:
         age_hist.reset()  # snapshot of *current* residents, not cumulative
         for key, age in self.cache.entry_ages().items():
             age_hist.observe(age, endpoint=endpoint_of(key))
+
+
+def _flatten(job: tuple) -> tuple:
+    fn, args = job
+    return (fn, *args)
 
 
 def _request_to_dict(request: Any) -> dict[str, Any]:

@@ -164,6 +164,7 @@ class RestructureRequest:
     domain: Mapping[str, Any] | None = None
     depth: int = 2
     max_nodes: int = 200
+    beam_width: int = 1
     trace: bool = False
 
     def validate(self) -> None:
@@ -177,6 +178,8 @@ class RestructureRequest:
                  "depth must be an integer in 1..8")
         _require(isinstance(self.max_nodes, int) and 1 <= self.max_nodes <= 10000,
                  "max_nodes must be an integer in 1..10000")
+        _require(isinstance(self.beam_width, int) and 1 <= self.beam_width <= 64,
+                 "beam_width must be an integer in 1..64")
         _require(isinstance(self.trace, bool), "trace must be a boolean")
 
 

@@ -17,26 +17,55 @@ from an :class:`~repro.transform.incremental.IncrementalPredictor`
 ``astar_search`` expands best-first on predicted cost; ``exhaustive``
 enumerates every sequence up to a depth, as the oracle the E-SEARCH
 bench compares node counts against.
+
+Scaling machinery (the E-PSEARCH bench measures both):
+
+* Visited states are keyed by :func:`~repro.ir.digest.stmts_digest`
+  -- an O(changed spine) structural hash -- instead of the O(program)
+  ``print_program`` rendering the first version used, and predicted
+  costs live in a :class:`TranspositionTable` that can be shared
+  across searches (an exhaustive oracle run after an A* run re-predicts
+  nothing).
+* Expansion proceeds in *rounds*: each round pops up to ``beam_width``
+  nodes, generates and digest-dedups their successors in a fixed
+  order, then evaluates all fresh candidates as one batch -- inline,
+  through a caller-supplied ``evaluate_batch``, or on a
+  :class:`~repro.transform.parallel.SearchPool` when
+  ``search_workers > 1``.  Ordering (dedup, push, pop, tie-breaks)
+  never depends on where evaluation ran, so for a given ``beam_width``
+  the parallel search returns bit-identical results to the serial one;
+  ``beam_width=1`` is exactly the classic serial A* expansion order.
+
+Caveat: programs whose branches are not nearly equal get fresh
+probability variables (``pt_N``) numbered in evaluation order; under a
+concrete workload these bind identically either way, but symbolic-mode
+searches over heavily branchy programs should stay serial.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Mapping, Sequence
+from typing import Callable, Mapping, Sequence
 
 from ..compare.comparator import Verdict, compare
+from ..ir.digest import stmts_digest
 from ..ir.nodes import Program
 from ..obs import trace_span
-from ..ir.printer import print_program
 from ..symbolic.expr import PerfExpr
 from ..symbolic.intervals import Interval
 from .base import Transformation
 from .incremental import IncrementalPredictor
 
-__all__ = ["SearchResult", "SearchStep", "astar_search", "exhaustive_search"]
+__all__ = [
+    "SearchResult",
+    "SearchStep",
+    "TranspositionTable",
+    "astar_search",
+    "exhaustive_search",
+]
 
 
 @dataclass(frozen=True)
@@ -56,10 +85,41 @@ class SearchResult:
     steps: tuple[SearchStep, ...]
     nodes_expanded: int
     nodes_generated: int
+    rounds: int = 0
 
     @property
     def sequence(self) -> str:
         return " ; ".join(s.description for s in self.steps) or "(original)"
+
+
+@dataclass
+class TranspositionTable:
+    """Digest-keyed memo of predicted costs, shared across searches.
+
+    Predictions are pure functions of the program (for a fixed
+    predictor), so entries never go stale while the predictor lives.
+    Passing one table to consecutive searches -- an A* pass and its
+    exhaustive oracle, or the same search re-run at a deeper
+    ``max_depth`` -- answers every revisited state from the memo.
+    """
+
+    costs: dict[str, PerfExpr] = field(default_factory=dict)
+    hits: int = 0
+    misses: int = 0
+
+    def lookup(self, digest: str) -> PerfExpr | None:
+        cost = self.costs.get(digest)
+        if cost is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return cost
+
+    def store(self, digest: str, cost: PerfExpr) -> None:
+        self.costs[digest] = cost
+
+    def __len__(self) -> int:
+        return len(self.costs)
 
 
 def _scalar_cost(cost: PerfExpr, workload: Mapping[str, int]) -> Fraction:
@@ -75,6 +135,19 @@ def _scalar_cost(cost: PerfExpr, workload: Mapping[str, int]) -> Fraction:
     return cost.poly.evaluate(bindings)
 
 
+def _root_cost(
+    program: Program,
+    digest: str,
+    predictor: IncrementalPredictor,
+    table: TranspositionTable,
+) -> PerfExpr:
+    cost = table.lookup(digest)
+    if cost is None:
+        cost = predictor.predict(program)
+        table.store(digest, cost)
+    return cost
+
+
 def astar_search(
     program: Program,
     transformations: Sequence[Transformation],
@@ -83,6 +156,11 @@ def astar_search(
     max_depth: int = 3,
     max_nodes: int = 200,
     domain: Mapping[str, "Interval"] | None = None,
+    *,
+    beam_width: int = 1,
+    search_workers: int = 0,
+    table: TranspositionTable | None = None,
+    evaluate_batch: Callable[[list[Program]], list[PerfExpr]] | None = None,
 ) -> SearchResult:
     """Best-first search over transformation sequences.
 
@@ -92,13 +170,55 @@ def astar_search(
     cost-guided best-first variant of A* with zero path cost, which is
     what a compiler actually wants: the cheapest *program*, not the
     shortest sequence).
+
+    ``beam_width`` nodes are popped per expansion round and their
+    fresh successors evaluated as one batch; ``evaluate_batch`` (or a
+    :class:`~repro.transform.parallel.SearchPool` spawned when
+    ``search_workers > 1``) may run that batch on worker processes.
+    Results are bit-identical to the serial path for a given
+    ``beam_width``.
     """
+    if beam_width < 1:
+        raise ValueError("beam width must be at least 1")
+    table = table if table is not None else TranspositionTable()
+    own_pool = None
+    if evaluate_batch is None and search_workers > 1:
+        from .parallel import SearchPool
+
+        own_pool = SearchPool(
+            program, predictor.aggregator.machine, workers=search_workers,
+        )
+        evaluate_batch = own_pool.evaluate
+    try:
+        return _astar_rounds(
+            program, transformations, predictor, workload, max_depth,
+            max_nodes, domain, beam_width, table, evaluate_batch,
+        )
+    finally:
+        if own_pool is not None:
+            own_pool.close()
+
+
+def _astar_rounds(
+    program: Program,
+    transformations: Sequence[Transformation],
+    predictor: IncrementalPredictor,
+    workload: Mapping[str, int] | None,
+    max_depth: int,
+    max_nodes: int,
+    domain: Mapping[str, "Interval"] | None,
+    beam_width: int,
+    table: TranspositionTable,
+    evaluate_batch: Callable[[list[Program]], list[PerfExpr]] | None,
+) -> SearchResult:
     with trace_span("transform.search") as span:
         counter = itertools.count()
-        start_cost = predictor.predict(program)
+        root_digest = stmts_digest(program.body)
+        start_cost = _root_cost(program, root_digest, predictor, table)
         frontier: list = []
 
-        def push(prog: Program, cost: PerfExpr, steps: tuple[SearchStep, ...], depth: int):
+        def push(prog: Program, cost: PerfExpr,
+                 steps: tuple[SearchStep, ...], depth: int) -> None:
             priority = (
                 float(_scalar_cost(cost, workload)) if workload is not None else 0.0
             )
@@ -106,38 +226,77 @@ def astar_search(
 
         push(program, start_cost, (), 0)
         best_prog, best_cost, best_steps = program, start_cost, ()
-        seen: set[str] = {print_program(program)}
+        best_scalar = (
+            _scalar_cost(start_cost, workload) if workload is not None else None
+        )
+        seen: set[str] = {root_digest}
         expanded = 0
         generated = 1
+        rounds = 0
 
         while frontier and expanded < max_nodes:
-            _, _, prog, cost, steps, depth = heapq.heappop(frontier)
-            expanded += 1
-            if _better(cost, best_cost, workload, domain):
-                best_prog, best_cost, best_steps = prog, cost, steps
-            if depth >= max_depth:
-                continue
-            for transformation in transformations:
-                for site in transformation.sites(prog):
-                    candidate = transformation.apply(prog, site)
-                    key = print_program(candidate)
-                    if key in seen:
-                        continue
-                    seen.add(key)
-                    candidate_cost = predictor.predict(candidate)
-                    generated += 1
-                    push(
-                        candidate,
-                        candidate_cost,
-                        steps + (SearchStep(transformation.name, site.description),),
-                        depth + 1,
-                    )
+            rounds += 1
+            # Pop this round's beam, updating the incumbent in pop order.
+            beam: list[tuple[Program, tuple[SearchStep, ...], int]] = []
+            while frontier and len(beam) < beam_width and expanded < max_nodes:
+                _, _, prog, cost, steps, depth = heapq.heappop(frontier)
+                expanded += 1
+                if workload is not None:
+                    scalar = _scalar_cost(cost, workload)
+                    if scalar < best_scalar:
+                        best_prog, best_cost, best_steps = prog, cost, steps
+                        best_scalar = scalar
+                elif _better(cost, best_cost, workload, domain):
+                    best_prog, best_cost, best_steps = prog, cost, steps
+                if depth < max_depth:
+                    beam.append((prog, steps, depth))
+
+            # Generate and digest-dedup successors in a fixed order.
+            fresh: list[tuple[Program, str, tuple[SearchStep, ...], int]] = []
+            known: list[tuple[Program, PerfExpr, tuple[SearchStep, ...], int]] = []
+            for prog, steps, depth in beam:
+                for transformation in transformations:
+                    for site in transformation.sites(prog):
+                        candidate = transformation.apply(prog, site)
+                        digest = stmts_digest(candidate.body)
+                        if digest in seen:
+                            continue
+                        seen.add(digest)
+                        step = steps + (
+                            SearchStep(transformation.name, site.description),
+                        )
+                        cost = table.lookup(digest)
+                        if cost is None:
+                            fresh.append((candidate, digest, step, depth + 1))
+                        else:
+                            known.append((candidate, cost, step, depth + 1))
+
+            # Evaluate the fresh batch -- inline or on the pool; the
+            # push order below is fixed either way.
+            costs: list[PerfExpr] = []
+            if fresh:
+                programs = [candidate for candidate, _, _, _ in fresh]
+                if evaluate_batch is not None:
+                    costs = evaluate_batch(programs)
+                else:
+                    costs = [predictor.predict(p) for p in programs]
+                for (candidate, digest, step, depth), cost in zip(fresh, costs):
+                    table.store(digest, cost)
+            for candidate, cost, step, depth in known:
+                generated += 1
+                push(candidate, cost, step, depth)
+            for (candidate, digest, step, depth), cost in zip(fresh, costs):
+                generated += 1
+                push(candidate, cost, step, depth)
+
         if span.recording:
             span.set(nodes_expanded=expanded, nodes_generated=generated,
+                     rounds=rounds, beam_width=beam_width,
                      max_depth=max_depth, best_cost=str(best_cost),
                      best_sequence=" ; ".join(s.description for s in best_steps)
                      or "(original)")
-    return SearchResult(best_prog, best_cost, best_steps, expanded, generated)
+    return SearchResult(best_prog, best_cost, best_steps, expanded, generated,
+                        rounds)
 
 
 def _better(
@@ -163,31 +322,50 @@ def exhaustive_search(
     workload: Mapping[str, int],
     max_depth: int = 3,
     max_nodes: int = 100_000,
+    *,
+    table: TranspositionTable | None = None,
 ) -> SearchResult:
-    """Enumerate every sequence to ``max_depth`` (the oracle baseline)."""
-    best_prog, best_cost, best_steps = program, predictor.predict(program), ()
-    seen: set[str] = {print_program(program)}
-    queue: list[tuple[Program, tuple[SearchStep, ...], int]] = [(program, (), 0)]
+    """Enumerate every sequence to ``max_depth`` (the oracle baseline).
+
+    Costs are predicted once, at generation time, and carried through
+    the work list -- the popped node is never re-predicted.  A shared
+    ``table`` (e.g. from a preceding :func:`astar_search` on the same
+    predictor) answers revisited states without any prediction at all.
+    """
+    table = table if table is not None else TranspositionTable()
+    root_digest = stmts_digest(program.body)
+    start_cost = _root_cost(program, root_digest, predictor, table)
+    best_prog, best_cost, best_steps = program, start_cost, ()
+    best_scalar = _scalar_cost(start_cost, workload)
+    seen: set[str] = {root_digest}
+    queue: list[tuple[Program, PerfExpr, tuple[SearchStep, ...], int]] = [
+        (program, start_cost, (), 0)
+    ]
     expanded = 0
     generated = 1
     while queue and expanded < max_nodes:
-        prog, steps, depth = queue.pop()
+        prog, cost, steps, depth = queue.pop()
         expanded += 1
-        cost = predictor.predict(prog)
-        if _scalar_cost(cost, workload) < _scalar_cost(best_cost, workload):
+        scalar = _scalar_cost(cost, workload)
+        if scalar < best_scalar:
             best_prog, best_cost, best_steps = prog, cost, steps
+            best_scalar = scalar
         if depth >= max_depth:
             continue
         for transformation in transformations:
             for site in transformation.sites(prog):
                 candidate = transformation.apply(prog, site)
-                key = print_program(candidate)
-                if key in seen:
+                digest = stmts_digest(candidate.body)
+                if digest in seen:
                     continue
-                seen.add(key)
+                seen.add(digest)
+                candidate_cost = table.lookup(digest)
+                if candidate_cost is None:
+                    candidate_cost = predictor.predict(candidate)
+                    table.store(digest, candidate_cost)
                 generated += 1
                 queue.append(
-                    (candidate,
+                    (candidate, candidate_cost,
                      steps + (SearchStep(transformation.name, site.description),),
                      depth + 1)
                 )

@@ -1,0 +1,71 @@
+"""Randomized properties of the signed-block slot array and bin top.
+
+The slot array is the cost model's innermost data structure; these
+tests drive random fill / query sequences against a naive boolean-list
+oracle (``as_bools``) so block-merge and implicit-tail edge cases get
+exercised far beyond the hand-written examples.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cost import BinSet, SlotArray
+from repro.machine import power_machine
+
+#: (start, length) fill operations, biased around the growth boundary.
+_fills = st.lists(
+    st.tuples(st.integers(0, 200), st.integers(1, 24)),
+    min_size=1, max_size=30,
+)
+
+
+def _oracle(bools, start, length):
+    """Naive next_fit over an explicit boolean grid."""
+    padded = list(bools) + [False] * (start + length + 1)
+    s = start
+    while True:
+        if not any(padded[s:s + length]):
+            return s
+        s += 1
+        if s + length > len(padded):
+            return s
+
+
+@settings(max_examples=60, deadline=None)
+@given(_fills)
+def test_fill_and_next_fit_match_boolean_oracle(ops):
+    """Each op lands at next_fit(start); the grid must agree at every step."""
+    array = SlotArray(capacity=8)      # tiny, so growth paths run
+    grid: list[bool] = []
+    for start, length in ops:
+        landing = array.next_fit(start, length)
+        assert landing == _oracle(grid, start, length)
+        assert array.is_free(landing, length)
+        array.fill(landing, length)
+        if len(grid) < landing + length:
+            grid.extend([False] * (landing + length - len(grid)))
+        for i in range(landing, landing + length):
+            grid[i] = True
+    bools = array.as_bools()
+    padded = grid + [False] * (len(bools) - len(grid))
+    assert bools == padded
+    filled = [i for i, b in enumerate(grid) if b]
+    assert array.first_filled() == (filled[0] if filled else None)
+    assert array.last_filled() == (filled[-1] if filled else None)
+    assert array.filled_total == len(filled)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(
+    st.tuples(st.sampled_from(["fpu_arith", "fxu_add", "lsu_load",
+                               "fpu_div", "fxu_store"]),
+              st.integers(0, 40)),
+    min_size=1, max_size=25,
+))
+def test_binset_running_top_matches_scan(ops):
+    """The incrementally maintained top equals the O(bins) rescan."""
+    machine = power_machine()
+    bins = BinSet(machine)
+    for atomic, earliest in ops:
+        op = machine.atomic(atomic)
+        bins.place(op.costs, earliest)
+        assert bins.top() == bins._scan_top()

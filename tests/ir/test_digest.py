@@ -80,3 +80,54 @@ def test_different_name_different_digest():
 
 def test_source_digest_is_raw():
     assert source_digest("a") != source_digest("a ")
+
+
+# ----------------------------------------------------------------------
+# structural statement digests (the search's seen-set key)
+
+
+def test_stmts_digest_matches_structural_equality():
+    from repro.ir import stmts_digest
+
+    base = parse_program(BASE)
+    assert stmts_digest(base.body) == stmts_digest(parse_program(BASE).body)
+    assert (stmts_digest(base.body)
+            == stmts_digest(parse_program(REFORMATTED).body))
+
+
+def test_stmts_digest_separates_variants():
+    from repro.ir import stmts_digest
+
+    base = stmts_digest(parse_program(BASE).body)
+    assert base != stmts_digest(parse_program(RENAMED_INDEX).body)
+    assert base != stmts_digest(parse_program(EXTRA_STATEMENT).body)
+
+
+def test_stmts_digest_ignores_declarations_and_name():
+    """Unlike program_digest, only the executable body is hashed."""
+    from repro.ir import stmts_digest
+
+    renamed = BASE.replace("program saxpy", "program daxpy")
+    assert (stmts_digest(parse_program(BASE).body)
+            == stmts_digest(parse_program(renamed).body))
+
+
+def test_stmts_digest_is_order_sensitive():
+    from repro.ir import stmts_digest
+
+    two = parse_program(EXTRA_STATEMENT)
+    loop = two.body[0]
+    forward = stmts_digest(loop.body)
+    backward = stmts_digest(list(reversed(loop.body)))
+    assert forward != backward
+
+
+def test_node_digest_memo_survives_shared_subtrees():
+    """Shared subtrees hash once; digests stay correct and distinct."""
+    from repro.ir import node_digest
+
+    loop = parse_program(BASE).body[0]
+    first = node_digest(loop)
+    assert node_digest(loop) == first            # id-memo hit
+    other = parse_program(EXTRA_STATEMENT).body[0]
+    assert node_digest(other) != first

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.cost import reset_placement_cache
 from repro.service import (
     CompareRequest,
     KernelsRequest,
@@ -215,9 +216,11 @@ def test_fingerprint_covers_cost_table():
 def test_trace_block_on_request(engine):
     from repro.service import engine as engine_mod
 
-    # The worker-side predictor pool memoizes whole-program results;
-    # start cold so the full pipeline (and its spans) actually runs.
+    # The worker-side predictor pool and the placement memo both
+    # short-circuit repeat work; start cold so the full pipeline (and
+    # its spans) actually runs.
     engine_mod._predictors.clear()
+    reset_placement_cache()
     response = engine.predict(PredictRequest(source=SAXPY, trace=True))
     names = {span["name"] for span in response.trace}
     assert {"predict", "translate.specialize", "cost.place",
@@ -243,6 +246,7 @@ def test_engine_ingests_spans_into_active_tracer(engine):
     from repro.service import engine as engine_mod
 
     engine_mod._predictors.clear()
+    reset_placement_cache()
     tracer = Tracer(metrics=engine.metrics)
     with tracer.activate():
         engine.handle("predict", {"source": SAXPY})
@@ -286,6 +290,7 @@ def test_worker_pool_returns_trace(executor):
     from repro.service import engine as engine_mod
 
     engine_mod._predictors.clear()   # thread workers share this pool
+    reset_placement_cache()
     with PredictionEngine(workers=2, cache_size=8,
                           executor=executor) as engine:
         response = engine.predict(PredictRequest(source=SAXPY, trace=True))

@@ -174,8 +174,16 @@ def test_trace_opt_in_returns_span_block(server):
 
 
 def test_metrics_exposes_phase_histogram(server):
+    import time
+
     _post(server, "/predict", {"source": SAXPY})
-    status, text = _get(server, "/metrics")
+    # The server.handle span closes after the response is sent, so an
+    # immediate scrape can race the span ingestion; poll briefly.
+    for _ in range(50):
+        status, text = _get(server, "/metrics")
+        if 'phase="server.handle"' in text:
+            break
+        time.sleep(0.05)
     assert status == 200
     assert "# TYPE repro_phase_seconds histogram" in text
     assert 'repro_phase_seconds_count{phase="server.handle"}' in text

@@ -169,6 +169,11 @@ def test_bad_command():
 
 
 def test_predict_trace_writes_chrome_json(saxpy_file, tmp_path, capsys):
+    # Start cold: a warm placement memo would answer without running
+    # the cost.place span this test asserts on.
+    from repro.cost import reset_placement_cache
+    reset_placement_cache()
+
     trace_path = tmp_path / "trace.json"
     assert main(["predict", saxpy_file, "--trace", str(trace_path)]) == 0
     assert "cost[power]" in capsys.readouterr().out
