@@ -85,10 +85,6 @@ def _fake_block(cycles: int) -> CostBlock:
 
 
 def _fake_placed(machine_name: str, instrs: list[Instr], cycles: int) -> PlacedBlock:
-    placed = PlacedBlock(machine_name=machine_name)
-    t = 0
-    for instr in instrs:
-        placed.ops.append(PlacedOp(instr, t, t))
-        t += 1
-    placed.block = _fake_block(cycles)
-    return placed
+    ops = tuple(PlacedOp(instr, t, t) for t, instr in enumerate(instrs))
+    return PlacedBlock(machine_name=machine_name, ops=ops,
+                       block=_fake_block(cycles))

@@ -6,6 +6,13 @@ structure, cost-block shapes, and inter-block overlap estimation.
 """
 
 from .bins import BinSet, Placement
+from .columnar import (
+    COLUMNAR_CACHE_LIMIT,
+    CompiledStream,
+    columnar_cache_stats,
+    compile_stream,
+    reset_columnar_cache,
+)
 from .costblock import CostBlock
 from .estimator import BlockCost, StraightLineEstimator
 from .focus import DEFAULT_SPAN, EXHAUSTIVE_SPAN, FAST_SPAN, recommended_span
@@ -17,16 +24,21 @@ from .placement import (
     PlacedOp,
     place_stream,
     placement_cache_stats,
+    placement_kernel,
     reset_placement_cache,
+    set_placement_kernel,
     stream_digest,
 )
 from .slots import SlotArray
 
 __all__ = [
-    "BinSet", "BlockCost", "CostBlock", "DEFAULT_FOCUS_SPAN", "DEFAULT_SPAN",
+    "BinSet", "BlockCost", "COLUMNAR_CACHE_LIMIT", "CompiledStream",
+    "CostBlock", "DEFAULT_FOCUS_SPAN", "DEFAULT_SPAN",
     "EXHAUSTIVE_SPAN", "FAST_SPAN", "PLACEMENT_CACHE_LIMIT", "PlacedBlock",
     "PlacedOp", "Placement", "SlotArray", "StraightLineEstimator",
-    "combined_cycles", "max_overlap", "place_stream",
-    "placement_cache_stats", "recommended_span", "reset_placement_cache",
+    "columnar_cache_stats", "combined_cycles", "compile_stream",
+    "max_overlap", "place_stream", "placement_cache_stats",
+    "placement_kernel", "recommended_span", "reset_columnar_cache",
+    "reset_placement_cache", "set_placement_kernel",
     "steady_state_cycles", "stream_digest",
 ]

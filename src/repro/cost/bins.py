@@ -5,6 +5,11 @@ two dimensional unit with multiple functional bins in one dimension and
 time slots in another dimension.  ...  All costs of an operation have
 to fit in all functional units at the same time for it to occupy the
 time slots."  (section 2.1)
+
+:meth:`BinSet.place` is the *reference* drop: the production path is
+the fused columnar kernel (:mod:`repro.cost.columnar`), which must stay
+bit-identical to this implementation -- the differential tests and the
+E-KERNEL bench drive both and compare every field.
 """
 
 from __future__ import annotations

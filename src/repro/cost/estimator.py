@@ -12,8 +12,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..machine.compiled import compile_ops
 from ..machine.machine import Machine
 from ..translate.stream import Instr, InstrStream, reindex
+from .columnar import compile_stream
 from .costblock import CostBlock
 from .overlap import steady_state_cycles
 from .placement import DEFAULT_FOCUS_SPAN, PlacedBlock, place_stream
@@ -55,14 +57,27 @@ class StraightLineEstimator:
     def __init__(self, machine: Machine, focus_span: int = DEFAULT_FOCUS_SPAN):
         self.machine = machine
         self.focus_span = focus_span
+        # Intern the machine's op costs up front: every placement below
+        # runs on the compiled fast path without a first-call hiccup.
+        compile_ops(machine)
 
     # ------------------------------------------------------------------
     def estimate(self, stream: InstrStream) -> BlockCost:
-        """Cost of one basic block (iterative + one-time parts)."""
+        """Cost of one basic block (iterative + one-time parts).
+
+        Both halves are lowered to columnar form via the digest-keyed
+        compiled-stream memo, so re-estimating an already-seen block
+        (beam rounds, service batches) hashes each half once and reuses
+        the flat columns.
+        """
         iterative = [i for i in stream if not i.one_time]
         invariant = [i for i in stream if i.one_time]
-        placed = place_stream(self.machine, reindex(iterative), self.focus_span)
-        placed_inv = place_stream(self.machine, reindex(invariant), self.focus_span)
+        placed = place_stream(
+            self.machine, compile_stream(self.machine, reindex(iterative)),
+            self.focus_span)
+        placed_inv = place_stream(
+            self.machine, compile_stream(self.machine, reindex(invariant)),
+            self.focus_span)
         return BlockCost(
             cycles=placed.cycles,
             one_time_cycles=placed_inv.cycles,
@@ -96,7 +111,9 @@ class StraightLineEstimator:
                     tag=instr.tag,
                 ))
             base += len(iterative)
-        placed = place_stream(self.machine, replicated, self.focus_span)
+        placed = place_stream(
+            self.machine, compile_stream(self.machine, replicated),
+            self.focus_span)
         return BlockCost(
             cycles=placed.cycles,
             one_time_cycles=0,

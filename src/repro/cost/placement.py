@@ -10,29 +10,49 @@ under the highest occupied time slot need to be considered.  ...  the
 focus span is an adjustable parameter, thus allowing more flexible
 allocation of computing resources based on accuracy and efficiency
 considerations."
+
+Two implementations coexist:
+
+* the **fused columnar kernel** (:mod:`repro.cost.columnar`, default):
+  precompiled per-machine op costs + flat stream columns + a lockstep
+  multi-bin search;
+* the **legacy path** (``kernel="legacy"``): the original
+  per-instruction ``BinSet.place`` loop, kept as the readable reference
+  implementation and differential oracle.
+
+Both produce bit-identical :class:`PlacedBlock` results (cycles, op
+times, pipe choices); ``REPRO_PLACEMENT_KERNEL=legacy`` flips the
+default for A/B runs.
 """
 
 from __future__ import annotations
 
-import hashlib
+import os
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from ..machine.machine import Machine
 from ..obs import trace_span
-from ..translate.stream import Instr, InstrStream
+from ..translate.stream import Instr, InstrStream, placement_digest
 from .bins import BinSet
+from .columnar import CompiledStream, compile_stream, drop_columns
+from ..machine.compiled import compile_ops
 from .costblock import CostBlock
 
 __all__ = [
     "PlacedOp", "PlacedBlock", "place_stream", "DEFAULT_FOCUS_SPAN",
     "stream_digest", "placement_cache_stats", "reset_placement_cache",
+    "placement_kernel", "set_placement_kernel",
     "PLACEMENT_CACHE_LIMIT",
 ]
 
 #: Default focus span; the ablation bench E-FOCUS sweeps this.
 DEFAULT_FOCUS_SPAN = 64
+
+#: Canonical digest helper (moved to translate.stream so streams can
+#: memoize it; re-exported here for existing callers).
+stream_digest = placement_digest
 
 
 @dataclass(frozen=True)
@@ -46,10 +66,15 @@ class PlacedOp:
 
 @dataclass
 class PlacedBlock:
-    """Result of placing a whole instruction stream."""
+    """Result of placing a whole instruction stream.
+
+    ``ops`` is an immutable tuple: cached placements share it directly
+    (no per-hit copy), and the type itself enforces the "callers must
+    not mutate the memo's master" contract.
+    """
 
     machine_name: str
-    ops: list[PlacedOp] = field(default_factory=list)
+    ops: tuple[PlacedOp, ...] = ()
     block: CostBlock = field(default_factory=CostBlock.empty)
 
     @property
@@ -58,6 +83,31 @@ class PlacedBlock:
 
     def completion_of(self, index: int) -> int:
         return self.ops[index].completion
+
+
+# ----------------------------------------------------------------------
+# Kernel selection
+
+_KERNELS = ("fused", "legacy")
+_kernel = os.environ.get("REPRO_PLACEMENT_KERNEL", "fused")
+if _kernel not in _KERNELS:
+    _kernel = "fused"
+
+
+def placement_kernel() -> str:
+    """The process-wide default placement kernel."""
+    return _kernel
+
+
+def set_placement_kernel(name: str) -> str:
+    """Set the default kernel ("fused" or "legacy"); returns the old one."""
+    global _kernel
+    if name not in _KERNELS:
+        raise ValueError(f"unknown placement kernel {name!r}; "
+                         f"choose from {_KERNELS}")
+    previous = _kernel
+    _kernel = name
+    return previous
 
 
 # ----------------------------------------------------------------------
@@ -96,25 +146,6 @@ def _machine_fingerprint(machine: Machine) -> str:
     return fingerprint
 
 
-def stream_digest(instrs: list[Instr]) -> str:
-    """Hex digest of an instruction stream's placement-relevant content.
-
-    Covers index, atomic op, dependence edges, and the one-time flag --
-    everything placement reads -- and nothing else (tags are
-    diagnostic).
-    """
-    h = hashlib.blake2b(digest_size=16)
-    for instr in instrs:
-        h.update(b"|")
-        h.update(str(instr.index).encode())
-        h.update(instr.atomic.encode())
-        h.update(b"1" if instr.one_time else b"0")
-        for dep in instr.deps:
-            h.update(b",")
-            h.update(str(dep).encode())
-    return h.hexdigest()
-
-
 def placement_cache_stats() -> dict[str, int]:
     """Snapshot of the placement memo's counters and size."""
     with _cache_lock:
@@ -137,18 +168,20 @@ def reset_placement_cache() -> None:
 def _share(placed: PlacedBlock) -> PlacedBlock:
     """A caller-safe view of a cached placement.
 
-    The ops list is copied (callers may not mutate the memo's master);
-    the ops themselves and the summary block are immutable-in-practice
-    and shared.
+    The ops tuple, the ops themselves, and the summary block are all
+    immutable, so every field is shared; only the outer (mutable)
+    dataclass shell is fresh.
     """
-    return PlacedBlock(placed.machine_name, list(placed.ops), placed.block)
+    return PlacedBlock(placed.machine_name, placed.ops, placed.block)
 
 
 def place_stream(
     machine: Machine,
-    instrs: list[Instr] | InstrStream,
+    instrs: list[Instr] | InstrStream | CompiledStream,
     focus_span: int = DEFAULT_FOCUS_SPAN,
     bins: BinSet | None = None,
+    *,
+    kernel: str | None = None,
 ) -> PlacedBlock:
     """Drop each instruction into the lowest feasible time slots.
 
@@ -165,19 +198,38 @@ def place_stream(
 
     Identical (machine, stream, focus span) placements are answered
     from a bounded LRU; passing explicit ``bins`` (shared, possibly
-    pre-filled state) bypasses the memo.
+    pre-filled state) bypasses the memo.  ``instrs`` may be a
+    pre-lowered :class:`~repro.cost.columnar.CompiledStream`, in which
+    case its cached digest is reused instead of re-hashed.  ``kernel``
+    overrides the process default ("fused" or "legacy"); both kernels
+    return bit-identical results, so they share the memo.
     """
     global _cache_hits, _cache_misses, _cache_evictions
     if focus_span < 1:
         raise ValueError("focus span must be at least 1")
-    if isinstance(instrs, InstrStream):
-        instr_list = list(instrs)
+    if kernel is None:
+        kernel = _kernel
+    elif kernel not in _KERNELS:
+        raise ValueError(f"unknown placement kernel {kernel!r}")
+
+    compiled: CompiledStream | None = None
+    digest: str | None = None
+    if isinstance(instrs, CompiledStream):
+        compiled = instrs
+        instr_list: list[Instr] | tuple[Instr, ...] = instrs.instrs
+        digest = instrs.digest
+    elif isinstance(instrs, InstrStream):
+        instr_list = instrs.instrs
+        digest = instrs.digest()
     else:
         instr_list = instrs
+
     key = None
     if bins is None:
-        key = (_machine_fingerprint(machine), stream_digest(instr_list),
-               focus_span)
+        fingerprint = _machine_fingerprint(machine)
+        if digest is None:
+            digest = placement_digest(instr_list)
+        key = (fingerprint, digest, focus_span)
         with _cache_lock:
             hit = _cache.get(key)
             if hit is not None:
@@ -194,7 +246,8 @@ def place_stream(
             return _share(hit)
         with _cache_lock:
             _cache_misses += 1
-    placed = _place_uncached(machine, instr_list, focus_span, bins)
+    placed = _place_uncached(machine, instr_list, focus_span, bins,
+                             kernel, compiled, digest)
     if key is not None:
         with _cache_lock:
             _cache[key] = _share(placed)
@@ -206,37 +259,63 @@ def place_stream(
 
 def _place_uncached(
     machine: Machine,
-    instr_list: list[Instr],
+    instr_list: list[Instr] | tuple[Instr, ...],
     focus_span: int,
     bins: BinSet | None,
+    kernel: str = "fused",
+    compiled: CompiledStream | None = None,
+    digest: str | None = None,
 ) -> PlacedBlock:
     with trace_span("cost.place") as span:
         bin_set = bins if bins is not None else BinSet(machine)
-        completions: dict[int, int] = {}
-        placed = PlacedBlock(machine_name=machine.name)
-
-        for instr in instr_list:
-            op = machine.atomic(instr.atomic)
-            ready = 0
-            for dep in instr.deps:
-                dep_done = completions.get(dep, 0)
-                if dep_done > ready:
-                    ready = dep_done
-            floor = bin_set.top() - focus_span
-            earliest = max(ready, floor, 0)
-            placement = bin_set.place(op.costs, earliest)
-            completion = placement.time + op.result_latency
-            completions[instr.index] = completion
-            placed.ops.append(PlacedOp(instr, placement.time, completion))
-
-        placed.block = _summarize(bin_set, placed.ops)
+        if kernel == "fused":
+            fingerprint = _machine_fingerprint(machine)
+            if compiled is None:
+                compiled = compile_stream(machine, instr_list, digest,
+                                          fingerprint=fingerprint)
+            ops = compile_ops(machine, fingerprint)
+            times, completions = drop_columns(
+                compiled, ops, bin_set, focus_span)
+            placed_ops = tuple(
+                map(PlacedOp, compiled.instrs, times, completions))
+        else:
+            placed_ops = _place_legacy(machine, instr_list, focus_span,
+                                       bin_set)
+        placed = PlacedBlock(machine_name=machine.name, ops=placed_ops)
+        placed.block = _summarize(bin_set, placed_ops)
         if span.recording:
             span.set(machine=machine.name, ops=len(instr_list),
-                     focus_span=focus_span, cycles=placed.cycles)
+                     focus_span=focus_span, cycles=placed.cycles,
+                     kernel=kernel)
     return placed
 
 
-def _summarize(bin_set: BinSet, ops: list[PlacedOp]) -> CostBlock:
+def _place_legacy(
+    machine: Machine,
+    instr_list: list[Instr] | tuple[Instr, ...],
+    focus_span: int,
+    bin_set: BinSet,
+) -> tuple[PlacedOp, ...]:
+    """The reference implementation: one ``BinSet.place`` per instruction."""
+    completions: dict[int, int] = {}
+    placed_ops: list[PlacedOp] = []
+    for instr in instr_list:
+        op = machine.atomic(instr.atomic)
+        ready = 0
+        for dep in instr.deps:
+            dep_done = completions.get(dep, 0)
+            if dep_done > ready:
+                ready = dep_done
+        floor = bin_set.top() - focus_span
+        earliest = max(ready, floor, 0)
+        placement = bin_set.place(op.costs, earliest)
+        completion = placement.time + op.result_latency
+        completions[instr.index] = completion
+        placed_ops.append(PlacedOp(instr, placement.time, completion))
+    return tuple(placed_ops)
+
+
+def _summarize(bin_set: BinSet, ops: tuple[PlacedOp, ...]) -> CostBlock:
     if not ops:
         return CostBlock.empty()
     profiles = {

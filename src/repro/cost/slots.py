@@ -183,7 +183,10 @@ class SlotArray:
             return
         if start < 0:
             raise ValueError("negative slot")
-        self._grow_to(start + length + 1)
+        # Exactly the slots the fill touches: the merge-with-successor
+        # check below guards on ``fill_end < capacity``, so no sentinel
+        # cell past the fill is ever read.
+        self._grow_to(start + length)
         if not self.is_free(start, length):
             raise ValueError(f"slots [{start}, {start + length}) not free")
         block_start, size, _ = self._block_containing(start)
@@ -228,14 +231,15 @@ class SlotArray:
         out = [False] * self.capacity
         for start, size, filled in self.blocks():
             if filled:
-                for i in range(start, start + size):
-                    out[i] = True
+                out[start:start + size] = [True] * size
         return out
 
     def occupancy_in(self, lo: int, hi: int) -> int:
         """Number of filled slots in [lo, hi) -- used for shape ratios."""
         count = 0
         for start, size, filled in self.blocks():
+            if start >= hi:
+                break          # blocks are ordered; nothing later overlaps
             if not filled:
                 continue
             overlap = min(start + size, hi) - max(start, lo)

@@ -2,6 +2,7 @@
 
 from .alpha import alpha_machine
 from .atomic import AtomicCostTable, AtomicOp
+from .compiled import CompiledOps, compile_ops, reset_compiled_ops
 from .machine import Machine, MemoryGeometry
 from .power import POWER_ATOMIC_MAPPING, build_power_table, power_machine
 from .registry import get_machine, machine_names, register_machine
@@ -11,9 +12,10 @@ from .units import FunctionalUnit, UnitCost, UnitKind
 from .wide import wide_machine
 
 __all__ = [
-    "AtomicCostTable", "AtomicOp", "FunctionalUnit", "Machine",
-    "MemoryGeometry", "POWER_ATOMIC_MAPPING", "UnitCost", "UnitKind",
-    "build_power_table", "get_machine", "machine_names", "power_machine",
-    "register_machine", "scalar_machine", "wide_machine",
+    "AtomicCostTable", "AtomicOp", "CompiledOps", "FunctionalUnit",
+    "Machine", "MemoryGeometry", "POWER_ATOMIC_MAPPING", "UnitCost",
+    "UnitKind", "build_power_table", "compile_ops", "get_machine",
+    "machine_names", "power_machine", "register_machine",
+    "reset_compiled_ops", "scalar_machine", "wide_machine",
     "TrainingProbe", "alpha_machine", "calibrate", "make_probes",
 ]

@@ -58,6 +58,7 @@ from concurrent.futures import (
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Mapping, NamedTuple, Sequence
 
+from ..cost.columnar import columnar_cache_stats
 from ..cost.placement import placement_cache_stats
 from ..ir.digest import program_digest, stmts_digest
 from ..ir.parser import ParseError, parse_program
@@ -947,6 +948,23 @@ class PredictionEngine:
             "repro_placement_cache_evictions_total",
             "Placement-memo evictions (engine process).").set(
             placement["evictions"])
+        columnar = columnar_cache_stats()
+        self.metrics.gauge(
+            "repro_columnar_cache_hits_total",
+            "Compiled-stream cache hits (engine process).").set(
+            columnar["hits"])
+        self.metrics.gauge(
+            "repro_columnar_cache_misses_total",
+            "Compiled-stream cache misses (engine process).").set(
+            columnar["misses"])
+        self.metrics.gauge(
+            "repro_columnar_cache_entries",
+            "Resident compiled-stream cache entries (engine process).").set(
+            columnar["entries"])
+        self.metrics.gauge(
+            "repro_columnar_cache_evictions_total",
+            "Compiled-stream cache evictions (engine process).").set(
+            columnar["evictions"])
         age_hist = self.metrics.histogram(
             "repro_cache_entry_age_seconds",
             "Ages of resident result-cache entries (snapshot per scrape).",

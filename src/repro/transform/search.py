@@ -53,6 +53,7 @@ from typing import Callable, Mapping, Sequence
 from ..compare.comparator import Verdict, compare
 from ..ir.digest import stmts_digest
 from ..ir.nodes import Program
+from ..machine.compiled import compile_ops
 from ..obs import trace_span
 from ..symbolic.expr import PerfExpr
 from ..symbolic.intervals import Interval
@@ -177,9 +178,14 @@ def astar_search(
     ``search_workers > 1``) may run that batch on worker processes.
     Results are bit-identical to the serial path for a given
     ``beam_width``.
+
+    Every candidate evaluated below bottoms out in the fused columnar
+    placement kernel; the machine's op costs are interned once here so
+    no round pays the first-call compilation.
     """
     if beam_width < 1:
         raise ValueError("beam width must be at least 1")
+    compile_ops(predictor.aggregator.machine)
     table = table if table is not None else TranspositionTable()
     own_pool = None
     if evaluate_batch is None and search_workers > 1:

@@ -8,10 +8,32 @@ into the functional-unit bins.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import Iterator, Sequence
 
-__all__ = ["Instr", "InstrStream", "reindex"]
+__all__ = ["Instr", "InstrStream", "placement_digest", "reindex"]
+
+
+def placement_digest(instrs: Sequence["Instr"]) -> str:
+    """Hex digest of a stream's placement-relevant content.
+
+    Covers index, atomic op, dependence edges, and the one-time flag --
+    everything placement reads -- and nothing else (tags are
+    diagnostic).  :class:`InstrStream` memoizes it (:meth:`~InstrStream.digest`),
+    so callers that hold a stream object hash it once, not per lookup.
+    """
+    h = hashlib.blake2b(digest_size=16)
+    update = h.update
+    for instr in instrs:
+        update(b"|")
+        update(str(instr.index).encode())
+        update(instr.atomic.encode())
+        update(b"1" if instr.one_time else b"0")
+        for dep in instr.deps:
+            update(b",")
+            update(str(dep).encode())
+    return h.hexdigest()
 
 
 def reindex(instrs: list["Instr"]) -> list["Instr"]:
@@ -67,12 +89,22 @@ class InstrStream:
     instrs: list[Instr] = field(default_factory=list)
     machine_name: str = ""
     label: str = ""
+    #: Memoized placement digest; dropped on append.
+    _digest: str | None = field(default=None, init=False, repr=False,
+                                compare=False)
 
     def append(self, atomic: str, deps: tuple[int, ...] = (), tag: str = "",
                one_time: bool = False) -> Instr:
         instr = Instr(len(self.instrs), atomic, deps, tag, one_time)
         self.instrs.append(instr)
+        self._digest = None
         return instr
+
+    def digest(self) -> str:
+        """The placement digest, computed once and cached on the stream."""
+        if self._digest is None:
+            self._digest = placement_digest(self.instrs)
+        return self._digest
 
     def __len__(self) -> int:
         return len(self.instrs)

@@ -67,12 +67,20 @@ def test_explicit_bins_bypass_the_memo():
 
 
 def test_cached_result_is_mutation_safe():
+    """The ops tuple is shared between hits; the type forbids mutation."""
+    import pytest
+
     machine = power_machine()
     first = place_stream(machine, _stream())
-    first.ops.append("garbage")
     again = place_stream(machine, _stream())
-    assert len(again.ops) == len(_stream())
-    assert "garbage" not in again.ops
+    assert isinstance(first.ops, tuple)
+    assert again.ops is first.ops          # shared, not copied per hit
+    with pytest.raises(AttributeError):
+        first.ops.append("garbage")
+    # Reassigning a hit's *fields* must not corrupt the memo's master.
+    first.ops = ()
+    final = place_stream(machine, _stream())
+    assert len(final.ops) == len(_stream())
 
 
 def test_stream_digest_covers_deps_not_tags():

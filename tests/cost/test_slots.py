@@ -81,9 +81,26 @@ def test_negative_slot_rejected():
 def test_growth_beyond_capacity():
     array = SlotArray(4)
     array.fill(10, 3)
-    assert array.capacity >= 14
+    assert array.capacity >= 13
     assert array.last_filled() == 12
     assert array.is_free(0, 10)
+
+
+def test_growth_is_exact_not_one_past_the_fill():
+    """Regression pin: fill grows to start+length, doubling from there.
+
+    The fill used to request ``start + length + 1`` slots -- one past
+    what it touches -- which made a fill ending exactly at capacity
+    double the allocation for a sentinel cell nothing ever read.
+    """
+    array = SlotArray(64)
+    array.fill(0, 64)               # exactly fills existing capacity ...
+    assert array.capacity == 64     # ... and must not grow at all
+    array.fill(64, 1)               # first slot past the end ...
+    assert array.capacity == 128    # ... doubles (max(needed, 2*old))
+    big = SlotArray(4)
+    big.fill(100, 8)                # far jump: grows to exactly needed
+    assert big.capacity == 108
 
 
 def test_growth_when_tail_filled():
