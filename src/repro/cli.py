@@ -7,7 +7,8 @@ Commands
 ``restructure FILE``  performance-guided A* restructuring
 ``kernels``           the Figure 7 table (predicted vs reference)
 ``machines``          registered machine descriptions
-``serve``             run the HTTP/JSON prediction service
+``serve``             run one HTTP/JSON prediction backend
+``route``             run the consistent-hash shard router over N backends
 
 ``predict``, ``compare``, and ``kernels`` take ``--json`` to emit the
 service wire format (see :mod:`repro.service.protocol`) instead of
@@ -237,7 +238,42 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         port=args.port,
         tracing=not args.no_tracing,
         slow_request_seconds=args.slow_request_seconds,
+        shard_of=args.shard_of,
     )
+    return 0
+
+
+def _cmd_route(args: argparse.Namespace) -> int:
+    from .service.router import run_router
+
+    backends = [url.strip() for url in (args.backends or "").split(",")
+                if url.strip()]
+    spawned = []
+    if args.spawn:
+        from .service.cluster import spawn_backends
+
+        spawned = spawn_backends(args.spawn, workers=args.spawn_workers)
+        backends.extend(backend.url for backend in spawned)
+        for backend in spawned:
+            print(f"spawned backend {backend.url} (pid {backend.process.pid})",
+                  flush=True)
+    if not backends:
+        raise SystemExit("route needs --backends URL[,URL...] and/or "
+                         "--spawn N")
+    try:
+        run_router(
+            backends,
+            host=args.host,
+            port=args.port,
+            vnodes=args.vnodes,
+            retries=args.retries,
+            probe_interval=args.probe_interval,
+            forward_timeout=args.forward_timeout,
+            local_fallback=not args.no_local_fallback,
+        )
+    finally:
+        for backend in spawned:
+            backend.terminate()
     return 0
 
 
@@ -318,7 +354,35 @@ def build_parser() -> argparse.ArgumentParser:
                    help="log requests slower than this, with their span tree")
     p.add_argument("--no-tracing", action="store_true",
                    help="disable per-request tracing spans")
+    p.add_argument("--shard-of", metavar="INDEX/COUNT",
+                   help="shard identity when running behind the router, "
+                        "e.g. 0/3 (shown in /healthz and metrics)")
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "route", help="run the consistent-hash shard router")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8080)
+    p.add_argument("--backends", metavar="URL[,URL...]",
+                   help="backend base URLs, e.g. "
+                        "http://10.0.0.1:8081,http://10.0.0.2:8081")
+    p.add_argument("--spawn", type=int, default=0, metavar="N",
+                   help="also spawn N local backend processes on "
+                        "ephemeral ports and route over them")
+    p.add_argument("--spawn-workers", type=int, default=0,
+                   help="worker processes per spawned backend")
+    p.add_argument("--vnodes", type=int, default=64,
+                   help="virtual nodes per backend on the hash ring")
+    p.add_argument("--retries", type=int, default=2,
+                   help="max additional ring replicas tried per request")
+    p.add_argument("--probe-interval", type=float, default=2.0,
+                   help="seconds between backend /healthz probes")
+    p.add_argument("--forward-timeout", type=float, default=30.0,
+                   help="per-forward timeout in seconds")
+    p.add_argument("--no-local-fallback", action="store_true",
+                   help="return 503 instead of serving inline when every "
+                        "backend is down")
+    p.set_defaults(func=_cmd_route)
     return parser
 
 

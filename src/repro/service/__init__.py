@@ -10,7 +10,13 @@ Turns the one-shot prediction library into long-lived infrastructure:
 * :mod:`~repro.service.protocol` -- strict wire dataclasses shared by
   the HTTP server and the CLI ``--json`` flags;
 * :class:`PredictionServer` -- a dependency-free ``http.server``
-  JSON front end with ``/healthz`` and Prometheus ``/metrics``.
+  JSON front end with ``/healthz`` and Prometheus ``/metrics``;
+* :class:`ShardRouter` + :class:`~repro.service.shard.HashRing` --
+  a consistent-hash front door that partitions the digest keyspace
+  over N backend servers with health probes, failover, and local
+  degraded mode;
+* :class:`ReproClient` / :class:`AsyncReproClient` -- pooled typed
+  clients for either a single server or the router.
 
 Quick start::
 
@@ -19,9 +25,25 @@ Quick start::
     engine = PredictionEngine(workers=4, cache_size=4096)
     response = engine.predict(PredictRequest(source=saxpy_text))
     print(response.cost)          # "3*n + 8"
+
+Over the wire::
+
+    from repro.service import ReproClient
+
+    with ReproClient("http://127.0.0.1:8080") as client:
+        print(client.predict(saxpy_text, bindings={"n": 100}).cycles)
 """
 
 from .cache import CacheStats, Eviction, ResultCache, endpoint_of
+from .client import (
+    AsyncReproClient,
+    BadRequestError,
+    RemoteError,
+    ReproClient,
+    ReproClientError,
+    ServerError,
+    TransportError,
+)
 from .engine import PredictionEngine, ServiceError, execute_request
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .protocol import (
@@ -41,16 +63,20 @@ from .protocol import (
     response_from_dict,
     response_to_dict,
 )
+from .router import ShardRouter, make_router, run_router
 from .server import PredictionServer, make_server, run_server
+from .shard import HashRing
 
 __all__ = [
-    "CacheStats", "CompareRequest", "CompareResponse", "Counter",
-    "ErrorResponse", "Eviction", "Gauge", "Histogram", "KernelRow",
-    "KernelsRequest", "KernelsResponse", "MetricsRegistry",
-    "PredictRequest", "PredictResponse", "PredictionEngine",
-    "PredictionServer", "ProtocolError", "RestructureRequest",
-    "RestructureResponse", "ResultCache", "ServiceError", "endpoint_of",
-    "error_envelope", "execute_request", "make_server",
-    "request_from_dict", "response_from_dict", "response_to_dict",
-    "run_server",
+    "AsyncReproClient", "BadRequestError", "CacheStats", "CompareRequest",
+    "CompareResponse", "Counter", "ErrorResponse", "Eviction", "Gauge",
+    "HashRing", "Histogram", "KernelRow", "KernelsRequest",
+    "KernelsResponse", "MetricsRegistry", "PredictRequest",
+    "PredictResponse", "PredictionEngine", "PredictionServer",
+    "ProtocolError", "RemoteError", "ReproClient", "ReproClientError",
+    "RestructureRequest", "RestructureResponse", "ResultCache",
+    "ServerError", "ServiceError", "ShardRouter", "TransportError",
+    "endpoint_of", "error_envelope", "execute_request", "make_router",
+    "make_server", "request_from_dict", "response_from_dict",
+    "response_to_dict", "run_router", "run_server",
 ]

@@ -1,0 +1,606 @@
+"""Client library for the prediction service and shard router.
+
+Callers were hand-rolling ``urllib`` against the JSON wire format;
+this module gives them two first-class clients speaking the exact
+:mod:`repro.service.protocol` schema:
+
+* :class:`ReproClient` -- synchronous, with a bounded pool of
+  keep-alive ``http.client`` connections shared across threads;
+* :class:`AsyncReproClient` -- the same surface on ``asyncio``,
+  built on ``asyncio.open_connection`` (no third-party HTTP stack),
+  with its own keep-alive connection pool.
+
+Both return the typed response dataclasses (:class:`PredictResponse`
+et al.) and raise typed errors instead of bare ``HTTPError``:
+
+* :class:`TransportError` -- could not reach the service (connection
+  refused, reset, timed out) after the retry budget;
+* :class:`BadRequestError` -- the service rejected the request (4xx
+  envelope: schema violation, parse error, unknown machine);
+* :class:`ServerError` -- the service failed internally (5xx envelope).
+
+Every request carries an ``X-Request-Id`` (caller-supplied or
+generated), the server echoes it, and both the errors and the client's
+``last_request_id`` expose it, so a failing call can be matched to the
+server's JSON logs and traces without guesswork.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+import queue
+import socket
+import threading
+from typing import Any, Mapping, Sequence
+from urllib.parse import urlsplit
+
+from ..obs import new_request_id
+from .protocol import (
+    CompareResponse,
+    KernelsResponse,
+    PredictResponse,
+    RestructureResponse,
+    response_from_dict,
+)
+
+__all__ = [
+    "ReproClientError", "TransportError", "RemoteError",
+    "BadRequestError", "ServerError",
+    "ReproClient", "AsyncReproClient", "HTTPConnectionPool",
+]
+
+
+# ----------------------------------------------------------------------
+# typed errors
+
+
+class ReproClientError(Exception):
+    """Base class for every error a repro client can raise."""
+
+
+class TransportError(ReproClientError):
+    """The service could not be reached (or the connection died mid-call)."""
+
+    def __init__(self, message: str, *, request_id: str | None = None):
+        super().__init__(message)
+        self.request_id = request_id
+
+
+class RemoteError(ReproClientError):
+    """A non-2xx response; carries the service's error envelope."""
+
+    def __init__(self, envelope: Mapping[str, Any], *,
+                 request_id: str | None = None):
+        self.error = str(envelope.get("error", "Error"))
+        self.message = str(envelope.get("message", ""))
+        self.status = int(envelope.get("status", 500))
+        self.envelope = dict(envelope)
+        self.request_id = request_id
+        super().__init__(f"{self.error} ({self.status}): {self.message}")
+
+
+class BadRequestError(RemoteError):
+    """4xx: the request itself is invalid; retrying cannot help."""
+
+
+class ServerError(RemoteError):
+    """5xx: the service failed; a retry (or another shard) may succeed."""
+
+
+def remote_error(envelope: Mapping[str, Any], *,
+                 request_id: str | None = None) -> RemoteError:
+    """Envelope dict -> the right typed error class."""
+    status = int(envelope.get("status", 500))
+    cls = BadRequestError if 400 <= status < 500 else ServerError
+    return cls(envelope, request_id=request_id)
+
+
+# ----------------------------------------------------------------------
+# request payload builders (shared by both clients)
+
+
+def _predict_payload(source: str, machine: str, backend: str,
+                     include_memory: bool,
+                     bindings: Mapping[str, Any] | None,
+                     trace: bool) -> dict[str, Any]:
+    payload: dict[str, Any] = {
+        "source": source, "machine": machine, "backend": backend,
+        "include_memory": include_memory,
+    }
+    if bindings:
+        payload["bindings"] = {k: str(v) for k, v in bindings.items()}
+    if trace:
+        payload["trace"] = True
+    return payload
+
+
+def _compare_payload(first: str, second: str, machine: str,
+                     domain: Mapping[str, Any] | None,
+                     trace: bool) -> dict[str, Any]:
+    payload: dict[str, Any] = {
+        "first": first, "second": second, "machine": machine,
+    }
+    if domain:
+        payload["domain"] = {k: list(v) for k, v in domain.items()}
+    if trace:
+        payload["trace"] = True
+    return payload
+
+
+def _restructure_payload(source: str, machine: str,
+                         workload: Mapping[str, Any] | None,
+                         domain: Mapping[str, Any] | None,
+                         depth: int, max_nodes: int, beam_width: int,
+                         trace: bool) -> dict[str, Any]:
+    payload: dict[str, Any] = {
+        "source": source, "machine": machine, "depth": depth,
+        "max_nodes": max_nodes, "beam_width": beam_width,
+    }
+    if workload:
+        payload["workload"] = {k: str(v) for k, v in workload.items()}
+    if domain:
+        payload["domain"] = {k: list(v) for k, v in domain.items()}
+    if trace:
+        payload["trace"] = True
+    return payload
+
+
+def _decode_single(kind: str, status: int, body: bytes,
+                   request_id: str | None):
+    data = json.loads(body.decode("utf-8"))
+    if isinstance(data, Mapping) and "error" in data:
+        raise remote_error(data, request_id=request_id)
+    if status >= 400:
+        raise remote_error(
+            {"error": "HTTPError", "message": f"status {status}",
+             "status": status},
+            request_id=request_id)
+    return response_from_dict(kind, data)
+
+
+def _decode_batch(kinds: Sequence[str], status: int, body: bytes,
+                  request_id: str | None) -> list[Any]:
+    data = json.loads(body.decode("utf-8"))
+    if isinstance(data, Mapping) and "error" in data:
+        raise remote_error(data, request_id=request_id)
+    if not isinstance(data, list) or len(data) != len(kinds):
+        raise TransportError(
+            f"batch response shape mismatch: {len(kinds)} requests, "
+            f"{len(data) if isinstance(data, list) else type(data).__name__} "
+            "responses", request_id=request_id)
+    out: list[Any] = []
+    for kind, item in zip(kinds, data):
+        if isinstance(item, Mapping) and "error" in item:
+            out.append(remote_error(item, request_id=request_id))
+        else:
+            out.append(response_from_dict(kind, item))
+    return out
+
+
+def _split_base_url(base_url: str) -> tuple[str, int]:
+    parts = urlsplit(base_url if "//" in base_url else f"http://{base_url}")
+    if parts.scheme not in ("", "http"):
+        raise ValueError(f"only http:// URLs are supported, got {base_url!r}")
+    host = parts.hostname or "127.0.0.1"
+    port = parts.port if parts.port is not None else 80
+    return host, port
+
+
+# ----------------------------------------------------------------------
+# sync client
+
+
+#: Connection-level failures that justify one retry on a *fresh*
+#: connection: a pooled keep-alive socket may have been closed by the
+#: server (idle timeout, restart) between our requests.
+_STALE_CONNECTION_ERRORS = (
+    http.client.BadStatusLine,
+    http.client.CannotSendRequest,
+    ConnectionResetError,
+    ConnectionAbortedError,
+    BrokenPipeError,
+)
+
+
+class HTTPConnectionPool:
+    """A bounded pool of keep-alive HTTP connections to one host.
+
+    ``acquire`` hands out an idle connection or opens a fresh one;
+    ``release`` returns it for reuse (up to ``size`` idle connections
+    are kept; extras are closed).  ``discard`` closes a connection that
+    failed mid-request so it is never reused.  Thread-safe; used by
+    both :class:`ReproClient` and the shard router's forwarder.
+    """
+
+    def __init__(self, host: str, port: int, *, size: int = 4,
+                 timeout: float = 30.0):
+        self.host = host
+        self.port = port
+        self.size = size
+        self.timeout = timeout
+        self._idle: queue.LifoQueue = queue.LifoQueue(maxsize=size)
+        self._closed = False
+
+    def acquire(self) -> http.client.HTTPConnection:
+        try:
+            return self._idle.get_nowait()
+        except queue.Empty:
+            return http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout)
+
+    def release(self, connection: http.client.HTTPConnection) -> None:
+        if self._closed:
+            connection.close()
+            return
+        try:
+            self._idle.put_nowait(connection)
+        except queue.Full:
+            connection.close()
+
+    def discard(self, connection: http.client.HTTPConnection) -> None:
+        connection.close()
+
+    def close(self) -> None:
+        self._closed = True
+        while True:
+            try:
+                self._idle.get_nowait().close()
+            except queue.Empty:
+                return
+
+    def request(self, method: str, path: str, body: bytes | None,
+                headers: Mapping[str, str]) -> tuple[int, dict[str, str], bytes]:
+        """One pooled request; returns ``(status, headers, body)``.
+
+        Retries exactly once on a stale-connection failure, and only
+        when the failure happened on a *reused* connection -- a fresh
+        connection failing the same way is a real transport error.
+        """
+        for attempt in (0, 1):
+            connection = self.acquire()
+            fresh = connection.sock is None
+            try:
+                connection.request(method, path, body=body,
+                                   headers=dict(headers))
+                response = connection.getresponse()
+                payload = response.read()
+                response_headers = {k.lower(): v
+                                    for k, v in response.getheaders()}
+                if response_headers.get("connection", "").lower() == "close":
+                    self.discard(connection)
+                else:
+                    self.release(connection)
+                return response.status, response_headers, payload
+            except _STALE_CONNECTION_ERRORS:
+                self.discard(connection)
+                if fresh or attempt == 1:
+                    raise
+            except Exception:
+                self.discard(connection)
+                raise
+        raise AssertionError("unreachable")
+
+
+class ReproClient:
+    """Synchronous client with pooled keep-alive connections.
+
+    ::
+
+        with ReproClient("http://127.0.0.1:8080") as client:
+            response = client.predict(saxpy_source, bindings={"n": 100})
+            print(response.cost, response.cycles)   # "3*n + 8" "308"
+
+    Point it at a single server or at a shard router -- the wire
+    format is identical.  Safe to share across threads.
+    """
+
+    def __init__(self, base_url: str, *, timeout: float = 30.0,
+                 pool_size: int = 4, retries: int = 1):
+        self.base_url = base_url
+        host, port = _split_base_url(base_url)
+        self._pool = HTTPConnectionPool(host, port, size=pool_size,
+                                        timeout=timeout)
+        self.retries = max(0, retries)
+        self.last_request_id: str | None = None
+
+    # -- plumbing -------------------------------------------------------
+    def close(self) -> None:
+        self._pool.close()
+
+    def __enter__(self) -> "ReproClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _call(self, method: str, path: str, payload: Any,
+              request_id: str | None) -> tuple[int, bytes, str]:
+        request_id = request_id or new_request_id()
+        self.last_request_id = request_id
+        body = (json.dumps(payload).encode("utf-8")
+                if payload is not None else None)
+        headers = {"X-Request-Id": request_id}
+        if body is not None:
+            headers["Content-Type"] = "application/json"
+        last: Exception | None = None
+        for _ in range(self.retries + 1):
+            try:
+                status, _, response_body = self._pool.request(
+                    method, path, body, headers)
+                return status, response_body, request_id
+            except (ConnectionError, socket.timeout, TimeoutError,
+                    OSError, http.client.HTTPException) as error:
+                last = error
+        raise TransportError(
+            f"{method} {self.base_url}{path} failed: {last}",
+            request_id=request_id) from last
+
+    # -- endpoints ------------------------------------------------------
+    def predict(self, source: str, *, machine: str = "power",
+                backend: str = "aggressive", include_memory: bool = False,
+                bindings: Mapping[str, Any] | None = None,
+                trace: bool = False,
+                request_id: str | None = None) -> PredictResponse:
+        payload = _predict_payload(source, machine, backend,
+                                   include_memory, bindings, trace)
+        status, body, rid = self._call("POST", "/predict", payload, request_id)
+        return _decode_single("predict", status, body, rid)
+
+    def compare(self, first: str, second: str, *, machine: str = "power",
+                domain: Mapping[str, Any] | None = None, trace: bool = False,
+                request_id: str | None = None) -> CompareResponse:
+        payload = _compare_payload(first, second, machine, domain, trace)
+        status, body, rid = self._call("POST", "/compare", payload, request_id)
+        return _decode_single("compare", status, body, rid)
+
+    def restructure(self, source: str, *, machine: str = "power",
+                    workload: Mapping[str, Any] | None = None,
+                    domain: Mapping[str, Any] | None = None,
+                    depth: int = 2, max_nodes: int = 200,
+                    beam_width: int = 1, trace: bool = False,
+                    request_id: str | None = None) -> RestructureResponse:
+        payload = _restructure_payload(source, machine, workload, domain,
+                                       depth, max_nodes, beam_width, trace)
+        status, body, rid = self._call("POST", "/restructure", payload,
+                                       request_id)
+        return _decode_single("restructure", status, body, rid)
+
+    def kernels(self, machine: str = "power", *,
+                request_id: str | None = None) -> KernelsResponse:
+        status, body, rid = self._call(
+            "GET", f"/kernels?machine={machine}", None, request_id)
+        return _decode_single("kernels", status, body, rid)
+
+    def predict_batch(self, payloads: Sequence[Mapping[str, Any]], *,
+                      request_id: str | None = None) -> list[Any]:
+        """POST a JSON-array batch to ``/predict``.
+
+        Returns one entry per request *in order*: a
+        :class:`PredictResponse` on success, a :class:`RemoteError`
+        instance (not raised) for entries the service rejected, so one
+        bad request cannot void the batch.
+        """
+        status, body, rid = self._call("POST", "/predict", list(payloads),
+                                       request_id)
+        return _decode_batch(["predict"] * len(payloads), status, body, rid)
+
+    def healthz(self) -> dict[str, Any]:
+        status, body, rid = self._call("GET", "/healthz", None, None)
+        if status != 200:
+            raise remote_error(
+                json.loads(body.decode("utf-8")), request_id=rid)
+        return json.loads(body.decode("utf-8"))
+
+    def metrics(self) -> str:
+        status, body, rid = self._call("GET", "/metrics", None, None)
+        if status != 200:
+            raise TransportError(f"/metrics returned {status}",
+                                 request_id=rid)
+        return body.decode("utf-8")
+
+
+# ----------------------------------------------------------------------
+# async client
+
+
+class _AsyncConnection:
+    """One keep-alive HTTP/1.1 connection on asyncio streams."""
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter):
+        self.reader = reader
+        self.writer = writer
+
+    async def request(self, host: str, method: str, path: str,
+                      body: bytes | None,
+                      headers: Mapping[str, str]) -> tuple[int, dict[str, str], bytes]:
+        lines = [f"{method} {path} HTTP/1.1", f"Host: {host}"]
+        for name, value in headers.items():
+            lines.append(f"{name}: {value}")
+        if body is not None:
+            lines.append(f"Content-Length: {len(body)}")
+        lines.append("\r\n")
+        self.writer.write("\r\n".join(lines).encode("ascii"))
+        if body is not None:
+            self.writer.write(body)
+        await self.writer.drain()
+
+        status_line = await self.reader.readline()
+        if not status_line:
+            raise ConnectionResetError("server closed the connection")
+        parts = status_line.decode("latin-1").split(None, 2)
+        if len(parts) < 2 or not parts[1].isdigit():
+            raise ConnectionResetError(f"bad status line {status_line!r}")
+        status = int(parts[1])
+        response_headers: dict[str, str] = {}
+        while True:
+            line = await self.reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            response_headers[name.strip().lower()] = value.strip()
+        length = int(response_headers.get("content-length", 0))
+        payload = await self.reader.readexactly(length) if length else b""
+        return status, response_headers, payload
+
+    def close(self) -> None:
+        self.writer.close()
+
+
+class AsyncReproClient:
+    """``asyncio`` client with the same surface as :class:`ReproClient`.
+
+    ::
+
+        async with AsyncReproClient("http://127.0.0.1:8080") as client:
+            responses = await asyncio.gather(
+                *(client.predict(src) for src in sources))
+
+    Connections are pooled per client instance; concurrent calls each
+    get their own connection up to ``pool_size``, beyond which extra
+    connections are opened and closed per call.
+    """
+
+    def __init__(self, base_url: str, *, timeout: float = 30.0,
+                 pool_size: int = 4, retries: int = 1):
+        self.base_url = base_url
+        self.host, self.port = _split_base_url(base_url)
+        self.timeout = timeout
+        self.pool_size = pool_size
+        self.retries = max(0, retries)
+        self.last_request_id: str | None = None
+        self._idle: list[_AsyncConnection] = []
+        self._lock = threading.Lock()  # pool ops are sync + tiny
+
+    # -- plumbing -------------------------------------------------------
+    async def aclose(self) -> None:
+        with self._lock:
+            idle, self._idle = self._idle, []
+        for connection in idle:
+            connection.close()
+
+    async def __aenter__(self) -> "AsyncReproClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.aclose()
+
+    def _pop_idle(self) -> _AsyncConnection | None:
+        with self._lock:
+            return self._idle.pop() if self._idle else None
+
+    def _push_idle(self, connection: _AsyncConnection) -> None:
+        with self._lock:
+            if len(self._idle) < self.pool_size:
+                self._idle.append(connection)
+                return
+        connection.close()
+
+    async def _connect(self) -> _AsyncConnection:
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        return _AsyncConnection(reader, writer)
+
+    async def _call(self, method: str, path: str, payload: Any,
+                    request_id: str | None) -> tuple[int, bytes, str]:
+        request_id = request_id or new_request_id()
+        self.last_request_id = request_id
+        body = (json.dumps(payload).encode("utf-8")
+                if payload is not None else None)
+        headers = {"X-Request-Id": request_id, "Connection": "keep-alive"}
+        if body is not None:
+            headers["Content-Type"] = "application/json"
+        last: Exception | None = None
+        attempts = 0
+        while attempts <= self.retries:
+            connection = self._pop_idle()
+            reused = connection is not None
+            try:
+                if connection is None:
+                    connection = await asyncio.wait_for(
+                        self._connect(), self.timeout)
+                status, response_headers, response_body = (
+                    await asyncio.wait_for(
+                        connection.request(self.host, method, path, body,
+                                           headers),
+                        self.timeout))
+                if response_headers.get("connection", "").lower() == "close":
+                    connection.close()
+                else:
+                    self._push_idle(connection)
+                return status, response_body, request_id
+            except (ConnectionError, asyncio.IncompleteReadError,
+                    asyncio.TimeoutError, OSError) as error:
+                if connection is not None:
+                    connection.close()
+                last = error
+                # A stale pooled connection earns a free retry (the
+                # server may simply have closed an idle socket); a
+                # fresh connection failing consumes the retry budget.
+                if not reused:
+                    attempts += 1
+        raise TransportError(
+            f"{method} {self.base_url}{path} failed: {last}",
+            request_id=request_id) from last
+
+    # -- endpoints ------------------------------------------------------
+    async def predict(self, source: str, *, machine: str = "power",
+                      backend: str = "aggressive",
+                      include_memory: bool = False,
+                      bindings: Mapping[str, Any] | None = None,
+                      trace: bool = False,
+                      request_id: str | None = None) -> PredictResponse:
+        payload = _predict_payload(source, machine, backend,
+                                   include_memory, bindings, trace)
+        status, body, rid = await self._call("POST", "/predict", payload,
+                                             request_id)
+        return _decode_single("predict", status, body, rid)
+
+    async def compare(self, first: str, second: str, *,
+                      machine: str = "power",
+                      domain: Mapping[str, Any] | None = None,
+                      trace: bool = False,
+                      request_id: str | None = None) -> CompareResponse:
+        payload = _compare_payload(first, second, machine, domain, trace)
+        status, body, rid = await self._call("POST", "/compare", payload,
+                                             request_id)
+        return _decode_single("compare", status, body, rid)
+
+    async def restructure(self, source: str, *, machine: str = "power",
+                          workload: Mapping[str, Any] | None = None,
+                          domain: Mapping[str, Any] | None = None,
+                          depth: int = 2, max_nodes: int = 200,
+                          beam_width: int = 1, trace: bool = False,
+                          request_id: str | None = None) -> RestructureResponse:
+        payload = _restructure_payload(source, machine, workload, domain,
+                                       depth, max_nodes, beam_width, trace)
+        status, body, rid = await self._call("POST", "/restructure", payload,
+                                             request_id)
+        return _decode_single("restructure", status, body, rid)
+
+    async def kernels(self, machine: str = "power", *,
+                      request_id: str | None = None) -> KernelsResponse:
+        status, body, rid = await self._call(
+            "GET", f"/kernels?machine={machine}", None, request_id)
+        return _decode_single("kernels", status, body, rid)
+
+    async def predict_batch(self, payloads: Sequence[Mapping[str, Any]], *,
+                            request_id: str | None = None) -> list[Any]:
+        status, body, rid = await self._call("POST", "/predict",
+                                             list(payloads), request_id)
+        return _decode_batch(["predict"] * len(payloads), status, body, rid)
+
+    async def healthz(self) -> dict[str, Any]:
+        status, body, rid = await self._call("GET", "/healthz", None, None)
+        if status != 200:
+            raise remote_error(
+                json.loads(body.decode("utf-8")), request_id=rid)
+        return json.loads(body.decode("utf-8"))
+
+    async def metrics(self) -> str:
+        status, body, rid = await self._call("GET", "/metrics", None, None)
+        if status != 200:
+            raise TransportError(f"/metrics returned {status}",
+                                 request_id=rid)
+        return body.decode("utf-8")

@@ -55,6 +55,10 @@ _POST_ROUTES = {"/predict": "predict", "/compare": "compare",
 class _Handler(BaseHTTPRequestHandler):
     server: "PredictionServer"
     protocol_version = "HTTP/1.1"
+    # Close keep-alive connections idle this long: each open connection
+    # pins a handler thread, and a client that vanished without FIN
+    # (killed test, dropped router) would otherwise pin it forever.
+    timeout = 30
 
     # -- plumbing -------------------------------------------------------
     def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
@@ -145,7 +149,10 @@ class _Handler(BaseHTTPRequestHandler):
         started = time.perf_counter()
         url = urlparse(self.path)
         if url.path == "/healthz":
-            self._send_json({"status": "ok"})
+            health: dict[str, Any] = {"status": "ok"}
+            if self.server.shard_of:
+                health["shard"] = self.server.shard_of
+            self._send_json(health)
             self._observe("healthz", 200, started)
             return
         if url.path == "/metrics":
@@ -210,9 +217,16 @@ class _Handler(BaseHTTPRequestHandler):
 
 
 class PredictionServer(ThreadingMixIn, HTTPServer):
-    """A threaded HTTP server bound to one :class:`PredictionEngine`."""
+    """A threaded HTTP server bound to one :class:`PredictionEngine`.
+
+    ``shard_of`` is an optional ``"index/count"`` identity label for
+    sharded deployments; it shows up in ``/healthz`` and on a metrics
+    gauge so the router (and operators) can tell shards apart.
+    """
 
     daemon_threads = True
+    # SO_REUSEADDR: a restarted (or re-run test) server must be able to
+    # rebind a port whose previous owner's sockets are in TIME_WAIT.
     allow_reuse_address = True
 
     def __init__(
@@ -222,11 +236,20 @@ class PredictionServer(ThreadingMixIn, HTTPServer):
         *,
         tracing: bool = True,
         slow_request_seconds: float = 1.0,
+        shard_of: str | None = None,
     ):
         super().__init__(address, _Handler)
         self.engine = engine
         self.tracing = tracing
         self.slow_request_seconds = slow_request_seconds
+        self.shard_of = shard_of
+        if shard_of:
+            index, _, count = shard_of.partition("/")
+            gauge = engine.metrics.gauge(
+                "repro_shard_identity",
+                "This backend's shard index (label carries index/count).")
+            gauge.set(float(index) if index.isdigit() else 0.0,
+                      shard=shard_of)
         self._thread: threading.Thread | None = None
 
     @property
@@ -256,11 +279,13 @@ def make_server(
     *,
     tracing: bool = True,
     slow_request_seconds: float = 1.0,
+    shard_of: str | None = None,
 ) -> PredictionServer:
     """Bind (``port=0`` picks an ephemeral port) without serving yet."""
     return PredictionServer(
         (host, port), engine,
         tracing=tracing, slow_request_seconds=slow_request_seconds,
+        shard_of=shard_of,
     )
 
 
@@ -271,6 +296,7 @@ def run_server(
     *,
     tracing: bool = True,
     slow_request_seconds: float = 1.0,
+    shard_of: str | None = None,
 ) -> None:
     """Blocking serve loop with clean Ctrl-C/SIGTERM shutdown (the CLI path)."""
     configure_json_logging()
@@ -280,7 +306,8 @@ def run_server(
     engine.start_workers()
     server = make_server(engine, host, port,
                          tracing=tracing,
-                         slow_request_seconds=slow_request_seconds)
+                         slow_request_seconds=slow_request_seconds,
+                         shard_of=shard_of)
 
     def _terminate(signum, frame):
         raise SystemExit(128 + signum)
@@ -290,7 +317,10 @@ def run_server(
     except ValueError:
         pass  # not the main thread; Ctrl-C handling still applies
     log.info("serving on %s:%d", host, server.port)
-    print(f"repro service listening on http://{host}:{server.port}")
+    # flush: ephemeral-port deployments (port=0) read this line through a
+    # pipe to learn the bound port; block-buffered stdout would deadlock.
+    print(f"repro service listening on http://{host}:{server.port}",
+          flush=True)
     try:
         server.serve_forever()
     except KeyboardInterrupt:

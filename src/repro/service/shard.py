@@ -1,0 +1,155 @@
+"""Consistent-hash ring for sharding requests by program digest.
+
+The service cache is content-addressed: every endpoint's key starts
+with the canonical :func:`repro.ir.digest.program_digest` of the
+program(s) involved.  Sharding by that same digest means every request
+for a given program lands on the same backend, so each backend's
+result cache, shared-predictor pool, and placement memo stay hot for
+*its* slice of the keyspace instead of every backend cold-starting
+every program.
+
+A consistent-hash ring (Karger et al.) keeps that locality through
+membership churn: each node is hashed onto a 64-bit circle at
+``vnodes`` pseudo-random positions, and a key belongs to the first
+node position clockwise from the key's own hash.  Removing one of K
+nodes therefore remaps only the keys that node owned (~1/K of the
+keyspace) and leaves every other key's owner untouched -- the property
+the ring's hypothesis suite pins down.
+
+Determinism matters as much as balance: positions come from SHA-256
+of ``"node#index"`` strings, never from :func:`hash`, so every router
+process (any ``PYTHONHASHSEED``, any host) derives the identical ring
+from the same membership list.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Callable, Iterable, Iterator
+
+__all__ = ["HashRing", "ring_position"]
+
+_SPACE_BITS = 64
+_SPACE = 1 << _SPACE_BITS
+
+
+def ring_position(key: str) -> int:
+    """Map an arbitrary key string to a position on the 64-bit circle."""
+    digest = hashlib.sha256(key.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """A consistent-hash ring with virtual nodes.
+
+    ``vnodes`` trades balance for memory/lookup cost: with V virtual
+    nodes per physical node the largest ownership share concentrates
+    around ``1/K * (1 + O(1/sqrt(V)))``; 64 keeps the spread tight
+    enough that a 3-shard ring stays within a few percent of even.
+
+    Lookup is ``O(log(K * vnodes))`` (one bisect); membership changes
+    rebuild the sorted position list (``O(K * vnodes)``), which is fine
+    for rings that change on operator action, not per request.
+    """
+
+    def __init__(self, nodes: Iterable[str] = (), vnodes: int = 64):
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.vnodes = vnodes
+        self._nodes: set[str] = set()
+        self._positions: list[int] = []
+        self._owners: list[str] = []
+        for node in nodes:
+            self.add(node)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    @property
+    def nodes(self) -> frozenset[str]:
+        return frozenset(self._nodes)
+
+    def add(self, node: str) -> None:
+        """Insert ``node`` at its ``vnodes`` ring positions (idempotent)."""
+        if not node:
+            raise ValueError("node name must be non-empty")
+        if node in self._nodes:
+            return
+        self._nodes.add(node)
+        self._rebuild()
+
+    def remove(self, node: str) -> None:
+        """Drop ``node``; only the keys it owned change hands."""
+        if node not in self._nodes:
+            raise KeyError(node)
+        self._nodes.remove(node)
+        self._rebuild()
+
+    def _rebuild(self) -> None:
+        pairs: list[tuple[int, str]] = []
+        for node in self._nodes:
+            for index in range(self.vnodes):
+                position = ring_position(f"{node}#{index}")
+                pairs.append((position, node))
+        # Position collisions between distinct nodes are ~impossible in a
+        # 64-bit space, but sorting the (position, node) pair makes the
+        # tie-break deterministic anyway.
+        pairs.sort()
+        self._positions = [p for p, _ in pairs]
+        self._owners = [n for _, n in pairs]
+
+    # ------------------------------------------------------------------
+    def owner(self, key: str) -> str:
+        """The node that owns ``key`` (first vnode clockwise of its hash)."""
+        if not self._nodes:
+            raise LookupError("ring has no nodes")
+        index = bisect.bisect_left(self._positions, ring_position(key))
+        if index == len(self._positions):
+            index = 0  # wrap past 2**64 to the first vnode
+        return self._owners[index]
+
+    def preference(self, key: str,
+                   alive: Callable[[str], bool] | None = None) -> Iterator[str]:
+        """Distinct nodes in failover order for ``key``.
+
+        Walks the ring clockwise from the key's position and yields each
+        physical node the first time one of its vnodes is met -- the
+        owner first, then the natural replica sequence.  ``alive``
+        filters the walk (dead nodes are skipped, not reordered), so a
+        key's failover target is stable while membership is stable.
+        """
+        if not self._nodes:
+            return
+        start = bisect.bisect_left(self._positions, ring_position(key))
+        seen: set[str] = set()
+        total = len(self._positions)
+        for step in range(total):
+            node = self._owners[(start + step) % total]
+            if node in seen:
+                continue
+            seen.add(node)
+            if alive is None or alive(node):
+                yield node
+            if len(seen) == len(self._nodes):
+                return
+
+    def ownership(self) -> dict[str, float]:
+        """Fraction of the keyspace each node owns (sums to 1.0).
+
+        A key belongs to the first vnode at-or-after its position, so
+        the arc *ending* at each vnode (exclusive of the previous vnode,
+        inclusive of this one) belongs to that vnode's node.
+        """
+        if not self._nodes:
+            return {}
+        shares = {node: 0 for node in self._nodes}
+        previous = self._positions[-1] - _SPACE  # wraparound arc
+        for position, node in zip(self._positions, self._owners):
+            shares[node] += position - previous
+            previous = position
+        return {node: span / _SPACE for node, span in shares.items()}

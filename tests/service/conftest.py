@@ -1,0 +1,319 @@
+"""Shared service-test machinery: managed servers, routers, and faults.
+
+Every server or router a test starts goes through the context managers
+here, so sockets are closed and threads joined even when the test body
+(or an assertion inside it) fails -- the ad-hoc start/stop in early
+tests leaked listening sockets on failure paths and could leave later
+runs fighting ``EADDRINUSE``.
+
+:class:`FlakyBackend` is the fault-injection harness: an HTTP-aware
+reverse proxy wrapped around a *real* backend that injects one fault
+per scheduled request -- connection drops, mid-body disconnects,
+synthetic 500s, latency spikes -- then behaves normally.  Router tests
+point the ring at the proxy's port, so every failover path is
+exercised against genuine sockets, not mocks.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import http.client
+import json
+import threading
+import time
+import urllib.request
+from collections import deque
+from http.server import BaseHTTPRequestHandler, HTTPServer
+from socketserver import ThreadingMixIn
+
+import pytest
+
+from repro.service import PredictionEngine, make_router, make_server
+
+SAXPY = """
+program saxpy
+  integer n, i
+  real x(n), y(n), alpha
+  do i = 1, n
+    y(i) = y(i) + alpha * x(i)
+  end do
+end
+"""
+
+
+def saxpy_variant(index: int) -> str:
+    """A family of structurally distinct programs (distinct digests)."""
+    return SAXPY.replace("alpha * x(i)", f"alpha * x(i) + {index}.0")
+
+
+# ----------------------------------------------------------------------
+# managed lifecycles
+
+
+@contextlib.contextmanager
+def running_server(*, workers: int = 0, cache_size: int = 64,
+                   **server_kwargs):
+    """A live backend on an ephemeral port; always stopped on exit."""
+    engine = PredictionEngine(workers=workers, cache_size=cache_size)
+    instance = make_server(engine, host="127.0.0.1", port=0, **server_kwargs)
+    instance.start_background()
+    try:
+        yield instance
+    finally:
+        instance.stop()
+
+
+@contextlib.contextmanager
+def running_router(backends, **kwargs):
+    """A live router over ``backends`` URLs; always stopped on exit."""
+    kwargs.setdefault("probe_interval", 0.2)
+    kwargs.setdefault("probe_timeout", 0.5)
+    kwargs.setdefault("backoff", 0.01)
+    router = make_router(backends, host="127.0.0.1", port=0, **kwargs)
+    router.start_background()
+    try:
+        yield router
+    finally:
+        router.stop()
+
+
+@pytest.fixture
+def server():
+    with running_server(workers=0, cache_size=32) as instance:
+        yield instance
+
+
+# ----------------------------------------------------------------------
+# plain-HTTP helpers (tests that want to see raw wire behaviour)
+
+
+def http_post(port: int, path: str, payload, timeout: float = 10.0):
+    body = json.dumps(payload).encode("utf-8")
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}",
+        data=body,
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        return response.status, json.loads(response.read())
+
+
+def http_get(port: int, path: str, timeout: float = 10.0):
+    with urllib.request.urlopen(
+        f"http://127.0.0.1:{port}{path}", timeout=timeout
+    ) as response:
+        return response.status, response.read().decode("utf-8")
+
+
+def metrics_values(text: str) -> dict[str, float]:
+    """Parse a Prometheus exposition body into ``{series: value}``."""
+    out: dict[str, float] = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        series, _, value = line.rpartition(" ")
+        try:
+            out[series] = float(value)
+        except ValueError:
+            continue
+    return out
+
+
+# ----------------------------------------------------------------------
+# fault injection
+
+
+class _FlakyHandler(BaseHTTPRequestHandler):
+    server: "FlakyBackend"
+    protocol_version = "HTTP/1.1"
+    timeout = 30
+
+    def log_message(self, format, *args):  # noqa: A002 -- quiet
+        pass
+
+    def do_GET(self):  # noqa: N802 -- http.server API
+        self._handle("GET")
+
+    def do_POST(self):  # noqa: N802 -- http.server API
+        self._handle("POST")
+
+    def _handle(self, method: str) -> None:
+        # Always drain the request body first: answering a fault with
+        # the body still unread desyncs the keep-alive stream (the next
+        # request line would be parsed out of the old body).
+        length = int(self.headers.get("Content-Length") or 0)
+        request_body = self.rfile.read(length) if length else None
+        fault = self.server.next_fault(self.path)
+        self.server.record(self.path, fault)
+        if fault.startswith("slow:"):
+            time.sleep(float(fault.split(":", 1)[1]))
+            fault = "ok"
+        if fault == "refuse":
+            # Drop the connection without a response: the caller sees a
+            # reset / empty status line, like a crashed backend.
+            self.close_connection = True
+            try:
+                self.connection.close()
+            except OSError:
+                pass
+            return
+        if fault == "error":
+            body = json.dumps({
+                "error": "InjectedFault",
+                "message": "fault injection: synthetic 500",
+                "status": 500,
+            }).encode()
+            self.send_response(500)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+            return
+
+        status, headers, body = self._forward(method, request_body)
+        if fault == "truncate":
+            # Promise the full body, deliver half, drop the connection:
+            # the caller sees IncompleteRead mid-body.
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body[: max(1, len(body) // 2)])
+            self.wfile.flush()
+            self.close_connection = True
+            try:
+                self.connection.close()
+            except OSError:
+                pass
+            return
+        self.send_response(status)
+        self.send_header("Content-Type",
+                         headers.get("content-type", "application/json"))
+        self.send_header("Content-Length", str(len(body)))
+        request_id = self.headers.get("X-Request-Id")
+        if request_id:
+            self.send_header("X-Request-Id", request_id)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _forward(self, method: str,
+                 body: bytes | None) -> tuple[int, dict[str, str], bytes]:
+        connection = http.client.HTTPConnection(
+            *self.server.upstream, timeout=30)
+        try:
+            headers = {}
+            if body is not None:
+                headers["Content-Type"] = "application/json"
+            request_id = self.headers.get("X-Request-Id")
+            if request_id:
+                headers["X-Request-Id"] = request_id
+            connection.request(method, self.path, body=body, headers=headers)
+            response = connection.getresponse()
+            payload = response.read()
+            return (response.status,
+                    {k.lower(): v for k, v in response.getheaders()},
+                    payload)
+        finally:
+            connection.close()
+
+
+class FlakyBackend(ThreadingMixIn, HTTPServer):
+    """An HTTP reverse proxy that injects one fault per scheduled request.
+
+    Faults (consumed in FIFO order by matching requests; unscheduled
+    requests pass through):
+
+    * ``"refuse"``   -- drop the connection without any response bytes;
+    * ``"error"``    -- answer a synthetic 500 envelope locally;
+    * ``"truncate"`` -- relay the upstream response but cut the body in
+      half mid-send;
+    * ``"slow:S"``   -- sleep S seconds, then relay normally (a latency
+      spike; pair with a short router ``forward_timeout``).
+
+    ``only_paths`` restricts fault consumption (e.g. to ``/predict``) so
+    health probes keep succeeding while data requests misbehave --
+    exactly the half-dead backend that is hardest on a router.
+    """
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, upstream_url: str, *, only_paths=("/predict",
+                                                         "/compare",
+                                                         "/restructure",
+                                                         "/kernels")):
+        super().__init__(("127.0.0.1", 0), _FlakyHandler)
+        host, _, port = upstream_url.rpartition("//")[2].partition(":")
+        self.upstream = (host or "127.0.0.1", int(port))
+        self.only_paths = tuple(only_paths)
+        self._plan: deque[str] = deque()
+        self._lock = threading.Lock()
+        self.log: list[tuple[str, str]] = []   # (path, fault) per request
+        self._thread: threading.Thread | None = None
+
+    @property
+    def url(self) -> str:
+        return f"http://127.0.0.1:{self.server_address[1]}"
+
+    def schedule(self, *faults: str) -> None:
+        with self._lock:
+            self._plan.extend(faults)
+
+    def next_fault(self, path: str) -> str:
+        base = path.split("?", 1)[0]
+        if base not in self.only_paths:
+            return "ok"
+        with self._lock:
+            return self._plan.popleft() if self._plan else "ok"
+
+    def record(self, path: str, fault: str) -> None:
+        with self._lock:
+            self.log.append((path, fault))
+
+    def start_background(self) -> "FlakyBackend":
+        self._thread = threading.Thread(
+            target=self.serve_forever, name="flaky-backend", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self.shutdown()
+        self.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+
+@contextlib.contextmanager
+def flaky_proxy(upstream_url: str, **kwargs):
+    proxy = FlakyBackend(upstream_url, **kwargs)
+    proxy.start_background()
+    try:
+        yield proxy
+    finally:
+        proxy.stop()
+
+
+@pytest.fixture
+def flaky_backend():
+    """Factory fixture: ``flaky_backend(url)`` -> started proxy."""
+    proxies: list[FlakyBackend] = []
+
+    def factory(upstream_url: str, **kwargs) -> FlakyBackend:
+        proxy = FlakyBackend(upstream_url, **kwargs)
+        proxy.start_background()
+        proxies.append(proxy)
+        return proxy
+
+    yield factory
+    for proxy in proxies:
+        proxy.stop()
+
+
+def dead_port() -> int:
+    """A port nobody listens on (bound, then released)."""
+    import socket
+
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]

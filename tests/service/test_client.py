@@ -1,0 +1,183 @@
+"""Client-library tests: typed responses, typed errors, pooling, async."""
+
+import asyncio
+
+import pytest
+
+from repro.service import (
+    AsyncReproClient,
+    BadRequestError,
+    PredictResponse,
+    RemoteError,
+    ReproClient,
+    TransportError,
+)
+from repro.service.protocol import (
+    CompareResponse,
+    KernelsResponse,
+    RestructureResponse,
+)
+
+from .conftest import SAXPY, dead_port, saxpy_variant
+
+LOOP = """
+program loop
+  integer n, i
+  real a(n)
+  do i = 1, n
+    a(i) = a(i) + 1.0
+  end do
+end
+"""
+
+
+@pytest.fixture
+def client(server):
+    with ReproClient(f"http://127.0.0.1:{server.port}") as instance:
+        yield instance
+
+
+# ----------------------------------------------------------------------
+# sync client
+
+
+def test_predict_returns_typed_response(client):
+    response = client.predict(SAXPY, bindings={"n": 100})
+    assert isinstance(response, PredictResponse)
+    assert response.cost == "3*n + 8"
+    assert response.cycles == "308"
+    assert response.machine == "power"
+    assert not response.cached
+    assert client.predict(SAXPY, bindings={"n": 100}).cached
+
+
+def test_compare_and_kernels_and_restructure(client):
+    comparison = client.compare(SAXPY, SAXPY)
+    assert isinstance(comparison, CompareResponse)
+    assert comparison.verdict == "equal"
+
+    kernels = client.kernels("power")
+    assert isinstance(kernels, KernelsResponse)
+    assert {row.kernel for row in kernels.rows} >= {"matmul", "jacobi"}
+
+    restructured = client.restructure(LOOP, workload={"n": 16},
+                                      depth=1, max_nodes=10)
+    assert isinstance(restructured, RestructureResponse)
+    assert restructured.cost
+
+
+def test_bad_source_raises_bad_request_with_request_id(client):
+    with pytest.raises(BadRequestError) as excinfo:
+        client.predict("this is not fortran")
+    error = excinfo.value
+    assert error.status == 400
+    assert error.error in ("ParseError", "LexError")
+    assert error.request_id  # propagated, so the failure is traceable
+    assert error.request_id == client.last_request_id
+
+
+def test_schema_violation_maps_to_bad_request(client):
+    with pytest.raises(BadRequestError) as excinfo:
+        client.predict(SAXPY, machine="no-such-machine")
+    assert excinfo.value.status == 400
+
+
+def test_request_id_is_caller_controllable(server, client):
+    import urllib.request
+
+    client.predict(SAXPY, request_id="my-request-7")
+    assert client.last_request_id == "my-request-7"
+    # And the server really echoes it on the wire.
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{server.port}/healthz",
+        headers={"X-Request-Id": "my-request-8"})
+    with urllib.request.urlopen(request, timeout=10) as response:
+        assert response.headers.get("X-Request-Id") == "my-request-8"
+
+
+def test_connection_pool_reuses_connections(client):
+    for _ in range(3):
+        client.predict(SAXPY)
+    # Sequential keep-alive calls ride one pooled connection.
+    assert client._pool._idle.qsize() == 1
+
+
+def test_batch_mixes_successes_and_typed_errors(client):
+    results = client.predict_batch([
+        {"source": SAXPY},
+        {"source": "garbage ("},
+        {"source": saxpy_variant(1)},
+    ])
+    assert isinstance(results[0], PredictResponse)
+    assert isinstance(results[1], RemoteError)
+    assert results[1].status == 400
+    assert isinstance(results[2], PredictResponse)
+
+
+def test_transport_error_on_dead_port():
+    with ReproClient(f"http://127.0.0.1:{dead_port()}",
+                     timeout=2, retries=1) as client:
+        with pytest.raises(TransportError) as excinfo:
+            client.predict(SAXPY)
+    assert excinfo.value.request_id
+
+
+def test_healthz_and_metrics(client):
+    assert client.healthz()["status"] == "ok"
+    assert "repro_http_requests_total" in client.metrics()
+
+
+# ----------------------------------------------------------------------
+# async client
+
+
+def test_async_client_basics(server):
+    async def scenario():
+        async with AsyncReproClient(
+                f"http://127.0.0.1:{server.port}") as client:
+            response = await client.predict(SAXPY, bindings={"n": 100})
+            assert response.cost == "3*n + 8"
+            assert response.cycles == "308"
+
+            health = await client.healthz()
+            assert health["status"] == "ok"
+
+            comparison = await client.compare(SAXPY, SAXPY)
+            assert comparison.verdict == "equal"
+
+            with pytest.raises(BadRequestError) as excinfo:
+                await client.predict("not fortran")
+            assert excinfo.value.status == 400
+            assert excinfo.value.request_id
+
+    asyncio.run(scenario())
+
+
+def test_async_client_concurrent_requests_share_pool(server):
+    async def scenario():
+        async with AsyncReproClient(
+                f"http://127.0.0.1:{server.port}", pool_size=4) as client:
+            sources = [saxpy_variant(i) for i in range(6)]
+            responses = await asyncio.gather(
+                *(client.predict(source) for source in sources))
+            assert all(r.cost for r in responses)
+            assert len({r.digest for r in responses}) == len(sources)
+            # The pool kept at most pool_size idle connections.
+            assert len(client._idle) <= 4
+
+            batch = await client.predict_batch(
+                [{"source": source} for source in sources])
+            assert all(isinstance(r, PredictResponse) for r in batch)
+            assert all(r.cached for r in batch)  # warmed just above
+
+    asyncio.run(scenario())
+
+
+def test_async_transport_error_on_dead_port():
+    async def scenario():
+        async with AsyncReproClient(f"http://127.0.0.1:{dead_port()}",
+                                    timeout=2, retries=0) as client:
+            with pytest.raises(TransportError):
+                await client.predict(SAXPY)
+
+    asyncio.run(scenario())

@@ -1,4 +1,10 @@
-"""End-to-end HTTP tests: ephemeral port, JSON bodies, /metrics."""
+"""End-to-end HTTP tests: ephemeral port, JSON bodies, /metrics.
+
+Server lifecycles come from :mod:`tests.service.conftest`
+(``running_server`` / the ``server`` fixture), which guarantee the
+listening socket is closed even when an assertion fails mid-test --
+ad-hoc start/stop here used to leak sockets on failure paths.
+"""
 
 import json
 import urllib.error
@@ -6,50 +12,28 @@ import urllib.request
 
 import pytest
 
-from repro.service import PredictionEngine, make_server
-
-SAXPY = """
-program saxpy
-  integer n, i
-  real x(n), y(n), alpha
-  do i = 1, n
-    y(i) = y(i) + alpha * x(i)
-  end do
-end
-"""
-
-
-@pytest.fixture
-def server():
-    engine = PredictionEngine(workers=0, cache_size=32)
-    instance = make_server(engine, host="127.0.0.1", port=0)
-    instance.start_background()
-    yield instance
-    instance.stop()
+from .conftest import SAXPY, http_get, http_post, running_server
 
 
 def _post(server, path, payload):
-    body = json.dumps(payload).encode("utf-8")
-    request = urllib.request.Request(
-        f"http://127.0.0.1:{server.port}{path}",
-        data=body,
-        headers={"Content-Type": "application/json"},
-    )
-    with urllib.request.urlopen(request, timeout=10) as response:
-        return response.status, json.loads(response.read())
+    return http_post(server.port, path, payload)
 
 
 def _get(server, path):
-    with urllib.request.urlopen(
-        f"http://127.0.0.1:{server.port}{path}", timeout=10
-    ) as response:
-        return response.status, response.read().decode("utf-8")
+    return http_get(server.port, path)
 
 
 def test_healthz(server):
     status, body = _get(server, "/healthz")
     assert status == 200
     assert json.loads(body) == {"status": "ok"}
+
+
+def test_healthz_reports_shard_identity():
+    with running_server(shard_of="1/3") as server:
+        status, body = _get(server, "/healthz")
+    assert status == 200
+    assert json.loads(body) == {"status": "ok", "shard": "1/3"}
 
 
 def test_predict_endpoint_and_cache_hit_via_metrics(server):
@@ -137,6 +121,31 @@ def test_unknown_route_is_404(server):
     assert excinfo.value.code == 404
 
 
+def test_port_is_rebindable_after_stop():
+    """SO_REUSEADDR: a fresh server can take a just-released port.
+
+    Without ``allow_reuse_address`` the second bind can hit
+    ``EADDRINUSE`` while the first server's sockets sit in TIME_WAIT --
+    the classic flaky-on-repeat test-suite failure.
+    """
+    with running_server() as first:
+        port = first.port
+        _get(first, "/healthz")
+    engine_port_pairs = []
+    try:
+        from repro.service import PredictionEngine, make_server
+
+        engine = PredictionEngine(workers=0, cache_size=8)
+        second = make_server(engine, host="127.0.0.1", port=port)
+        engine_port_pairs.append(second)
+        second.start_background()
+        status, _ = http_get(port, "/healthz")
+        assert status == 200
+    finally:
+        for instance in engine_port_pairs:
+            instance.stop()
+
+
 # ----------------------------------------------------------------------
 # observability: request ids, tracing, slow-request log
 
@@ -193,29 +202,18 @@ def test_metrics_exposes_phase_histogram(server):
 
 
 def test_tracing_can_be_disabled():
-    engine = PredictionEngine(workers=0, cache_size=8)
-    instance = make_server(engine, host="127.0.0.1", port=0, tracing=False)
-    instance.start_background()
-    try:
+    with running_server(cache_size=8, tracing=False) as instance:
         _post(instance, "/predict", {"source": SAXPY})
         _, text = _get(instance, "/metrics")
         assert 'phase="server.handle"' not in text
-    finally:
-        instance.stop()
 
 
 def test_slow_request_logs_span_tree(caplog):
     import logging
 
-    engine = PredictionEngine(workers=0, cache_size=8)
-    instance = make_server(engine, host="127.0.0.1", port=0,
-                           slow_request_seconds=0.0)  # everything is slow
-    instance.start_background()
-    try:
+    with running_server(cache_size=8, slow_request_seconds=0.0) as instance:
         with caplog.at_level(logging.WARNING, logger="repro.service"):
             _post(instance, "/predict", {"source": SAXPY})
-    finally:
-        instance.stop()
     slow = [r for r in caplog.records if r.getMessage() == "slow request"]
     assert slow
     fields = slow[0].fields

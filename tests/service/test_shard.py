@@ -1,0 +1,79 @@
+"""Unit tests for the consistent-hash ring."""
+
+import pytest
+
+from repro.service.shard import HashRing, ring_position
+
+
+def test_empty_ring_has_no_owner():
+    ring = HashRing()
+    with pytest.raises(LookupError):
+        ring.owner("abc")
+    assert list(ring.preference("abc")) == []
+    assert ring.ownership() == {}
+
+
+def test_single_node_owns_everything():
+    ring = HashRing(["only"])
+    assert ring.owner("x") == "only"
+    assert ring.ownership() == {"only": 1.0}
+
+
+def test_add_is_idempotent_and_remove_unknown_raises():
+    ring = HashRing(["a", "b"])
+    ring.add("a")
+    assert len(ring) == 2
+    with pytest.raises(KeyError):
+        ring.remove("c")
+    ring.remove("b")
+    assert ring.nodes == frozenset({"a"})
+
+
+def test_rejects_bad_arguments():
+    with pytest.raises(ValueError):
+        HashRing(vnodes=0)
+    with pytest.raises(ValueError):
+        HashRing([""])
+
+
+def test_ownership_sums_to_one_and_is_roughly_balanced():
+    ring = HashRing([f"node-{i}" for i in range(4)], vnodes=128)
+    ownership = ring.ownership()
+    assert abs(sum(ownership.values()) - 1.0) < 1e-12
+    for share in ownership.values():
+        # 128 vnodes keep every share within a factor ~2 of fair.
+        assert 0.25 / 2 < share < 0.25 * 2
+
+
+def test_preference_yields_each_node_once_owner_first():
+    ring = HashRing(["a", "b", "c", "d"])
+    order = list(ring.preference("some-digest"))
+    assert sorted(order) == ["a", "b", "c", "d"]
+    assert order[0] == ring.owner("some-digest")
+
+
+def test_preference_alive_filter_skips_without_reordering():
+    ring = HashRing(["a", "b", "c"])
+    full = list(ring.preference("key-1"))
+    filtered = list(ring.preference("key-1",
+                                    alive=lambda n: n != full[0]))
+    assert filtered == full[1:]
+
+
+def test_ring_position_is_pure_sha256():
+    # Independent of PYTHONHASHSEED and stable across releases: pin one
+    # value so an accidental change to the hash scheme (which would
+    # silently remap every deployment's keyspace) fails loudly.
+    assert ring_position("node#0") == int.from_bytes(
+        __import__("hashlib").sha256(b"node#0").digest()[:8], "big")
+
+
+def test_owner_matches_preference_under_churn():
+    ring = HashRing(["a", "b", "c", "d", "e"])
+    keys = [f"digest-{i}" for i in range(100)]
+    before = {k: ring.owner(k) for k in keys}
+    ring.remove("c")
+    for key in keys:
+        assert next(iter(ring.preference(key))) == ring.owner(key)
+        if before[key] != "c":
+            assert ring.owner(key) == before[key]
