@@ -13,6 +13,15 @@ Commands
 ``predict``, ``compare``, and ``kernels`` take ``--json`` to emit the
 service wire format (see :mod:`repro.service.protocol`) instead of
 human-readable text, so scripted callers get a stable schema.
+
+``restructure`` can also run against a live service:
+``--server URL`` sends the search to a backend (or router), and adding
+``--async`` submits it as a background *job* -- the command prints the
+job id immediately, ``--follow`` streams best-so-far candidates per
+beam round, and ``--job-id`` re-attaches to a job submitted earlier.
+``serve --job-store DIR`` enables the job subsystem on a backend;
+shards sharing one store directory resume each other's jobs after a
+crash.
 """
 
 from __future__ import annotations
@@ -155,6 +164,11 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 
 def _cmd_restructure(args: argparse.Namespace) -> int:
+    if args.server or args.job_id:
+        return _remote_restructure(args)
+    if args.async_ or args.follow:
+        raise SystemExit("--async/--follow need --server URL "
+                         "(jobs run on a service, not inline)")
     from .aggregate import CostAggregator
     from .ir import SymbolTable
     from .transform import (
@@ -196,6 +210,69 @@ def _cmd_restructure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _remote_restructure(args: argparse.Namespace) -> int:
+    """``restructure --server URL [--async [--follow]] [--job-id ID]``."""
+    from .service import ReproClient, ReproClientError
+
+    if not args.server:
+        raise SystemExit("--job-id needs --server URL")
+    client = ReproClient(args.server)
+    try:
+        if not args.async_ and not args.job_id:
+            # Plain synchronous remote search.
+            response = client.restructure(
+                _read_source(args.file), machine=args.machine,
+                workload={k: str(v) for k, v in
+                          _parse_bindings(args.workload).items()} or None,
+                domain=_domain_json(args.domain),
+                depth=args.depth, max_nodes=args.max_nodes,
+                beam_width=args.beam_width)
+            print(f"sequence: {response.sequence}")
+            print(f"cost: {response.cost}")
+            print(response.program)
+            return 0
+        if args.job_id:
+            job_id = args.job_id
+        else:
+            submitted = client.submit_restructure(
+                _read_source(args.file), machine=args.machine,
+                workload={k: str(v) for k, v in
+                          _parse_bindings(args.workload).items()} or None,
+                domain=_domain_json(args.domain),
+                depth=args.depth, max_nodes=args.max_nodes,
+                beam_width=args.beam_width, priority=args.priority)
+            job_id = submitted.job_id
+            print(f"job: {job_id} ({submitted.status})")
+        if not args.follow:
+            if not args.job_id:
+                return 0
+            status = client.job_status(job_id)
+            print(f"job: {job_id} ({status.status}, "
+                  f"round {status.rounds})")
+            if status.result:
+                print(f"sequence: {status.result.get('sequence')}")
+                print(f"cost: {status.result.get('cost')}")
+            return 0
+        for event in client.follow(job_id):
+            if event.get("final"):
+                print(f"final: {event.get('status')} "
+                      f"after {event.get('round')} round(s)")
+            else:
+                print(f"round {event.get('round')}: "
+                      f"{event.get('best_sequence') or '(original)'} "
+                      f"-> {event.get('best_cost')}")
+        status = client.wait(job_id, timeout=30)
+        if status.result:
+            print(f"sequence: {status.result.get('sequence')}")
+            print(f"cost: {status.result.get('cost')}")
+            print(status.result.get("program", ""))
+        return 0
+    except ReproClientError as error:
+        raise SystemExit(f"restructure job failed: {error}")
+    finally:
+        client.close()
+
+
 def _cmd_kernels(args: argparse.Namespace) -> int:
     if args.json:
         return _emit_json("kernels", {"machine": args.machine})
@@ -232,6 +309,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         executor=args.executor,
         scheduling=args.scheduling,
     )
+    if args.job_store:
+        # Fork the worker pool *before* the job runner threads exist --
+        # forking a threaded process is how deadlocks are made.
+        engine.start_workers()
+        engine.attach_jobs(
+            args.job_store,
+            slots=args.job_slots or None,
+            stale_after=args.job_stale_seconds,
+        )
     run_server(
         engine,
         host=args.host,
@@ -270,6 +356,7 @@ def _cmd_route(args: argparse.Namespace) -> int:
             probe_interval=args.probe_interval,
             forward_timeout=args.forward_timeout,
             local_fallback=not args.no_local_fallback,
+            digest_memo_size=args.digest_memo_size,
         )
     finally:
         for backend in spawned:
@@ -321,6 +408,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--search-workers", type=int, default=0,
                    help="worker processes for candidate evaluation "
                         "(0/1 = inline)")
+    p.add_argument("--server", metavar="URL",
+                   help="run the search on a live service (backend or "
+                        "router) instead of inline")
+    p.add_argument("--async", dest="async_", action="store_true",
+                   help="submit as a background job (needs --server); "
+                        "prints the job id immediately")
+    p.add_argument("--follow", action="store_true",
+                   help="stream best-so-far candidates per beam round "
+                        "until the job finishes")
+    p.add_argument("--priority", type=int, default=0,
+                   help="job priority, -10..10 (higher runs first)")
+    p.add_argument("--job-id", metavar="ID",
+                   help="attach to an existing job instead of submitting")
     p.add_argument("--trace", metavar="FILE",
                    help="write a Chrome trace_event JSON of the run")
     p.set_defaults(func=_cmd_restructure)
@@ -357,6 +457,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--shard-of", metavar="INDEX/COUNT",
                    help="shard identity when running behind the router, "
                         "e.g. 0/3 (shown in /healthz and metrics)")
+    p.add_argument("--job-store", metavar="DIR",
+                   help="enable async restructure jobs, persisting "
+                        "records/events/checkpoints in DIR (shards "
+                        "sharing a DIR resume each other's jobs)")
+    p.add_argument("--job-slots", type=int, default=0,
+                   help="concurrent job runners (default: workers-1, "
+                        "min 1)")
+    p.add_argument("--job-stale-seconds", type=float, default=5.0,
+                   help="heartbeat age after which another shard may "
+                        "adopt a job")
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(
@@ -382,6 +492,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-local-fallback", action="store_true",
                    help="return 503 instead of serving inline when every "
                         "backend is down")
+    p.add_argument("--digest-memo-size", type=int, default=4096,
+                   help="max resident source->digest memo entries "
+                        "(LRU; evictions show up in /metrics)")
     p.set_defaults(func=_cmd_route)
     return parser
 

@@ -16,7 +16,10 @@ Turns the one-shot prediction library into long-lived infrastructure:
   over N backend servers with health probes, failover, and local
   degraded mode;
 * :class:`ReproClient` / :class:`AsyncReproClient` -- pooled typed
-  clients for either a single server or the router.
+  clients for either a single server or the router;
+* :class:`JobManager` + :class:`JobStore` -- async restructure jobs
+  with streaming progress events, resumable checkpoints, cooperative
+  cancellation, and cross-shard adoption after a shard death.
 
 Quick start::
 
@@ -45,17 +48,27 @@ from .client import (
     TransportError,
 )
 from .engine import PredictionEngine, ServiceError, execute_request
+from .jobs import (
+    JOBS_PREFIX,
+    JobManager,
+    TERMINAL_STATUSES,
+    job_affinity_key,
+    parse_job_path,
+)
+from .jobstore import CHECKPOINT_VERSION, JobStore, valid_job_id
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .protocol import (
     CompareRequest,
     CompareResponse,
     ErrorResponse,
+    JobStatusResponse,
     KernelRow,
     KernelsRequest,
     KernelsResponse,
     PredictRequest,
     PredictResponse,
     ProtocolError,
+    RestructureJobRequest,
     RestructureRequest,
     RestructureResponse,
     error_envelope,
@@ -68,15 +81,20 @@ from .server import PredictionServer, make_server, run_server
 from .shard import HashRing
 
 __all__ = [
-    "AsyncReproClient", "BadRequestError", "CacheStats", "CompareRequest",
+    "AsyncReproClient", "BadRequestError", "CacheStats",
+    "CHECKPOINT_VERSION", "CompareRequest",
     "CompareResponse", "Counter", "ErrorResponse", "Eviction", "Gauge",
-    "HashRing", "Histogram", "KernelRow", "KernelsRequest",
+    "HashRing", "Histogram", "JOBS_PREFIX", "JobManager", "JobStore",
+    "JobStatusResponse", "KernelRow", "KernelsRequest",
     "KernelsResponse", "MetricsRegistry", "PredictRequest",
     "PredictResponse", "PredictionEngine", "PredictionServer",
     "ProtocolError", "RemoteError", "ReproClient", "ReproClientError",
-    "RestructureRequest", "RestructureResponse", "ResultCache",
-    "ServerError", "ServiceError", "ShardRouter", "TransportError",
-    "endpoint_of", "error_envelope", "execute_request", "make_router",
-    "make_server", "request_from_dict", "response_from_dict",
-    "response_to_dict", "run_router", "run_server",
+    "RestructureJobRequest", "RestructureRequest", "RestructureResponse",
+    "ResultCache", "ServerError", "ServiceError", "ShardRouter",
+    "TERMINAL_STATUSES", "TransportError",
+    "endpoint_of", "error_envelope", "execute_request",
+    "job_affinity_key", "make_router",
+    "make_server", "parse_job_path", "request_from_dict",
+    "response_from_dict", "response_to_dict", "run_router", "run_server",
+    "valid_job_id",
 ]

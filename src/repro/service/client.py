@@ -33,12 +33,14 @@ import json
 import queue
 import socket
 import threading
-from typing import Any, Mapping, Sequence
+import time
+from typing import Any, Iterator, Mapping, Sequence
 from urllib.parse import urlsplit
 
 from ..obs import new_request_id
 from .protocol import (
     CompareResponse,
+    JobStatusResponse,
     KernelsResponse,
     PredictResponse,
     RestructureResponse,
@@ -177,6 +179,47 @@ def _decode_batch(kinds: Sequence[str], status: int, body: bytes,
         else:
             out.append(response_from_dict(kind, item))
     return out
+
+
+def _decode_job(status: int, body: bytes,
+                request_id: str | None) -> "JobStatusResponse":
+    """Decode a job record, keyed on the HTTP status alone.
+
+    Job records legitimately carry an ``error`` field (a failed job's
+    message, or null), so the ``"error" in data`` envelope sniffing in
+    :func:`_decode_single` would misfire here.
+    """
+    data = json.loads(body.decode("utf-8"))
+    if status >= 400:
+        raise remote_error(data, request_id=request_id)
+    return response_from_dict("job_status", data)
+
+
+#: Wire path of the async-job endpoints (mirrors
+#: :data:`repro.service.jobs.JOBS_PREFIX`; duplicated here so the
+#: client library never imports the server-side job machinery).
+_JOBS_PATH = "/restructure/jobs"
+
+#: Job statuses after which no further events will ever arrive.
+_TERMINAL = ("done", "error", "cancelled")
+
+
+def _job_payload(source: str, machine: str,
+                 workload: Mapping[str, Any] | None,
+                 domain: Mapping[str, Any] | None,
+                 depth: int, max_nodes: int, beam_width: int,
+                 priority: int) -> dict[str, Any]:
+    payload: dict[str, Any] = {
+        "source": source, "machine": machine, "depth": depth,
+        "max_nodes": max_nodes, "beam_width": beam_width,
+    }
+    if workload:
+        payload["workload"] = {k: str(v) for k, v in workload.items()}
+    if domain:
+        payload["domain"] = {k: list(v) for k, v in domain.items()}
+    if priority:
+        payload["priority"] = priority
+    return payload
 
 
 def _split_base_url(base_url: str) -> tuple[str, int]:
@@ -400,6 +443,166 @@ class ReproClient:
                                  request_id=rid)
         return body.decode("utf-8")
 
+    # -- async jobs -----------------------------------------------------
+    def submit_restructure(self, source: str, *, machine: str = "power",
+                           workload: Mapping[str, Any] | None = None,
+                           domain: Mapping[str, Any] | None = None,
+                           depth: int = 2, max_nodes: int = 200,
+                           beam_width: int = 1, priority: int = 0,
+                           request_id: str | None = None) -> JobStatusResponse:
+        """Submit an async restructure job; returns the ``queued`` status.
+
+        The job id on the response is the handle for
+        :meth:`job_status`, :meth:`iter_events`, :meth:`wait`, and
+        :meth:`cancel_job`.
+        """
+        payload = _job_payload(source, machine, workload, domain,
+                               depth, max_nodes, beam_width, priority)
+        status, body, rid = self._call("POST", _JOBS_PATH, payload,
+                                       request_id)
+        return _decode_job(status, body, rid)
+
+    def job_status(self, job_id: str, *,
+                   request_id: str | None = None) -> JobStatusResponse:
+        status, body, rid = self._call("GET", f"{_JOBS_PATH}/{job_id}",
+                                       None, request_id)
+        return _decode_job(status, body, rid)
+
+    def cancel_job(self, job_id: str, *,
+                   request_id: str | None = None) -> JobStatusResponse:
+        status, body, rid = self._call("DELETE", f"{_JOBS_PATH}/{job_id}",
+                                       None, request_id)
+        return _decode_job(status, body, rid)
+
+    def iter_events(self, job_id: str, *, from_round: int = 0,
+                    request_id: str | None = None,
+                    ) -> Iterator[dict[str, Any]]:
+        """Yield the job's SSE events (rounds then the final event).
+
+        Uses a dedicated connection (a stream pins its socket for the
+        job's lifetime, which would starve the pool).  Any transport
+        failure -- including the stream ending before the final event,
+        the signature of a killed shard or a truncating proxy -- raises
+        :class:`TransportError`; resume by calling again with
+        ``from_round`` set to the last round seen (or use
+        :meth:`follow`, which does exactly that).
+        """
+        request_id = request_id or new_request_id()
+        self.last_request_id = request_id
+        path = f"{_JOBS_PATH}/{job_id}/events?from_round={from_round}"
+        connection = http.client.HTTPConnection(
+            self._pool.host, self._pool.port, timeout=self._pool.timeout)
+        try:
+            try:
+                connection.request("GET", path,
+                                   headers={"X-Request-Id": request_id})
+                response = connection.getresponse()
+            except (ConnectionError, socket.timeout, TimeoutError,
+                    OSError, http.client.HTTPException) as error:
+                raise TransportError(
+                    f"GET {self.base_url}{path} failed: {error}",
+                    request_id=request_id) from error
+            if response.status != 200:
+                body = response.read()
+                try:
+                    envelope = json.loads(body.decode("utf-8"))
+                except (json.JSONDecodeError, UnicodeDecodeError):
+                    envelope = {"error": "HTTPError",
+                                "message": f"status {response.status}",
+                                "status": response.status}
+                raise remote_error(envelope, request_id=request_id)
+            yield from self._read_sse(response, request_id)
+        finally:
+            connection.close()
+
+    def _read_sse(self, response: http.client.HTTPResponse,
+                  request_id: str) -> Iterator[dict[str, Any]]:
+        data_lines: list[str] = []
+        while True:
+            try:
+                raw = response.readline()
+            except (ConnectionError, socket.timeout, TimeoutError,
+                    OSError, http.client.HTTPException) as error:
+                raise TransportError(
+                    f"event stream broke mid-read: {error}",
+                    request_id=request_id) from error
+            if not raw:
+                # EOF.  A healthy stream always ends with a final event
+                # (yielded below, which returns); reaching EOF here
+                # means the server died or a proxy truncated the body.
+                raise TransportError(
+                    "event stream ended before the final event",
+                    request_id=request_id)
+            line = raw.decode("utf-8").rstrip("\r\n")
+            if line.startswith("data:"):
+                data_lines.append(line[len("data:"):].strip())
+                continue
+            if line == "" and data_lines:
+                try:
+                    event = json.loads("\n".join(data_lines))
+                except json.JSONDecodeError as error:
+                    raise TransportError(
+                        f"undecodable event frame: {error}",
+                        request_id=request_id) from error
+                data_lines = []
+                yield event
+                if event.get("final"):
+                    return
+
+    def follow(self, job_id: str, *, from_round: int = 0,
+               max_retries: int = 10, poll: float = 0.2,
+               ) -> Iterator[dict[str, Any]]:
+        """Like :meth:`iter_events`, but survives stream drops.
+
+        On a :class:`TransportError` it re-attaches with ``from_round``
+        set past the rounds already yielded -- against a router this
+        lands on the ring successor, which adopts the orphaned job and
+        resumes it from its checkpoint, so the caller sees every round
+        exactly once even across a shard SIGKILL.
+        """
+        last = from_round
+        failures = 0
+        while True:
+            try:
+                for event in self.iter_events(job_id, from_round=last):
+                    if not event.get("final"):
+                        last = max(last, int(event.get("round", 0)))
+                    yield event
+                    if event.get("final"):
+                        return
+                return
+            except TransportError:
+                failures += 1
+                if failures > max_retries:
+                    raise
+                time.sleep(poll)
+
+    def wait(self, job_id: str, *, timeout: float | None = None,
+             poll: float = 0.2) -> JobStatusResponse:
+        """Block until the job is terminal; returns its final status.
+
+        Raises the typed remote error if the job *failed*, and
+        :class:`TimeoutError` if it is still running at the deadline
+        (the job keeps running server-side).
+        """
+        deadline = (time.monotonic() + timeout
+                    if timeout is not None else None)
+        while True:
+            response = self.job_status(job_id)
+            if response.status in _TERMINAL:
+                if response.status == "error":
+                    raise remote_error(
+                        response.error or
+                        {"error": "JobError", "message": "job failed",
+                         "status": 500},
+                        request_id=self.last_request_id)
+                return response
+            if deadline is not None and time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {response.status} "
+                    f"after {timeout}s")
+            time.sleep(poll)
+
 
 # ----------------------------------------------------------------------
 # async client
@@ -604,3 +807,125 @@ class AsyncReproClient:
             raise TransportError(f"/metrics returned {status}",
                                  request_id=rid)
         return body.decode("utf-8")
+
+    # -- async jobs -----------------------------------------------------
+    async def submit_restructure(
+            self, source: str, *, machine: str = "power",
+            workload: Mapping[str, Any] | None = None,
+            domain: Mapping[str, Any] | None = None,
+            depth: int = 2, max_nodes: int = 200, beam_width: int = 1,
+            priority: int = 0,
+            request_id: str | None = None) -> JobStatusResponse:
+        payload = _job_payload(source, machine, workload, domain,
+                               depth, max_nodes, beam_width, priority)
+        status, body, rid = await self._call("POST", _JOBS_PATH, payload,
+                                             request_id)
+        return _decode_job(status, body, rid)
+
+    async def job_status(self, job_id: str, *,
+                         request_id: str | None = None) -> JobStatusResponse:
+        status, body, rid = await self._call(
+            "GET", f"{_JOBS_PATH}/{job_id}", None, request_id)
+        return _decode_job(status, body, rid)
+
+    async def cancel_job(self, job_id: str, *,
+                         request_id: str | None = None) -> JobStatusResponse:
+        status, body, rid = await self._call(
+            "DELETE", f"{_JOBS_PATH}/{job_id}", None, request_id)
+        return _decode_job(status, body, rid)
+
+    async def iter_events(self, job_id: str, *, from_round: int = 0,
+                          request_id: str | None = None):
+        """Async generator over the job's SSE events.
+
+        Same contract as :meth:`ReproClient.iter_events`: a stream that
+        ends before the final event raises :class:`TransportError`.
+        """
+        request_id = request_id or new_request_id()
+        self.last_request_id = request_id
+        path = f"{_JOBS_PATH}/{job_id}/events?from_round={from_round}"
+        try:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(self.host, self.port), self.timeout)
+        except (ConnectionError, asyncio.TimeoutError, OSError) as error:
+            raise TransportError(
+                f"GET {self.base_url}{path} failed: {error}",
+                request_id=request_id) from error
+        try:
+            writer.write(
+                (f"GET {path} HTTP/1.1\r\nHost: {self.host}\r\n"
+                 f"X-Request-Id: {request_id}\r\n"
+                 f"Connection: close\r\n\r\n").encode("ascii"))
+            await writer.drain()
+            status_line = await asyncio.wait_for(reader.readline(),
+                                                 self.timeout)
+            parts = status_line.decode("latin-1").split(None, 2)
+            if len(parts) < 2 or not parts[1].isdigit():
+                raise TransportError(
+                    f"bad status line {status_line!r}",
+                    request_id=request_id)
+            status = int(parts[1])
+            headers: dict[str, str] = {}
+            while True:
+                line = await asyncio.wait_for(reader.readline(),
+                                              self.timeout)
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = line.decode("latin-1").partition(":")
+                headers[name.strip().lower()] = value.strip()
+            if status != 200:
+                length = int(headers.get("content-length", 0))
+                body = (await reader.readexactly(length)) if length else b""
+                try:
+                    envelope = json.loads(body.decode("utf-8"))
+                except (json.JSONDecodeError, UnicodeDecodeError):
+                    envelope = {"error": "HTTPError",
+                                "message": f"status {status}",
+                                "status": status}
+                raise remote_error(envelope, request_id=request_id)
+            data_lines: list[str] = []
+            while True:
+                try:
+                    raw = await asyncio.wait_for(reader.readline(),
+                                                 self.timeout)
+                except (ConnectionError, asyncio.IncompleteReadError,
+                        asyncio.TimeoutError, OSError) as error:
+                    raise TransportError(
+                        f"event stream broke mid-read: {error}",
+                        request_id=request_id) from error
+                if not raw:
+                    raise TransportError(
+                        "event stream ended before the final event",
+                        request_id=request_id)
+                line = raw.decode("utf-8").rstrip("\r\n")
+                if line.startswith("data:"):
+                    data_lines.append(line[len("data:"):].strip())
+                    continue
+                if line == "" and data_lines:
+                    event = json.loads("\n".join(data_lines))
+                    data_lines = []
+                    yield event
+                    if event.get("final"):
+                        return
+        finally:
+            writer.close()
+
+    async def wait(self, job_id: str, *, timeout: float | None = None,
+                   poll: float = 0.2) -> JobStatusResponse:
+        deadline = (time.monotonic() + timeout
+                    if timeout is not None else None)
+        while True:
+            response = await self.job_status(job_id)
+            if response.status in _TERMINAL:
+                if response.status == "error":
+                    raise remote_error(
+                        response.error or
+                        {"error": "JobError", "message": "job failed",
+                         "status": 500},
+                        request_id=self.last_request_id)
+                return response
+            if deadline is not None and time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {response.status} "
+                    f"after {timeout}s")
+            await asyncio.sleep(poll)

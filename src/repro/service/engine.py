@@ -198,6 +198,9 @@ def _restructure_transformations() -> list:
 def _restructure_response(
     request: RestructureRequest,
     evaluate_batch: Callable[[list], list] | None = None,
+    *,
+    on_round: Callable[[Any], Any] | None = None,
+    resume_from: Any | None = None,
 ) -> RestructureResponse:
     """The restructure endpoint's body, shared by both execution shapes.
 
@@ -205,6 +208,10 @@ def _restructure_response(
     with each search round's candidate batch shipped to the pool (the
     split path).  Either way the search is deterministic, so both
     shapes produce the same response for the same request.
+
+    ``on_round`` and ``resume_from`` thread straight into
+    :func:`~repro.transform.search.astar_search` -- the job subsystem
+    uses them for per-round checkpoints and cooperative cancellation.
     """
     from ..ir.printer import print_program
     from ..transform import astar_search
@@ -228,6 +235,8 @@ def _restructure_response(
         domain=parse_domain(request.domain) or None,
         beam_width=request.beam_width,
         evaluate_batch=evaluate_batch,
+        on_round=on_round,
+        resume_from=resume_from,
     )
     return RestructureResponse(
         sequence=result.sequence,
@@ -500,6 +509,7 @@ class PredictionEngine:
         self._placement_guard = threading.Lock()
         base = placement_cache_stats()
         self._placement_seen = (base["hits"], base["misses"])
+        self.jobs = None   # JobManager once attach_jobs() is called
 
     # -- pool management ------------------------------------------------
     def start_workers(self) -> None:
@@ -538,6 +548,9 @@ class PredictionEngine:
             self._pool_kind = "thread"
 
     def close(self) -> None:
+        if self.jobs is not None:
+            self.jobs.close()
+            self.jobs = None
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
@@ -784,7 +797,10 @@ class PredictionEngine:
         return run()
 
     def _restructure_split(
-        self, request: RestructureRequest
+        self, request: RestructureRequest,
+        *,
+        on_round: Callable[[Any], Any] | None = None,
+        resume_from: Any | None = None,
     ) -> RestructureResponse:
         """The split execution shape: pool-evaluated search rounds.
 
@@ -826,7 +842,62 @@ class PredictionEngine:
                 degraded[0] = True
                 return evaluate_chunk(program, root_key, machine, programs)
 
-        return _restructure_response(request, evaluate_batch=evaluate)
+        return _restructure_response(request, evaluate_batch=evaluate,
+                                     on_round=on_round,
+                                     resume_from=resume_from)
+
+    # -- job execution --------------------------------------------------
+    def run_restructure_job(
+        self,
+        request: RestructureRequest,
+        *,
+        on_round: Callable[[Any], Any] | None = None,
+        resume_from: Any | None = None,
+    ) -> dict[str, Any]:
+        """Run one async job's search to completion (blocking).
+
+        Called from a :class:`~repro.service.jobs.JobManager` runner
+        thread, never from the HTTP batch path.  With a worker pool,
+        each round's candidates are evaluated on at most ``workers - 1``
+        pool slots (the same cap split restructures use), so N
+        concurrent jobs still leave a slot free for light requests;
+        without one, evaluation runs inline on the runner thread.
+        Errors become envelopes, exactly like :func:`execute_request`.
+        """
+        try:
+            with trace_span("restructure.job", machine=request.machine):
+                if self.workers > 1:
+                    self._ensure_pool()
+                if self._pool is not None and self.workers > 1:
+                    response = self._restructure_split(
+                        request, on_round=on_round, resume_from=resume_from)
+                else:
+                    response = _restructure_response(
+                        request, on_round=on_round, resume_from=resume_from)
+            return response_to_dict(response)
+        except _CLIENT_ERRORS as error:
+            return error_envelope(error, status=400)
+        except Exception as error:  # noqa: BLE001 -- envelope, keep the runner
+            return error_envelope(error, status=500)
+
+    def attach_jobs(self, store_root: str, *, slots: int | None = None,
+                    stale_after: float = 5.0):
+        """Enable the async job subsystem backed by ``store_root``.
+
+        Point several shards at one shared directory to get
+        resume-on-successor failover.  Returns the started
+        :class:`~repro.service.jobs.JobManager` (also kept on
+        ``self.jobs`` for the server's routes).
+        """
+        from .jobs import JobManager
+        from .jobstore import JobStore
+
+        if self.jobs is not None:
+            return self.jobs
+        self.jobs = JobManager(
+            self, JobStore(store_root), slots=slots,
+            stale_after=stale_after).start()
+        return self.jobs
 
     # -- pool plumbing --------------------------------------------------
     def _submit(self, fn, *args):

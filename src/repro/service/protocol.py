@@ -23,6 +23,7 @@ __all__ = [
     "PredictRequest", "PredictResponse",
     "CompareRequest", "CompareResponse",
     "RestructureRequest", "RestructureResponse",
+    "RestructureJobRequest", "JobStatusResponse",
     "KernelsRequest", "KernelRow", "KernelsResponse",
     "ErrorResponse",
     "request_from_dict", "response_to_dict", "error_envelope",
@@ -184,6 +185,51 @@ class RestructureRequest:
 
 
 @dataclass(frozen=True)
+class RestructureJobRequest:
+    """Async restructure submission (``POST /restructure/jobs``).
+
+    Same search parameters as :class:`RestructureRequest`, plus a
+    scheduling ``priority`` (higher runs first).  There is no ``trace``
+    field: a job's observable progress is its event stream, not a span
+    tree snapshot of one HTTP exchange.
+    """
+
+    source: str
+    machine: str = "power"
+    workload: Mapping[str, Any] | None = None
+    domain: Mapping[str, Any] | None = None
+    depth: int = 2
+    max_nodes: int = 200
+    beam_width: int = 1
+    priority: int = 0
+
+    def validate(self) -> None:
+        _check_str("source", self.source)
+        _check_str("machine", self.machine)
+        _check_mapping("workload", self.workload)
+        _check_mapping("domain", self.domain)
+        parse_bindings(self.workload)
+        parse_domain(self.domain)
+        _require(isinstance(self.depth, int) and 1 <= self.depth <= 8,
+                 "depth must be an integer in 1..8")
+        _require(isinstance(self.max_nodes, int) and 1 <= self.max_nodes <= 10000,
+                 "max_nodes must be an integer in 1..10000")
+        _require(isinstance(self.beam_width, int) and 1 <= self.beam_width <= 64,
+                 "beam_width must be an integer in 1..64")
+        _require(isinstance(self.priority, int) and -10 <= self.priority <= 10,
+                 "priority must be an integer in -10..10")
+
+    def to_restructure(self) -> RestructureRequest:
+        """The equivalent synchronous request (the search is identical)."""
+        return RestructureRequest(
+            source=self.source, machine=self.machine,
+            workload=self.workload, domain=self.domain,
+            depth=self.depth, max_nodes=self.max_nodes,
+            beam_width=self.beam_width,
+        )
+
+
+@dataclass(frozen=True)
 class KernelsRequest:
     """The Figure 7 table (predicted vs reference) for one machine."""
 
@@ -199,6 +245,7 @@ REQUEST_TYPES: dict[str, type] = {
     "predict": PredictRequest,
     "compare": CompareRequest,
     "restructure": RestructureRequest,
+    "restructure_job": RestructureJobRequest,
     "kernels": KernelsRequest,
 }
 
@@ -270,6 +317,32 @@ class KernelsResponse:
 
 
 @dataclass(frozen=True)
+class JobStatusResponse:
+    """Public view of one async restructure job.
+
+    Returned by submit (``status="queued"``), status polls, and cancel.
+    ``result`` carries the full :class:`RestructureResponse` dict once
+    ``status="done"``; ``error`` carries the error envelope when
+    ``status="error"``.  ``owner`` identifies the shard process running
+    the job (``pid:<pid>.<nonce>``) and ``adopted`` counts ownership
+    handoffs after shard deaths.
+    """
+
+    job_id: str
+    status: str                    # queued | running | done | error | cancelled
+    digest: str
+    machine: str
+    rounds: int = 0
+    priority: int = 0
+    adopted: int = 0
+    owner: str | None = None
+    best_sequence: str | None = None
+    best_cost: str | None = None
+    result: Any = None
+    error: Any = None
+
+
+@dataclass(frozen=True)
 class ErrorResponse:
     error: str                     # exception class name
     message: str
@@ -280,6 +353,7 @@ RESPONSE_TYPES: dict[str, type] = {
     "predict": PredictResponse,
     "compare": CompareResponse,
     "restructure": RestructureResponse,
+    "job_status": JobStatusResponse,
     "kernels": KernelsResponse,
 }
 

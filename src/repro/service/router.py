@@ -36,9 +36,22 @@ Batches are split by owning shard and forwarded concurrently, then
 reassembled in request order; entries that fail validation locally
 never cost a network hop.
 
+* **Jobs.**  Async restructure jobs route by *affinity*: a submit is
+  keyed by the program digest (so the job runs where the program's
+  caches live), and every later read keys on the digest prefix baked
+  into the job id itself -- no parse needed.  Status and cancel
+  forward like ordinary requests; the ``/events`` stream is *relayed*
+  byte-for-byte as it arrives, and a shard that dies mid-stream simply
+  ends the relay -- the client re-attaches with ``from_round`` and the
+  failover walk lands it on the ring successor, which adopts and
+  resumes the job from its checkpoint.  Jobs never degrade to the
+  router's inline engine: the job state lives in the shards' shared
+  store, which the router does not mount.
+
 ``/metrics`` exports ``repro_router_forwards_total{shard,outcome}``,
-``repro_router_failovers_total``, per-shard ring-ownership and
-liveness gauges, and HTTP latency histograms.
+``repro_router_failovers_total``, ``repro_router_jobs_total{route}``,
+per-shard ring-ownership and liveness gauges, digest-memo size and
+eviction gauges, and HTTP latency histograms.
 """
 
 from __future__ import annotations
@@ -62,6 +75,7 @@ from ..ir.lexer import LexError
 from ..ir.parser import ParseError, parse_program
 from ..obs import configure_json_logging, new_request_id, set_request_id
 from .client import HTTPConnectionPool, _split_base_url
+from .jobs import JOBS_PREFIX, job_affinity_key, parse_job_path
 from .metrics import MetricsRegistry
 from .protocol import ProtocolError, error_envelope, request_from_dict
 from .shard import HashRing
@@ -93,9 +107,14 @@ class _DigestMemo:
     """
 
     def __init__(self, maxsize: int = 4096):
-        self.maxsize = maxsize
+        self.maxsize = max(1, maxsize)
+        self.evictions = 0
         self._data: OrderedDict[str, str] = OrderedDict()
         self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
 
     def digest(self, source: str) -> str:
         text_key = hashlib.sha256(source.encode("utf-8")).hexdigest()
@@ -110,6 +129,7 @@ class _DigestMemo:
             self._data.move_to_end(text_key)
             while len(self._data) > self.maxsize:
                 self._data.popitem(last=False)
+                self.evictions += 1
         return value
 
 
@@ -226,16 +246,51 @@ class _RouterHandler(BaseHTTPRequestHandler):
                 self._send_bytes(body, status, "application/json")
                 self._observe("kernels", status, started)
                 return
+            job = parse_job_path(url.path)
+            if job is not None:
+                job_id, is_events = job
+                key = job_affinity_key(job_id)
+                if is_events:
+                    self.server.job_requests.inc(route="events")
+                    status = self.server.relay_stream(
+                        self, key, self.path, request_id)
+                    self._observe("job_events", status, started)
+                    return
+                self.server.job_requests.inc(route="status")
+                status = self._forward_job("GET", url.path, None, key,
+                                           request_id)
+                self._observe("job_status", status, started)
+                return
             self._send_json(
                 {"error": "NotFound", "message": f"no route {url.path}",
                  "status": 404}, 404)
             self._observe("unknown", 404, started)
+
+    def _forward_job(self, method: str, path: str, body: bytes | None,
+                     key: str, request_id: str) -> int:
+        """Forward a job request along the ring; jobs never run inline.
+
+        The router has no job store, so with every replica down the
+        honest answer is 503 -- the job is still resumable once a shard
+        returns.
+        """
+        outcome = self.server._forward(key, method, path, body, request_id)
+        if outcome is None:
+            self._send_json(error_envelope(
+                ConnectionError("no live backend shard"), status=503), 503)
+            return 503
+        status, payload = outcome
+        self._send_bytes(payload, status, "application/json")
+        return status
 
     def do_POST(self) -> None:  # noqa: N802 -- http.server API
         started = time.perf_counter()
         url = urlparse(self.path)
         kind = _POST_ROUTES.get(url.path)
         with self._request_scope() as request_id:
+            if url.path == JOBS_PREFIX:
+                self._handle_job_submit(started, request_id)
+                return
             if kind is None:
                 self._send_json(
                     {"error": "NotFound", "message": f"no route {url.path}",
@@ -263,6 +318,41 @@ class _RouterHandler(BaseHTTPRequestHandler):
             status = result.get("status", 200) if "error" in result else 200
             self._send_json(result, status)
             self._observe(kind, status, started)
+
+    def _handle_job_submit(self, started: float, request_id: str) -> None:
+        """Key the submit on the program digest so the job runs where
+        the program's caches (and any prior checkpoint) live."""
+        try:
+            payload = self._read_body()
+            request = request_from_dict("restructure_job", payload)
+            key = self.server._digests.digest(request.source)
+        except (ProtocolError, ParseError, LexError, ValueError,
+                KeyError, json.JSONDecodeError) as error:
+            self._send_json(error_envelope(error, status=400), 400)
+            self._observe("job_submit", 400, started)
+            return
+        self.server.job_requests.inc(route="submit")
+        body = json.dumps(payload).encode("utf-8")
+        status = self._forward_job("POST", JOBS_PREFIX, body, key, request_id)
+        self._observe("job_submit", status, started)
+
+    def do_DELETE(self) -> None:  # noqa: N802 -- http.server API
+        started = time.perf_counter()
+        url = urlparse(self.path)
+        with self._request_scope() as request_id:
+            job = parse_job_path(url.path)
+            if job is None or job[1]:
+                self._send_json(
+                    {"error": "NotFound", "message": f"no route {url.path}",
+                     "status": 404}, 404)
+                self._observe("unknown", 404, started)
+                return
+            job_id, _ = job
+            self.server.job_requests.inc(route="cancel")
+            status = self._forward_job(
+                "DELETE", url.path, None, job_affinity_key(job_id),
+                request_id)
+            self._observe("job_cancel", status, started)
 
 
 class ShardRouter(ThreadingMixIn, HTTPServer):
@@ -292,6 +382,7 @@ class ShardRouter(ThreadingMixIn, HTTPServer):
         probe_timeout: float = 1.0,
         pool_size: int = 8,
         local_fallback: bool = True,
+        digest_memo_size: int = 4096,
         metrics: MetricsRegistry | None = None,
     ):
         if not backends:
@@ -311,7 +402,7 @@ class ShardRouter(ThreadingMixIn, HTTPServer):
         self.probe_timeout = probe_timeout
         self.local_fallback = local_fallback
         self.metrics = metrics if metrics is not None else MetricsRegistry()
-        self._digests = _DigestMemo()
+        self._digests = _DigestMemo(maxsize=digest_memo_size)
         self._local_engine = None
         self._local_lock = threading.Lock()
         self._thread: threading.Thread | None = None
@@ -333,6 +424,9 @@ class ShardRouter(ThreadingMixIn, HTTPServer):
         self.http_latency = self.metrics.histogram(
             "repro_router_http_request_seconds",
             "Router HTTP request latency by endpoint.")
+        self.job_requests = self.metrics.counter(
+            "repro_router_jobs_total",
+            "Async-job requests handled by route.")
 
     # -- lifecycle ------------------------------------------------------
     @property
@@ -485,6 +579,95 @@ class ShardRouter(ThreadingMixIn, HTTPServer):
         # real (deterministic) failure; surface the last one rather than
         # recomputing locally and masking it.
         return last_5xx
+
+    # -- streaming relay ------------------------------------------------
+    def relay_stream(self, handler: _RouterHandler, key: str, path: str,
+                     request_id: str) -> int:
+        """Relay a streaming GET (job events) byte-for-byte to the client.
+
+        Uses a dedicated connection per attempt (never the pooled ones:
+        a stream holds its connection for the job's whole lifetime).
+        Failures *before* the response headers fail over along the ring
+        like any forward; a shard dying *mid-stream* just ends the relay
+        -- replaying from another shard would duplicate rounds the
+        client already consumed, and the client's ``from_round`` resume
+        re-attaches (via this same walk) to the successor, whose read
+        triggers adoption.
+        """
+        candidates = list(self.ring.preference(
+            key, alive=lambda node: self.backends[node].healthy))
+        if not candidates:
+            candidates = list(self.ring.preference(key))
+        for attempt, node in enumerate(candidates[: self.retries + 1]):
+            state = self.backends[node]
+            if attempt:
+                self.failovers.inc()
+                if self.backoff:
+                    time.sleep(min(self.backoff * (2 ** (attempt - 1)), 1.0))
+            connection = http.client.HTTPConnection(
+                state.host, state.port, timeout=state.pool.timeout)
+            try:
+                connection.request("GET", path,
+                                   headers={"X-Request-Id": request_id})
+                response = connection.getresponse()
+            except _CONNECT_ERRORS as error:
+                self.forwards.inc(shard=state.url, outcome="connection_error")
+                if state.mark_failure():
+                    log.warning("backend down", extra={"fields": {
+                        "shard": state.url, "error": str(error)}})
+                connection.close()
+                continue
+            state.mark_success()
+            if response.status >= 500:
+                self.forwards.inc(shard=state.url, outcome="server_error")
+                with contextlib.suppress(Exception):
+                    response.read()
+                connection.close()
+                continue
+            if response.status != 200:
+                # Deterministic client error (404, 400): pass through.
+                self.forwards.inc(shard=state.url, outcome="client_error")
+                body = response.read()
+                connection.close()
+                handler._send_bytes(
+                    body, response.status,
+                    response.headers.get("Content-Type", "application/json"))
+                return response.status
+            self.forwards.inc(shard=state.url, outcome="ok")
+            handler.send_response(200)
+            handler.send_header(
+                "Content-Type",
+                response.headers.get("Content-Type", "text/event-stream"))
+            handler.send_header("Cache-Control", "no-cache")
+            handler.send_header("Connection", "close")
+            handler.send_header("X-Request-Id", request_id)
+            handler.end_headers()
+            handler.close_connection = True
+            try:
+                while True:
+                    try:
+                        chunk = response.read1(8192)
+                    except _CONNECT_ERRORS:
+                        # Shard died mid-stream: close toward the client
+                        # too, so its from_round resume takes over.
+                        if state.mark_failure():
+                            log.warning("backend down mid-stream",
+                                        extra={"fields": {
+                                            "shard": state.url}})
+                        break
+                    if not chunk:
+                        break
+                    handler.wfile.write(chunk)
+                    handler.wfile.flush()
+            except (BrokenPipeError, ConnectionResetError, OSError):
+                pass   # client went away; nothing left to relay
+            finally:
+                connection.close()
+            return 200
+        envelope = error_envelope(
+            ConnectionError("no live backend shard"), status=503)
+        handler._send_json(envelope, 503)
+        return 503
 
     # -- local degraded mode --------------------------------------------
     def _local(self):
@@ -655,6 +838,16 @@ class ShardRouter(ThreadingMixIn, HTTPServer):
         self.metrics.gauge(
             "repro_router_backends",
             "Configured backend count.").set(len(self.backends))
+        self.metrics.gauge(
+            "repro_router_digest_memo_entries",
+            "Resident source->digest memo entries.").set(len(self._digests))
+        self.metrics.gauge(
+            "repro_router_digest_memo_evictions_total",
+            "Memo entries evicted since start (LRU cap).",
+        ).set(self._digests.evictions)
+        self.metrics.gauge(
+            "repro_router_digest_memo_size",
+            "Configured digest-memo capacity.").set(self._digests.maxsize)
 
 
 def make_router(

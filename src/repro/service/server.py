@@ -13,8 +13,25 @@ Routes
 ``GET  /healthz``      liveness probe
 ``GET  /metrics``      Prometheus text format
 
-Error responses use the protocol's uniform envelope:
-``{"error": "...", "message": "...", "status": 400}``.
+Async jobs (when the engine has a job manager attached):
+
+``POST   /restructure/jobs``              submit; returns the job id
+                                          immediately
+``GET    /restructure/jobs/<id>``         status / progress / result
+``GET    /restructure/jobs/<id>/events``  stream best-so-far candidates
+                                          per beam round as Server-Sent
+                                          Events (``?format=ndjson`` for
+                                          a chunked JSON-lines fallback,
+                                          ``?from_round=K`` to resume a
+                                          dropped stream without
+                                          replaying rounds <= K)
+``DELETE /restructure/jobs/<id>``         cancel cooperatively at the
+                                          next round boundary
+
+Error responses -- including 405s for wrong methods and every error the
+stdlib handler machinery itself raises -- use the protocol's uniform
+JSON envelope ``{"error": "...", "message": "...", "status": 400}``,
+never the stdlib HTML error page.
 """
 
 from __future__ import annotations
@@ -39,6 +56,8 @@ from ..obs import (
     trace_span,
 )
 from .engine import PredictionEngine
+from .jobs import JOBS_PREFIX as _JOBS_PREFIX
+from .jobs import parse_job_path
 from .protocol import error_envelope
 
 __all__ = ["PredictionServer", "make_server", "run_server"]
@@ -50,6 +69,13 @@ _MAX_BATCH = 256
 
 _POST_ROUTES = {"/predict": "predict", "/compare": "compare",
                 "/restructure": "restructure"}
+_GET_PATHS = ("/healthz", "/metrics", "/kernels")
+
+#: How often the events stream re-reads the store while a job runs.
+_EVENT_POLL_SECONDS = 0.05
+#: How long a terminal job may go without its final event line before
+#: the stream synthesizes one (covers the status-write/event-append gap).
+_FINAL_EVENT_GRACE = 2.0
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -136,6 +162,56 @@ class _Handler(BaseHTTPRequestHandler):
         raw = self.rfile.read(length)
         return json.loads(raw.decode("utf-8"))
 
+    def send_error(self, code: int, message: str | None = None,  # noqa: A002
+                   explain: str | None = None) -> None:
+        """JSON envelope for errors raised by the handler machinery.
+
+        The stdlib implementation emits an HTML page; every error this
+        server produces -- including 501s for unsupported methods and
+        400s for malformed request lines -- must be the same JSON
+        envelope the routes use.
+        """
+        try:
+            short, long_desc = self.responses[code]
+        except (KeyError, ValueError):
+            short, long_desc = "Error", ""
+        body = json.dumps({
+            "error": short.replace(" ", ""),
+            "message": message or explain or long_desc or short,
+            "status": code,
+        }, sort_keys=True).encode("utf-8")
+        self.send_response(code, short)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.send_header("Connection", "close")
+        self.end_headers()
+        self.close_connection = True
+        if self.command != "HEAD" and code >= 200 and code not in (204, 304):
+            with contextlib.suppress(OSError):
+                self.wfile.write(body)
+
+    def _method_not_allowed(self, allow: str, started: float) -> None:
+        path = urlparse(self.path).path
+        body = json.dumps({
+            "error": "MethodNotAllowed",
+            "message": f"{self.command} not allowed on {path}; "
+                       f"allowed: {allow}",
+            "status": 405,
+        }, sort_keys=True).encode("utf-8")
+        self.send_response(405)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Allow", allow)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+        self._observe("method_not_allowed", 405, started)
+
+    # Shared with the router, which must parse the same job URLs.
+    _job_route = staticmethod(parse_job_path)
+
+    def _jobs_or_none(self):
+        return self.server.engine.jobs
+
     # -- routes ---------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 -- http.server API
         with self._request_scope(urlparse(self.path).path):
@@ -144,6 +220,46 @@ class _Handler(BaseHTTPRequestHandler):
     def do_POST(self) -> None:  # noqa: N802 -- http.server API
         with self._request_scope(urlparse(self.path).path):
             self._handle_post()
+
+    def do_DELETE(self) -> None:  # noqa: N802 -- http.server API
+        with self._request_scope(urlparse(self.path).path):
+            self._handle_delete()
+
+    def do_PUT(self) -> None:  # noqa: N802 -- http.server API
+        with self._request_scope(urlparse(self.path).path):
+            self._reject_method()
+
+    def do_PATCH(self) -> None:  # noqa: N802 -- http.server API
+        with self._request_scope(urlparse(self.path).path):
+            self._reject_method()
+
+    def do_HEAD(self) -> None:  # noqa: N802 -- http.server API
+        with self._request_scope(urlparse(self.path).path):
+            self._reject_method()
+
+    def _reject_method(self) -> None:
+        """Known path, wrong verb -> 405 + Allow; unknown path -> 404."""
+        started = time.perf_counter()
+        path = urlparse(self.path).path
+        allow = self._allowed_methods(path)
+        if allow:
+            self._method_not_allowed(allow, started)
+            return
+        self._send_json(
+            {"error": "NotFound", "message": f"no route {path}",
+             "status": 404}, 404)
+        self._observe("unknown", 404, started)
+
+    @staticmethod
+    def _allowed_methods(path: str) -> str | None:
+        if path in _POST_ROUTES or path == _JOBS_PREFIX:
+            return "POST"
+        if path in _GET_PATHS:
+            return "GET"
+        route = _Handler._job_route(path)
+        if route is not None:
+            return "GET" if route[1] else "GET, DELETE"
+        return None
 
     def _handle_get(self) -> None:
         started = time.perf_counter()
@@ -158,6 +274,8 @@ class _Handler(BaseHTTPRequestHandler):
         if url.path == "/metrics":
             engine = self.server.engine
             engine.export_cache_metrics()
+            if engine.jobs is not None:
+                engine.jobs.export_metrics()
             text = engine.metrics.render()
             self._send_bytes(text.encode("utf-8"), 200,
                              "text/plain; version=0.0.4")
@@ -171,24 +289,187 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(result, status)
             self._observe("kernels", status, started)
             return
+        route = self._job_route(url.path)
+        if route is not None:
+            job_id, is_events = route
+            if is_events:
+                self._handle_job_events(job_id, url.query, started)
+            else:
+                self._handle_job_status(job_id, started)
+            return
+        self._reject_method()
+
+    # -- job routes -----------------------------------------------------
+    def _jobs_unavailable(self, endpoint: str, started: float) -> None:
         self._send_json(
-            {"error": "NotFound", "message": f"no route {url.path}",
-             "status": 404},
-            404,
-        )
-        self._observe("unknown", 404, started)
+            {"error": "JobsUnavailable",
+             "message": "job subsystem not enabled; start the server "
+                        "with --job-store",
+             "status": 503}, 503)
+        self._observe(endpoint, 503, started)
+
+    def _handle_job_submit(self, started: float) -> None:
+        from .jobs import public_view
+
+        jobs = self._jobs_or_none()
+        if jobs is None:
+            self._jobs_unavailable("job_submit", started)
+            return
+        try:
+            body = self._read_body()
+            record = jobs.submit(body)
+        except Exception as error:  # noqa: BLE001 -- boundary envelope
+            envelope = error_envelope(error, status=400)
+            self._send_json(envelope, 400)
+            self._observe("job_submit", 400, started)
+            return
+        self._send_json(public_view(record), 202)
+        self._observe("job_submit", 202, started)
+
+    def _handle_job_status(self, job_id: str, started: float) -> None:
+        from .jobs import public_view
+
+        jobs = self._jobs_or_none()
+        if jobs is None:
+            self._jobs_unavailable("job_status", started)
+            return
+        record = jobs.status(job_id)
+        if record is None:
+            self._send_json(
+                {"error": "NotFound", "message": f"no job {job_id}",
+                 "status": 404}, 404)
+            self._observe("job_status", 404, started)
+            return
+        self._send_json(public_view(record), 200)
+        self._observe("job_status", 200, started)
+
+    def _handle_delete(self) -> None:
+        from .jobs import public_view
+
+        started = time.perf_counter()
+        url = urlparse(self.path)
+        route = self._job_route(url.path)
+        if route is None or route[1]:
+            self._reject_method()
+            return
+        job_id = route[0]
+        jobs = self._jobs_or_none()
+        if jobs is None:
+            self._jobs_unavailable("job_cancel", started)
+            return
+        record = jobs.cancel(job_id)
+        if record is None:
+            self._send_json(
+                {"error": "NotFound", "message": f"no job {job_id}",
+                 "status": 404}, 404)
+            self._observe("job_cancel", 404, started)
+            return
+        self._send_json(public_view(record), 200)
+        self._observe("job_cancel", 200, started)
+
+    def _handle_job_events(self, job_id: str, query: str,
+                           started: float) -> None:
+        from .jobs import TERMINAL_STATUSES
+
+        jobs = self._jobs_or_none()
+        if jobs is None:
+            self._jobs_unavailable("job_events", started)
+            return
+        params = parse_qs(query)
+        try:
+            from_round = int(params.get("from_round", ["0"])[0])
+        except ValueError:
+            self._send_json(error_envelope(
+                ValueError("from_round must be an integer"), 400), 400)
+            self._observe("job_events", 400, started)
+            return
+        sse = params.get("format", ["sse"])[0] != "ndjson"
+        record = jobs.status(job_id)   # adoption hook: may resume the job
+        if record is None:
+            self._send_json(
+                {"error": "NotFound", "message": f"no job {job_id}",
+                 "status": 404}, 404)
+            self._observe("job_events", 404, started)
+            return
+
+        # The stream has no Content-Length; it ends when the final
+        # event is written and the connection closes (ndjson mode uses
+        # chunked framing instead, for keep-alive-minded consumers).
+        self.send_response(200)
+        self.send_header("Content-Type",
+                         "text/event-stream" if sse
+                         else "application/x-ndjson")
+        self.send_header("Cache-Control", "no-cache")
+        if sse:
+            self.send_header("Connection", "close")
+        else:
+            self.send_header("Transfer-Encoding", "chunked")
+            self.send_header("Connection", "close")
+        self.end_headers()
+        self.close_connection = True
+
+        last = from_round
+        final_deadline: float | None = None
+        try:
+            while True:
+                done = False
+                for event in jobs.events(job_id, from_round=last):
+                    if event.get("final"):
+                        self._write_frame(event, sse)
+                        done = True
+                        break
+                    last = max(last, int(event.get("round", 0)))
+                    self._write_frame(event, sse)
+                if done:
+                    break
+                record = jobs.store.get(job_id)
+                if record is None:
+                    break   # deleted underneath us; EOF ends the stream
+                if record.get("status") in TERMINAL_STATUSES:
+                    # Terminal record but no final event line yet: give
+                    # the writer a moment, then synthesize one.
+                    now = time.monotonic()
+                    if final_deadline is None:
+                        final_deadline = now + _FINAL_EVENT_GRACE
+                    elif now > final_deadline:
+                        self._write_frame(
+                            {"job_id": job_id, "final": True,
+                             "status": record.get("status"),
+                             "round": record.get("rounds", 0)}, sse)
+                        break
+                time.sleep(_EVENT_POLL_SECONDS)
+            if not sse:
+                self.wfile.write(b"0\r\n\r\n")
+                self.wfile.flush()
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            pass   # client went away mid-stream; nothing to answer
+        self._observe("job_events", 200, started)
+
+    def _write_frame(self, event: dict[str, Any], sse: bool) -> None:
+        data = json.dumps(event, sort_keys=True)
+        if sse:
+            name = "done" if event.get("final") else "round"
+            frame = (f"id: {event.get('round', 0)}\n"
+                     f"event: {name}\ndata: {data}\n\n").encode("utf-8")
+            self.wfile.write(frame)
+        else:
+            line = (data + "\n").encode("utf-8")
+            self.wfile.write(f"{len(line):x}\r\n".encode("ascii")
+                             + line + b"\r\n")
+        self.wfile.flush()
 
     def _handle_post(self) -> None:
         started = time.perf_counter()
         url = urlparse(self.path)
+        if url.path == _JOBS_PREFIX:
+            self._handle_job_submit(started)
+            return
+        if self._job_route(url.path) is not None:
+            self._reject_method()
+            return
         kind = _POST_ROUTES.get(url.path)
         if kind is None:
-            self._send_json(
-                {"error": "NotFound", "message": f"no route {url.path}",
-                 "status": 404},
-                404,
-            )
-            self._observe("unknown", 404, started)
+            self._reject_method()
             return
         try:
             body = self._read_body()

@@ -15,6 +15,8 @@ from .interchange import Interchange, interchange_pair
 from .parallel import SearchPool, shared_predictor
 from .reorder import ReorderStatements
 from .search import (
+    RoundProgress,
+    SearchCheckpoint,
     SearchResult,
     SearchStep,
     TranspositionTable,
@@ -27,7 +29,8 @@ from .unroll_jam import UnrollAndJam, unroll_and_jam
 
 __all__ = [
     "CacheStats", "Distribute", "Fuse", "IncrementalPredictor",
-    "Interchange", "Path", "ReorderStatements", "SearchPool",
+    "Interchange", "Path", "ReorderStatements", "RoundProgress",
+    "SearchCheckpoint", "SearchPool",
     "SearchResult", "SearchStep", "StripMine", "Tile2D", "TransformSite",
     "Transformation", "TranspositionTable",
     "astar_search", "distribute_loop", "exhaustive_search", "fuse_loops",

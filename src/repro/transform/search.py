@@ -45,10 +45,9 @@ searches over heavily branchy programs should stay serial.
 from __future__ import annotations
 
 import heapq
-import itertools
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Callable, Mapping, Sequence
+from typing import Any, Callable, Mapping, Sequence
 
 from ..compare.comparator import Verdict, compare
 from ..ir.digest import stmts_digest
@@ -61,6 +60,8 @@ from .base import Transformation
 from .incremental import IncrementalPredictor
 
 __all__ = [
+    "RoundProgress",
+    "SearchCheckpoint",
     "SearchResult",
     "SearchStep",
     "TranspositionTable",
@@ -87,10 +88,64 @@ class SearchResult:
     nodes_expanded: int
     nodes_generated: int
     rounds: int = 0
+    completed: bool = True   # False when an ``on_round`` callback stopped it
 
     @property
     def sequence(self) -> str:
         return " ; ".join(s.description for s in self.steps) or "(original)"
+
+
+@dataclass
+class SearchCheckpoint:
+    """The complete search state at a round boundary.
+
+    Everything the round loop reads lives here -- the frontier heap,
+    the digest dedup set, the incumbent, the tie-break order counter,
+    and the transposition memo -- so a search resumed from a checkpoint
+    replays the remaining rounds *bit-identically* to the uninterrupted
+    run: same pops, same pushes, same tie-breaks, same result.  All
+    members are picklable (programs, costs, and steps already cross
+    process pools), which is what lets the service layer persist one
+    per round and hand a killed shard's job to its ring successor.
+    """
+
+    rounds: int
+    expanded: int
+    generated: int
+    next_order: int
+    frontier: list
+    seen: set[str]
+    best_program: Program
+    best_cost: PerfExpr
+    best_steps: tuple[SearchStep, ...]
+    best_scalar: Fraction | None
+    table_costs: dict[str, PerfExpr] = field(default_factory=dict)
+
+
+@dataclass
+class RoundProgress:
+    """What one expansion round produced (passed to ``on_round``).
+
+    ``checkpoint`` is the state *after* this round; resuming from it
+    re-enters the loop exactly where the callback saw it.  The callback
+    returns ``False`` to stop the search cooperatively -- the returned
+    :class:`SearchResult` then carries ``completed=False`` and the
+    best-so-far incumbent.
+    """
+
+    round: int
+    expanded: int
+    generated: int
+    frontier_size: int
+    best_program: Program
+    best_cost: PerfExpr
+    best_steps: tuple[SearchStep, ...]
+    checkpoint: SearchCheckpoint
+
+    @property
+    def best_sequence(self) -> str:
+        return (" ; ".join(s.description for s in self.best_steps)
+                or "(original)")
 
 
 @dataclass
@@ -162,6 +217,8 @@ def astar_search(
     search_workers: int = 0,
     table: TranspositionTable | None = None,
     evaluate_batch: Callable[[list[Program]], list[PerfExpr]] | None = None,
+    on_round: Callable[[RoundProgress], Any] | None = None,
+    resume_from: SearchCheckpoint | None = None,
 ) -> SearchResult:
     """Best-first search over transformation sequences.
 
@@ -182,6 +239,13 @@ def astar_search(
     Every candidate evaluated below bottoms out in the fused columnar
     placement kernel; the machine's op costs are interned once here so
     no round pays the first-call compilation.
+
+    ``on_round`` fires at every round boundary with a
+    :class:`RoundProgress` (best-so-far incumbent plus a resumable
+    :class:`SearchCheckpoint`); returning ``False`` stops the search
+    cooperatively.  ``resume_from`` re-enters the loop from a prior
+    checkpoint -- because the checkpoint captures the full loop state,
+    the resumed search is bit-identical to never having stopped.
     """
     if beam_width < 1:
         raise ValueError("beam width must be at least 1")
@@ -199,6 +263,7 @@ def astar_search(
         return _astar_rounds(
             program, transformations, predictor, workload, max_depth,
             max_nodes, domain, beam_width, table, evaluate_batch,
+            on_round, resume_from,
         )
     finally:
         if own_pool is not None:
@@ -216,30 +281,55 @@ def _astar_rounds(
     beam_width: int,
     table: TranspositionTable,
     evaluate_batch: Callable[[list[Program]], list[PerfExpr]] | None,
+    on_round: Callable[[RoundProgress], Any] | None = None,
+    resume_from: SearchCheckpoint | None = None,
 ) -> SearchResult:
     with trace_span("transform.search") as span:
-        counter = itertools.count()
-        root_digest = stmts_digest(program.body)
-        start_cost = _root_cost(program, root_digest, predictor, table)
-        frontier: list = []
+        if resume_from is not None:
+            # Re-enter the loop with the checkpointed state verbatim:
+            # same heap (copied -- the checkpoint may be reused), same
+            # dedup set, same incumbent, same tie-break counter.
+            table.costs.update(resume_from.table_costs)
+            frontier = list(resume_from.frontier)
+            seen = set(resume_from.seen)
+            next_order = resume_from.next_order
+            best_prog = resume_from.best_program
+            best_cost = resume_from.best_cost
+            best_steps = resume_from.best_steps
+            best_scalar = resume_from.best_scalar
+            expanded = resume_from.expanded
+            generated = resume_from.generated
+            rounds = resume_from.rounds
+        else:
+            frontier = []
+            seen = set()
+            next_order = 0
+            expanded = 0
+            generated = 0
+            rounds = 0
 
         def push(prog: Program, cost: PerfExpr,
                  steps: tuple[SearchStep, ...], depth: int) -> None:
+            nonlocal next_order
             priority = (
                 float(_scalar_cost(cost, workload)) if workload is not None else 0.0
             )
-            heapq.heappush(frontier, (priority, next(counter), prog, cost, steps, depth))
+            heapq.heappush(frontier, (priority, next_order, prog, cost, steps, depth))
+            next_order += 1
 
-        push(program, start_cost, (), 0)
-        best_prog, best_cost, best_steps = program, start_cost, ()
-        best_scalar = (
-            _scalar_cost(start_cost, workload) if workload is not None else None
-        )
-        seen: set[str] = {root_digest}
-        expanded = 0
-        generated = 1
-        rounds = 0
+        if resume_from is None:
+            root_digest = stmts_digest(program.body)
+            start_cost = _root_cost(program, root_digest, predictor, table)
+            push(program, start_cost, (), 0)
+            best_prog, best_cost, best_steps = program, start_cost, ()
+            best_scalar = (
+                _scalar_cost(start_cost, workload) if workload is not None
+                else None
+            )
+            seen.add(root_digest)
+            generated = 1
 
+        stopped = False
         while frontier and expanded < max_nodes:
             rounds += 1
             # Pop this round's beam, updating the incumbent in pop order.
@@ -295,6 +385,24 @@ def _astar_rounds(
                 generated += 1
                 push(candidate, cost, step, depth)
 
+            if on_round is not None:
+                checkpoint = SearchCheckpoint(
+                    rounds=rounds, expanded=expanded, generated=generated,
+                    next_order=next_order, frontier=list(frontier),
+                    seen=set(seen), best_program=best_prog,
+                    best_cost=best_cost, best_steps=best_steps,
+                    best_scalar=best_scalar, table_costs=dict(table.costs),
+                )
+                verdict = on_round(RoundProgress(
+                    round=rounds, expanded=expanded, generated=generated,
+                    frontier_size=len(frontier), best_program=best_prog,
+                    best_cost=best_cost, best_steps=best_steps,
+                    checkpoint=checkpoint,
+                ))
+                if verdict is False:
+                    stopped = True
+                    break
+
         if span.recording:
             span.set(nodes_expanded=expanded, nodes_generated=generated,
                      rounds=rounds, beam_width=beam_width,
@@ -302,7 +410,7 @@ def _astar_rounds(
                      best_sequence=" ; ".join(s.description for s in best_steps)
                      or "(original)")
     return SearchResult(best_prog, best_cost, best_steps, expanded, generated,
-                        rounds)
+                        rounds, completed=not stopped)
 
 
 def _better(

@@ -64,6 +64,28 @@ def running_server(*, workers: int = 0, cache_size: int = 64,
 
 
 @contextlib.contextmanager
+def running_job_server(store_dir, *, workers=0, cache_size=64,
+                       slots=1, stale_after=5.0, owner=None,
+                       **server_kwargs):
+    """A live backend with the async-job subsystem attached.
+
+    Point several at one ``store_dir`` to exercise cross-shard
+    adoption: whichever server receives a read for a stale job
+    re-queues and resumes it.
+    """
+    engine = PredictionEngine(workers=workers, cache_size=cache_size)
+    engine.attach_jobs(store_dir, slots=slots, stale_after=stale_after)
+    if owner is not None:
+        engine.jobs.owner = owner
+    instance = make_server(engine, host="127.0.0.1", port=0, **server_kwargs)
+    instance.start_background()
+    try:
+        yield instance
+    finally:
+        instance.stop()
+
+
+@contextlib.contextmanager
 def running_router(backends, **kwargs):
     """A live router over ``backends`` URLs; always stopped on exit."""
     kwargs.setdefault("probe_interval", 0.2)

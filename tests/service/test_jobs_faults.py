@@ -1,0 +1,127 @@
+"""Event-stream behaviour under transport faults.
+
+A :class:`FlakyBackend` proxy sits between the client and a real
+job-enabled backend and injects truncations and connection drops on
+the events path only, so submission and status traffic stay healthy
+while the stream misbehaves -- the exact failure mode of a shard dying
+mid-stream.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.service import AsyncReproClient, ReproClient, ServerError
+from repro.service.client import TransportError
+
+from .conftest import SAXPY, flaky_proxy, running_job_server
+
+
+@pytest.fixture
+def finished_job(tmp_path):
+    """A backend with one completed job; yields ``(backend, job_id)``."""
+    with running_job_server(tmp_path / "store", slots=1) as backend:
+        with ReproClient(f"http://127.0.0.1:{backend.port}") as client:
+            submitted = client.submit_restructure(SAXPY, depth=2)
+            final = client.wait(submitted.job_id, timeout=30)
+            assert final.status == "done"
+        yield backend, submitted.job_id
+
+
+def events_path(job_id):
+    return f"/restructure/jobs/{job_id}/events"
+
+
+def test_truncated_stream_raises_transport_error(finished_job):
+    backend, job_id = finished_job
+    with flaky_proxy(f"http://127.0.0.1:{backend.port}",
+                     only_paths=(events_path(job_id),)) as proxy:
+        proxy.schedule("truncate")
+        with ReproClient(proxy.url) as client:
+            with pytest.raises(TransportError) as excinfo:
+                list(client.iter_events(job_id))
+    message = str(excinfo.value).lower()
+    assert "event stream" in message or "incomplete" in message
+    assert "truncate" in [fault for _, fault in proxy.log]
+
+
+def test_refused_stream_raises_transport_error(finished_job):
+    backend, job_id = finished_job
+    with flaky_proxy(f"http://127.0.0.1:{backend.port}",
+                     only_paths=(events_path(job_id),)) as proxy:
+        proxy.schedule("refuse")
+        with ReproClient(proxy.url) as client:
+            with pytest.raises(TransportError):
+                list(client.iter_events(job_id))
+
+
+def test_synthetic_500_raises_server_error(finished_job):
+    backend, job_id = finished_job
+    with flaky_proxy(f"http://127.0.0.1:{backend.port}",
+                     only_paths=(events_path(job_id),)) as proxy:
+        proxy.schedule("error")
+        with ReproClient(proxy.url) as client:
+            with pytest.raises(ServerError):
+                list(client.iter_events(job_id))
+
+
+def test_follow_resumes_past_faults_without_duplicates(finished_job):
+    backend, job_id = finished_job
+    with flaky_proxy(f"http://127.0.0.1:{backend.port}",
+                     only_paths=(events_path(job_id),)) as proxy:
+        # First attach truncates mid-stream, second is refused outright,
+        # third succeeds; follow() must splice the three into one clean
+        # sequence via from_round resume.
+        proxy.schedule("truncate", "refuse")
+        with ReproClient(proxy.url) as client:
+            events = list(client.follow(job_id))
+            reference = list(client.iter_events(job_id))
+
+    rounds = [e["round"] for e in events if not e.get("final")]
+    assert rounds == sorted(set(rounds)), "duplicate or reordered rounds"
+    assert events[-1]["final"] is True
+    assert sum(1 for e in events if e.get("final")) == 1
+    reference_rounds = [e["round"] for e in reference
+                        if not e.get("final")]
+    assert rounds[-1] == reference_rounds[-1]
+    faults = [fault for _, fault in proxy.log]
+    assert faults.count("truncate") == 1 and faults.count("refuse") == 1
+
+
+def test_follow_gives_up_after_retry_budget(finished_job):
+    backend, job_id = finished_job
+    with flaky_proxy(f"http://127.0.0.1:{backend.port}",
+                     only_paths=(events_path(job_id),)) as proxy:
+        proxy.schedule(*(["refuse"] * 8))
+        with ReproClient(proxy.url) as client:
+            with pytest.raises(TransportError):
+                list(client.follow(job_id, max_retries=3, poll=0.01))
+
+
+def test_async_client_stream_and_truncation(finished_job):
+    backend, job_id = finished_job
+
+    async def happy():
+        async with AsyncReproClient(
+                f"http://127.0.0.1:{backend.port}") as client:
+            events = []
+            async for event in client.iter_events(job_id):
+                events.append(event)
+            return events
+
+    events = asyncio.run(happy())
+    assert events[-1]["final"] is True
+    rounds = [e["round"] for e in events if not e.get("final")]
+    assert rounds == sorted(set(rounds))
+
+    with flaky_proxy(f"http://127.0.0.1:{backend.port}",
+                     only_paths=(events_path(job_id),)) as proxy:
+
+        async def truncated():
+            async with AsyncReproClient(proxy.url) as client:
+                async for _ in client.iter_events(job_id):
+                    pass
+
+        proxy.schedule("truncate")
+        with pytest.raises(TransportError):
+            asyncio.run(truncated())

@@ -1,0 +1,283 @@
+"""Wire surface of the async-job endpoints plus the JSON error envelope
+for wrong methods (405) and handler-machinery errors (501).
+
+Raw ``http.client`` is used throughout: these tests assert framing
+(SSE fields, chunked ndjson, Allow headers), not just payloads.
+"""
+
+import http.client
+import json
+import time
+
+import pytest
+
+from repro.service import ReproClient
+
+from .conftest import SAXPY, http_post, running_job_server, running_server
+
+
+def raw_request(port, method, path, body=None, headers=None):
+    connection = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+    try:
+        payload = json.dumps(body).encode() if body is not None else None
+        connection.request(method, path, body=payload,
+                           headers=headers or {})
+        response = connection.getresponse()
+        return (response.status,
+                {k.lower(): v for k, v in response.getheaders()},
+                response.read())
+    finally:
+        connection.close()
+
+
+def read_sse_frames(port, path):
+    """Parse a full SSE stream into ``[(id, event, data_dict), ...]``."""
+    connection = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+    try:
+        connection.request("GET", path)
+        response = connection.getresponse()
+        assert response.status == 200
+        assert response.headers["Content-Type"] == "text/event-stream"
+        frames, current = [], {}
+        while True:
+            line = response.readline()
+            if not line:
+                break
+            text = line.decode().rstrip("\r\n")
+            if not text:
+                if "data" in current:
+                    frames.append((current.get("id"), current.get("event"),
+                                   json.loads(current["data"])))
+                current = {}
+                continue
+            name, _, value = text.partition(":")
+            current[name] = value.strip()
+        return frames
+    finally:
+        connection.close()
+
+
+@pytest.fixture
+def job_server(tmp_path):
+    with running_job_server(tmp_path / "jobs", slots=1) as instance:
+        yield instance
+
+
+def submit(port, payload):
+    status, _, body = raw_request(port, "POST", "/restructure/jobs", payload)
+    return status, json.loads(body)
+
+
+def wait_done(port, job_id, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        status, _, body = raw_request(
+            port, "GET", f"/restructure/jobs/{job_id}")
+        record = json.loads(body)
+        if record.get("status") in ("done", "error", "cancelled"):
+            return record
+        time.sleep(0.02)
+    raise AssertionError("job never reached a terminal status")
+
+
+# ----------------------------------------------------------------------
+# happy path
+
+
+def test_submit_returns_202_then_streams_and_completes(job_server):
+    port = job_server.port
+    status, record = submit(port, {"source": SAXPY, "depth": 2})
+    assert status == 202
+    assert record["status"] == "queued"
+    job_id = record["job_id"]
+    assert record["digest"] == job_id.split(".")[0]
+
+    frames = read_sse_frames(port, f"/restructure/jobs/{job_id}/events")
+    assert frames, "stream delivered nothing"
+    kinds = [event for _, event, _ in frames]
+    assert all(kind == "round" for kind in kinds[:-1])
+    assert kinds[-1] == "done"
+    rounds = [data["round"] for _, _, data in frames[:-1]]
+    assert rounds == sorted(set(rounds))
+    assert all(data["best_cost"] for _, _, data in frames[:-1])
+    # The SSE id field carries the round for Last-Event-ID style resume.
+    assert [int(i) for i, _, _ in frames[:-1]] == rounds
+
+    final = wait_done(port, job_id)
+    assert final["status"] == "done"
+    assert final["result"]["sequence"]
+    assert final["rounds"] == rounds[-1]
+
+    # The job warmed the shard's result cache: the synchronous endpoint
+    # answers instantly with the identical result.
+    status, sync = http_post(port, "/restructure",
+                             {"source": SAXPY, "depth": 2})
+    assert status == 200
+    assert sync["cached"] is True
+    assert sync["sequence"] == final["result"]["sequence"]
+
+
+def test_events_from_round_replays_no_duplicates(job_server):
+    port = job_server.port
+    _, record = submit(port, {"source": SAXPY, "depth": 2})
+    job_id = record["job_id"]
+    wait_done(port, job_id)
+
+    full = read_sse_frames(port, f"/restructure/jobs/{job_id}/events")
+    all_rounds = [d["round"] for _, _, d in full if not d.get("final")]
+    assert len(all_rounds) >= 2
+
+    cut = all_rounds[0]
+    resumed = read_sse_frames(
+        port, f"/restructure/jobs/{job_id}/events?from_round={cut}")
+    resumed_rounds = [d["round"] for _, _, d in resumed
+                      if not d.get("final")]
+    assert resumed_rounds == [r for r in all_rounds if r > cut]
+    assert resumed[-1][2].get("final") is True
+
+    # from_round past the end: just the final event.
+    tail = read_sse_frames(
+        port,
+        f"/restructure/jobs/{job_id}/events?from_round={all_rounds[-1]}")
+    assert len(tail) == 1 and tail[0][2]["final"] is True
+
+
+def test_events_ndjson_is_chunked_jsonl(job_server):
+    port = job_server.port
+    _, record = submit(port, {"source": SAXPY, "depth": 2})
+    job_id = record["job_id"]
+    wait_done(port, job_id)
+
+    connection = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+    try:
+        connection.request(
+            "GET", f"/restructure/jobs/{job_id}/events?format=ndjson")
+        response = connection.getresponse()
+        assert response.status == 200
+        assert response.headers["Content-Type"] == "application/x-ndjson"
+        assert response.headers.get("Transfer-Encoding") == "chunked"
+        events = [json.loads(line) for line in response.read().splitlines()]
+    finally:
+        connection.close()
+    assert events[-1]["final"] is True
+    rounds = [e["round"] for e in events if not e.get("final")]
+    assert rounds == sorted(set(rounds))
+
+
+def test_cancel_via_delete(job_server):
+    port = job_server.port
+    # A heavier search so cancel lands before completion (if the race
+    # is lost the job is already done -- also a valid cancel response).
+    _, record = submit(port, {"source": SAXPY, "depth": 6,
+                              "max_nodes": 4000})
+    job_id = record["job_id"]
+    status, _, body = raw_request(port, "DELETE",
+                                  f"/restructure/jobs/{job_id}")
+    assert status == 200
+    cancelled = json.loads(body)
+    assert cancelled["job_id"] == job_id
+    final = wait_done(port, job_id)
+    assert final["status"] in ("cancelled", "done")
+
+
+def test_job_error_surfaces_envelope(job_server):
+    port = job_server.port
+    status, record = submit(port, {"source": "this is not fortran ("})
+    assert status == 400
+    assert record["error"]
+
+    status, _, body = raw_request(port, "GET", "/restructure/jobs/nope.404")
+    assert status == 404
+    assert json.loads(body)["error"] == "NotFound"
+
+    status, _, body = raw_request(port, "GET",
+                                  "/restructure/jobs/nope.404/events")
+    assert status == 404
+
+    status, _, body = raw_request(port, "DELETE", "/restructure/jobs/nope.1")
+    assert status == 404
+
+
+def test_jobs_disabled_returns_503():
+    with running_server() as instance:
+        status, _, body = raw_request(instance.port, "POST",
+                                      "/restructure/jobs",
+                                      {"source": SAXPY})
+        assert status == 503
+        envelope = json.loads(body)
+        assert envelope["error"] == "JobsUnavailable"
+        assert "--job-store" in envelope["message"]
+        status, _, _ = raw_request(instance.port, "GET",
+                                   "/restructure/jobs/x.1")
+        assert status == 503
+
+
+def test_client_wraps_the_job_surface(job_server):
+    base = f"http://127.0.0.1:{job_server.port}"
+    with ReproClient(base) as client:
+        submitted = client.submit_restructure(SAXPY, depth=2)
+        assert submitted.status == "queued"
+        final = client.wait(submitted.job_id, timeout=30)
+        assert final.status == "done"
+        assert final.result["sequence"]
+
+        events = list(client.iter_events(submitted.job_id))
+        assert events[-1]["final"] is True
+        rounds = [e["round"] for e in events if not e.get("final")]
+        assert rounds == sorted(set(rounds))
+
+        followed = list(client.follow(submitted.job_id))
+        assert [e.get("round") for e in followed] == \
+            [e.get("round") for e in events]
+
+
+# ----------------------------------------------------------------------
+# wrong methods -> JSON envelopes (never the stdlib HTML page)
+
+
+@pytest.mark.parametrize("method,path,allow", [
+    ("DELETE", "/predict", "POST"),
+    ("PUT", "/restructure", "POST"),
+    ("PATCH", "/compare", "POST"),
+    ("DELETE", "/kernels", "GET"),
+    ("HEAD", "/healthz", "GET"),
+    ("GET", "/predict", "POST"),
+    ("DELETE", "/restructure/jobs", "POST"),
+])
+def test_wrong_method_is_json_405_with_allow(server, method, path, allow):
+    status, headers, body = raw_request(server.port, method, path)
+    assert status == 405
+    assert headers["content-type"] == "application/json"
+    assert headers["allow"] == allow
+    envelope = json.loads(body) if method != "HEAD" else {
+        "error": "MethodNotAllowed", "status": 405}
+    assert envelope["error"] == "MethodNotAllowed"
+    assert envelope["status"] == 405
+
+
+def test_post_to_job_id_path_is_405(job_server):
+    status, headers, body = raw_request(
+        job_server.port, "POST", "/restructure/jobs/some.job",
+        {"x": 1})
+    assert status == 405
+    assert headers["allow"] == "GET, DELETE"
+    status, headers, _ = raw_request(
+        job_server.port, "POST", "/restructure/jobs/some.job/events",
+        {"x": 1})
+    assert status == 405
+    assert headers["allow"] == "GET"
+
+
+def test_unknown_method_is_json_not_html(server):
+    status, headers, body = raw_request(server.port, "FROB", "/predict")
+    assert status == 501
+    assert headers["content-type"] == "application/json"
+    envelope = json.loads(body)
+    assert envelope["status"] == 501
+    assert "<html" not in body.decode().lower()
+
+
+def test_wrong_method_on_unknown_path_is_404(server):
+    status, _, body = raw_request(server.port, "DELETE", "/nope")
+    assert status == 404
+    assert json.loads(body)["error"] == "NotFound"
