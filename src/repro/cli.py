@@ -9,6 +9,8 @@ Commands
 ``machines``          registered machine descriptions
 ``serve``             run one HTTP/JSON prediction backend
 ``route``             run the consistent-hash shard router over N backends
+``top``               live per-shard request/latency/SLO table
+``trace fetch``       pull one request's stitched Chrome trace
 
 ``predict``, ``compare``, and ``kernels`` take ``--json`` to emit the
 service wire format (see :mod:`repro.service.protocol`) instead of
@@ -29,6 +31,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from fractions import Fraction
 
 from . import (
@@ -299,6 +302,17 @@ def _cmd_machines(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_slo(path: str | None):
+    if not path:
+        return None
+    from .obs.slo import load_slo_config
+
+    try:
+        return load_slo_config(path)
+    except (OSError, ValueError, json.JSONDecodeError) as error:
+        raise SystemExit(f"bad --slo-config {path}: {error}")
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .service import PredictionEngine, run_server
 
@@ -325,6 +339,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         tracing=not args.no_tracing,
         slow_request_seconds=args.slow_request_seconds,
         shard_of=args.shard_of,
+        slo=_load_slo(args.slo_config),
     )
     return 0
 
@@ -357,10 +372,69 @@ def _cmd_route(args: argparse.Namespace) -> int:
             forward_timeout=args.forward_timeout,
             local_fallback=not args.no_local_fallback,
             digest_memo_size=args.digest_memo_size,
+            tracing=not args.no_tracing,
+            slo=_load_slo(args.slo_config),
         )
     finally:
         for backend in spawned:
             backend.terminate()
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """Poll ``/metrics/cluster`` (or ``/metrics`` against a plain
+    server) and render the per-shard request/latency/SLO table."""
+    from .obs.aggregate import (
+        format_top,
+        slo_rows_from_exposition,
+        summarize_cluster,
+    )
+    from .service import BadRequestError, ReproClient, ReproClientError
+
+    client = ReproClient(args.server)
+    shown = 0
+    try:
+        while True:
+            try:
+                try:
+                    text = client.cluster_metrics()
+                except BadRequestError:
+                    # Plain backend, no cluster endpoint: single-shard view.
+                    text = client.metrics()
+            except ReproClientError as error:
+                raise SystemExit(f"top failed: {error}")
+            slo_rows = slo_rows_from_exposition(text)
+            print(format_top(summarize_cluster(text),
+                             slo_rows=slo_rows or None), flush=True)
+            shown += 1
+            if args.iterations and shown >= args.iterations:
+                return 0
+            time.sleep(args.interval)
+            print()
+    except KeyboardInterrupt:
+        return 0
+    finally:
+        client.close()
+
+
+def _cmd_trace_fetch(args: argparse.Namespace) -> int:
+    from .service import ReproClient, ReproClientError
+
+    client = ReproClient(args.server)
+    try:
+        data = client.debug_trace(
+            args.request_id, fmt="spans" if args.spans else "chrome")
+    except ReproClientError as error:
+        raise SystemExit(f"trace fetch failed: {error}")
+    finally:
+        client.close()
+    rendered = json.dumps(data, indent=2, sort_keys=True)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+        print(f"trace written to {args.output}", file=sys.stderr)
+    else:
+        print(rendered)
     return 0
 
 
@@ -467,6 +541,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--job-stale-seconds", type=float, default=5.0,
                    help="heartbeat age after which another shard may "
                         "adopt a job")
+    p.add_argument("--slo-config", metavar="FILE",
+                   help="JSON latency/error objectives; exports "
+                        "repro_slo_* burn-rate gauges on /metrics")
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(
@@ -495,7 +572,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--digest-memo-size", type=int, default=4096,
                    help="max resident source->digest memo entries "
                         "(LRU; evictions show up in /metrics)")
+    p.add_argument("--no-tracing", action="store_true",
+                   help="disable per-request tracing spans and "
+                        "traceparent propagation to shards")
+    p.add_argument("--slo-config", metavar="FILE",
+                   help="JSON latency/error objectives; exports "
+                        "repro_slo_* burn-rate gauges on /metrics")
     p.set_defaults(func=_cmd_route)
+
+    p = sub.add_parser("top", help="live per-shard request/latency table")
+    p.add_argument("server", metavar="URL",
+                   help="router (or single server) base URL")
+    p.add_argument("--interval", type=float, default=2.0,
+                   help="seconds between refreshes")
+    p.add_argument("--iterations", type=int, default=0, metavar="N",
+                   help="stop after N refreshes (0 = run until Ctrl-C)")
+    p.set_defaults(func=_cmd_top)
+
+    p = sub.add_parser("trace", help="stitched traces from a live service")
+    trace_sub = p.add_subparsers(dest="trace_command", required=True)
+    p = trace_sub.add_parser(
+        "fetch", help="fetch one request's stitched Chrome trace")
+    p.add_argument("request_id")
+    p.add_argument("--server", metavar="URL", required=True,
+                   help="router (or single server) base URL")
+    p.add_argument("-o", "--output", metavar="FILE",
+                   help="write the JSON here instead of stdout")
+    p.add_argument("--spans", action="store_true",
+                   help="raw span dicts instead of a Chrome trace object")
+    p.set_defaults(func=_cmd_trace_fetch)
     return parser
 
 

@@ -1,0 +1,257 @@
+"""Cluster-wide metrics aggregation for ``GET /metrics/cluster``.
+
+The router scrapes every live shard's ``/metrics`` text and merges the
+snapshots into a single exposition where each sample gains a ``shard``
+label naming its origin:
+
+    repro_http_requests_total{endpoint="predict",shard="http://h:1"} 42
+    repro_http_requests_total{endpoint="predict",shard="http://h:2"} 17
+
+Counters and histogram series keep their per-shard values -- summing
+over the ``shard`` label (what PromQL's ``sum without(shard)`` would
+do, and what :func:`summarize_cluster` does here) equals the sum of
+the individual scrapes by construction, which is the invariant the
+integration tests pin.  Gauges additionally gain synthetic
+``shard="max"`` / ``shard="min"`` aggregate samples, since a fleet
+operator usually wants the extremes of e.g. cache size, not a sum.
+
+Unlike the rest of :mod:`repro.obs`, this module (and :mod:`.slo`)
+depends on :mod:`repro.service.metrics` for the exposition parser; it
+is imported by the service layer, never by pipeline code.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Mapping
+
+from ..service.metrics import (
+    MetricFamily,
+    MetricSample,
+    parse_exposition,
+    render_exposition,
+)
+
+__all__ = [
+    "merge_expositions",
+    "summarize_cluster",
+    "histogram_quantile",
+    "format_top",
+]
+
+#: Label values reserved for synthetic gauge aggregates.
+_SYNTHETIC_SHARDS = ("max", "min")
+
+
+def merge_expositions(shard_texts: Mapping[str, str], *,
+                      shard_label: str = "shard",
+                      gauge_minmax: bool = True) -> str:
+    """Merge per-shard exposition texts into one cluster exposition.
+
+    ``shard_texts`` maps a shard identity (its URL, or ``"router"`` for
+    the router's own registry) to its scraped ``/metrics`` body.  Every
+    sample is relabeled with ``shard=<identity>``; families that
+    disagree on kind across shards (a rolling deploy changed a metric)
+    are coerced to ``untyped`` rather than dropped.
+    """
+    merged: dict[str, MetricFamily] = {}
+    for shard in sorted(shard_texts):
+        for name, family in parse_exposition(shard_texts[shard]).items():
+            out = merged.get(name)
+            if out is None:
+                out = merged[name] = MetricFamily(
+                    name, family.kind, family.help)
+            else:
+                if not out.help and family.help:
+                    out.help = family.help
+                if out.kind != family.kind:
+                    out.kind = "untyped"
+            for sample in family.samples:
+                labels = tuple(sorted(
+                    tuple(pair for pair in sample.labels
+                          if pair[0] != shard_label)
+                    + ((shard_label, shard),)))
+                out.samples.append(
+                    MetricSample(sample.name, labels, sample.value))
+    if gauge_minmax:
+        for family in merged.values():
+            if family.kind == "gauge":
+                family.samples.extend(
+                    _gauge_extremes(family, shard_label))
+    return render_exposition(merged.values())
+
+
+def _gauge_extremes(family: MetricFamily,
+                    shard_label: str) -> list[MetricSample]:
+    """Synthetic ``shard="max"``/``shard="min"`` samples per labelset."""
+    grouped: dict[tuple[tuple[str, str], ...], list[float]] = {}
+    for sample in family.samples:
+        residual = tuple(pair for pair in sample.labels
+                         if pair[0] != shard_label)
+        grouped.setdefault(residual, []).append(sample.value)
+    extremes: list[MetricSample] = []
+    for residual, values in grouped.items():
+        for synthetic, pick in zip(_SYNTHETIC_SHARDS, (max(values),
+                                                       min(values))):
+            labels = tuple(sorted(residual + ((shard_label, synthetic),)))
+            extremes.append(MetricSample(family.name, labels, pick))
+    return extremes
+
+
+def histogram_quantile(quantile: float,
+                       buckets: list[tuple[float, float]]) -> float:
+    """Estimate a quantile from cumulative ``le`` buckets.
+
+    ``buckets`` is ``[(le, cumulative_count), ...]`` in any order;
+    linear interpolation within the winning bucket, Prometheus-style.
+    Returns ``nan`` with no observations.
+    """
+    ordered = sorted(buckets)
+    if not ordered or ordered[-1][1] <= 0:
+        return math.nan
+    total = ordered[-1][1]
+    rank = quantile * total
+    previous_bound = 0.0
+    previous_count = 0.0
+    for bound, cumulative in ordered:
+        if cumulative >= rank:
+            if math.isinf(bound):
+                return previous_bound
+            width = cumulative - previous_count
+            if width <= 0:
+                return bound
+            fraction = (rank - previous_count) / width
+            return previous_bound + (bound - previous_bound) * fraction
+        previous_bound = bound if not math.isinf(bound) else previous_bound
+        previous_count = cumulative
+    return previous_bound
+
+
+def summarize_cluster(text: str) -> list[dict[str, Any]]:
+    """Per-(shard, endpoint) rows from a merged cluster exposition.
+
+    Each row carries request count, error count (HTTP status >= 500),
+    and p50/p95/p99 estimated from the latency histogram -- the data
+    behind one line of the ``repro top`` display.  Works on a single
+    shard's exposition too (rows get ``shard="local"``).
+    """
+    families = parse_exposition(text)
+    rows: dict[tuple[str, str], dict[str, Any]] = {}
+
+    def row(shard: str, endpoint: str) -> dict[str, Any]:
+        return rows.setdefault((shard, endpoint), {
+            "shard": shard, "endpoint": endpoint,
+            "requests": 0.0, "errors": 0.0,
+            "p50": math.nan, "p95": math.nan, "p99": math.nan,
+        })
+
+    for name in ("repro_http_requests_total",
+                 "repro_router_http_requests_total"):
+        family = families.get(name)
+        if family is None:
+            continue
+        for sample in family.samples:
+            labels = dict(sample.labels)
+            endpoint = labels.get("endpoint", "?")
+            shard = labels.get("shard", "local")
+            entry = row(shard, endpoint)
+            entry["requests"] += sample.value
+            try:
+                if int(labels.get("status", "0")) >= 500:
+                    entry["errors"] += sample.value
+            except ValueError:
+                pass
+
+    for name in ("repro_http_request_seconds",
+                 "repro_router_http_request_seconds"):
+        family = families.get(name)
+        if family is None:
+            continue
+        grouped: dict[tuple[str, str], list[tuple[float, float]]] = {}
+        for sample in family.samples:
+            if not sample.name.endswith("_bucket"):
+                continue
+            labels = dict(sample.labels)
+            if "le" not in labels:
+                continue
+            key = (labels.get("shard", "local"),
+                   labels.get("endpoint", "?"))
+            bound = math.inf if labels["le"] == "+Inf" else float(labels["le"])
+            grouped.setdefault(key, []).append((bound, sample.value))
+        for (shard, endpoint), buckets in grouped.items():
+            entry = row(shard, endpoint)
+            for field, q in (("p50", 0.50), ("p95", 0.95), ("p99", 0.99)):
+                entry[field] = histogram_quantile(q, buckets)
+
+    return sorted(rows.values(),
+                  key=lambda r: (r["shard"], -r["requests"], r["endpoint"]))
+
+
+def _fmt_latency(seconds: float) -> str:
+    if math.isnan(seconds):
+        return "-"
+    if seconds < 0.001:
+        return f"{seconds * 1e6:.0f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f}ms"
+    return f"{seconds:.2f}s"
+
+
+def format_top(rows: list[dict[str, Any]], *,
+               slo_rows: list[dict[str, Any]] | None = None) -> str:
+    """Render ``summarize_cluster`` rows as the ``repro top`` table."""
+    header = (f"{'SHARD':<28} {'ENDPOINT':<14} {'REQS':>8} {'ERRS':>6} "
+              f"{'P50':>8} {'P95':>8} {'P99':>8}")
+    lines = [header, "-" * len(header)]
+    for entry in rows:
+        shard = entry["shard"]
+        if shard in _SYNTHETIC_SHARDS:
+            continue
+        lines.append(
+            f"{shard[:28]:<28} {entry['endpoint'][:14]:<14} "
+            f"{int(entry['requests']):>8} {int(entry['errors']):>6} "
+            f"{_fmt_latency(entry['p50']):>8} "
+            f"{_fmt_latency(entry['p95']):>8} "
+            f"{_fmt_latency(entry['p99']):>8}")
+    if slo_rows:
+        lines.append("")
+        slo_header = (f"{'SLO ENDPOINT':<20} {'OBJECTIVE':<22} "
+                      f"{'OBSERVED':>10} {'BURN':>6}")
+        lines.extend([slo_header, "-" * len(slo_header)])
+        for entry in slo_rows:
+            burn = entry["burn"]
+            flag = " !!" if burn > 1.0 else ""
+            lines.append(
+                f"{entry['endpoint'][:20]:<20} {entry['objective']:<22} "
+                f"{entry['observed']:>10} {burn:>6.2f}{flag}")
+    return "\n".join(lines)
+
+
+def slo_rows_from_exposition(text: str) -> list[dict[str, Any]]:
+    """Burn-rate rows from ``repro_slo_*`` gauges in a cluster scrape."""
+    families = parse_exposition(text)
+    rows: list[dict[str, Any]] = []
+    for name, kind in (("repro_slo_latency_burn_rate", "latency"),
+                       ("repro_slo_error_burn_rate", "error")):
+        family = families.get(name)
+        if family is None:
+            continue
+        for sample in family.samples:
+            labels = dict(sample.labels)
+            shard = labels.get("shard", "local")
+            if shard in _SYNTHETIC_SHARDS:
+                continue
+            endpoint = labels.get("endpoint", "?")
+            if kind == "latency":
+                objective = f"{labels.get('quantile', '?')} latency"
+                observed = labels.get("quantile", "?")
+            else:
+                objective = "error ratio"
+                observed = "errors"
+            rows.append({
+                "endpoint": f"{endpoint}@{shard}"[:40],
+                "objective": objective,
+                "observed": observed,
+                "burn": sample.value,
+            })
+    return sorted(rows, key=lambda r: -r["burn"])

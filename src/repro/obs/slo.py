@@ -1,0 +1,247 @@
+"""Sliding-window SLO tracking: latency quantiles, error rate, burn.
+
+A :class:`SloTracker` sits next to a server's (or the router's) request
+accounting: every finished request reports ``(endpoint, seconds,
+error)``, the tracker keeps a bounded sliding window per endpoint, and
+on each ``/metrics`` scrape it exports:
+
+    repro_slo_requests{endpoint="predict"}                  412
+    repro_slo_error_ratio{endpoint="predict"}               0.0024
+    repro_slo_latency_seconds{endpoint="predict",quantile="p95"} 0.041
+    repro_slo_latency_burn_rate{endpoint="predict",quantile="p95"} 0.21
+    repro_slo_error_burn_rate{endpoint="predict"}           0.24
+
+Burn rate is *observed / objective* -- 1.0 means the endpoint is
+consuming its error (or latency) budget exactly as fast as allowed;
+above 1.0 the objective is being violated right now.  Objectives come
+from a JSON config (``serve --slo-config`` / ``route --slo-config``):
+
+    {
+      "window_seconds": 300,
+      "endpoints": {
+        "predict":  {"p95": 0.05, "p99": 0.25, "error_ratio": 0.01},
+        "*":        {"p99": 1.0,  "error_ratio": 0.05}
+      }
+    }
+
+``"*"`` is the fallback objective for endpoints not named explicitly.
+Endpoints with no matching objective are still tracked (quantiles and
+error ratio export), they just have no burn-rate gauges.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+__all__ = [
+    "Objective",
+    "SloTracker",
+    "parse_slo_config",
+    "load_slo_config",
+    "DEFAULT_WINDOW_SECONDS",
+]
+
+DEFAULT_WINDOW_SECONDS = 300.0
+
+#: Latency quantiles the tracker computes and may hold objectives for.
+_QUANTILES = (("p50", 0.50), ("p95", 0.95), ("p99", 0.99))
+
+
+@dataclass(frozen=True)
+class Objective:
+    """Targets for one endpoint; ``None`` fields are untracked."""
+
+    p50: float | None = None
+    p95: float | None = None
+    p99: float | None = None
+    error_ratio: float | None = None
+
+    def latency_target(self, quantile: str) -> float | None:
+        return getattr(self, quantile, None)
+
+
+def _quantile(ordered: list[float], q: float) -> float:
+    """Linear-interpolated quantile of a pre-sorted sample list."""
+    if not ordered:
+        return math.nan
+    if len(ordered) == 1:
+        return ordered[0]
+    position = q * (len(ordered) - 1)
+    low = int(position)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = position - low
+    return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+
+class _Window:
+    """Per-endpoint sliding window of (timestamp, seconds, error)."""
+
+    __slots__ = ("samples", "max_samples")
+
+    def __init__(self, max_samples: int):
+        self.samples: deque[tuple[float, float, bool]] = deque()
+        self.max_samples = max_samples
+
+    def add(self, now: float, seconds: float, error: bool) -> None:
+        self.samples.append((now, seconds, error))
+        while len(self.samples) > self.max_samples:
+            self.samples.popleft()
+
+    def prune(self, horizon: float) -> None:
+        samples = self.samples
+        while samples and samples[0][0] < horizon:
+            samples.popleft()
+
+
+class SloTracker:
+    """Track per-endpoint latency/error objectives over a sliding window.
+
+    Thread-safe; ``observe`` is called from request handler threads and
+    ``snapshot``/``export`` from whichever thread serves the scrape.
+    ``max_samples`` bounds memory per endpoint under sustained load --
+    quantiles then reflect the most recent N requests inside the
+    window, which is the right bias for an operator display.
+    """
+
+    def __init__(self, objectives: Mapping[str, Objective] | None = None, *,
+                 window: float = DEFAULT_WINDOW_SECONDS,
+                 max_samples: int = 4096,
+                 clock=time.monotonic):
+        self.objectives = dict(objectives or {})
+        self.window = float(window)
+        self.max_samples = max_samples
+        self._clock = clock
+        self._windows: dict[str, _Window] = {}
+        self._lock = threading.Lock()
+
+    # -- ingest ---------------------------------------------------------
+    def observe(self, endpoint: str, seconds: float, *,
+                error: bool = False) -> None:
+        now = self._clock()
+        with self._lock:
+            window = self._windows.get(endpoint)
+            if window is None:
+                window = self._windows[endpoint] = _Window(self.max_samples)
+            window.add(now, float(seconds), bool(error))
+
+    # -- objectives -----------------------------------------------------
+    def objective_for(self, endpoint: str) -> Objective | None:
+        return self.objectives.get(endpoint) or self.objectives.get("*")
+
+    # -- read -----------------------------------------------------------
+    def snapshot(self) -> dict[str, dict[str, Any]]:
+        """Per-endpoint state: count, error ratio, quantiles, burn rates."""
+        now = self._clock()
+        horizon = now - self.window
+        result: dict[str, dict[str, Any]] = {}
+        with self._lock:
+            for endpoint, window in self._windows.items():
+                window.prune(horizon)
+                samples = list(window.samples)
+                if not samples:
+                    continue
+                latencies = sorted(s[1] for s in samples)
+                errors = sum(1 for s in samples if s[2])
+                entry: dict[str, Any] = {
+                    "count": len(samples),
+                    "error_ratio": errors / len(samples),
+                }
+                for name, q in _QUANTILES:
+                    entry[name] = _quantile(latencies, q)
+                objective = self.objective_for(endpoint)
+                entry["burn"] = self._burn(entry, objective)
+                result[endpoint] = entry
+        return result
+
+    @staticmethod
+    def _burn(entry: Mapping[str, Any],
+              objective: Objective | None) -> dict[str, float]:
+        """Observed/objective ratios for every configured target."""
+        burn: dict[str, float] = {}
+        if objective is None:
+            return burn
+        for name, _ in _QUANTILES:
+            target = objective.latency_target(name)
+            if target and target > 0:
+                burn[name] = entry[name] / target
+        if objective.error_ratio is not None and objective.error_ratio > 0:
+            burn["error_ratio"] = (
+                entry["error_ratio"] / objective.error_ratio)
+        elif objective.error_ratio == 0.0:
+            # A zero-error objective burns infinitely on any error.
+            burn["error_ratio"] = (
+                math.inf if entry["error_ratio"] > 0 else 0.0)
+        return burn
+
+    # -- metrics export -------------------------------------------------
+    def export(self, metrics: Any) -> None:
+        """Write the current snapshot into a metrics registry as gauges."""
+        snapshot = self.snapshot()
+        metrics.gauge(
+            "repro_slo_window_seconds",
+            "Sliding window the SLO gauges are computed over.",
+        ).set(self.window)
+        requests = metrics.gauge(
+            "repro_slo_requests",
+            "Requests inside the SLO window, by endpoint.")
+        error_ratio = metrics.gauge(
+            "repro_slo_error_ratio",
+            "Error ratio (HTTP 5xx) inside the SLO window.")
+        latency = metrics.gauge(
+            "repro_slo_latency_seconds",
+            "Latency quantiles inside the SLO window.")
+        latency_burn = metrics.gauge(
+            "repro_slo_latency_burn_rate",
+            "Observed latency quantile / objective (>1 = violating).")
+        error_burn = metrics.gauge(
+            "repro_slo_error_burn_rate",
+            "Observed error ratio / objective (>1 = violating).")
+        for endpoint, entry in snapshot.items():
+            requests.set(entry["count"], endpoint=endpoint)
+            error_ratio.set(entry["error_ratio"], endpoint=endpoint)
+            for name, _ in _QUANTILES:
+                latency.set(entry[name], endpoint=endpoint, quantile=name)
+            for target, value in entry["burn"].items():
+                if target == "error_ratio":
+                    error_burn.set(value, endpoint=endpoint)
+                else:
+                    latency_burn.set(value, endpoint=endpoint,
+                                     quantile=target)
+
+
+def parse_slo_config(data: Mapping[str, Any]) -> SloTracker:
+    """Build a tracker from parsed config (see module docstring)."""
+    if not isinstance(data, Mapping):
+        raise ValueError("SLO config must be a JSON object")
+    window = float(data.get("window_seconds", DEFAULT_WINDOW_SECONDS))
+    if window <= 0:
+        raise ValueError("window_seconds must be positive")
+    endpoints = data.get("endpoints", {})
+    if not isinstance(endpoints, Mapping):
+        raise ValueError("'endpoints' must map endpoint -> objectives")
+    objectives: dict[str, Objective] = {}
+    allowed = {"p50", "p95", "p99", "error_ratio"}
+    for endpoint, raw in endpoints.items():
+        if not isinstance(raw, Mapping):
+            raise ValueError(f"objective for {endpoint!r} must be an object")
+        unknown = set(raw) - allowed
+        if unknown:
+            raise ValueError(
+                f"unknown objective field(s) for {endpoint!r}: "
+                f"{sorted(unknown)}")
+        objectives[endpoint] = Objective(
+            **{key: float(value) for key, value in raw.items()})
+    return SloTracker(objectives, window=window)
+
+
+def load_slo_config(path: str) -> SloTracker:
+    """Load ``--slo-config`` JSON from disk."""
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    return parse_slo_config(data)

@@ -29,6 +29,7 @@ import itertools
 import os
 import threading
 import time
+import uuid
 from typing import Any, Iterable, Mapping
 
 __all__ = [
@@ -148,6 +149,11 @@ class Span:
             parent = _CURRENT_SPAN.get()
         if parent is not None and parent.recording:
             self.parent_id = parent.span_id
+        elif self.tracer.remote_parent_id is not None:
+            # Root span of a tracer seeded from a propagated trace
+            # context: parent under the remote hop's span so the
+            # stitched trace stays one tree across processes.
+            self.parent_id = self.tracer.remote_parent_id
         self._token = _CURRENT_SPAN.set(self)
         self.start_wall = time.time()
         self._start = time.perf_counter()
@@ -187,10 +193,21 @@ class Tracer:
     ``repro_phase_seconds`` histogram on it.  ``max_spans`` bounds
     memory on runaway workloads (a deep restructure search); spans past
     the bound are counted in :attr:`dropped`, not stored.
+
+    ``trace_id`` / ``remote_parent_id`` seed the tracer from a
+    propagated context (a ``traceparent`` header, or a trace-context
+    tuple handed to a worker process): spans join the caller's trace
+    id, and root spans parent under the remote span so the exported
+    tree stitches across process boundaries.
     """
 
-    def __init__(self, metrics: Any = None, max_spans: int = 20_000):
-        self.trace_id = f"{os.getpid():x}-{id(self) & 0xFFFFFFFF:08x}"
+    def __init__(self, metrics: Any = None, max_spans: int = 20_000,
+                 trace_id: str | None = None,
+                 remote_parent_id: str | None = None):
+        # W3C-shaped 32-hex trace id so it round-trips through a
+        # ``traceparent`` header unchanged.
+        self.trace_id = trace_id or uuid.uuid4().hex
+        self.remote_parent_id = remote_parent_id
         self.max_spans = max_spans
         self.dropped = 0
         self._spans: list[Span] = []
@@ -208,8 +225,10 @@ class Tracer:
     @staticmethod
     def _next_span_id() -> str:
         # itertools.count is atomic under the GIL; the pid prefix keeps
-        # ids distinct across worker processes too.
-        return f"{os.getpid():x}-{next(_SPAN_IDS):x}"
+        # ids distinct across worker processes too.  16 hex chars so a
+        # span id is a valid W3C ``traceparent`` parent id as-is.
+        return (f"{os.getpid() & 0xFFFFFF:06x}"
+                f"{next(_SPAN_IDS) & 0xFF_FFFF_FFFF:010x}")
 
     def span(self, name: str, parent: Span | None = None,
              **attrs: Any) -> Span:

@@ -443,6 +443,35 @@ class ReproClient:
                                  request_id=rid)
         return body.decode("utf-8")
 
+    def cluster_metrics(self) -> str:
+        """The router's merged cluster exposition (``/metrics/cluster``).
+
+        Only routers serve this path; a plain server answers 404, which
+        surfaces as the typed :class:`BadRequestError`.
+        """
+        status, body, rid = self._call("GET", "/metrics/cluster", None, None)
+        if status != 200:
+            raise remote_error(
+                {"error": "HTTPError",
+                 "message": f"/metrics/cluster returned {status}",
+                 "status": status}, request_id=rid)
+        return body.decode("utf-8")
+
+    def debug_trace(self, request_id: str, *,
+                    fmt: str = "chrome") -> dict[str, Any]:
+        """Fetch the stitched trace for a recent request id.
+
+        ``fmt="chrome"`` returns a ``chrome://tracing``-loadable object;
+        ``fmt="spans"`` the raw span dicts.  404 (trace expired or never
+        sampled) raises the typed remote error.
+        """
+        status, body, rid = self._call(
+            "GET", f"/debug/trace/{request_id}?format={fmt}", None, None)
+        data = json.loads(body.decode("utf-8"))
+        if status != 200:
+            raise remote_error(data, request_id=rid)
+        return data
+
     # -- async jobs -----------------------------------------------------
     def submit_restructure(self, source: str, *, machine: str = "power",
                            workload: Mapping[str, Any] | None = None,
@@ -551,6 +580,7 @@ class ReproClient:
 
     def follow(self, job_id: str, *, from_round: int = 0,
                max_retries: int = 10, poll: float = 0.2,
+               request_id: str | None = None,
                ) -> Iterator[dict[str, Any]]:
         """Like :meth:`iter_events`, but survives stream drops.
 
@@ -558,13 +588,18 @@ class ReproClient:
         set past the rounds already yielded -- against a router this
         lands on the ring successor, which adopts the orphaned job and
         resumes it from its checkpoint, so the caller sees every round
-        exactly once even across a shard SIGKILL.
+        exactly once even across a shard SIGKILL.  One request id is
+        minted up front and reused on every re-attach, so the whole
+        follow -- across failovers -- is a single thread in the server
+        logs and traces.
         """
+        request_id = request_id or new_request_id()
         last = from_round
         failures = 0
         while True:
             try:
-                for event in self.iter_events(job_id, from_round=last):
+                for event in self.iter_events(job_id, from_round=last,
+                                              request_id=request_id):
                     if not event.get("final"):
                         last = max(last, int(event.get("round", 0)))
                     yield event
@@ -807,6 +842,25 @@ class AsyncReproClient:
             raise TransportError(f"/metrics returned {status}",
                                  request_id=rid)
         return body.decode("utf-8")
+
+    async def cluster_metrics(self) -> str:
+        status, body, rid = await self._call("GET", "/metrics/cluster",
+                                             None, None)
+        if status != 200:
+            raise remote_error(
+                {"error": "HTTPError",
+                 "message": f"/metrics/cluster returned {status}",
+                 "status": status}, request_id=rid)
+        return body.decode("utf-8")
+
+    async def debug_trace(self, request_id: str, *,
+                          fmt: str = "chrome") -> dict[str, Any]:
+        status, body, rid = await self._call(
+            "GET", f"/debug/trace/{request_id}?format={fmt}", None, None)
+        data = json.loads(body.decode("utf-8"))
+        if status != 200:
+            raise remote_error(data, request_id=rid)
+        return data
 
     # -- async jobs -----------------------------------------------------
     async def submit_restructure(

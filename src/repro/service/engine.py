@@ -64,7 +64,13 @@ from ..ir.digest import program_digest, stmts_digest
 from ..ir.parser import ParseError, parse_program
 from ..ir.lexer import LexError
 from ..machine.registry import get_machine
-from ..obs import Tracer, current_tracer, trace_span
+from ..obs import (
+    TraceBuffer,
+    Tracer,
+    current_context,
+    current_tracer,
+    trace_span,
+)
 from ..symbolic.poly import PolyError
 from ..transform.parallel import (
     _chunked,
@@ -279,7 +285,9 @@ _HANDLERS = {
 
 
 def execute_request(kind: str, payload: Mapping[str, Any],
-                    collect_trace: bool = False) -> dict[str, Any]:
+                    collect_trace: bool = False,
+                    trace_context: tuple[str, str | None] | None = None,
+                    ) -> dict[str, Any]:
     """Run one request end to end; never raises -- errors become envelopes.
 
     This is the unit of work shipped to pool workers, so both the
@@ -288,9 +296,15 @@ def execute_request(kind: str, payload: Mapping[str, Any],
     tracer and the finished spans travel back in the result under
     ``"trace"`` -- the engine re-ingests them, since a worker process's
     tracer (and metrics registry) dies with the worker.
+    ``trace_context`` is the caller's ``(trace_id, parent_span_id)``;
+    seeding the worker tracer with it keeps the worker's spans in the
+    same trace as the serving request, so exported traces stitch
+    across the process boundary.
     """
     if collect_trace:
-        tracer = Tracer()
+        tracer = (Tracer(trace_id=trace_context[0],
+                         remote_parent_id=trace_context[1])
+                  if trace_context else Tracer())
         with tracer.activate():
             result = _execute_one(kind, payload)
         result["trace"] = tracer.export()
@@ -305,7 +319,9 @@ def _placement_delta(before: Mapping[str, int],
 
 
 def execute_request_chunk(jobs: Sequence[tuple[str, Mapping[str, Any]]],
-                          collect_trace: bool = False) -> dict[str, Any]:
+                          collect_trace: bool = False,
+                          trace_context: tuple[str, str | None] | None = None,
+                          ) -> dict[str, Any]:
     """Run several light requests as one pool task.
 
     A task per tiny predict pays pool round-trip overhead comparable to
@@ -314,7 +330,7 @@ def execute_request_chunk(jobs: Sequence[tuple[str, Mapping[str, Any]]],
     across a process boundary.
     """
     before = placement_cache_stats()
-    results = [execute_request(kind, payload, collect_trace)
+    results = [execute_request(kind, payload, collect_trace, trace_context)
                for kind, payload in jobs]
     return {"results": results,
             "placement": _placement_delta(before, placement_cache_stats())}
@@ -333,13 +349,24 @@ def _cache_hit_trace(kind: str) -> list[dict[str, Any]]:
 
     Hits never re-run the pipeline, so replaying the stored pipeline
     spans would report work that did not happen; a traced hit instead
-    gets a single honest span marking the lookup.
+    gets a single honest span marking the lookup (joined to the serving
+    request's trace when one is active).
     """
-    tracer = Tracer()
+    ctx = current_context()
+    tracer = (Tracer(trace_id=ctx.trace_id, remote_parent_id=ctx.span_id)
+              if ctx is not None else Tracer())
     with tracer.activate():
         with trace_span("engine.execute", kind=kind, cached=True):
             pass
     return tracer.export()
+
+
+def _trace_ctx() -> tuple[str, str | None] | None:
+    """The ambient trace context as a picklable (trace_id, parent) tuple."""
+    ctx = current_context()
+    if ctx is None:
+        return None
+    return (ctx.trace_id, ctx.span_id)
 
 
 def _execute_one(kind: str, payload: Mapping[str, Any]) -> dict[str, Any]:
@@ -510,6 +537,8 @@ class PredictionEngine:
         base = placement_cache_stats()
         self._placement_seen = (base["hits"], base["misses"])
         self.jobs = None   # JobManager once attach_jobs() is called
+        #: Recent request traces by request id, behind /debug/trace.
+        self.traces = TraceBuffer(capacity=64)
 
     # -- pool management ------------------------------------------------
     def start_workers(self) -> None:
@@ -671,13 +700,16 @@ class PredictionEngine:
         if self._pool is None:
             return self._run_inline(pending, finish)
         # Workers cannot see this process's active tracer; have them
-        # collect spans locally whenever anyone is listening.
+        # collect spans locally whenever anyone is listening.  The
+        # ambient trace context rides along so worker-side spans stay
+        # in the serving request's trace.
         collect = (current_tracer() is not None
                    or any(entry.want_trace for entry in pending))
+        ctx = _trace_ctx() if collect else None
         if self.scheduling == "naive":
-            self._run_naive(pending, finish, collect)
+            self._run_naive(pending, finish, collect, ctx)
         else:
-            self._run_weighted(pending, finish, collect)
+            self._run_weighted(pending, finish, collect, ctx)
 
     def _run_inline(
         self,
@@ -693,9 +725,10 @@ class PredictionEngine:
         pending: Sequence[_Pending],
         finish: Callable[[_Pending, dict[str, Any]], None],
         collect: bool,
+        ctx: tuple[str, str | None] | None = None,
     ) -> None:
         """One pool task per request, awaited in submission order."""
-        jobs = [(execute_request, (entry.kind, entry.payload, collect))
+        jobs = [(execute_request, (entry.kind, entry.payload, collect, ctx))
                 for entry in pending]
         futures = [self._submit(fn, *args) for fn, args in jobs]
         for entry, future, job in zip(pending, futures, jobs):
@@ -709,6 +742,7 @@ class PredictionEngine:
         pending: Sequence[_Pending],
         finish: Callable[[_Pending, dict[str, Any]], None],
         collect: bool,
+        ctx: tuple[str, str | None] | None = None,
     ) -> None:
         """Weight-classed scheduling: chunked light work, split heavy work.
 
@@ -727,13 +761,13 @@ class PredictionEngine:
             chunk_count = min(self.workers, max(1, len(light) // _GROUP_MIN))
             for group in _chunked(light, chunk_count):
                 jobs = [(entry.kind, entry.payload) for entry in group]
-                job = (execute_request_chunk, (jobs, collect))
+                job = (execute_request_chunk, (jobs, collect, ctx))
                 waiters[self._submit(*_flatten(job))] = ("chunk", group, job)
                 self._tasks.inc(shape="chunk")
         singles = [entry for entry in heavy if entry.kind != "restructure"]
         splits = [entry for entry in heavy if entry.kind == "restructure"]
         for entry in singles:
-            job = (execute_request, (entry.kind, entry.payload, collect))
+            job = (execute_request, (entry.kind, entry.payload, collect, ctx))
             waiters[self._submit(*_flatten(job))] = ("single", entry, job)
             self._tasks.inc(shape="single")
         drivers: ThreadPoolExecutor | None = None
@@ -743,7 +777,7 @@ class PredictionEngine:
                 thread_name_prefix="restructure-driver")
             for entry in splits:
                 future = drivers.submit(
-                    self._drive_restructure, entry, collect)
+                    self._drive_restructure, entry, collect, ctx)
                 waiters[future] = ("driver", entry, None)
                 self._tasks.inc(shape="split")
         try:
@@ -768,8 +802,9 @@ class PredictionEngine:
             if drivers is not None:
                 drivers.shutdown(wait=True)
 
-    def _drive_restructure(self, entry: _Pending,
-                           collect: bool) -> dict[str, Any]:
+    def _drive_restructure(self, entry: _Pending, collect: bool,
+                           ctx: tuple[str, str | None] | None = None,
+                           ) -> dict[str, Any]:
         """Run one heavy restructure engine-side (in a driver thread).
 
         Mirrors :func:`execute_request` -- errors become envelopes,
@@ -789,7 +824,8 @@ class PredictionEngine:
                 return error_envelope(error, status=500)
 
         if collect:
-            tracer = Tracer()
+            tracer = (Tracer(trace_id=ctx[0], remote_parent_id=ctx[1])
+                      if ctx else Tracer())
             with tracer.activate():
                 result = run()
             result["trace"] = tracer.export()
@@ -923,7 +959,9 @@ class PredictionEngine:
         # active tracer; with one, a request-local tracer collects them
         # (and handle_batch re-ingests, so nothing is lost either way).
         with trace_span("engine.execute", kind=kind, cached=False):
-            return execute_request(kind, payload, collect_trace=want_trace)
+            return execute_request(
+                kind, payload, collect_trace=want_trace,
+                trace_context=_trace_ctx() if want_trace else None)
 
     # -- placement-memo telemetry --------------------------------------
     def _ingest_placement(self, delta: Mapping[str, int] | None) -> None:

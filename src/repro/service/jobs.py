@@ -41,6 +41,7 @@ from typing import Any, Mapping
 
 from ..ir.digest import program_digest
 from ..ir.parser import parse_program
+from ..obs import Tracer, current_context, get_request_id, trace_span
 from .engine import (
     PredictionEngine,
     _cache_key,
@@ -174,17 +175,29 @@ class JobManager:
         digest = program_digest(parse_program(request.source))
         _machine_fingerprint(request.machine)   # unknown machine -> KeyError
         job_id = f"{digest}.{uuid.uuid4().hex[:8]}"
+        # Capture the submitting request's trace context; the runner
+        # thread (possibly on another shard, after adoption) seeds its
+        # tracer from it so the whole job joins the submit trace.
+        ctx = current_context()
+        trace_block = None
+        if ctx is not None:
+            trace_block = {"trace_id": ctx.trace_id,
+                           "parent_id": ctx.span_id,
+                           "request_id": get_request_id()}
         now = time.time()
-        record = self.store.create(job_id, {
-            "status": "queued", "digest": digest,
-            "machine": request.machine, "priority": request.priority,
-            "request": dict(payload),
-            "owner": self.owner, "heartbeat": now, "created": now,
-            "rounds": 0, "adopted": 0, "cancel_requested": False,
-            "best_sequence": None, "best_cost": None,
-            "result": None, "error": None,
-        })
-        self._enqueue(job_id, request.priority)
+        with trace_span("job.submit", job_id=job_id, digest=digest,
+                        priority=request.priority):
+            record = self.store.create(job_id, {
+                "status": "queued", "digest": digest,
+                "machine": request.machine, "priority": request.priority,
+                "request": dict(payload),
+                "trace": trace_block,
+                "owner": self.owner, "heartbeat": now, "created": now,
+                "rounds": 0, "adopted": 0, "cancel_requested": False,
+                "best_sequence": None, "best_cost": None,
+                "result": None, "error": None,
+            })
+            self._enqueue(job_id, request.priority)
         self._events.inc(event="submitted")
         return record
 
@@ -295,6 +308,44 @@ class JobManager:
             return
         if record.get("owner") != self.owner:
             return   # adopted away while queued here; let the adopter run it
+        trace_info = record.get("trace") or {}
+        if not trace_info.get("trace_id"):
+            # Untraced submit: run with zero tracing machinery -- no
+            # tracer, and every trace_span below is the shared no-op.
+            self._execute_job(job_id, record, trace_info)
+            return
+        tracer = Tracer(metrics=self.metrics,
+                        trace_id=trace_info["trace_id"],
+                        remote_parent_id=trace_info.get("parent_id"))
+        try:
+            with tracer.activate():
+                with trace_span("job.run", job_id=job_id,
+                                owner=self.owner,
+                                resumed_rounds=int(record.get("rounds") or 0)):
+                    self._execute_job(job_id, record, trace_info)
+        finally:
+            # Deposit under the submitting request id (what
+            # /debug/trace stitches on) and the job id (handy when
+            # only the job id is known).
+            spans = tracer.export()
+            request_id = trace_info.get("request_id")
+            if request_id:
+                self.engine.traces.put(request_id, spans)
+            if request_id != job_id:
+                self.engine.traces.put(job_id, spans)
+
+    @staticmethod
+    def _stamp(event: dict[str, Any],
+               trace_info: Mapping[str, Any]) -> dict[str, Any]:
+        """Stamp SSE/ndjson job events with their trace identity."""
+        if trace_info.get("request_id"):
+            event["request_id"] = trace_info["request_id"]
+        if trace_info.get("trace_id"):
+            event["trace_id"] = trace_info["trace_id"]
+        return event
+
+    def _execute_job(self, job_id: str, record: dict[str, Any],
+                     trace_info: Mapping[str, Any]) -> None:
         if record.get("cancel_requested"):
             self._finish_cancelled(job_id)
             return
@@ -324,23 +375,30 @@ class JobManager:
         def on_round(progress) -> bool:
             now = time.perf_counter()
             self._rounds_counter.inc()
-            self._round_seconds.observe(now - round_started[0])
+            round_seconds = now - round_started[0]
+            self._round_seconds.observe(round_seconds)
             round_started[0] = now
-            self.store.append_event(job_id, {
-                "job_id": job_id, "round": progress.round,
-                "best_sequence": progress.best_sequence,
-                "best_cost": str(progress.best_cost),
-                "expanded": progress.expanded,
-                "frontier_size": progress.frontier_size,
-            })
-            self.store.save_checkpoint(
-                job_id, digest=digest, fingerprint=fingerprint,
-                params_key=params, rounds=progress.round,
-                state=progress.checkpoint)
-            current = self.store.update(
-                job_id, rounds=progress.round, heartbeat=time.time(),
-                best_sequence=progress.best_sequence,
-                best_cost=str(progress.best_cost))
+            with trace_span("job.round", job_id=job_id,
+                            round=progress.round,
+                            expanded=progress.expanded,
+                            round_seconds=round(round_seconds, 6)):
+                self.store.append_event(job_id, self._stamp({
+                    "job_id": job_id, "round": progress.round,
+                    "best_sequence": progress.best_sequence,
+                    "best_cost": str(progress.best_cost),
+                    "expanded": progress.expanded,
+                    "frontier_size": progress.frontier_size,
+                }, trace_info))
+                with trace_span("job.checkpoint", job_id=job_id,
+                                round=progress.round):
+                    self.store.save_checkpoint(
+                        job_id, digest=digest, fingerprint=fingerprint,
+                        params_key=params, rounds=progress.round,
+                        state=progress.checkpoint)
+                current = self.store.update(
+                    job_id, rounds=progress.round, heartbeat=time.time(),
+                    best_sequence=progress.best_sequence,
+                    best_cost=str(progress.best_cost))
             # The freshly-read record is authoritative: another shard
             # may have adopted the job (owner fence), or a cancel may
             # have arrived (possibly via a different shard).
@@ -373,44 +431,47 @@ class JobManager:
                                   result)
         except Exception:  # noqa: BLE001 -- cache warming is best-effort
             pass
-        record = self.store.update(
-            job_id, status="done", result=result,
-            best_sequence=result.get("sequence"),
-            best_cost=result.get("cost"),
-            heartbeat=time.time(), finished=time.time())
-        self.store.append_event(job_id, {
-            "job_id": job_id, "final": True, "status": "done",
-            "round": (record or {}).get("rounds", 0),
-            "best_sequence": result.get("sequence"),
-            "best_cost": result.get("cost"),
-        })
-        self.store.drop_checkpoint(job_id)
+        with trace_span("job.finish", job_id=job_id, status="done"):
+            record = self.store.update(
+                job_id, status="done", result=result,
+                best_sequence=result.get("sequence"),
+                best_cost=result.get("cost"),
+                heartbeat=time.time(), finished=time.time())
+            self.store.append_event(job_id, self._stamp({
+                "job_id": job_id, "final": True, "status": "done",
+                "round": (record or {}).get("rounds", 0),
+                "best_sequence": result.get("sequence"),
+                "best_cost": result.get("cost"),
+            }, trace_info))
+            self.store.drop_checkpoint(job_id)
         self._events.inc(event="completed")
 
     # -- terminal transitions -------------------------------------------
     def _finish_cancelled(self, job_id: str) -> dict[str, Any] | None:
-        record = self.store.update(
-            job_id, status="cancelled", heartbeat=time.time(),
-            finished=time.time())
-        self.store.append_event(job_id, {
-            "job_id": job_id, "final": True, "status": "cancelled",
-            "round": (record or {}).get("rounds", 0),
-        })
-        self.store.drop_checkpoint(job_id)
+        with trace_span("job.finish", job_id=job_id, status="cancelled"):
+            record = self.store.update(
+                job_id, status="cancelled", heartbeat=time.time(),
+                finished=time.time())
+            self.store.append_event(job_id, self._stamp({
+                "job_id": job_id, "final": True, "status": "cancelled",
+                "round": (record or {}).get("rounds", 0),
+            }, (record or {}).get("trace") or {}))
+            self.store.drop_checkpoint(job_id)
         self._events.inc(event="cancelled")
         return record
 
     def _finish_error(self, job_id: str, envelope: dict[str, Any]) -> None:
-        record = self.store.update(
-            job_id, status="error", error=envelope,
-            heartbeat=time.time(), finished=time.time())
-        self.store.append_event(job_id, {
-            "job_id": job_id, "final": True, "status": "error",
-            "round": (record or {}).get("rounds", 0),
-            "error": envelope.get("error"),
-            "message": envelope.get("message"),
-        })
-        self.store.drop_checkpoint(job_id)
+        with trace_span("job.finish", job_id=job_id, status="error"):
+            record = self.store.update(
+                job_id, status="error", error=envelope,
+                heartbeat=time.time(), finished=time.time())
+            self.store.append_event(job_id, self._stamp({
+                "job_id": job_id, "final": True, "status": "error",
+                "round": (record or {}).get("rounds", 0),
+                "error": envelope.get("error"),
+                "message": envelope.get("message"),
+            }, (record or {}).get("trace") or {}))
+            self.store.drop_checkpoint(job_id)
         self._events.inc(event="failed")
 
     # -- observability --------------------------------------------------

@@ -13,12 +13,14 @@ threads and the engine may report from worker callbacks.
 
 from __future__ import annotations
 
+import math
 import threading
 from bisect import bisect_left
-from typing import Iterable, Mapping
+from typing import Iterable, Mapping, NamedTuple
 
 __all__ = [
     "Counter", "Gauge", "Histogram", "MetricsRegistry", "DEFAULT_BUCKETS",
+    "MetricSample", "MetricFamily", "parse_exposition", "render_exposition",
 ]
 
 #: Latency buckets in seconds -- spans a cache hit (~10us) to a deep
@@ -29,6 +31,10 @@ DEFAULT_BUCKETS = (
 
 
 def _format_value(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
     if value == int(value):
         return str(int(value))
     return repr(value)
@@ -228,3 +234,201 @@ class MetricsRegistry:
             lines.append(f"# TYPE {metric.name} {metric.kind}")
             lines.extend(metric.render())
         return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# Exposition parsing / re-rendering (mergeable snapshots)
+# ---------------------------------------------------------------------------
+#
+# The cluster router scrapes every shard's ``/metrics`` text and merges
+# the snapshots into one exposition (``repro.obs.aggregate``).  That
+# requires going the other way: text -> structured samples -> text.
+# The parser handles exactly the dialect this module renders plus the
+# common Prometheus conventions (escaped label values, ``+Inf`` bucket
+# bounds, histogram ``_bucket``/``_sum``/``_count`` series grouped
+# under their family).
+
+#: Series-name suffixes that attach a sample to a histogram family.
+_FAMILY_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+class MetricSample(NamedTuple):
+    """One sample line: full series name, sorted labels, value."""
+
+    name: str
+    labels: tuple[tuple[str, str], ...]
+    value: float
+
+
+class MetricFamily:
+    """All samples sharing one metric name (and its HELP/TYPE)."""
+
+    __slots__ = ("name", "kind", "help", "samples")
+
+    def __init__(self, name: str, kind: str = "untyped", help_text: str = ""):
+        self.name = name
+        self.kind = kind
+        self.help = help_text
+        self.samples: list[MetricSample] = []
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"MetricFamily({self.name!r}, kind={self.kind!r}, "
+                f"samples={len(self.samples)})")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MetricFamily):
+            return NotImplemented
+        # Sample order is a rendering concern, not an identity one.
+        return (self.name == other.name and self.kind == other.kind
+                and self.help == other.help
+                and sorted(self.samples) == sorted(other.samples))
+
+    __hash__ = None  # mutable (samples list); unhashable like other mutables
+
+
+def _parse_number(text: str) -> float:
+    text = text.strip()
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    return float(text)
+
+
+def _parse_labels(body: str) -> tuple[tuple[str, str], ...]:
+    """Parse the inside of ``{...}`` honoring value escapes."""
+    labels: list[tuple[str, str]] = []
+    i = 0
+    length = len(body)
+    while i < length:
+        while i < length and body[i] in ", \t":
+            i += 1
+        if i >= length:
+            break
+        eq = body.index("=", i)
+        name = body[i:eq].strip()
+        i = eq + 1
+        if i >= length or body[i] != '"':
+            raise ValueError(f"unquoted label value in {body!r}")
+        i += 1
+        chars: list[str] = []
+        while i < length and body[i] != '"':
+            ch = body[i]
+            if ch == "\\" and i + 1 < length:
+                nxt = body[i + 1]
+                chars.append({"n": "\n", "\\": "\\", '"': '"'}.get(nxt, nxt))
+                i += 2
+            else:
+                chars.append(ch)
+                i += 1
+        if i >= length:
+            raise ValueError(f"unterminated label value in {body!r}")
+        i += 1  # closing quote
+        labels.append((name, "".join(chars)))
+    return tuple(sorted(labels))
+
+
+def _split_sample_line(line: str) -> MetricSample:
+    brace = line.find("{")
+    if brace >= 0:
+        name = line[:brace]
+        # Find the matching close brace, skipping quoted values.
+        i = brace + 1
+        in_quotes = False
+        while i < len(line):
+            ch = line[i]
+            if in_quotes:
+                if ch == "\\":
+                    i += 1
+                elif ch == '"':
+                    in_quotes = False
+            elif ch == '"':
+                in_quotes = True
+            elif ch == "}":
+                break
+            i += 1
+        if i >= len(line):
+            raise ValueError(f"unterminated label set: {line!r}")
+        labels = _parse_labels(line[brace + 1:i])
+        value = _parse_number(line[i + 1:])
+    else:
+        name, _, rest = line.partition(" ")
+        labels = ()
+        # A timestamp column, if present, is dropped.
+        value = _parse_number(rest.split()[0])
+    return MetricSample(name.strip(), labels, value)
+
+
+def _family_name(series: str, families: Mapping[str, MetricFamily]) -> str:
+    if series in families:
+        return series
+    for suffix in _FAMILY_SUFFIXES:
+        if series.endswith(suffix):
+            base = series[: -len(suffix)]
+            if base in families:
+                return base
+    return series
+
+
+def parse_exposition(text: str) -> dict[str, MetricFamily]:
+    """Parse Prometheus text exposition into metric families.
+
+    Unknown series (no preceding ``# TYPE``) become untyped families
+    named after the series itself; malformed lines raise ``ValueError``
+    -- a shard handing back garbage should fail loudly in the merge,
+    not silently drop samples.
+    """
+    families: dict[str, MetricFamily] = {}
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 3 and parts[1] in ("HELP", "TYPE"):
+                name = parts[2]
+                family = families.get(name)
+                if family is None:
+                    family = families[name] = MetricFamily(name)
+                if parts[1] == "TYPE":
+                    family.kind = parts[3].strip() if len(parts) > 3 \
+                        else "untyped"
+                elif len(parts) > 3:
+                    family.help = parts[3]
+            continue
+        sample = _split_sample_line(line)
+        name = _family_name(sample.name, families)
+        family = families.get(name)
+        if family is None:
+            family = families[name] = MetricFamily(name)
+        family.samples.append(sample)
+    return families
+
+
+def render_exposition(families: Iterable[MetricFamily]) -> str:
+    """Render families back to exposition text (inverse of parse)."""
+    lines: list[str] = []
+    for family in sorted(families, key=lambda f: f.name):
+        if family.help:
+            lines.append(f"# HELP {family.name} {family.help}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for sample in sorted(
+                family.samples,
+                key=lambda s: (s.name,
+                               tuple(l for l in s.labels if l[0] != "le"),
+                               _bucket_order(s))):
+            rendered = _render_labels(sample.labels)
+            lines.append(
+                f"{sample.name}{rendered} {_format_value(sample.value)}")
+    return "\n".join(lines) + "\n"
+
+
+def _bucket_order(sample: MetricSample) -> float:
+    """Sort key keeping ``le`` buckets in ascending numeric order."""
+    for name, value in sample.labels:
+        if name == "le":
+            try:
+                return _parse_number(value)
+            except ValueError:
+                return math.inf
+    return -math.inf

@@ -52,6 +52,19 @@ never cost a network hop.
 ``repro_router_failovers_total``, ``repro_router_jobs_total{route}``,
 per-shard ring-ownership and liveness gauges, digest-memo size and
 eviction gauges, and HTTP latency histograms.
+
+* **Observability.**  With ``tracing=True`` every request runs under a
+  ``router.handle`` span, each forward attempt under a
+  ``router.forward`` span, and outgoing hops carry a W3C
+  ``traceparent`` header (plus ``X-Request-Id``) so the shard's spans
+  join the router's trace.  Failed (5xx) and slowest requests are kept
+  in a bounded :class:`~repro.obs.ExemplarRing`;
+  ``GET /debug/trace/<request_id>`` stitches the exemplar's router
+  spans with every live shard's spans for that request into one Chrome
+  trace.  ``GET /metrics/cluster`` scrapes all live shards and merges
+  their expositions with the router's own registry (samples gain a
+  ``shard`` label); an optional :class:`~repro.obs.slo.SloTracker`
+  (``--slo-config``) turns the request stream into burn-rate gauges.
 """
 
 from __future__ import annotations
@@ -73,7 +86,20 @@ from urllib.parse import parse_qs, urlparse
 from ..ir.digest import program_digest
 from ..ir.lexer import LexError
 from ..ir.parser import ParseError, parse_program
-from ..obs import configure_json_logging, new_request_id, set_request_id
+from ..obs import (
+    TRACEPARENT_HEADER,
+    ExemplarRing,
+    Tracer,
+    chrome_trace,
+    configure_json_logging,
+    current_context,
+    format_traceparent,
+    new_request_id,
+    parse_traceparent,
+    set_request_id,
+    trace_span,
+)
+from ..obs.aggregate import merge_expositions
 from .client import HTTPConnectionPool, _split_base_url
 from .jobs import JOBS_PREFIX, job_affinity_key, parse_job_path
 from .metrics import MetricsRegistry
@@ -89,6 +115,8 @@ _MAX_BATCH = 256
 
 _POST_ROUTES = {"/predict": "predict", "/compare": "compare",
                 "/restructure": "restructure"}
+
+_DEBUG_TRACE_PREFIX = "/debug/trace/"
 
 #: Failures that mean "this backend did not answer (usably)": refused or
 #: reset connections, timeouts, and protocol-level garbage -- a dropped
@@ -208,20 +236,43 @@ class _RouterHandler(BaseHTTPRequestHandler):
 
     @contextlib.contextmanager
     def _request_scope(self):
+        router = self.server
         request_id = ((self.headers.get("X-Request-Id") or "").strip()
                       or new_request_id())
         self._request_id = request_id
+        self._last_status = 0
         token = set_request_id(request_id)
+        tracer = None
+        if router.tracing:
+            remote = parse_traceparent(self.headers.get(TRACEPARENT_HEADER))
+            tracer = Tracer(
+                trace_id=remote.trace_id if remote else None,
+                remote_parent_id=remote.span_id if remote else None)
+        scope_start = time.perf_counter()
         try:
-            yield request_id
+            if tracer is None:
+                yield request_id
+            else:
+                with tracer.activate():
+                    with trace_span("router.handle", method=self.command,
+                                    path=self.path):
+                        yield request_id
         finally:
             token.var.reset(token)
+            if tracer is not None:
+                router.exemplars.offer(
+                    request_id, tracer.export(),
+                    time.perf_counter() - scope_start,
+                    failed=self._last_status >= 500)
 
     def _observe(self, endpoint: str, status: int, started: float) -> None:
         router = self.server
+        self._last_status = status
+        elapsed = time.perf_counter() - started
         router.http_requests.inc(endpoint=endpoint, status=str(status))
-        router.http_latency.observe(time.perf_counter() - started,
-                                    endpoint=endpoint)
+        router.http_latency.observe(elapsed, endpoint=endpoint)
+        if router.slo is not None:
+            router.slo.observe(endpoint, elapsed, error=status >= 500)
 
     # -- routes ---------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 -- http.server API
@@ -234,10 +285,21 @@ class _RouterHandler(BaseHTTPRequestHandler):
                 return
             if url.path == "/metrics":
                 self.server.export_ring_metrics()
+                if self.server.slo is not None:
+                    self.server.slo.export(self.server.metrics)
                 text = self.server.metrics.render()
                 self._send_bytes(text.encode("utf-8"), 200,
                                  "text/plain; version=0.0.4")
                 self._observe("metrics", 200, started)
+                return
+            if url.path == "/metrics/cluster":
+                text = self.server.cluster_metrics()
+                self._send_bytes(text.encode("utf-8"), 200,
+                                 "text/plain; version=0.0.4")
+                self._observe("metrics_cluster", 200, started)
+                return
+            if url.path.startswith(_DEBUG_TRACE_PREFIX):
+                self._handle_debug_trace(url, started)
                 return
             if url.path == "/kernels":
                 params = parse_qs(url.query)
@@ -265,6 +327,25 @@ class _RouterHandler(BaseHTTPRequestHandler):
                 {"error": "NotFound", "message": f"no route {url.path}",
                  "status": 404}, 404)
             self._observe("unknown", 404, started)
+
+    def _handle_debug_trace(self, url, started: float) -> None:
+        """One stitched trace for a recent request: the router's own
+        exemplar spans plus every live shard's spans for that id."""
+        request_id = url.path[len(_DEBUG_TRACE_PREFIX):]
+        spans = self.server.fetch_trace(request_id)
+        if not spans:
+            self._send_json(
+                {"error": "NotFound",
+                 "message": f"no trace for request {request_id!r}",
+                 "status": 404}, 404)
+            self._observe("debug_trace", 404, started)
+            return
+        params = parse_qs(url.query)
+        if params.get("format", ["chrome"])[0] == "spans":
+            self._send_json({"request_id": request_id, "spans": spans})
+        else:
+            self._send_json(chrome_trace(spans, process_name="repro"))
+        self._observe("debug_trace", 200, started)
 
     def _forward_job(self, method: str, path: str, body: bytes | None,
                      key: str, request_id: str) -> int:
@@ -384,6 +465,9 @@ class ShardRouter(ThreadingMixIn, HTTPServer):
         local_fallback: bool = True,
         digest_memo_size: int = 4096,
         metrics: MetricsRegistry | None = None,
+        tracing: bool = False,
+        trace_exemplars: int = 32,
+        slo: Any = None,
     ):
         if not backends:
             raise ValueError("router needs at least one backend URL")
@@ -401,6 +485,9 @@ class ShardRouter(ThreadingMixIn, HTTPServer):
         self.probe_interval = probe_interval
         self.probe_timeout = probe_timeout
         self.local_fallback = local_fallback
+        self.tracing = tracing
+        self.slo = slo
+        self.exemplars = ExemplarRing(capacity=trace_exemplars)
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._digests = _DigestMemo(maxsize=digest_memo_size)
         self._local_engine = None
@@ -521,17 +608,36 @@ class ShardRouter(ThreadingMixIn, HTTPServer):
         raise ProtocolError(f"unknown request kind {kind!r}")
 
     # -- forwarding -----------------------------------------------------
-    def _forward_once(self, state: BackendState, method: str, path: str,
-                      body: bytes | None,
-                      request_id: str) -> tuple[int, bytes]:
+    def _hop_headers(self, request_id: str, *, json_body: bool = False,
+                     traceparent: str | None = None) -> dict[str, str]:
+        """Headers every outgoing hop carries: the request id (so the
+        shard logs and deposits its trace under the *router's* id, not
+        a fresh one) and, when tracing, the ``traceparent`` of the
+        innermost open span.  ``traceparent`` is explicit for hops made
+        from ad-hoc threads (batch groups) where no ambient context
+        exists."""
         headers = {"X-Request-Id": request_id}
-        if body is not None:
+        if traceparent is None:
+            context = current_context()
+            if context is not None:
+                traceparent = format_traceparent(context)
+        if traceparent:
+            headers[TRACEPARENT_HEADER] = traceparent
+        if json_body:
             headers["Content-Type"] = "application/json"
+        return headers
+
+    def _forward_once(self, state: BackendState, method: str, path: str,
+                      body: bytes | None, request_id: str,
+                      traceparent: str | None = None) -> tuple[int, bytes]:
+        headers = self._hop_headers(request_id, json_body=body is not None,
+                                    traceparent=traceparent)
         status, _, payload = state.pool.request(method, path, body, headers)
         return status, payload
 
     def _forward(self, key: str, method: str, path: str,
                  body: bytes | None, request_id: str,
+                 traceparent: str | None = None,
                  ) -> tuple[int, bytes] | None:
         """Forward to the owning shard, failing over along the ring.
 
@@ -556,8 +662,10 @@ class ShardRouter(ThreadingMixIn, HTTPServer):
                 if self.backoff:
                     time.sleep(min(self.backoff * (2 ** (attempt - 1)), 1.0))
             try:
-                status, payload = self._forward_once(
-                    state, method, path, body, request_id)
+                with trace_span("router.forward", shard=state.url,
+                                method=method, path=path, attempt=attempt):
+                    status, payload = self._forward_once(
+                        state, method, path, body, request_id, traceparent)
             except _CONNECT_ERRORS as error:
                 outcome = ("timeout" if isinstance(error, TimeoutError)
                            else "connection_error")
@@ -608,7 +716,7 @@ class ShardRouter(ThreadingMixIn, HTTPServer):
                 state.host, state.port, timeout=state.pool.timeout)
             try:
                 connection.request("GET", path,
-                                   headers={"X-Request-Id": request_id})
+                                   headers=self._hop_headers(request_id))
                 response = connection.getresponse()
             except _CONNECT_ERRORS as error:
                 self.forwards.inc(shard=state.url, outcome="connection_error")
@@ -693,14 +801,16 @@ class ShardRouter(ThreadingMixIn, HTTPServer):
         return request, self._ring_key(kind, request)
 
     def route_single(self, kind: str, payload: Any,
-                     request_id: str) -> dict[str, Any]:
+                     request_id: str,
+                     traceparent: str | None = None) -> dict[str, Any]:
         try:
             _, key = self._validated(kind, payload)
         except (ProtocolError, ParseError, LexError, ValueError,
                 KeyError) as error:
             return error_envelope(error, status=400)
         body = json.dumps(payload).encode("utf-8")
-        outcome = self._forward(key, "POST", f"/{kind}", body, request_id)
+        outcome = self._forward(key, "POST", f"/{kind}", body, request_id,
+                                traceparent)
         if outcome is None:
             if self.local_fallback:
                 return self._serve_locally(kind, payload)
@@ -740,6 +850,12 @@ class ShardRouter(ThreadingMixIn, HTTPServer):
         the normal single-request failover path, so one dead backend
         costs its items a retry, never the whole batch.
         """
+        # Batch groups forward from ad-hoc threads, where the handler's
+        # contextvars (active tracer, current span) are invisible --
+        # capture the trace context here, once, and hand it to every hop.
+        context = current_context()
+        traceparent = (format_traceparent(context)
+                       if context is not None else None)
         results: list[dict[str, Any] | None] = [None] * len(items)
         groups: dict[str, list[int]] = {}
         keys: dict[int, str] = {}
@@ -761,14 +877,15 @@ class ShardRouter(ThreadingMixIn, HTTPServer):
             sub = [items[i] for i in indexes]
             if owner:
                 forwarded = self._forward_group(
-                    owner, kind, sub, request_id)
+                    owner, kind, sub, request_id, traceparent)
                 if forwarded is not None:
                     for i, result in zip(indexes, forwarded):
                         results[i] = result
                     return
             # Shard gone (or nothing owned the keys): per-item failover.
             for i in indexes:
-                results[i] = self.route_single(kind, items[i], request_id)
+                results[i] = self.route_single(kind, items[i], request_id,
+                                               traceparent)
 
         pending = [(owner, indexes) for owner, indexes in groups.items()]
         if len(pending) <= 1:
@@ -794,12 +911,13 @@ class ShardRouter(ThreadingMixIn, HTTPServer):
         return None
 
     def _forward_group(self, owner: str, kind: str, sub: Sequence[Any],
-                       request_id: str) -> list[dict[str, Any]] | None:
+                       request_id: str, traceparent: str | None = None,
+                       ) -> list[dict[str, Any]] | None:
         state = self.backends[owner]
         body = json.dumps(list(sub)).encode("utf-8")
         try:
             status, payload = self._forward_once(
-                state, "POST", f"/{kind}", body, request_id)
+                state, "POST", f"/{kind}", body, request_id, traceparent)
         except _CONNECT_ERRORS:
             self.forwards.inc(shard=state.url, outcome="connection_error")
             if state.mark_failure():
@@ -824,6 +942,70 @@ class ShardRouter(ThreadingMixIn, HTTPServer):
         return decoded
 
     # -- observability --------------------------------------------------
+    def cluster_metrics(self) -> str:
+        """Scrape every live shard's ``/metrics`` and merge the texts
+        (plus the router's own registry, as ``shard="router"``) into one
+        cluster exposition -- the body of ``GET /metrics/cluster``.
+
+        Dead or unparseable shards are skipped, not fatal: the merged
+        view should degrade exactly like the data plane does.
+        """
+        texts: dict[str, str] = {}
+        for url, state in self.backends.items():
+            if not state.healthy:
+                continue
+            try:
+                status, _, payload = state.pool.request(
+                    "GET", "/metrics", None, {})
+            except _CONNECT_ERRORS:
+                if state.mark_failure():
+                    log.warning("backend down", extra={
+                        "fields": {"shard": state.url}})
+                continue
+            state.mark_success()
+            if status != 200:
+                continue
+            texts[url] = payload.decode("utf-8", "replace")
+        self.export_ring_metrics()
+        if self.slo is not None:
+            self.slo.export(self.metrics)
+        texts["router"] = self.metrics.render()
+        return merge_expositions(texts)
+
+    def fetch_trace(self, request_id: str) -> list[dict[str, Any]]:
+        """Stitch one request's spans: the router's exemplar (if kept)
+        plus every live shard's ``/debug/trace`` spans for that id,
+        merged and ordered by wall-clock start."""
+        spans: list[dict[str, Any]] = list(
+            self.exemplars.get(request_id) or [])
+        for url, state in self.backends.items():
+            if not state.healthy:
+                continue
+            try:
+                status, _, payload = state.pool.request(
+                    "GET", f"/debug/trace/{request_id}?format=spans",
+                    None, {})
+            except _CONNECT_ERRORS:
+                if state.mark_failure():
+                    log.warning("backend down", extra={
+                        "fields": {"shard": state.url}})
+                continue
+            state.mark_success()
+            if status != 200:
+                continue
+            try:
+                decoded = json.loads(payload.decode("utf-8"))
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                continue
+            if isinstance(decoded, dict):
+                shard_spans = decoded.get("spans") or []
+                for span in shard_spans:
+                    if isinstance(span, dict):
+                        span.setdefault("attrs", {}).setdefault("shard", url)
+                        spans.append(span)
+        spans.sort(key=lambda s: s.get("start", 0.0))
+        return spans
+
     def export_ring_metrics(self) -> None:
         ownership = self.ring.ownership()
         own_gauge = self.metrics.gauge(
@@ -848,6 +1030,10 @@ class ShardRouter(ThreadingMixIn, HTTPServer):
         self.metrics.gauge(
             "repro_router_digest_memo_size",
             "Configured digest-memo capacity.").set(self._digests.maxsize)
+        self.metrics.gauge(
+            "repro_router_trace_exemplars",
+            "Exemplar traces retained (failed + slowest).",
+        ).set(len(self.exemplars))
 
 
 def make_router(

@@ -48,9 +48,12 @@ from typing import Any
 from urllib.parse import parse_qs, urlparse
 
 from ..obs import (
+    TRACEPARENT_HEADER,
     Tracer,
+    chrome_trace,
     configure_json_logging,
     new_request_id,
+    parse_traceparent,
     render_tree,
     set_request_id,
     trace_span,
@@ -70,6 +73,9 @@ _MAX_BATCH = 256
 _POST_ROUTES = {"/predict": "predict", "/compare": "compare",
                 "/restructure": "restructure"}
 _GET_PATHS = ("/healthz", "/metrics", "/kernels")
+
+#: Route prefix for recent-trace retrieval (shared with the router).
+_DEBUG_TRACE_PREFIX = "/debug/trace/"
 
 #: How often the events stream re-reads the store while a job runs.
 _EVENT_POLL_SECONDS = 0.05
@@ -113,6 +119,12 @@ class _Handler(BaseHTTPRequestHandler):
         under a request-local tracer whose spans feed the phase
         histograms, and dumps the span tree to the log when the request
         exceeds the server's slow threshold.
+
+        An incoming ``traceparent`` header (the router sends one on
+        every forwarded hop) seeds the tracer, so this process's spans
+        join the caller's trace instead of starting a fresh one.
+        Finished spans are deposited in the engine's trace buffer under
+        the request id, backing ``GET /debug/trace/<request_id>``.
         """
         server = self.server
         request_id = ((self.headers.get("X-Request-Id") or "").strip()
@@ -120,8 +132,13 @@ class _Handler(BaseHTTPRequestHandler):
         self._request_id = request_id
         token = set_request_id(request_id)
         started = time.perf_counter()
-        tracer = (Tracer(metrics=server.engine.metrics)
-                  if server.tracing else None)
+        tracer = None
+        if server.tracing:
+            remote = parse_traceparent(self.headers.get(TRACEPARENT_HEADER))
+            tracer = Tracer(
+                metrics=server.engine.metrics,
+                trace_id=remote.trace_id if remote else None,
+                remote_parent_id=remote.span_id if remote else None)
         try:
             if tracer is not None:
                 with tracer.activate(), trace_span(
@@ -132,6 +149,8 @@ class _Handler(BaseHTTPRequestHandler):
                 yield
         finally:
             elapsed = time.perf_counter() - started
+            if tracer is not None:
+                server.engine.traces.put(request_id, tracer.export())
             if elapsed >= server.slow_request_seconds:
                 fields: dict[str, Any] = {
                     "endpoint": endpoint,
@@ -143,6 +162,7 @@ class _Handler(BaseHTTPRequestHandler):
             token.var.reset(token)
 
     def _observe(self, endpoint: str, status: int, started: float) -> None:
+        elapsed = time.perf_counter() - started
         metrics = self.server.engine.metrics
         metrics.counter(
             "repro_http_requests_total",
@@ -151,7 +171,9 @@ class _Handler(BaseHTTPRequestHandler):
         metrics.histogram(
             "repro_http_request_seconds",
             "HTTP request latency by endpoint.",
-        ).observe(time.perf_counter() - started, endpoint=endpoint)
+        ).observe(elapsed, endpoint=endpoint)
+        if self.server.slo is not None:
+            self.server.slo.observe(endpoint, elapsed, error=status >= 500)
 
     def _read_body(self) -> Any:
         length = int(self.headers.get("Content-Length") or 0)
@@ -254,7 +276,7 @@ class _Handler(BaseHTTPRequestHandler):
     def _allowed_methods(path: str) -> str | None:
         if path in _POST_ROUTES or path == _JOBS_PREFIX:
             return "POST"
-        if path in _GET_PATHS:
+        if path in _GET_PATHS or path.startswith(_DEBUG_TRACE_PREFIX):
             return "GET"
         route = _Handler._job_route(path)
         if route is not None:
@@ -276,10 +298,15 @@ class _Handler(BaseHTTPRequestHandler):
             engine.export_cache_metrics()
             if engine.jobs is not None:
                 engine.jobs.export_metrics()
+            if self.server.slo is not None:
+                self.server.slo.export(engine.metrics)
             text = engine.metrics.render()
             self._send_bytes(text.encode("utf-8"), 200,
                              "text/plain; version=0.0.4")
             self._observe("metrics", 200, started)
+            return
+        if url.path.startswith(_DEBUG_TRACE_PREFIX):
+            self._handle_debug_trace(url, started)
             return
         if url.path == "/kernels":
             params = parse_qs(url.query)
@@ -298,6 +325,31 @@ class _Handler(BaseHTTPRequestHandler):
                 self._handle_job_status(job_id, started)
             return
         self._reject_method()
+
+    def _handle_debug_trace(self, url, started: float) -> None:
+        """Serve a recently deposited trace by request id.
+
+        ``?format=chrome`` (default) returns a Chrome ``trace_event``
+        document ready for ``chrome://tracing`` / Perfetto;
+        ``?format=spans`` returns the raw span dicts -- the shape the
+        router stitches into its own cluster-wide view.
+        """
+        request_id = url.path[len(_DEBUG_TRACE_PREFIX):].strip("/")
+        spans = self.server.engine.traces.get(request_id)
+        if not request_id or not spans:
+            self._send_json(
+                {"error": "NotFound",
+                 "message": f"no retained trace for request "
+                            f"{request_id or '<empty>'}",
+                 "status": 404}, 404)
+            self._observe("debug_trace", 404, started)
+            return
+        fmt = parse_qs(url.query).get("format", ["chrome"])[0]
+        if fmt == "spans":
+            self._send_json({"request_id": request_id, "spans": spans}, 200)
+        else:
+            self._send_json(chrome_trace(spans, process_name="repro"), 200)
+        self._observe("debug_trace", 200, started)
 
     # -- job routes -----------------------------------------------------
     def _jobs_unavailable(self, endpoint: str, started: float) -> None:
@@ -518,12 +570,15 @@ class PredictionServer(ThreadingMixIn, HTTPServer):
         tracing: bool = True,
         slow_request_seconds: float = 1.0,
         shard_of: str | None = None,
+        slo: Any = None,
     ):
         super().__init__(address, _Handler)
         self.engine = engine
         self.tracing = tracing
         self.slow_request_seconds = slow_request_seconds
         self.shard_of = shard_of
+        #: Optional repro.obs.slo.SloTracker fed by every request.
+        self.slo = slo
         if shard_of:
             index, _, count = shard_of.partition("/")
             gauge = engine.metrics.gauge(
@@ -561,12 +616,13 @@ def make_server(
     tracing: bool = True,
     slow_request_seconds: float = 1.0,
     shard_of: str | None = None,
+    slo: Any = None,
 ) -> PredictionServer:
     """Bind (``port=0`` picks an ephemeral port) without serving yet."""
     return PredictionServer(
         (host, port), engine,
         tracing=tracing, slow_request_seconds=slow_request_seconds,
-        shard_of=shard_of,
+        shard_of=shard_of, slo=slo,
     )
 
 
@@ -578,6 +634,7 @@ def run_server(
     tracing: bool = True,
     slow_request_seconds: float = 1.0,
     shard_of: str | None = None,
+    slo: Any = None,
 ) -> None:
     """Blocking serve loop with clean Ctrl-C/SIGTERM shutdown (the CLI path)."""
     configure_json_logging()
@@ -588,7 +645,7 @@ def run_server(
     server = make_server(engine, host, port,
                          tracing=tracing,
                          slow_request_seconds=slow_request_seconds,
-                         shard_of=shard_of)
+                         shard_of=shard_of, slo=slo)
 
     def _terminate(signum, frame):
         raise SystemExit(128 + signum)

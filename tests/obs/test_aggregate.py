@@ -1,0 +1,147 @@
+"""Cluster metrics merging and the ``repro top`` summary pipeline."""
+
+from __future__ import annotations
+
+import math
+
+from repro.obs.aggregate import (
+    format_top,
+    histogram_quantile,
+    merge_expositions,
+    slo_rows_from_exposition,
+    summarize_cluster,
+)
+from repro.service.metrics import MetricsRegistry, parse_exposition
+
+
+def shard_text(endpoint_count: int, *, gauge: float = 1.0) -> str:
+    registry = MetricsRegistry()
+    counter = registry.counter("repro_http_requests_total", "Requests.")
+    counter.inc(endpoint_count, endpoint="predict", status="200")
+    registry.gauge("repro_cache_entries", "Cache size.").set(gauge)
+    histogram = registry.histogram("repro_http_request_seconds", "Latency.")
+    for _ in range(endpoint_count):
+        histogram.observe(0.01, endpoint="predict")
+    return registry.render()
+
+
+class TestMergeExpositions:
+    def test_sum_over_shard_label_equals_sum_of_scrapes(self):
+        merged = merge_expositions({
+            "http://a:1": shard_text(3),
+            "http://b:2": shard_text(5),
+        })
+        families = parse_exposition(merged)
+        samples = families["repro_http_requests_total"].samples
+        by_shard = {dict(s.labels)["shard"]: s.value for s in samples}
+        assert by_shard == {"http://a:1": 3.0, "http://b:2": 5.0}
+        assert sum(by_shard.values()) == 8.0
+
+    def test_histogram_series_keep_per_shard_values(self):
+        merged = merge_expositions({
+            "http://a:1": shard_text(2),
+            "http://b:2": shard_text(4),
+        })
+        families = parse_exposition(merged)
+        counts = [
+            s.value
+            for s in families["repro_http_request_seconds"].samples
+            if s.name.endswith("_count")
+        ]
+        assert sorted(counts) == [2.0, 4.0]
+
+    def test_gauges_gain_synthetic_max_min(self):
+        merged = merge_expositions({
+            "http://a:1": shard_text(1, gauge=10.0),
+            "http://b:2": shard_text(1, gauge=40.0),
+        })
+        families = parse_exposition(merged)
+        by_shard = {dict(s.labels)["shard"]: s.value
+                    for s in families["repro_cache_entries"].samples}
+        assert by_shard["max"] == 40.0
+        assert by_shard["min"] == 10.0
+
+    def test_gauge_minmax_can_be_disabled(self):
+        merged = merge_expositions(
+            {"http://a:1": shard_text(1)}, gauge_minmax=False)
+        families = parse_exposition(merged)
+        shards = {dict(s.labels)["shard"]
+                  for s in families["repro_cache_entries"].samples}
+        assert shards == {"http://a:1"}
+
+    def test_kind_conflict_coerces_to_untyped(self):
+        merged = merge_expositions({
+            "a": "# TYPE m counter\nm 1\n",
+            "b": "# TYPE m gauge\nm 2\n",
+        })
+        assert parse_exposition(merged)["m"].kind == "untyped"
+
+    def test_existing_shard_label_is_replaced(self):
+        merged = merge_expositions(
+            {"router": 'm{shard="stale"} 7\n'})
+        [sample] = parse_exposition(merged)["m"].samples
+        assert dict(sample.labels)["shard"] == "router"
+
+
+class TestHistogramQuantile:
+    def test_interpolates_within_bucket(self):
+        buckets = [(0.1, 50.0), (1.0, 100.0), (math.inf, 100.0)]
+        assert histogram_quantile(0.5, buckets) == 0.1
+        assert histogram_quantile(0.75, buckets) == \
+            0.1 + (1.0 - 0.1) * 0.5
+
+    def test_inf_bucket_answers_previous_bound(self):
+        buckets = [(0.1, 0.0), (math.inf, 10.0)]
+        assert histogram_quantile(0.99, buckets) == 0.1
+
+    def test_empty_is_nan(self):
+        assert math.isnan(histogram_quantile(0.5, []))
+        assert math.isnan(histogram_quantile(0.5, [(1.0, 0.0)]))
+
+
+class TestSummarize:
+    def test_rows_per_shard_endpoint(self):
+        merged = merge_expositions({
+            "http://a:1": shard_text(3),
+            "http://b:2": shard_text(5),
+        })
+        rows = summarize_cluster(merged)
+        real = [r for r in rows if r["shard"].startswith("http")]
+        assert {(r["shard"], r["requests"]) for r in real} == {
+            ("http://a:1", 3.0), ("http://b:2", 5.0)}
+        for row in real:
+            assert not math.isnan(row["p50"])
+
+    def test_single_server_scrape_maps_to_local(self):
+        rows = summarize_cluster(shard_text(2))
+        assert rows[0]["shard"] == "local"
+        assert rows[0]["requests"] == 2.0
+
+    def test_errors_counted_from_5xx_status(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_http_requests_total", "Requests.")
+        counter.inc(3, endpoint="predict", status="200")
+        counter.inc(2, endpoint="predict", status="503")
+        [row] = summarize_cluster(registry.render())
+        assert row["requests"] == 5.0
+        assert row["errors"] == 2.0
+
+    def test_format_top_skips_synthetic_shards(self):
+        merged = merge_expositions({
+            "http://a:1": shard_text(1, gauge=2.0),
+            "http://b:2": shard_text(1, gauge=3.0),
+        })
+        table = format_top(summarize_cluster(merged))
+        assert "http://a:1" in table
+        assert "SHARD" in table
+
+    def test_slo_rows_flag_violations(self):
+        registry = MetricsRegistry()
+        registry.gauge("repro_slo_latency_burn_rate", "Burn.").set(
+            2.5, endpoint="predict", quantile="p95")
+        registry.gauge("repro_slo_error_burn_rate", "Burn.").set(
+            0.1, endpoint="predict")
+        rows = slo_rows_from_exposition(registry.render())
+        assert rows[0]["burn"] == 2.5           # sorted worst first
+        table = format_top([], slo_rows=rows)
+        assert "!!" in table

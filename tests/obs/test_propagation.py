@@ -1,0 +1,145 @@
+"""W3C traceparent carry, trace buffers, and exemplar retention."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import (
+    ExemplarRing,
+    TraceBuffer,
+    TraceContext,
+    Tracer,
+    current_context,
+    format_traceparent,
+    parse_traceparent,
+    trace_span,
+)
+
+
+class TestTraceparent:
+    def test_round_trip(self):
+        context = TraceContext("ab" * 16, "cd" * 8)
+        header = format_traceparent(context)
+        assert header == f"00-{'ab' * 16}-{'cd' * 8}-01"
+        parsed = parse_traceparent(header)
+        assert parsed.trace_id == context.trace_id
+        assert parsed.span_id == context.span_id
+        assert parsed.sampled is True
+
+    def test_unsampled_flag_round_trips(self):
+        context = TraceContext("ab" * 16, "cd" * 8, sampled=False)
+        parsed = parse_traceparent(format_traceparent(context))
+        assert parsed.sampled is False
+
+    def test_no_span_id_means_no_header(self):
+        assert format_traceparent(TraceContext("ab" * 16, None)) is None
+
+    @pytest.mark.parametrize("header", [
+        None,
+        "",
+        "garbage",
+        "00-short-cdcdcdcdcdcdcdcd-01",
+        f"00-{'AB' * 16}-{'cd' * 8}-01",          # uppercase hex
+        f"ff-{'ab' * 16}-{'cd' * 8}-01",          # reserved version
+        f"00-{'0' * 32}-{'cd' * 8}-01",           # all-zero trace id
+        f"00-{'ab' * 16}-{'0' * 16}-01",          # all-zero span id
+        f"00-{'ab' * 16}-{'cd' * 8}-01-extra",
+    ])
+    def test_malformed_headers_parse_to_none(self, header):
+        assert parse_traceparent(header) is None
+
+    def test_parse_tolerates_surrounding_whitespace(self):
+        header = f"  00-{'ab' * 16}-{'cd' * 8}-01  "
+        assert parse_traceparent(header) is not None
+
+
+class TestCurrentContext:
+    def test_none_without_tracer(self):
+        assert current_context() is None
+
+    def test_reflects_innermost_open_span(self):
+        tracer = Tracer()
+        with tracer.activate():
+            with trace_span("outer"):
+                with trace_span("inner") as inner:
+                    context = current_context()
+                    assert context.trace_id == tracer.trace_id
+                    assert context.span_id == inner.span_id
+
+    def test_falls_back_to_remote_parent(self):
+        tracer = Tracer(trace_id="ab" * 16, remote_parent_id="cd" * 8)
+        with tracer.activate():
+            context = current_context()
+        assert context == TraceContext("ab" * 16, "cd" * 8)
+
+    def test_seeded_root_span_parents_under_remote(self):
+        tracer = Tracer(trace_id="ab" * 16, remote_parent_id="cd" * 8)
+        with tracer.activate():
+            with trace_span("root"):
+                pass
+        [span] = tracer.export()
+        assert span["trace_id"] == "ab" * 16
+        assert span["parent_id"] == "cd" * 8
+
+
+class TestTraceBuffer:
+    def test_put_get(self):
+        buffer = TraceBuffer(capacity=4)
+        buffer.put("r1", [{"name": "a"}])
+        assert buffer.get("r1") == [{"name": "a"}]
+        assert buffer.get("missing") is None
+
+    def test_repeat_put_extends_the_same_trace(self):
+        buffer = TraceBuffer(capacity=4)
+        buffer.put("r1", [{"name": "submit"}])
+        buffer.put("r1", [{"name": "job.run"}])
+        assert [s["name"] for s in buffer.get("r1")] == ["submit", "job.run"]
+        assert len(buffer) == 1
+
+    def test_eviction_is_oldest_first(self):
+        buffer = TraceBuffer(capacity=2)
+        for rid in ("r1", "r2", "r3"):
+            buffer.put(rid, [{"name": rid}])
+        assert buffer.get("r1") is None
+        assert buffer.request_ids() == ["r2", "r3"]
+
+    def test_empty_ids_and_spans_are_ignored(self):
+        buffer = TraceBuffer(capacity=2)
+        buffer.put("", [{"name": "a"}])
+        buffer.put("r1", [])
+        assert len(buffer) == 0
+
+
+class TestExemplarRing:
+    def test_failed_requests_always_admitted(self):
+        ring = ExemplarRing(capacity=2)
+        for index in range(4):
+            ring.offer(f"f{index}", [{"name": "x"}], 0.001, failed=True)
+        assert ring.get("f0") is None          # oldest evicted
+        assert ring.get("f3") is not None
+
+    def test_slow_compartment_keeps_the_slowest(self):
+        ring = ExemplarRing(capacity=2)
+        ring.offer("fast", [{"name": "x"}], 0.01)
+        ring.offer("slow", [{"name": "x"}], 1.0)
+        ring.offer("slower", [{"name": "x"}], 2.0)   # evicts "fast"
+        ring.offer("fastest", [{"name": "x"}], 0.001)  # not admitted
+        assert ring.get("fast") is None
+        assert ring.get("fastest") is None
+        assert ring.get("slow") is not None
+        assert ring.get("slower") is not None
+
+    def test_snapshot_sorted_slowest_first(self):
+        ring = ExemplarRing(capacity=4)
+        ring.offer("a", [{"name": "x"}], 0.5)
+        ring.offer("b", [{"name": "x"}], 2.0)
+        ring.offer("c", [{"name": "x"}], 0.1, failed=True)
+        summaries = ring.snapshot()
+        assert [s["request_id"] for s in summaries] == ["b", "a", "c"]
+        assert summaries[2]["failed"] is True
+
+    def test_duplicate_request_id_keeps_first_trace(self):
+        ring = ExemplarRing(capacity=4)
+        ring.offer("r", [{"name": "first"}], 0.5)
+        ring.offer("r", [{"name": "second"}], 3.0)
+        assert [s["name"] for s in ring.get("r")] == ["first"]

@@ -1,0 +1,154 @@
+"""Sliding-window SLO tracking: quantiles, burn rates, config parsing."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.obs.slo import (
+    DEFAULT_WINDOW_SECONDS,
+    Objective,
+    SloTracker,
+    load_slo_config,
+    parse_slo_config,
+)
+from repro.service.metrics import MetricsRegistry
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 1000.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def make_tracker(objectives=None, **kwargs):
+    clock = FakeClock()
+    tracker = SloTracker(objectives, clock=clock, **kwargs)
+    return tracker, clock
+
+
+class TestSnapshot:
+    def test_quantiles_and_error_ratio(self):
+        tracker, _ = make_tracker()
+        for ms in range(1, 101):                      # 1ms .. 100ms
+            tracker.observe("predict", ms / 1000.0)
+        tracker.observe("predict", 0.5, error=True)
+        entry = tracker.snapshot()["predict"]
+        assert entry["count"] == 101
+        assert entry["error_ratio"] == pytest.approx(1 / 101)
+        assert entry["p50"] == pytest.approx(0.0505, abs=0.005)
+        assert entry["p99"] <= 0.5
+
+    def test_window_pruning(self):
+        tracker, clock = make_tracker(window=10.0)
+        tracker.observe("predict", 1.0)
+        clock.advance(11.0)
+        tracker.observe("predict", 0.001)
+        entry = tracker.snapshot()["predict"]
+        assert entry["count"] == 1
+        assert entry["p99"] == pytest.approx(0.001)
+
+    def test_max_samples_bounds_memory(self):
+        tracker, _ = make_tracker(max_samples=8)
+        for _ in range(100):
+            tracker.observe("predict", 0.001)
+        assert tracker.snapshot()["predict"]["count"] == 8
+
+    def test_empty_endpoint_absent(self):
+        tracker, _ = make_tracker()
+        assert tracker.snapshot() == {}
+
+
+class TestBurnRates:
+    def test_latency_burn_is_observed_over_objective(self):
+        tracker, _ = make_tracker(
+            {"predict": Objective(p95=0.1, error_ratio=0.1)})
+        for _ in range(10):
+            tracker.observe("predict", 0.2)
+        burn = tracker.snapshot()["predict"]["burn"]
+        assert burn["p95"] == pytest.approx(2.0)
+        assert burn["error_ratio"] == 0.0
+
+    def test_wildcard_objective_is_the_fallback(self):
+        tracker, _ = make_tracker({"*": Objective(p99=1.0)})
+        tracker.observe("compare", 0.5)
+        assert tracker.snapshot()["compare"]["burn"]["p99"] == \
+            pytest.approx(0.5)
+        assert tracker.objective_for("compare") is tracker.objectives["*"]
+
+    def test_zero_error_objective_burns_infinitely(self):
+        tracker, _ = make_tracker({"predict": Objective(error_ratio=0.0)})
+        tracker.observe("predict", 0.001)
+        assert tracker.snapshot()["predict"]["burn"]["error_ratio"] == 0.0
+        tracker.observe("predict", 0.001, error=True)
+        assert math.isinf(
+            tracker.snapshot()["predict"]["burn"]["error_ratio"])
+
+    def test_no_objective_means_no_burn(self):
+        tracker, _ = make_tracker()
+        tracker.observe("predict", 0.5)
+        assert tracker.snapshot()["predict"]["burn"] == {}
+
+
+class TestExport:
+    def test_gauges_written_to_registry(self):
+        tracker, _ = make_tracker(
+            {"predict": Objective(p95=0.1, error_ratio=0.01)})
+        for _ in range(4):
+            tracker.observe("predict", 0.2)
+        registry = MetricsRegistry()
+        tracker.export(registry)
+        text = registry.render()
+        assert ('repro_slo_requests{endpoint="predict"} 4' in text)
+        assert ('repro_slo_latency_burn_rate{endpoint="predict",'
+                'quantile="p95"} 2' in text)
+        assert ('repro_slo_error_burn_rate{endpoint="predict"} 0' in text)
+        assert "repro_slo_window_seconds" in text
+
+
+class TestConfig:
+    def test_parse_full_config(self):
+        tracker = parse_slo_config({
+            "window_seconds": 60,
+            "endpoints": {
+                "predict": {"p95": 0.05, "error_ratio": 0.01},
+                "*": {"p99": 1.0},
+            },
+        })
+        assert tracker.window == 60.0
+        assert tracker.objectives["predict"].p95 == 0.05
+        assert tracker.objective_for("anything").p99 == 1.0
+
+    def test_defaults(self):
+        tracker = parse_slo_config({})
+        assert tracker.window == DEFAULT_WINDOW_SECONDS
+        assert tracker.objectives == {}
+
+    @pytest.mark.parametrize("data", [
+        [],
+        {"window_seconds": 0},
+        {"window_seconds": -5},
+        {"endpoints": "predict"},
+        {"endpoints": {"predict": "fast"}},
+        {"endpoints": {"predict": {"p97": 0.1}}},
+    ])
+    def test_invalid_configs_raise(self, data):
+        with pytest.raises(ValueError):
+            parse_slo_config(data)
+
+    def test_load_from_disk(self, tmp_path):
+        path = tmp_path / "slo.json"
+        path.write_text(json.dumps({
+            "window_seconds": 30,
+            "endpoints": {"predict": {"p50": 0.01}},
+        }))
+        tracker = load_slo_config(str(path))
+        assert tracker.window == 30.0
+        assert tracker.objectives["predict"].p50 == 0.01

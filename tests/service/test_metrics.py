@@ -1,8 +1,16 @@
 """Prometheus text rendering of counters, gauges, and histograms."""
 
+import math
+
 import pytest
 
-from repro.service.metrics import Counter, Histogram, MetricsRegistry
+from repro.service.metrics import (
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    parse_exposition,
+    render_exposition,
+)
 
 
 def test_counter_labels_and_render():
@@ -98,3 +106,106 @@ def test_histogram_reset_drops_observations():
     histogram.reset()
     assert histogram.count(endpoint="predict") == 0
     assert histogram.render() == []
+
+
+def test_histogram_count_sum_consistent_after_reset():
+    """Post-reset observations must rebuild a coherent family: the
+    ``+Inf`` bucket, ``_count``, and observation count all agree."""
+    histogram = Histogram("lat", "", buckets=(0.1, 1.0))
+    histogram.observe(0.05, endpoint="predict")
+    histogram.observe(5.0, endpoint="predict")
+    histogram.reset()
+    histogram.observe(0.5, endpoint="predict")
+    lines = histogram.render()
+    assert 'lat_bucket{endpoint="predict",le="+Inf"} 1' in lines
+    assert 'lat_count{endpoint="predict"} 1' in lines
+    assert 'lat_sum{endpoint="predict"} 0.5' in lines
+    assert histogram.count(endpoint="predict") == 1
+
+
+# ----------------------------------------------------------------------
+# exposition parsing (the /metrics/cluster merge path)
+
+
+def test_parse_render_round_trip_is_identity():
+    registry = MetricsRegistry()
+    counter = registry.counter("reqs_total", "Requests.")
+    counter.inc(3, endpoint="predict", status="200")
+    registry.gauge("cache_entries", "Entries.").set(7.5)
+    histogram = registry.histogram("lat", "Latency.", buckets=(0.1, 1.0))
+    histogram.observe(0.05, endpoint="predict")
+    text = registry.render()
+    families = parse_exposition(text)
+    rendered = render_exposition(families.values())
+    assert parse_exposition(rendered) == families
+
+
+def test_parse_groups_histogram_series_under_family():
+    histogram = Histogram("lat", "Latency.", buckets=(0.1,))
+    histogram.observe(0.05)
+    text = "\n".join(["# HELP lat Latency.", "# TYPE lat histogram",
+                      *histogram.render()]) + "\n"
+    families = parse_exposition(text)
+    assert set(families) == {"lat"}
+    names = {sample.name for sample in families["lat"].samples}
+    assert names == {"lat_bucket", "lat_sum", "lat_count"}
+
+
+def test_parse_inf_bucket_value():
+    families = parse_exposition(
+        '# TYPE lat histogram\nlat_bucket{le="+Inf"} 4\n'
+        "lat_sum 2\nlat_count 4\n")
+    [bucket] = [s for s in families["lat"].samples
+                if s.name == "lat_bucket"]
+    assert dict(bucket.labels)["le"] == "+Inf"
+    assert bucket.value == 4.0
+
+
+def test_render_orders_le_buckets_numerically_per_labelset():
+    """``le`` must ascend *within* each labelset even when lexicographic
+    order disagrees (0.5 < 10 numerically, "10" < "0.5" nowhere)."""
+    histogram = Histogram("lat", "", buckets=(0.5, 10.0))
+    histogram.observe(0.1, endpoint="a")
+    histogram.observe(20.0, endpoint="b")
+    families = parse_exposition("# TYPE lat histogram\n"
+                                + "\n".join(histogram.render()) + "\n")
+    rendered = render_exposition(families.values())
+    for endpoint in ("a", "b"):
+        bounds = [line.split('le="')[1].split('"')[0]
+                  for line in rendered.splitlines()
+                  if f'endpoint="{endpoint}"' in line and "le=" in line]
+        assert bounds == ["0.5", "10", "+Inf"]
+
+
+def test_label_escaping_survives_parse_round_trip():
+    registry = MetricsRegistry()
+    counter = registry.counter("esc_total", "Escapes.")
+    tricky = 'say "hi"\\now\non two lines'
+    counter.inc(message=tricky)
+    families = parse_exposition(registry.render())
+    [sample] = families["esc_total"].samples
+    assert dict(sample.labels)["message"] == tricky
+    # And a second round trip through render is stable too.
+    again = parse_exposition(render_exposition(families.values()))
+    [sample2] = again["esc_total"].samples
+    assert dict(sample2.labels)["message"] == tricky
+
+
+def test_parse_special_values():
+    families = parse_exposition("g_inf +Inf\ng_ninf -Inf\ng_nan NaN\n")
+    assert math.isinf(families["g_inf"].samples[0].value)
+    assert families["g_ninf"].samples[0].value == -math.inf
+    assert math.isnan(families["g_nan"].samples[0].value)
+
+
+def test_parse_rejects_malformed_lines():
+    with pytest.raises(ValueError):
+        parse_exposition("this is not a metric line at all {\n")
+    with pytest.raises(ValueError):
+        parse_exposition('m{unterminated="yes\n')
+
+
+def test_parse_untyped_series_without_type_header():
+    families = parse_exposition("mystery 42\n")
+    assert families["mystery"].kind == "untyped"
+    assert families["mystery"].samples[0].value == 42.0

@@ -1,0 +1,345 @@
+"""End-to-end observability: stitched cross-process traces, cluster
+metrics aggregation, request-id propagation, and the disabled-mode
+zero-allocation guarantee.
+
+The pid assertions need *real* OS process boundaries, so those tests
+spawn ``repro serve`` subprocesses via :mod:`repro.service.cluster`;
+everything else runs against in-process servers for speed.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import time
+import urllib.error
+import urllib.request
+
+from repro.ir.digest import program_digest
+from repro.ir.parser import parse_program
+from repro.obs.slo import Objective, SloTracker
+from repro.service import ReproClient
+from repro.service.cluster import spawn_backend
+from repro.service.metrics import parse_exposition
+
+from .conftest import (
+    SAXPY,
+    flaky_proxy,
+    http_get,
+    running_job_server,
+    running_router,
+    running_server,
+    saxpy_variant,
+)
+
+
+def _fetch_spans(port: int, request_id: str) -> list[dict]:
+    try:
+        _, body = http_get(port, f"/debug/trace/{request_id}?format=spans")
+    except urllib.error.HTTPError:
+        return []
+    return json.loads(body)["spans"]
+
+
+def _poll_trace(port: int, request_id: str, *, require_names=(),
+                min_pids: int = 1, timeout: float = 20.0) -> list[dict]:
+    """Deposits happen after the response is written; poll briefly."""
+    deadline = time.monotonic() + timeout
+    spans: list[dict] = []
+    while time.monotonic() < deadline:
+        spans = _fetch_spans(port, request_id)
+        if (len({s["pid"] for s in spans}) >= min_pids
+                and set(require_names) <= {s["name"] for s in spans}):
+            return spans
+        time.sleep(0.1)
+    return spans     # let the caller's assertions show what arrived
+
+
+def _poll_engine_trace(server, request_id: str, timeout: float = 10.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        spans = server.engine.traces.get(request_id)
+        if spans:
+            return spans
+        time.sleep(0.05)
+    return None
+
+
+# ----------------------------------------------------------------------
+# stitched traces across real process boundaries
+
+
+def test_routed_predict_trace_spans_two_processes():
+    backend = spawn_backend()
+    try:
+        with running_router([backend.url], tracing=True) as router:
+            with ReproClient(f"http://127.0.0.1:{router.port}") as client:
+                response = client.predict(SAXPY)
+                assert response.cost
+                request_id = client.last_request_id
+            spans = _poll_trace(
+                router.port, request_id, min_pids=2,
+                require_names={"router.handle", "router.forward",
+                               "server.handle"})
+            assert len({s["pid"] for s in spans}) >= 2
+            assert len({s["trace_id"] for s in spans}) == 1
+
+            by_name = {s["name"]: s for s in spans}
+            forward = by_name["router.forward"]
+            handle = by_name["router.handle"]
+            assert forward["parent_id"] == handle["span_id"]
+            # The shard's root span parents under the router's forward
+            # span -- that is the cross-process stitch.
+            assert by_name["server.handle"]["parent_id"] == \
+                forward["span_id"]
+            assert by_name["server.handle"]["pid"] != handle["pid"]
+
+            # And the default format is one loadable Chrome trace.
+            _, body = http_get(router.port, f"/debug/trace/{request_id}")
+            chrome = json.loads(body)
+            pids = {e["pid"] for e in chrome["traceEvents"]
+                    if e.get("ph") == "X"}
+            assert len(pids) >= 2
+    finally:
+        backend.terminate()
+
+
+def test_async_job_trace_spans_two_processes(tmp_path):
+    backend = spawn_backend(
+        extra_args=("--job-store", str(tmp_path / "jobs")))
+    try:
+        with running_router([backend.url], tracing=True) as router:
+            with ReproClient(f"http://127.0.0.1:{router.port}") as client:
+                submitted = client.submit_restructure(
+                    SAXPY, depth=1, max_nodes=16)
+                request_id = client.last_request_id
+                client.wait(submitted.job_id, timeout=90)
+            spans = _poll_trace(
+                router.port, request_id, min_pids=2,
+                require_names={"router.handle", "job.submit", "job.run",
+                               "job.finish"})
+            names = {s["name"] for s in spans}
+            assert {"router.handle", "job.submit", "job.run",
+                    "job.round", "job.finish"} <= names
+            assert len({s["pid"] for s in spans}) >= 2
+            assert len({s["trace_id"] for s in spans}) == 1
+            # The job runner's root span joins the submit's trace even
+            # though it ran later, on another thread, in the shard.
+            job_run = next(s for s in spans if s["name"] == "job.run")
+            assert job_run["parent_id"] is not None
+    finally:
+        backend.terminate()
+
+
+# ----------------------------------------------------------------------
+# cluster metrics aggregation
+
+
+def _predict_total(families) -> float:
+    family = families.get("repro_http_requests_total")
+    if family is None:
+        return 0.0
+    return sum(s.value for s in family.samples
+               if dict(s.labels).get("endpoint") == "predict")
+
+
+def _predict_latency_count(families) -> float:
+    family = families.get("repro_http_request_seconds")
+    if family is None:
+        return 0.0
+    return sum(s.value for s in family.samples
+               if s.name.endswith("_count")
+               and dict(s.labels).get("endpoint") == "predict")
+
+
+def test_cluster_metrics_merge_equals_per_shard_sum():
+    with contextlib.ExitStack() as stack:
+        servers = [stack.enter_context(running_server()) for _ in range(3)]
+        urls = [f"http://127.0.0.1:{s.port}" for s in servers]
+        router = stack.enter_context(running_router(urls))
+        with ReproClient(f"http://127.0.0.1:{router.port}") as client:
+            for index in range(9):
+                client.predict(saxpy_variant(index))
+        # Requests are observed after their responses go out; wait for
+        # all nine to land in the shard registries before scraping.
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            shard_texts = [http_get(s.port, "/metrics")[1] for s in servers]
+            if sum(_predict_total(parse_exposition(t))
+                   for t in shard_texts) == 9.0:
+                break
+            time.sleep(0.05)
+        _, cluster_text = http_get(router.port, "/metrics/cluster")
+
+    cluster = parse_exposition(cluster_text)
+    shard_families = [parse_exposition(text) for text in shard_texts]
+
+    assert _predict_total(cluster) == sum(
+        _predict_total(f) for f in shard_families) == 9.0
+    assert _predict_latency_count(cluster) == sum(
+        _predict_latency_count(f) for f in shard_families) == 9.0
+
+    # Every merged sample names its shard; the router's own registry
+    # rides along under shard="router".
+    predict_shards = {
+        dict(s.labels)["shard"]
+        for s in cluster["repro_http_requests_total"].samples}
+    assert predict_shards <= set(urls)
+    router_family = cluster["repro_router_http_requests_total"]
+    assert {dict(s.labels)["shard"]
+            for s in router_family.samples} == {"router"}
+
+    # Gauges gain synthetic max/min aggregates.
+    cache_shards = {dict(s.labels)["shard"]
+                    for s in cluster["repro_cache_entries"].samples}
+    assert {"max", "min"} <= cache_shards
+
+
+def _poll_metrics(port: int, needle: str, timeout: float = 10.0) -> str:
+    """Scrape /metrics until ``needle`` appears.
+
+    The request that should produce it is observed *after* its response
+    bytes go out, so an immediate scrape can race the bookkeeping.
+    """
+    deadline = time.monotonic() + timeout
+    text = ""
+    while time.monotonic() < deadline:
+        _, text = http_get(port, "/metrics")
+        if needle in text:
+            return text
+        time.sleep(0.05)
+    return text
+
+
+def test_router_metrics_include_slo_gauges():
+    tracker = SloTracker({"predict": Objective(p95=10.0, error_ratio=0.5)})
+    with running_server() as server:
+        url = f"http://127.0.0.1:{server.port}"
+        with running_router([url], slo=tracker) as router:
+            with ReproClient(f"http://127.0.0.1:{router.port}") as client:
+                client.predict(SAXPY)
+            text = _poll_metrics(
+                router.port, 'repro_slo_requests{endpoint="predict"} 1')
+    assert 'repro_slo_requests{endpoint="predict"} 1' in text
+    assert ('repro_slo_latency_burn_rate{endpoint="predict",'
+            'quantile="p95"}') in text
+
+
+def test_server_metrics_include_slo_gauges():
+    tracker = SloTracker({"*": Objective(p99=10.0)})
+    with running_server(slo=tracker) as server:
+        with ReproClient(f"http://127.0.0.1:{server.port}") as client:
+            client.predict(SAXPY)
+        text = _poll_metrics(
+            server.port, 'repro_slo_requests{endpoint="predict"} 1')
+    assert 'repro_slo_requests{endpoint="predict"} 1' in text
+    assert ('repro_slo_latency_burn_rate{endpoint="predict",'
+            'quantile="p99"}') in text
+
+
+# ----------------------------------------------------------------------
+# request-id propagation on every hop
+
+
+def test_router_minted_request_id_reaches_the_shard():
+    with running_server() as shard:
+        url = f"http://127.0.0.1:{shard.port}"
+        with running_router([url], tracing=True) as router:
+            request = urllib.request.Request(
+                f"http://127.0.0.1:{router.port}/predict",
+                data=json.dumps({"source": SAXPY}).encode(),
+                headers={"Content-Type": "application/json"})
+            with urllib.request.urlopen(request, timeout=30) as response:
+                assert response.status == 200
+                request_id = response.headers["X-Request-Id"]
+        assert request_id
+        # The shard deposited its trace under the *router's* id --
+        # proof the generated id rode the forward hop.
+        assert _poll_engine_trace(shard, request_id) is not None
+
+
+def test_request_id_propagates_across_failover():
+    with running_server() as primary_upstream, running_server() as healthy:
+        with flaky_proxy(
+                f"http://127.0.0.1:{primary_upstream.port}") as flaky:
+            healthy_url = f"http://127.0.0.1:{healthy.port}"
+            with running_router([flaky.url, healthy_url],
+                                tracing=True, retries=2) as router:
+                # Find a program whose ring owner is the flaky proxy, so
+                # the first attempt fails and the retry hits `healthy`.
+                source = None
+                for index in range(64):
+                    candidate = saxpy_variant(index)
+                    key = program_digest(parse_program(candidate))
+                    if next(iter(router.ring.preference(key))) == flaky.url:
+                        source = candidate
+                        break
+                assert source is not None, "no variant routed to the proxy"
+                flaky.schedule("error")
+                request = urllib.request.Request(
+                    f"http://127.0.0.1:{router.port}/predict",
+                    data=json.dumps({"source": source}).encode(),
+                    headers={"Content-Type": "application/json"})
+                with urllib.request.urlopen(request, timeout=30) as response:
+                    assert response.status == 200
+                    request_id = response.headers["X-Request-Id"]
+                assert ("/predict", "error") in flaky.log
+            # The *failover* hop carried the same id: the healthy shard
+            # deposited its trace under it.
+            assert _poll_engine_trace(healthy, request_id) is not None
+
+
+def test_events_relay_carries_request_id_and_stamped_events(tmp_path):
+    with running_job_server(tmp_path / "store") as shard:
+        url = f"http://127.0.0.1:{shard.port}"
+        with running_router([url], tracing=True) as router:
+            with ReproClient(f"http://127.0.0.1:{router.port}") as client:
+                submitted = client.submit_restructure(
+                    SAXPY, depth=1, max_nodes=16)
+                submit_rid = client.last_request_id
+                follow_rid = "follow-rid-for-relay-test"
+                events = list(client.follow(
+                    submitted.job_id, request_id=follow_rid))
+        assert events and events[-1].get("final")
+        # Every event is stamped with the *submitting* request's id and
+        # trace id, so a stream consumer can pull the stitched trace.
+        for event in events:
+            assert event["request_id"] == submit_rid
+            assert event["trace_id"]
+        # The relay hop forwarded the follow request's id to the shard.
+        assert _poll_engine_trace(shard, follow_rid) is not None
+
+
+# ----------------------------------------------------------------------
+# disabled-mode fast path: no tracer, no spans, anywhere
+
+
+def test_disabled_tracing_constructs_no_tracers_or_spans(
+        tmp_path, monkeypatch):
+    import repro.obs.tracer as tracer_mod
+
+    counts = {"tracer": 0, "span": 0}
+    original_tracer_init = tracer_mod.Tracer.__init__
+    original_span_init = tracer_mod.Span.__init__
+
+    def counting_tracer_init(self, *args, **kwargs):
+        counts["tracer"] += 1
+        original_tracer_init(self, *args, **kwargs)
+
+    def counting_span_init(self, *args, **kwargs):
+        counts["span"] += 1
+        original_span_init(self, *args, **kwargs)
+
+    monkeypatch.setattr(tracer_mod.Tracer, "__init__", counting_tracer_init)
+    monkeypatch.setattr(tracer_mod.Span, "__init__", counting_span_init)
+
+    with running_job_server(tmp_path / "store", tracing=False) as shard:
+        url = f"http://127.0.0.1:{shard.port}"
+        with running_router([url], tracing=False) as router:
+            with ReproClient(f"http://127.0.0.1:{router.port}") as client:
+                assert client.predict(SAXPY).cost
+                submitted = client.submit_restructure(
+                    SAXPY, depth=1, max_nodes=16)
+                client.wait(submitted.job_id, timeout=90)
+
+    assert counts == {"tracer": 0, "span": 0}
