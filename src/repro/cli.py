@@ -114,6 +114,15 @@ def _emit_json(kind: str, payload: dict) -> int:
     return 1 if "error" in result else 0
 
 
+def _apply_kernel(args: argparse.Namespace) -> None:
+    """Honor ``--kernel`` by switching this process's placement kernel."""
+    kernel = getattr(args, "kernel", None)
+    if kernel:
+        from .cost import set_placement_kernel
+
+        set_placement_kernel(kernel)
+
+
 def _domain_json(text: str | None) -> dict[str, list[str]] | None:
     domain = _parse_domain(text)
     if not domain:
@@ -122,6 +131,7 @@ def _domain_json(text: str | None) -> dict[str, list[str]] | None:
 
 
 def _cmd_predict(args: argparse.Namespace) -> int:
+    _apply_kernel(args)
     if args.json:
         bindings = _parse_bindings(args.at)
         return _emit_json("predict", {
@@ -149,6 +159,7 @@ def _cmd_predict(args: argparse.Namespace) -> int:
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
+    _apply_kernel(args)
     if args.json:
         domain = _domain_json(args.domain)
         return _emit_json("compare", {
@@ -453,6 +464,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--memory", action="store_true",
                    help="include cache/TLB cost terms")
     p.add_argument("--at", help="evaluate at a point, e.g. n=100,m=50")
+    p.add_argument("--kernel", default=None,
+                   choices=("fused", "legacy", "arena"),
+                   help="placement kernel (default: REPRO_PLACEMENT_KERNEL "
+                        "or fused); all three are bit-identical")
     p.add_argument("--json", action="store_true",
                    help="emit the service wire format")
     p.add_argument("--trace", metavar="FILE",
@@ -464,6 +479,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("second")
     p.add_argument("--machine", default="power", choices=machine_names())
     p.add_argument("--domain", help="bounds, e.g. n=1:1000")
+    p.add_argument("--kernel", default=None,
+                   choices=("fused", "legacy", "arena"),
+                   help="placement kernel (default: REPRO_PLACEMENT_KERNEL "
+                        "or fused); all three are bit-identical")
     p.add_argument("--json", action="store_true",
                    help="emit the service wire format")
     p.add_argument("--trace", metavar="FILE",

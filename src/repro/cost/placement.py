@@ -11,18 +11,23 @@ focus span is an adjustable parameter, thus allowing more flexible
 allocation of computing resources based on accuracy and efficiency
 considerations."
 
-Two implementations coexist:
+Three implementations coexist:
 
 * the **fused columnar kernel** (:mod:`repro.cost.columnar`, default):
   precompiled per-machine op costs + flat stream columns + a lockstep
   multi-bin search;
+* the **batch arena** (``kernel="arena"``, :mod:`repro.cost.arena`):
+  the fused kernel fronted by a per-(machine, focus span) arena that
+  dedups identical streams and resumes sibling streams from shared
+  prefix snapshots -- the right default when many near-identical
+  streams arrive together (beam rounds, service batches);
 * the **legacy path** (``kernel="legacy"``): the original
   per-instruction ``BinSet.place`` loop, kept as the readable reference
   implementation and differential oracle.
 
-Both produce bit-identical :class:`PlacedBlock` results (cycles, op
-times, pipe choices); ``REPRO_PLACEMENT_KERNEL=legacy`` flips the
-default for A/B runs.
+All three produce bit-identical :class:`PlacedBlock` results (cycles,
+op times, pipe choices); ``REPRO_PLACEMENT_KERNEL=legacy|arena`` flips
+the default for A/B runs.
 """
 
 from __future__ import annotations
@@ -30,7 +35,7 @@ from __future__ import annotations
 import os
 import threading
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from typing import NamedTuple
 
 from ..machine.machine import Machine
 from ..obs import trace_span
@@ -55,40 +60,95 @@ DEFAULT_FOCUS_SPAN = 64
 stream_digest = placement_digest
 
 
-@dataclass(frozen=True)
-class PlacedOp:
-    """One operation's landing site and completion time."""
+class PlacedOp(NamedTuple):
+    """One operation's landing site and completion time.
+
+    A named tuple rather than a dataclass: placement builds one of
+    these per instruction on the hottest path in the repo, and
+    ``tuple.__new__`` beats a frozen dataclass's
+    ``object.__setattr__`` chain several-fold at equal immutability.
+    """
 
     instr: Instr
     time: int
     completion: int
 
 
-@dataclass
+class _LazyOps:
+    """Deferred per-op tuple: the kernels' raw result columns.
+
+    One cell may be shared by many :class:`PlacedBlock` views of the
+    same placement (the memo's ``_share``); whoever touches ``.ops``
+    first materializes the tuple *into the cell*, so every sharer sees
+    the identical object afterwards.
+    """
+
+    __slots__ = ("instrs", "times", "completions", "ops")
+
+    def __init__(self, instrs, times: list[int], completions: list[int]):
+        self.instrs = instrs
+        self.times = times
+        self.completions = completions
+        self.ops: tuple[PlacedOp, ...] | None = None
+
+    def materialize(self) -> tuple[PlacedOp, ...]:
+        ops = self.ops
+        if ops is None:
+            ops = self.ops = tuple(
+                map(PlacedOp, self.instrs, self.times, self.completions))
+        return ops
+
+
 class PlacedBlock:
     """Result of placing a whole instruction stream.
 
     ``ops`` is an immutable tuple: cached placements share it directly
     (no per-hit copy), and the type itself enforces the "callers must
-    not mutate the memo's master" contract.
+    not mutate the memo's master" contract.  The columnar kernels hand
+    over their raw time/completion columns instead of a prebuilt tuple
+    (``lazy=``): search reads only ``cycles``/``block`` for the vast
+    majority of candidates, so the 200-odd :class:`PlacedOp` objects
+    per stream are built on first ``.ops`` access -- once, even across
+    shared memo views.
     """
 
-    machine_name: str
-    ops: tuple[PlacedOp, ...] = ()
-    block: CostBlock = field(default_factory=CostBlock.empty)
+    __slots__ = ("machine_name", "block", "_ops", "_lazy")
+
+    def __init__(self, machine_name: str,
+                 ops: tuple[PlacedOp, ...] = (),
+                 block: CostBlock | None = None,
+                 *, lazy: _LazyOps | None = None):
+        self.machine_name = machine_name
+        self.block = block if block is not None else CostBlock.empty()
+        self._ops = None if lazy is not None else tuple(ops)
+        self._lazy = lazy
+
+    @property
+    def ops(self) -> tuple[PlacedOp, ...]:
+        ops = self._ops
+        if ops is None:
+            ops = self._ops = self._lazy.materialize()
+        return ops
+
+    @ops.setter
+    def ops(self, value: tuple[PlacedOp, ...]) -> None:
+        self._ops = tuple(value)
+        self._lazy = None
 
     @property
     def cycles(self) -> int:
         return self.block.cycles
 
     def completion_of(self, index: int) -> int:
+        if self._ops is None and self._lazy.ops is None:
+            return self._lazy.completions[index]
         return self.ops[index].completion
 
 
 # ----------------------------------------------------------------------
 # Kernel selection
 
-_KERNELS = ("fused", "legacy")
+_KERNELS = ("fused", "legacy", "arena")
 _kernel = os.environ.get("REPRO_PLACEMENT_KERNEL", "fused")
 if _kernel not in _KERNELS:
     _kernel = "fused"
@@ -100,7 +160,8 @@ def placement_kernel() -> str:
 
 
 def set_placement_kernel(name: str) -> str:
-    """Set the default kernel ("fused" or "legacy"); returns the old one."""
+    """Set the default kernel ("fused", "legacy", or "arena"); returns
+    the old one."""
     global _kernel
     if name not in _KERNELS:
         raise ValueError(f"unknown placement kernel {name!r}; "
@@ -165,14 +226,45 @@ def reset_placement_cache() -> None:
         _cache_hits = _cache_misses = _cache_evictions = 0
 
 
+def _memo_probe(fingerprint: str, digest: str,
+                focus_span: int) -> PlacedBlock | None:
+    """Memo read for the arena's batch path; counts a hit or a miss."""
+    global _cache_hits, _cache_misses
+    key = (fingerprint, digest, focus_span)
+    with _cache_lock:
+        hit = _cache.get(key)
+        if hit is not None:
+            _cache.move_to_end(key)
+            _cache_hits += 1
+            return _share(hit)
+        _cache_misses += 1
+    return None
+
+
+def _memo_store(fingerprint: str, digest: str, focus_span: int,
+                placed: PlacedBlock) -> None:
+    """Memo write for the arena's batch path (same LRU bound)."""
+    global _cache_evictions
+    key = (fingerprint, digest, focus_span)
+    with _cache_lock:
+        _cache[key] = _share(placed)
+        while len(_cache) > PLACEMENT_CACHE_LIMIT:
+            _cache.popitem(last=False)
+            _cache_evictions += 1
+
+
 def _share(placed: PlacedBlock) -> PlacedBlock:
     """A caller-safe view of a cached placement.
 
-    The ops tuple, the ops themselves, and the summary block are all
-    immutable, so every field is shared; only the outer (mutable)
-    dataclass shell is fresh.
+    The ops tuple (or the lazy cell it materializes from), the ops
+    themselves, and the summary block are all immutable or
+    materialize-once, so every field is shared; only the outer
+    (mutable) shell is fresh.
     """
-    return PlacedBlock(placed.machine_name, placed.ops, placed.block)
+    twin = PlacedBlock(placed.machine_name, (), placed.block)
+    twin._ops = placed._ops
+    twin._lazy = placed._lazy
+    return twin
 
 
 def place_stream(
@@ -266,9 +358,24 @@ def _place_uncached(
     compiled: CompiledStream | None = None,
     digest: str | None = None,
 ) -> PlacedBlock:
+    if kernel == "arena" and bins is not None:
+        # Explicit bins mean shared, possibly pre-filled state: prefix
+        # snapshots (which assume empty-start bins) don't apply, so the
+        # arena delegates straight to the fused kernel.
+        kernel = "fused"
     with trace_span("cost.place") as span:
-        bin_set = bins if bins is not None else BinSet(machine)
-        if kernel == "fused":
+        if kernel == "arena":
+            from .arena import get_arena
+
+            fingerprint = _machine_fingerprint(machine)
+            if compiled is None:
+                compiled = compile_stream(machine, instr_list, digest,
+                                          fingerprint=fingerprint)
+            times, completions, bin_set = get_arena(
+                machine, focus_span).drop(compiled)
+            lazy = _LazyOps(compiled.instrs, times, completions)
+        elif kernel == "fused":
+            bin_set = bins if bins is not None else BinSet(machine)
             fingerprint = _machine_fingerprint(machine)
             if compiled is None:
                 compiled = compile_stream(machine, instr_list, digest,
@@ -276,13 +383,19 @@ def _place_uncached(
             ops = compile_ops(machine, fingerprint)
             times, completions = drop_columns(
                 compiled, ops, bin_set, focus_span)
-            placed_ops = tuple(
-                map(PlacedOp, compiled.instrs, times, completions))
+            lazy = _LazyOps(compiled.instrs, times, completions)
         else:
+            bin_set = bins if bins is not None else BinSet(machine)
+            lazy = None
             placed_ops = _place_legacy(machine, instr_list, focus_span,
                                        bin_set)
-        placed = PlacedBlock(machine_name=machine.name, ops=placed_ops)
-        placed.block = _summarize(bin_set, placed_ops)
+        if lazy is not None:
+            placed = PlacedBlock(machine_name=machine.name, lazy=lazy)
+            placed.block = _summarize(bin_set, (), lazy.times,
+                                      lazy.completions)
+        else:
+            placed = PlacedBlock(machine_name=machine.name, ops=placed_ops)
+            placed.block = _summarize(bin_set, placed_ops)
         if span.recording:
             span.set(machine=machine.name, ops=len(instr_list),
                      focus_span=focus_span, cycles=placed.cycles,
@@ -315,8 +428,24 @@ def _place_legacy(
     return tuple(placed_ops)
 
 
-def _summarize(bin_set: BinSet, ops: tuple[PlacedOp, ...]) -> CostBlock:
-    if not ops:
+def _summarize(
+    bin_set: BinSet,
+    ops: tuple[PlacedOp, ...],
+    times: list[int] | None = None,
+    completions: list[int] | None = None,
+) -> CostBlock:
+    """Summary block for one placement.
+
+    The columnar kernels already hold the start/completion columns as
+    plain int lists; they pass those (with ``ops=()``) so the summary
+    never touches -- or forces -- the per-op tuple.  The legacy path,
+    which has only ``ops``, omits the columns.
+    """
+    if completions is None:
+        if not ops:
+            return CostBlock.empty()
+        completions = [op.completion for op in ops]
+    elif not completions:
         return CostBlock.empty()
     profiles = {
         bin_id: span
@@ -325,12 +454,11 @@ def _summarize(bin_set: BinSet, ops: tuple[PlacedOp, ...]) -> CostBlock:
     }
     if not profiles:
         # Degenerate: only zero-noncoverable ops; anchor at first op time.
-        lo = min(op.time for op in ops)
-        completion = max(op.completion for op in ops)
-        return CostBlock(lo, lo, completion)
+        lo = min(times) if times is not None else min(op.time for op in ops)
+        return CostBlock(lo, lo, max(completions))
     lo = min(first for first, _ in profiles.values())
     occupied_hi = max(last for _, last in profiles.values()) + 1
-    completion = max(occupied_hi, max(op.completion for op in ops))
+    completion = max(occupied_hi, max(completions))
     occupancy = {
         bin_id: count
         for bin_id, count in bin_set.occupancy().items()

@@ -7,7 +7,8 @@ engine:
 1. validates each request strictly at the boundary;
 2. computes its content-addressed cache key (canonical program digest
    + machine + back-end capability flags + evaluation point) and
-   answers hits without touching a worker;
+   answers hits without touching a worker; identical misses within a
+   batch execute once and fan back out;
 3. fans the misses out over a worker pool -- ``ProcessPoolExecutor``
    for true CPU parallelism of the pure-Python cost model, degrading
    automatically to threads (Windows spawn quirks, pickling edge
@@ -58,8 +59,9 @@ from concurrent.futures import (
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Mapping, NamedTuple, Sequence
 
+from ..cost.arena import arena_cache_stats
 from ..cost.columnar import columnar_cache_stats
-from ..cost.placement import placement_cache_stats
+from ..cost.placement import placement_cache_stats, placement_kernel
 from ..ir.digest import program_digest, stmts_digest
 from ..ir.parser import ParseError, parse_program
 from ..ir.lexer import LexError
@@ -73,6 +75,7 @@ from ..obs import (
 )
 from ..symbolic.poly import PolyError
 from ..transform.parallel import (
+    _adopt_kernel,
     _chunked,
     _predictors,
     evaluate_chunk,
@@ -321,14 +324,19 @@ def _placement_delta(before: Mapping[str, int],
 def execute_request_chunk(jobs: Sequence[tuple[str, Mapping[str, Any]]],
                           collect_trace: bool = False,
                           trace_context: tuple[str, str | None] | None = None,
+                          kernel: str | None = None,
                           ) -> dict[str, Any]:
     """Run several light requests as one pool task.
 
     A task per tiny predict pays pool round-trip overhead comparable to
     the work itself; grouping amortizes it.  The worker also reports
     its placement-memo hit/miss delta, which the engine cannot observe
-    across a process boundary.
+    across a process boundary.  ``kernel`` is the engine process's
+    placement kernel, adopted on arrival so forked workers track a
+    runtime kernel switch (all kernels are bit-identical; this only
+    moves where the time goes).
     """
+    _adopt_kernel(kernel)
     before = placement_cache_stats()
     results = [execute_request(kind, payload, collect_trace, trace_context)
                for kind, payload in jobs]
@@ -336,10 +344,11 @@ def execute_request_chunk(jobs: Sequence[tuple[str, Mapping[str, Any]]],
             "placement": _placement_delta(before, placement_cache_stats())}
 
 
-def _search_round_chunk(root, root_key, machine, programs) -> dict[str, Any]:
+def _search_round_chunk(root, root_key, machine, programs,
+                        kernel: str | None = None) -> dict[str, Any]:
     """Evaluate one slice of a split restructure's round batch."""
     before = placement_cache_stats()
-    costs = evaluate_chunk(root, root_key, machine, programs)
+    costs = evaluate_chunk(root, root_key, machine, programs, kernel)
     return {"costs": costs,
             "placement": _placement_delta(before, placement_cache_stats())}
 
@@ -605,14 +614,21 @@ class PredictionEngine:
 
         Cache hits are answered immediately; the misses run on the
         worker pool concurrently (inline when ``workers <= 1``).
-        ``on_result`` fires once per item, as its response becomes
-        final -- in completion order under weighted scheduling, so a
-        caller can stream answers out while heavy work is still
-        running.
+        Identical misses (same cache key) within the batch execute
+        once: the first becomes the representative, the rest are
+        answered with copies when it finishes.  ``on_result`` fires
+        once per item, as its response becomes final -- in completion
+        order under weighted scheduling, so a caller can stream answers
+        out while heavy work is still running.
         """
         started = time.perf_counter()
         results: list[dict[str, Any] | None] = [None] * len(items)
         pending: list[_Pending] = []
+        # Within-batch dedup: cache key -> followers awaiting the
+        # representative's result.  Trace-requesting duplicates are
+        # never followers (each deserves its own honest trace).
+        represented: set[str] = set()
+        followers: dict[str, list[_Pending]] = {}
 
         def resolve(index: int, kind: str, result: dict[str, Any]) -> None:
             results[index] = result
@@ -640,13 +656,24 @@ class PredictionEngine:
                 self._requests.inc(kind=kind, outcome="cache_hit")
                 resolve(index, kind, served)
                 continue
+            entry = _Pending(index, kind, dict(payload), key, want_trace,
+                             request)
+            if key in represented and not want_trace:
+                self._cache_lookups.inc(endpoint=kind, result="deduplicated")
+                followers.setdefault(key, []).append(entry)
+                continue
             self._cache_lookups.inc(endpoint=kind, result="miss")
-            pending.append(
-                _Pending(index, kind, dict(payload), key, want_trace, request))
+            represented.add(key)
+            pending.append(entry)
 
         if pending:
             def finish(entry: _Pending, result: dict[str, Any]) -> None:
                 self._finish(entry, result, resolve)
+                for dup in followers.pop(entry.key, ()):
+                    # ``result`` is the cache-bound copy: _finish popped
+                    # any trace block, so followers stay trace-free.
+                    self._requests.inc(kind=dup.kind, outcome="deduplicated")
+                    resolve(dup.index, dup.kind, dict(result))
 
             self._run_pending(pending, finish)
             self._sync_local_placement()
@@ -761,7 +788,8 @@ class PredictionEngine:
             chunk_count = min(self.workers, max(1, len(light) // _GROUP_MIN))
             for group in _chunked(light, chunk_count):
                 jobs = [(entry.kind, entry.payload) for entry in group]
-                job = (execute_request_chunk, (jobs, collect, ctx))
+                job = (execute_request_chunk,
+                       (jobs, collect, ctx, placement_kernel()))
                 waiters[self._submit(*_flatten(job))] = ("chunk", group, job)
                 self._tasks.inc(shape="chunk")
         singles = [entry for entry in heavy if entry.kind != "restructure"]
@@ -863,7 +891,7 @@ class PredictionEngine:
             try:
                 futures = [
                     self._submit(_search_round_chunk, program, root_key,
-                                 machine, chunk)
+                                 machine, chunk, placement_kernel())
                     for chunk in chunks
                 ]
                 costs: list = []
@@ -1074,6 +1102,35 @@ class PredictionEngine:
             "repro_columnar_cache_evictions_total",
             "Compiled-stream cache evictions (engine process).").set(
             columnar["evictions"])
+        arena = arena_cache_stats()
+        self.metrics.gauge(
+            "repro_arena_streams_total",
+            "Streams placed through the batch arena (engine process).").set(
+            arena["streams"])
+        self.metrics.gauge(
+            "repro_arena_dedup_total",
+            "Batch-identical streams answered by dedup (engine process).").set(
+            arena["dedup"])
+        self.metrics.gauge(
+            "repro_arena_memo_hits_total",
+            "Arena batch slots answered by the placement memo "
+            "(engine process).").set(arena["memo_hits"])
+        self.metrics.gauge(
+            "repro_arena_prefix_reuses_total",
+            "Arena drops resumed from a shared-prefix snapshot "
+            "(engine process).").set(arena["prefix_reuses"])
+        self.metrics.gauge(
+            "repro_arena_prefix_ops_saved_total",
+            "Instruction drops skipped via prefix snapshots "
+            "(engine process).").set(arena["prefix_ops_saved"])
+        self.metrics.gauge(
+            "repro_arena_drops_total",
+            "Instructions actually dropped by the arena "
+            "(engine process).").set(arena["drops"])
+        self.metrics.gauge(
+            "repro_arena_pool_entries",
+            "Resident prefix-pool trajectories across arenas "
+            "(engine process).").set(arena["pool_entries"])
         age_hist = self.metrics.histogram(
             "repro_cache_entry_age_seconds",
             "Ages of resident result-cache entries (snapshot per scrape).",

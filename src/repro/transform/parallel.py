@@ -30,6 +30,7 @@ from concurrent.futures import (
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Sequence
 
+from ..cost.placement import placement_kernel, set_placement_kernel
 from ..ir.digest import stmts_digest
 from ..ir.nodes import Program
 from ..ir.symtab import SymbolTable
@@ -38,6 +39,20 @@ from ..symbolic.expr import PerfExpr
 from .incremental import IncrementalPredictor
 
 __all__ = ["SearchPool", "shared_predictor", "evaluate_chunk"]
+
+
+def _adopt_kernel(kernel: str | None) -> None:
+    """Switch this process to the caller's placement kernel.
+
+    ``set_placement_kernel`` only changes the calling process, so a
+    worker forked before the engine (or a test) flipped the kernel
+    would silently keep the old one; every pool task therefore carries
+    the submitting process's kernel name and adopts it on arrival.
+    All kernels are bit-identical, so this is a performance contract,
+    not a correctness one.
+    """
+    if kernel is not None and kernel != placement_kernel():
+        set_placement_kernel(kernel)
 
 #: Per-process predictor pool bound.  One entry per (root program,
 #: machine, flags) combination a worker has served.
@@ -90,13 +105,20 @@ def evaluate_chunk(
     root_key: tuple,
     machine: Machine,
     programs: Sequence[Program],
+    kernel: str | None = None,
 ) -> list[PerfExpr]:
     """Predict a chunk of candidate programs (the pool's unit of work).
 
     The predictor is keyed by the *root* program: every candidate is a
     transformed variant sharing the root's declarations and symbol
-    table, exactly as the serial search evaluates them.
+    table, exactly as the serial search evaluates them.  ``kernel``
+    names the submitter's placement kernel (see :func:`_adopt_kernel`);
+    with ``"arena"``, every sibling candidate in the chunk bottoms out
+    in this process's shared placement arena, so their near-identical
+    straight-line streams fork from common prefix snapshots instead of
+    re-dropping them.
     """
+    _adopt_kernel(kernel)
     predictor = shared_predictor(root_key, machine, root)
     return [predictor.predict(program) for program in programs]
 
@@ -173,15 +195,35 @@ class SearchPool:
         return evaluate_chunk(self.root, self.root_key, self.machine, programs)
 
     def evaluate(self, programs: Sequence[Program]) -> list[PerfExpr]:
-        """Costs of ``programs``, in order; parallel when it can be."""
+        """Costs of ``programs``, in order; parallel when it can be.
+
+        Structurally identical candidates (commuting transformation
+        orders reconverge on the same program) are predicted once --
+        the batch is deduped on ``stmts_digest`` before chunking and
+        the shared cost fanned back out to every duplicate slot.
+        """
         programs = list(programs)
         if not programs:
             return []
+        digests = [stmts_digest(program.body) for program in programs]
+        slot_of: dict[str, int] = {}
+        unique: list[Program] = []
+        for digest, program in zip(digests, programs):
+            if digest not in slot_of:
+                slot_of[digest] = len(unique)
+                unique.append(program)
+        costs = self._evaluate_unique(unique)
+        if len(unique) == len(programs):
+            return costs
+        return [costs[slot_of[digest]] for digest in digests]
+
+    def _evaluate_unique(self, programs: list[Program]) -> list[PerfExpr]:
         if self.workers <= 1:
             return self._inline(programs)
         self._ensure_pool()
         if self._pool is None:
             return self._inline(programs)
+        kernel = placement_kernel()
         chunks = _chunked(
             programs,
             min(self.workers, max(1, len(programs) // self.min_chunk)),
@@ -190,7 +232,7 @@ class SearchPool:
             futures = [
                 self._pool.submit(
                     evaluate_chunk, self.root, self.root_key,
-                    self.machine, chunk,
+                    self.machine, chunk, kernel,
                 )
                 for chunk in chunks
             ]

@@ -296,3 +296,62 @@ def test_worker_pool_returns_trace(executor):
         response = engine.predict(PredictRequest(source=SAXPY, trace=True))
         names = {span["name"] for span in response.trace}
         assert "predict" in names and "cost.place" in names
+
+
+def test_batch_dedups_identical_misses(engine):
+    """Three identical predicts in one batch: one execution, three answers."""
+    batch = [("predict", {"source": SAXPY})] * 3 + \
+            [("predict", {"source": DAXPY_VARIANT})]
+    results = engine.handle_batch(batch)
+    assert all("error" not in r for r in results)
+    assert results[0]["cost"] == results[1]["cost"] == results[2]["cost"]
+    requests = engine.metrics.counter("repro_engine_requests_total")
+    assert requests.value(kind="predict", outcome="computed") == 2
+    assert requests.value(kind="predict", outcome="deduplicated") == 2
+    lookups = engine.metrics.counter("repro_cache_requests_total")
+    assert lookups.value(endpoint="predict", result="miss") == 2
+    assert lookups.value(endpoint="predict", result="deduplicated") == 2
+    # The representative's answer landed in the cache exactly once.
+    assert engine.handle("predict", {"source": SAXPY})["cached"]
+
+
+def test_batch_dedup_keeps_traced_duplicates_separate(engine):
+    """A trace-requesting duplicate computes on its own (honest trace)."""
+    results = engine.handle_batch([
+        ("predict", {"source": SAXPY}),
+        ("predict", {"source": SAXPY, "trace": True}),
+    ])
+    assert "trace" not in results[0]
+    assert results[1]["trace"]          # its own spans, not a copy
+    requests = engine.metrics.counter("repro_engine_requests_total")
+    assert requests.value(kind="predict", outcome="deduplicated") == 0
+
+
+def test_batch_dedup_on_worker_pool():
+    """Dedup happens engine-side, before chunks are formed."""
+    from repro.service import engine as engine_mod
+
+    engine_mod._predictors.clear()
+    reset_placement_cache()
+    with PredictionEngine(workers=2, cache_size=8,
+                          executor="thread") as engine:
+        batch = [("predict", {"source": SAXPY})] * 6
+        results = engine.handle_batch(batch)
+        assert len({r["cost"] for r in results}) == 1
+        requests = engine.metrics.counter("repro_engine_requests_total")
+        assert requests.value(kind="predict", outcome="computed") == 1
+        assert requests.value(kind="predict", outcome="deduplicated") == 5
+
+
+def test_arena_gauges_exported(engine):
+    from repro.cost import place_batch, reset_arenas
+    from repro.machine import power_machine
+    from repro.translate.stream import Instr
+
+    reset_arenas()
+    streams = [[Instr(0, "fpu_arith"), Instr(1, "fpu_arith", deps=(0,))]] * 3
+    place_batch(power_machine(), streams, use_memo=False)
+    engine.export_cache_metrics()
+    assert engine.metrics.gauge("repro_arena_streams_total").value() == 3
+    assert engine.metrics.gauge("repro_arena_dedup_total").value() == 2
+    assert engine.metrics.gauge("repro_arena_drops_total").value() == 2
