@@ -1,0 +1,264 @@
+"""E-SURROGATE -- the learned fast tier vs the exact pipeline.
+
+The tiered-fidelity engine answers ``fidelity=fast`` predicts from a
+ridge-regression surrogate with split-conformal intervals instead of
+running parse -> translate -> place.  This bench answers three
+questions:
+
+* is it *honest*: fidelity=exact responses from an engine carrying a
+  surrogate are bit-identical (as canonical JSON) to those from an
+  engine without one -- the fast tier must be strictly additive;
+* is it *calibrated*: after training on exact predictions harvested
+  from a family of generated loop programs, the conformal interval's
+  empirical coverage on held-out points (unseen bindings *and* two
+  entirely unseen programs) must sit within 5 points of the nominal
+  level;
+* is it *fast*: per-request p50 of a surrogate answer vs p50 of an
+  exact cache-miss predict.  Target: >= 20x.
+
+Besides ``E-SURROGATE.txt`` this writes
+``benchmarks/results/BENCH_SURROGATE.json``, which the
+``surrogate-perf`` CI job gates on.
+"""
+
+import json
+import statistics
+import time
+
+from repro.learn import (
+    Surrogate,
+    SurrogateConfig,
+    extract_static,
+    reset_feature_cache,
+)
+from repro.service import PredictionEngine
+
+from _report import RESULTS_DIR, emit_table
+
+COVERAGE = 0.9
+
+#: Loop-body statement pool; each generated program takes a subset, so
+#: programs differ in length, op mix, and dependence structure.
+_STMTS = (
+    "a(i) = a(i) + s * b(i)",
+    "b(i) = b(i) * c(i)",
+    "c(i) = a(i) + b(i) + c(i)",
+    "a(i) = b(i) * 2.0 + c(i) * 3.0",
+    "b(i) = a(i) * a(i) + 1.0",
+    "c(i) = c(i) * s + a(i)",
+)
+
+TRAIN_PROGRAMS = 24     # programs whose samples reach the reservoir
+HELDOUT_PROGRAMS = 2    # never trained on; only the feature memo is warm
+#: Training bindings span the whole evaluated range: conformal coverage
+#: is an exchangeability guarantee, so held-out points interpolate.
+TRAIN_SIZES = tuple(range(3, 220, 9))      # 25 bindings per program
+HELDOUT_SIZES = (7, 25, 58, 91, 140, 201)  # disjoint from TRAIN_SIZES
+
+
+def make_program(k):
+    """Program ``k``: a distinct non-empty subset of the statement pool."""
+    mask = (k % (2 ** len(_STMTS) - 1)) + 1
+    body = [f"    {stmt}"
+            for bit, stmt in enumerate(_STMTS) if mask & (1 << bit)]
+    return (f"subroutine gen{k}(n)\n"
+            f"  integer n, i\n"
+            f"  real s, a(n), b(n), c(n)\n"
+            f"  do i = 1, n\n"
+            + "\n".join(body) + "\n"
+            f"  end do\n"
+            f"end\n")
+
+
+def _payload(source, n, **extra):
+    return {"source": source, "bindings": {"n": n}, **extra}
+
+
+def _build_engines():
+    """(exact-only engine, surrogate engine) -- fresh, inline trainer."""
+    reset_feature_cache()
+    plain = PredictionEngine(workers=0, cache_size=4096)
+    # periodic/drift refits disabled: the bench controls training via
+    # train_now so the evaluated model is fixed for the whole run
+    surrogate = Surrogate(SurrogateConfig(
+        background=False, min_samples=24, retrain_every=10 ** 9,
+        drift_threshold=1e9, coverage=COVERAGE))
+    tiered = PredictionEngine(workers=0, cache_size=4096,
+                              surrogate=surrogate)
+    return plain, tiered
+
+
+def _train(tiered):
+    """Harvest exact predictions for the training split, then fit."""
+    for k in range(TRAIN_PROGRAMS):
+        source = make_program(k)
+        for n in TRAIN_SIZES:
+            result = tiered.handle("predict", _payload(source, n))
+            assert "error" not in result, result
+    versions = tiered.surrogate.train_now()
+    assert versions, "surrogate failed to fit a model"
+
+
+def _bit_identity(plain, tiered, programs=4):
+    """Exact responses must not change shape or value with a surrogate."""
+    for k in range(programs):
+        source = make_program(k * 7 + 1)
+        for payload in (_payload(source, 33),
+                        {"source": source},               # symbolic
+                        _payload(source, 33)):            # cache hit
+            a = plain.handle("predict", dict(payload))
+            b = tiered.handle("predict", dict(payload))
+            if json.dumps(a, sort_keys=True) != json.dumps(b, sort_keys=True):
+                return False
+    return True
+
+
+def _coverage(plain, tiered):
+    """Empirical conformal coverage on the held-out pool."""
+    pool = [(make_program(k), n)
+            for k in range(TRAIN_PROGRAMS) for n in HELDOUT_SIZES]
+    for k in range(TRAIN_PROGRAMS, TRAIN_PROGRAMS + HELDOUT_PROGRAMS):
+        source = make_program(k)
+        extract_static(source, "power")    # warm the memo, not the model
+        pool.extend((source, n) for n in HELDOUT_SIZES)
+    hits = served = 0
+    for source, n in pool:
+        fast = tiered.handle("predict", _payload(source, n,
+                                                 fidelity="fast"))
+        if fast.get("fidelity") != "fast":
+            continue                       # fell through: not a coverage point
+        served += 1
+        exact = plain.handle("predict", _payload(source, n))
+        lo, hi = fast["interval"]
+        hits += lo <= float(exact["cycles"]) <= hi
+    return (hits / served if served else 0.0), served, len(pool)
+
+
+def _latency(plain, tiered, fast_reps, exact_reps):
+    """Per-request p50 seconds for fast serves and exact cache misses."""
+    source = make_program(3)
+    for n in range(5, 55):                 # steady state: warm one lap
+        tiered.handle("predict", _payload(source, n, fidelity="fast"))
+    fast_wall = []
+    for rep in range(fast_reps):
+        payload = _payload(source, 5 + (rep % 50), fidelity="fast")
+        t0 = time.perf_counter()
+        result = tiered.handle("predict", payload)
+        fast_wall.append(time.perf_counter() - t0)
+        assert result.get("fidelity") == "fast", result
+    exact_wall = []
+    for rep in range(exact_reps):
+        # distinct bindings per rep: every request is a true cache miss
+        payload = _payload(source, 10_000 + rep)
+        t0 = time.perf_counter()
+        result = plain.handle("predict", payload)
+        exact_wall.append(time.perf_counter() - t0)
+        assert "error" not in result
+    return statistics.median(fast_wall), statistics.median(exact_wall)
+
+
+def _surrogate_rows(fast_reps, exact_reps):
+    plain, tiered = _build_engines()
+    try:
+        _train(tiered)
+        identical = _bit_identity(plain, tiered)
+        empirical, served, pool = _coverage(plain, tiered)
+        fast_p50, exact_p50 = _latency(plain, tiered, fast_reps, exact_reps)
+    finally:
+        plain.close()
+        tiered.close()
+    speedup = exact_p50 / fast_p50
+    model = tiered.surrogate.stats()["models"].get("power", {})
+    rows = [
+        ("exact cache-miss p50", f"{exact_p50 * 1e6:,.0f}us", "-", "-"),
+        ("surrogate fast p50", f"{fast_p50 * 1e6:,.0f}us",
+         f"{speedup:.1f}x", "-"),
+        ("conformal coverage", f"{empirical:.3f}",
+         f"nominal {COVERAGE:.2f}", f"{served}/{pool} pts"),
+        ("exact bit-identity", "yes" if identical else "NO", "-", "-"),
+    ]
+    notes = (f"{TRAIN_PROGRAMS} train programs x {len(TRAIN_SIZES)} "
+             f"bindings harvested through the engine; held-out pool = "
+             f"unseen bindings + {HELDOUT_PROGRAMS} unseen programs; "
+             f"model v{model.get('version')} "
+             f"(n_train={model.get('n_train')}, n_cal={model.get('n_cal')})")
+    report = {
+        "nominal_coverage": COVERAGE,
+        "empirical_coverage": empirical,
+        "heldout_served": served,
+        "heldout_pool": pool,
+        "fast_p50_seconds": fast_p50,
+        "exact_p50_seconds": exact_p50,
+        "speedup": speedup,
+        "bit_identical": identical,
+        "model": model,
+    }
+    return rows, notes, report
+
+
+def _emit(rows, notes, report, quick):
+    report["quick"] = quick
+    emit_table(
+        "E-SURROGATE",
+        "Tiered fidelity: learned surrogate vs exact pipeline",
+        ["measure", "value", "vs exact", "detail"],
+        rows, notes=notes,
+    )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / "BENCH_SURROGATE.json"
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    return out
+
+
+def _check_floors(report):
+    failures = []
+    if report["speedup"] < 20.0:
+        failures.append(f"speedup {report['speedup']:.1f}x < 20x")
+    if report["empirical_coverage"] < report["nominal_coverage"] - 0.05:
+        failures.append(
+            f"coverage {report['empirical_coverage']:.3f} more than 5 "
+            f"points below nominal {report['nominal_coverage']:.2f}")
+    if not report["bit_identical"]:
+        failures.append("exact responses changed with a surrogate attached")
+    if report["heldout_served"] < report["heldout_pool"] * 0.9:
+        failures.append(
+            f"only {report['heldout_served']}/{report['heldout_pool']} "
+            f"held-out points served fast")
+    return failures
+
+
+def test_surrogate_fast_and_calibrated(benchmark):
+    rows, notes, report = benchmark.pedantic(
+        lambda: _surrogate_rows(fast_reps=400, exact_reps=60),
+        rounds=1, iterations=1,
+    )
+    _emit(rows, notes, report, quick=False)
+    assert not _check_floors(report), report
+
+
+def main(argv=None):
+    """Standalone entry for the CI surrogate-perf gate."""
+    import argparse
+
+    parser = argparse.ArgumentParser(description="E-SURROGATE gate")
+    parser.add_argument("--quick", action="store_true",
+                        help="fewer latency reps; the floors stay the same")
+    args = parser.parse_args(argv)
+    if args.quick:
+        rows, notes, report = _surrogate_rows(fast_reps=120, exact_reps=20)
+    else:
+        rows, notes, report = _surrogate_rows(fast_reps=400, exact_reps=60)
+    out = _emit(rows, notes, report, quick=args.quick)
+    failures = _check_floors(report)
+    if failures:
+        print("FAIL: " + "; ".join(failures))
+        return 1
+    print(f"surrogate ok: {report['speedup']:.0f}x fast-path speedup, "
+          f"coverage {report['empirical_coverage']:.3f} at nominal "
+          f"{report['nominal_coverage']:.2f}, exact bit-identity held "
+          f"({out})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -114,6 +114,52 @@ def _emit_json(kind: str, payload: dict) -> int:
     return 1 if "error" in result else 0
 
 
+def _emit_predict_tiered(payload: dict, store: str | None) -> int:
+    """Run one fast/auto predict through an engine with a surrogate.
+
+    A persisted model artifact (``--surrogate-store``) makes the fast
+    tier answer immediately; without one the request falls through to
+    exact (the response then has no ``fidelity`` field).
+    """
+    from .learn import Surrogate, SurrogateConfig, extract_static
+    from .service import PredictionEngine
+
+    surrogate = Surrogate(SurrogateConfig(store=store, background=False))
+    engine = PredictionEngine(workers=0, cache_size=1, surrogate=surrogate)
+    try:
+        # a one-shot process starts with a cold feature memo; warm it
+        # so the fast tier can answer (invalid sources fall through and
+        # get the engine's proper error envelope)
+        try:
+            extract_static(payload["source"], payload.get("machine", "power"),
+                           payload.get("backend", "aggressive"),
+                           bool(payload.get("include_memory", False)))
+        except Exception:  # noqa: BLE001
+            pass
+        result = engine.handle("predict", payload)
+    finally:
+        engine.close()
+    print(json.dumps(result, indent=2, sort_keys=True))
+    return 1 if "error" in result else 0
+
+
+def _cmd_surrogate_train(args: argparse.Namespace) -> int:
+    """Offline bootstrap: fit models from a persisted result-cache file."""
+    from .learn import train_from_cache
+
+    try:
+        summary = train_from_cache(
+            args.cache,
+            store=args.store,
+            coverage=args.coverage,
+            min_samples=args.min_samples,
+        )
+    except OSError as error:
+        raise SystemExit(f"surrogate train failed: {error}")
+    print(json.dumps(summary, indent=2, sort_keys=True))
+    return 0 if summary["models"] else 1
+
+
 def _apply_kernel(args: argparse.Namespace) -> None:
     """Honor ``--kernel`` by switching this process's placement kernel."""
     kernel = getattr(args, "kernel", None)
@@ -132,16 +178,23 @@ def _domain_json(text: str | None) -> dict[str, list[str]] | None:
 
 def _cmd_predict(args: argparse.Namespace) -> int:
     _apply_kernel(args)
-    if args.json:
+    fidelity = getattr(args, "fidelity", "exact")
+    if args.json or fidelity != "exact":
         bindings = _parse_bindings(args.at)
-        return _emit_json("predict", {
+        payload = {
             "source": _read_source(args.file),
             "machine": args.machine,
             "backend": args.backend,
             "include_memory": bool(args.memory),
             **({"bindings": {k: str(v) for k, v in bindings.items()}}
                if bindings else {}),
-        })
+        }
+        if fidelity != "exact":
+            payload["fidelity"] = fidelity
+            if args.tolerance is not None:
+                payload["tolerance"] = args.tolerance
+            return _emit_predict_tiered(payload, args.surrogate_store)
+        return _emit_json("predict", payload)
     program = _load(args.file)
     cost = predict(
         program,
@@ -327,12 +380,28 @@ def _load_slo(path: str | None):
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .service import PredictionEngine, run_server
 
+    surrogate = None
+    if args.surrogate:
+        from .learn import Surrogate, SurrogateConfig
+
+        store = args.surrogate_store
+        if store is None and args.cache_file:
+            store = args.cache_file + ".surrogate.json"
+        surrogate = Surrogate(SurrogateConfig(
+            coverage=args.surrogate_coverage,
+            min_samples=args.surrogate_min_samples,
+            retrain_every=args.surrogate_retrain_every,
+            drift_threshold=args.surrogate_drift_threshold,
+            default_tolerance=args.surrogate_tolerance,
+            store=store,
+        ))
     engine = PredictionEngine(
         workers=args.workers,
         cache_size=args.cache_size,
         cache_path=args.cache_file,
         executor=args.executor,
         scheduling=args.scheduling,
+        surrogate=surrogate,
     )
     if args.job_store:
         # Fork the worker pool *before* the job runner threads exist --
@@ -399,6 +468,7 @@ def _cmd_top(args: argparse.Namespace) -> int:
         format_top,
         slo_rows_from_exposition,
         summarize_cluster,
+        surrogate_rows_from_exposition,
     )
     from .service import BadRequestError, ReproClient, ReproClientError
 
@@ -415,8 +485,11 @@ def _cmd_top(args: argparse.Namespace) -> int:
             except ReproClientError as error:
                 raise SystemExit(f"top failed: {error}")
             slo_rows = slo_rows_from_exposition(text)
+            surrogate_rows = surrogate_rows_from_exposition(text)
             print(format_top(summarize_cluster(text),
-                             slo_rows=slo_rows or None), flush=True)
+                             slo_rows=slo_rows or None,
+                             surrogate_rows=surrogate_rows or None),
+                  flush=True)
             shown += 1
             if args.iterations and shown >= args.iterations:
                 return 0
@@ -464,6 +537,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--memory", action="store_true",
                    help="include cache/TLB cost terms")
     p.add_argument("--at", help="evaluate at a point, e.g. n=100,m=50")
+    p.add_argument("--fidelity", default="exact",
+                   choices=("exact", "fast", "auto"),
+                   help="serving tier: exact pipeline, learned fast "
+                        "path, or auto (fast only within tolerance)")
+    p.add_argument("--tolerance", type=float, default=None,
+                   help="auto tier's relative interval-width ceiling")
+    p.add_argument("--surrogate-store", metavar="FILE", default=None,
+                   help="surrogate model artifact for --fidelity fast/auto")
     p.add_argument("--kernel", default=None,
                    choices=("fused", "legacy", "arena"),
                    help="placement kernel (default: REPRO_PLACEMENT_KERNEL "
@@ -560,10 +641,44 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--job-stale-seconds", type=float, default=5.0,
                    help="heartbeat age after which another shard may "
                         "adopt a job")
+    p.add_argument("--surrogate", action="store_true",
+                   help="enable the learned fast tier "
+                        "(serves fidelity=fast/auto predicts)")
+    p.add_argument("--surrogate-store", metavar="FILE", default=None,
+                   help="surrogate model artifact path (defaults to "
+                        "<cache-file>.surrogate.json when --cache-file "
+                        "is set)")
+    p.add_argument("--surrogate-coverage", type=float, default=0.9,
+                   help="nominal conformal interval coverage")
+    p.add_argument("--surrogate-min-samples", type=int, default=40,
+                   help="harvested samples before the first fit")
+    p.add_argument("--surrogate-retrain-every", type=int, default=64,
+                   help="fresh samples between periodic refits")
+    p.add_argument("--surrogate-drift-threshold", type=float, default=1.0,
+                   help="rolling |error|/half-width that forces a refit")
+    p.add_argument("--surrogate-tolerance", type=float, default=0.1,
+                   help="auto tier's default relative-width ceiling")
     p.add_argument("--slo-config", metavar="FILE",
                    help="JSON latency/error objectives; exports "
                         "repro_slo_* burn-rate gauges on /metrics")
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "surrogate", help="learned fast-tier model management")
+    surrogate_sub = p.add_subparsers(dest="surrogate_command", required=True)
+    p = surrogate_sub.add_parser(
+        "train",
+        help="bootstrap surrogate models offline from a cache file")
+    p.add_argument("--cache", required=True, metavar="FILE",
+                   help="JSONL result-cache file written by "
+                        "'repro serve --cache-file'")
+    p.add_argument("--store", metavar="FILE", default=None,
+                   help="write the fitted model artifact here")
+    p.add_argument("--coverage", type=float, default=0.9,
+                   help="nominal conformal interval coverage")
+    p.add_argument("--min-samples", type=int, default=24,
+                   help="skip machines with fewer harvested samples")
+    p.set_defaults(func=_cmd_surrogate_train)
 
     p = sub.add_parser(
         "route", help="run the consistent-hash shard router")

@@ -20,6 +20,7 @@ from .bins import BinSet, Placement
 from .columnar import (
     COLUMNAR_CACHE_LIMIT,
     CompiledStream,
+    StreamSummary,
     columnar_cache_stats,
     compile_stream,
     reset_columnar_cache,
@@ -47,7 +48,8 @@ __all__ = [
     "CompiledStream", "CostBlock", "DEFAULT_FOCUS_SPAN", "DEFAULT_SPAN",
     "EXHAUSTIVE_SPAN", "FAST_SPAN", "HAVE_NUMPY", "PLACEMENT_CACHE_LIMIT",
     "PlacedBlock", "PlacedOp", "Placement", "PlacementArena", "SlotArray",
-    "StraightLineEstimator", "arena_cache_stats", "arena_numpy_enabled",
+    "StraightLineEstimator", "StreamSummary",
+    "arena_cache_stats", "arena_numpy_enabled",
     "columnar_cache_stats", "combined_cycles", "compile_stream",
     "get_arena", "max_overlap", "place_batch", "place_stream",
     "placement_cache_stats", "placement_kernel", "recommended_span",

@@ -46,7 +46,7 @@ import threading
 from array import array
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Sequence
+from typing import NamedTuple, Sequence
 
 from ..machine.compiled import CompiledOps, compile_ops
 from ..machine.machine import Machine
@@ -56,12 +56,34 @@ from .bins import BinSet
 __all__ = [
     "COLUMNAR_CACHE_LIMIT",
     "CompiledStream",
+    "StreamSummary",
     "columnar_cache_stats",
     "compile_stream",
     "drop_columns",
     "drop_range",
     "reset_columnar_cache",
 ]
+
+
+class StreamSummary(NamedTuple):
+    """Aggregate view of one compiled stream's columns.
+
+    Everything here falls out of the single lowering pass, so callers
+    that need histogram/dependence statistics (the learned surrogate's
+    feature extractor, telemetry summaries) read this instead of
+    re-walking the ``array('q')`` columns per use.  Counts are keyed by
+    the machine's dense op ids -- resolve names via
+    :attr:`CompiledOps.names`.
+    """
+
+    length: int                 #: instruction count
+    op_counts: tuple[int, ...]  #: per dense op id, len == len(ops.names)
+    dep_edges: int              #: resolved dependence edges
+    dep_dist_sum: int           #: sum of producer->consumer distances
+    dep_dist_max: int           #: longest producer->consumer distance
+    one_time: int               #: loop-invariant instructions
+    latency_sum: int            #: sum of result latencies
+    noncoverable_sum: int       #: sum of noncoverable unit cycles
 
 
 @dataclass(frozen=True)
@@ -79,6 +101,7 @@ class CompiledStream:
     #: deps, mirroring the legacy ``completions.get(dep, 0)`` semantics.
     deps: array
     one_time: array           #: 'b' column: loop-invariant flags
+    summary: StreamSummary    #: column aggregates, built during lowering
 
     def __len__(self) -> int:
         return len(self.instrs)
@@ -156,19 +179,40 @@ def compile_stream(
 def _lower(ops: CompiledOps, instrs: Sequence[Instr],
            digest: str) -> CompiledStream:
     index_of = ops.index_of
+    latency = ops.latency
+    components = ops.components
     op_ids = array("q", bytes(0))
     dep_ptr = array("q", [0])
     deps = array("q", bytes(0))
     one_time = array("b", bytes(0))
     last_pos: dict[int, int] = {}
+    counts = [0] * len(ops.names)
+    dep_edges = dep_dist_sum = dep_dist_max = 0
+    one_time_count = latency_sum = noncoverable_sum = 0
     for pos, instr in enumerate(instrs):
-        op_ids.append(index_of[instr.atomic])
+        oid = index_of[instr.atomic]
+        op_ids.append(oid)
+        counts[oid] += 1
+        latency_sum += latency[oid]
+        comps = components[oid]
+        if comps:
+            for _slot, length in comps:
+                noncoverable_sum += length
         for dep in instr.deps:
             p = last_pos.get(dep, -1)
             if p >= 0:
                 deps.append(p)
+                dep_edges += 1
+                dist = pos - p
+                dep_dist_sum += dist
+                if dist > dep_dist_max:
+                    dep_dist_max = dist
         dep_ptr.append(len(deps))
-        one_time.append(1 if instr.one_time else 0)
+        if instr.one_time:
+            one_time.append(1)
+            one_time_count += 1
+        else:
+            one_time.append(0)
         last_pos[instr.index] = pos
     return CompiledStream(
         fingerprint=ops.fingerprint,
@@ -178,6 +222,16 @@ def _lower(ops: CompiledOps, instrs: Sequence[Instr],
         dep_ptr=dep_ptr,
         deps=deps,
         one_time=one_time,
+        summary=StreamSummary(
+            length=len(op_ids),
+            op_counts=tuple(counts),
+            dep_edges=dep_edges,
+            dep_dist_sum=dep_dist_sum,
+            dep_dist_max=dep_dist_max,
+            one_time=one_time_count,
+            latency_sum=latency_sum,
+            noncoverable_sum=noncoverable_sum,
+        ),
     )
 
 

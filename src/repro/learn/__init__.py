@@ -1,0 +1,60 @@
+"""Tiered-fidelity serving: learned surrogate fast path.
+
+The exact pipeline (parse -> translate -> place -> aggregate) answers
+every predict with paper-faithful cycle counts, but costs milliseconds
+per cache miss.  This package adds a *fast* tier: a per-machine ridge
+model over stream-summary features with split-conformal intervals,
+trained online from the exact answers the engine is already producing.
+
+* :mod:`~repro.learn.features` -- fixed-width feature vectors, kernel-
+  invariant by construction;
+* :mod:`~repro.learn.model` -- ridge + conformal calibration, JSON
+  model artifacts keyed by machine fingerprint;
+* :mod:`~repro.learn.trainer` -- the online :class:`Surrogate`:
+  serving, harvest reservoirs, drift-driven retrains, and the offline
+  :func:`train_from_cache` bootstrap.
+"""
+
+from .features import (
+    FEATURE_DIM,
+    FEATURE_VERSION,
+    OP_BUCKETS,
+    StaticFeatures,
+    extract_static,
+    feature_cache_stats,
+    feature_vector,
+    peek_static,
+    reset_feature_cache,
+)
+from .model import (
+    ARTIFACT_FORMAT,
+    HAVE_NUMPY,
+    ConformalModel,
+    fit_conformal,
+    load_artifact,
+    save_artifact,
+    solve_ridge,
+)
+from .trainer import Surrogate, SurrogateConfig, train_from_cache
+
+__all__ = [
+    "ARTIFACT_FORMAT",
+    "ConformalModel",
+    "FEATURE_DIM",
+    "FEATURE_VERSION",
+    "HAVE_NUMPY",
+    "OP_BUCKETS",
+    "StaticFeatures",
+    "Surrogate",
+    "SurrogateConfig",
+    "extract_static",
+    "feature_cache_stats",
+    "feature_vector",
+    "fit_conformal",
+    "load_artifact",
+    "peek_static",
+    "reset_feature_cache",
+    "save_artifact",
+    "solve_ridge",
+    "train_from_cache",
+]

@@ -1,0 +1,293 @@
+"""Ridge regression with split-conformal intervals for the fast tier.
+
+The surrogate is deliberately small: a linear model over the
+:mod:`~repro.learn.features` basis, solved in closed form.  With numpy
+installed (the ``fast`` extra) the normal equations go through
+``numpy.linalg.solve``; otherwise a pure-python Gaussian elimination
+with partial pivoting handles the same (d x d, d = ``FEATURE_DIM``)
+system -- both produce the same model to float precision.
+
+Calibration is *split conformal*: fit on one slice of the samples,
+take the ``ceil((n+1) * coverage)``-th smallest absolute residual on a
+disjoint calibration slice, and report every prediction as
+``[mid - q, mid + q]``.  The coverage guarantee rests on
+exchangeability of calibration and test points, not on the model being
+right -- a misfit model just gets wide intervals, which the ``auto``
+fidelity tier then refuses to serve.
+
+Model artifacts are JSON, keyed by machine cost-table fingerprint like
+the engine's JSONL result cache, so a recalibrated machine silently
+invalidates its surrogate instead of serving stale cycles.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import time
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from .features import FEATURE_DIM, FEATURE_VERSION
+
+try:  # the "fast" extra; the fallback solver is bit-for-bit adequate
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is present in CI
+    _np = None
+
+HAVE_NUMPY = _np is not None
+
+__all__ = [
+    "ARTIFACT_FORMAT",
+    "ConformalModel",
+    "HAVE_NUMPY",
+    "fit_conformal",
+    "load_artifact",
+    "save_artifact",
+    "solve_ridge",
+]
+
+ARTIFACT_FORMAT = "repro-surrogate-v1"
+
+#: Calibration slice: every third sample (deterministic, so retrains
+#: are reproducible); the rest fit the ridge weights.
+_CAL_STRIDE = 3
+
+#: Floors below which a split cannot produce a finite conformal
+#: quantile at reasonable coverage levels.
+MIN_FIT = 8
+MIN_CAL = 8
+
+
+def solve_ridge(
+    rows: Sequence[Sequence[float]],
+    targets: Sequence[float],
+    ridge: float = 1e-3,
+) -> list[float]:
+    """Weights minimizing ``||Xw - y||^2 + ridge * ||w||^2``.
+
+    Columns are scaled to unit maximum before solving (and the scaling
+    folded back into the returned weights), which keeps the normal
+    equations well-conditioned for either solver.
+    """
+    n = len(rows)
+    if n == 0:
+        raise ValueError("no samples")
+    d = len(rows[0])
+    scale = [1.0] * d
+    for j in range(d):
+        top = max(abs(row[j]) for row in rows)
+        if top > 0.0:
+            scale[j] = top
+    scaled = [[row[j] / scale[j] for j in range(d)] for row in rows]
+    if HAVE_NUMPY:
+        x = _np.asarray(scaled, dtype=float)
+        y = _np.asarray(targets, dtype=float)
+        a = x.T @ x + ridge * _np.eye(d)
+        b = x.T @ y
+        w = _np.linalg.solve(a, b)
+        return [float(w[j]) / scale[j] for j in range(d)]
+    # Normal equations by hand: A = X^T X + ridge I, b = X^T y.
+    a = [[0.0] * d for _ in range(d)]
+    b = [0.0] * d
+    for row, target in zip(scaled, targets):
+        for j in range(d):
+            vj = row[j]
+            if vj == 0.0:
+                continue
+            b[j] += vj * target
+            aj = a[j]
+            for k in range(j, d):
+                aj[k] += vj * row[k]
+    for j in range(d):
+        a[j][j] += ridge
+        for k in range(j):
+            a[j][k] = a[k][j]
+    w = _gaussian_solve(a, b)
+    return [w[j] / scale[j] for j in range(d)]
+
+
+def _gaussian_solve(a: list[list[float]], b: list[float]) -> list[float]:
+    """In-place Gaussian elimination with partial pivoting."""
+    d = len(b)
+    for col in range(d):
+        pivot = max(range(col, d), key=lambda r: abs(a[r][col]))
+        if abs(a[pivot][col]) < 1e-12:
+            a[col][col] += 1e-9    # ridge already added; belt and braces
+            pivot = col
+        if pivot != col:
+            a[col], a[pivot] = a[pivot], a[col]
+            b[col], b[pivot] = b[pivot], b[col]
+        inv = 1.0 / a[col][col]
+        for row in range(col + 1, d):
+            factor = a[row][col] * inv
+            if factor == 0.0:
+                continue
+            arow, acol = a[row], a[col]
+            for k in range(col, d):
+                arow[k] -= factor * acol[k]
+            b[row] -= factor * b[col]
+    x = [0.0] * d
+    for row in range(d - 1, -1, -1):
+        total = b[row]
+        arow = a[row]
+        for k in range(row + 1, d):
+            total -= arow[k] * x[k]
+        x[row] = total / arow[row]
+    return x
+
+
+@dataclass(frozen=True)
+class ConformalModel:
+    """One fitted surrogate for one machine fingerprint."""
+
+    fingerprint: str
+    machine: str                  #: machine name at fit time (labels only)
+    version: int                  #: bumps on every hot swap
+    feature_version: int
+    coverage: float               #: nominal interval coverage
+    weights: tuple[float, ...]
+    quantile: float               #: conformal half-width (absolute cycles)
+    n_train: int
+    n_cal: int
+    trained_at: float             #: wall time of the fit
+
+    def point(self, x: Sequence[float]) -> float:
+        total = 0.0
+        for w, v in zip(self.weights, x):
+            if v:
+                total += w * v
+        return total
+
+    def predict(self, x: Sequence[float]) -> tuple[float, float, float]:
+        """``(mid, lo, hi)`` at the nominal coverage; ``lo`` floors at 0."""
+        mid = self.point(x)
+        lo = mid - self.quantile
+        return mid, (lo if lo > 0.0 else 0.0), mid + self.quantile
+
+
+def fit_conformal(
+    rows: Sequence[Sequence[float]],
+    targets: Sequence[float],
+    *,
+    coverage: float = 0.9,
+    ridge: float = 1e-3,
+    fingerprint: str = "",
+    machine: str = "",
+    version: int = 1,
+) -> ConformalModel | None:
+    """Fit + calibrate one model; ``None`` when the split is too thin.
+
+    The calibration slice is every :data:`_CAL_STRIDE`-th sample, so a
+    refit over the same reservoir is deterministic.  Returns ``None``
+    (caller keeps the old model) when either slice is below its floor
+    or the requested coverage needs more calibration points than exist
+    (the finite-sample quantile index would run off the end).
+    """
+    if not 0.0 < coverage < 1.0:
+        raise ValueError("coverage must be in (0, 1)")
+    fit_rows, fit_y, cal_rows, cal_y = [], [], [], []
+    for i, (row, target) in enumerate(zip(rows, targets)):
+        if i % _CAL_STRIDE == _CAL_STRIDE - 1:
+            cal_rows.append(row)
+            cal_y.append(target)
+        else:
+            fit_rows.append(row)
+            fit_y.append(target)
+    if len(fit_rows) < MIN_FIT or len(cal_rows) < MIN_CAL:
+        return None
+    k = math.ceil((len(cal_rows) + 1) * coverage)
+    if k > len(cal_rows):
+        return None                 # coverage unattainable at this n
+    weights = solve_ridge(fit_rows, fit_y, ridge)
+    residuals = sorted(
+        abs(target - sum(w * v for w, v in zip(weights, row)))
+        for row, target in zip(cal_rows, cal_y)
+    )
+    return ConformalModel(
+        fingerprint=fingerprint,
+        machine=machine,
+        version=version,
+        feature_version=FEATURE_VERSION,
+        coverage=coverage,
+        weights=tuple(weights),
+        quantile=residuals[k - 1],
+        n_train=len(fit_rows),
+        n_cal=len(cal_rows),
+        trained_at=time.time(),
+    )
+
+
+# ----------------------------------------------------------------------
+# artifact persistence (JSON next to the result-cache file)
+
+
+def save_artifact(path: str | os.PathLike,
+                  models: Mapping[str, ConformalModel]) -> None:
+    """Atomically write every model, keyed by machine fingerprint."""
+    payload = {
+        "format": ARTIFACT_FORMAT,
+        "feature_version": FEATURE_VERSION,
+        "saved_at": time.time(),
+        "models": {
+            fp: {
+                "machine": m.machine,
+                "version": m.version,
+                "coverage": m.coverage,
+                "weights": list(m.weights),
+                "quantile": m.quantile,
+                "n_train": m.n_train,
+                "n_cal": m.n_cal,
+                "trained_at": m.trained_at,
+            }
+            for fp, m in models.items()
+        },
+    }
+    path = os.fspath(path)
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp, path)
+
+
+def load_artifact(path: str | os.PathLike) -> dict[str, ConformalModel]:
+    """Load an artifact; empty on missing/corrupt/stale-format files.
+
+    A surrogate must never block serving: anything unreadable just
+    means "start with no model and learn from traffic".
+    """
+    path = os.fspath(path)
+    if not os.path.exists(path):
+        return {}
+    try:
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        return {}
+    if not isinstance(payload, dict) or payload.get("format") != ARTIFACT_FORMAT:
+        return {}
+    if payload.get("feature_version") != FEATURE_VERSION:
+        return {}
+    out: dict[str, ConformalModel] = {}
+    for fp, raw in (payload.get("models") or {}).items():
+        try:
+            weights = tuple(float(w) for w in raw["weights"])
+            if len(weights) != FEATURE_DIM:
+                continue
+            out[fp] = ConformalModel(
+                fingerprint=fp,
+                machine=str(raw.get("machine", "")),
+                version=int(raw.get("version", 1)),
+                feature_version=FEATURE_VERSION,
+                coverage=float(raw.get("coverage", 0.9)),
+                weights=weights,
+                quantile=float(raw["quantile"]),
+                n_train=int(raw.get("n_train", 0)),
+                n_cal=int(raw.get("n_cal", 0)),
+                trained_at=float(raw.get("trained_at", 0.0)),
+            )
+        except (KeyError, TypeError, ValueError):
+            continue
+    return out

@@ -5,7 +5,13 @@ from .atomic import AtomicCostTable, AtomicOp
 from .compiled import CompiledOps, compile_ops, reset_compiled_ops
 from .machine import Machine, MemoryGeometry
 from .power import POWER_ATOMIC_MAPPING, build_power_table, power_machine
-from .registry import get_machine, machine_names, register_machine
+from .registry import (
+    cached_machine,
+    get_machine,
+    machine_fingerprint,
+    machine_names,
+    register_machine,
+)
 from .scalar import scalar_machine
 from .training import TrainingProbe, calibrate, make_probes
 from .units import FunctionalUnit, UnitCost, UnitKind
@@ -14,7 +20,8 @@ from .wide import wide_machine
 __all__ = [
     "AtomicCostTable", "AtomicOp", "CompiledOps", "FunctionalUnit",
     "Machine", "MemoryGeometry", "POWER_ATOMIC_MAPPING", "UnitCost",
-    "UnitKind", "build_power_table", "compile_ops", "get_machine",
+    "UnitKind", "build_power_table", "cached_machine", "compile_ops",
+    "get_machine", "machine_fingerprint",
     "machine_names", "power_machine", "register_machine",
     "reset_compiled_ops", "scalar_machine", "wide_machine",
     "TrainingProbe", "alpha_machine", "calibrate", "make_probes",

@@ -16,7 +16,10 @@ from .power import power_machine
 from .scalar import scalar_machine
 from .wide import wide_machine
 
-__all__ = ["get_machine", "register_machine", "machine_names"]
+__all__ = [
+    "cached_machine", "get_machine", "machine_fingerprint",
+    "machine_names", "register_machine",
+]
 
 _FACTORIES: dict[str, Callable[[], Machine]] = {
     "alpha": alpha_machine,
@@ -24,6 +27,14 @@ _FACTORIES: dict[str, Callable[[], Machine]] = {
     "scalar": scalar_machine,
     "wide": wide_machine,
 }
+
+#: name -> (factory that built it, Machine) / (factory, fingerprint).
+#: Factories are deterministic (the preset machines are literal
+#: constructions), so the memo is valid as long as the registered
+#: factory object is unchanged; registering a different factory under
+#: the same name -- what recalibration does -- invalidates by identity.
+_MACHINE_MEMO: dict[str, tuple[Callable[[], Machine], Machine]] = {}
+_FINGERPRINT_MEMO: dict[str, tuple[Callable[[], Machine], str]] = {}
 
 
 def register_machine(name: str, factory: Callable[[], Machine]) -> None:
@@ -44,3 +55,40 @@ def get_machine(name: str) -> Machine:
         raise KeyError(
             f"unknown machine {name!r}; available: {', '.join(machine_names())}"
         ) from None
+
+
+def cached_machine(name: str) -> Machine:
+    """Like :func:`get_machine`, but reuses one instance per factory.
+
+    ``Machine`` is a frozen dataclass, so sharing an instance across
+    requests is safe; serving hot paths use this to avoid rebuilding
+    the full cost table per request.
+    """
+    factory = _FACTORIES.get(name)
+    if factory is None:
+        return get_machine(name)    # raises the uniform KeyError
+    memo = _MACHINE_MEMO.get(name)
+    if memo is not None and memo[0] is factory:
+        return memo[1]
+    machine = factory()
+    _MACHINE_MEMO[name] = (factory, machine)
+    return machine
+
+
+def machine_fingerprint(name: str) -> str:
+    """Cost-table fingerprint of ``name`` without rebuilding the machine.
+
+    ``Machine.fingerprint()`` hashes the whole cost table; computing it
+    (and the machine itself) once per registered factory instead of per
+    request keeps it off the serving hot path while still recomputing
+    when recalibration registers a retrained factory under the name.
+    """
+    factory = _FACTORIES.get(name)
+    if factory is None:
+        get_machine(name)           # raises the uniform KeyError
+    memo = _FINGERPRINT_MEMO.get(name)
+    if memo is not None and memo[0] is factory:
+        return memo[1]
+    fingerprint = cached_machine(name).fingerprint()
+    _FINGERPRINT_MEMO[name] = (factory, fingerprint)
+    return fingerprint

@@ -37,6 +37,8 @@ __all__ = [
     "summarize_cluster",
     "histogram_quantile",
     "format_top",
+    "slo_rows_from_exposition",
+    "surrogate_rows_from_exposition",
 ]
 
 #: Label values reserved for synthetic gauge aggregates.
@@ -197,8 +199,48 @@ def _fmt_latency(seconds: float) -> str:
     return f"{seconds:.2f}s"
 
 
+def surrogate_rows_from_exposition(text: str) -> list[dict[str, Any]]:
+    """Per-shard fast/exact split from the ``repro_surrogate_*`` family.
+
+    Empty when no shard runs a surrogate, so ``repro top`` only shows
+    the pane where the fast tier is actually on.
+    """
+    families = parse_exposition(text)
+    rows: dict[str, dict[str, Any]] = {}
+
+    def row(shard: str) -> dict[str, Any]:
+        return rows.setdefault(shard, {
+            "shard": shard, "served": 0.0, "fallthrough": 0.0,
+            "retrains": 0.0, "versions": {},
+        })
+
+    for name, field in (("repro_surrogate_served_total", "served"),
+                        ("repro_surrogate_fallthrough_total", "fallthrough"),
+                        ("repro_surrogate_retrains_total", "retrains")):
+        family = families.get(name)
+        if family is None:
+            continue
+        for sample in family.samples:
+            labels = dict(sample.labels)
+            shard = labels.get("shard", "local")
+            if shard in _SYNTHETIC_SHARDS:
+                continue
+            row(shard)[field] += sample.value
+    family = families.get("repro_surrogate_model_version")
+    if family is not None:
+        for sample in family.samples:
+            labels = dict(sample.labels)
+            shard = labels.get("shard", "local")
+            if shard in _SYNTHETIC_SHARDS:
+                continue
+            machine = labels.get("machine", "?")
+            row(shard)["versions"][machine] = int(sample.value)
+    return sorted(rows.values(), key=lambda r: r["shard"])
+
+
 def format_top(rows: list[dict[str, Any]], *,
-               slo_rows: list[dict[str, Any]] | None = None) -> str:
+               slo_rows: list[dict[str, Any]] | None = None,
+               surrogate_rows: list[dict[str, Any]] | None = None) -> str:
     """Render ``summarize_cluster`` rows as the ``repro top`` table."""
     header = (f"{'SHARD':<28} {'ENDPOINT':<14} {'REQS':>8} {'ERRS':>6} "
               f"{'P50':>8} {'P95':>8} {'P99':>8}")
@@ -224,6 +266,18 @@ def format_top(rows: list[dict[str, Any]], *,
             lines.append(
                 f"{entry['endpoint'][:20]:<20} {entry['objective']:<22} "
                 f"{entry['observed']:>10} {burn:>6.2f}{flag}")
+    if surrogate_rows:
+        lines.append("")
+        fast_header = (f"{'SURROGATE SHARD':<28} {'FAST':>8} "
+                       f"{'FALLTHRU':>9} {'RETRAINS':>9}  MODELS")
+        lines.extend([fast_header, "-" * len(fast_header)])
+        for entry in surrogate_rows:
+            models = ",".join(f"{m}:v{v}"
+                              for m, v in sorted(entry["versions"].items()))
+            lines.append(
+                f"{entry['shard'][:28]:<28} {int(entry['served']):>8} "
+                f"{int(entry['fallthrough']):>9} "
+                f"{int(entry['retrains']):>9}  {models or '-'}")
     return "\n".join(lines)
 
 

@@ -75,6 +75,7 @@ class ResultCache:
         self.stats = CacheStats()
         self._data: OrderedDict[str, dict[str, Any]] = OrderedDict()
         self._stamps: dict[str, float] = {}  # key -> insertion wall time
+        self._aux: dict[str, dict[str, Any]] = {}  # key -> persisted req block
         self._lock = threading.Lock()
         if self.path is not None:
             self.load()
@@ -100,8 +101,15 @@ class ResultCache:
             self.stats.hits += 1
             return value
 
-    def put(self, key: str, value: dict[str, Any]) -> Eviction | None:
+    def put(self, key: str, value: dict[str, Any],
+            aux: dict[str, Any] | None = None) -> Eviction | None:
         """Store ``key``; evicts the LRU entry past ``maxsize``.
+
+        ``aux`` is an optional request-shaped block persisted alongside
+        the value (as a ``req`` field on the JSON line) but never held
+        resident: offline consumers like ``repro surrogate train`` read
+        it back as free labeled training data.  Readers that predate
+        the field ignore it.
 
         Returns an :class:`Eviction` record when a resident entry fell
         out (so callers can report which endpoint lost an entry and how
@@ -114,14 +122,17 @@ class ResultCache:
             self._data[key] = value
             self._data.move_to_end(key)
             self._stamps[key] = now
+            if aux:
+                self._aux[key] = aux
             if not already_present and len(self._data) > self.maxsize:
                 victim, _ = self._data.popitem(last=False)
                 stored = self._stamps.pop(victim, now)
+                self._aux.pop(victim, None)
                 self.stats.evictions += 1
                 evicted = Eviction(victim, endpoint_of(victim),
                                    max(now - stored, 0.0))
             if self.path is not None:
-                self._append_line(key, value, now)
+                self._append_line(key, value, now, aux)
         return evicted
 
     def entry_ages(self) -> dict[str, float]:
@@ -137,6 +148,7 @@ class ResultCache:
         with self._lock:
             self._data.clear()
             self._stamps.clear()
+            self._aux.clear()
             self.stats = CacheStats()
 
     def keys(self) -> Iterator[str]:
@@ -146,10 +158,12 @@ class ResultCache:
     # ------------------------------------------------------------------
     # persistence
 
-    def _append_line(self, key: str, value: dict[str, Any],
-                     stamp: float) -> None:
-        line = json.dumps({"key": key, "value": value, "ts": stamp},
-                          sort_keys=True)
+    def _append_line(self, key: str, value: dict[str, Any], stamp: float,
+                     aux: dict[str, Any] | None = None) -> None:
+        record: dict[str, Any] = {"key": key, "value": value, "ts": stamp}
+        if aux:
+            record["req"] = aux
+        line = json.dumps(record, sort_keys=True)
         with open(self.path, "a", encoding="utf-8") as handle:
             handle.write(line + "\n")
 
@@ -164,6 +178,7 @@ class ResultCache:
         now = time.time()
         loaded: OrderedDict[str, dict[str, Any]] = OrderedDict()
         stamps: dict[str, float] = {}
+        aux: dict[str, dict[str, Any]] = {}
         with open(self.path, encoding="utf-8") as handle:
             for line in handle:
                 line = line.strip()
@@ -177,6 +192,9 @@ class ResultCache:
                 if key in loaded:
                     loaded.move_to_end(key)
                 loaded[key] = value
+                req = record.get("req")
+                if isinstance(req, dict):
+                    aux[key] = req
                 # Files written before timestamps existed lack "ts";
                 # treat those entries as stored at load time.
                 ts = record.get("ts")
@@ -184,9 +202,11 @@ class ResultCache:
         while len(loaded) > self.maxsize:
             victim, _ = loaded.popitem(last=False)
             stamps.pop(victim, None)
+            aux.pop(victim, None)
         with self._lock:
             self._data = loaded
             self._stamps = stamps
+            self._aux = aux
             return len(self._data)
 
     def compact(self) -> None:
@@ -195,13 +215,15 @@ class ResultCache:
             return
         with self._lock:
             now = time.time()
-            lines = [
-                json.dumps(
-                    {"key": k, "value": v, "ts": self._stamps.get(k, now)},
-                    sort_keys=True,
-                )
-                for k, v in self._data.items()
-            ]
+            lines = []
+            for k, v in self._data.items():
+                record: dict[str, Any] = {
+                    "key": k, "value": v, "ts": self._stamps.get(k, now),
+                }
+                req = self._aux.get(k)
+                if req:
+                    record["req"] = req
+                lines.append(json.dumps(record, sort_keys=True))
             tmp = self.path + ".tmp"
             with open(tmp, "w", encoding="utf-8") as handle:
                 handle.write("\n".join(lines) + ("\n" if lines else ""))

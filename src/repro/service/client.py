@@ -106,7 +106,8 @@ def remote_error(envelope: Mapping[str, Any], *,
 def _predict_payload(source: str, machine: str, backend: str,
                      include_memory: bool,
                      bindings: Mapping[str, Any] | None,
-                     trace: bool) -> dict[str, Any]:
+                     trace: bool, fidelity: str = "exact",
+                     tolerance: float | None = None) -> dict[str, Any]:
     payload: dict[str, Any] = {
         "source": source, "machine": machine, "backend": backend,
         "include_memory": include_memory,
@@ -115,6 +116,12 @@ def _predict_payload(source: str, machine: str, backend: str,
         payload["bindings"] = {k: str(v) for k, v in bindings.items()}
     if trace:
         payload["trace"] = True
+    # Sent only when non-default, so requests from older client builds
+    # and these are byte-identical on the exact tier.
+    if fidelity != "exact":
+        payload["fidelity"] = fidelity
+    if tolerance is not None:
+        payload["tolerance"] = tolerance
     return payload
 
 
@@ -384,10 +391,12 @@ class ReproClient:
     def predict(self, source: str, *, machine: str = "power",
                 backend: str = "aggressive", include_memory: bool = False,
                 bindings: Mapping[str, Any] | None = None,
-                trace: bool = False,
+                trace: bool = False, fidelity: str = "exact",
+                tolerance: float | None = None,
                 request_id: str | None = None) -> PredictResponse:
         payload = _predict_payload(source, machine, backend,
-                                   include_memory, bindings, trace)
+                                   include_memory, bindings, trace,
+                                   fidelity, tolerance)
         status, body, rid = self._call("POST", "/predict", payload, request_id)
         return _decode_single("predict", status, body, rid)
 
@@ -787,10 +796,12 @@ class AsyncReproClient:
                       backend: str = "aggressive",
                       include_memory: bool = False,
                       bindings: Mapping[str, Any] | None = None,
-                      trace: bool = False,
+                      trace: bool = False, fidelity: str = "exact",
+                      tolerance: float | None = None,
                       request_id: str | None = None) -> PredictResponse:
         payload = _predict_payload(source, machine, backend,
-                                   include_memory, bindings, trace)
+                                   include_memory, bindings, trace,
+                                   fidelity, tolerance)
         status, body, rid = await self._call("POST", "/predict", payload,
                                              request_id)
         return _decode_single("predict", status, body, rid)

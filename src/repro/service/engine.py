@@ -65,7 +65,7 @@ from ..cost.placement import placement_cache_stats, placement_kernel
 from ..ir.digest import program_digest, stmts_digest
 from ..ir.parser import ParseError, parse_program
 from ..ir.lexer import LexError
-from ..machine.registry import get_machine
+from ..machine.registry import get_machine, machine_fingerprint
 from ..obs import (
     TraceBuffer,
     Tracer,
@@ -353,6 +353,21 @@ def _search_round_chunk(root, root_key, machine, programs,
             "placement": _placement_delta(before, placement_cache_stats())}
 
 
+def _fast_path_trace(kind: str) -> list[dict[str, Any]]:
+    """The trace block for a surrogate answer: one honest span.
+
+    The fast tier never runs the pipeline, so there are no pipeline
+    spans to show -- just the serving lookup itself.
+    """
+    ctx = current_context()
+    tracer = (Tracer(trace_id=ctx.trace_id, remote_parent_id=ctx.span_id)
+              if ctx is not None else Tracer())
+    with tracer.activate():
+        with trace_span("engine.execute", kind=kind, fidelity="fast"):
+            pass
+    return tracer.export()
+
+
 def _cache_hit_trace(kind: str) -> list[dict[str, Any]]:
     """The trace block for a cache hit: one ``engine.execute`` span.
 
@@ -399,21 +414,11 @@ def _canonical_mapping(raw: Mapping[str, Any] | None) -> str:
     return ",".join(f"{k}={raw[k]}" for k in sorted(raw))
 
 
-#: Machine-name -> (machine object identity, fingerprint).  Machines
-#: are registry singletons, so the identity check makes the fingerprint
-#: free on the hot path while still recomputing when recalibration
-#: swaps in a retrained machine under the same name.
-_FINGERPRINTS: dict[str, tuple[int, str]] = {}
-
-
-def _machine_fingerprint(name: str) -> str:
-    machine = get_machine(name)
-    memo = _FINGERPRINTS.get(name)
-    if memo is not None and memo[0] == id(machine):
-        return memo[1]
-    fingerprint = machine.fingerprint()
-    _FINGERPRINTS[name] = (id(machine), fingerprint)
-    return fingerprint
+#: The registry memoizes per registered factory (``get_machine`` builds
+#: a fresh Machine each call, so an object-identity memo here never
+#: hit), which makes the fingerprint free on the hot path while still
+#: recomputing when recalibration registers a retrained factory.
+_machine_fingerprint = machine_fingerprint
 
 
 def _cache_key(kind: str, request: Any) -> str:
@@ -459,6 +464,28 @@ _KIND_BY_TYPE = {
     RestructureRequest: "restructure",
     KernelsRequest: "kernels",
 }
+
+
+def _predict_aux(entry: "_Pending", result: Mapping[str, Any],
+                 ) -> dict[str, Any] | None:
+    """The ``req`` block persisted on predict cache lines.
+
+    Only evaluated predicts (bindings present, numeric cycles) are
+    useful to ``repro surrogate train``; everything else stays aux-free
+    so the JSONL file does not balloon.
+    """
+    if entry.kind != "predict" or result.get("cycles") is None:
+        return None
+    request = entry.request
+    if not request.bindings:
+        return None
+    return {
+        "source": request.source,
+        "machine": request.machine,
+        "backend": request.backend,
+        "include_memory": request.include_memory,
+        "bindings": {k: str(v) for k, v in request.bindings.items()},
+    }
 
 
 class _Pending(NamedTuple):
@@ -507,6 +534,7 @@ class PredictionEngine:
         executor: str = "auto",
         metrics: MetricsRegistry | None = None,
         scheduling: str = "weighted",
+        surrogate: Any = None,
     ):
         if executor not in ("auto", "process", "thread", "sync"):
             raise ValueError(f"unknown executor policy {executor!r}")
@@ -516,6 +544,12 @@ class PredictionEngine:
         self.scheduling = scheduling
         self.cache = ResultCache(maxsize=cache_size, path=cache_path)
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: Learned fast tier (repro.learn.Surrogate) or None.  Serves
+        #: fidelity=fast/auto predicts ahead of the cache and harvests
+        #: every exact predict as a training sample.
+        self.surrogate = surrogate
+        if surrogate is not None:
+            surrogate.bind_metrics(self.metrics)
         self._executor_policy = executor
         self._pool: Executor | None = None
         self._pool_kind = "sync"
@@ -586,6 +620,8 @@ class PredictionEngine:
             self._pool_kind = "thread"
 
     def close(self) -> None:
+        if self.surrogate is not None:
+            self.surrogate.close()
         if self.jobs is not None:
             self.jobs.close()
             self.jobs = None
@@ -639,12 +675,31 @@ class PredictionEngine:
         for index, (kind, payload) in enumerate(items):
             try:
                 request = request_from_dict(kind, payload)
-                key = _cache_key(kind, request)
             except _CLIENT_ERRORS as error:
                 self._requests.inc(kind=kind, outcome="client_error")
                 resolve(index, kind, error_envelope(error, status=400))
                 continue
             want_trace = bool(getattr(request, "trace", False))
+            # The learned fast tier answers *ahead of the cache*: a
+            # cache key costs a parse, a surrogate hit costs a memo
+            # lookup and a dot product.  A None means fall through to
+            # the exact path below (and the exact answer becomes a
+            # training sample in _finish).
+            if (self.surrogate is not None and kind == "predict"
+                    and request.fidelity in ("fast", "auto")):
+                served = self.surrogate.serve(request)
+                if served is not None:
+                    if want_trace:
+                        served["trace"] = _fast_path_trace(kind)
+                    self._requests.inc(kind=kind, outcome="fast")
+                    resolve(index, kind, served)
+                    continue
+            try:
+                key = _cache_key(kind, request)
+            except _CLIENT_ERRORS as error:
+                self._requests.inc(kind=kind, outcome="client_error")
+                resolve(index, kind, error_envelope(error, status=400))
+                continue
             hit = self.cache.get(key)
             if hit is not None:
                 with trace_span("engine.execute", kind=kind, cached=True):
@@ -702,11 +757,21 @@ class PredictionEngine:
                     }},
                 )
         else:
-            evicted = self.cache.put(entry.key, result)
+            evicted = self.cache.put(entry.key, result,
+                                     aux=_predict_aux(entry, result))
             if evicted is not None:
                 self._cache_evicted.inc(endpoint=evicted.endpoint)
                 self._evicted_age.observe(
                     evicted.age, endpoint=evicted.endpoint)
+            if (self.surrogate is not None and entry.kind == "predict"
+                    and result.get("cycles") is not None):
+                try:
+                    from fractions import Fraction
+                    self.surrogate.observe(
+                        entry.request,
+                        float(Fraction(str(result["cycles"]))))
+                except (ValueError, ZeroDivisionError, OverflowError):
+                    pass    # symbolic/non-finite cycles: not a sample
             outcome = "computed"
             if entry.want_trace and spans is not None:
                 # Attach *after* cache.put so cached copies stay
@@ -1075,6 +1140,8 @@ class PredictionEngine:
             len(self.cache))
         self.metrics.gauge(
             "repro_engine_workers", "Configured worker count.").set(self.workers)
+        if self.surrogate is not None:
+            self.surrogate.export_metrics()
         self._sync_local_placement()
         placement = placement_cache_stats()
         self.metrics.gauge(

@@ -123,6 +123,8 @@ class PredictRequest:
     include_memory: bool = False
     bindings: Mapping[str, Any] | None = None
     trace: bool = False
+    fidelity: str = "exact"        # exact | fast | auto
+    tolerance: float | None = None  # auto tier's relative-width ceiling
 
     def validate(self) -> None:
         _check_str("source", self.source)
@@ -134,6 +136,13 @@ class PredictRequest:
         _check_mapping("bindings", self.bindings)
         parse_bindings(self.bindings)
         _require(isinstance(self.trace, bool), "trace must be a boolean")
+        _require(self.fidelity in ("exact", "fast", "auto"),
+                 "fidelity must be 'exact', 'fast', or 'auto'")
+        if self.tolerance is not None:
+            _require(isinstance(self.tolerance, (int, float))
+                     and not isinstance(self.tolerance, bool)
+                     and self.tolerance > 0,
+                     "tolerance must be a positive number")
 
 
 @dataclass(frozen=True)
@@ -273,6 +282,9 @@ class PredictResponse:
     cycles: str | None = None      # exact value when bindings were given
     cached: bool = False
     trace: Any = None              # span dicts when the request opted in
+    fidelity: str = "exact"        # "fast" when the surrogate answered
+    interval: Any = None           # [lo, hi] conformal bound (fast tier)
+    model_version: int | None = None  # surrogate model version (fast tier)
 
 
 @dataclass(frozen=True)
@@ -369,6 +381,15 @@ def response_to_dict(response) -> dict[str, Any]:
         out["rows"] = [asdict(r) for r in response.rows]
     if out.get("trace") is None:
         out.pop("trace", None)
+    # Fast-tier fields ride only on fast-tier answers: exact responses
+    # keep their pre-surrogate wire bytes, bit for bit.
+    if out.get("fidelity") == "exact":
+        out.pop("fidelity", None)
+    if isinstance(response, PredictResponse):
+        if out.get("interval") is None:
+            out.pop("interval", None)
+        if out.get("model_version") is None:
+            out.pop("model_version", None)
     return out
 
 

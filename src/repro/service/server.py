@@ -290,6 +290,8 @@ class _Handler(BaseHTTPRequestHandler):
             health: dict[str, Any] = {"status": "ok"}
             if self.server.shard_of:
                 health["shard"] = self.server.shard_of
+            if self.server.engine.surrogate is not None:
+                health["surrogate"] = self.server.engine.surrogate.stats()
             self._send_json(health)
             self._observe("healthz", 200, started)
             return

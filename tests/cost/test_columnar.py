@@ -241,3 +241,51 @@ def test_empty_stream_places_to_nothing():
     placed = place_stream(machine, [])
     assert placed.cycles == 0
     assert placed.ops == ()
+
+# ---------------------------------------------------------------------------
+# summary columns (the learned surrogate's feature basis)
+
+
+def test_summary_aggregates_match_columns():
+    machine = power_machine()
+    instrs = [
+        Instr(0, "fpu_arith"),
+        Instr(1, "fxu_add", deps=(0,), one_time=True),
+        Instr(2, "fpu_arith", deps=(0, 1)),
+    ]
+    stream = compile_stream(machine, instrs)
+    ops = compile_ops(machine)
+    summary = stream.summary
+    assert summary.length == 3
+    assert len(summary.op_counts) == len(ops.names)
+    assert summary.op_counts[ops.index_of["fpu_arith"]] == 2
+    assert summary.op_counts[ops.index_of["fxu_add"]] == 1
+    assert sum(summary.op_counts) == 3
+    assert summary.dep_edges == len(stream.deps) == 3
+    # distances: 1->0 is 1, 2->0 is 2, 2->1 is 1
+    assert summary.dep_dist_sum == 4
+    assert summary.dep_dist_max == 2
+    assert summary.one_time == 1
+    assert summary.latency_sum == sum(
+        ops.latency[oid] for oid in stream.op_ids)
+
+
+def test_summary_of_empty_stream_is_zero():
+    summary = compile_stream(power_machine(), []).summary
+    assert summary.length == 0
+    assert summary.dep_edges == 0
+    assert summary.dep_dist_max == 0
+    assert sum(summary.op_counts) == 0
+
+
+def test_summary_is_kernel_independent():
+    """The summary is built at lowering, before any placement kernel
+    runs -- the same stream compiles to the same aggregates."""
+    machine = power_machine()
+    instrs = [Instr(i, "fpu_arith", deps=(i - 1,) if i else ())
+              for i in range(8)]
+    reset_columnar_cache()
+    first = compile_stream(machine, instrs).summary
+    reset_columnar_cache()
+    second = compile_stream(machine, instrs).summary
+    assert first == second

@@ -1,0 +1,144 @@
+"""Ridge + split-conformal model: solvers, coverage, artifacts."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.learn.model as model_mod
+from repro.learn import (
+    FEATURE_DIM,
+    ConformalModel,
+    HAVE_NUMPY,
+    fit_conformal,
+    load_artifact,
+    save_artifact,
+    solve_ridge,
+)
+
+
+def _synthetic(n, d=6, noise=0.5, seed=0):
+    # positive weights keep targets cycle-like (non-negative): the
+    # conformal interval floors its lower bound at zero, so negative
+    # truths would sit below any achievable interval by construction
+    rng = random.Random(seed)
+    true_w = [rng.uniform(0.1, 2.0) for _ in range(d)]
+    true_w[0] += 100.0
+    rows, ys = [], []
+    for _ in range(n):
+        row = [1.0] + [rng.uniform(0, 50) for _ in range(d - 1)]
+        rows.append(row)
+        ys.append(sum(w * v for w, v in zip(true_w, row))
+                  + rng.gauss(0, noise))
+    return rows, ys, true_w
+
+
+def test_ridge_recovers_linear_weights():
+    rows, ys, true_w = _synthetic(200, noise=0.0)
+    weights = solve_ridge(rows, ys, ridge=1e-9)
+    assert max(abs(a - b) for a, b in zip(weights, true_w)) < 1e-6
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="parity needs both solvers")
+def test_fallback_solver_matches_numpy():
+    rows, ys, _ = _synthetic(120, d=FEATURE_DIM, noise=1.0, seed=3)
+    fast = solve_ridge(rows, ys)
+    model_mod.HAVE_NUMPY = False
+    try:
+        slow = solve_ridge(rows, ys)
+    finally:
+        model_mod.HAVE_NUMPY = True
+    assert max(abs(a - b) for a, b in zip(fast, slow)) < 1e-8
+
+
+def test_fit_returns_none_when_too_thin():
+    rows, ys, _ = _synthetic(10)
+    assert fit_conformal(rows, ys) is None
+    # enough points but coverage unattainable at this calibration size
+    rows, ys, _ = _synthetic(30)
+    assert fit_conformal(rows, ys, coverage=0.999) is None
+
+
+def test_fit_rejects_bad_coverage():
+    rows, ys, _ = _synthetic(60)
+    with pytest.raises(ValueError):
+        fit_conformal(rows, ys, coverage=1.0)
+
+
+def test_interval_floors_at_zero():
+    model = ConformalModel(
+        fingerprint="fp", machine="power", version=1, feature_version=1,
+        coverage=0.9, weights=(1.0, 0.0), quantile=100.0,
+        n_train=10, n_cal=10, trained_at=0.0)
+    mid, lo, hi = model.predict([5.0, 0.0])
+    assert mid == 5.0 and lo == 0.0 and hi == 105.0
+
+
+@given(st.sampled_from(range(20)), st.sampled_from([0.8, 0.9]))
+@settings(max_examples=15, deadline=None)
+def test_conformal_coverage_on_synthetic_noise(seed, coverage):
+    """Property: empirical held-out coverage stays near nominal.
+
+    The split-conformal guarantee is distribution-free, so it must
+    hold on noisy synthetic data regardless of the seed.  The seed
+    pool is fixed and the calibration slice large (200 points) so the
+    12-point tolerance sits far outside conditional-coverage wobble.
+    """
+    rows_all, ys_all, _ = _synthetic(1600, noise=3.0, seed=seed)
+    rows, ys = rows_all[:600], ys_all[:600]
+    rows_t, ys_t = rows_all[600:], ys_all[600:]
+    model = fit_conformal(rows, ys, coverage=coverage,
+                          fingerprint="fp", machine="power")
+    assert model is not None
+    hits = 0
+    for row, y in zip(rows_t, ys_t):
+        _, lo, hi = model.predict(row)
+        hits += lo <= y <= hi
+    empirical = hits / len(ys_t)
+    assert empirical >= coverage - 0.12
+    assert not math.isnan(model.quantile)
+    # misfit only widens intervals, never breaks the guarantee
+    assert model.quantile > 0
+
+
+def test_artifact_round_trip(tmp_path):
+    rows, ys, _ = _synthetic(100, d=FEATURE_DIM, seed=7)
+    model = fit_conformal(rows, ys, fingerprint="fp1", machine="power",
+                          version=3)
+    path = tmp_path / "models.json"
+    save_artifact(path, {"fp1": model})
+    loaded = load_artifact(path)
+    assert set(loaded) == {"fp1"}
+    got = loaded["fp1"]
+    assert got.version == 3
+    assert got.machine == "power"
+    assert got.weights == model.weights
+    assert got.quantile == model.quantile
+
+
+def test_artifact_tolerates_garbage(tmp_path):
+    path = tmp_path / "models.json"
+    assert load_artifact(path) == {}            # missing
+    path.write_text("{not json")
+    assert load_artifact(path) == {}            # corrupt
+    path.write_text('{"format": "something-else", "models": {}}')
+    assert load_artifact(path) == {}            # wrong format
+    path.write_text(
+        '{"format": "repro-surrogate-v1", "feature_version": -1,'
+        ' "models": {}}')
+    assert load_artifact(path) == {}            # stale feature layout
+
+
+def test_artifact_skips_wrong_width_models(tmp_path):
+    rows, ys, _ = _synthetic(100, d=FEATURE_DIM)
+    good = fit_conformal(rows, ys, fingerprint="good", machine="power")
+    bad = ConformalModel(
+        fingerprint="bad", machine="wide", version=1,
+        feature_version=good.feature_version, coverage=0.9,
+        weights=(1.0, 2.0), quantile=1.0, n_train=1, n_cal=1,
+        trained_at=0.0)
+    path = tmp_path / "models.json"
+    save_artifact(path, {"good": good, "bad": bad})
+    assert set(load_artifact(path)) == {"good"}

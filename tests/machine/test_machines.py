@@ -167,3 +167,54 @@ def test_memory_geometry_defaults():
     machine = power_machine()
     assert machine.memory.cache_line_bytes == 64
     assert machine.memory.cache_size_bytes > 0
+
+
+# ---------------------------------------------------------------------------
+# registry memoization (serving hot path)
+
+
+def test_cached_machine_reuses_one_instance():
+    from repro.machine.registry import _MACHINE_MEMO, cached_machine
+
+    _MACHINE_MEMO.pop("power", None)
+    first = cached_machine("power")
+    assert cached_machine("power") is first
+    fresh = get_machine("power")
+    assert fresh is not first               # get_machine always rebuilds
+    assert fresh.fingerprint() == first.fingerprint()
+
+
+def test_machine_fingerprint_memoized_and_correct():
+    from repro.machine.registry import _FINGERPRINT_MEMO, machine_fingerprint
+
+    _FINGERPRINT_MEMO.pop("wide", None)
+    fingerprint = machine_fingerprint("wide")
+    assert fingerprint == wide_machine().fingerprint()
+    assert "wide" in _FINGERPRINT_MEMO
+    assert machine_fingerprint("wide") == fingerprint
+
+
+def test_registry_memo_raises_uniform_keyerror():
+    from repro.machine import cached_machine, machine_fingerprint
+
+    with pytest.raises(KeyError, match="unknown machine"):
+        cached_machine("vax")
+    with pytest.raises(KeyError, match="unknown machine"):
+        machine_fingerprint("vax")
+
+
+def test_memo_invalidates_on_factory_change(monkeypatch):
+    from repro.machine import registry as registry_mod
+
+    registry_mod._MACHINE_MEMO.pop("power", None)
+    registry_mod._FINGERPRINT_MEMO.pop("power", None)
+    before = registry_mod.machine_fingerprint("power")
+    # Recalibration swaps the factory object under the same name; the
+    # memo must notice by identity and rebuild.
+    retrained = lambda: power_machine()  # noqa: E731
+    monkeypatch.setitem(registry_mod._FACTORIES, "power", retrained)
+    after = registry_mod.machine_fingerprint("power")
+    assert after == before                  # same table, same answer
+    assert registry_mod._FINGERPRINT_MEMO["power"][0] is retrained
+    registry_mod._MACHINE_MEMO.pop("power", None)
+    registry_mod._FINGERPRINT_MEMO.pop("power", None)

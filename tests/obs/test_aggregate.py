@@ -10,6 +10,7 @@ from repro.obs.aggregate import (
     merge_expositions,
     slo_rows_from_exposition,
     summarize_cluster,
+    surrogate_rows_from_exposition,
 )
 from repro.service.metrics import MetricsRegistry, parse_exposition
 
@@ -145,3 +146,41 @@ class TestSummarize:
         assert rows[0]["burn"] == 2.5           # sorted worst first
         table = format_top([], slo_rows=rows)
         assert "!!" in table
+
+
+class TestSurrogateRows:
+    def _shard(self, served, fallthrough, version):
+        registry = MetricsRegistry()
+        registry.counter("repro_surrogate_served_total", "Fast.").inc(
+            served, fidelity="fast")
+        registry.counter("repro_surrogate_fallthrough_total", "Slow.").inc(
+            fallthrough, fidelity="fast", reason="cold_features")
+        registry.counter("repro_surrogate_retrains_total", "Fits.").inc(
+            1, trigger="samples", machine="power")
+        registry.gauge("repro_surrogate_model_version", "Version.").set(
+            version, machine="power")
+        return registry.render()
+
+    def test_rows_from_cluster_scrape(self):
+        merged = merge_expositions({
+            "http://a:1": self._shard(10, 2, 3),
+            "http://b:2": self._shard(4, 1, 1),
+        })
+        rows = surrogate_rows_from_exposition(merged)
+        assert [r["shard"] for r in rows] == ["http://a:1", "http://b:2"]
+        assert rows[0]["served"] == 10.0
+        assert rows[0]["fallthrough"] == 2.0
+        assert rows[0]["versions"] == {"power": 3}
+        assert rows[1]["versions"] == {"power": 1}
+
+    def test_no_surrogate_shards_yields_no_rows(self):
+        merged = merge_expositions({"http://a:1": shard_text(2)})
+        assert surrogate_rows_from_exposition(merged) == []
+
+    def test_format_top_renders_surrogate_pane(self):
+        rows = surrogate_rows_from_exposition(self._shard(7, 3, 2))
+        table = format_top([], surrogate_rows=rows)
+        assert "SURROGATE SHARD" in table
+        assert "power:v2" in table
+        table = format_top([], surrogate_rows=None)
+        assert "SURROGATE" not in table

@@ -148,3 +148,46 @@ def test_legacy_lines_without_ts_still_load(tmp_path):
     cache = ResultCache(maxsize=8, path=path)
     assert cache.get("k") == {"v": 1}
     assert cache.entry_ages()["k"] >= 0.0
+
+
+# ----------------------------------------------------------------------
+# aux request blocks (surrogate training data riding on cache lines)
+
+
+def test_aux_blocks_persist_and_reload(tmp_path):
+    path = tmp_path / "cache.jsonl"
+    cache = ResultCache(maxsize=8, path=path)
+    req = {"source": "end", "machine": "power", "bindings": {"n": "4"}}
+    cache.put("predict|a", {"cycles": "20"}, aux=req)
+    cache.put("predict|b", {"cycles": "30"})       # aux-free line
+
+    records = [json.loads(line) for line in path.read_text().splitlines()]
+    assert records[0]["req"] == req
+    assert "req" not in records[1]
+
+    warmed = ResultCache(maxsize=8, path=path)
+    assert warmed.get("predict|a") == {"cycles": "20"}
+    warmed.compact()
+    records = {r["key"]: r.get("req")
+               for r in map(json.loads, path.read_text().splitlines())}
+    assert records == {"predict|a": req, "predict|b": None}
+
+
+def test_compact_preserves_aux_blocks(tmp_path):
+    path = tmp_path / "cache.jsonl"
+    cache = ResultCache(maxsize=8, path=path)
+    req = {"source": "end", "machine": "power", "bindings": {"n": "9"}}
+    for _ in range(3):                              # duplicate appends
+        cache.put("predict|a", {"cycles": "20"}, aux=req)
+    cache.compact()
+    lines = path.read_text().splitlines()
+    assert len(lines) == 1
+    assert json.loads(lines[0])["req"] == req
+
+
+def test_eviction_drops_aux(tmp_path):
+    cache = ResultCache(maxsize=1)
+    cache.put("predict|a", {"v": 1}, aux={"machine": "power"})
+    cache.put("predict|b", {"v": 2})
+    assert "predict|a" not in cache
+    assert cache._aux == {}

@@ -179,21 +179,21 @@ def test_worker_pool_batch(executor):
 
 
 def test_cache_key_includes_cost_table_fingerprint(engine, monkeypatch):
+    from repro.machine import registry as registry_mod
     from repro.machine.registry import get_machine
-    from repro.service import engine as engine_mod
 
     first = engine.predict(PredictRequest(source=SAXPY))
     assert engine.predict(PredictRequest(source=SAXPY)).cached
 
     # Simulate recalibration: same machine name, different fingerprint.
     machine = get_machine("power")
-    engine_mod._FINGERPRINTS.pop("power", None)
+    registry_mod._FINGERPRINT_MEMO.pop("power", None)
     monkeypatch.setattr(type(machine), "fingerprint",
                         lambda self: "deadbeefdeadbeef")
     try:
         recalibrated = engine.predict(PredictRequest(source=SAXPY))
     finally:
-        engine_mod._FINGERPRINTS.pop("power", None)
+        registry_mod._FINGERPRINT_MEMO.pop("power", None)
     assert not recalibrated.cached        # stale entry no longer matches
     assert recalibrated.cost == first.cost
 

@@ -219,3 +219,45 @@ def test_slow_request_logs_span_tree(caplog):
     fields = slow[0].fields
     assert fields["endpoint"] == "/predict"
     assert "server.handle" in fields["span_tree"]
+
+
+# ----------------------------------------------------------------------
+# tiered fidelity over HTTP
+
+
+def test_surrogate_server_end_to_end():
+    from repro.learn import Surrogate, SurrogateConfig, reset_feature_cache
+    from repro.service import PredictionEngine, make_server
+
+    reset_feature_cache()
+    engine = PredictionEngine(
+        workers=0, cache_size=128,
+        surrogate=Surrogate(SurrogateConfig(
+            background=False, min_samples=24, retrain_every=10_000)))
+    server = make_server(engine, host="127.0.0.1", port=0)
+    server.start_background()
+    try:
+        for n in range(1, 31):              # exact traffic trains the model
+            status, body = _post(server, "/predict",
+                                 {"source": SAXPY, "bindings": {"n": n}})
+            assert status == 200
+            assert "fidelity" not in body
+        status, fast = _post(server, "/predict",
+                             {"source": SAXPY, "bindings": {"n": 50},
+                              "fidelity": "fast"})
+        assert status == 200
+        assert fast["fidelity"] == "fast"
+        assert fast["interval"][0] <= float(fast["cycles"]) \
+            <= fast["interval"][1]
+
+        status, body = _get(server, "/healthz")
+        health = json.loads(body)
+        assert health["surrogate"]["served"] == 1
+        assert health["surrogate"]["models"]
+
+        status, body = _get(server, "/metrics")
+        assert "repro_surrogate_served_total" in body
+        assert "repro_surrogate_model_version" in body
+    finally:
+        server.stop()
+        reset_feature_cache()

@@ -1,0 +1,174 @@
+"""Tiered fidelity through the engine: fast serving, harvest, wire shape."""
+
+import pytest
+
+from repro.learn import Surrogate, SurrogateConfig, reset_feature_cache
+from repro.service import PredictRequest, PredictionEngine
+from repro.service.protocol import request_from_dict
+
+SAXPY = """
+program saxpy
+  integer n, i
+  real x(n), y(n), alpha
+  do i = 1, n
+    y(i) = y(i) + alpha * x(i)
+  end do
+end
+"""
+
+#: Wire keys a pre-tiered-fidelity client expects on an exact predict.
+EXACT_KEYS = {"cost", "digest", "machine", "backend", "variables",
+              "cycles", "cached"}
+
+
+@pytest.fixture
+def engine():
+    reset_feature_cache()
+    # 24 = the conformal floor: the stride-3 calibration slice must
+    # keep >= 8 points or fit_conformal declines to produce a model
+    surrogate = Surrogate(SurrogateConfig(
+        background=False, min_samples=24, retrain_every=10_000))
+    with PredictionEngine(workers=0, cache_size=64,
+                          surrogate=surrogate) as eng:
+        yield eng
+    reset_feature_cache()
+
+
+def _warm(engine, sizes=range(1, 31)):
+    """Exact predicts with distinct bindings: each one is a harvest."""
+    for n in sizes:
+        result = engine.handle("predict", {"source": SAXPY,
+                                           "bindings": {"n": n}})
+        assert "error" not in result
+    engine.surrogate.drain()
+
+
+def test_exact_wire_shape_is_unchanged(engine):
+    result = engine.handle("predict", {"source": SAXPY, "bindings": {"n": 9}})
+    assert set(result) == EXACT_KEYS
+    assert "fidelity" not in result and "interval" not in result
+
+
+def test_fidelity_validation_rejected(engine):
+    bad = engine.handle("predict", {"source": SAXPY, "fidelity": "turbo"})
+    assert bad["status"] == 400
+    bad = engine.handle("predict", {"source": SAXPY, "fidelity": "auto",
+                                    "tolerance": -1})
+    assert bad["status"] == 400
+
+
+def test_cold_fast_request_falls_through_to_exact(engine):
+    result = engine.handle("predict", {"source": SAXPY,
+                                       "bindings": {"n": 9},
+                                       "fidelity": "fast"})
+    assert result["cost"] == "3*n + 8"        # exact pipeline answered
+    assert result.get("fidelity") != "fast"
+    reasons = engine.surrogate.stats()["fallthrough_reasons"]
+    assert reasons.get("no_model", 0) >= 1
+
+
+def test_fast_serves_after_harvest(engine):
+    _warm(engine)
+    result = engine.handle("predict", {"source": SAXPY,
+                                       "bindings": {"n": 50},
+                                       "fidelity": "fast"})
+    assert result["fidelity"] == "fast"
+    assert result["cached"] is False
+    lo, hi = result["interval"]
+    assert lo <= float(result["cycles"]) <= hi
+    assert result["model_version"] >= 1
+    # truth is 3n+8; a conformal model fit on exact labels is tight
+    assert abs(float(result["cycles"]) - 158.0) < 2.0
+    counter = engine.metrics.counter("repro_engine_requests_total")
+    assert counter.value(kind="predict", outcome="fast") == 1
+
+
+def test_fast_answers_ahead_of_the_cache(engine):
+    _warm(engine)
+    hits_before = engine.cache.stats.hits
+    engine.handle("predict", {"source": SAXPY, "bindings": {"n": 5},
+                              "fidelity": "fast"})
+    assert engine.cache.stats.hits == hits_before   # never touched it
+
+
+def test_auto_honors_tolerance(engine):
+    _warm(engine)
+    wide = engine.handle("predict", {"source": SAXPY, "bindings": {"n": 40},
+                                     "fidelity": "auto", "tolerance": 10.0})
+    assert wide["fidelity"] == "fast"
+    tight = engine.handle("predict", {"source": SAXPY, "bindings": {"n": 40},
+                                      "fidelity": "auto",
+                                      "tolerance": 1e-12})
+    assert tight.get("fidelity") != "fast"          # refused, exact answered
+    assert tight["cost"] == "3*n + 8"
+
+
+def test_fast_request_gets_honest_trace(engine):
+    _warm(engine)
+    result = engine.handle("predict", {"source": SAXPY, "bindings": {"n": 7},
+                                       "fidelity": "fast", "trace": True})
+    assert result["fidelity"] == "fast"
+    spans = result["trace"]
+    assert [s["name"] for s in spans] == ["engine.execute"]
+    assert spans[0]["attrs"]["fidelity"] == "fast"
+
+
+def test_engine_without_surrogate_serves_fast_requests_exactly():
+    with PredictionEngine(workers=0, cache_size=8) as eng:
+        result = eng.handle("predict", {"source": SAXPY,
+                                        "bindings": {"n": 3},
+                                        "fidelity": "fast"})
+        assert result["cost"] == "3*n + 8"
+
+
+def test_surrogate_metrics_in_engine_registry(engine):
+    _warm(engine)
+    engine.handle("predict", {"source": SAXPY, "bindings": {"n": 8},
+                              "fidelity": "fast"})
+    engine.export_cache_metrics()
+    served = engine.metrics.counter("repro_surrogate_served_total")
+    assert served.value(fidelity="fast") == 1
+    harvested = engine.metrics.counter("repro_surrogate_samples_total")
+    assert harvested.value(machine="power") >= 24
+    version = engine.metrics.gauge("repro_surrogate_model_version")
+    assert version.value(machine="power") >= 1
+
+
+def test_symbolic_predicts_are_not_harvested(engine):
+    engine.handle("predict", {"source": SAXPY})   # no bindings: symbolic
+    assert engine.surrogate.stats()["samples"] == 0
+
+
+def test_typed_predict_accepts_fidelity(engine):
+    _warm(engine)
+    response = engine.predict(PredictRequest(
+        source=SAXPY, bindings={"n": 21}, fidelity="fast"))
+    assert response.fidelity == "fast"
+    assert response.interval is not None
+
+
+def test_response_to_dict_hides_defaults():
+    request = request_from_dict("predict", {"source": SAXPY})
+    assert request.fidelity == "exact"
+    # a round-tripped exact response must not grow new keys
+    payload = {"source": SAXPY, "fidelity": "fast", "tolerance": 0.2}
+    request = request_from_dict("predict", payload)
+    assert request.fidelity == "fast" and request.tolerance == 0.2
+
+
+def test_cache_lines_carry_req_blocks(tmp_path):
+    import json
+
+    path = tmp_path / "service.jsonl"
+    surrogate = Surrogate(SurrogateConfig(background=False, min_samples=10))
+    with PredictionEngine(workers=0, cache_size=8, cache_path=str(path),
+                          surrogate=surrogate) as eng:
+        eng.handle("predict", {"source": SAXPY, "bindings": {"n": 4}})
+        eng.handle("predict", {"source": SAXPY})          # symbolic: no aux
+    records = [json.loads(line) for line in path.read_text().splitlines()]
+    with_req = [r for r in records if "req" in r]
+    assert len(with_req) == 1
+    req = with_req[0]["req"]
+    assert req["machine"] == "power"
+    assert req["bindings"] == {"n": "4"}
+    assert "saxpy" in req["source"]

@@ -212,3 +212,80 @@ def test_untraced_run_writes_nothing(saxpy_file, tmp_path, capsys):
     assert main(["predict", saxpy_file]) == 0
     capsys.readouterr()
     assert not list(tmp_path.glob("*.json"))
+
+
+# ----------------------------------------------------------------------
+# tiered fidelity: surrogate train + predict --fidelity
+
+
+def _build_training_cache(path, sizes=range(1, 31)):
+    from repro.service import PredictionEngine
+
+    with PredictionEngine(workers=0, cache_size=256,
+                          cache_path=str(path)) as engine:
+        for n in sizes:
+            result = engine.handle(
+                "predict", {"source": SAXPY, "bindings": {"n": n}})
+            assert "error" not in result
+
+
+def test_surrogate_train_bootstraps_models(tmp_path, capsys):
+    cache = tmp_path / "cache.jsonl"
+    _build_training_cache(cache)
+    store = tmp_path / "models.json"
+    assert main(["surrogate", "train", "--cache", str(cache),
+                 "--store", str(store)]) == 0
+    summary = json.loads(capsys.readouterr().out)
+    assert summary["samples"] == 30
+    assert "power" in summary["models"]
+    assert store.exists()
+
+
+def test_surrogate_train_empty_cache_fails(tmp_path, capsys):
+    cache = tmp_path / "cache.jsonl"
+    cache.write_text("")
+    assert main(["surrogate", "train", "--cache", str(cache)]) == 1
+    assert json.loads(capsys.readouterr().out)["models"] == {}
+
+
+def test_predict_fast_fidelity_from_store(tmp_path, saxpy_file, capsys):
+    cache = tmp_path / "cache.jsonl"
+    _build_training_cache(cache)
+    store = tmp_path / "models.json"
+    assert main(["surrogate", "train", "--cache", str(cache),
+                 "--store", str(store)]) == 0
+    capsys.readouterr()
+    assert main(["predict", saxpy_file, "--at", "n=50",
+                 "--fidelity", "fast", "--surrogate-store", str(store)]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["fidelity"] == "fast"
+    lo, hi = data["interval"]
+    assert lo <= float(data["cycles"]) <= hi
+    # truth is 3n+8 = 158; the surrogate trained on exact labels
+    assert abs(float(data["cycles"]) - 158.0) < 5.0
+
+
+def test_predict_fast_without_model_falls_through(saxpy_file, tmp_path,
+                                                  capsys):
+    missing = tmp_path / "nope.json"
+    assert main(["predict", saxpy_file, "--at", "n=100",
+                 "--fidelity", "fast",
+                 "--surrogate-store", str(missing)]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert "fidelity" not in data          # exact tier answered
+    assert data["cycles"] == "308"
+
+
+def test_predict_auto_fidelity_tolerance(tmp_path, saxpy_file, capsys):
+    cache = tmp_path / "cache.jsonl"
+    _build_training_cache(cache)
+    store = tmp_path / "models.json"
+    main(["surrogate", "train", "--cache", str(cache),
+          "--store", str(store)])
+    capsys.readouterr()
+    assert main(["predict", saxpy_file, "--at", "n=50",
+                 "--fidelity", "auto", "--tolerance", "1e-12",
+                 "--surrogate-store", str(store)]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert "fidelity" not in data          # interval too wide: exact
+    assert data["cycles"] == "158"
