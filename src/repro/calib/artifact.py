@@ -1,0 +1,228 @@
+"""Versioned cost-table artifacts: calibrated machines on disk.
+
+A calibration run emits one JSON document carrying everything needed
+to rebuild the machine -- units, widths, the fitted table, the atomic
+mapping -- plus provenance (format version, source oracle id, fit
+residuals).  Loading is *strict*: a wrong format version, an unknown
+unit kind, an atomic mapping referencing an op the table does not
+define, or a truncated file are all hard errors -- a service must
+never silently serve predictions off a half-read cost table.
+
+``Machine.fingerprint()`` hashes the full table, so any change to a
+stored artifact yields a different fingerprint and invalidates cached
+results when the machine is (re)registered.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from typing import Mapping
+
+from ..machine.atomic import AtomicCostTable, AtomicOp
+from ..machine.machine import Machine, MemoryGeometry
+from ..machine.registry import register_machine
+from ..machine.units import FunctionalUnit, UnitCost, UnitKind
+
+__all__ = [
+    "ArtifactError", "COST_TABLE_FORMAT", "load_cost_table",
+    "machine_from_artifact", "register_calibrated", "result_to_payload",
+    "save_cost_table",
+]
+
+COST_TABLE_FORMAT = "repro-cost-table-v1"
+
+
+class ArtifactError(ValueError):
+    """A cost-table artifact failed validation."""
+
+
+def result_to_payload(result, *, created: str | None = None) -> dict:
+    """Serialize a :class:`~repro.calib.fit.CalibrationResult`."""
+    machine = result.machine
+    payload = {
+        "format": COST_TABLE_FORMAT,
+        "name": machine.name,
+        "oracle_id": result.oracle_id,
+        "residuals": {k: round(v, 6) for k, v in result.residuals.items()},
+        "mean_abs_residual": round(result.mean_abs_residual, 6),
+        "probes": result.probes,
+        "machine": _machine_meta(machine),
+        "table": _table_to_dict(machine.table),
+        "atomic_mapping": {basic: list(atomics) for basic, atomics
+                           in machine.atomic_mapping.items()},
+    }
+    if created is not None:
+        payload["created"] = created
+    return payload
+
+
+def save_cost_table(result, path: str, *, created: str | None = None) -> dict:
+    """Write the artifact atomically; returns the payload written."""
+    payload = result_to_payload(result, created=created)
+    tmp = f"{path}.tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp, path)
+    return payload
+
+
+def load_cost_table(path: str) -> dict:
+    """Read and strictly validate an artifact; returns the payload."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except OSError as error:
+        raise ArtifactError(f"cannot read cost table {path}: {error}")
+    except json.JSONDecodeError as error:
+        raise ArtifactError(
+            f"cost table {path} is not valid JSON (truncated?): {error}")
+    validate_payload(payload, source=path)
+    return payload
+
+
+def validate_payload(payload, *, source: str = "<payload>") -> None:
+    if not isinstance(payload, dict):
+        raise ArtifactError(f"cost table {source}: not a JSON object")
+    fmt = payload.get("format")
+    if fmt != COST_TABLE_FORMAT:
+        raise ArtifactError(
+            f"cost table {source}: format {fmt!r} != {COST_TABLE_FORMAT!r}")
+    for field in ("name", "oracle_id"):
+        if not isinstance(payload.get(field), str) or not payload[field]:
+            raise ArtifactError(
+                f"cost table {source}: missing/bad field {field!r}")
+    table = payload.get("table")
+    if not isinstance(table, dict) or not table:
+        raise ArtifactError(f"cost table {source}: missing table")
+    valid_kinds = {kind.value for kind in UnitKind}
+    for op_name, spec in table.items():
+        costs = spec.get("costs") if isinstance(spec, dict) else None
+        if not isinstance(costs, list) or not costs:
+            raise ArtifactError(
+                f"cost table {source}: op {op_name!r} has no costs")
+        for cost in costs:
+            if not isinstance(cost, dict):
+                raise ArtifactError(
+                    f"cost table {source}: op {op_name!r} bad cost entry")
+            if cost.get("unit") not in valid_kinds:
+                raise ArtifactError(
+                    f"cost table {source}: op {op_name!r} unknown unit "
+                    f"{cost.get('unit')!r}")
+            for comp in ("noncoverable", "coverable"):
+                value = cost.get(comp)
+                if not isinstance(value, int) or value < 0:
+                    raise ArtifactError(
+                        f"cost table {source}: op {op_name!r} bad "
+                        f"{comp} {value!r}")
+            if cost["noncoverable"] + cost["coverable"] < 1:
+                raise ArtifactError(
+                    f"cost table {source}: op {op_name!r} zero-cycle cost")
+    mapping = payload.get("atomic_mapping")
+    if not isinstance(mapping, dict) or not mapping:
+        raise ArtifactError(f"cost table {source}: missing atomic_mapping")
+    for basic, atomics in mapping.items():
+        if not isinstance(atomics, list) or not atomics:
+            raise ArtifactError(
+                f"cost table {source}: bad mapping for {basic!r}")
+        for atomic in atomics:
+            if atomic not in table:
+                raise ArtifactError(
+                    f"cost table {source}: mapping {basic!r} references "
+                    f"unknown atomic op {atomic!r}")
+    meta = payload.get("machine")
+    if not isinstance(meta, dict):
+        raise ArtifactError(f"cost table {source}: missing machine meta")
+    units = meta.get("units")
+    if not isinstance(units, list) or not units:
+        raise ArtifactError(f"cost table {source}: machine meta has no units")
+    for unit in units:
+        if (not isinstance(unit, dict)
+                or unit.get("kind") not in valid_kinds
+                or not isinstance(unit.get("count"), int)
+                or unit["count"] < 1):
+            raise ArtifactError(
+                f"cost table {source}: bad unit entry {unit!r}")
+    for field in ("dispatch_width", "fp_registers", "int_registers"):
+        value = meta.get(field)
+        if not isinstance(value, int) or value < 1:
+            raise ArtifactError(
+                f"cost table {source}: bad machine {field} {value!r}")
+
+
+def machine_from_artifact(payload: Mapping) -> Machine:
+    """Rebuild a first-class :class:`Machine` from a validated payload."""
+    validate_payload(payload)
+    meta = payload["machine"]
+    table = AtomicCostTable()
+    for op_name in sorted(payload["table"]):
+        spec = payload["table"][op_name]
+        costs = tuple(
+            UnitCost(UnitKind(c["unit"]), c["noncoverable"], c["coverable"])
+            for c in spec["costs"]
+        )
+        table.define(AtomicOp(op_name, costs, spec.get("description", "")))
+    memory = MemoryGeometry(**meta.get("memory", {}))
+    return Machine(
+        name=payload["name"],
+        units=tuple(FunctionalUnit(UnitKind(u["kind"]), u["count"])
+                    for u in meta["units"]),
+        table=table,
+        atomic_mapping={basic: tuple(atomics) for basic, atomics
+                        in payload["atomic_mapping"].items()},
+        supports_fma=bool(meta.get("supports_fma", False)),
+        dispatch_width=meta["dispatch_width"],
+        fp_registers=meta["fp_registers"],
+        int_registers=meta["int_registers"],
+        memory=memory,
+    )
+
+
+def register_calibrated(payload_or_path, *, replace: bool = True) -> str:
+    """Register an artifact's machine with the registry; returns its name.
+
+    The factory rebuilds from the captured payload, so the registry's
+    identity-keyed memos see a fresh factory per registration and the
+    new fingerprint invalidates stale cache entries.
+    """
+    if isinstance(payload_or_path, (str, os.PathLike)):
+        payload = load_cost_table(os.fspath(payload_or_path))
+    else:
+        payload = dict(payload_or_path)
+        validate_payload(payload)
+    machine = machine_from_artifact(payload)
+
+    def factory(machine=machine):
+        return machine
+
+    register_machine(machine.name, factory, replace=replace)
+    return machine.name
+
+
+def _machine_meta(machine: Machine) -> dict:
+    return {
+        "units": [{"kind": unit.kind.value, "count": unit.count}
+                  for unit in machine.units],
+        "dispatch_width": machine.dispatch_width,
+        "supports_fma": machine.supports_fma,
+        "fp_registers": machine.fp_registers,
+        "int_registers": machine.int_registers,
+        "memory": dataclasses.asdict(machine.memory),
+    }
+
+
+def _table_to_dict(table: AtomicCostTable) -> dict:
+    out = {}
+    for op_name in table.names():
+        op = table[op_name]
+        out[op_name] = {
+            "description": op.description,
+            "costs": [{
+                "unit": cost.unit.value,
+                "noncoverable": cost.noncoverable,
+                "coverable": cost.coverable,
+            } for cost in op.costs],
+        }
+    return out

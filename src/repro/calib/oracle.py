@@ -1,0 +1,119 @@
+"""Cycle oracles for calibration: where probe timings come from.
+
+An oracle maps a :class:`~repro.calib.probes.Probe` to a measured
+cycle count and carries an ``oracle_id`` recorded in the emitted
+artifact so a cost table can always be traced back to its source.
+
+Two implementations:
+
+* :class:`SimulatorOracle` runs probes through the reference list
+  scheduler (:func:`repro.backend.simulate`) on a *truth* machine --
+  the stand-in for timing streams on real hardware.
+* :class:`RecordedOracle` replays measurements from a JSON fixture,
+  so calibration tests are hermetic and fixtures recorded once (e.g.
+  on real hardware) can be re-fit offline.  :func:`record_fixture`
+  writes such a file from any other oracle.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Protocol, Sequence
+
+from ..machine.machine import Machine
+from .probes import Probe
+
+__all__ = [
+    "CycleOracle", "FIXTURE_FORMAT", "RecordedOracle", "SimulatorOracle",
+    "record_fixture",
+]
+
+FIXTURE_FORMAT = "repro-calib-fixture-v1"
+
+
+class CycleOracle(Protocol):
+    """Anything that can time a probe stream."""
+
+    oracle_id: str
+
+    def measure(self, probe: Probe) -> int: ...
+
+
+class SimulatorOracle:
+    """Reference-scheduler timings of probe streams on ``machine``."""
+
+    def __init__(self, machine: Machine, *, jitter=None):
+        self.machine = machine
+        self.oracle_id = f"simulator:{machine.fingerprint()}"
+        #: Optional ``callable(probe_name) -> int`` additive noise, for
+        #: robustness tests (a real timer is never exact).
+        self.jitter = jitter
+
+    def measure(self, probe: Probe) -> int:
+        from ..backend.simulator import simulate
+
+        cycles = simulate(
+            self.machine, list(probe.instrs), with_spills=False
+        ).cycles
+        if self.jitter is not None:
+            cycles = max(1, cycles + int(self.jitter(probe.name)))
+        return cycles
+
+
+class RecordedOracle:
+    """Replay of a measurement fixture keyed by probe name."""
+
+    def __init__(self, measurements: dict[str, int], oracle_id: str):
+        self.measurements = dict(measurements)
+        self.oracle_id = oracle_id
+
+    @classmethod
+    def from_file(cls, path: str) -> "RecordedOracle":
+        try:
+            with open(path, encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError) as error:
+            raise ValueError(f"bad calibration fixture {path}: {error}")
+        if payload.get("format") != FIXTURE_FORMAT:
+            raise ValueError(
+                f"bad calibration fixture {path}: format "
+                f"{payload.get('format')!r} != {FIXTURE_FORMAT!r}")
+        raw = payload.get("measurements")
+        if not isinstance(raw, dict):
+            raise ValueError(f"bad calibration fixture {path}: "
+                             "missing measurements")
+        measurements = {}
+        for name, cycles in raw.items():
+            if not isinstance(cycles, int) or cycles < 0:
+                raise ValueError(f"bad calibration fixture {path}: "
+                                 f"measurement {name!r} = {cycles!r}")
+            measurements[name] = cycles
+        return cls(measurements, str(payload.get("oracle_id", "recorded")))
+
+    def measure(self, probe: Probe) -> int:
+        try:
+            return self.measurements[probe.name]
+        except KeyError:
+            raise ValueError(
+                f"fixture has no measurement for probe {probe.name!r}"
+            ) from None
+
+
+def record_fixture(
+    oracle, probes: Sequence[Probe], path: str
+) -> dict[str, int]:
+    """Measure every probe on ``oracle`` and write a replay fixture."""
+    measurements = {probe.name: int(oracle.measure(probe))
+                    for probe in probes}
+    payload = {
+        "format": FIXTURE_FORMAT,
+        "oracle_id": getattr(oracle, "oracle_id", "unknown"),
+        "measurements": measurements,
+    }
+    tmp = f"{path}.tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp, path)
+    return measurements

@@ -1,0 +1,151 @@
+"""Probe stream families for cost-table calibration.
+
+Three families, each isolating one aspect of an atomic operation's
+cost on the target machine description:
+
+* **serial** -- a dependence chain of one op repeated ``k`` times.
+  Every instruction waits for its predecessor's result, so the
+  measured time is ``k * (noncoverable + coverable)``: the chain pins
+  the op's *total* result latency.
+* **burst** -- ``k`` independent instances of one op.  The unit's
+  pipes are the bottleneck: groups of ``p`` issue every
+  ``noncoverable`` cycles and only the last group pays the coverable
+  tail, so the time is ``ceil(k/p) * noncoverable + coverable``.
+  Combined with the serial row this separates the coverable from the
+  noncoverable component (the probe algebra assumes the machine's
+  dispatch width is at least the pipe count, which holds for every
+  machine in this repo).
+* **interleave** -- a serial chain round-robining ops of *different*
+  units (a -> b -> c -> a ...).  Each link still pays its full result
+  latency, so the row is linear in the mixed totals; these rows
+  over-determine the system and guard the least-squares solve against
+  measurement noise.
+
+Rows are expressed over the unknown vector
+``[n_0 .. n_{K-1}, c_0 .. c_{K-1}]`` (noncoverable, then coverable,
+for each calibrated op's primary cost).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..machine.machine import Machine
+from ..translate.stream import Instr
+
+__all__ = ["Probe", "make_probe_family"]
+
+DEFAULT_CHAIN_LENGTHS = (6, 10)
+DEFAULT_BURST_LENGTHS = (4, 8)
+
+
+@dataclass(frozen=True)
+class Probe:
+    """One probe: a named instruction stream plus its design row.
+
+    ``row`` holds the linear coefficients of the probe's predicted
+    cycle count over ``[n_0..n_{K-1}, c_0..c_{K-1}]``.
+    """
+
+    name: str
+    instrs: tuple[Instr, ...]
+    row: tuple[float, ...]
+    kind: str
+
+    def predicted(self, solution: Sequence[float]) -> float:
+        return sum(a * x for a, x in zip(self.row, solution))
+
+
+def _serial(name: str, ops: Sequence[str]) -> tuple[Instr, ...]:
+    return tuple(
+        Instr(i, op, deps=(i - 1,) if i else ())
+        for i, op in enumerate(ops)
+    )
+
+
+def _burst(name: str, op: str, k: int) -> tuple[Instr, ...]:
+    return tuple(Instr(i, op, deps=()) for i in range(k))
+
+
+def _primary_unit(machine: Machine, op_name: str):
+    """The cost entry that sets the op's result latency."""
+    op = machine.atomic(op_name)
+    for cost in op.costs:
+        if cost.total == op.result_latency:
+            return cost
+    return op.costs[0]  # pragma: no cover - result_latency is a max
+
+
+def make_probe_family(
+    machine: Machine,
+    ops: Sequence[str] | None = None,
+    chain_lengths: Sequence[int] = DEFAULT_CHAIN_LENGTHS,
+    burst_lengths: Sequence[int] = DEFAULT_BURST_LENGTHS,
+) -> tuple[list[str], list[Probe]]:
+    """Build the full probe family for ``ops`` on ``machine``.
+
+    Returns ``(names, probes)`` where ``names`` fixes the unknown
+    ordering: unknown ``i`` is ``names[i]``'s noncoverable component
+    and unknown ``len(names) + i`` its coverable component.
+    """
+    names = list(ops) if ops is not None else machine.table.names()
+    if not names:
+        raise ValueError("no operations to calibrate")
+    index = {name: i for i, name in enumerate(names)}
+    count = len(names)
+    probes: list[Probe] = []
+
+    def row_for(counts_n: dict[int, float], counts_c: dict[int, float]):
+        row = [0.0] * (2 * count)
+        for i, v in counts_n.items():
+            row[i] = v
+        for i, v in counts_c.items():
+            row[count + i] = v
+        return tuple(row)
+
+    # Serial chains: k * (n + c) per op.
+    for op in names:
+        for k in chain_lengths:
+            i = index[op]
+            probes.append(Probe(
+                name=f"serial_{op}_{k}",
+                instrs=_serial(op, (op,) * k),
+                row=row_for({i: float(k)}, {i: float(k)}),
+                kind="serial",
+            ))
+
+    # Bursts: ceil(k/p) * n + c per op.
+    for op in names:
+        pipes = machine.unit(_primary_unit(machine, op).unit).count
+        for k in burst_lengths:
+            i = index[op]
+            groups = math.ceil(k / pipes)
+            probes.append(Probe(
+                name=f"burst_{op}_{k}",
+                instrs=_burst(op, op, k),
+                row=row_for({i: float(groups)}, {i: 1.0}),
+                kind="burst",
+            ))
+
+    # Mixed-unit interleavings: serial round-robin across units.
+    by_unit: dict[str, list[str]] = {}
+    for op in names:
+        by_unit.setdefault(str(_primary_unit(machine, op).unit), []).append(op)
+    units = sorted(by_unit)
+    if len(units) >= 2:
+        rounds = max(len(ops_) for ops_ in by_unit.values())
+        for offset in range(rounds):
+            mix = [by_unit[u][offset % len(by_unit[u])] for u in units]
+            chain = (mix * 4)[:4 * len(mix)]
+            counts: dict[int, float] = {}
+            for op in chain:
+                counts[index[op]] = counts.get(index[op], 0.0) + 1.0
+            probes.append(Probe(
+                name=f"interleave_{offset}",
+                instrs=_serial("mix", chain),
+                row=row_for(dict(counts), dict(counts)),
+                kind="interleave",
+            ))
+    return names, probes

@@ -366,6 +366,104 @@ def _cmd_machines(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_calibrate(args: argparse.Namespace) -> int:
+    from .calib import (
+        RecordedOracle,
+        SimulatorOracle,
+        calibrate_machine,
+        make_probe_family,
+        record_fixture,
+        register_calibrated,
+        result_to_payload,
+        save_cost_table,
+    )
+
+    machine = get_machine(args.machine)
+    if args.oracle == "simulator":
+        oracle = SimulatorOracle(get_machine(args.truth or args.machine))
+    else:
+        try:
+            oracle = RecordedOracle.from_file(args.oracle)
+        except ValueError as error:
+            raise SystemExit(str(error))
+    try:
+        result = calibrate_machine(machine, oracle, name=args.name)
+    except ValueError as error:
+        raise SystemExit(f"calibration failed: {error}")
+    if args.record_fixture:
+        _, probes = make_probe_family(machine)
+        record_fixture(oracle, probes, args.record_fixture)
+    if args.out:
+        payload = save_cost_table(result, args.out)
+        register_calibrated(payload)
+    if args.json:
+        print(json.dumps(result_to_payload(result), indent=2,
+                         sort_keys=True))
+        return 0
+    print(f"calibrated {result.machine.name} against {result.oracle_id}")
+    print(f"  probes: {result.probes}  "
+          f"mean abs residual: {result.mean_abs_residual:.3f} cycles  "
+          f"mean rel error: {100 * result.mean_relative_error:.2f}%")
+    print(f"  fingerprint: {result.machine.fingerprint()}")
+    if args.out:
+        print(f"  artifact: {args.out} (registered as "
+              f"{result.machine.name!r})")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    widths = None
+    if args.widths:
+        try:
+            widths = tuple(int(w) for w in args.widths.split(","))
+        except ValueError:
+            raise SystemExit(f"bad --widths {args.widths!r}; "
+                             "expected e.g. 1,2,4,8")
+    machine = args.machine
+    if args.table:
+        from .calib import ArtifactError, register_calibrated
+
+        try:
+            machine = register_calibrated(args.table)
+        except ArtifactError as error:
+            raise SystemExit(str(error))
+    if args.json:
+        bindings = _parse_bindings(args.at)
+        return _emit_json("sweep", {
+            "source": _read_source(args.file),
+            "machine": machine,
+            **({"widths": list(widths)} if widths else {}),
+            **({"bindings": {k: str(v) for k, v in bindings.items()}}
+               if bindings else {}),
+            **({"branch_miss_rate": args.branch_miss_rate}
+               if args.branch_miss_rate else {}),
+            **({"cache_miss_rate": args.cache_miss_rate}
+               if args.cache_miss_rate else {}),
+        })
+    from .sweep import sweep_program
+
+    try:
+        outcome = sweep_program(
+            _load(args.file),
+            machine=machine,
+            widths=widths,
+            bindings=_parse_bindings(args.at),
+            branch_miss_rate=args.branch_miss_rate,
+            cache_miss_rate=args.cache_miss_rate,
+        )
+    except (KeyError, ValueError) as error:
+        raise SystemExit(f"sweep failed: {error}")
+    print(f"sweep[{outcome.machine}] N = {outcome.instructions:g} "
+          "instructions")
+    print(f"{'width':>5s} {'cycles':>12s} {'ipc':>7s} "
+          f"{'placement':>10s} {'penalty':>8s}")
+    for point in outcome.points:
+        print(f"{point.width:5d} {point.cycles:12.1f} {point.ipc:7.2f} "
+              f"{point.placement_cycles:10.1f} {point.penalty_cycles:8.1f}")
+    print(f"saturates at width {outcome.saturation_width}")
+    return 0
+
+
 def _load_slo(path: str | None):
     if not path:
         return None
@@ -607,6 +705,52 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("machines", help="list machine descriptions")
     p.set_defaults(func=_cmd_machines)
+
+    p = sub.add_parser(
+        "calibrate",
+        help="fit a machine's cost table against a cycle oracle")
+    p.add_argument("--machine", default="power", choices=machine_names(),
+                   help="structural machine: ops, units, pipe counts")
+    p.add_argument("--truth", default=None, choices=machine_names(),
+                   help="simulator-oracle truth machine "
+                        "(default: --machine itself)")
+    p.add_argument("--oracle", default="simulator", metavar="SOURCE",
+                   help="'simulator' or a recorded fixture JSON path")
+    p.add_argument("--name", default=None,
+                   help="name for the calibrated machine "
+                        "(default: <machine>-calib)")
+    p.add_argument("--out", metavar="FILE", default=None,
+                   help="write the cost-table artifact JSON here "
+                        "(and register the machine)")
+    p.add_argument("--record-fixture", metavar="FILE", default=None,
+                   help="also write the probe measurements as a "
+                        "replayable fixture")
+    p.add_argument("--json", action="store_true",
+                   help="emit the artifact payload as JSON")
+    p.set_defaults(func=_cmd_calibrate)
+
+    p = sub.add_parser(
+        "sweep", help="evaluate a program across a width ladder")
+    p.add_argument("file")
+    p.add_argument("--machine", default="power",
+                   help="base machine for the width family "
+                        "(any registered name)")
+    p.add_argument("--table", metavar="FILE", default=None,
+                   help="calibrated cost-table artifact to sweep instead "
+                        "of --machine")
+    p.add_argument("--widths", default=None,
+                   help="comma-separated ladder, e.g. 1,2,4,8 "
+                        "(default: 1,2,4,6,8)")
+    p.add_argument("--at", help="evaluate at a point, e.g. n=100,m=50")
+    p.add_argument("--branch-miss-rate", type=float, default=0.0,
+                   help="per-instruction branch mispredict rate in [0,1]")
+    p.add_argument("--cache-miss-rate", type=float, default=0.0,
+                   help="per-instruction cache miss rate in [0,1]")
+    p.add_argument("--json", action="store_true",
+                   help="emit the service wire format")
+    p.add_argument("--trace", metavar="FILE",
+                   help="write a Chrome trace_event JSON of the run")
+    p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser("serve", help="run the HTTP/JSON prediction service")
     p.add_argument("--host", default="127.0.0.1")

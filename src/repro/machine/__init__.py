@@ -3,6 +3,15 @@
 from .alpha import alpha_machine
 from .atomic import AtomicCostTable, AtomicOp
 from .compiled import CompiledOps, compile_ops, reset_compiled_ops
+from .family import (
+    DEFAULT_WIDTH_LADDER,
+    MechanisticTerms,
+    family_machine,
+    family_width_ladder,
+    mechanistic_cycles,
+    penalty_branch_miss,
+    penalty_cache_miss,
+)
 from .machine import Machine, MemoryGeometry
 from .power import POWER_ATOMIC_MAPPING, build_power_table, power_machine
 from .registry import (
@@ -18,11 +27,15 @@ from .units import FunctionalUnit, UnitCost, UnitKind
 from .wide import wide_machine
 
 __all__ = [
-    "AtomicCostTable", "AtomicOp", "CompiledOps", "FunctionalUnit",
-    "Machine", "MemoryGeometry", "POWER_ATOMIC_MAPPING", "UnitCost",
+    "AtomicCostTable", "AtomicOp", "CompiledOps", "DEFAULT_WIDTH_LADDER",
+    "FunctionalUnit",
+    "Machine", "MechanisticTerms", "MemoryGeometry",
+    "POWER_ATOMIC_MAPPING", "UnitCost",
     "UnitKind", "build_power_table", "cached_machine", "compile_ops",
+    "family_machine", "family_width_ladder",
     "get_machine", "machine_fingerprint",
-    "machine_names", "power_machine", "register_machine",
+    "machine_names", "mechanistic_cycles", "penalty_branch_miss",
+    "penalty_cache_miss", "power_machine", "register_machine",
     "reset_compiled_ops", "scalar_machine", "wide_machine",
     "TrainingProbe", "alpha_machine", "calibrate", "make_probes",
 ]

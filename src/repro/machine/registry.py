@@ -37,9 +37,20 @@ _MACHINE_MEMO: dict[str, tuple[Callable[[], Machine], Machine]] = {}
 _FINGERPRINT_MEMO: dict[str, tuple[Callable[[], Machine], str]] = {}
 
 
-def register_machine(name: str, factory: Callable[[], Machine]) -> None:
-    """Register a new architecture factory (overwriting is an error)."""
-    if name in _FACTORIES:
+def register_machine(
+    name: str,
+    factory: Callable[[], Machine],
+    *,
+    replace: bool = False,
+) -> None:
+    """Register a new architecture factory.
+
+    Overwriting is an error unless ``replace=True`` -- the path
+    recalibration uses to swap in a freshly fitted cost table.  The
+    memos invalidate by factory identity, so a replacement factory is
+    picked up (and its new fingerprint recomputed) on the next lookup.
+    """
+    if name in _FACTORIES and not replace:
         raise ValueError(f"machine {name!r} already registered")
     _FACTORIES[name] = factory
 

@@ -122,7 +122,14 @@ def _rescale(op: AtomicOp, fitted_total: int) -> AtomicOp:
             # Secondary-unit cost (e.g. the store's FXU cycle): keep.
             new_costs.append(cost)
             continue
-        coverable = round(fitted_total * cost.coverable / original_total)
+        if original_total == 0:
+            # Degenerate zero-cost component (can only arrive via a
+            # hand-built table that bypassed UnitCost validation):
+            # assign the whole fitted latency as noncoverable rather
+            # than dividing by zero.
+            coverable = 0
+        else:
+            coverable = round(fitted_total * cost.coverable / original_total)
         noncoverable = max(fitted_total - coverable, 0)
         if noncoverable == 0 and coverable == 0:
             coverable = 1

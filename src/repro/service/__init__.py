@@ -71,6 +71,9 @@ from .protocol import (
     RestructureJobRequest,
     RestructureRequest,
     RestructureResponse,
+    SweepPointRow,
+    SweepRequest,
+    SweepResponse,
     error_envelope,
     request_from_dict,
     response_from_dict,
@@ -91,6 +94,7 @@ __all__ = [
     "ProtocolError", "RemoteError", "ReproClient", "ReproClientError",
     "RestructureJobRequest", "RestructureRequest", "RestructureResponse",
     "ResultCache", "ServerError", "ServiceError", "ShardRouter",
+    "SweepPointRow", "SweepRequest", "SweepResponse",
     "TERMINAL_STATUSES", "TransportError",
     "endpoint_of", "error_envelope", "execute_request",
     "job_affinity_key", "make_router",

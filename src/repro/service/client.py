@@ -44,6 +44,7 @@ from .protocol import (
     KernelsResponse,
     PredictResponse,
     RestructureResponse,
+    SweepResponse,
     response_from_dict,
 )
 
@@ -151,6 +152,25 @@ def _restructure_payload(source: str, machine: str,
         payload["workload"] = {k: str(v) for k, v in workload.items()}
     if domain:
         payload["domain"] = {k: list(v) for k, v in domain.items()}
+    if trace:
+        payload["trace"] = True
+    return payload
+
+
+def _sweep_payload(source: str, machine: str,
+                   widths: Sequence[int] | None,
+                   bindings: Mapping[str, Any] | None,
+                   branch_miss_rate: float, cache_miss_rate: float,
+                   trace: bool) -> dict[str, Any]:
+    payload: dict[str, Any] = {"source": source, "machine": machine}
+    if widths:
+        payload["widths"] = [int(w) for w in widths]
+    if bindings:
+        payload["bindings"] = {k: str(v) for k, v in bindings.items()}
+    if branch_miss_rate:
+        payload["branch_miss_rate"] = branch_miss_rate
+    if cache_miss_rate:
+        payload["cache_miss_rate"] = cache_miss_rate
     if trace:
         payload["trace"] = True
     return payload
@@ -418,6 +438,18 @@ class ReproClient:
         status, body, rid = self._call("POST", "/restructure", payload,
                                        request_id)
         return _decode_single("restructure", status, body, rid)
+
+    def sweep(self, source: str, *, machine: str = "power",
+              widths: Sequence[int] | None = None,
+              bindings: Mapping[str, Any] | None = None,
+              branch_miss_rate: float = 0.0,
+              cache_miss_rate: float = 0.0,
+              trace: bool = False,
+              request_id: str | None = None) -> SweepResponse:
+        payload = _sweep_payload(source, machine, widths, bindings,
+                                 branch_miss_rate, cache_miss_rate, trace)
+        status, body, rid = self._call("POST", "/sweep", payload, request_id)
+        return _decode_single("sweep", status, body, rid)
 
     def kernels(self, machine: str = "power", *,
                 request_id: str | None = None) -> KernelsResponse:
@@ -827,6 +859,19 @@ class AsyncReproClient:
         status, body, rid = await self._call("POST", "/restructure", payload,
                                              request_id)
         return _decode_single("restructure", status, body, rid)
+
+    async def sweep(self, source: str, *, machine: str = "power",
+                    widths: Sequence[int] | None = None,
+                    bindings: Mapping[str, Any] | None = None,
+                    branch_miss_rate: float = 0.0,
+                    cache_miss_rate: float = 0.0,
+                    trace: bool = False,
+                    request_id: str | None = None) -> SweepResponse:
+        payload = _sweep_payload(source, machine, widths, bindings,
+                                 branch_miss_rate, cache_miss_rate, trace)
+        status, body, rid = await self._call("POST", "/sweep", payload,
+                                             request_id)
+        return _decode_single("sweep", status, body, rid)
 
     async def kernels(self, machine: str = "power", *,
                       request_id: str | None = None) -> KernelsResponse:

@@ -94,6 +94,9 @@ from .protocol import (
     ProtocolError,
     RestructureRequest,
     RestructureResponse,
+    SweepPointRow,
+    SweepRequest,
+    SweepResponse,
     error_envelope,
     parse_bindings,
     parse_domain,
@@ -143,8 +146,12 @@ def _symbolic_cost(source: str, machine_name: str, backend: str,
     program = parse_program(source)
     digest = program_digest(program)
     machine = get_machine(machine_name)
+    # The fingerprint (memoized per registered factory) rides in the
+    # key so recalibrating a machine under the same name retires the
+    # old predictor instead of serving its stale table.
     predictor = shared_predictor(
-        (digest, machine_name, backend, include_memory),
+        (digest, machine_name, machine_fingerprint(machine_name), backend,
+         include_memory),
         machine, program, backend, include_memory,
     )
     return program, digest, predictor.predict(program)
@@ -229,7 +236,8 @@ def _restructure_response(
     digest = program_digest(program)
     machine = get_machine(request.machine)
     predictor = shared_predictor(
-        (digest, request.machine, "aggressive", False), machine, program)
+        (digest, request.machine, machine_fingerprint(request.machine),
+         "aggressive", False), machine, program)
     workload = {
         name: int(value)
         for name, value in parse_bindings(request.workload).items()
@@ -279,11 +287,49 @@ def _do_kernels(request: KernelsRequest) -> KernelsResponse:
     return KernelsResponse(machine=request.machine, rows=tuple(rows))
 
 
+def _do_sweep(request: SweepRequest) -> SweepResponse:
+    from ..sweep import sweep_program
+
+    from ..machine.registry import cached_machine
+
+    program = parse_program(request.source)
+    digest = program_digest(program)
+    # cached_machine keeps the base identity stable across requests, so
+    # the sweep's symbolic memo (and the family-member memo behind it)
+    # stay hot; recalibration swaps the instance and retires both.
+    machine = cached_machine(request.machine)
+    outcome = sweep_program(
+        program,
+        machine=machine,
+        widths=tuple(request.widths) if request.widths else None,
+        bindings=parse_bindings(request.bindings),
+        branch_miss_rate=float(request.branch_miss_rate),
+        cache_miss_rate=float(request.cache_miss_rate),
+        cache_key=digest,
+    )
+    return SweepResponse(
+        machine=request.machine,
+        digest=digest,
+        widths=outcome.widths,
+        points=tuple(
+            SweepPointRow(
+                width=p.width, cycles=p.cycles, ipc=p.ipc,
+                fingerprint=p.fingerprint,
+                placement_cycles=p.placement_cycles,
+                penalty_cycles=p.penalty_cycles,
+            ) for p in outcome.points
+        ),
+        saturation_width=outcome.saturation_width,
+        instructions=outcome.instructions,
+    )
+
+
 _HANDLERS = {
     "predict": _do_predict,
     "compare": _do_compare,
     "restructure": _do_restructure,
     "kernels": _do_kernels,
+    "sweep": _do_sweep,
 }
 
 
@@ -455,6 +501,17 @@ def _cache_key(kind: str, request: Any) -> str:
         ))
     if kind == "kernels":
         return f"kernels|{request.machine}|{fp}"
+    if kind == "sweep":
+        digest = program_digest(parse_program(request.source))
+        widths = (",".join(str(w) for w in request.widths)
+                  if request.widths else "-")
+        return "|".join((
+            "sweep", digest, request.machine, fp,
+            f"w={widths}",
+            f"br={request.branch_miss_rate}",
+            f"cm={request.cache_miss_rate}",
+            f"at={_canonical_mapping(request.bindings)}",
+        ))
     raise ProtocolError(f"unknown request kind {kind!r}")
 
 
@@ -463,6 +520,7 @@ _KIND_BY_TYPE = {
     CompareRequest: "compare",
     RestructureRequest: "restructure",
     KernelsRequest: "kernels",
+    SweepRequest: "sweep",
 }
 
 
@@ -1106,6 +1164,9 @@ class PredictionEngine:
     def kernels(self, request: KernelsRequest) -> KernelsResponse:
         return self._typed(request)
 
+    def sweep(self, request: SweepRequest) -> SweepResponse:
+        return self._typed(request)
+
     def batch(self, requests: Sequence[Any]) -> list[Any]:
         """Typed batch: dataclass requests in, dataclass responses out.
 
@@ -1198,6 +1259,39 @@ class PredictionEngine:
             "repro_arena_pool_entries",
             "Resident prefix-pool trajectories across arenas "
             "(engine process).").set(arena["pool_entries"])
+        from ..calib import calibration_stats
+        from ..sweep import sweep_stats
+
+        sweep = sweep_stats()
+        self.metrics.gauge(
+            "repro_sweep_runs_total",
+            "Width sweeps evaluated (engine process).").set(sweep["sweeps"])
+        self.metrics.gauge(
+            "repro_sweep_widths_total",
+            "Ladder points evaluated across all sweeps "
+            "(engine process).").set(sweep["widths"])
+        self.metrics.gauge(
+            "repro_sweep_shared_translations_total",
+            "Translations replayed from the sweep facade instead of "
+            "re-translated (engine process).").set(
+            sweep["shared_translations"])
+        self.metrics.gauge(
+            "repro_sweep_batched_streams_total",
+            "Streams pre-warmed via batched arena placement during sweeps "
+            "(engine process).").set(sweep["batched_streams"])
+        self.metrics.gauge(
+            "repro_sweep_symbolic_hits_total",
+            "Sweeps served from the memoized symbolic ladder "
+            "(engine process).").set(sweep["symbolic_hits"])
+        calib = calibration_stats()
+        self.metrics.gauge(
+            "repro_calib_runs_total",
+            "Cost-table calibrations performed (engine process).").set(
+            calib["calibrations"])
+        self.metrics.gauge(
+            "repro_calib_probes_total",
+            "Probe streams measured across all calibrations "
+            "(engine process).").set(calib["probes"])
         age_hist = self.metrics.histogram(
             "repro_cache_entry_age_seconds",
             "Ages of resident result-cache entries (snapshot per scrape).",

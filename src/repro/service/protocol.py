@@ -25,6 +25,7 @@ __all__ = [
     "RestructureRequest", "RestructureResponse",
     "RestructureJobRequest", "JobStatusResponse",
     "KernelsRequest", "KernelRow", "KernelsResponse",
+    "SweepRequest", "SweepPointRow", "SweepResponse",
     "ErrorResponse",
     "request_from_dict", "response_to_dict", "error_envelope",
     "parse_bindings", "parse_domain",
@@ -239,6 +240,40 @@ class RestructureJobRequest:
 
 
 @dataclass(frozen=True)
+class SweepRequest:
+    """One program across a width ladder of a machine family."""
+
+    source: str
+    machine: str = "power"
+    widths: Any = None             # list of ints, default family ladder
+    bindings: Mapping[str, Any] | None = None
+    branch_miss_rate: float = 0.0
+    cache_miss_rate: float = 0.0
+    trace: bool = False
+
+    def validate(self) -> None:
+        _check_str("source", self.source)
+        _check_str("machine", self.machine)
+        if self.widths is not None:
+            _require(isinstance(self.widths, (list, tuple)) and self.widths,
+                     "widths must be a non-empty list of integers")
+            for width in self.widths:
+                _require(isinstance(width, int)
+                         and not isinstance(width, bool)
+                         and 1 <= width <= 64,
+                         "widths must be integers in 1..64")
+        _check_mapping("bindings", self.bindings)
+        parse_bindings(self.bindings)
+        for field in ("branch_miss_rate", "cache_miss_rate"):
+            value = getattr(self, field)
+            _require(isinstance(value, (int, float))
+                     and not isinstance(value, bool)
+                     and 0.0 <= value <= 1.0,
+                     f"{field} must be a number in [0, 1]")
+        _require(isinstance(self.trace, bool), "trace must be a boolean")
+
+
+@dataclass(frozen=True)
 class KernelsRequest:
     """The Figure 7 table (predicted vs reference) for one machine."""
 
@@ -256,6 +291,7 @@ REQUEST_TYPES: dict[str, type] = {
     "restructure": RestructureRequest,
     "restructure_job": RestructureJobRequest,
     "kernels": KernelsRequest,
+    "sweep": SweepRequest,
 }
 
 
@@ -329,6 +365,28 @@ class KernelsResponse:
 
 
 @dataclass(frozen=True)
+class SweepPointRow:
+    width: int
+    cycles: float
+    ipc: float
+    fingerprint: str
+    placement_cycles: float
+    penalty_cycles: float
+
+
+@dataclass(frozen=True)
+class SweepResponse:
+    machine: str
+    digest: str                    # canonical content hash of the program
+    widths: tuple[int, ...] = ()
+    points: tuple[SweepPointRow, ...] = ()
+    saturation_width: int = 1
+    instructions: float = 0.0
+    cached: bool = False
+    trace: Any = None
+
+
+@dataclass(frozen=True)
 class JobStatusResponse:
     """Public view of one async restructure job.
 
@@ -367,6 +425,7 @@ RESPONSE_TYPES: dict[str, type] = {
     "restructure": RestructureResponse,
     "job_status": JobStatusResponse,
     "kernels": KernelsResponse,
+    "sweep": SweepResponse,
 }
 
 
@@ -379,6 +438,9 @@ def response_to_dict(response) -> dict[str, Any]:
     out = asdict(response)
     if isinstance(response, KernelsResponse):
         out["rows"] = [asdict(r) for r in response.rows]
+    if isinstance(response, SweepResponse):
+        out["widths"] = list(response.widths)
+        out["points"] = [asdict(p) for p in response.points]
     if out.get("trace") is None:
         out.pop("trace", None)
     # Fast-tier fields ride only on fast-tier answers: exact responses
@@ -399,6 +461,10 @@ def response_from_dict(kind: str, data: Mapping[str, Any]):
     payload = dict(data)
     if cls is KernelsResponse:
         payload["rows"] = tuple(KernelRow(**r) for r in payload.get("rows", ()))
+    if cls is SweepResponse:
+        payload["widths"] = tuple(payload.get("widths", ()))
+        payload["points"] = tuple(
+            SweepPointRow(**p) for p in payload.get("points", ()))
     if "variables" in payload and payload["variables"] is not None:
         payload["variables"] = tuple(payload["variables"])
     return cls(**payload)

@@ -114,7 +114,7 @@ _MAX_BODY_BYTES = 4 * 1024 * 1024
 _MAX_BATCH = 256
 
 _POST_ROUTES = {"/predict": "predict", "/compare": "compare",
-                "/restructure": "restructure"}
+                "/restructure": "restructure", "/sweep": "sweep"}
 
 _DEBUG_TRACE_PREFIX = "/debug/trace/"
 
@@ -596,7 +596,7 @@ class ShardRouter(ThreadingMixIn, HTTPServer):
     # -- routing keys ---------------------------------------------------
     def _ring_key(self, kind: str, request: Any) -> str:
         """The shard key: digest(s) for programs, machine for kernels."""
-        if kind == "predict" or kind == "restructure":
+        if kind in ("predict", "restructure", "sweep"):
             return self._digests.digest(request.source)
         if kind == "compare":
             # Both digests, so a given pair always compares on one shard

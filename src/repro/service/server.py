@@ -71,7 +71,7 @@ _MAX_BODY_BYTES = 4 * 1024 * 1024
 _MAX_BATCH = 256
 
 _POST_ROUTES = {"/predict": "predict", "/compare": "compare",
-                "/restructure": "restructure"}
+                "/restructure": "restructure", "/sweep": "sweep"}
 _GET_PATHS = ("/healthz", "/metrics", "/kernels")
 
 #: Route prefix for recent-trace retrieval (shared with the router).

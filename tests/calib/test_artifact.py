@@ -1,0 +1,148 @@
+"""Golden-artifact tests: strict load/validate of cost-table files."""
+
+import json
+
+import pytest
+
+from repro.calib import (
+    ArtifactError,
+    COST_TABLE_FORMAT,
+    SimulatorOracle,
+    calibrate_machine,
+    load_cost_table,
+    machine_from_artifact,
+    register_calibrated,
+    result_to_payload,
+    save_cost_table,
+)
+from repro.machine import get_machine, machine_fingerprint, power_machine
+from repro.machine.registry import _FACTORIES
+
+
+@pytest.fixture()
+def result():
+    machine = power_machine()
+    return calibrate_machine(machine, SimulatorOracle(machine),
+                             name="power-artifact-test")
+
+
+def test_payload_roundtrips_through_disk(result, tmp_path):
+    path = tmp_path / "table.json"
+    written = save_cost_table(result, str(path))
+    loaded = load_cost_table(str(path))
+    assert loaded == written
+    rebuilt = machine_from_artifact(loaded)
+    assert rebuilt.fingerprint() == result.machine.fingerprint()
+    assert rebuilt.name == "power-artifact-test"
+    assert rebuilt.atomic_mapping == result.machine.atomic_mapping
+    for name in result.machine.table.names():
+        assert (rebuilt.atomic(name).result_latency
+                == result.machine.atomic(name).result_latency)
+
+
+def test_wrong_format_version_rejected(result, tmp_path):
+    path = tmp_path / "table.json"
+    payload = save_cost_table(result, str(path))
+    payload["format"] = "repro-cost-table-v0"
+    path.write_text(json.dumps(payload))
+    with pytest.raises(ArtifactError, match="format"):
+        load_cost_table(str(path))
+
+
+def test_unknown_unit_kind_rejected(result, tmp_path):
+    path = tmp_path / "table.json"
+    payload = save_cost_table(result, str(path))
+    payload["table"]["fpu_arith"]["costs"][0]["unit"] = "vpu"
+    path.write_text(json.dumps(payload))
+    with pytest.raises(ArtifactError, match="unknown unit"):
+        load_cost_table(str(path))
+
+
+def test_mapping_referencing_unknown_atomic_op_rejected(result, tmp_path):
+    path = tmp_path / "table.json"
+    payload = save_cost_table(result, str(path))
+    payload["atomic_mapping"]["fadd"] = ["no_such_op"]
+    path.write_text(json.dumps(payload))
+    with pytest.raises(ArtifactError, match="unknown atomic op"):
+        load_cost_table(str(path))
+
+
+def test_truncated_file_rejected(result, tmp_path):
+    path = tmp_path / "table.json"
+    save_cost_table(result, str(path))
+    text = path.read_text()
+    path.write_text(text[: len(text) // 2])
+    with pytest.raises(ArtifactError, match="truncated"):
+        load_cost_table(str(path))
+
+
+def test_missing_file_rejected(tmp_path):
+    with pytest.raises(ArtifactError, match="cannot read"):
+        load_cost_table(str(tmp_path / "nope.json"))
+
+
+def test_zero_cycle_cost_rejected(result, tmp_path):
+    path = tmp_path / "table.json"
+    payload = save_cost_table(result, str(path))
+    cost = payload["table"]["fpu_arith"]["costs"][0]
+    cost["noncoverable"] = 0
+    cost["coverable"] = 0
+    path.write_text(json.dumps(payload))
+    with pytest.raises(ArtifactError, match="zero-cycle"):
+        load_cost_table(str(path))
+
+
+def test_negative_cost_rejected(result, tmp_path):
+    path = tmp_path / "table.json"
+    payload = save_cost_table(result, str(path))
+    payload["table"]["fpu_arith"]["costs"][0]["noncoverable"] = -1
+    path.write_text(json.dumps(payload))
+    with pytest.raises(ArtifactError, match="bad noncoverable"):
+        load_cost_table(str(path))
+
+
+def test_any_table_change_changes_fingerprint(result):
+    """The registry cache key must move when any cost moves."""
+    base = machine_from_artifact(result_to_payload(result))
+    payload = result_to_payload(result)
+    payload["table"]["fpu_arith"]["costs"][0]["coverable"] += 1
+    changed = machine_from_artifact(payload)
+    assert changed.fingerprint() != base.fingerprint()
+
+
+def test_register_calibrated_is_a_first_class_machine(result, tmp_path):
+    path = tmp_path / "table.json"
+    save_cost_table(result, str(path))
+    name = register_calibrated(str(path))
+    try:
+        assert name == "power-artifact-test"
+        machine = get_machine(name)
+        assert machine.fingerprint() == result.machine.fingerprint()
+        assert machine_fingerprint(name) == result.machine.fingerprint()
+    finally:
+        _FACTORIES.pop(name, None)
+
+
+def test_register_calibrated_replace_semantics(result, tmp_path):
+    path = tmp_path / "table.json"
+    payload = save_cost_table(result, str(path))
+    name = register_calibrated(str(path))
+    try:
+        # Default replace=True: re-registering a retrained table swaps
+        # the factory (and thus the fingerprint the cache folds in).
+        payload["table"]["fpu_arith"]["costs"][0]["coverable"] += 1
+        register_calibrated(payload)
+        assert (machine_fingerprint(name)
+                != result.machine.fingerprint())
+        with pytest.raises(ValueError, match="already registered"):
+            register_calibrated(payload, replace=False)
+    finally:
+        _FACTORIES.pop(name, None)
+
+
+def test_oracle_id_recorded(result):
+    payload = result_to_payload(result)
+    assert payload["format"] == COST_TABLE_FORMAT
+    assert payload["oracle_id"].startswith("simulator:")
+    assert payload["probes"] == result.probes
+    assert payload["mean_abs_residual"] == 0.0

@@ -1,0 +1,62 @@
+"""Oracle implementations: simulator timing and hermetic fixtures."""
+
+import json
+
+import pytest
+
+from repro.calib import (
+    RecordedOracle,
+    SimulatorOracle,
+    calibrate_machine,
+    make_probe_family,
+    record_fixture,
+)
+from repro.calib.oracle import FIXTURE_FORMAT
+from repro.machine import power_machine
+
+
+def test_recorded_fixture_roundtrip(tmp_path):
+    """Record once, refit offline: hermetic calibration end to end."""
+    machine = power_machine()
+    _, probes = make_probe_family(machine)
+    path = tmp_path / "fixture.json"
+    live = SimulatorOracle(machine)
+    measurements = record_fixture(live, probes, str(path))
+    replay = RecordedOracle.from_file(str(path))
+    assert replay.oracle_id == live.oracle_id
+    assert replay.measurements == measurements
+    result = calibrate_machine(machine, replay)
+    assert result.mean_abs_residual == 0.0
+    assert result.oracle_id == live.oracle_id
+
+
+def test_fixture_wrong_format_rejected(tmp_path):
+    path = tmp_path / "fixture.json"
+    path.write_text(json.dumps({"format": "nope", "measurements": {}}))
+    with pytest.raises(ValueError, match="format"):
+        RecordedOracle.from_file(str(path))
+
+
+def test_fixture_bad_measurement_rejected(tmp_path):
+    path = tmp_path / "fixture.json"
+    path.write_text(json.dumps({
+        "format": FIXTURE_FORMAT,
+        "measurements": {"p": -3},
+    }))
+    with pytest.raises(ValueError, match="measurement"):
+        RecordedOracle.from_file(str(path))
+
+
+def test_fixture_missing_probe_is_an_error():
+    machine = power_machine()
+    _, probes = make_probe_family(machine)
+    oracle = RecordedOracle({}, "empty")
+    with pytest.raises(ValueError, match="no measurement"):
+        oracle.measure(probes[0])
+
+
+def test_simulator_oracle_jitter_clamps_to_one():
+    machine = power_machine()
+    _, probes = make_probe_family(machine)
+    oracle = SimulatorOracle(machine, jitter=lambda name: -10_000)
+    assert oracle.measure(probes[0]) == 1

@@ -1,0 +1,74 @@
+"""Probe-family generation: the algebra the fit relies on."""
+
+import math
+
+import pytest
+
+from repro.backend import simulate
+from repro.calib import make_probe_family
+from repro.machine import power_machine
+
+
+def _measure(machine, probe):
+    return simulate(machine, list(probe.instrs), with_spills=False).cycles
+
+
+def test_family_covers_all_ops():
+    machine = power_machine()
+    names, probes = make_probe_family(machine)
+    assert set(names) == set(machine.table.names())
+    probed = {op for probe in probes for op in {i.atomic for i in probe.instrs}}
+    assert probed == set(machine.table.names())
+
+
+def test_family_rejects_empty_ops():
+    with pytest.raises(ValueError):
+        make_probe_family(power_machine(), ops=[])
+
+
+def test_serial_probe_rows_predict_simulator_exactly():
+    """Serial chains cost exactly k * (n + c) on the reference scheduler."""
+    machine = power_machine()
+    names, probes = make_probe_family(machine)
+    # The true solution vector: [n_0..n_{K-1}, c_0..c_{K-1}].
+    solution = []
+    for name in names:
+        op = machine.atomic(name)
+        primary = next(c for c in op.costs if c.total == op.result_latency)
+        solution.append(float(primary.noncoverable))
+    for name in names:
+        op = machine.atomic(name)
+        primary = next(c for c in op.costs if c.total == op.result_latency)
+        solution.append(float(primary.coverable))
+    for probe in probes:
+        if probe.kind != "serial":
+            continue
+        assert probe.predicted(solution) == _measure(machine, probe), probe.name
+
+
+def test_burst_probe_rows_predict_simulator_exactly():
+    """Bursts cost ceil(k/p)*n + c when dispatch width >= pipe count."""
+    machine = power_machine()
+    names, probes = make_probe_family(machine)
+    for probe in probes:
+        if probe.kind != "burst":
+            continue
+        name = next(iter({i.atomic for i in probe.instrs}))
+        op = machine.atomic(name)
+        primary = next(c for c in op.costs if c.total == op.result_latency)
+        pipes = machine.unit(primary.unit).count
+        k = len(probe.instrs)
+        expected = math.ceil(k / pipes) * primary.noncoverable + \
+            primary.coverable
+        # Fully-coverable ops still occupy their pipe implicitly for one
+        # issue slot; the simulator returns at least the chain latency.
+        assert _measure(machine, probe) == max(expected, primary.total), \
+            probe.name
+
+
+def test_probe_instrs_are_well_formed():
+    _, probes = make_probe_family(power_machine())
+    for probe in probes:
+        for instr in probe.instrs:
+            for dep in instr.deps:
+                assert 0 <= dep < instr.index

@@ -1,0 +1,108 @@
+"""Width-parameterized machine family and the mechanistic model."""
+
+import pytest
+
+from repro.machine import (
+    DEFAULT_WIDTH_LADDER,
+    UnitKind,
+    family_machine,
+    family_width_ladder,
+    mechanistic_cycles,
+    penalty_branch_miss,
+    penalty_cache_miss,
+    power_machine,
+)
+
+
+def test_width_scales_pipes_but_not_branch_units():
+    member = family_machine(8)
+    assert member.dispatch_width == 8
+    assert member.name == "power-w8"
+    by_kind = {unit.kind: unit.count for unit in member.units}
+    assert by_kind[UnitKind.FXU] == 4
+    assert by_kind[UnitKind.FPU] == 4
+    assert by_kind[UnitKind.LSU] == 4
+    assert by_kind[UnitKind.BRANCH] == 1
+    assert by_kind[UnitKind.CRLOGIC] == 1
+
+
+def test_width_one_keeps_single_pipes():
+    member = family_machine(1)
+    assert all(unit.count == 1 for unit in member.units)
+    assert member.dispatch_width == 1
+
+
+def test_family_shares_table_and_mapping():
+    base = power_machine()
+    member = family_machine(4, base=base)
+    assert member.table is base.table
+    assert member.atomic_mapping is base.atomic_mapping
+    assert member.supports_fma == base.supports_fma
+
+
+def test_family_members_are_memoized():
+    assert family_machine(4) is family_machine(4)
+    # Pinned pipe counts bypass the memo (a custom config each time).
+    pinned = family_machine(4, pipe_counts={UnitKind.FPU: 3})
+    assert pinned is not family_machine(4)
+    assert pinned.unit(UnitKind.FPU).count == 3
+
+
+def test_fingerprints_unique_across_ladder():
+    prints = {family_machine(w).fingerprint() for w in range(1, 17)}
+    assert len(prints) == 16
+    assert power_machine().fingerprint() not in prints
+
+
+def test_width_validation():
+    for bad in (0, -1, 65, 2.0, True, "4"):
+        with pytest.raises(ValueError):
+            family_machine(bad)
+
+
+def test_pipe_count_validation():
+    with pytest.raises(ValueError):
+        family_machine(4, pipe_counts={UnitKind.FPU: 0})
+
+
+def test_width_ladder_normalises():
+    assert family_width_ladder(None) == DEFAULT_WIDTH_LADDER
+    assert family_width_ladder([8, 2, 2, 1]) == (1, 2, 8)
+    with pytest.raises(ValueError):
+        family_width_ladder([4, 0])
+    with pytest.raises(ValueError):
+        family_width_ladder([True])
+
+
+def test_branch_penalty_formula():
+    # D + (W-1)/(2W): scalar pays just the redirect depth.
+    assert penalty_branch_miss(1) == 5.0
+    assert penalty_branch_miss(4) == 5.0 + 3 / 8
+    assert penalty_branch_miss(2, depth=10) == 10.25
+
+
+def test_cache_penalty_clamps_at_zero():
+    assert penalty_cache_miss(1, 12) == 12.0
+    assert penalty_cache_miss(4, 12) == 12 - 3 / 8
+    assert penalty_cache_miss(8, 0) == 0.0
+
+
+def test_mechanistic_terms_compose():
+    member = family_machine(4)
+    terms = mechanistic_cycles(member, 1000.0, 250.0,
+                               branch_miss_rate=0.01,
+                               cache_miss_rate=0.02)
+    assert terms.base == 250.0
+    assert terms.branch_penalty == pytest.approx(
+        1000 * 0.01 * penalty_branch_miss(4))
+    assert terms.miss_penalty == pytest.approx(
+        1000 * 0.02 * penalty_cache_miss(
+            4, member.memory.cache_miss_cycles))
+    assert terms.total == pytest.approx(
+        terms.base + terms.branch_penalty + terms.miss_penalty)
+
+
+def test_zero_rates_add_nothing():
+    member = family_machine(2)
+    terms = mechanistic_cycles(member, 500.0, 300.0)
+    assert terms.total == 300.0

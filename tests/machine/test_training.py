@@ -95,3 +95,29 @@ def test_uncalibrated_ops_pass_through():
         "fpu_div"
     ).result_latency
     assert len(fitted) == len(machine.table)
+
+
+def test_rescale_zero_total_cost_does_not_divide_by_zero():
+    """A hand-built zero-cycle cost must rescale, not crash.
+
+    ``UnitCost`` validation forbids 0+0 costs, so the only way such a
+    component reaches ``_rescale`` is a table built around validation
+    -- which external tooling (deserializers, fuzzers) can do.  The
+    fit should assign the whole measured latency as noncoverable.
+    """
+    from repro.machine.training import _rescale
+
+    zero = object.__new__(UnitCost)
+    object.__setattr__(zero, "unit", UnitKind.FPU)
+    object.__setattr__(zero, "noncoverable", 0)
+    object.__setattr__(zero, "coverable", 0)
+    op = AtomicOp.__new__(AtomicOp)
+    object.__setattr__(op, "name", "ghost")
+    object.__setattr__(op, "costs", (zero,))
+    object.__setattr__(op, "description", "zero-cost op")
+    assert op.result_latency == 0
+
+    rescaled = _rescale(op, 3)
+    cost = rescaled.cost_on(UnitKind.FPU)
+    assert cost.noncoverable == 3 and cost.coverable == 0
+    assert rescaled.result_latency == 3

@@ -1,0 +1,217 @@
+"""The /sweep endpoint: protocol, engine, server, router, clients."""
+
+import http.client
+import json
+
+import pytest
+
+from repro.service import (
+    AsyncReproClient,
+    BadRequestError,
+    PredictionEngine,
+    ProtocolError,
+    ReproClient,
+    SweepRequest,
+    SweepResponse,
+    request_from_dict,
+    response_from_dict,
+    response_to_dict,
+)
+
+from .conftest import SAXPY, http_post, running_router, running_server
+
+
+def _post_any(port, path, payload):
+    """POST that returns (status, body) even for 4xx/5xx responses."""
+    connection = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+    try:
+        connection.request(
+            "POST", path, body=json.dumps(payload).encode(),
+            headers={"Content-Type": "application/json"})
+        response = connection.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        connection.close()
+
+
+# ----------------------------------------------------------------------
+# protocol
+
+
+def test_request_validation():
+    request = request_from_dict("sweep", {"source": SAXPY})
+    assert isinstance(request, SweepRequest)
+    assert request.widths is None
+    with pytest.raises(ProtocolError):
+        request_from_dict("sweep", {"source": ""})
+    with pytest.raises(ProtocolError):
+        request_from_dict("sweep", {"source": SAXPY, "widths": []})
+    with pytest.raises(ProtocolError):
+        request_from_dict("sweep", {"source": SAXPY, "widths": [0]})
+    with pytest.raises(ProtocolError):
+        request_from_dict("sweep", {"source": SAXPY, "widths": [True]})
+    with pytest.raises(ProtocolError):
+        request_from_dict("sweep", {"source": SAXPY,
+                                    "branch_miss_rate": 1.5})
+    with pytest.raises(ProtocolError):
+        request_from_dict("sweep", {"source": SAXPY, "bogus": 1})
+
+
+def test_response_roundtrip():
+    engine = PredictionEngine(workers=0, cache_size=8)
+    result = engine.handle("sweep", {
+        "source": SAXPY, "bindings": {"n": 64}, "widths": [1, 4],
+    })
+    assert "error" not in result
+    response = response_from_dict("sweep", result)
+    assert isinstance(response, SweepResponse)
+    assert response.widths == (1, 4)
+    assert response.points[0].width == 1
+    assert response_to_dict(response) == result
+
+
+# ----------------------------------------------------------------------
+# engine
+
+
+def test_engine_sweep_and_cache():
+    engine = PredictionEngine(workers=0, cache_size=8)
+    request = SweepRequest(source=SAXPY, widths=[1, 2, 8],
+                           bindings={"n": 128})
+    first = engine.sweep(request)
+    assert first.saturation_width in (1, 2, 8)
+    assert [p.width for p in first.points] == [1, 2, 8]
+    assert first.instructions > 0
+    second = engine.sweep(request)
+    assert second.cached is True
+    assert second.points == first.points
+
+
+def test_engine_cache_key_separates_parameters():
+    engine = PredictionEngine(workers=0, cache_size=16)
+    base = {"source": SAXPY, "bindings": {"n": 32}}
+    a = engine.handle("sweep", dict(base))
+    b = engine.handle("sweep", {**base, "widths": [1, 2]})
+    c = engine.handle("sweep", {**base, "branch_miss_rate": 0.05})
+    assert a["cached"] is b["cached"] is c["cached"] is False
+    assert {len(a["points"]), len(b["points"])} == {5, 2}
+    assert c["points"][-1]["cycles"] > a["points"][-1]["cycles"]
+
+
+def test_engine_sweep_not_stale_after_recalibration():
+    """The symbolic-ladder memo must retire with the machine instance."""
+    from repro.calib import (
+        SimulatorOracle,
+        calibrate_machine,
+        register_calibrated,
+        result_to_payload,
+    )
+    from repro.machine import power_machine
+    from repro.machine.registry import _FACTORIES
+
+    payload = result_to_payload(
+        calibrate_machine(power_machine(), SimulatorOracle(power_machine()),
+                          name="power-sweep-recal"))
+    name = register_calibrated(payload)
+    try:
+        engine = PredictionEngine(workers=0, cache_size=32)
+        request = {"source": SAXPY, "machine": name,
+                   "bindings": {"n": 80}, "widths": [1, 4]}
+        first = engine.handle("sweep", dict(request))
+        assert "error" not in first
+        # A second binding warms the symbolic memo on the hot path.
+        engine.handle("sweep", {**request, "bindings": {"n": 81}})
+
+        # Retrain: fpu ops get slower, same machine name.
+        retrained = dict(payload)
+        retrained["table"] = {
+            op: ({**spec, "costs": [
+                {**c, "noncoverable": c["noncoverable"] + 2}
+                for c in spec["costs"]
+            ]} if op.startswith("fpu") else spec)
+            for op, spec in payload["table"].items()
+        }
+        register_calibrated(retrained)
+        fresh = engine.handle("sweep", dict(request))
+        assert fresh["cached"] is False
+        assert fresh["points"][-1]["placement_cycles"] > \
+            first["points"][-1]["placement_cycles"]
+        assert fresh["points"][-1]["fingerprint"] != \
+            first["points"][-1]["fingerprint"]
+    finally:
+        _FACTORIES.pop(name, None)
+
+
+def test_engine_unbound_variable_is_client_error():
+    engine = PredictionEngine(workers=0, cache_size=8)
+    result = engine.handle("sweep", {"source": SAXPY})
+    assert result["status"] == 400
+
+
+# ----------------------------------------------------------------------
+# server + clients
+
+
+def test_sweep_over_http(server):
+    port = server.server_address[1]
+    status, body = http_post(port, "/sweep", {
+        "source": SAXPY, "bindings": {"n": 100}, "widths": [1, 2, 4],
+    })
+    assert status == 200
+    assert [p["width"] for p in body["points"]] == [1, 2, 4]
+    assert body["points"][0]["ipc"] == 1.0
+
+    status, body = _post_any(port, "/sweep", {"source": "garbage("})
+    assert status == 400
+    assert "error" in body
+
+
+def test_sync_client_sweep(server):
+    port = server.server_address[1]
+    with ReproClient(f"http://127.0.0.1:{port}") as client:
+        response = client.sweep(SAXPY, bindings={"n": 100},
+                                widths=[2, 8], branch_miss_rate=0.01)
+        assert isinstance(response, SweepResponse)
+        assert response.widths == (2, 8)
+        assert response.points[0].penalty_cycles > 0
+        with pytest.raises(BadRequestError):
+            client.sweep(SAXPY, widths=[99])
+
+
+def test_async_client_sweep(server):
+    import asyncio
+
+    port = server.server_address[1]
+
+    async def go():
+        async with AsyncReproClient(f"http://127.0.0.1:{port}") as client:
+            return await client.sweep(SAXPY, bindings={"n": 100})
+
+    response = asyncio.run(go())
+    assert response.saturation_width in response.widths
+
+
+def test_sweep_through_router():
+    with running_server() as a, running_server() as b:
+        urls = [f"http://127.0.0.1:{s.server_address[1]}" for s in (a, b)]
+        with running_router(urls) as router:
+            port = router.server_address[1]
+            with ReproClient(f"http://127.0.0.1:{port}") as client:
+                first = client.sweep(SAXPY, bindings={"n": 100})
+                assert first.cached is False
+                # Digest affinity: the repeat lands on the same shard
+                # and hits its cache.
+                again = client.sweep(SAXPY, bindings={"n": 100})
+                assert again.cached is True
+                assert again.points == first.points
+
+
+def test_sweep_metrics_exported(server):
+    port = server.server_address[1]
+    http_post(port, "/sweep", {"source": SAXPY, "bindings": {"n": 10}})
+    with ReproClient(f"http://127.0.0.1:{port}") as client:
+        text = client.metrics()
+    assert "repro_sweep_runs_total" in text
+    assert "repro_calib_runs_total" in text
+    assert 'repro_engine_requests_total{kind="sweep",outcome="computed"} 1' \
+        in text

@@ -289,3 +289,47 @@ def test_predict_auto_fidelity_tolerance(tmp_path, saxpy_file, capsys):
     data = json.loads(capsys.readouterr().out)
     assert "fidelity" not in data          # interval too wide: exact
     assert data["cycles"] == "158"
+
+
+def test_calibrate_command(tmp_path, capsys):
+    out_path = tmp_path / "power-calib.json"
+    assert main(["calibrate", "--machine", "power",
+                 "--out", str(out_path)]) == 0
+    out = capsys.readouterr().out
+    assert "mean rel error" in out
+    payload = json.loads(out_path.read_text())
+    assert payload["format"] == "repro-cost-table-v1"
+    assert "fpu_arith" in payload["table"]
+
+
+def test_calibrate_json_output(capsys):
+    assert main(["calibrate", "--machine", "power", "--json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["format"] == "repro-cost-table-v1"
+
+
+def test_sweep_command(saxpy_file, capsys):
+    assert main(["sweep", saxpy_file, "--at", "n=100",
+                 "--widths", "1,2,4"]) == 0
+    out = capsys.readouterr().out
+    assert "saturates at width" in out
+    # Width 1 is fetch-bound at exactly one instruction per cycle.
+    assert " 1 " in out or out.lstrip().startswith("1")
+
+
+def test_sweep_json_output(saxpy_file, capsys):
+    assert main(["sweep", saxpy_file, "--at", "n=100", "--widths", "1,8",
+                 "--json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["widths"] == [1, 8]
+    assert data["points"][0]["ipc"] == 1.0
+
+
+def test_sweep_over_calibrated_table(saxpy_file, tmp_path, capsys):
+    table = tmp_path / "table.json"
+    main(["calibrate", "--machine", "power", "--out", str(table)])
+    capsys.readouterr()
+    assert main(["sweep", saxpy_file, "--at", "n=100",
+                 "--table", str(table), "--widths", "2,4", "--json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert len(data["points"]) == 2
